@@ -1,0 +1,84 @@
+// E10 (§5.4): "activity collocates" — commonly co-occurring event pairs
+// extracted with pointwise mutual information (Church & Hanks) and the
+// log-likelihood ratio (Dunning). The workload plants impression→click and
+// click→profile_click follow-ups; both rankings should surface them.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/utf8.h"
+#include "nlp/collocations.h"
+
+namespace unilog {
+namespace {
+
+std::string NameOf(const sessions::EventDictionary& dict, uint32_t cp) {
+  auto name = dict.NameFor(cp);
+  return name.ok() ? *name : "?";
+}
+
+bool IsPlantedFollowUp(const workload::ViewHierarchy& hierarchy,
+                       const std::string& first, const std::string& second) {
+  const std::string* follow = hierarchy.FollowUpOf(first);
+  return follow != nullptr && *follow == second;
+}
+
+}  // namespace
+}  // namespace unilog
+
+int main() {
+  using namespace unilog;
+  std::printf("=== E10 / §5.4: activity collocations (PMI and Dunning LLR) "
+              "===\n\n");
+
+  workload::WorkloadOptions wopts = bench::DefaultWorkload(42, 700);
+  wopts.follow_up_probability = 0.35;
+  bench::DayFixture fx = bench::BuildDay(wopts);
+
+  nlp::CollocationFinder finder;
+  for (const auto& seq : fx.daily.sequences) {
+    auto cps = DecodeUtf8(seq.sequence);
+    if (cps.ok()) finder.Add(*cps);
+  }
+  std::printf("bigrams observed: %s\n\n",
+              WithCommas(finder.total_bigrams()).c_str());
+
+  const auto& hierarchy = fx.generator->hierarchy();
+  const auto& dict = fx.daily.dictionary;
+
+  size_t planted_in_pmi_top = 0, planted_in_llr_top = 0;
+  const size_t kTop = 10;
+
+  std::printf("top %zu by PMI (pairs with count >= 20):\n", kTop);
+  for (const auto& c : finder.TopByPmi(20, kTop)) {
+    std::string first = NameOf(dict, c.first);
+    std::string second = NameOf(dict, c.second);
+    bool planted = IsPlantedFollowUp(hierarchy, first, second);
+    if (planted) ++planted_in_pmi_top;
+    std::printf("  pmi=%5.2f n=%-5llu %s -> %s%s\n", c.pmi,
+                static_cast<unsigned long long>(c.pair_count), first.c_str(),
+                second.c_str(), planted ? "   [planted]" : "");
+  }
+
+  std::printf("\ntop %zu by log-likelihood ratio:\n", kTop);
+  for (const auto& c : finder.TopByLlr(kTop)) {
+    std::string first = NameOf(dict, c.first);
+    std::string second = NameOf(dict, c.second);
+    bool planted = IsPlantedFollowUp(hierarchy, first, second);
+    if (planted) ++planted_in_llr_top;
+    std::printf("  llr=%9.1f n=%-5llu %s -> %s%s\n", c.llr,
+                static_cast<unsigned long long>(c.pair_count), first.c_str(),
+                second.c_str(), planted ? "   [planted]" : "");
+  }
+
+  std::printf("\nshape checks:\n");
+  std::printf("  planted follow-ups dominate the PMI top-%zu: %zu/%zu %s\n",
+              kTop, planted_in_pmi_top, kTop,
+              planted_in_pmi_top >= kTop / 2 ? "YES" : "NO");
+  std::printf("  planted follow-ups dominate the LLR top-%zu: %zu/%zu %s\n",
+              kTop, planted_in_llr_top, kTop,
+              planted_in_llr_top >= kTop / 2 ? "YES" : "NO");
+  return 0;
+}

@@ -1,0 +1,141 @@
+#ifndef UNILOG_BENCH_BENCH_COMMON_H_
+#define UNILOG_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the experiment harnesses: synthesizes a day of client
+// events straight into a simulated warehouse (bypassing Scribe — E1
+// exercises delivery separately), then exposes the §4.2 daily-pipeline
+// outputs that most experiments consume.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/compress.h"
+#include "common/strings.h"
+#include "common/sim_time.h"
+#include "events/client_event.h"
+#include "hdfs/mini_hdfs.h"
+#include "pipeline/daily_pipeline.h"
+#include "workload/generator.h"
+
+namespace unilog::bench {
+
+inline constexpr TimeMs kBenchDay = 1345507200000;  // 2012-08-21 00:00 UTC
+
+/// A synthesized day: warehouse with /logs/client_events/... hourly
+/// partitions, the generator (ground truth), and the daily pipeline output.
+struct DayFixture {
+  std::unique_ptr<hdfs::MiniHdfs> warehouse;
+  std::unique_ptr<workload::WorkloadGenerator> generator;
+  pipeline::UserTable users;
+  pipeline::DailyJobResult daily;
+  uint64_t raw_log_bytes = 0;  // compressed on-disk client event bytes
+};
+
+/// Varint-frames one record into a file body.
+inline void AppendFramedRecord(std::string* body, const std::string& record) {
+  PutVarint64(body, record.size());
+  body->append(record);
+}
+
+/// Writes generated events into hourly warehouse partitions the way the
+/// log mover would have (framed, compressed, files of ~`target_bytes`).
+inline Status MaterializeWarehouseDay(
+    workload::WorkloadGenerator* generator, hdfs::MiniHdfs* warehouse,
+    uint64_t target_file_bytes = 1 << 20) {
+  struct HourBuf {
+    std::string body;
+    int part = 0;
+  };
+  std::map<TimeMs, HourBuf> hours;
+  auto flush = [&](TimeMs hour, HourBuf* buf) -> Status {
+    if (buf->body.empty()) return Status::OK();
+    char name[32];
+    std::snprintf(name, sizeof(name), "part-%05d", buf->part++);
+    std::string dir = "/logs/client_events/" + HourPartitionPath(hour);
+    UNILOG_RETURN_NOT_OK(
+        warehouse->WriteFile(dir + "/" + name, Lz::Compress(buf->body)));
+    buf->body.clear();
+    return Status::OK();
+  };
+  Status write_status;
+  Status gen_status =
+      generator->Generate([&](const events::ClientEvent& ev) {
+        if (!write_status.ok()) return;
+        TimeMs hour = TruncateToHour(ev.timestamp);
+        HourBuf& buf = hours[hour];
+        std::string record = ev.Serialize();
+        AppendFramedRecord(&buf.body, record);
+        if (buf.body.size() >= target_file_bytes) {
+          write_status = flush(hour, &buf);
+        }
+      });
+  UNILOG_RETURN_NOT_OK(gen_status);
+  UNILOG_RETURN_NOT_OK(write_status);
+  for (auto& [hour, buf] : hours) {
+    UNILOG_RETURN_NOT_OK(flush(hour, &buf));
+  }
+  return Status::OK();
+}
+
+/// Builds the standard fixture: generate → materialize → daily pipeline.
+/// Aborts on failure (bench setup, not library code).
+inline DayFixture BuildDay(workload::WorkloadOptions wopts,
+                           dataflow::JobCostModel cost = {},
+                           hdfs::HdfsOptions hdfs_options = {},
+                           uint64_t target_file_bytes = 1 << 20) {
+  DayFixture fx;
+  fx.warehouse = std::make_unique<hdfs::MiniHdfs>(nullptr, hdfs_options);
+  fx.generator = std::make_unique<workload::WorkloadGenerator>(wopts);
+  Status st = MaterializeWarehouseDay(fx.generator.get(), fx.warehouse.get(),
+                                      target_file_bytes);
+  if (!st.ok()) {
+    std::fprintf(stderr, "bench setup failed: %s\n", st.ToString().c_str());
+    std::abort();
+  }
+  fx.users = pipeline::UserTable::FromWorkload(*fx.generator);
+  pipeline::DailyPipeline daily(fx.warehouse.get(), cost);
+  auto result = daily.RunForDate(kBenchDay, fx.users);
+  if (!result.ok()) {
+    std::fprintf(stderr, "daily pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  fx.daily = std::move(result).value();
+  auto files = fx.warehouse->ListRecursive("/logs/client_events");
+  for (const auto& f : *files) fx.raw_log_bytes += f.size;
+  return fx;
+}
+
+/// Default workload for macro experiments.
+inline workload::WorkloadOptions DefaultWorkload(uint64_t seed = 42,
+                                                 int users = 400) {
+  workload::WorkloadOptions wopts;
+  wopts.seed = seed;
+  wopts.num_users = users;
+  wopts.start = kBenchDay;
+  wopts.duration = kMillisPerDay - 2 * kMillisPerHour;
+  wopts.sessions_per_user_mean = 2.0;
+  wopts.events_per_session_mean = 18;
+  return wopts;
+}
+
+/// Wall-clock timer for macro measurements.
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double ElapsedMs() const {
+    auto d = std::chrono::steady_clock::now() - start_;
+    return std::chrono::duration<double, std::milli>(d).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace unilog::bench
+
+#endif  // UNILOG_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,171 @@
+// E12 (§6): Elephant Twin indexing — predicate push-down at the
+// InputFormat level lets highly-selective queries skip whole files "for
+// free". Sweeps selectivity and reports files read, bytes scanned, and
+// modeled/real time with and without the index.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "dataflow/mapreduce.h"
+#include "etwin/index.h"
+#include "events/client_event.h"
+
+namespace unilog {
+namespace {
+
+struct QueryCost {
+  uint64_t files = 0;
+  uint64_t bytes_scanned = 0;
+  double modeled_ms = 0;
+  double real_ms = 0;
+  uint64_t matches = 0;
+};
+
+QueryCost RunQuery(const bench::DayFixture& fx, const std::string& pattern_str,
+                   const etwin::EventNameIndex* index,
+                   const dataflow::JobCostModel& cost) {
+  events::EventPattern pattern(pattern_str);
+  bench::WallTimer timer;
+  dataflow::MapReduceJob job(fx.warehouse.get(), cost);
+  pipeline::DailyPipeline helper(fx.warehouse.get(), cost);
+  uint64_t candidate_files = 0;
+  for (const auto& dir : helper.HourDirsFor(bench::kBenchDay)) {
+    if (!job.AddInputDir(dir).ok()) std::abort();
+  }
+  auto format = dataflow::InputFormat::CompressedFramed();
+  if (index != nullptr) {
+    format = format.WithFileFilter(index->FileFilter(pattern));
+  }
+  job.set_input_format(format);
+  uint64_t matches = 0;
+  job.set_map([&pattern, &matches](const std::string& record,
+                                   dataflow::Emitter*) -> Status {
+    // Name-only projection: the cheapest possible raw-scan query.
+    events::ClientEventReader single(record);
+    UNILOG_ASSIGN_OR_RETURN(events::ClientEvent ev,
+                            events::ClientEvent::Deserialize(record));
+    if (pattern.Matches(ev.event_name)) ++matches;
+    return Status::OK();
+  });
+  if (!job.Run().ok()) std::abort();
+  QueryCost qc;
+  qc.files = candidate_files;  // unused; reported via stats below
+  qc.bytes_scanned = job.stats().bytes_scanned;
+  qc.modeled_ms = job.stats().modeled_ms;
+  qc.real_ms = timer.ElapsedMs();
+  qc.matches = matches;
+  qc.files = job.stats().map_tasks;
+  return qc;
+}
+
+}  // namespace
+}  // namespace unilog
+
+int main() {
+  using namespace unilog;
+  std::printf("=== E12 / §6: Elephant Twin index push-down for selective "
+              "queries ===\n\n");
+
+  // Larger hierarchy → rarer individual events; many small files per hour
+  // (16 KiB) so selective predicates can actually skip files, as in the
+  // paper's "highly-selective queries" use case.
+  workload::WorkloadOptions wopts = bench::DefaultWorkload(42, 500);
+  wopts.hierarchy_scale = 3;
+  bench::DayFixture fx = bench::BuildDay(wopts, dataflow::JobCostModel{},
+                                         hdfs::HdfsOptions{},
+                                         /*target_file_bytes=*/16 * 1024);
+
+  // Build per-hour indexes (they live alongside the data).
+  bench::WallTimer build_timer;
+  pipeline::DailyPipeline helper(fx.warehouse.get(), dataflow::JobCostModel{});
+  std::vector<std::unique_ptr<etwin::EventNameIndex>> hour_indexes;
+  // A single merged view: reuse one index per hour through a combined
+  // filter. Simplest faithful approach: build and load each, and AND the
+  // accepts (a file belongs to exactly one hour's index).
+  std::vector<etwin::EventNameIndex> indexes;
+  for (const auto& dir : helper.HourDirsFor(bench::kBenchDay)) {
+    if (!etwin::EventNameIndex::BuildForDir(fx.warehouse.get(), dir).ok()) {
+      std::abort();
+    }
+    indexes.push_back(*etwin::EventNameIndex::Load(*fx.warehouse, dir));
+  }
+  std::printf("index build over %zu hourly partitions: %.0f ms\n\n",
+              indexes.size(), build_timer.ElapsedMs());
+
+  // Merge the per-hour indexes into one (serialize/deserialize round trip
+  // keeps this honest: combine name->file maps).
+  // For filtering we wrap all of them: a file passes if ANY index accepts
+  // it and claims it, or no index knows it.
+  struct MergedIndex {
+    std::vector<etwin::EventNameIndex>* parts;
+    std::function<bool(const std::string&)> Filter(
+        const events::EventPattern& pattern) const {
+      std::vector<std::function<bool(const std::string&)>> filters;
+      for (const auto& idx : *parts) filters.push_back(idx.FileFilter(pattern));
+      return [filters](const std::string& path) {
+        // Each per-hour filter accepts unknown files; a file is skipped
+        // only if its owning hour's index rejects it — i.e. all filters
+        // must accept.
+        for (const auto& f : filters) {
+          if (!f(path)) return false;
+        }
+        return true;
+      };
+    }
+  };
+
+  // Query sweep: a broad family, a rare surface, and the two rarest exact
+  // event names observed that day (the "highly-selective" regime §6
+  // targets).
+  dataflow::JobCostModel cost;
+  cost.cluster_slots = 16;
+  std::vector<std::string> patterns = {"*:profile_click",
+                                       "iphone:messages:inbox:thread_list:*"};
+  {
+    auto sorted = fx.daily.histogram.SortedByFrequency();
+    for (size_t i = sorted.size(); i-- > 0 && patterns.size() < 4;) {
+      patterns.push_back(sorted[i].first);
+    }
+  }
+
+  std::printf("%-52s %7s %7s %12s %12s %12s %8s\n", "query", "files",
+              "files*", "scanned*", "modeled_ms*", "modeled_ms", "answer");
+  for (const std::string& pattern : patterns) {
+    QueryCost no_index = RunQuery(fx, pattern, nullptr, cost);
+
+    // With push-down: combine all hour filters.
+    events::EventPattern p(pattern);
+    bench::WallTimer timer;
+    dataflow::MapReduceJob job(fx.warehouse.get(), cost);
+    for (const auto& dir : helper.HourDirsFor(bench::kBenchDay)) {
+      if (!job.AddInputDir(dir).ok()) std::abort();
+    }
+    MergedIndex merged{&indexes};
+    job.set_input_format(dataflow::InputFormat::CompressedFramed()
+                             .WithFileFilter(merged.Filter(p)));
+    uint64_t matches = 0;
+    job.set_map([&p, &matches](const std::string& record,
+                               dataflow::Emitter*) -> Status {
+      UNILOG_ASSIGN_OR_RETURN(events::ClientEvent ev,
+                              events::ClientEvent::Deserialize(record));
+      if (p.Matches(ev.event_name)) ++matches;
+      return Status::OK();
+    });
+    if (!job.Run().ok()) std::abort();
+
+    std::printf("%-52s %7llu %7llu %12s %12.0f %12.0f %8llu%s\n",
+                pattern.c_str(),
+                static_cast<unsigned long long>(no_index.files),
+                static_cast<unsigned long long>(job.stats().map_tasks),
+                HumanBytes(job.stats().bytes_scanned).c_str(),
+                job.stats().modeled_ms, no_index.modeled_ms,
+                static_cast<unsigned long long>(matches),
+                matches == no_index.matches ? "" : "  ANSWER MISMATCH");
+  }
+  std::printf("\n(* = with index push-down; without, every file is "
+              "scanned)\n");
+  std::printf("shape check — the rarer the predicate, the fewer files "
+              "touched, same answers.\n");
+  return 0;
+}

@@ -1,0 +1,117 @@
+// E7 (§5.2): ad hoc event counting over session sequences — the
+// CountClientEvents UDF in both its SUM (total occurrences) and COUNT
+// (sessions containing at least one) variants, plus pattern-expansion
+// cost. Microbenchmarks over an in-memory day of sequences.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "analytics/udfs.h"
+#include "bench_common.h"
+
+namespace unilog {
+namespace {
+
+// One shared fixture for all microbenchmarks (building a day is costly).
+const bench::DayFixture& Fixture() {
+  static const bench::DayFixture* fx = [] {
+    auto* f = new bench::DayFixture(bench::BuildDay(
+        bench::DefaultWorkload(42, 400)));
+    return f;
+  }();
+  return *fx;
+}
+
+void BM_CountSum(benchmark::State& state) {
+  const bench::DayFixture& fx = Fixture();
+  analytics::CountClientEvents udf(fx.daily.dictionary,
+                                   events::EventPattern("*:impression"));
+  for (auto _ : state) {
+    uint64_t total = 0;
+    for (const auto& seq : fx.daily.sequences) {
+      total += udf.Count(seq);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.daily.sequences.size()));
+}
+BENCHMARK(BM_CountSum);
+
+void BM_CountSessionsContaining(benchmark::State& state) {
+  const bench::DayFixture& fx = Fixture();
+  analytics::CountClientEvents udf(fx.daily.dictionary,
+                                   events::EventPattern("*:profile_click"));
+  for (auto _ : state) {
+    uint64_t sessions = 0;
+    for (const auto& seq : fx.daily.sequences) {
+      if (udf.ContainsAny(seq)) ++sessions;
+    }
+    benchmark::DoNotOptimize(sessions);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.daily.sequences.size()));
+}
+BENCHMARK(BM_CountSessionsContaining);
+
+void BM_PatternExpansion(benchmark::State& state) {
+  const bench::DayFixture& fx = Fixture();
+  for (auto _ : state) {
+    auto cps = fx.daily.dictionary.Expand(
+        events::EventPattern("web:home:*:impression"));
+    benchmark::DoNotOptimize(cps);
+  }
+}
+BENCHMARK(BM_PatternExpansion);
+
+void BM_CtrQuery(benchmark::State& state) {
+  const bench::DayFixture& fx = Fixture();
+  for (auto _ : state) {
+    analytics::RateReport report = analytics::ComputeRate(
+        fx.daily.sequences, fx.daily.dictionary,
+        events::EventPattern("*:impression"),
+        events::EventPattern("*:click"));
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fx.daily.sequences.size()));
+}
+BENCHMARK(BM_CtrQuery);
+
+void PrintHeader() {
+  const bench::DayFixture& fx = Fixture();
+  std::printf("=== E7 / §5.2: event counting over session sequences ===\n");
+  analytics::CountClientEvents sum_udf(fx.daily.dictionary,
+                                       events::EventPattern("*:impression"));
+  analytics::CountClientEvents any_udf(
+      fx.daily.dictionary, events::EventPattern("*:profile_click"));
+  uint64_t total = 0, sessions = 0;
+  for (const auto& seq : fx.daily.sequences) {
+    total += sum_udf.Count(seq);
+    if (any_udf.ContainsAny(seq)) ++sessions;
+  }
+  std::printf("day: %zu sessions, %s events\n", fx.daily.sequences.size(),
+              WithCommas(fx.daily.histogram.total_events()).c_str());
+  std::printf("CountClientEvents('*:impression')    SUM   = %llu\n",
+              static_cast<unsigned long long>(total));
+  std::printf("CountClientEvents('*:profile_click') COUNT = %llu sessions\n",
+              static_cast<unsigned long long>(sessions));
+  analytics::RateReport ctr = analytics::ComputeRate(
+      fx.daily.sequences, fx.daily.dictionary,
+      events::EventPattern("*:impression"), events::EventPattern("*:click"));
+  std::printf("CTR = %llu clicks / %llu impressions = %.4f\n\n",
+              static_cast<unsigned long long>(ctr.actions),
+              static_cast<unsigned long long>(ctr.impressions), ctr.rate);
+}
+
+}  // namespace
+}  // namespace unilog
+
+int main(int argc, char** argv) {
+  unilog::PrintHeader();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,150 @@
+// E1 (Figure 1): the Scribe delivery infrastructure end to end —
+// daemons → aggregators → per-datacenter staging clusters → log mover →
+// main warehouse — with fault injection (aggregator crash + staging HDFS
+// outage). The paper claims the pipeline is "robust with respect to
+// transient failures"; this harness quantifies delivery under three
+// scenarios and prints the delivery accounting for each.
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "scribe/cluster.h"
+#include "sim/simulator.h"
+
+namespace unilog {
+namespace {
+
+using bench::kBenchDay;
+
+struct ScenarioResult {
+  scribe::ClusterStats stats;
+  uint64_t warehouse_files = 0;
+  uint64_t staging_files_read = 0;
+  uint64_t hours_moved = 0;
+  uint64_t events_processed = 0;
+};
+
+ScenarioResult RunScenario(const std::string& name, bool crash_aggregator,
+                           bool staging_outage) {
+  Simulator sim(kBenchDay);
+  scribe::ClusterTopology topo;
+  topo.datacenters = {"dc1", "dc2", "dc3"};
+  topo.aggregators_per_dc = 2;
+  topo.daemons_per_dc = 8;
+  scribe::ScribeOptions sopts;
+  sopts.roll_interval_ms = 30 * kMillisPerSecond;
+  scribe::LogMoverOptions mopts;
+  mopts.run_interval_ms = 5 * kMillisPerMinute;
+  mopts.grace_ms = 2 * kMillisPerMinute;
+  scribe::ScribeCluster cluster(&sim, topo, sopts, mopts, /*seed=*/1234);
+  if (!cluster.Start().ok()) std::abort();
+
+  // 3 hours of Poisson-ish traffic: 60k messages across 3 DCs.
+  const int kMessages = 60000;
+  const TimeMs kWindow = 3 * kMillisPerHour;
+  Rng rng(7);
+  TimeMs t = kBenchDay;
+  for (int i = 0; i < kMessages; ++i) {
+    t += static_cast<TimeMs>(rng.Exponential(
+        static_cast<double>(kWindow) / kMessages));
+    if (t >= kBenchDay + kWindow) t = kBenchDay + kWindow - 1;
+    size_t dc = rng.Uniform(3);
+    sim.At(t, [&cluster, dc, i]() {
+      cluster.Log(dc, scribe::LogEntry{
+                          "client_events",
+                          "event-payload-" + std::to_string(i) +
+                              std::string(120, 'x')});
+    });
+  }
+
+  if (crash_aggregator) {
+    sim.At(kBenchDay + 40 * kMillisPerMinute,
+           [&cluster]() { cluster.CrashAggregator(0, 0); });
+    sim.At(kBenchDay + 55 * kMillisPerMinute, [&cluster]() {
+      if (!cluster.RestartAggregator(0, 0).ok()) std::abort();
+    });
+  }
+  if (staging_outage) {
+    sim.At(kBenchDay + 80 * kMillisPerMinute,
+           [&cluster]() { cluster.SetStagingAvailable(1, false); });
+    sim.At(kBenchDay + 100 * kMillisPerMinute,
+           [&cluster]() { cluster.SetStagingAvailable(1, true); });
+  }
+
+  // Run until every closed hour has been moved.
+  sim.RunUntil(kBenchDay + kWindow + 2 * kMillisPerHour);
+
+  ScenarioResult result;
+  result.stats = cluster.TotalStats();
+  result.hours_moved = cluster.mover()->stats().hours_moved;
+  result.staging_files_read = cluster.mover()->stats().staging_files_read;
+  result.events_processed = sim.EventsProcessed();
+  auto files = cluster.warehouse()->ListRecursive("/logs/client_events");
+  result.warehouse_files = files.ok() ? files->size() : 0;
+
+  std::printf(
+      "%-22s logged=%-6llu delivered=%-6llu crash_lost=%-4llu "
+      "dropped=%-3llu rediscoveries=%-3llu staging_files=%-4llu "
+      "warehouse_files=%-3llu hours_moved=%llu\n",
+      name.c_str(),
+      static_cast<unsigned long long>(result.stats.entries_logged),
+      static_cast<unsigned long long>(result.stats.messages_in_warehouse),
+      static_cast<unsigned long long>(result.stats.entries_lost_in_crashes),
+      static_cast<unsigned long long>(
+          result.stats.entries_dropped_at_daemons),
+      static_cast<unsigned long long>(result.stats.daemon_rediscoveries),
+      static_cast<unsigned long long>(result.staging_files_read),
+      static_cast<unsigned long long>(result.warehouse_files),
+      static_cast<unsigned long long>(result.hours_moved));
+  return result;
+}
+
+}  // namespace
+}  // namespace unilog
+
+int main() {
+  std::printf(
+      "=== E1 / Figure 1: Scribe delivery pipeline (3 DCs, 24 daemons, "
+      "6 aggregators, 60k messages over 3h) ===\n");
+  std::printf(
+      "paper: robust, scalable delivery; daemons re-discover aggregators "
+      "via ZooKeeper on crash;\n       aggregators buffer on HDFS outage; "
+      "log mover slides whole hours atomically.\n\n");
+
+  auto healthy = unilog::RunScenario("healthy", false, false);
+  auto crash = unilog::RunScenario("aggregator-crash", true, false);
+  auto outage = unilog::RunScenario("staging-outage", false, true);
+
+  std::printf("\nshape checks:\n");
+  bool healthy_lossless =
+      healthy.stats.messages_in_warehouse == healthy.stats.entries_logged;
+  bool outage_lossless =
+      outage.stats.messages_in_warehouse == outage.stats.entries_logged;
+  double crash_loss_pct =
+      100.0 * static_cast<double>(crash.stats.entries_lost_in_crashes) /
+      static_cast<double>(crash.stats.entries_logged);
+  std::printf("  healthy run lossless:            %s\n",
+              healthy_lossless ? "YES" : "NO");
+  std::printf("  staging outage lossless (buffered): %s\n",
+              outage_lossless ? "YES" : "NO");
+  std::printf(
+      "  crash loss bounded to roll window:  %.2f%% of traffic "
+      "(delivered+lost=logged: %s)\n",
+      crash_loss_pct,
+      crash.stats.messages_in_warehouse + crash.stats.entries_lost_in_crashes ==
+              crash.stats.entries_logged
+          ? "YES"
+          : "NO");
+  std::printf("  daemons re-discovered after crash:  %s\n",
+              crash.stats.daemon_rediscoveries >
+                      healthy.stats.daemon_rediscoveries
+                  ? "YES"
+                  : "NO");
+  std::printf(
+      "  mover merged many staging files into few warehouse files: "
+      "%llu -> %llu\n",
+      static_cast<unsigned long long>(healthy.staging_files_read),
+      static_cast<unsigned long long>(healthy.warehouse_files));
+  return 0;
+}

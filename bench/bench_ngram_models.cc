@@ -1,0 +1,67 @@
+// E9 (§5.4): n-gram language models over session sequences. "Metrics such
+// as cross entropy and perplexity can be used to quantify how well a
+// particular n-gram model explains the data, which gives us a sense of how
+// much temporal signal there is in user behavior." Trains orders 1-5 on a
+// train split of the day's sequences and reports held-out perplexity: the
+// expected shape is a large unigram→bigram drop (the planted follow-up
+// structure) with diminishing returns after.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/utf8.h"
+#include "nlp/ngram_model.h"
+
+int main() {
+  using namespace unilog;
+  std::printf("=== E9 / §5.4: n-gram language models over session "
+              "sequences ===\n\n");
+
+  workload::WorkloadOptions wopts = bench::DefaultWorkload(42, 700);
+  wopts.follow_up_probability = 0.35;  // the planted temporal signal
+  bench::DayFixture fx = bench::BuildDay(wopts);
+
+  // Decode sequences into symbol streams.
+  std::vector<nlp::SymbolSequence> all;
+  for (const auto& seq : fx.daily.sequences) {
+    auto cps = DecodeUtf8(seq.sequence);
+    if (cps.ok() && cps->size() >= 2) all.push_back(std::move(*cps));
+  }
+  size_t train_size = all.size() * 8 / 10;
+  std::vector<nlp::SymbolSequence> train(all.begin(),
+                                         all.begin() + train_size);
+  std::vector<nlp::SymbolSequence> test(all.begin() + train_size, all.end());
+  std::printf("sessions: %zu train / %zu test, alphabet %zu events\n\n",
+              train.size(), test.size(), fx.daily.dictionary.size());
+
+  std::printf("%3s %15s %15s %12s\n", "n", "cross-entropy", "perplexity",
+              "train_ms");
+  std::vector<double> perplexities;
+  for (int n = 1; n <= 5; ++n) {
+    bench::WallTimer timer;
+    nlp::NgramModel model(n, fx.daily.dictionary.size());
+    model.TrainBatch(train);
+    double train_ms = timer.ElapsedMs();
+    double h = model.CrossEntropy(test).value();
+    double ppl = model.Perplexity(test).value();
+    perplexities.push_back(ppl);
+    std::printf("%3d %15.3f %15.1f %12.1f\n", n, h, ppl, train_ms);
+  }
+
+  double bigram_gain = perplexities[0] - perplexities[1];
+  double trigram_gain = perplexities[1] - perplexities[2];
+  std::printf(
+      "\nshape checks:\n"
+      "  bigram << unigram (temporal signal present):            %s\n"
+      "  gains stop after the bigram (behaviour ~1st-order Markov;\n"
+      "    higher orders only pay a sparse-context penalty):      %s "
+      "(unigram->bigram %.1f vs bigram->trigram %.1f)\n",
+      perplexities[1] < 0.7 * perplexities[0] ? "YES" : "NO",
+      bigram_gain > trigram_gain ? "YES" : "NO", bigram_gain, trigram_gain);
+  std::printf(
+      "  (paper: 'how the user behaves right now is strongly influenced "
+      "by immediately\n   preceding actions; less so by an action 5 steps "
+      "ago')\n");
+  return 0;
+}

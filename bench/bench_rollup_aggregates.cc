@@ -1,0 +1,77 @@
+// E4 (§3.2): the five automatic rollup aggregation schemas, computed daily
+// without any intervention from application developers. Prints per-level
+// key counts, the dashboard's top rows, and the aggregation cost.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "events/rollup.h"
+
+int main() {
+  using namespace unilog;
+
+  std::printf("=== E4 / §3.2: automatic rollup aggregates ===\n");
+  bench::WallTimer setup_timer;
+  bench::DayFixture fx = bench::BuildDay(bench::DefaultWorkload());
+  std::printf("day built: %s events, %zu distinct names (%.0f ms)\n\n",
+              WithCommas(fx.daily.histogram.total_events()).c_str(),
+              fx.daily.histogram.distinct_events(), setup_timer.ElapsedMs());
+
+  static const char* kSchemas[] = {
+      "(client, page, section, component, element, action)",
+      "(client, page, section, component, *, action)",
+      "(client, page, section, *, *, action)",
+      "(client, page, *, *, *, action)",
+      "(client, *, *, *, *, action)",
+  };
+  std::printf("%-55s %10s\n", "schema", "keys");
+  for (int level = 0; level < events::kRollupLevels; ++level) {
+    const auto& cells =
+        fx.daily.rollups.Level(static_cast<events::RollupLevel>(level));
+    std::printf("%-55s %10zu\n", kSchemas[level], cells.size());
+  }
+
+  std::printf("\ntop-level dashboard rows (client,*,*,*,*,action) — "
+              "total / logged_in / logged_out:\n");
+  for (const auto& row :
+       fx.daily.rollups.TopRows(events::RollupLevel::kNoPage, 8)) {
+    std::printf("  %s\n", row.c_str());
+  }
+
+  // Per-country breakdown of the top key.
+  const auto& top_level = fx.daily.rollups.Level(events::RollupLevel::kNoPage);
+  if (!top_level.empty()) {
+    const auto* best = &*top_level.begin();
+    for (const auto& kv : top_level) {
+      if (kv.second.total > best->second.total) best = &kv;
+    }
+    std::printf("\nby-country breakdown of %s:\n", best->first.c_str());
+    for (const auto& [country, n] : best->second.by_country) {
+      std::printf("  %-4s %8llu\n", country.c_str(),
+                  static_cast<unsigned long long>(n));
+    }
+  }
+
+  // Cost: recompute the rollups alone over the decoded events.
+  bench::WallTimer rollup_timer;
+  events::RollupAggregator fresh;
+  for (const auto& [name, count] : fx.daily.histogram.counts()) {
+    auto parsed = events::EventName::Parse(name);
+    if (parsed.ok()) fresh.Add(*parsed, "us", true, count);
+  }
+  std::printf("\nrollup recomputation from histogram: %.1f ms for %zu keys\n",
+              rollup_timer.ElapsedMs(), fresh.TotalKeys());
+
+  // Shape check: coarser levels never have more keys.
+  bool monotone = true;
+  for (int level = 1; level < events::kRollupLevels; ++level) {
+    if (fx.daily.rollups.Level(static_cast<events::RollupLevel>(level)).size() >
+        fx.daily.rollups.Level(static_cast<events::RollupLevel>(level - 1))
+            .size()) {
+      monotone = false;
+    }
+  }
+  std::printf("shape check — key count shrinks with coarser schema: %s\n",
+              monotone ? "YES" : "NO");
+  return 0;
+}

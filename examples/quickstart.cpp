@@ -1,0 +1,106 @@
+// Quickstart: the unilog public API in one file.
+//
+// Builds a handful of client events, reconstructs sessions, materializes
+// session sequences through a frequency-ordered dictionary, and runs the
+// two §5 workhorse queries (event counting and a funnel) over them.
+//
+//   ./examples/quickstart
+
+#include <cstdio>
+#include <vector>
+
+#include "analytics/udfs.h"
+#include "common/sim_time.h"
+#include "events/client_event.h"
+#include "sessions/dictionary.h"
+#include "sessions/histogram.h"
+#include "sessions/session_sequence.h"
+#include "sessions/sessionizer.h"
+
+using namespace unilog;
+
+int main() {
+  // --- 1. Log some client events (Table 2 of the paper). ---------------
+  const TimeMs t0 = MakeDate(2012, 8, 21) + 9 * kMillisPerHour;
+  std::vector<events::ClientEvent> log;
+  auto emit = [&](int64_t user, const char* session, TimeMs at,
+                  const char* name) {
+    events::ClientEvent ev;
+    ev.initiator = events::EventInitiator::kClientUser;
+    ev.event_name = name;
+    ev.user_id = user;
+    ev.session_id = session;
+    ev.ip = "10.0.0.1";
+    ev.timestamp = at;
+    log.push_back(ev);
+  };
+  // Alice browses her mentions and clicks through to a profile.
+  emit(1, "sess-a", t0 + 0, "web:home:mentions:stream:tweet:impression");
+  emit(1, "sess-a", t0 + 5000, "web:home:mentions:stream:tweet:impression");
+  emit(1, "sess-a", t0 + 9000, "web:home:mentions:stream:avatar:profile_click");
+  // ... and comes back 45 minutes later (a NEW session: > 30 min gap).
+  emit(1, "sess-a", t0 + 45 * kMillisPerMinute,
+       "web:home:mentions:stream:tweet:impression");
+  // Bob signs up on his iPhone and completes two funnel stages.
+  emit(2, "sess-b", t0 + 1000, "iphone:signup:flow:form:page:stage_00");
+  emit(2, "sess-b", t0 + 20000, "iphone:signup:flow:form:page:stage_01");
+
+  // Every event serializes to compact Thrift and back.
+  std::string wire = log[0].Serialize();
+  auto parsed = events::ClientEvent::Deserialize(wire);
+  std::printf("wire format: %zu bytes/event, round-trips: %s\n\n",
+              wire.size(), parsed.ok() && *parsed == log[0] ? "yes" : "NO");
+
+  // --- 2. Daily jobs: histogram -> dictionary -> sessions. -------------
+  sessions::EventHistogram histogram;
+  sessions::Sessionizer sessionizer;  // 30-minute inactivity gap (§4.2)
+  for (const auto& ev : log) {
+    histogram.Add(ev.event_name);
+    sessionizer.Add(ev);
+  }
+  auto dict =
+      sessions::EventDictionary::FromSortedCounts(histogram.SortedByFrequency());
+  if (!dict.ok()) return 1;
+  std::printf("dictionary: %zu event types; most frequent gets code point "
+              "U+%04X\n",
+              dict->size(),
+              dict->CodePointFor("web:home:mentions:stream:tweet:impression")
+                  .value());
+
+  std::vector<sessions::SessionSequence> sequences;
+  for (const auto& session : sessionizer.Build()) {
+    auto seq = sessions::EncodeSession(session, *dict);
+    if (!seq.ok()) return 1;
+    sequences.push_back(*seq);
+  }
+  std::printf("sessions reconstructed: %zu (note the 45-min gap split "
+              "Alice's activity in two)\n\n",
+              sequences.size());
+
+  // --- 3. Queries over sequences (§5). ----------------------------------
+  analytics::CountClientEvents impressions(*dict,
+                                           events::EventPattern("*:impression"));
+  analytics::CountClientEvents clicks(
+      *dict, events::EventPattern("*:profile_click"));
+  uint64_t total_impressions = 0, sessions_with_click = 0;
+  for (const auto& seq : sequences) {
+    total_impressions += impressions.Count(seq);
+    if (clicks.ContainsAny(seq)) ++sessions_with_click;
+  }
+  std::printf("CountClientEvents('*:impression')    SUM   = %llu\n",
+              (unsigned long long)total_impressions);
+  std::printf("CountClientEvents('*:profile_click') COUNT = %llu sessions\n",
+              (unsigned long long)sessions_with_click);
+
+  auto funnel = analytics::Funnel::Make(
+      *dict, {"iphone:signup:flow:form:page:stage_00",
+              "iphone:signup:flow:form:page:stage_01"});
+  if (!funnel.ok()) return 1;
+  auto stage_counts = funnel->StageCounts(sequences);
+  std::printf("signup funnel: ");
+  for (size_t s = 0; s < stage_counts.size(); ++s) {
+    std::printf("(%zu, %llu) ", s, (unsigned long long)stage_counts[s]);
+  }
+  std::printf("\n");
+  return 0;
+}

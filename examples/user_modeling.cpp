@@ -1,0 +1,123 @@
+// User modeling over session sequences (§5.4 + §6): n-gram language
+// models quantifying temporal signal, activity-collocation mining, and
+// alignment-based "query by example" for finding behaviourally-similar
+// sessions.
+//
+//   ./examples/user_modeling
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analytics/lifeflow.h"
+#include "common/utf8.h"
+#include "events/client_event.h"
+#include "nlp/alignment.h"
+#include "nlp/collocations.h"
+#include "nlp/grammar.h"
+#include "nlp/ngram_model.h"
+#include "sessions/dictionary.h"
+#include "sessions/histogram.h"
+#include "sessions/session_sequence.h"
+#include "sessions/sessionizer.h"
+#include "workload/generator.h"
+
+using namespace unilog;
+
+int main() {
+  // Generate a day of behaviour and materialize sequences in memory.
+  workload::WorkloadOptions opts;
+  opts.seed = 7;
+  opts.num_users = 500;
+  opts.start = MakeDate(2012, 8, 21);
+  opts.duration = kMillisPerDay - 2 * kMillisPerHour;
+  opts.follow_up_probability = 0.35;
+  workload::WorkloadGenerator generator(opts);
+
+  sessions::EventHistogram histogram;
+  sessions::Sessionizer sessionizer;
+  if (!generator.Generate([&](const events::ClientEvent& ev) {
+        histogram.Add(ev.event_name);
+        sessionizer.Add(ev);
+      }).ok()) {
+    return 1;
+  }
+  auto dict =
+      sessions::EventDictionary::FromSortedCounts(histogram.SortedByFrequency());
+  std::vector<nlp::SymbolSequence> symbol_seqs;
+  for (const auto& session : sessionizer.Build()) {
+    auto seq = sessions::EncodeSession(session, *dict);
+    auto cps = DecodeUtf8(seq->sequence);
+    if (cps.ok() && cps->size() >= 3) symbol_seqs.push_back(*cps);
+  }
+  std::printf("sessions: %zu, alphabet: %zu events\n\n", symbol_seqs.size(),
+              dict->size());
+
+  // --- Language models: how much does history help? --------------------
+  size_t split = symbol_seqs.size() * 8 / 10;
+  std::vector<nlp::SymbolSequence> train(symbol_seqs.begin(),
+                                         symbol_seqs.begin() + split);
+  std::vector<nlp::SymbolSequence> test(symbol_seqs.begin() + split,
+                                        symbol_seqs.end());
+  std::printf("n-gram perplexity on held-out sessions:\n");
+  for (int n = 1; n <= 3; ++n) {
+    nlp::NgramModel model(n, dict->size());
+    model.TrainBatch(train);
+    std::printf("  %d-gram: %.1f\n", n, model.Perplexity(test).value());
+  }
+
+  // --- Collocations: which actions go together? ------------------------
+  nlp::CollocationFinder finder;
+  for (const auto& seq : symbol_seqs) finder.Add(seq);
+  std::printf("\ntop activity collocates by log-likelihood ratio:\n");
+  for (const auto& c : finder.TopByLlr(5)) {
+    std::printf("  llr=%8.1f  %s -> %s\n", c.llr,
+                dict->NameFor(c.first).value().c_str(),
+                dict->NameFor(c.second).value().c_str());
+  }
+
+  // --- Query by example: who behaves like this session? ----------------
+  const nlp::SymbolSequence& example = symbol_seqs.front();
+  std::vector<nlp::SymbolSequence> candidates(symbol_seqs.begin() + 1,
+                                              symbol_seqs.end());
+  auto ranked = nlp::QueryByExample(example, candidates, 3);
+  std::printf("\nquery-by-example: sessions most similar to session #0 "
+              "(%zu events):\n",
+              example.size());
+  for (const auto& [index, score] : ranked) {
+    std::printf("  session #%zu  alignment score %.1f (%zu events)\n",
+                index + 1, score, candidates[index].size());
+  }
+
+  // --- Grammar induction (§6): behavioural "phrases". -------------------
+  auto grammar = nlp::InducedGrammar::Induce(symbol_seqs);
+  std::printf("\ninduced grammar: %zu rules, corpus compresses to %.0f%% "
+              "of its length\n",
+              grammar.rules().size(),
+              100.0 * grammar.CompressionRatio(symbol_seqs));
+  for (size_t i = 0; i < grammar.rules().size() && i < 3; ++i) {
+    const auto& rule = grammar.rules()[i];
+    std::printf("  phrase #%zu (seen %llu times):", i + 1,
+                (unsigned long long)rule.count);
+    for (uint32_t terminal : grammar.Expand(rule.nonterminal)) {
+      auto name = dict->NameFor(terminal);
+      std::printf(" %s", name.ok() ? name->c_str() : "?");
+    }
+    std::printf("\n");
+  }
+
+  // --- LifeFlow (§6): the common navigation paths, as a tree. -----------
+  std::printf("\nLifeFlow view (top branches of the first 3 levels):\n");
+  std::vector<std::vector<std::string>> paths;
+  for (const auto& seq : symbol_seqs) {
+    std::vector<std::string> names;
+    for (size_t i = 0; i < seq.size() && i < 3; ++i) {
+      auto name = dict->NameFor(seq[i]);
+      if (name.ok()) names.push_back(*name);
+    }
+    paths.push_back(std::move(names));
+  }
+  auto tree = analytics::LifeFlowTree::Build(paths, /*max_depth=*/3);
+  std::printf("%s", tree.Render(/*max_children=*/2).c_str());
+  return 0;
+}

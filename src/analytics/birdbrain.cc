@@ -1,0 +1,103 @@
+#include "analytics/birdbrain.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace unilog::analytics {
+
+void BirdBrain::Record(TimeMs date, DailySummary summary) {
+  days_[TruncateToDay(date)] = std::move(summary);
+}
+
+const DailySummary* BirdBrain::Day(TimeMs date) const {
+  auto it = days_.find(TruncateToDay(date));
+  return it == days_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<TimeMs, uint64_t>> BirdBrain::SessionsSeries() const {
+  std::vector<std::pair<TimeMs, uint64_t>> out;
+  out.reserve(days_.size());
+  for (const auto& [date, summary] : days_) {
+    out.emplace_back(date, summary.sessions);
+  }
+  return out;
+}
+
+Result<double> BirdBrain::GrowthRatio() const {
+  if (days_.size() < 2) {
+    return Status::FailedPrecondition("need at least two days");
+  }
+  uint64_t first = days_.begin()->second.sessions;
+  uint64_t last = days_.rbegin()->second.sessions;
+  if (first == 0) return Status::FailedPrecondition("first day empty");
+  return static_cast<double>(last) / static_cast<double>(first);
+}
+
+std::string BirdBrain::Render() const {
+  std::ostringstream os;
+  os << "=== BirdBrain: daily user sessions ===\n";
+  uint64_t peak = 1;
+  for (const auto& [date, summary] : days_) {
+    peak = std::max(peak, summary.sessions);
+  }
+  for (const auto& [date, summary] : days_) {
+    int bar = static_cast<int>(40.0 * static_cast<double>(summary.sessions) /
+                               static_cast<double>(peak) + 0.5);
+    os << DateString(date) << " " << std::string(bar, '#') << " "
+       << summary.sessions << "\n";
+  }
+  if (!days_.empty()) {
+    const DailySummary& latest = days_.rbegin()->second;
+    os << "\nlatest day (" << DateString(days_.rbegin()->first)
+       << "): " << latest.sessions << " sessions, " << latest.events
+       << " events, " << latest.distinct_users << " users\n";
+    os << "by client:";
+    for (const auto& [client, n] : latest.sessions_by_client) {
+      os << " " << client << "=" << n;
+    }
+    os << "\nby duration:";
+    for (const auto& [bucket, n] : latest.sessions_by_duration_bucket) {
+      os << " " << bucket << "=" << n;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+Result<std::string> BirdBrain::RenderDrillDown(
+    const std::string& dimension) const {
+  if (days_.empty()) return Status::FailedPrecondition("no days recorded");
+  std::ostringstream os;
+  os << "sessions by " << dimension << " per day:\n";
+  // Collect the key space.
+  std::vector<std::string> keys;
+  for (const auto& [date, summary] : days_) {
+    const auto& m = dimension == "client" ? summary.sessions_by_client
+                                          : summary.sessions_by_duration_bucket;
+    for (const auto& [k, v] : m) {
+      if (std::find(keys.begin(), keys.end(), k) == keys.end()) {
+        keys.push_back(k);
+      }
+    }
+  }
+  if (dimension != "client" && dimension != "duration") {
+    return Status::InvalidArgument("unknown dimension: " + dimension);
+  }
+  std::sort(keys.begin(), keys.end());
+  os << "date      ";
+  for (const auto& k : keys) os << " " << k;
+  os << "\n";
+  for (const auto& [date, summary] : days_) {
+    const auto& m = dimension == "client" ? summary.sessions_by_client
+                                          : summary.sessions_by_duration_bucket;
+    os << DateString(date);
+    for (const auto& k : keys) {
+      auto it = m.find(k);
+      os << " " << (it == m.end() ? 0 : it->second);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace unilog::analytics

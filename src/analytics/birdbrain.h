@@ -1,0 +1,51 @@
+#ifndef UNILOG_ANALYTICS_BIRDBRAIN_H_
+#define UNILOG_ANALYTICS_BIRDBRAIN_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analytics/summary.h"
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+
+namespace unilog::analytics {
+
+/// The BirdBrain dashboard (§5.1): collects the daily summaries produced
+/// from session sequences and "displays the number of user sessions daily
+/// and plotted as a function of time, which ... lets us monitor the
+/// growth of the service over time and spot trends", with drill-down by
+/// client type and bucketed session duration.
+class BirdBrain {
+ public:
+  /// Records one day's summary. Re-recording a date overwrites it (daily
+  /// jobs may be re-run).
+  void Record(TimeMs date, DailySummary summary);
+
+  size_t days() const { return days_.size(); }
+  const DailySummary* Day(TimeMs date) const;
+
+  /// (date, sessions) series in date order.
+  std::vector<std::pair<TimeMs, uint64_t>> SessionsSeries() const;
+
+  /// Day-over-day growth of sessions between the first and last recorded
+  /// day, as a ratio (1.0 = flat). Requires >= 2 days.
+  Result<double> GrowthRatio() const;
+
+  /// Renders the dashboard: a text time-series plot of daily sessions
+  /// (one bar row per day) followed by the latest day's drill-downs.
+  std::string Render() const;
+
+  /// Renders one metric's drill-down as of the latest day: "client" or
+  /// "duration".
+  Result<std::string> RenderDrillDown(const std::string& dimension) const;
+
+ private:
+  std::map<TimeMs, DailySummary> days_;
+};
+
+}  // namespace unilog::analytics
+
+#endif  // UNILOG_ANALYTICS_BIRDBRAIN_H_

@@ -1,0 +1,109 @@
+#include "analytics/lifeflow.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace unilog::analytics {
+
+LifeFlowTree LifeFlowTree::Build(
+    const std::vector<std::vector<std::string>>& paths, size_t max_depth) {
+  LifeFlowTree tree;
+  tree.root_.event = "<start>";
+  for (const auto& path : paths) {
+    ++tree.root_.count;
+    Node* node = &tree.root_;
+    size_t depth = 0;
+    for (const auto& event : path) {
+      if (max_depth != 0 && depth >= max_depth) break;
+      Node* child = nullptr;
+      for (auto& c : node->children) {
+        if (c->event == event) {
+          child = c.get();
+          break;
+        }
+      }
+      if (child == nullptr) {
+        node->children.push_back(std::make_unique<Node>());
+        child = node->children.back().get();
+        child->event = event;
+      }
+      ++child->count;
+      node = child;
+      ++depth;
+    }
+    ++node->terminals;
+  }
+  return tree;
+}
+
+Result<LifeFlowTree> LifeFlowTree::FromSequences(
+    const std::vector<sessions::SessionSequence>& seqs,
+    const sessions::EventDictionary& dict, size_t max_depth) {
+  std::vector<std::vector<std::string>> paths;
+  paths.reserve(seqs.size());
+  for (const auto& seq : seqs) {
+    UNILOG_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                            dict.DecodeToNames(seq.sequence));
+    paths.push_back(std::move(names));
+  }
+  return Build(paths, max_depth);
+}
+
+namespace {
+
+void RenderNode(const LifeFlowTree::Node& node, uint64_t total, int depth,
+                size_t max_children, std::ostringstream* os) {
+  // Weight bar proportional to the share of all sessions.
+  int bar = total == 0 ? 0
+                       : static_cast<int>(10.0 * static_cast<double>(node.count) /
+                                          static_cast<double>(total) + 0.5);
+  for (int i = 0; i < depth; ++i) *os << "  ";
+  for (int i = 0; i < bar; ++i) *os << '#';
+  if (bar > 0) *os << ' ';
+  *os << node.count << " " << node.event;
+  if (node.terminals > 0 && !node.children.empty()) {
+    *os << " (" << node.terminals << " end here)";
+  }
+  *os << "\n";
+
+  std::vector<const LifeFlowTree::Node*> sorted;
+  for (const auto& c : node.children) sorted.push_back(c.get());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const LifeFlowTree::Node* a, const LifeFlowTree::Node* b) {
+              if (a->count != b->count) return a->count > b->count;
+              return a->event < b->event;
+            });
+  uint64_t elided_sessions = 0;
+  size_t elided_nodes = 0;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i < max_children) {
+      RenderNode(*sorted[i], total, depth + 1, max_children, os);
+    } else {
+      elided_sessions += sorted[i]->count;
+      ++elided_nodes;
+    }
+  }
+  if (elided_nodes > 0) {
+    for (int i = 0; i < depth + 1; ++i) *os << "  ";
+    *os << "... " << elided_nodes << " more branches (" << elided_sessions
+        << " sessions)\n";
+  }
+}
+
+size_t CountNodes(const LifeFlowTree::Node& node) {
+  size_t n = 1;
+  for (const auto& c : node.children) n += CountNodes(*c);
+  return n;
+}
+
+}  // namespace
+
+std::string LifeFlowTree::Render(size_t max_children) const {
+  std::ostringstream os;
+  RenderNode(root_, root_.count, 0, max_children, &os);
+  return os.str();
+}
+
+size_t LifeFlowTree::NodeCount() const { return CountNodes(root_); }
+
+}  // namespace unilog::analytics

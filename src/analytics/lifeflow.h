@@ -1,0 +1,57 @@
+#ifndef UNILOG_ANALYTICS_LIFEFLOW_H_
+#define UNILOG_ANALYTICS_LIFEFLOW_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "sessions/dictionary.h"
+#include "sessions/session_sequence.h"
+
+namespace unilog::analytics {
+
+/// A LifeFlow-style aggregation of event sequences (§6 cites
+/// Wongsuphasawat et al.'s LifeFlow): all sessions are overlaid on a
+/// prefix tree whose nodes are events, so common navigation paths become
+/// heavy branches. The paper uses this "to provide data scientists a
+/// visual interface for exploring sessions"; here the tree renders as
+/// text, with node weight bars.
+class LifeFlowTree {
+ public:
+  struct Node {
+    std::string event;
+    uint64_t count = 0;       // sessions passing through this node
+    uint64_t terminals = 0;   // sessions ending exactly here
+    std::vector<std::unique_ptr<Node>> children;
+  };
+
+  /// Builds from decoded event-name sequences, keeping at most
+  /// `max_depth` levels (0 = unlimited).
+  static LifeFlowTree Build(const std::vector<std::vector<std::string>>& paths,
+                            size_t max_depth = 6);
+
+  /// Convenience: decodes sequences through a dictionary first.
+  static Result<LifeFlowTree> FromSequences(
+      const std::vector<sessions::SessionSequence>& seqs,
+      const sessions::EventDictionary& dict, size_t max_depth = 6);
+
+  /// Renders the tree: each line is `<indent><bar> <count> <event>`, with
+  /// children sorted by descending count and fan-out capped at
+  /// `max_children` per node (the long tail is summarized).
+  std::string Render(size_t max_children = 3) const;
+
+  uint64_t total_sessions() const { return root_.count; }
+  size_t NodeCount() const;
+
+  const Node& root() const { return root_; }
+
+ private:
+  Node root_;
+};
+
+}  // namespace unilog::analytics
+
+#endif  // UNILOG_ANALYTICS_LIFEFLOW_H_

@@ -1,0 +1,211 @@
+#include "analytics/pig_stdlib.h"
+
+#include <memory>
+
+#include "analytics/udfs.h"
+#include "common/compress.h"
+#include "common/utf8.h"
+#include "events/client_event.h"
+#include "sessions/dictionary.h"
+#include "sessions/session_sequence.h"
+
+namespace unilog::analytics {
+
+using dataflow::PigInterpreter;
+using dataflow::Relation;
+using dataflow::Value;
+
+namespace {
+
+/// Shared state between the loaders and the dictionary-dependent UDFs.
+struct Stdlib {
+  const hdfs::MiniHdfs* warehouse = nullptr;
+  std::shared_ptr<sessions::EventDictionary> dict;
+
+  Result<std::shared_ptr<sessions::EventDictionary>> Dictionary() const {
+    if (dict == nullptr) {
+      return Status::FailedPrecondition(
+          "no sequence partition loaded yet (LOAD ... USING "
+          "SessionSequencesLoader() first)");
+    }
+    return dict;
+  }
+};
+
+Result<Relation> LoadSequences(std::shared_ptr<Stdlib> lib,
+                               const std::string& path) {
+  // path is a partition dir like /session_sequences/2012-08-21.
+  UNILOG_ASSIGN_OR_RETURN(std::string dict_blob,
+                          lib->warehouse->ReadFile(path + "/_dictionary"));
+  UNILOG_ASSIGN_OR_RETURN(sessions::EventDictionary dict,
+                          sessions::EventDictionary::Deserialize(dict_blob));
+  lib->dict = std::make_shared<sessions::EventDictionary>(std::move(dict));
+
+  Relation rel({"user_id", "session_id", "ip", "sequence", "duration"});
+  UNILOG_ASSIGN_OR_RETURN(auto files, lib->warehouse->ListRecursive(path));
+  for (const auto& file : files) {
+    size_t slash = file.path.rfind('/');
+    if (file.path[slash + 1] == '_') continue;
+    UNILOG_ASSIGN_OR_RETURN(std::string blob,
+                            lib->warehouse->ReadFile(file.path));
+    UNILOG_ASSIGN_OR_RETURN(std::string body, Lz::Decompress(blob));
+    sessions::SequenceRecordReader reader(body);
+    sessions::SessionSequence seq;
+    while (true) {
+      Status st = reader.Next(&seq);
+      if (st.IsNotFound()) break;
+      UNILOG_RETURN_NOT_OK(st);
+      UNILOG_RETURN_NOT_OK(rel.AddRow(
+          {Value::Int(seq.user_id), Value::Str(seq.session_id),
+           Value::Str(seq.ip), Value::Str(seq.sequence),
+           Value::Int(seq.duration_seconds)}));
+    }
+  }
+  return rel;
+}
+
+Result<Relation> LoadClientEvents(std::shared_ptr<Stdlib> lib,
+                                  const std::string& path) {
+  Relation rel({"initiator", "event_name", "user_id", "session_id", "ip",
+                "timestamp"});
+  UNILOG_ASSIGN_OR_RETURN(auto files, lib->warehouse->ListRecursive(path));
+  for (const auto& file : files) {
+    size_t slash = file.path.rfind('/');
+    if (file.path[slash + 1] == '_') continue;
+    UNILOG_ASSIGN_OR_RETURN(std::string blob,
+                            lib->warehouse->ReadFile(file.path));
+    UNILOG_ASSIGN_OR_RETURN(std::string body, Lz::Decompress(blob));
+    events::ClientEventReader reader(body);
+    events::ClientEvent ev;
+    while (true) {
+      Status st = reader.Next(&ev);
+      if (st.IsNotFound()) break;
+      UNILOG_RETURN_NOT_OK(st);
+      UNILOG_RETURN_NOT_OK(rel.AddRow(
+          {Value::Str(events::EventInitiatorName(ev.initiator)),
+           Value::Str(ev.event_name), Value::Int(ev.user_id),
+           Value::Str(ev.session_id), Value::Str(ev.ip),
+           Value::Int(ev.timestamp)}));
+    }
+  }
+  return rel;
+}
+
+}  // namespace
+
+void InstallPigStdlib(PigInterpreter* pig, const hdfs::MiniHdfs* warehouse) {
+  auto lib = std::make_shared<Stdlib>();
+  lib->warehouse = warehouse;
+
+  pig->RegisterLoader(
+      "SessionSequencesLoader",
+      [lib](const std::string& path, const std::vector<std::string>&) {
+        return LoadSequences(lib, path);
+      });
+  pig->RegisterLoader(
+      "ClientEventsLoader",
+      [lib](const std::string& path, const std::vector<std::string>&) {
+        return LoadClientEvents(lib, path);
+      });
+
+  pig->RegisterUdfFactory(
+      "CountClientEvents",
+      [lib](const std::vector<std::string>& args)
+          -> Result<PigInterpreter::ScalarUdf> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument(
+              "CountClientEvents takes one pattern argument");
+        }
+        std::string pattern = args[0];
+        // Lazily bind the dictionary at first evaluation (DEFINE may run
+        // before LOAD in a script).
+        auto counter = std::make_shared<std::unique_ptr<CountClientEvents>>();
+        return PigInterpreter::ScalarUdf(
+            [lib, pattern, counter](const std::vector<Value>& call_args)
+                -> Result<Value> {
+              if (call_args.size() != 1 || !call_args[0].is_str()) {
+                return Status::InvalidArgument(
+                    "CountClientEvents(sequence) expects one string column");
+              }
+              if (*counter == nullptr) {
+                UNILOG_ASSIGN_OR_RETURN(auto dict, lib->Dictionary());
+                *counter = std::make_unique<CountClientEvents>(
+                    *dict, events::EventPattern(pattern));
+              }
+              return Value::Int(static_cast<int64_t>(
+                  (*counter)->Count(call_args[0].str_value())));
+            });
+      });
+
+  pig->RegisterUdfFactory(
+      "ContainsClientEvents",
+      [lib](const std::vector<std::string>& args)
+          -> Result<PigInterpreter::ScalarUdf> {
+        if (args.size() != 1) {
+          return Status::InvalidArgument(
+              "ContainsClientEvents takes one pattern argument");
+        }
+        std::string pattern = args[0];
+        auto counter = std::make_shared<std::unique_ptr<CountClientEvents>>();
+        return PigInterpreter::ScalarUdf(
+            [lib, pattern, counter](const std::vector<Value>& call_args)
+                -> Result<Value> {
+              if (call_args.size() != 1 || !call_args[0].is_str()) {
+                return Status::InvalidArgument(
+                    "ContainsClientEvents(sequence) expects one string "
+                    "column");
+              }
+              if (*counter == nullptr) {
+                UNILOG_ASSIGN_OR_RETURN(auto dict, lib->Dictionary());
+                *counter = std::make_unique<CountClientEvents>(
+                    *dict, events::EventPattern(pattern));
+              }
+              return Value::Int(
+                  (*counter)->Count(call_args[0].str_value()) > 0 ? 1 : 0);
+            });
+      });
+
+  pig->RegisterUdfFactory(
+      "ClientEventsFunnel",
+      [lib](const std::vector<std::string>& args)
+          -> Result<PigInterpreter::ScalarUdf> {
+        if (args.empty()) {
+          return Status::InvalidArgument(
+              "ClientEventsFunnel needs at least one stage event");
+        }
+        std::vector<std::string> stages = args;
+        auto funnel = std::make_shared<std::unique_ptr<Funnel>>();
+        return PigInterpreter::ScalarUdf(
+            [lib, stages, funnel](const std::vector<Value>& call_args)
+                -> Result<Value> {
+              if (call_args.size() != 1 || !call_args[0].is_str()) {
+                return Status::InvalidArgument(
+                    "ClientEventsFunnel(sequence) expects one string column");
+              }
+              if (*funnel == nullptr) {
+                UNILOG_ASSIGN_OR_RETURN(auto dict, lib->Dictionary());
+                UNILOG_ASSIGN_OR_RETURN(Funnel f, Funnel::Make(*dict, stages));
+                *funnel = std::make_unique<Funnel>(std::move(f));
+              }
+              return Value::Int(static_cast<int64_t>(
+                  (*funnel)->StagesCompleted(call_args[0].str_value())));
+            });
+      });
+
+  pig->RegisterUdfFactory(
+      "EventCount",
+      [](const std::vector<std::string>&)
+          -> Result<PigInterpreter::ScalarUdf> {
+        return PigInterpreter::ScalarUdf(
+            [](const std::vector<Value>& call_args) -> Result<Value> {
+              if (call_args.size() != 1 || !call_args[0].is_str()) {
+                return Status::InvalidArgument(
+                    "EventCount(sequence) expects one string column");
+              }
+              return Value::Int(static_cast<int64_t>(
+                  Utf8Length(call_args[0].str_value())));
+            });
+      });
+}
+
+}  // namespace unilog::analytics

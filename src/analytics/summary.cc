@@ -1,0 +1,85 @@
+#include "analytics/summary.h"
+
+#include <set>
+#include <sstream>
+
+#include "common/utf8.h"
+
+namespace unilog::analytics {
+
+const char* DurationBucketLabel(DurationBucket b) {
+  switch (b) {
+    case DurationBucket::kZero:
+      return "0s";
+    case DurationBucket::kUnder10s:
+      return "1-10s";
+    case DurationBucket::kUnder1m:
+      return "11-60s";
+    case DurationBucket::kUnder5m:
+      return "1-5m";
+    case DurationBucket::kUnder30m:
+      return "5-30m";
+    case DurationBucket::kOver30m:
+      return ">30m";
+  }
+  return "?";
+}
+
+DurationBucket BucketFor(int32_t duration_seconds) {
+  if (duration_seconds <= 0) return DurationBucket::kZero;
+  if (duration_seconds <= 10) return DurationBucket::kUnder10s;
+  if (duration_seconds <= 60) return DurationBucket::kUnder1m;
+  if (duration_seconds <= 300) return DurationBucket::kUnder5m;
+  if (duration_seconds <= 1800) return DurationBucket::kUnder30m;
+  return DurationBucket::kOver30m;
+}
+
+Result<DailySummary> Summarize(
+    const std::vector<sessions::SessionSequence>& seqs,
+    const sessions::EventDictionary& dict) {
+  DailySummary out;
+  std::set<int64_t> users;
+  double total_duration = 0;
+  for (const auto& seq : seqs) {
+    ++out.sessions;
+    out.events += seq.EventCount();
+    users.insert(seq.user_id);
+    total_duration += seq.duration_seconds;
+    ++out.sessions_by_duration_bucket[DurationBucketLabel(
+        BucketFor(seq.duration_seconds))];
+    // Client type: the client component of the first event's name.
+    if (!seq.sequence.empty()) {
+      size_t pos = 0;
+      uint32_t cp;
+      UNILOG_RETURN_NOT_OK(DecodeOneUtf8(seq.sequence, &pos, &cp));
+      UNILOG_ASSIGN_OR_RETURN(std::string name, dict.NameFor(cp));
+      size_t colon = name.find(':');
+      ++out.sessions_by_client[name.substr(0, colon)];
+    }
+  }
+  out.distinct_users = users.size();
+  if (out.sessions > 0) {
+    out.avg_events_per_session =
+        static_cast<double>(out.events) / static_cast<double>(out.sessions);
+    out.avg_duration_seconds = total_duration / static_cast<double>(out.sessions);
+  }
+  return out;
+}
+
+std::string DailySummary::ToString() const {
+  std::ostringstream os;
+  os << "sessions=" << sessions << " events=" << events
+     << " users=" << distinct_users << " avg_events/session="
+     << avg_events_per_session << " avg_duration_s=" << avg_duration_seconds
+     << "\n  by_client:";
+  for (const auto& [client, n] : sessions_by_client) {
+    os << " " << client << "=" << n;
+  }
+  os << "\n  by_duration:";
+  for (const auto& [bucket, n] : sessions_by_duration_bucket) {
+    os << " " << bucket << "=" << n;
+  }
+  return os.str();
+}
+
+}  // namespace unilog::analytics

@@ -1,0 +1,113 @@
+#include "analytics/udfs.h"
+
+#include "common/utf8.h"
+
+namespace unilog::analytics {
+
+CountClientEvents::CountClientEvents(const sessions::EventDictionary& dict,
+                                     const events::EventPattern& pattern) {
+  for (uint32_t cp : dict.Expand(pattern)) targets_.insert(cp);
+}
+
+uint64_t CountClientEvents::Count(std::string_view sequence_utf8) const {
+  uint64_t count = 0;
+  size_t pos = 0;
+  uint32_t cp;
+  while (pos < sequence_utf8.size()) {
+    if (!DecodeOneUtf8(sequence_utf8, &pos, &cp).ok()) break;
+    if (targets_.count(cp)) ++count;
+  }
+  return count;
+}
+
+uint64_t CountClientEvents::Count(const sessions::SessionSequence& seq) const {
+  return Count(seq.sequence);
+}
+
+bool CountClientEvents::ContainsAny(
+    const sessions::SessionSequence& seq) const {
+  size_t pos = 0;
+  uint32_t cp;
+  while (pos < seq.sequence.size()) {
+    if (!DecodeOneUtf8(seq.sequence, &pos, &cp).ok()) break;
+    if (targets_.count(cp)) return true;
+  }
+  return false;
+}
+
+Result<Funnel> Funnel::Make(const sessions::EventDictionary& dict,
+                            const std::vector<std::string>& stage_events) {
+  if (stage_events.empty()) {
+    return Status::InvalidArgument("funnel needs at least one stage");
+  }
+  Funnel funnel;
+  for (const auto& name : stage_events) {
+    UNILOG_ASSIGN_OR_RETURN(uint32_t cp, dict.CodePointFor(name));
+    funnel.stages_.push_back(cp);
+  }
+  return funnel;
+}
+
+size_t Funnel::StagesCompleted(std::string_view sequence_utf8) const {
+  size_t stage = 0;
+  size_t pos = 0;
+  uint32_t cp;
+  while (stage < stages_.size() && pos < sequence_utf8.size()) {
+    if (!DecodeOneUtf8(sequence_utf8, &pos, &cp).ok()) break;
+    if (cp == stages_[stage]) ++stage;
+  }
+  return stage;
+}
+
+size_t Funnel::StagesCompleted(const sessions::SessionSequence& seq) const {
+  return StagesCompleted(seq.sequence);
+}
+
+std::vector<uint64_t> Funnel::StageCounts(
+    const std::vector<sessions::SessionSequence>& seqs) const {
+  std::vector<uint64_t> counts(stages_.size(), 0);
+  for (const auto& seq : seqs) {
+    size_t completed = StagesCompleted(seq);
+    for (size_t i = 0; i < completed; ++i) ++counts[i];
+  }
+  return counts;
+}
+
+std::vector<double> Funnel::AbandonmentRates(
+    const std::vector<sessions::SessionSequence>& seqs) const {
+  std::vector<uint64_t> counts = StageCounts(seqs);
+  std::vector<double> rates;
+  for (size_t i = 0; i + 1 < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      rates.push_back(0.0);
+    } else {
+      rates.push_back(1.0 - static_cast<double>(counts[i + 1]) /
+                                static_cast<double>(counts[i]));
+    }
+  }
+  return rates;
+}
+
+RateReport ComputeRate(const std::vector<sessions::SessionSequence>& seqs,
+                       const sessions::EventDictionary& dict,
+                       const events::EventPattern& impression_pattern,
+                       const events::EventPattern& action_pattern) {
+  CountClientEvents impressions(dict, impression_pattern);
+  CountClientEvents actions(dict, action_pattern);
+  RateReport report;
+  for (const auto& seq : seqs) {
+    uint64_t imp = impressions.Count(seq);
+    uint64_t act = actions.Count(seq);
+    report.impressions += imp;
+    report.actions += act;
+    if (imp > 0) ++report.sessions_with_impression;
+    if (act > 0) ++report.sessions_with_action;
+  }
+  report.rate = report.impressions == 0
+                    ? 0.0
+                    : static_cast<double>(report.actions) /
+                          static_cast<double>(report.impressions);
+  return report;
+}
+
+}  // namespace unilog::analytics

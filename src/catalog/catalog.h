@@ -1,0 +1,91 @@
+#ifndef UNILOG_CATALOG_CATALOG_H_
+#define UNILOG_CATALOG_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "events/event_name.h"
+#include "hdfs/mini_hdfs.h"
+#include "sessions/dictionary.h"
+#include "sessions/histogram.h"
+
+namespace unilog::catalog {
+
+/// One catalog entry: everything the browsing interface shows for an event
+/// type (§4.3).
+struct CatalogEntry {
+  std::string name;
+  uint32_t code_point = 0;
+  uint64_t count = 0;
+  /// Rendered example Thrift payloads (from the histogram's sampling).
+  std::vector<std::string> samples;
+  /// Developer-supplied description; empty until attached.
+  std::string description;
+};
+
+/// The automatically-generated client event catalog: rebuilt daily from
+/// the dictionary job, "always up to date", browsable "hierarchically, by
+/// each of the namespace components, and using regular expressions", with
+/// a few illustrative payload examples per event and optional
+/// developer-attached descriptions (§4.3).
+class EventCatalog {
+ public:
+  /// Builds from the day's histogram and dictionary. Sample payloads are
+  /// parsed as compact Thrift and rendered; unparseable samples are kept
+  /// raw (hex-escaped).
+  static EventCatalog Build(const sessions::EventHistogram& histogram,
+                            const sessions::EventDictionary& dict);
+
+  size_t size() const { return entries_.size(); }
+
+  /// Lookup by exact name.
+  const CatalogEntry* Find(const std::string& name) const;
+
+  /// Hierarchical browsing: entries whose name starts with `prefix`
+  /// (at a component boundary), e.g. "web:home".
+  std::vector<const CatalogEntry*> ByPrefix(const std::string& prefix) const;
+
+  /// Wildcard-pattern browsing.
+  std::vector<const CatalogEntry*> ByPattern(
+      const events::EventPattern& pattern) const;
+
+  /// Browsing by one namespace component value, e.g. all events whose
+  /// section is "mentions".
+  std::vector<const CatalogEntry*> ByComponent(events::NameComponent which,
+                                               const std::string& value) const;
+
+  /// All entries sorted by descending count (the default landing view).
+  std::vector<const CatalogEntry*> ByCount() const;
+
+  /// Attaches a developer description; NotFound for unknown events.
+  Status AttachDescription(const std::string& name, std::string description);
+
+  /// Carries descriptions forward from yesterday's catalog (rebuilding
+  /// daily must not lose manual annotations).
+  void InheritDescriptions(const EventCatalog& previous);
+
+  /// Exports the whole catalog as JSON for the browsing UI.
+  Json ExportJson() const;
+
+  /// Persists the catalog as JSON to a warehouse file (the paper keeps the
+  /// daily dictionary-job outputs "in a known location in HDFS").
+  /// Overwrites an existing file.
+  Status SaveTo(hdfs::MiniHdfs* fs, const std::string& path) const;
+
+  /// Loads a previously saved catalog (counts, code points, descriptions,
+  /// and the *rendered* samples).
+  static Result<EventCatalog> LoadFrom(const hdfs::MiniHdfs& fs,
+                                       const std::string& path);
+
+ private:
+  std::map<std::string, CatalogEntry> entries_;
+};
+
+}  // namespace unilog::catalog
+
+#endif  // UNILOG_CATALOG_CATALOG_H_

@@ -1,0 +1,190 @@
+#include "columnar/rcfile.h"
+
+#include "common/coding.h"
+#include "common/compress.h"
+
+namespace unilog::columnar {
+
+namespace {
+
+/// Encodes one column of a row group as framed values.
+std::string EncodeColumn(const std::vector<events::ClientEvent>& rows,
+                         EventColumn column) {
+  std::string out;
+  for (const auto& ev : rows) {
+    switch (column) {
+      case EventColumn::kInitiator:
+        PutVarint64(&out, static_cast<uint64_t>(ev.initiator));
+        break;
+      case EventColumn::kEventName:
+        PutLengthPrefixed(&out, ev.event_name);
+        break;
+      case EventColumn::kUserId:
+        PutSignedVarint64(&out, ev.user_id);
+        break;
+      case EventColumn::kSessionId:
+        PutLengthPrefixed(&out, ev.session_id);
+        break;
+      case EventColumn::kIp:
+        PutLengthPrefixed(&out, ev.ip);
+        break;
+      case EventColumn::kTimestamp:
+        PutSignedVarint64(&out, ev.timestamp);
+        break;
+      case EventColumn::kDetails: {
+        PutVarint64(&out, ev.details.size());
+        for (const auto& [k, v] : ev.details) {
+          PutLengthPrefixed(&out, k);
+          PutLengthPrefixed(&out, v);
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Status DecodeColumn(std::string_view blob, EventColumn column,
+                    std::vector<events::ClientEvent>* rows) {
+  Decoder dec(blob);
+  for (auto& ev : *rows) {
+    switch (column) {
+      case EventColumn::kInitiator: {
+        uint64_t v;
+        UNILOG_RETURN_NOT_OK(dec.GetVarint64(&v));
+        if (v > 3) return Status::Corruption("rcfile: bad initiator");
+        ev.initiator = static_cast<events::EventInitiator>(v);
+        break;
+      }
+      case EventColumn::kEventName: {
+        std::string_view sv;
+        UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&sv));
+        ev.event_name.assign(sv.data(), sv.size());
+        break;
+      }
+      case EventColumn::kUserId:
+        UNILOG_RETURN_NOT_OK(dec.GetSignedVarint64(&ev.user_id));
+        break;
+      case EventColumn::kSessionId: {
+        std::string_view sv;
+        UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&sv));
+        ev.session_id.assign(sv.data(), sv.size());
+        break;
+      }
+      case EventColumn::kIp: {
+        std::string_view sv;
+        UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&sv));
+        ev.ip.assign(sv.data(), sv.size());
+        break;
+      }
+      case EventColumn::kTimestamp:
+        UNILOG_RETURN_NOT_OK(dec.GetSignedVarint64(&ev.timestamp));
+        break;
+      case EventColumn::kDetails: {
+        uint64_t n;
+        UNILOG_RETURN_NOT_OK(dec.GetVarint64(&n));
+        ev.details.clear();
+        ev.details.reserve(n);
+        for (uint64_t i = 0; i < n; ++i) {
+          std::string_view k, v;
+          UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&k));
+          UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&v));
+          ev.details.emplace_back(std::string(k), std::string(v));
+        }
+        break;
+      }
+    }
+  }
+  if (!dec.AtEnd()) return Status::Corruption("rcfile: column overrun");
+  return Status::OK();
+}
+
+}  // namespace
+
+RcFileWriter::RcFileWriter(std::string* out, size_t rows_per_group)
+    : out_(out), rows_per_group_(rows_per_group == 0 ? 1 : rows_per_group) {}
+
+void RcFileWriter::Add(const events::ClientEvent& event) {
+  pending_.push_back(event);
+  ++rows_written_;
+  if (pending_.size() >= rows_per_group_) FlushGroup();
+}
+
+void RcFileWriter::FlushGroup() {
+  if (pending_.empty()) return;
+  PutVarint64(out_, pending_.size());
+  for (int c = 0; c < kEventColumns; ++c) {
+    std::string column =
+        EncodeColumn(pending_, static_cast<EventColumn>(c));
+    PutLengthPrefixed(out_, Lz::Compress(column));
+  }
+  pending_.clear();
+}
+
+void RcFileWriter::Finish() {
+  if (finished_) return;
+  finished_ = true;
+  FlushGroup();
+}
+
+Status RcFileReader::ReadAll(ColumnMask mask,
+                             std::vector<events::ClientEvent>* out) {
+  Decoder dec(data_);
+  while (!dec.AtEnd()) {
+    uint64_t row_count;
+    UNILOG_RETURN_NOT_OK(dec.GetVarint64(&row_count));
+    std::vector<events::ClientEvent> rows(row_count);
+    for (int c = 0; c < kEventColumns; ++c) {
+      std::string_view compressed;
+      UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&compressed));
+      if ((mask & (1u << c)) == 0) continue;  // skip without decompressing
+      bytes_touched_ += compressed.size();
+      UNILOG_ASSIGN_OR_RETURN(std::string column, Lz::Decompress(compressed));
+      UNILOG_RETURN_NOT_OK(
+          DecodeColumn(column, static_cast<EventColumn>(c), &rows));
+    }
+    for (auto& row : rows) out->push_back(std::move(row));
+  }
+  return Status::OK();
+}
+
+Status RcFileReader::ForEachEventName(
+    const std::function<void(std::string_view)>& fn) {
+  Decoder dec(data_);
+  while (!dec.AtEnd()) {
+    uint64_t row_count;
+    UNILOG_RETURN_NOT_OK(dec.GetVarint64(&row_count));
+    for (int c = 0; c < kEventColumns; ++c) {
+      std::string_view compressed;
+      UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&compressed));
+      if (static_cast<EventColumn>(c) != EventColumn::kEventName) continue;
+      bytes_touched_ += compressed.size();
+      UNILOG_ASSIGN_OR_RETURN(std::string column, Lz::Decompress(compressed));
+      Decoder col(column);
+      for (uint64_t r = 0; r < row_count; ++r) {
+        std::string_view name;
+        UNILOG_RETURN_NOT_OK(col.GetLengthPrefixed(&name));
+        fn(name);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> RcFileReader::TotalColumnBytes() const {
+  Decoder dec(data_);
+  uint64_t total = 0;
+  while (!dec.AtEnd()) {
+    uint64_t row_count;
+    UNILOG_RETURN_NOT_OK(dec.GetVarint64(&row_count));
+    (void)row_count;
+    for (int c = 0; c < kEventColumns; ++c) {
+      std::string_view compressed;
+      UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&compressed));
+      total += compressed.size();
+    }
+  }
+  return total;
+}
+
+}  // namespace unilog::columnar

@@ -1,0 +1,126 @@
+#include "common/coding.h"
+
+namespace unilog {
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  PutVarint64(dst, v);
+}
+
+uint64_t ZigZagEncode64(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t ZigZagDecode64(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+uint32_t ZigZagEncode32(int32_t v) {
+  return (static_cast<uint32_t>(v) << 1) ^ static_cast<uint32_t>(v >> 31);
+}
+
+int32_t ZigZagDecode32(uint32_t v) {
+  return static_cast<int32_t>(v >> 1) ^ -static_cast<int32_t>(v & 1);
+}
+
+void PutSignedVarint64(std::string* dst, int64_t v) {
+  PutVarint64(dst, ZigZagEncode64(v));
+}
+
+void PutFixed32(std::string* dst, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutFixed64(std::string* dst, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    dst->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+Status Decoder::GetVarint64(uint64_t* v) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (pos_ >= data_.size()) {
+      return Status::Corruption("truncated varint");
+    }
+    uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("varint too long");
+}
+
+Status Decoder::GetVarint32(uint32_t* v) {
+  uint64_t v64;
+  UNILOG_RETURN_NOT_OK(GetVarint64(&v64));
+  if (v64 > UINT32_MAX) return Status::Corruption("varint32 overflow");
+  *v = static_cast<uint32_t>(v64);
+  return Status::OK();
+}
+
+Status Decoder::GetSignedVarint64(int64_t* v) {
+  uint64_t raw;
+  UNILOG_RETURN_NOT_OK(GetVarint64(&raw));
+  *v = ZigZagDecode64(raw);
+  return Status::OK();
+}
+
+Status Decoder::GetFixed32(uint32_t* v) {
+  if (remaining() < 4) return Status::Corruption("truncated fixed32");
+  uint32_t result = 0;
+  for (int i = 0; i < 4; ++i) {
+    result |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_++]))
+              << (8 * i);
+  }
+  *v = result;
+  return Status::OK();
+}
+
+Status Decoder::GetFixed64(uint64_t* v) {
+  if (remaining() < 8) return Status::Corruption("truncated fixed64");
+  uint64_t result = 0;
+  for (int i = 0; i < 8; ++i) {
+    result |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_++]))
+              << (8 * i);
+  }
+  *v = result;
+  return Status::OK();
+}
+
+Status Decoder::GetLengthPrefixed(std::string_view* value) {
+  uint64_t len;
+  UNILOG_RETURN_NOT_OK(GetVarint64(&len));
+  return GetBytes(static_cast<size_t>(len), value);
+}
+
+Status Decoder::GetBytes(size_t n, std::string_view* value) {
+  if (remaining() < n) return Status::Corruption("truncated bytes");
+  *value = data_.substr(pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Status Decoder::Skip(size_t n) {
+  if (remaining() < n) return Status::Corruption("skip past end");
+  pos_ += n;
+  return Status::OK();
+}
+
+}  // namespace unilog

@@ -1,0 +1,67 @@
+#ifndef UNILOG_COMMON_CODING_H_
+#define UNILOG_COMMON_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace unilog {
+
+/// Low-level byte coding primitives shared by the thrift protocol, the
+/// session-sequence encoder, and the simulated HDFS file formats. All
+/// multi-byte fixed-width values are little-endian.
+
+/// Appends an unsigned LEB128 varint (1-10 bytes).
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Appends a 32-bit varint.
+void PutVarint32(std::string* dst, uint32_t v);
+
+/// ZigZag-encodes a signed value so that small magnitudes get small varints.
+uint64_t ZigZagEncode64(int64_t v);
+int64_t ZigZagDecode64(uint64_t v);
+uint32_t ZigZagEncode32(int32_t v);
+int32_t ZigZagDecode32(uint32_t v);
+
+/// Appends a zigzag-varint-encoded signed value.
+void PutSignedVarint64(std::string* dst, int64_t v);
+
+/// Appends fixed-width little-endian values.
+void PutFixed32(std::string* dst, uint32_t v);
+void PutFixed64(std::string* dst, uint64_t v);
+
+/// Appends a varint length prefix followed by the raw bytes.
+void PutLengthPrefixed(std::string* dst, std::string_view value);
+
+/// Cursor over an input buffer for decoding. Decoding functions return a
+/// Corruption status on truncated or malformed input and leave the cursor
+/// position unspecified.
+class Decoder {
+ public:
+  explicit Decoder(std::string_view data) : data_(data), pos_(0) {}
+
+  Status GetVarint64(uint64_t* v);
+  Status GetVarint32(uint32_t* v);
+  Status GetSignedVarint64(int64_t* v);
+  Status GetFixed32(uint32_t* v);
+  Status GetFixed64(uint64_t* v);
+  Status GetLengthPrefixed(std::string_view* value);
+  /// Reads exactly n raw bytes.
+  Status GetBytes(size_t n, std::string_view* value);
+  /// Skips n raw bytes.
+  Status Skip(size_t n);
+
+  bool AtEnd() const { return pos_ >= data_.size(); }
+  size_t position() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::string_view data_;
+  size_t pos_;
+};
+
+}  // namespace unilog
+
+#endif  // UNILOG_COMMON_CODING_H_

@@ -1,0 +1,129 @@
+#include "common/compress.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/coding.h"
+
+namespace unilog {
+
+namespace {
+
+constexpr size_t kHashBits = 16;
+constexpr size_t kHashSize = 1u << kHashBits;
+
+uint32_t Hash4(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void EmitLiterals(std::string* out, std::string_view input, size_t begin,
+                  size_t end) {
+  if (begin >= end) return;
+  out->push_back('\x00');
+  PutVarint64(out, end - begin);
+  out->append(input.data() + begin, end - begin);
+}
+
+}  // namespace
+
+std::string Lz::Compress(std::string_view input) {
+  std::string out;
+  PutVarint64(&out, input.size());
+  if (input.empty()) return out;
+
+  // head[h]: most recent position with hash h (+1, 0 = empty).
+  // prev[i]: previous position in the chain for position i.
+  std::vector<uint32_t> head(kHashSize, 0);
+  std::vector<uint32_t> prev(input.size(), 0);
+
+  size_t literal_start = 0;
+  size_t i = 0;
+  while (i + kMinMatch <= input.size()) {
+    uint32_t h = Hash4(input.data() + i);
+    size_t best_len = 0;
+    size_t best_dist = 0;
+    uint32_t cand = head[h];
+    int steps = 0;
+    while (cand != 0 && steps < kMaxChainSteps) {
+      size_t pos = cand - 1;
+      if (i - pos > kWindow) break;
+      // Extend the match.
+      size_t len = 0;
+      size_t max_len = input.size() - i;
+      while (len < max_len && input[pos + len] == input[i + len]) ++len;
+      if (len >= kMinMatch && len > best_len) {
+        best_len = len;
+        best_dist = i - pos;
+      }
+      cand = prev[pos];
+      ++steps;
+    }
+
+    if (best_len >= kMinMatch) {
+      EmitLiterals(&out, input, literal_start, i);
+      out.push_back('\x01');
+      PutVarint64(&out, best_dist);
+      PutVarint64(&out, best_len);
+      // Insert hash entries for the skipped region (sparsely for speed).
+      size_t match_end = i + best_len;
+      size_t insert_end =
+          match_end + kMinMatch <= input.size() ? match_end
+                                                : (input.size() >= kMinMatch
+                                                       ? input.size() - kMinMatch + 1
+                                                       : 0);
+      size_t step = best_len > 64 ? 4 : 1;
+      for (size_t j = i; j < insert_end; j += step) {
+        uint32_t hj = Hash4(input.data() + j);
+        prev[j] = head[hj];
+        head[hj] = static_cast<uint32_t>(j + 1);
+      }
+      i = match_end;
+      literal_start = i;
+    } else {
+      prev[i] = head[h];
+      head[h] = static_cast<uint32_t>(i + 1);
+      ++i;
+    }
+  }
+  EmitLiterals(&out, input, literal_start, input.size());
+  return out;
+}
+
+Result<std::string> Lz::Decompress(std::string_view block) {
+  Decoder dec(block);
+  uint64_t expected_len;
+  UNILOG_RETURN_NOT_OK(dec.GetVarint64(&expected_len));
+  std::string out;
+  out.reserve(expected_len);
+  while (!dec.AtEnd()) {
+    std::string_view tag;
+    UNILOG_RETURN_NOT_OK(dec.GetBytes(1, &tag));
+    if (tag[0] == '\x00') {
+      std::string_view lit;
+      UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&lit));
+      out.append(lit.data(), lit.size());
+    } else if (tag[0] == '\x01') {
+      uint64_t dist, len;
+      UNILOG_RETURN_NOT_OK(dec.GetVarint64(&dist));
+      UNILOG_RETURN_NOT_OK(dec.GetVarint64(&len));
+      if (dist == 0 || dist > out.size()) {
+        return Status::Corruption("lz: bad match distance");
+      }
+      size_t src = out.size() - dist;
+      // Byte-by-byte copy: matches may overlap their own output.
+      for (uint64_t k = 0; k < len; ++k) {
+        out.push_back(out[src + k]);
+      }
+    } else {
+      return Status::Corruption("lz: bad token tag");
+    }
+  }
+  if (out.size() != expected_len) {
+    return Status::Corruption("lz: length mismatch");
+  }
+  return out;
+}
+
+}  // namespace unilog

@@ -1,0 +1,40 @@
+#ifndef UNILOG_COMMON_COMPRESS_H_
+#define UNILOG_COMMON_COMPRESS_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace unilog {
+
+/// A self-contained LZ77-family block compressor. The paper's aggregators
+/// compress log data "on the fly" as it is written to staging HDFS, and the
+/// materialized session sequences are stored compressed; this codec plays
+/// that role (no external zlib dependency — built from scratch per the
+/// reproduction rules).
+///
+/// Format: a varint uncompressed length, then a token stream. Each token is
+/// either a literal run (tag 0x00, varint length, raw bytes) or a back-
+/// reference (tag 0x01, varint distance >= 1, varint length >= kMinMatch)
+/// into the previously decoded output. Greedy parsing with a hash chain
+/// over 4-byte prefixes; 64 KiB window.
+class Lz {
+ public:
+  static constexpr size_t kMinMatch = 4;
+  static constexpr size_t kWindow = 64 * 1024;
+  static constexpr int kMaxChainSteps = 32;
+
+  /// Compresses `input`. Never fails; incompressible data grows by a few
+  /// bytes of framing.
+  static std::string Compress(std::string_view input);
+
+  /// Decompresses a block produced by Compress. Returns Corruption on
+  /// malformed input.
+  static Result<std::string> Decompress(std::string_view block);
+};
+
+}  // namespace unilog
+
+#endif  // UNILOG_COMMON_COMPRESS_H_

@@ -1,0 +1,70 @@
+#ifndef UNILOG_COMMON_RESULT_H_
+#define UNILOG_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace unilog {
+
+/// Result<T> holds either a value of type T or a non-OK Status explaining
+/// why the value could not be produced. It is the return type of every
+/// fallible operation that yields a value (Arrow's arrow::Result idiom).
+///
+/// Accessing value() on an error Result aborts the process: callers must
+/// check ok() first (or use UNILOG_ASSIGN_OR_RETURN).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status (failure). Constructing a
+  /// Result from an OK status is a programming error and aborts.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) std::abort();
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T& value() & {
+    if (!ok()) std::abort();
+    return *value_;
+  }
+  T&& value() && {
+    if (!ok()) std::abort();
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when this Result holds an
+  /// error.
+  T value_or(T fallback) const {
+    if (ok()) return *value_;
+    return fallback;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace unilog
+
+#endif  // UNILOG_COMMON_RESULT_H_

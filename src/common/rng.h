@@ -1,0 +1,80 @@
+#ifndef UNILOG_COMMON_RNG_H_
+#define UNILOG_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace unilog {
+
+/// Deterministic pseudo-random number generator (xoshiro256**), seeded via
+/// splitmix64. All randomness in unilog — workload generation, failure
+/// injection, sampling — flows through explicitly-seeded Rng instances so
+/// that simulations and tests are exactly reproducible.
+class Rng {
+ public:
+  /// Seeds the generator. The same seed always yields the same stream.
+  explicit Rng(uint64_t seed = 0x5DEECE66DULL);
+
+  /// Next raw 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Requires lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0). Used for
+  /// Poisson-process interarrival times.
+  double Exponential(double mean);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64).
+  uint64_t Poisson(double mean);
+
+  /// Gaussian (mean 0, stddev 1) via Box-Muller.
+  double Gaussian();
+
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// weights[i]. Weights must be non-negative with a positive sum.
+  size_t PickWeighted(const std::vector<double>& weights);
+
+  /// Forks a new independent generator deterministically derived from this
+  /// one; used to give each simulated component its own stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Samples from a Zipfian distribution over {0, 1, ..., n-1} with skew
+/// parameter `theta` (typical web-workload skews: 0.8-1.2). Rank 0 is the
+/// most popular item. Precomputes the harmonic normalization once.
+class ZipfianSampler {
+ public:
+  /// `n` must be >= 1; `theta` must be > 0 and != 1 is not required
+  /// (theta == 1 handled).
+  ZipfianSampler(size_t n, double theta);
+
+  /// Draws one sample (an item rank in [0, n)).
+  size_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `i`.
+  double Pmf(size_t i) const;
+
+  size_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cumulative distribution, size n
+};
+
+}  // namespace unilog
+
+#endif  // UNILOG_COMMON_RNG_H_

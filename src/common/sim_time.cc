@@ -1,0 +1,107 @@
+#include "common/sim_time.h"
+
+#include <cstdio>
+
+namespace unilog {
+
+namespace {
+
+// Days-from-civil / civil-from-days (Howard Hinnant's algorithms), valid for
+// the full simulated range.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t year = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(year + (month <= 2));
+  *m = static_cast<int>(month);
+  *d = static_cast<int>(day);
+}
+
+// Floor division that works for negative timestamps too.
+int64_t FloorDiv(int64_t a, int64_t b) {
+  int64_t q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+int64_t FloorMod(int64_t a, int64_t b) { return a - FloorDiv(a, b) * b; }
+
+}  // namespace
+
+CivilTime ToCivil(TimeMs t) {
+  CivilTime c;
+  int64_t days = FloorDiv(t, kMillisPerDay);
+  int64_t rem = FloorMod(t, kMillisPerDay);
+  CivilFromDays(days, &c.year, &c.month, &c.day);
+  c.hour = static_cast<int>(rem / kMillisPerHour);
+  rem %= kMillisPerHour;
+  c.minute = static_cast<int>(rem / kMillisPerMinute);
+  rem %= kMillisPerMinute;
+  c.second = static_cast<int>(rem / kMillisPerSecond);
+  c.millisecond = static_cast<int>(rem % kMillisPerSecond);
+  return c;
+}
+
+TimeMs FromCivil(const CivilTime& c) {
+  int64_t days = DaysFromCivil(c.year, c.month, c.day);
+  return days * kMillisPerDay + c.hour * kMillisPerHour +
+         c.minute * kMillisPerMinute + c.second * kMillisPerSecond +
+         c.millisecond;
+}
+
+TimeMs MakeDate(int year, int month, int day) {
+  CivilTime c;
+  c.year = year;
+  c.month = month;
+  c.day = day;
+  return FromCivil(c);
+}
+
+TimeMs TruncateToHour(TimeMs t) {
+  return FloorDiv(t, kMillisPerHour) * kMillisPerHour;
+}
+
+TimeMs TruncateToDay(TimeMs t) {
+  return FloorDiv(t, kMillisPerDay) * kMillisPerDay;
+}
+
+std::string HourPartitionPath(TimeMs t) {
+  CivilTime c = ToCivil(t);
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d/%02d/%02d/%02d", c.year, c.month,
+                c.day, c.hour);
+  return buf;
+}
+
+std::string DateString(TimeMs t) {
+  CivilTime c = ToCivil(t);
+  char buf[12];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+std::string TimestampString(TimeMs t) {
+  CivilTime c = ToCivil(t);
+  char buf[28];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                c.year, c.month, c.day, c.hour, c.minute, c.second,
+                c.millisecond);
+  return buf;
+}
+
+}  // namespace unilog

@@ -1,0 +1,59 @@
+#ifndef UNILOG_COMMON_SIM_TIME_H_
+#define UNILOG_COMMON_SIM_TIME_H_
+
+#include <cstdint>
+#include <string>
+
+namespace unilog {
+
+/// Simulated wall-clock time, in milliseconds since the Unix epoch. The
+/// discrete-event simulator advances a virtual clock of this type; all log
+/// timestamps, session gaps, and hourly partitions are expressed in it.
+using TimeMs = int64_t;
+
+inline constexpr TimeMs kMillisPerSecond = 1000;
+inline constexpr TimeMs kMillisPerMinute = 60 * kMillisPerSecond;
+inline constexpr TimeMs kMillisPerHour = 60 * kMillisPerMinute;
+inline constexpr TimeMs kMillisPerDay = 24 * kMillisPerHour;
+
+/// The paper's standard sessionization gap: "following standard practices,
+/// we use a 30-minute inactivity interval to delimit user sessions" (§4.2).
+inline constexpr TimeMs kSessionInactivityGapMs = 30 * kMillisPerMinute;
+
+/// Broken-down UTC time.
+struct CivilTime {
+  int year = 1970;
+  int month = 1;  // 1-12
+  int day = 1;    // 1-31
+  int hour = 0;   // 0-23
+  int minute = 0;
+  int second = 0;
+  int millisecond = 0;
+};
+
+/// Converts a timestamp to broken-down UTC time.
+CivilTime ToCivil(TimeMs t);
+
+/// Converts broken-down UTC time to a timestamp.
+TimeMs FromCivil(const CivilTime& c);
+
+/// Convenience constructor: midnight UTC of the given date.
+TimeMs MakeDate(int year, int month, int day);
+
+/// Truncates to the start of the containing hour / day.
+TimeMs TruncateToHour(TimeMs t);
+TimeMs TruncateToDay(TimeMs t);
+
+/// Formats the per-category, per-hour warehouse partition path fragment the
+/// paper describes: "YYYY/MM/DD/HH" (§2).
+std::string HourPartitionPath(TimeMs t);
+
+/// "YYYY-MM-DD" for daily partitions and reports.
+std::string DateString(TimeMs t);
+
+/// "YYYY-MM-DD HH:MM:SS.mmm" for human-readable traces.
+std::string TimestampString(TimeMs t);
+
+}  // namespace unilog
+
+#endif  // UNILOG_COMMON_SIM_TIME_H_

@@ -1,0 +1,44 @@
+#ifndef UNILOG_COMMON_STRINGS_H_
+#define UNILOG_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace unilog {
+
+/// Splits `s` on every occurrence of `sep`. Empty pieces are kept, so
+/// Split("a::b", ':') == {"a", "", "b"} and Split("", ':') == {""}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces, char sep);
+std::string Join(const std::vector<std::string_view>& pieces, char sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if every character is an ASCII lowercase letter, digit, or
+/// underscore — the character set permitted for event-name components.
+bool IsLowerSnake(std::string_view s);
+
+/// Simple glob match where '*' matches any run of characters (including
+/// empty) and all other characters match literally. Used for event-name
+/// component wildcards.
+bool GlobMatch(std::string_view pattern, std::string_view text);
+
+/// Formats a count of bytes as a human-readable string ("1.5 MiB").
+std::string HumanBytes(uint64_t bytes);
+
+/// Formats a number with thousands separators ("1,234,567").
+std::string WithCommas(uint64_t n);
+
+}  // namespace unilog
+
+#endif  // UNILOG_COMMON_STRINGS_H_

@@ -1,0 +1,113 @@
+#include "common/utf8.h"
+
+namespace unilog {
+
+bool IsValidCodePoint(uint32_t cp) {
+  if (cp > kMaxCodePoint) return false;
+  if (cp >= kSurrogateLo && cp <= kSurrogateHi) return false;
+  return true;
+}
+
+int Utf8EncodedLength(uint32_t cp) {
+  if (!IsValidCodePoint(cp)) return 0;
+  if (cp < 0x80) return 1;
+  if (cp < 0x800) return 2;
+  if (cp < 0x10000) return 3;
+  return 4;
+}
+
+Status AppendUtf8(std::string* out, uint32_t cp) {
+  if (!IsValidCodePoint(cp)) {
+    return Status::InvalidArgument("invalid unicode code point");
+  }
+  if (cp < 0x80) {
+    out->push_back(static_cast<char>(cp));
+  } else if (cp < 0x800) {
+    out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else if (cp < 0x10000) {
+    out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  } else {
+    out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+    out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+  }
+  return Status::OK();
+}
+
+Result<std::string> EncodeUtf8(const std::vector<uint32_t>& cps) {
+  std::string out;
+  out.reserve(cps.size());
+  for (uint32_t cp : cps) {
+    UNILOG_RETURN_NOT_OK(AppendUtf8(&out, cp));
+  }
+  return out;
+}
+
+Status DecodeOneUtf8(std::string_view s, size_t* pos, uint32_t* cp) {
+  if (*pos >= s.size()) return Status::Corruption("utf8: read past end");
+  uint8_t b0 = static_cast<uint8_t>(s[*pos]);
+  int len;
+  uint32_t value;
+  if (b0 < 0x80) {
+    len = 1;
+    value = b0;
+  } else if ((b0 & 0xE0) == 0xC0) {
+    len = 2;
+    value = b0 & 0x1F;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3;
+    value = b0 & 0x0F;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4;
+    value = b0 & 0x07;
+  } else {
+    return Status::Corruption("utf8: invalid leading byte");
+  }
+  if (*pos + len > s.size()) {
+    return Status::Corruption("utf8: truncated sequence");
+  }
+  for (int i = 1; i < len; ++i) {
+    uint8_t b = static_cast<uint8_t>(s[*pos + i]);
+    if ((b & 0xC0) != 0x80) {
+      return Status::Corruption("utf8: invalid continuation byte");
+    }
+    value = (value << 6) | (b & 0x3F);
+  }
+  // Reject overlong encodings and invalid scalar values.
+  static constexpr uint32_t kMinForLen[5] = {0, 0, 0x80, 0x800, 0x10000};
+  if (value < kMinForLen[len]) {
+    return Status::Corruption("utf8: overlong encoding");
+  }
+  if (!IsValidCodePoint(value)) {
+    return Status::Corruption("utf8: invalid scalar value");
+  }
+  *pos += len;
+  *cp = value;
+  return Status::OK();
+}
+
+Result<std::vector<uint32_t>> DecodeUtf8(std::string_view s) {
+  std::vector<uint32_t> cps;
+  cps.reserve(s.size());
+  size_t pos = 0;
+  while (pos < s.size()) {
+    uint32_t cp;
+    UNILOG_RETURN_NOT_OK(DecodeOneUtf8(s, &pos, &cp));
+    cps.push_back(cp);
+  }
+  return cps;
+}
+
+size_t Utf8Length(std::string_view s) {
+  size_t n = 0;
+  for (char c : s) {
+    if ((static_cast<uint8_t>(c) & 0xC0) != 0x80) ++n;
+  }
+  return n;
+}
+
+}  // namespace unilog

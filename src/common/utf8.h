@@ -1,0 +1,56 @@
+#ifndef UNILOG_COMMON_UTF8_H_
+#define UNILOG_COMMON_UTF8_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace unilog {
+
+/// UTF-8 codec used by session sequences: each client event name maps to a
+/// unicode code point, and a session is stored as the UTF-8 encoding of the
+/// code-point sequence (§4.2 of the paper). Frequent events get small code
+/// points, so frequent events cost fewer bytes — a form of variable-length
+/// coding.
+
+/// Maximum valid unicode code point (the paper: "Unicode comprises 1.1
+/// million available code points").
+inline constexpr uint32_t kMaxCodePoint = 0x10FFFF;
+
+/// First/last UTF-16 surrogate code points; not encodable in UTF-8.
+inline constexpr uint32_t kSurrogateLo = 0xD800;
+inline constexpr uint32_t kSurrogateHi = 0xDFFF;
+
+/// True if `cp` is a scalar value that UTF-8 can encode.
+bool IsValidCodePoint(uint32_t cp);
+
+/// Number of bytes the UTF-8 encoding of `cp` occupies (1-4), or 0 if
+/// invalid.
+int Utf8EncodedLength(uint32_t cp);
+
+/// Appends the UTF-8 encoding of `cp` to `out`. Returns InvalidArgument for
+/// surrogates or out-of-range values.
+Status AppendUtf8(std::string* out, uint32_t cp);
+
+/// Encodes a whole code-point sequence.
+Result<std::string> EncodeUtf8(const std::vector<uint32_t>& cps);
+
+/// Decodes a UTF-8 string into code points. Returns Corruption on malformed
+/// input (truncated sequences, overlong encodings, surrogates).
+Result<std::vector<uint32_t>> DecodeUtf8(std::string_view s);
+
+/// Decodes a single code point starting at `s[pos]`, advancing pos. Returns
+/// Corruption on malformed input.
+Status DecodeOneUtf8(std::string_view s, size_t* pos, uint32_t* cp);
+
+/// Number of code points in a valid UTF-8 string (counts leading bytes only;
+/// does not validate).
+size_t Utf8Length(std::string_view s);
+
+}  // namespace unilog
+
+#endif  // UNILOG_COMMON_UTF8_H_

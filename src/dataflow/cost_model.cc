@@ -1,0 +1,69 @@
+#include "dataflow/cost_model.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace unilog::dataflow {
+
+void JobStats::Accumulate(const JobStats& other) {
+  map_tasks += other.map_tasks;
+  reduce_tasks += other.reduce_tasks;
+  bytes_scanned += other.bytes_scanned;
+  bytes_shuffled += other.bytes_shuffled;
+  records_read += other.records_read;
+  records_emitted += other.records_emitted;
+  records_output += other.records_output;
+  modeled_ms += other.modeled_ms;
+}
+
+std::string JobStats::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "maps=%llu reduces=%llu scanned=%llu shuffled=%llu "
+                "read=%llu out=%llu modeled_ms=%.0f",
+                static_cast<unsigned long long>(map_tasks),
+                static_cast<unsigned long long>(reduce_tasks),
+                static_cast<unsigned long long>(bytes_scanned),
+                static_cast<unsigned long long>(bytes_shuffled),
+                static_cast<unsigned long long>(records_read),
+                static_cast<unsigned long long>(records_output),
+                modeled_ms);
+  return buf;
+}
+
+double ModelWallTimeMs(const JobCostModel& model, const JobStats& stats) {
+  const double slots = static_cast<double>(std::max<uint64_t>(1, model.cluster_slots));
+
+  double map_ms = 0;
+  if (stats.map_tasks > 0) {
+    // Average per-task work; waves = ceil(tasks / slots).
+    double waves =
+        std::max(1.0, static_cast<double>(
+                          (stats.map_tasks + model.cluster_slots - 1) /
+                          model.cluster_slots));
+    double scan_per_task =
+        static_cast<double>(stats.bytes_scanned) /
+        static_cast<double>(stats.map_tasks) /
+        static_cast<double>(model.scan_bytes_per_ms);
+    map_ms = waves * (static_cast<double>(model.task_startup_ms) + scan_per_task);
+  }
+
+  double reduce_ms = 0;
+  if (stats.reduce_tasks > 0) {
+    double waves =
+        std::max(1.0, static_cast<double>(
+                          (stats.reduce_tasks + model.cluster_slots - 1) /
+                          model.cluster_slots));
+    double shuffle_total =
+        static_cast<double>(stats.bytes_shuffled) /
+        static_cast<double>(model.shuffle_bytes_per_ms);
+    // Shuffle parallelizes across reducers up to the slot count.
+    double shuffle_parallel =
+        shuffle_total / std::min(slots, static_cast<double>(stats.reduce_tasks));
+    reduce_ms = waves * static_cast<double>(model.task_startup_ms) +
+                shuffle_parallel;
+  }
+  return map_ms + reduce_ms;
+}
+
+}  // namespace unilog::dataflow

@@ -1,0 +1,114 @@
+#ifndef UNILOG_DATAFLOW_MAPREDUCE_H_
+#define UNILOG_DATAFLOW_MAPREDUCE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/cost_model.h"
+#include "hdfs/mini_hdfs.h"
+
+namespace unilog::dataflow {
+
+/// How a simulated map task turns a file body into records. Matches the
+/// Hadoop InputFormat role — and, like Elephant Bird, hides the
+/// decompress/deserialize boilerplate from job authors.
+struct InputFormat {
+  /// Decompresses/decodes a raw on-disk file body; identity by default.
+  std::function<Result<std::string>(std::string_view body)> decode;
+  /// Splits the decoded body into records. Default: varint-framed records.
+  std::function<Result<std::vector<std::string>>(std::string_view decoded)>
+      split;
+
+  /// The standard format for unilog warehouse files: LZ decompression +
+  /// varint framing.
+  static InputFormat CompressedFramed();
+  /// Framed records without compression.
+  static InputFormat Framed();
+  /// Newline-delimited text (legacy logs).
+  static InputFormat Lines();
+  /// Like CompressedFramed, but the InputFormat-level `accept` predicate
+  /// can drop whole files before any record is produced — this is where
+  /// Elephant Twin's index push-down hooks in (§6).
+  InputFormat WithFileFilter(
+      std::function<bool(const std::string& path)> accept) const;
+
+  /// Optional pre-scan file filter (predicate push-down); nullptr = all.
+  std::function<bool(const std::string& path)> accept_file;
+};
+
+/// Collects intermediate or final key/value pairs.
+class Emitter {
+ public:
+  void Emit(std::string key, std::string value) {
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  const std::vector<std::pair<std::string, std::string>>& pairs() const {
+    return pairs_;
+  }
+  std::vector<std::pair<std::string, std::string>>& mutable_pairs() {
+    return pairs_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> pairs_;
+};
+
+/// A simulated MapReduce job over MiniHdfs files: one map task per HDFS
+/// block, hash-partitioned shuffle, one reduce wave. Executes locally and
+/// deterministically while charging the JobCostModel for task startups,
+/// scans, and shuffles — the same bookkeeping a Hadoop jobtracker would
+/// see from the paper's Pig scripts.
+class MapReduceJob {
+ public:
+  /// Map function: one input record → zero or more (key, value) pairs.
+  using MapFn =
+      std::function<Status(const std::string& record, Emitter* emitter)>;
+  /// Reduce function: one key and all its values → zero or more outputs.
+  using ReduceFn = std::function<Status(
+      const std::string& key, const std::vector<std::string>& values,
+      Emitter* emitter)>;
+
+  MapReduceJob(const hdfs::MiniHdfs* fs, JobCostModel cost_model)
+      : fs_(fs), cost_model_(cost_model) {}
+
+  /// Adds every file under `dir` (recursively) as input; skips files whose
+  /// basename starts with '_' (markers). NotFound directories are an
+  /// error.
+  Status AddInputDir(const std::string& dir);
+  /// Adds one file.
+  void AddInputFile(const std::string& path) { inputs_.push_back(path); }
+  size_t input_file_count() const { return inputs_.size(); }
+
+  void set_input_format(InputFormat format) { format_ = std::move(format); }
+  void set_map(MapFn map) { map_ = std::move(map); }
+  /// Optional; omitting the reducer yields a map-only job whose map outputs
+  /// are the final outputs.
+  void set_reduce(ReduceFn reduce) { reduce_ = std::move(reduce); }
+  void set_num_reducers(uint64_t n) { num_reducers_ = n; }
+
+  /// Runs the job. Returns final (key, value) outputs sorted by key.
+  Result<std::vector<std::pair<std::string, std::string>>> Run();
+
+  /// Cost accounting of the last Run().
+  const JobStats& stats() const { return stats_; }
+
+ private:
+  const hdfs::MiniHdfs* fs_;
+  JobCostModel cost_model_;
+  std::vector<std::string> inputs_;
+  InputFormat format_ = InputFormat::CompressedFramed();
+  MapFn map_;
+  ReduceFn reduce_;
+  uint64_t num_reducers_ = 16;
+  JobStats stats_;
+};
+
+}  // namespace unilog::dataflow
+
+#endif  // UNILOG_DATAFLOW_MAPREDUCE_H_

@@ -1,0 +1,272 @@
+#include "dataflow/relation.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace unilog::dataflow {
+
+double Value::AsNumber() const {
+  if (is_int()) return static_cast<double>(int_value());
+  if (is_real()) return real_value();
+  if (is_bool()) return bool_value() ? 1.0 : 0.0;
+  return 0.0;
+}
+
+bool Value::operator<(const Value& other) const {
+  if (repr_.index() != other.repr_.index()) {
+    return repr_.index() < other.repr_.index();
+  }
+  return repr_ < other.repr_;
+}
+
+std::string Value::ToString() const {
+  if (is_int()) return std::to_string(int_value());
+  if (is_real()) {
+    std::ostringstream os;
+    os << real_value();
+    return os.str();
+  }
+  if (is_bool()) return bool_value() ? "true" : "false";
+  return str_value();
+}
+
+Status Relation::AddRow(Row row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row arity " + std::to_string(row.size()) + " != schema arity " +
+        std::to_string(columns_.size()));
+  }
+  rows_.push_back(std::move(row));
+  return Status::OK();
+}
+
+Result<size_t> Relation::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return Status::NotFound("no such column: " + name);
+}
+
+Result<Value> Relation::Get(const Row& row, const std::string& column) const {
+  UNILOG_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(column));
+  if (idx >= row.size()) return Status::OutOfRange("row too short");
+  return row[idx];
+}
+
+Relation Relation::Filter(const Predicate& predicate) const {
+  Relation out(columns_);
+  for (const auto& row : rows_) {
+    if (predicate(row)) out.rows_.push_back(row);
+  }
+  return out;
+}
+
+Result<Relation> Relation::Project(
+    const std::vector<std::string>& cols) const {
+  std::vector<size_t> indices;
+  for (const auto& col : cols) {
+    UNILOG_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(col));
+    indices.push_back(idx);
+  }
+  Relation out(cols);
+  for (const auto& row : rows_) {
+    Row projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row[idx]);
+    out.rows_.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<Relation> Relation::WithColumn(
+    const std::string& name, std::function<Value(const Row&)> fn) const {
+  if (ColumnIndex(name).ok()) {
+    return Status::AlreadyExists("column exists: " + name);
+  }
+  std::vector<std::string> cols = columns_;
+  cols.push_back(name);
+  Relation out(cols);
+  for (const auto& row : rows_) {
+    Row extended = row;
+    extended.push_back(fn(row));
+    out.rows_.push_back(std::move(extended));
+  }
+  return out;
+}
+
+Result<Relation> Relation::GroupBy(const std::vector<std::string>& keys,
+                                   const std::vector<Aggregate>& aggs) const {
+  std::vector<size_t> key_idx;
+  for (const auto& k : keys) {
+    UNILOG_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(k));
+    key_idx.push_back(idx);
+  }
+  struct AggState {
+    uint64_t count = 0;
+    double sum = 0;
+    bool has_minmax = false;
+    Value min, max;
+    std::set<std::string> distinct;
+  };
+  std::vector<size_t> agg_idx(aggs.size(), 0);
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (aggs[i].op != Aggregate::Op::kCount) {
+      UNILOG_ASSIGN_OR_RETURN(agg_idx[i], ColumnIndex(aggs[i].column));
+    }
+  }
+
+  std::map<Row, std::vector<AggState>> groups;  // ordered → sorted output
+  for (const auto& row : rows_) {
+    Row key;
+    key.reserve(key_idx.size());
+    for (size_t idx : key_idx) key.push_back(row[idx]);
+    auto [it, inserted] = groups.try_emplace(std::move(key));
+    if (inserted) it->second.resize(aggs.size());
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      AggState& st = it->second[i];
+      switch (aggs[i].op) {
+        case Aggregate::Op::kCount:
+          ++st.count;
+          break;
+        case Aggregate::Op::kSum:
+          st.sum += row[agg_idx[i]].AsNumber();
+          break;
+        case Aggregate::Op::kMin:
+        case Aggregate::Op::kMax: {
+          const Value& v = row[agg_idx[i]];
+          if (!st.has_minmax) {
+            st.min = st.max = v;
+            st.has_minmax = true;
+          } else {
+            if (v < st.min) st.min = v;
+            if (st.max < v) st.max = v;
+          }
+          break;
+        }
+        case Aggregate::Op::kCountDistinct:
+          st.distinct.insert(row[agg_idx[i]].ToString());
+          break;
+      }
+    }
+  }
+
+  std::vector<std::string> out_cols = keys;
+  for (const auto& agg : aggs) out_cols.push_back(agg.as);
+  Relation out(out_cols);
+  for (const auto& [key, states] : groups) {
+    Row row = key;
+    for (size_t i = 0; i < aggs.size(); ++i) {
+      const AggState& st = states[i];
+      switch (aggs[i].op) {
+        case Aggregate::Op::kCount:
+          row.push_back(Value::Int(static_cast<int64_t>(st.count)));
+          break;
+        case Aggregate::Op::kSum:
+          row.push_back(Value::Real(st.sum));
+          break;
+        case Aggregate::Op::kMin:
+          row.push_back(st.min);
+          break;
+        case Aggregate::Op::kMax:
+          row.push_back(st.max);
+          break;
+        case Aggregate::Op::kCountDistinct:
+          row.push_back(Value::Int(static_cast<int64_t>(st.distinct.size())));
+          break;
+      }
+    }
+    out.rows_.push_back(std::move(row));
+  }
+  return out;
+}
+
+Result<Relation> Relation::Join(const Relation& right,
+                                const std::string& left_col,
+                                const std::string& right_col) const {
+  UNILOG_ASSIGN_OR_RETURN(size_t li, ColumnIndex(left_col));
+  UNILOG_ASSIGN_OR_RETURN(size_t ri, right.ColumnIndex(right_col));
+
+  // Build hash table on the right side.
+  std::unordered_map<std::string, std::vector<const Row*>> table;
+  for (const auto& row : right.rows_) {
+    table[row[ri].ToString() + "\x01" +
+          std::to_string(row[ri].is_str())].push_back(&row);
+  }
+
+  std::vector<std::string> out_cols = columns_;
+  for (size_t i = 0; i < right.columns_.size(); ++i) {
+    if (i == ri) continue;
+    out_cols.push_back(right.columns_[i]);
+  }
+  Relation out(out_cols);
+  for (const auto& row : rows_) {
+    auto it = table.find(row[li].ToString() + "\x01" +
+                         std::to_string(row[li].is_str()));
+    if (it == table.end()) continue;
+    for (const Row* rrow : it->second) {
+      Row joined = row;
+      for (size_t i = 0; i < rrow->size(); ++i) {
+        if (i == ri) continue;
+        joined.push_back((*rrow)[i]);
+      }
+      out.rows_.push_back(std::move(joined));
+    }
+  }
+  return out;
+}
+
+Relation Relation::Distinct() const {
+  Relation out(columns_);
+  std::set<Row> seen;
+  for (const auto& row : rows_) {
+    if (seen.insert(row).second) out.rows_.push_back(row);
+  }
+  return out;
+}
+
+Result<Relation> Relation::OrderBy(const std::string& column,
+                                   bool descending) const {
+  UNILOG_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(column));
+  Relation out = *this;
+  std::stable_sort(out.rows_.begin(), out.rows_.end(),
+                   [idx, descending](const Row& a, const Row& b) {
+                     if (descending) return b[idx] < a[idx];
+                     return a[idx] < b[idx];
+                   });
+  return out;
+}
+
+Relation Relation::Limit(size_t n) const {
+  Relation out(columns_);
+  for (size_t i = 0; i < rows_.size() && i < n; ++i) {
+    out.rows_.push_back(rows_[i]);
+  }
+  return out;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << '\t';
+    os << columns_[i];
+  }
+  os << '\n';
+  size_t shown = 0;
+  for (const auto& row : rows_) {
+    if (shown++ >= max_rows) {
+      os << "... (" << rows_.size() - max_rows << " more rows)\n";
+      break;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) os << '\t';
+      os << row[i].ToString();
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace unilog::dataflow

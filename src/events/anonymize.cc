@@ -1,0 +1,100 @@
+#include "events/anonymize.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace unilog::events {
+
+namespace {
+
+// SplitMix64-based keyed mixer: not cryptographic, but stable, keyed, and
+// well-distributed — the shape of a production HMAC pseudonymizer.
+uint64_t KeyedMix(uint64_t key, uint64_t value) {
+  uint64_t z = value + key * 0x9E3779B97F4A7C15ULL + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z ^= key;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashBytes(uint64_t key, const std::string& s) {
+  uint64_t h = key ^ 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return KeyedMix(key, h);
+}
+
+}  // namespace
+
+int64_t PseudonymizeUserId(uint64_t key, int64_t user_id) {
+  // Keep the pseudonym positive so it stays a plausible id.
+  return static_cast<int64_t>(KeyedMix(key, static_cast<uint64_t>(user_id)) &
+                              0x7FFFFFFFFFFFFFFFULL);
+}
+
+std::string PseudonymizeSessionId(uint64_t key,
+                                  const std::string& session_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "anon-%016llx",
+                static_cast<unsigned long long>(HashBytes(key, session_id)));
+  return buf;
+}
+
+Result<std::string> TruncateIp(const std::string& ip, int zero_octets) {
+  if (zero_octets <= 0) return ip;
+  if (zero_octets > 4) zero_octets = 4;
+  std::vector<std::string> octets = Split(ip, '.');
+  if (octets.size() != 4) {
+    return Status::InvalidArgument("not an IPv4 dotted quad: " + ip);
+  }
+  for (const auto& o : octets) {
+    if (o.empty() || o.size() > 3) {
+      return Status::InvalidArgument("bad octet in ip: " + ip);
+    }
+    for (char c : o) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("bad octet in ip: " + ip);
+      }
+    }
+    long v = std::strtol(o.c_str(), nullptr, 10);
+    if (v > 255) return Status::InvalidArgument("octet out of range: " + ip);
+  }
+  for (int i = 0; i < zero_octets; ++i) {
+    octets[3 - i] = "0";
+  }
+  return Join(octets, '.');
+}
+
+Status Anonymize(const AnonymizationPolicy& policy, ClientEvent* event) {
+  if (policy.pseudonymize_user_ids) {
+    event->user_id = PseudonymizeUserId(policy.user_id_key, event->user_id);
+  }
+  if (policy.pseudonymize_session_ids) {
+    event->session_id =
+        PseudonymizeSessionId(policy.user_id_key, event->session_id);
+  }
+  if (policy.ip_zero_octets > 0) {
+    UNILOG_ASSIGN_OR_RETURN(event->ip,
+                            TruncateIp(event->ip, policy.ip_zero_octets));
+  }
+  if (!policy.drop_detail_keys.empty() || !policy.redact_detail_keys.empty()) {
+    std::vector<std::pair<std::string, std::string>> kept;
+    kept.reserve(event->details.size());
+    for (auto& [k, v] : event->details) {
+      if (policy.drop_detail_keys.count(k)) continue;
+      if (policy.redact_detail_keys.count(k)) {
+        kept.emplace_back(k, "<redacted>");
+      } else {
+        kept.emplace_back(k, std::move(v));
+      }
+    }
+    event->details = std::move(kept);
+  }
+  return Status::OK();
+}
+
+}  // namespace unilog::events

@@ -1,0 +1,57 @@
+#ifndef UNILOG_EVENTS_ANONYMIZE_H_
+#define UNILOG_EVENTS_ANONYMIZE_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "events/client_event.h"
+
+namespace unilog::events {
+
+/// Log anonymization (§3.2): "standardizing the location and names of
+/// these fields allows us to implement consistent policies for log
+/// anonymization". Because every client event carries user_id, session_id,
+/// and ip in the same fields with the same semantics, one policy object
+/// can anonymize the entire unified log — precisely the property the
+/// legacy world lacked.
+struct AnonymizationPolicy {
+  /// Keyed pseudonymization of user ids: uid → HMAC-style keyed hash.
+  /// Stable within a key epoch so joins still work, unlinkable across
+  /// epochs.
+  bool pseudonymize_user_ids = true;
+  uint64_t user_id_key = 0x5eed;
+
+  /// Pseudonymize session ids with the same key.
+  bool pseudonymize_session_ids = true;
+
+  /// IP truncation: zero the last `ip_zero_octets` octets of IPv4
+  /// addresses (1 → /24, 2 → /16). 0 keeps the address.
+  int ip_zero_octets = 1;
+
+  /// Details keys to drop entirely (e.g. free-text queries).
+  std::set<std::string> drop_detail_keys;
+
+  /// Details keys to redact (kept with value "<redacted>").
+  std::set<std::string> redact_detail_keys;
+};
+
+/// Applies the policy to one event, in place. Returns InvalidArgument for
+/// a malformed ip when truncation is requested.
+Status Anonymize(const AnonymizationPolicy& policy, ClientEvent* event);
+
+/// The pseudonym for a user id under a key (exposed so analyses can match
+/// anonymized logs against anonymized user tables).
+int64_t PseudonymizeUserId(uint64_t key, int64_t user_id);
+
+/// Keyed pseudonym for a session id.
+std::string PseudonymizeSessionId(uint64_t key, const std::string& session_id);
+
+/// Truncates an IPv4 dotted-quad by zeroing the last `zero_octets` octets.
+Result<std::string> TruncateIp(const std::string& ip, int zero_octets);
+
+}  // namespace unilog::events
+
+#endif  // UNILOG_EVENTS_ANONYMIZE_H_

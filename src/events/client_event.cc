@@ -1,0 +1,256 @@
+#include "events/client_event.h"
+
+#include "common/coding.h"
+#include "thrift/compact_protocol.h"
+
+namespace unilog::events {
+
+using thrift::CompactReader;
+using thrift::CompactWriter;
+using thrift::ListData;
+using thrift::MapData;
+using thrift::StructSchema;
+using thrift::ThriftValue;
+using thrift::TType;
+
+const char* EventInitiatorName(EventInitiator e) {
+  switch (e) {
+    case EventInitiator::kClientUser:
+      return "client_user";
+    case EventInitiator::kClientApp:
+      return "client_app";
+    case EventInitiator::kServerUser:
+      return "server_user";
+    case EventInitiator::kServerApp:
+      return "server_app";
+  }
+  return "unknown";
+}
+
+void ClientEvent::SerializeTo(std::string* out) const {
+  CompactWriter w(out);
+  w.BeginStruct();
+  w.WriteI32Field(kFieldInitiator, static_cast<int32_t>(initiator));
+  w.WriteStringField(kFieldEventName, event_name);
+  w.WriteI64Field(kFieldUserId, user_id);
+  w.WriteStringField(kFieldSessionId, session_id);
+  w.WriteStringField(kFieldIp, ip);
+  w.WriteI64Field(kFieldTimestamp, timestamp);
+  if (!details.empty()) {
+    w.WriteMapFieldHeader(kFieldEventDetails, TType::kString, TType::kString,
+                          static_cast<uint32_t>(details.size()));
+    for (const auto& [k, v] : details) {
+      w.WriteString(k);
+      w.WriteString(v);
+    }
+  }
+  w.EndStruct();
+}
+
+std::string ClientEvent::Serialize() const {
+  std::string out;
+  SerializeTo(&out);
+  return out;
+}
+
+namespace {
+
+// Shared field-dispatch used by both the full deserializer and the framed
+// reader: reads one struct body into *event.
+Status ReadClientEventBody(CompactReader* r, ClientEvent* event) {
+  r->BeginStruct();
+  while (true) {
+    int16_t id;
+    TType type;
+    bool stop = false, bval = false;
+    UNILOG_RETURN_NOT_OK(r->ReadFieldHeader(&id, &type, &stop, &bval));
+    if (stop) break;
+    switch (id) {
+      case ClientEvent::kFieldInitiator: {
+        if (type != TType::kI32) return Status::Corruption("bad initiator");
+        int32_t v;
+        UNILOG_RETURN_NOT_OK(r->ReadI32(&v));
+        if (v < 0 || v > 3) return Status::Corruption("bad initiator value");
+        event->initiator = static_cast<EventInitiator>(v);
+        break;
+      }
+      case ClientEvent::kFieldEventName:
+        if (type != TType::kString) return Status::Corruption("bad name");
+        UNILOG_RETURN_NOT_OK(r->ReadString(&event->event_name));
+        break;
+      case ClientEvent::kFieldUserId:
+        if (type != TType::kI64) return Status::Corruption("bad user_id");
+        UNILOG_RETURN_NOT_OK(r->ReadI64(&event->user_id));
+        break;
+      case ClientEvent::kFieldSessionId:
+        if (type != TType::kString) return Status::Corruption("bad session");
+        UNILOG_RETURN_NOT_OK(r->ReadString(&event->session_id));
+        break;
+      case ClientEvent::kFieldIp:
+        if (type != TType::kString) return Status::Corruption("bad ip");
+        UNILOG_RETURN_NOT_OK(r->ReadString(&event->ip));
+        break;
+      case ClientEvent::kFieldTimestamp:
+        if (type != TType::kI64) return Status::Corruption("bad timestamp");
+        UNILOG_RETURN_NOT_OK(r->ReadI64(&event->timestamp));
+        break;
+      case ClientEvent::kFieldEventDetails: {
+        if (type != TType::kMap) return Status::Corruption("bad details");
+        TType kt, vt;
+        uint32_t count;
+        UNILOG_RETURN_NOT_OK(r->ReadMapHeader(&kt, &vt, &count));
+        if (count > 0 && (kt != TType::kString || vt != TType::kString)) {
+          return Status::Corruption("details must be map<string,string>");
+        }
+        event->details.clear();
+        event->details.reserve(count);
+        for (uint32_t i = 0; i < count; ++i) {
+          std::string k, v;
+          UNILOG_RETURN_NOT_OK(r->ReadString(&k));
+          UNILOG_RETURN_NOT_OK(r->ReadString(&v));
+          event->details.emplace_back(std::move(k), std::move(v));
+        }
+        break;
+      }
+      default:
+        // Unknown field from a newer producer: skip (schema evolution).
+        UNILOG_RETURN_NOT_OK(r->SkipValue(type, /*from_field_header=*/true));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<ClientEvent> ClientEvent::Deserialize(std::string_view data) {
+  CompactReader r(data);
+  ClientEvent event;
+  UNILOG_RETURN_NOT_OK(ReadClientEventBody(&r, &event));
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes");
+  return event;
+}
+
+ThriftValue ClientEvent::ToThrift() const {
+  ThriftValue v = ThriftValue::Struct();
+  v.SetField(kFieldInitiator, ThriftValue::I32(static_cast<int32_t>(initiator)));
+  v.SetField(kFieldEventName, ThriftValue::String(event_name));
+  v.SetField(kFieldUserId, ThriftValue::I64(user_id));
+  v.SetField(kFieldSessionId, ThriftValue::String(session_id));
+  v.SetField(kFieldIp, ThriftValue::String(ip));
+  v.SetField(kFieldTimestamp, ThriftValue::I64(timestamp));
+  if (!details.empty()) {
+    MapData m;
+    m.key_type = TType::kString;
+    m.value_type = TType::kString;
+    for (const auto& [k, val] : details) {
+      m.entries.emplace_back(ThriftValue::String(k), ThriftValue::String(val));
+    }
+    v.SetField(kFieldEventDetails, ThriftValue::Map(std::move(m)));
+  }
+  return v;
+}
+
+Result<ClientEvent> ClientEvent::FromThrift(const ThriftValue& value) {
+  UNILOG_RETURN_NOT_OK(Schema().Validate(value));
+  ClientEvent ev;
+  UNILOG_ASSIGN_OR_RETURN(int64_t init,
+                          value.FindField(kFieldInitiator)->AsI64());
+  if (init < 0 || init > 3) return Status::InvalidArgument("bad initiator");
+  ev.initiator = static_cast<EventInitiator>(init);
+  ev.event_name = value.FindField(kFieldEventName)->string_value();
+  ev.user_id = value.FindField(kFieldUserId)->i64_value();
+  ev.session_id = value.FindField(kFieldSessionId)->string_value();
+  ev.ip = value.FindField(kFieldIp)->string_value();
+  ev.timestamp = value.FindField(kFieldTimestamp)->i64_value();
+  if (const ThriftValue* d = value.FindField(kFieldEventDetails)) {
+    for (const auto& [k, v] : d->map_value().entries) {
+      if (!k.is_string() || !v.is_string()) {
+        return Status::InvalidArgument("details must be map<string,string>");
+      }
+      ev.details.emplace_back(k.string_value(), v.string_value());
+    }
+  }
+  return ev;
+}
+
+const StructSchema& ClientEvent::Schema() {
+  static const StructSchema* kSchema = [] {
+    auto* s = new StructSchema("client_event");
+    Status st;
+    st = s->AddField({kFieldInitiator, "event_initiator", TType::kI32, true});
+    st = s->AddField({kFieldEventName, "event_name", TType::kString, true});
+    st = s->AddField({kFieldUserId, "user_id", TType::kI64, true});
+    st = s->AddField({kFieldSessionId, "session_id", TType::kString, true});
+    st = s->AddField({kFieldIp, "ip", TType::kString, true});
+    st = s->AddField({kFieldTimestamp, "timestamp", TType::kI64, true});
+    st = s->AddField({kFieldEventDetails, "event_details", TType::kMap, false});
+    (void)st;
+    return s;
+  }();
+  return *kSchema;
+}
+
+const std::string* ClientEvent::FindDetail(std::string_view key) const {
+  for (const auto& [k, v] : details) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool ClientEvent::operator==(const ClientEvent& other) const {
+  return initiator == other.initiator && event_name == other.event_name &&
+         user_id == other.user_id && session_id == other.session_id &&
+         ip == other.ip && timestamp == other.timestamp &&
+         details == other.details;
+}
+
+// ---------------------------------------------------------------------------
+// Framed batch I/O
+
+void ClientEventWriter::Add(const ClientEvent& event) {
+  std::string record = event.Serialize();
+  PutLengthPrefixed(out_, record);
+  ++count_;
+}
+
+Status ClientEventReader::Next(ClientEvent* event) {
+  if (pos_ >= data_.size()) return Status::NotFound("end of stream");
+  Decoder dec(data_.substr(pos_));
+  std::string_view record;
+  UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&record));
+  pos_ += dec.position();
+  UNILOG_ASSIGN_OR_RETURN(*event, ClientEvent::Deserialize(record));
+  return Status::OK();
+}
+
+Status ClientEventReader::NextEventNameOnly(std::string* event_name) {
+  if (pos_ >= data_.size()) return Status::NotFound("end of stream");
+  Decoder dec(data_.substr(pos_));
+  std::string_view record;
+  UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&record));
+  pos_ += dec.position();
+
+  CompactReader r(record);
+  r.BeginStruct();
+  event_name->clear();
+  while (true) {
+    int16_t id;
+    TType type;
+    bool stop = false, bval = false;
+    UNILOG_RETURN_NOT_OK(r.ReadFieldHeader(&id, &type, &stop, &bval));
+    if (stop) break;
+    if (id == ClientEvent::kFieldEventName && type == TType::kString) {
+      UNILOG_RETURN_NOT_OK(r.ReadString(event_name));
+      // Still must leave the record well-formed, but since records are
+      // length-framed we can stop scanning here.
+      return Status::OK();
+    }
+    UNILOG_RETURN_NOT_OK(r.SkipValue(type, /*from_field_header=*/true));
+  }
+  if (event_name->empty()) {
+    return Status::Corruption("record missing event_name");
+  }
+  return Status::OK();
+}
+
+}  // namespace unilog::events

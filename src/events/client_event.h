@@ -1,0 +1,113 @@
+#ifndef UNILOG_EVENTS_CLIENT_EVENT_H_
+#define UNILOG_EVENTS_CLIENT_EVENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "thrift/schema.h"
+#include "thrift/value.h"
+
+namespace unilog::events {
+
+/// Who triggered the event (Table 2: {client, server} x {user, app}).
+/// A user's timeline polling for new tweets is a client/app event; a click
+/// is client/user; a server-rendered impression is server/app; etc.
+enum class EventInitiator : int32_t {
+  kClientUser = 0,
+  kClientApp = 1,
+  kServerUser = 2,
+  kServerApp = 3,
+};
+
+const char* EventInitiatorName(EventInitiator e);
+
+/// A client event: the unified log message format (Table 2). Every Twitter
+/// client — web, iPhone, Android, iPad — logs the same structure with the
+/// same field semantics, which is what makes session reconstruction a
+/// simple group-by (§3.2).
+///
+/// Wire representation: unilog compact Thrift, with the field ids below.
+/// The event_details field holds event-specific key-value pairs that teams
+/// extend without central coordination.
+struct ClientEvent {
+  /// Thrift field ids (stable across schema evolution).
+  static constexpr int16_t kFieldInitiator = 1;
+  static constexpr int16_t kFieldEventName = 2;
+  static constexpr int16_t kFieldUserId = 3;
+  static constexpr int16_t kFieldSessionId = 4;
+  static constexpr int16_t kFieldIp = 5;
+  static constexpr int16_t kFieldTimestamp = 6;
+  static constexpr int16_t kFieldEventDetails = 7;
+
+  EventInitiator initiator = EventInitiator::kClientUser;
+  std::string event_name;
+  int64_t user_id = 0;
+  std::string session_id;
+  std::string ip;
+  TimeMs timestamp = 0;
+  std::vector<std::pair<std::string, std::string>> details;
+
+  /// Serializes with the compact protocol (elephant-bird-style generated
+  /// writer: no dynamic value materialization).
+  void SerializeTo(std::string* out) const;
+  std::string Serialize() const;
+
+  /// Deserializes one event, skipping unknown fields (schema evolution).
+  static Result<ClientEvent> Deserialize(std::string_view data);
+
+  /// Conversions to/from the dynamic representation (used by the catalog's
+  /// payload sampling).
+  thrift::ThriftValue ToThrift() const;
+  static Result<ClientEvent> FromThrift(const thrift::ThriftValue& value);
+
+  /// The canonical client_event struct schema.
+  static const thrift::StructSchema& Schema();
+
+  /// Looks up a details key; nullptr when absent.
+  const std::string* FindDetail(std::string_view key) const;
+
+  bool operator==(const ClientEvent& other) const;
+};
+
+/// A framed batch of serialized client events: each record is a varint
+/// length followed by the compact-Thrift bytes. This is the on-disk layout
+/// of client event log files in the (simulated) warehouse.
+class ClientEventWriter {
+ public:
+  explicit ClientEventWriter(std::string* out) : out_(out) {}
+  void Add(const ClientEvent& event);
+  size_t count() const { return count_; }
+
+ private:
+  std::string* out_;
+  size_t count_ = 0;
+};
+
+/// Streaming reader over a framed batch.
+class ClientEventReader {
+ public:
+  explicit ClientEventReader(std::string_view data) : data_(data) {}
+
+  /// Reads the next event. Returns NotFound at clean end-of-stream,
+  /// Corruption on malformed framing.
+  Status Next(ClientEvent* event);
+
+  /// Reads only the event-name field of the next record, skipping the rest
+  /// of the message — the cheap projection path used by scan-time
+  /// optimizations. Returns NotFound at end-of-stream.
+  Status NextEventNameOnly(std::string* event_name);
+
+ private:
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace unilog::events
+
+#endif  // UNILOG_EVENTS_CLIENT_EVENT_H_

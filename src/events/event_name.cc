@@ -1,0 +1,97 @@
+#include "events/event_name.h"
+
+#include "common/strings.h"
+
+namespace unilog::events {
+
+const char* NameComponentLabel(NameComponent c) {
+  switch (c) {
+    case NameComponent::kClient:
+      return "client";
+    case NameComponent::kPage:
+      return "page";
+    case NameComponent::kSection:
+      return "section";
+    case NameComponent::kComponent:
+      return "component";
+    case NameComponent::kElement:
+      return "element";
+    case NameComponent::kAction:
+      return "action";
+  }
+  return "unknown";
+}
+
+Status ValidateComponent(NameComponent which, std::string_view value) {
+  bool may_be_empty = which != NameComponent::kClient &&
+                      which != NameComponent::kAction;
+  if (value.empty()) {
+    if (may_be_empty) return Status::OK();
+    return Status::InvalidArgument(
+        std::string(NameComponentLabel(which)) + " component must not be empty");
+  }
+  if (!IsLowerSnake(value)) {
+    return Status::InvalidArgument(
+        std::string(NameComponentLabel(which)) +
+        " component must be lowercase snake_case: '" + std::string(value) +
+        "'");
+  }
+  return Status::OK();
+}
+
+Result<EventName> EventName::Make(std::string_view client,
+                                  std::string_view page,
+                                  std::string_view section,
+                                  std::string_view component,
+                                  std::string_view element,
+                                  std::string_view action) {
+  const std::string_view values[kNameComponents] = {client, page,    section,
+                                                    component, element, action};
+  EventName name;
+  for (int i = 0; i < kNameComponents; ++i) {
+    UNILOG_RETURN_NOT_OK(
+        ValidateComponent(static_cast<NameComponent>(i), values[i]));
+    name.parts_[i] = std::string(values[i]);
+  }
+  return name;
+}
+
+Result<EventName> EventName::Parse(std::string_view name) {
+  std::vector<std::string> parts = Split(name, ':');
+  if (parts.size() != kNameComponents) {
+    return Status::InvalidArgument(
+        "event name must have exactly 6 components, got " +
+        std::to_string(parts.size()) + ": '" + std::string(name) + "'");
+  }
+  return Make(parts[0], parts[1], parts[2], parts[3], parts[4], parts[5]);
+}
+
+std::string EventName::ToString() const {
+  std::string out = parts_[0];
+  for (int i = 1; i < kNameComponents; ++i) {
+    out.push_back(':');
+    out += parts_[i];
+  }
+  return out;
+}
+
+std::string EventName::Prefix(int depth) const {
+  if (depth <= 0) return "";
+  if (depth > kNameComponents) depth = kNameComponents;
+  std::string out = parts_[0];
+  for (int i = 1; i < depth; ++i) {
+    out.push_back(':');
+    out += parts_[i];
+  }
+  return out;
+}
+
+bool EventPattern::Matches(const EventName& name) const {
+  return Matches(name.ToString());
+}
+
+bool EventPattern::Matches(std::string_view full_name) const {
+  return GlobMatch(pattern_, full_name);
+}
+
+}  // namespace unilog::events

@@ -1,0 +1,103 @@
+#ifndef UNILOG_EVENTS_EVENT_NAME_H_
+#define UNILOG_EVENTS_EVENT_NAME_H_
+
+#include <array>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace unilog::events {
+
+/// The number of levels in the client-event namespace.
+inline constexpr int kNameComponents = 6;
+
+/// Indices of the six components (Table 1 of the paper).
+enum class NameComponent : int {
+  kClient = 0,     ///< client application: web, iphone, android, ...
+  kPage = 1,       ///< page or functional grouping: home, profile, ...
+  kSection = 2,    ///< tab or stream on a page: mentions, retweets, ...
+  kComponent = 3,  ///< component/object: search_box, tweet, stream, ...
+  kElement = 4,    ///< UI element within the component: button, avatar, ...
+  kAction = 5,     ///< actual user/app action: impression, click, hover, ...
+};
+
+/// Human-readable component labels ("client", "page", ...).
+const char* NameComponentLabel(NameComponent c);
+
+/// A fully-qualified six-level client event name, e.g.
+///   web:home:mentions:stream:avatar:profile_click
+/// The paper imposes consistent lowercased snake_case naming ("to combat
+/// the dreaded camel_Snake"); Parse enforces it. Middle components may be
+/// empty (a page without multiple sections simply has an empty section
+/// component) — this is the flip side of the fixed six-level scheme the
+/// paper chose over an arbitrary-depth tree. `client` and `action` must be
+/// non-empty.
+class EventName {
+ public:
+  EventName() = default;
+
+  /// Builds from components, validating each.
+  static Result<EventName> Make(std::string_view client, std::string_view page,
+                                std::string_view section,
+                                std::string_view component,
+                                std::string_view element,
+                                std::string_view action);
+
+  /// Parses a colon-joined name. Must have exactly six components.
+  static Result<EventName> Parse(std::string_view name);
+
+  const std::string& component(NameComponent c) const {
+    return parts_[static_cast<int>(c)];
+  }
+  const std::string& client() const { return parts_[0]; }
+  const std::string& page() const { return parts_[1]; }
+  const std::string& section() const { return parts_[2]; }
+  const std::string& part_component() const { return parts_[3]; }
+  const std::string& element() const { return parts_[4]; }
+  const std::string& action() const { return parts_[5]; }
+
+  /// The canonical colon-joined form.
+  std::string ToString() const;
+
+  /// The namespace prefix above a given depth, e.g. depth 2 of the example
+  /// yields "web:home" — used by hierarchical catalog browsing.
+  std::string Prefix(int depth) const;
+
+  bool operator==(const EventName& other) const { return parts_ == other.parts_; }
+  bool operator<(const EventName& other) const { return parts_ < other.parts_; }
+
+ private:
+  std::array<std::string, kNameComponents> parts_;
+};
+
+/// Validates a single name component: empty (allowed for the middle four
+/// levels) or lowercase snake_case.
+Status ValidateComponent(NameComponent which, std::string_view value);
+
+/// A wildcard pattern over event names, supporting the paper's
+/// slice-and-dice queries:
+///   web:home:mentions:*     — all events under the mentions timeline
+///   *:profile_click         — profile clicks across all clients
+///   web:*:*:*:*:impression  — impressions anywhere on the web client
+/// Matching is glob-style over the full colon-joined name ('*' crosses
+/// component boundaries, exactly like the regular-expression usage in the
+/// paper).
+class EventPattern {
+ public:
+  EventPattern() : pattern_("*") {}
+  explicit EventPattern(std::string pattern) : pattern_(std::move(pattern)) {}
+
+  bool Matches(const EventName& name) const;
+  bool Matches(std::string_view full_name) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+ private:
+  std::string pattern_;
+};
+
+}  // namespace unilog::events
+
+#endif  // UNILOG_EVENTS_EVENT_NAME_H_

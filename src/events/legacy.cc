@@ -1,0 +1,188 @@
+#include "events/legacy.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/json.h"
+#include "common/strings.h"
+
+namespace unilog::events {
+
+namespace {
+
+/// The action label an application-specific log would use: the last
+/// component of the unified name (the action), which is all the legacy
+/// world consistently recorded.
+std::string ActionOf(const ClientEvent& event) {
+  auto parts = Split(event.event_name, ':');
+  return parts.empty() ? std::string("unknown") : parts.back();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Format A: nested JSON
+
+std::string LegacyJsonFormat::Format(const ClientEvent& event) {
+  Json inner = Json::Object();
+  inner.Set("actionName", Json::Str(ActionOf(event)));
+  inner.Set("timestampMs", Json::Int(event.timestamp));
+  Json ctx = Json::Object();
+  ctx.Set("userId", Json::Int(event.user_id));
+  ctx.Set("clientIp", Json::Str(event.ip));
+  Json details = Json::Object();
+  for (const auto& [k, v] : event.details) {
+    details.Set(k, Json::Str(v));
+  }
+  Json root = Json::Object();
+  root.Set("eventData", inner);
+  root.Set("requestContext", ctx);
+  root.Set("params", details);
+  root.Set("v", Json::Int(3));  // ad hoc version tag nobody documents
+  return root.Dump();
+}
+
+Result<LegacyRecord> LegacyJsonFormat::Parse(std::string_view line) {
+  UNILOG_ASSIGN_OR_RETURN(Json doc, Json::Parse(line));
+  const Json& data = doc["eventData"];
+  const Json& ctx = doc["requestContext"];
+  if (!data.is_object() || !ctx.is_object()) {
+    return Status::Corruption("legacy json: missing envelope");
+  }
+  if (!data["actionName"].is_string() || !data["timestampMs"].is_number() ||
+      !ctx["userId"].is_number()) {
+    return Status::Corruption("legacy json: missing fields");
+  }
+  LegacyRecord rec;
+  rec.user_id = ctx["userId"].int_value();
+  rec.timestamp = data["timestampMs"].int_value();
+  rec.action = data["actionName"].string_value();
+  rec.source = kCategory;
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Format B: tab-delimited
+
+std::string LegacyDelimitedFormat::Format(const ClientEvent& event) {
+  // Columns: epoch_seconds \t user_id \t ip \t action \t detail_blob
+  std::string detail_blob;
+  for (const auto& [k, v] : event.details) {
+    if (!detail_blob.empty()) detail_blob += ";";
+    detail_blob += k + "=" + v;
+  }
+  // Escape embedded tabs/newlines (the hazard §3.1 mentions).
+  std::string safe_blob;
+  for (char c : detail_blob) {
+    if (c == '\t') {
+      safe_blob += "\\t";
+    } else if (c == '\n') {
+      safe_blob += "\\n";
+    } else {
+      safe_blob.push_back(c);
+    }
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld\t%lld\t",
+                static_cast<long long>(event.timestamp / kMillisPerSecond),
+                static_cast<long long>(event.user_id));
+  return std::string(buf) + event.ip + "\t" + ActionOf(event) + "\t" +
+         safe_blob;
+}
+
+Result<LegacyRecord> LegacyDelimitedFormat::Parse(std::string_view line) {
+  std::vector<std::string> cols = Split(line, '\t');
+  if (cols.size() != 5) {
+    return Status::Corruption("legacy delimited: expected 5 columns, got " +
+                              std::to_string(cols.size()));
+  }
+  char* end = nullptr;
+  long long secs = std::strtoll(cols[0].c_str(), &end, 10);
+  if (end != cols[0].c_str() + cols[0].size()) {
+    return Status::Corruption("legacy delimited: bad timestamp");
+  }
+  long long uid = std::strtoll(cols[1].c_str(), &end, 10);
+  if (end != cols[1].c_str() + cols[1].size()) {
+    return Status::Corruption("legacy delimited: bad user_id");
+  }
+  LegacyRecord rec;
+  rec.timestamp = static_cast<TimeMs>(secs) * kMillisPerSecond;  // s → ms
+  rec.user_id = uid;
+  rec.action = cols[3];
+  rec.source = kCategory;
+  return rec;
+}
+
+// ---------------------------------------------------------------------------
+// Format C: quasi natural language
+
+std::string LegacyNaturalFormat::Format(const ClientEvent& event) {
+  CivilTime c = ToCivil(event.timestamp);
+  char ts[32];
+  std::snprintf(ts, sizeof(ts), "%04d-%02d-%02d %02d:%02d", c.year, c.month,
+                c.day, c.hour, c.minute);
+  std::string line = "user " + std::to_string(event.user_id) +
+                     " performed " + ActionOf(event) + " at " + ts;
+  const std::string* query = event.FindDetail("query");
+  if (query != nullptr) {
+    line += " [" + *query + "]";
+  }
+  return line;
+}
+
+Result<LegacyRecord> LegacyNaturalFormat::Parse(std::string_view line) {
+  // Phrase-delimited: "user <id> performed <action> at <YYYY-MM-DD HH:MM>..."
+  constexpr std::string_view kUser = "user ";
+  constexpr std::string_view kPerformed = " performed ";
+  constexpr std::string_view kAt = " at ";
+  if (!StartsWith(line, kUser)) {
+    return Status::Corruption("legacy natural: missing 'user' prefix");
+  }
+  size_t performed_pos = line.find(kPerformed);
+  if (performed_pos == std::string_view::npos) {
+    return Status::Corruption("legacy natural: missing 'performed'");
+  }
+  size_t at_pos = line.find(kAt, performed_pos + kPerformed.size());
+  if (at_pos == std::string_view::npos) {
+    return Status::Corruption("legacy natural: missing 'at'");
+  }
+  std::string uid_str(
+      line.substr(kUser.size(), performed_pos - kUser.size()));
+  char* end = nullptr;
+  long long uid = std::strtoll(uid_str.c_str(), &end, 10);
+  if (end != uid_str.c_str() + uid_str.size() || uid_str.empty()) {
+    return Status::Corruption("legacy natural: bad user id");
+  }
+  std::string action(line.substr(performed_pos + kPerformed.size(),
+                                 at_pos - performed_pos - kPerformed.size()));
+  std::string_view ts = line.substr(at_pos + kAt.size());
+  // Timestamp is exactly "YYYY-MM-DD HH:MM" (16 chars).
+  if (ts.size() < 16) return Status::Corruption("legacy natural: bad time");
+  CivilTime c;
+  int fields = std::sscanf(std::string(ts.substr(0, 16)).c_str(),
+                           "%d-%d-%d %d:%d", &c.year, &c.month, &c.day,
+                           &c.hour, &c.minute);
+  if (fields != 5) return Status::Corruption("legacy natural: bad time");
+  LegacyRecord rec;
+  rec.user_id = uid;
+  rec.timestamp = FromCivil(c);  // minute resolution: seconds/ms lost
+  rec.action = action;
+  rec.source = kCategory;
+  return rec;
+}
+
+Result<LegacyRecord> ParseLegacy(std::string_view category,
+                                 std::string_view line) {
+  if (category == LegacyJsonFormat::kCategory) {
+    return LegacyJsonFormat::Parse(line);
+  }
+  if (category == LegacyDelimitedFormat::kCategory) {
+    return LegacyDelimitedFormat::Parse(line);
+  }
+  if (category == LegacyNaturalFormat::kCategory) {
+    return LegacyNaturalFormat::Parse(line);
+  }
+  return Status::NotFound("unknown legacy category: " + std::string(category));
+}
+
+}  // namespace unilog::events

@@ -1,0 +1,75 @@
+#ifndef UNILOG_EVENTS_LEGACY_H_
+#define UNILOG_EVENTS_LEGACY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "events/client_event.h"
+
+namespace unilog::events {
+
+/// The application-specific logging world of §3.1, reproduced as three
+/// deliberately-heterogeneous legacy formats. Each format captures the same
+/// logical user action a unified client event would, but with the
+/// idiosyncrasies the paper complains about:
+///  - inconsistent field naming (userId vs user_id vs "user N"),
+///  - inconsistent timestamp conventions (ms vs s vs minute-resolution text),
+///  - no session id at all — sessions must be inferred from user id +
+///    timestamps,
+///  - a different Scribe category (and thus warehouse silo) per application.
+///
+/// The logical content recoverable from any legacy record:
+struct LegacyRecord {
+  int64_t user_id = 0;
+  TimeMs timestamp = 0;      // normalized to ms; resolution varies by format
+  std::string action;        // application-local action label
+  std::string source;        // which legacy format produced it
+};
+
+/// Format A — "web frontend" JSON logs: nested JSON, camelCase keys,
+/// millisecond timestamps buried two levels deep.
+class LegacyJsonFormat {
+ public:
+  static constexpr const char* kCategory = "web_frontend_events";
+
+  /// Down-converts a unified event into the legacy encoding.
+  static std::string Format(const ClientEvent& event);
+
+  /// Parses a legacy line back into the common logical record.
+  static Result<LegacyRecord> Parse(std::string_view line);
+};
+
+/// Format B — "api" logs: tab-delimited columns, snake_case header
+/// convention (user_id), *second*-resolution epoch timestamps, and the
+/// action label in column 4. Embedded tabs in fields are the classic
+/// delimiter hazard; Format escapes them as "\t" text.
+class LegacyDelimitedFormat {
+ public:
+  static constexpr const char* kCategory = "api_request_log";
+
+  static std::string Format(const ClientEvent& event);
+  static Result<LegacyRecord> Parse(std::string_view line);
+};
+
+/// Format C — "search" logs in quasi natural language:
+///   "user 1234 performed results_click at 2012-08-21 13:45 [extra...]"
+/// Minute-resolution timestamps; certain phrases serve as delimiters.
+class LegacyNaturalFormat {
+ public:
+  static constexpr const char* kCategory = "search_activity";
+
+  static std::string Format(const ClientEvent& event);
+  static Result<LegacyRecord> Parse(std::string_view line);
+};
+
+/// Dispatches Parse by category name.
+Result<LegacyRecord> ParseLegacy(std::string_view category,
+                                 std::string_view line);
+
+}  // namespace unilog::events
+
+#endif  // UNILOG_EVENTS_LEGACY_H_

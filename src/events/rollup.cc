@@ -1,0 +1,74 @@
+#include "events/rollup.h"
+
+#include <algorithm>
+
+namespace unilog::events {
+
+std::string RollupKeyFor(const EventName& name, RollupLevel level) {
+  // Number of trailing middle components (before action) to wildcard.
+  int wildcards = static_cast<int>(level);
+  std::string out = name.client();
+  for (int i = 1; i <= 4; ++i) {
+    out.push_back(':');
+    // Components page(1)..element(4); wildcard the last `wildcards` of them.
+    if (i > 4 - wildcards) {
+      out.push_back('*');
+    } else {
+      out += name.component(static_cast<NameComponent>(i));
+    }
+  }
+  out.push_back(':');
+  out += name.action();
+  return out;
+}
+
+void RollupAggregator::Add(const EventName& name, const std::string& country,
+                           bool logged_in, uint64_t count) {
+  for (int level = 0; level < kRollupLevels; ++level) {
+    RollupCell& cell =
+        levels_[level][RollupKeyFor(name, static_cast<RollupLevel>(level))];
+    cell.total += count;
+    if (logged_in) {
+      cell.logged_in += count;
+    } else {
+      cell.logged_out += count;
+    }
+    cell.by_country[country] += count;
+  }
+}
+
+const std::map<std::string, RollupCell>& RollupAggregator::Level(
+    RollupLevel level) const {
+  return levels_[static_cast<int>(level)];
+}
+
+size_t RollupAggregator::TotalKeys() const {
+  size_t n = 0;
+  for (const auto& level : levels_) n += level.size();
+  return n;
+}
+
+std::vector<std::string> RollupAggregator::TopRows(RollupLevel level,
+                                                   size_t limit) const {
+  const auto& cells = Level(level);
+  std::vector<std::pair<std::string, const RollupCell*>> rows;
+  rows.reserve(cells.size());
+  for (const auto& [key, cell] : cells) rows.emplace_back(key, &cell);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    if (a.second->total != b.second->total) {
+      return a.second->total > b.second->total;
+    }
+    return a.first < b.first;
+  });
+  if (rows.size() > limit) rows.resize(limit);
+  std::vector<std::string> out;
+  out.reserve(rows.size());
+  for (const auto& [key, cell] : rows) {
+    out.push_back(key + " " + std::to_string(cell->total) + " " +
+                  std::to_string(cell->logged_in) + " " +
+                  std::to_string(cell->logged_out));
+  }
+  return out;
+}
+
+}  // namespace unilog::events

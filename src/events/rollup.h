@@ -1,0 +1,70 @@
+#ifndef UNILOG_EVENTS_ROLLUP_H_
+#define UNILOG_EVENTS_ROLLUP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "events/event_name.h"
+
+namespace unilog::events {
+
+/// The five automatic aggregation schemas of §3.2. Each level wildcards one
+/// more component (from the element inward), always keeping client and
+/// action:
+///   level 0: (client, page, section, component, element, action)
+///   level 1: (client, page, section, component, *, action)
+///   level 2: (client, page, section, *, *, action)
+///   level 3: (client, page, *, *, *, action)
+///   level 4: (client, *, *, *, *, action)
+enum class RollupLevel : int {
+  kFull = 0,
+  kNoElement = 1,
+  kNoComponent = 2,
+  kNoSection = 3,
+  kNoPage = 4,
+};
+
+inline constexpr int kRollupLevels = 5;
+
+/// The rollup key for an event name at a level: the colon-joined name with
+/// wildcarded components replaced by '*'.
+std::string RollupKeyFor(const EventName& name, RollupLevel level);
+
+/// One aggregated cell, "further broken down by country and logged in /
+/// logged out status" as the paper's dashboard presents.
+struct RollupCell {
+  uint64_t total = 0;
+  uint64_t logged_in = 0;
+  uint64_t logged_out = 0;
+  std::map<std::string, uint64_t> by_country;
+};
+
+/// Computes all five rollup schemas over a stream of events in one pass.
+/// This is the daily Oink job that feeds "top-level metrics in our internal
+/// dashboard" without any intervention from application developers.
+class RollupAggregator {
+ public:
+  /// Accumulates one event occurrence. `country` is the user's country
+  /// code; `logged_in` is the session's logged-in status.
+  void Add(const EventName& name, const std::string& country, bool logged_in,
+           uint64_t count = 1);
+
+  /// The aggregated cells for one level, keyed by wildcarded name.
+  const std::map<std::string, RollupCell>& Level(RollupLevel level) const;
+
+  /// Total distinct keys across all levels.
+  size_t TotalKeys() const;
+
+  /// Renders dashboard-style rows "<key> <total> <logged_in> <logged_out>"
+  /// sorted by descending total, top `limit` rows per level.
+  std::vector<std::string> TopRows(RollupLevel level, size_t limit) const;
+
+ private:
+  std::map<std::string, RollupCell> levels_[kRollupLevels];
+};
+
+}  // namespace unilog::events
+
+#endif  // UNILOG_EVENTS_ROLLUP_H_

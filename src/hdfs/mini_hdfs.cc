@@ -1,0 +1,247 @@
+#include "hdfs/mini_hdfs.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace unilog::hdfs {
+
+MiniHdfs::MiniHdfs(Simulator* sim, HdfsOptions options)
+    : sim_(sim), options_(options) {
+  nodes_["/"] = Node{/*is_dir=*/true, "", 0};
+}
+
+Status MiniHdfs::ValidatePath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must start with '/': " + path);
+  }
+  if (path.size() > 1 && path.back() == '/') {
+    return Status::InvalidArgument("path must not end with '/': " + path);
+  }
+  if (path.find("//") != std::string::npos) {
+    return Status::InvalidArgument("path has empty component: " + path);
+  }
+  return Status::OK();
+}
+
+std::string MiniHdfs::ParentOf(const std::string& path) {
+  size_t pos = path.rfind('/');
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+Status MiniHdfs::CheckAvailable() const {
+  if (!available_) return Status::Unavailable("HDFS outage");
+  return Status::OK();
+}
+
+Status MiniHdfs::Mkdirs(const std::string& path) {
+  UNILOG_RETURN_NOT_OK(CheckAvailable());
+  UNILOG_RETURN_NOT_OK(ValidatePath(path));
+  // Walk down from the root creating missing components.
+  std::vector<std::string> parts = Split(path.substr(1), '/');
+  std::string cur;
+  for (const auto& part : parts) {
+    if (part.empty()) continue;
+    cur += "/" + part;
+    auto it = nodes_.find(cur);
+    if (it == nodes_.end()) {
+      nodes_[cur] = Node{/*is_dir=*/true, "", Now()};
+    } else if (!it->second.is_dir) {
+      return Status::FailedPrecondition("not a directory: " + cur);
+    }
+  }
+  return Status::OK();
+}
+
+Status MiniHdfs::WriteFile(const std::string& path, std::string_view content) {
+  UNILOG_RETURN_NOT_OK(CheckAvailable());
+  UNILOG_RETURN_NOT_OK(ValidatePath(path));
+  if (nodes_.count(path)) {
+    return Status::AlreadyExists("file exists: " + path);
+  }
+  UNILOG_RETURN_NOT_OK(Mkdirs(ParentOf(path)));
+  nodes_[path] = Node{/*is_dir=*/false, std::string(content), Now()};
+  total_file_bytes_ += content.size();
+  bytes_written_ += content.size();
+  ++file_count_;
+  return Status::OK();
+}
+
+Status MiniHdfs::AppendFile(const std::string& path,
+                            std::string_view content) {
+  UNILOG_RETURN_NOT_OK(CheckAvailable());
+  UNILOG_RETURN_NOT_OK(ValidatePath(path));
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) {
+    return WriteFile(path, content);
+  }
+  if (it->second.is_dir) {
+    return Status::FailedPrecondition("is a directory: " + path);
+  }
+  it->second.content.append(content.data(), content.size());
+  it->second.mtime = Now();
+  total_file_bytes_ += content.size();
+  bytes_written_ += content.size();
+  return Status::OK();
+}
+
+Result<std::string> MiniHdfs::ReadFile(const std::string& path) const {
+  UNILOG_RETURN_NOT_OK(CheckAvailable());
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("no such file: " + path);
+  if (it->second.is_dir) {
+    return Status::FailedPrecondition("is a directory: " + path);
+  }
+  bytes_read_ += it->second.content.size();
+  return it->second.content;
+}
+
+Status MiniHdfs::Rename(const std::string& src, const std::string& dst) {
+  UNILOG_RETURN_NOT_OK(CheckAvailable());
+  UNILOG_RETURN_NOT_OK(ValidatePath(src));
+  UNILOG_RETURN_NOT_OK(ValidatePath(dst));
+  auto it = nodes_.find(src);
+  if (it == nodes_.end()) return Status::NotFound("no such path: " + src);
+  if (nodes_.count(dst)) return Status::AlreadyExists("exists: " + dst);
+  std::string dst_parent = ParentOf(dst);
+  auto pit = nodes_.find(dst_parent);
+  if (pit == nodes_.end() || !pit->second.is_dir) {
+    return Status::NotFound("destination parent missing: " + dst_parent);
+  }
+  if (StartsWith(dst, src + "/")) {
+    return Status::InvalidArgument("cannot rename under itself");
+  }
+
+  // Collect the subtree, then move atomically (no observable intermediate
+  // state: this is single-threaded simulated HDFS, so "atomic" means the
+  // whole subtree moves in one call).
+  std::vector<std::pair<std::string, Node>> moved;
+  moved.emplace_back(dst, std::move(it->second));
+  std::string prefix = src + "/";
+  std::vector<std::string> to_erase = {src};
+  for (auto sub = nodes_.upper_bound(prefix);
+       sub != nodes_.end() && StartsWith(sub->first, prefix); ++sub) {
+    moved.emplace_back(dst + sub->first.substr(src.size()),
+                       std::move(sub->second));
+    to_erase.push_back(sub->first);
+  }
+  for (const auto& p : to_erase) nodes_.erase(p);
+  for (auto& [path, node] : moved) {
+    node.mtime = Now();
+    nodes_.emplace(std::move(path), std::move(node));
+  }
+  return Status::OK();
+}
+
+Status MiniHdfs::Delete(const std::string& path, bool recursive) {
+  UNILOG_RETURN_NOT_OK(CheckAvailable());
+  UNILOG_RETURN_NOT_OK(ValidatePath(path));
+  if (path == "/") return Status::InvalidArgument("cannot delete root");
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("no such path: " + path);
+
+  std::string prefix = path + "/";
+  auto first_child = nodes_.upper_bound(prefix);
+  bool has_children = first_child != nodes_.end() &&
+                      StartsWith(first_child->first, prefix);
+  if (has_children && !recursive) {
+    return Status::FailedPrecondition("directory not empty: " + path);
+  }
+
+  std::vector<std::string> to_erase = {path};
+  for (auto sub = nodes_.upper_bound(prefix);
+       sub != nodes_.end() && StartsWith(sub->first, prefix); ++sub) {
+    to_erase.push_back(sub->first);
+  }
+  for (const auto& p : to_erase) {
+    auto nit = nodes_.find(p);
+    if (!nit->second.is_dir) {
+      total_file_bytes_ -= nit->second.content.size();
+      --file_count_;
+    }
+    nodes_.erase(nit);
+  }
+  return Status::OK();
+}
+
+FileStatus MiniHdfs::MakeStatus(const std::string& path,
+                                const Node& node) const {
+  FileStatus st;
+  st.path = path;
+  st.is_dir = node.is_dir;
+  st.size = node.content.size();
+  st.block_count = node.is_dir ? 0 : BlocksFor(st.size);
+  st.mtime = node.mtime;
+  return st;
+}
+
+Result<std::vector<FileStatus>> MiniHdfs::List(const std::string& path) const {
+  UNILOG_RETURN_NOT_OK(CheckAvailable());
+  UNILOG_RETURN_NOT_OK(ValidatePath(path));
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("no such path: " + path);
+  if (!it->second.is_dir) {
+    return Status::FailedPrecondition("not a directory: " + path);
+  }
+  std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<FileStatus> out;
+  for (auto sub = nodes_.upper_bound(prefix);
+       sub != nodes_.end() && StartsWith(sub->first, prefix); ++sub) {
+    std::string rest = sub->first.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) {
+      out.push_back(MakeStatus(sub->first, sub->second));
+    }
+  }
+  return out;
+}
+
+Result<std::vector<FileStatus>> MiniHdfs::ListRecursive(
+    const std::string& path) const {
+  UNILOG_RETURN_NOT_OK(CheckAvailable());
+  UNILOG_RETURN_NOT_OK(ValidatePath(path));
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("no such path: " + path);
+  if (!it->second.is_dir) {
+    return Status::FailedPrecondition("not a directory: " + path);
+  }
+  std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<FileStatus> out;
+  for (auto sub = nodes_.upper_bound(prefix);
+       sub != nodes_.end() && StartsWith(sub->first, prefix); ++sub) {
+    if (!sub->second.is_dir) {
+      out.push_back(MakeStatus(sub->first, sub->second));
+    }
+  }
+  return out;
+}
+
+bool MiniHdfs::Exists(const std::string& path) const {
+  return nodes_.count(path) > 0;
+}
+
+bool MiniHdfs::IsDir(const std::string& path) const {
+  auto it = nodes_.find(path);
+  return it != nodes_.end() && it->second.is_dir;
+}
+
+Result<FileStatus> MiniHdfs::Stat(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("no such path: " + path);
+  return MakeStatus(path, it->second);
+}
+
+uint64_t MiniHdfs::BlocksFor(uint64_t size) const {
+  if (size == 0) return 1;
+  return (size + options_.block_size - 1) / options_.block_size;
+}
+
+uint64_t MiniHdfs::total_blocks() const {
+  uint64_t blocks = 0;
+  for (const auto& [path, node] : nodes_) {
+    if (!node.is_dir) blocks += BlocksFor(node.content.size());
+  }
+  return blocks;
+}
+
+}  // namespace unilog::hdfs

@@ -1,0 +1,124 @@
+#ifndef UNILOG_HDFS_MINI_HDFS_H_
+#define UNILOG_HDFS_MINI_HDFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace unilog::hdfs {
+
+/// Configuration for a MiniHdfs instance.
+struct HdfsOptions {
+  /// Block size in bytes. Hadoop defaults to 64-128 MiB; the simulated
+  /// warehouse uses a small block so laptop-scale datasets still split
+  /// into many map tasks, preserving the paper's task-count economics.
+  uint64_t block_size = 1 * 1024 * 1024;
+};
+
+/// Directory-entry metadata.
+struct FileStatus {
+  std::string path;
+  bool is_dir = false;
+  uint64_t size = 0;
+  uint64_t block_count = 0;
+  TimeMs mtime = 0;
+};
+
+/// An in-memory single-namespace file system with HDFS-shaped semantics:
+/// hierarchical directories, create/append/read, *atomic rename* (the
+/// primitive the log mover uses to slide an hour of logs into the
+/// warehouse in one step, §2), recursive delete, and listing. Files are
+/// accounted in blocks; downstream, the dataflow engine spawns one map
+/// task per block, which is what makes raw-log scans expensive in the
+/// same way the paper describes.
+///
+/// Availability injection: SetAvailable(false) makes every data operation
+/// return Unavailable, modeling the HDFS outages that force Scribe
+/// aggregators to buffer on local disk.
+class MiniHdfs {
+ public:
+  explicit MiniHdfs(Simulator* sim = nullptr, HdfsOptions options = {});
+
+  MiniHdfs(const MiniHdfs&) = delete;
+  MiniHdfs& operator=(const MiniHdfs&) = delete;
+
+  /// Creates a directory and any missing ancestors.
+  Status Mkdirs(const std::string& path);
+
+  /// Creates a new file with the given content. Parent directories are
+  /// created implicitly (HDFS create semantics). Fails if the file exists.
+  Status WriteFile(const std::string& path, std::string_view content);
+
+  /// Appends to an existing file (creates it if absent).
+  Status AppendFile(const std::string& path, std::string_view content);
+
+  /// Reads a whole file.
+  Result<std::string> ReadFile(const std::string& path) const;
+
+  /// Atomically renames a file or directory subtree. `dst` must not exist;
+  /// the parent of `dst` must exist and be a directory.
+  Status Rename(const std::string& src, const std::string& dst);
+
+  /// Deletes a file, or a directory subtree when `recursive` (a non-empty
+  /// directory without `recursive` fails).
+  Status Delete(const std::string& path, bool recursive = false);
+
+  /// Lists direct children of a directory, sorted by name.
+  Result<std::vector<FileStatus>> List(const std::string& path) const;
+
+  /// Lists all files (not dirs) under a directory subtree, sorted.
+  Result<std::vector<FileStatus>> ListRecursive(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+  bool IsDir(const std::string& path) const;
+  Result<FileStatus> Stat(const std::string& path) const;
+
+  /// Number of blocks a file of `size` bytes occupies.
+  uint64_t BlocksFor(uint64_t size) const;
+
+  // --- Failure injection ---
+  void SetAvailable(bool available) { available_ = available; }
+  bool available() const { return available_; }
+
+  // --- Metrics ---
+  uint64_t total_file_bytes() const { return total_file_bytes_; }
+  uint64_t total_blocks() const;
+  uint64_t file_count() const { return file_count_; }
+  uint64_t bytes_written() const { return bytes_written_; }
+  uint64_t bytes_read() const { return bytes_read_; }
+
+  const HdfsOptions& options() const { return options_; }
+
+ private:
+  struct Node {
+    bool is_dir = false;
+    std::string content;  // files only
+    TimeMs mtime = 0;
+  };
+
+  static Status ValidatePath(const std::string& path);
+  static std::string ParentOf(const std::string& path);
+  Status CheckAvailable() const;
+  TimeMs Now() const { return sim_ != nullptr ? sim_->Now() : 0; }
+  FileStatus MakeStatus(const std::string& path, const Node& node) const;
+
+  Simulator* sim_;
+  HdfsOptions options_;
+  bool available_ = true;
+  std::map<std::string, Node> nodes_;  // sorted by path
+  uint64_t total_file_bytes_ = 0;
+  uint64_t file_count_ = 0;
+  mutable uint64_t bytes_read_ = 0;
+  uint64_t bytes_written_ = 0;
+};
+
+}  // namespace unilog::hdfs
+
+#endif  // UNILOG_HDFS_MINI_HDFS_H_

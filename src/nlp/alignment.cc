@@ -1,0 +1,75 @@
+#include "nlp/alignment.h"
+
+#include <algorithm>
+
+namespace unilog::nlp {
+
+AlignmentResult LocalAlign(const SymbolSequence& a, const SymbolSequence& b,
+                           const AlignmentScoring& scoring) {
+  const size_t n = a.size(), m = b.size();
+  AlignmentResult best;
+  if (n == 0 || m == 0) return best;
+
+  // Full DP matrix with backtrack; sessions are short (tens to hundreds of
+  // events), so O(nm) memory is fine.
+  std::vector<std::vector<double>> h(n + 1, std::vector<double>(m + 1, 0));
+  size_t best_i = 0, best_j = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    for (size_t j = 1; j <= m; ++j) {
+      double diag = h[i - 1][j - 1] +
+                    (a[i - 1] == b[j - 1] ? scoring.match : scoring.mismatch);
+      double up = h[i - 1][j] + scoring.gap;
+      double left = h[i][j - 1] + scoring.gap;
+      h[i][j] = std::max({0.0, diag, up, left});
+      if (h[i][j] > best.score) {
+        best.score = h[i][j];
+        best_i = i;
+        best_j = j;
+      }
+    }
+  }
+  if (best.score <= 0) return best;
+
+  // Backtrack from the maximum to the first zero cell.
+  size_t i = best_i, j = best_j;
+  size_t matches = 0;
+  while (i > 0 && j > 0 && h[i][j] > 0) {
+    double cell = h[i][j];
+    double diag = h[i - 1][j - 1] +
+                  (a[i - 1] == b[j - 1] ? scoring.match : scoring.mismatch);
+    if (cell == diag) {
+      if (a[i - 1] == b[j - 1]) ++matches;
+      --i;
+      --j;
+    } else if (cell == h[i - 1][j] + scoring.gap) {
+      --i;
+    } else {
+      --j;
+    }
+  }
+  best.a_begin = i;
+  best.a_end = best_i;
+  best.b_begin = j;
+  best.b_end = best_j;
+  best.matches = matches;
+  return best;
+}
+
+std::vector<std::pair<size_t, double>> QueryByExample(
+    const SymbolSequence& example,
+    const std::vector<SymbolSequence>& candidates, size_t k,
+    const AlignmentScoring& scoring) {
+  std::vector<std::pair<size_t, double>> scored;
+  scored.reserve(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scored.emplace_back(i, LocalAlign(example, candidates[i], scoring).score);
+  }
+  std::stable_sort(scored.begin(), scored.end(),
+                   [](const auto& x, const auto& y) {
+                     return x.second > y.second;
+                   });
+  if (scored.size() > k) scored.resize(k);
+  return scored;
+}
+
+}  // namespace unilog::nlp

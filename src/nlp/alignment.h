@@ -1,0 +1,45 @@
+#ifndef UNILOG_NLP_ALIGNMENT_H_
+#define UNILOG_NLP_ALIGNMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nlp/ngram_model.h"
+
+namespace unilog::nlp {
+
+/// Scoring scheme for Smith-Waterman local alignment over event symbols.
+struct AlignmentScoring {
+  double match = 2.0;
+  double mismatch = -1.0;
+  double gap = -1.0;
+};
+
+/// Result of a local alignment: the best-scoring pair of subsequences.
+struct AlignmentResult {
+  double score = 0;
+  /// Half-open ranges [a_begin, a_end) / [b_begin, b_end) of the aligned
+  /// regions in the two inputs.
+  size_t a_begin = 0, a_end = 0;
+  size_t b_begin = 0, b_end = 0;
+  size_t matches = 0;
+};
+
+/// Smith-Waterman local alignment between two session sequences — the §6
+/// "inspiration from biological sequence alignment" extension answering
+/// "what users exhibit similar behavioural patterns?".
+AlignmentResult LocalAlign(const SymbolSequence& a, const SymbolSequence& b,
+                           const AlignmentScoring& scoring = {});
+
+/// Query-by-example: ranks candidate sessions by their local-alignment
+/// score against the example. Returns indices into `candidates`, best
+/// first, limited to `k`.
+std::vector<std::pair<size_t, double>> QueryByExample(
+    const SymbolSequence& example,
+    const std::vector<SymbolSequence>& candidates, size_t k,
+    const AlignmentScoring& scoring = {});
+
+}  // namespace unilog::nlp
+
+#endif  // UNILOG_NLP_ALIGNMENT_H_

@@ -1,0 +1,114 @@
+#include "nlp/collocations.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace unilog::nlp {
+
+namespace {
+
+double XLogX(double x) { return x > 0 ? x * std::log(x) : 0.0; }
+
+// log-likelihood of observing k successes in n trials at rate p.
+double LogL(double k, double n, double p) {
+  if (p <= 0 || p >= 1) {
+    // Degenerate rates only fit degenerate observations.
+    if ((p <= 0 && k == 0) || (p >= 1 && k == n)) return 0.0;
+    p = std::min(1.0 - 1e-12, std::max(1e-12, p));
+  }
+  return k * std::log(p) + (n - k) * std::log(1 - p);
+}
+
+}  // namespace
+
+double LogLikelihoodRatio(uint64_t k1, uint64_t n1, uint64_t k2, uint64_t n2) {
+  if (n1 == 0 || n2 == 0) return 0.0;
+  double dk1 = static_cast<double>(k1), dn1 = static_cast<double>(n1);
+  double dk2 = static_cast<double>(k2), dn2 = static_cast<double>(n2);
+  double p1 = dk1 / dn1;
+  double p2 = dk2 / dn2;
+  double p = (dk1 + dk2) / (dn1 + dn2);
+  double llr = 2.0 * (LogL(dk1, dn1, p1) + LogL(dk2, dn2, p2) -
+                      LogL(dk1, dn1, p) - LogL(dk2, dn2, p));
+  (void)XLogX;  // silence unused helper in some build configs
+  return llr < 0 ? 0.0 : llr;
+}
+
+void CollocationFinder::Add(const SymbolSequence& sequence) {
+  for (size_t i = 0; i + 1 < sequence.size(); ++i) {
+    ++pair_counts_[{sequence[i], sequence[i + 1]}];
+    ++left_counts_[sequence[i]];
+    ++right_counts_[sequence[i + 1]];
+    ++total_bigrams_;
+  }
+}
+
+Collocation CollocationFinder::MakeCollocation(uint32_t first, uint32_t second,
+                                               uint64_t pair_count) const {
+  Collocation c;
+  c.first = first;
+  c.second = second;
+  c.pair_count = pair_count;
+  auto lit = left_counts_.find(first);
+  auto rit = right_counts_.find(second);
+  c.first_count = lit == left_counts_.end() ? 0 : lit->second;
+  c.second_count = rit == right_counts_.end() ? 0 : rit->second;
+  if (pair_count > 0 && c.first_count > 0 && c.second_count > 0 &&
+      total_bigrams_ > 0) {
+    double expected = static_cast<double>(c.first_count) *
+                      static_cast<double>(c.second_count) /
+                      static_cast<double>(total_bigrams_);
+    c.pmi = std::log2(static_cast<double>(pair_count) / expected);
+    // Dunning: k1 = pair, n1 = left count; k2 = second occurring after
+    // anything else, n2 = everything else.
+    uint64_t k2 = c.second_count - pair_count;
+    uint64_t n2 = total_bigrams_ - c.first_count;
+    c.llr = LogLikelihoodRatio(pair_count, c.first_count, k2, n2);
+    // Negative association should not rank as a collocation.
+    double p1 = static_cast<double>(pair_count) /
+                static_cast<double>(c.first_count);
+    double p2 = n2 == 0 ? 0
+                        : static_cast<double>(k2) / static_cast<double>(n2);
+    if (p1 < p2) c.llr = 0;
+  }
+  return c;
+}
+
+Collocation CollocationFinder::PairStats(uint32_t first,
+                                         uint32_t second) const {
+  auto it = pair_counts_.find({first, second});
+  uint64_t count = it == pair_counts_.end() ? 0 : it->second;
+  return MakeCollocation(first, second, count);
+}
+
+std::vector<Collocation> CollocationFinder::TopByPmi(uint64_t min_count,
+                                                     size_t k) const {
+  std::vector<Collocation> all;
+  for (const auto& [pair, count] : pair_counts_) {
+    if (count < min_count) continue;
+    all.push_back(MakeCollocation(pair.first, pair.second, count));
+  }
+  std::sort(all.begin(), all.end(), [](const Collocation& a,
+                                       const Collocation& b) {
+    if (a.pmi != b.pmi) return a.pmi > b.pmi;
+    return std::make_pair(a.first, a.second) < std::make_pair(b.first, b.second);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<Collocation> CollocationFinder::TopByLlr(size_t k) const {
+  std::vector<Collocation> all;
+  for (const auto& [pair, count] : pair_counts_) {
+    all.push_back(MakeCollocation(pair.first, pair.second, count));
+  }
+  std::sort(all.begin(), all.end(), [](const Collocation& a,
+                                       const Collocation& b) {
+    if (a.llr != b.llr) return a.llr > b.llr;
+    return std::make_pair(a.first, a.second) < std::make_pair(b.first, b.second);
+  });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace unilog::nlp

@@ -1,0 +1,64 @@
+#ifndef UNILOG_NLP_COLLOCATIONS_H_
+#define UNILOG_NLP_COLLOCATIONS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nlp/ngram_model.h"
+
+namespace unilog::nlp {
+
+/// One "activity collocate" (§5.4): an adjacent event pair that co-occurs
+/// far more often than independence predicts — the behavioural analogue of
+/// "hot dog".
+struct Collocation {
+  uint32_t first = 0;
+  uint32_t second = 0;
+  uint64_t pair_count = 0;
+  uint64_t first_count = 0;
+  uint64_t second_count = 0;
+  double pmi = 0;  // pointwise mutual information, bits
+  double llr = 0;  // Dunning log-likelihood ratio
+};
+
+/// Extracts bigram collocations from session sequences using the two
+/// techniques the paper names: pointwise mutual information (Church &
+/// Hanks) and the log-likelihood ratio (Dunning).
+class CollocationFinder {
+ public:
+  /// Accumulates adjacent pairs from one session.
+  void Add(const SymbolSequence& sequence);
+
+  uint64_t total_bigrams() const { return total_bigrams_; }
+
+  /// Top-k collocations by PMI among pairs with count >= min_count (PMI is
+  /// unstable for rare pairs, hence the threshold — standard practice).
+  std::vector<Collocation> TopByPmi(uint64_t min_count, size_t k) const;
+
+  /// Top-k collocations by log-likelihood ratio (robust for rare events,
+  /// Dunning's motivation).
+  std::vector<Collocation> TopByLlr(size_t k) const;
+
+  /// Stats for one specific pair (zeros if unseen).
+  Collocation PairStats(uint32_t first, uint32_t second) const;
+
+ private:
+  Collocation MakeCollocation(uint32_t first, uint32_t second,
+                              uint64_t pair_count) const;
+
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> pair_counts_;
+  std::map<uint32_t, uint64_t> left_counts_;   // unigram as bigram-left
+  std::map<uint32_t, uint64_t> right_counts_;  // unigram as bigram-right
+  uint64_t total_bigrams_ = 0;
+};
+
+/// Dunning's 2·log-likelihood ratio for a 2x2 contingency table given
+/// k1/n1 (pair occurrences / left occurrences) vs k2/n2 (second-without-
+/// first / rest). Exposed for testing.
+double LogLikelihoodRatio(uint64_t k1, uint64_t n1, uint64_t k2, uint64_t n2);
+
+}  // namespace unilog::nlp
+
+#endif  // UNILOG_NLP_COLLOCATIONS_H_

@@ -1,0 +1,111 @@
+#include "nlp/grammar.h"
+
+#include <algorithm>
+
+namespace unilog::nlp {
+
+namespace {
+
+using Pair = std::pair<uint32_t, uint32_t>;
+
+/// Replaces non-overlapping occurrences of `pair` with `replacement`,
+/// left to right.
+void MergePair(SymbolSequence* seq, const Pair& pair, uint32_t replacement) {
+  SymbolSequence out;
+  out.reserve(seq->size());
+  size_t i = 0;
+  while (i < seq->size()) {
+    if (i + 1 < seq->size() && (*seq)[i] == pair.first &&
+        (*seq)[i + 1] == pair.second) {
+      out.push_back(replacement);
+      i += 2;
+    } else {
+      out.push_back((*seq)[i]);
+      ++i;
+    }
+  }
+  *seq = std::move(out);
+}
+
+}  // namespace
+
+InducedGrammar InducedGrammar::Induce(const std::vector<SymbolSequence>& corpus,
+                                      const Options& options) {
+  InducedGrammar grammar;
+  std::vector<SymbolSequence> work = corpus;
+  uint32_t next_nonterminal = kFirstNonterminal;
+
+  for (size_t round = 0; round < options.max_rules; ++round) {
+    // Count adjacent pairs (non-overlapping counting is approximated by
+    // raw adjacent counting; ties broken deterministically by pair value).
+    std::map<Pair, uint64_t> pair_counts;
+    for (const auto& seq : work) {
+      for (size_t i = 0; i + 1 < seq.size(); ++i) {
+        ++pair_counts[{seq[i], seq[i + 1]}];
+      }
+    }
+    const Pair* best = nullptr;
+    uint64_t best_count = 0;
+    for (const auto& [pair, count] : pair_counts) {
+      if (count > best_count) {
+        best_count = count;
+        best = &pair;
+      }
+    }
+    if (best == nullptr || best_count < options.min_count) break;
+
+    GrammarRule rule;
+    rule.nonterminal = next_nonterminal++;
+    rule.left = best->first;
+    rule.right = best->second;
+    rule.count = best_count;
+    Pair merged = *best;  // copy: `best` points into pair_counts
+    grammar.rule_index_[rule.nonterminal] = grammar.rules_.size();
+    grammar.rules_.push_back(rule);
+    for (auto& seq : work) {
+      MergePair(&seq, merged, rule.nonterminal);
+    }
+  }
+  return grammar;
+}
+
+SymbolSequence InducedGrammar::Encode(const SymbolSequence& sequence) const {
+  SymbolSequence out = sequence;
+  for (const auto& rule : rules_) {
+    MergePair(&out, {rule.left, rule.right}, rule.nonterminal);
+  }
+  return out;
+}
+
+std::vector<uint32_t> InducedGrammar::Expand(uint32_t symbol) const {
+  auto it = rule_index_.find(symbol);
+  if (it == rule_index_.end()) return {symbol};
+  const GrammarRule& rule = rules_[it->second];
+  std::vector<uint32_t> out = Expand(rule.left);
+  std::vector<uint32_t> right = Expand(rule.right);
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+SymbolSequence InducedGrammar::Decode(const SymbolSequence& sequence) const {
+  SymbolSequence out;
+  out.reserve(sequence.size() * 2);
+  for (uint32_t symbol : sequence) {
+    std::vector<uint32_t> expanded = Expand(symbol);
+    out.insert(out.end(), expanded.begin(), expanded.end());
+  }
+  return out;
+}
+
+double InducedGrammar::CompressionRatio(
+    const std::vector<SymbolSequence>& corpus) const {
+  uint64_t original = 0, encoded = 0;
+  for (const auto& seq : corpus) {
+    original += seq.size();
+    encoded += Encode(seq).size();
+  }
+  if (original == 0) return 1.0;
+  return static_cast<double>(encoded) / static_cast<double>(original);
+}
+
+}  // namespace unilog::nlp

@@ -1,0 +1,71 @@
+#ifndef UNILOG_NLP_GRAMMAR_H_
+#define UNILOG_NLP_GRAMMAR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "nlp/ngram_model.h"
+
+namespace unilog::nlp {
+
+/// First symbol id used for induced nonterminals (safely above both the
+/// unicode range and the BOS/EOS sentinels).
+inline constexpr uint32_t kFirstNonterminal = 0x200000;
+
+/// One induced production: nonterminal → left right.
+struct GrammarRule {
+  uint32_t nonterminal = 0;
+  uint32_t left = 0;
+  uint32_t right = 0;
+  uint64_t count = 0;  // corpus frequency of the pair when merged
+};
+
+/// Grammar induction over session sequences (§6: "applying automatic
+/// grammar induction techniques to learn hierarchical decompositions of
+/// user activity... many sessions break down into smaller units that
+/// exhibit a great deal of cohesion"). Uses byte-pair-encoding-style
+/// iterative merging: the most frequent adjacent symbol pair becomes a
+/// new nonterminal, recursively yielding a hierarchy of behavioural
+/// "phrases".
+class InducedGrammar {
+ public:
+  struct Options {
+    /// Stop after inducing this many rules.
+    size_t max_rules = 64;
+    /// Only merge pairs occurring at least this often.
+    uint64_t min_count = 4;
+  };
+
+  /// Induces a grammar from a corpus of sessions.
+  static InducedGrammar Induce(const std::vector<SymbolSequence>& corpus,
+                               const Options& options);
+  static InducedGrammar Induce(const std::vector<SymbolSequence>& corpus) {
+    return Induce(corpus, Options());
+  }
+
+  const std::vector<GrammarRule>& rules() const { return rules_; }
+
+  /// Rewrites a sequence bottom-up using the induced rules (repeated
+  /// greedy left-to-right application, in rule-induction order).
+  SymbolSequence Encode(const SymbolSequence& sequence) const;
+
+  /// Expands all nonterminals back to terminals. Decode(Encode(s)) == s.
+  SymbolSequence Decode(const SymbolSequence& sequence) const;
+
+  /// The terminal expansion of one symbol (identity for terminals).
+  std::vector<uint32_t> Expand(uint32_t symbol) const;
+
+  /// Average encoded length / average original length over a corpus —
+  /// < 1 when the grammar finds real structure.
+  double CompressionRatio(const std::vector<SymbolSequence>& corpus) const;
+
+ private:
+  std::vector<GrammarRule> rules_;          // in induction order
+  std::map<uint32_t, size_t> rule_index_;   // nonterminal → rules_ index
+};
+
+}  // namespace unilog::nlp
+
+#endif  // UNILOG_NLP_GRAMMAR_H_

@@ -1,0 +1,131 @@
+#include "nlp/ngram_model.h"
+
+#include <cmath>
+
+namespace unilog::nlp {
+
+NgramModel::NgramModel(int n, size_t vocabulary_size, Options options)
+    : n_(n < 1 ? 1 : n),
+      vocab_size_(vocabulary_size + 2),  // + BOS/EOS
+      options_(options) {
+  counts_.resize(n_);
+  context_totals_.resize(n_);
+}
+
+std::string NgramModel::ContextKey(const uint32_t* symbols, size_t len) {
+  std::string key;
+  key.reserve(len * 4);
+  for (size_t i = 0; i < len; ++i) {
+    uint32_t v = symbols[i];
+    key.push_back(static_cast<char>(v & 0xFF));
+    key.push_back(static_cast<char>((v >> 8) & 0xFF));
+    key.push_back(static_cast<char>((v >> 16) & 0xFF));
+    key.push_back(static_cast<char>((v >> 24) & 0xFF));
+  }
+  return key;
+}
+
+void NgramModel::Train(const SymbolSequence& sequence) {
+  // Padded: n-1 BOS symbols, then the sequence, then EOS.
+  SymbolSequence padded;
+  padded.reserve(sequence.size() + n_);
+  for (int i = 0; i < n_ - 1; ++i) padded.push_back(kBosSymbol);
+  padded.insert(padded.end(), sequence.begin(), sequence.end());
+  padded.push_back(kEosSymbol);
+
+  for (size_t pos = static_cast<size_t>(n_ - 1); pos < padded.size(); ++pos) {
+    uint32_t symbol = padded[pos];
+    // Update counts for all orders 0..n-1 (context lengths).
+    for (int k = 0; k < n_; ++k) {
+      const uint32_t* ctx_start = padded.data() + pos - k;
+      std::string key = ContextKey(ctx_start, static_cast<size_t>(k));
+      ++counts_[k][key][symbol];
+      ++context_totals_[k][key];
+    }
+    ++total_ngrams_;
+  }
+}
+
+void NgramModel::TrainBatch(const std::vector<SymbolSequence>& sequences) {
+  for (const auto& s : sequences) Train(s);
+}
+
+double NgramModel::Probability(const SymbolSequence& history,
+                               uint32_t symbol) const {
+  // Witten-Bell backoff, evaluated bottom-up from the add-k unigram base.
+  // Base: P_0'(w) = (c(w) + k) / (N + k·V) over the empty context.
+  const std::string empty_key = ContextKey(nullptr, 0);
+  double base_count = 0;
+  double base_total = 0;
+  {
+    auto total_it = context_totals_[0].find(empty_key);
+    if (total_it != context_totals_[0].end()) {
+      base_total = static_cast<double>(total_it->second);
+    }
+    auto map_it = counts_[0].find(empty_key);
+    if (map_it != counts_[0].end()) {
+      auto cit = map_it->second.find(symbol);
+      if (cit != map_it->second.end()) {
+        base_count = static_cast<double>(cit->second);
+      }
+    }
+  }
+  double p = (base_count + options_.base_add_k) /
+             (base_total + options_.base_add_k * static_cast<double>(vocab_size_));
+
+  for (int k = 1; k < n_; ++k) {
+    // Context: last k symbols of history (BOS-padded when short).
+    SymbolSequence ctx;
+    ctx.reserve(k);
+    for (int i = k; i >= 1; --i) {
+      int64_t idx = static_cast<int64_t>(history.size()) - i;
+      ctx.push_back(idx < 0 ? kBosSymbol
+                            : history[static_cast<size_t>(idx)]);
+    }
+    std::string key = ContextKey(ctx.data(), ctx.size());
+    auto total_it = context_totals_[k].find(key);
+    if (total_it == context_totals_[k].end() || total_it->second == 0) {
+      continue;  // unseen context: keep the lower-order estimate
+    }
+    auto map_it = counts_[k].find(key);
+    double count = 0;
+    double types = 0;
+    if (map_it != counts_[k].end()) {
+      types = static_cast<double>(map_it->second.size());
+      auto cit = map_it->second.find(symbol);
+      if (cit != map_it->second.end()) {
+        count = static_cast<double>(cit->second);
+      }
+    }
+    double total = static_cast<double>(total_it->second);
+    p = (count + types * p) / (total + types);
+  }
+  return p;
+}
+
+Result<double> NgramModel::CrossEntropy(
+    const std::vector<SymbolSequence>& test) const {
+  double log_sum = 0;
+  uint64_t symbols = 0;
+  for (const auto& seq : test) {
+    SymbolSequence history;
+    for (size_t i = 0; i <= seq.size(); ++i) {
+      uint32_t symbol = (i == seq.size()) ? kEosSymbol : seq[i];
+      double p = Probability(history, symbol);
+      if (p <= 0) p = 1e-12;
+      log_sum += -std::log2(p);
+      ++symbols;
+      if (i < seq.size()) history.push_back(seq[i]);
+    }
+  }
+  if (symbols == 0) return Status::InvalidArgument("empty test set");
+  return log_sum / static_cast<double>(symbols);
+}
+
+Result<double> NgramModel::Perplexity(
+    const std::vector<SymbolSequence>& test) const {
+  UNILOG_ASSIGN_OR_RETURN(double h, CrossEntropy(test));
+  return std::pow(2.0, h);
+}
+
+}  // namespace unilog::nlp

@@ -1,0 +1,80 @@
+#ifndef UNILOG_NLP_NGRAM_MODEL_H_
+#define UNILOG_NLP_NGRAM_MODEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace unilog::nlp {
+
+/// A session as a symbol sequence: code points drawn from the finite event
+/// alphabet (§5.4 treats session sequences exactly like sentences).
+using SymbolSequence = std::vector<uint32_t>;
+
+/// Reserved boundary symbols (outside the dictionary's assignment range,
+/// which starts at 1 and never reaches the top of the code space).
+inline constexpr uint32_t kBosSymbol = 0x10FFFE;
+inline constexpr uint32_t kEosSymbol = 0x10FFFF;
+
+/// An n-gram language model over session sequences with Witten-Bell
+/// backoff smoothing: P_k(w|h) = (c(h,w) + T(h)·P_{k-1}(w|h')) /
+/// (c(h) + T(h)), recursing down to an add-one unigram base, so unseen
+/// events never get zero probability and sparse high-order contexts defer
+/// to lower orders. Cross-entropy and perplexity quantify how much
+/// "temporal signal" user behaviour carries (§5.4).
+class NgramModel {
+ public:
+  struct Options {
+    /// Add-k constant of the unigram base distribution.
+    double base_add_k = 1.0;
+  };
+
+  /// `n` >= 1. `vocabulary_size` is the event-alphabet size |Σ| (boundary
+  /// symbols are added internally).
+  NgramModel(int n, size_t vocabulary_size, Options options);
+  NgramModel(int n, size_t vocabulary_size)
+      : NgramModel(n, vocabulary_size, Options()) {}
+
+  int n() const { return n_; }
+
+  /// Accumulates counts from one session (BOS-padded, EOS-terminated).
+  void Train(const SymbolSequence& sequence);
+  void TrainBatch(const std::vector<SymbolSequence>& sequences);
+
+  /// P(symbol | history): history is the full preceding sequence; only the
+  /// last n-1 symbols are used (Markov assumption).
+  double Probability(const SymbolSequence& history, uint32_t symbol) const;
+
+  /// Cross-entropy in bits per symbol over a test set (includes EOS
+  /// predictions, standard practice). Returns error on an empty test set.
+  Result<double> CrossEntropy(const std::vector<SymbolSequence>& test) const;
+
+  /// Perplexity = 2^cross-entropy.
+  Result<double> Perplexity(const std::vector<SymbolSequence>& test) const;
+
+  uint64_t total_ngrams_observed() const { return total_ngrams_; }
+
+ private:
+  /// Encodes a context (up to n-1 symbols) as a string key.
+  static std::string ContextKey(const uint32_t* symbols, size_t len);
+
+  int n_;
+  size_t vocab_size_;
+  Options options_;
+  uint64_t total_ngrams_ = 0;
+  /// counts_[k]: maps context of length k (as key) → (symbol → count).
+  /// k ranges 0..n-1.
+  std::vector<std::unordered_map<std::string,
+                                 std::unordered_map<uint32_t, uint64_t>>>
+      counts_;
+  /// context_totals_[k]: context key → total count.
+  std::vector<std::unordered_map<std::string, uint64_t>> context_totals_;
+};
+
+}  // namespace unilog::nlp
+
+#endif  // UNILOG_NLP_NGRAM_MODEL_H_

@@ -1,0 +1,102 @@
+#include "oink/oink.h"
+
+namespace unilog::oink {
+
+Status Oink::RegisterJob(JobSpec spec) {
+  if (started_) {
+    return Status::FailedPrecondition("cannot register after Start");
+  }
+  if (spec.name.empty()) return Status::InvalidArgument("job needs a name");
+  if (spec.period <= 0) return Status::InvalidArgument("period must be > 0");
+  if (!spec.run) return Status::InvalidArgument("job needs a run function");
+  if (job_index_.count(spec.name)) {
+    return Status::AlreadyExists("job already registered: " + spec.name);
+  }
+  for (const auto& dep : spec.dependencies) {
+    if (dep == spec.name) {
+      return Status::InvalidArgument("job depends on itself: " + spec.name);
+    }
+    if (!job_index_.count(dep)) {
+      return Status::NotFound("unknown dependency '" + dep + "' of job '" +
+                              spec.name + "' (register dependencies first)");
+    }
+  }
+  job_index_.emplace(spec.name, jobs_.size());
+  jobs_.push_back(std::move(spec));
+  return Status::OK();
+}
+
+void Oink::Start(TimeMs epoch) {
+  if (started_) return;
+  started_ = true;
+  epoch_ = epoch;
+  for (size_t i = 0; i < jobs_.size(); ++i) {
+    ScheduleJob(i, epoch, /*attempt=*/1);
+  }
+}
+
+void Oink::ScheduleJob(size_t job_index, TimeMs period_start, int attempt) {
+  const JobSpec& spec = jobs_[job_index];
+  // First attempt fires once the period has closed (plus start delay);
+  // retries fire retry_interval later than "now".
+  TimeMs when = attempt == 1
+                    ? period_start + spec.period + spec.start_delay
+                    : sim_->Now() + spec.retry_interval;
+  sim_->At(when, [this, job_index, period_start, attempt]() {
+    TryRun(job_index, period_start, attempt);
+  });
+}
+
+void Oink::TryRun(size_t job_index, TimeMs period_start, int attempt) {
+  const JobSpec& spec = jobs_[job_index];
+
+  // Dependency gate: every dependency must have completed this period.
+  for (const auto& dep : spec.dependencies) {
+    if (!completed_.count({dep, period_start})) {
+      ++dependency_waits_;
+      if (spec.max_attempts == 0 || attempt < spec.max_attempts) {
+        ScheduleJob(job_index, period_start, attempt + 1);
+      }
+      return;
+    }
+  }
+
+  ExecutionTrace trace;
+  trace.job = spec.name;
+  trace.period_start = period_start;
+  trace.started_at = sim_->Now();
+  Status st = spec.run(period_start);
+  trace.finished_at = sim_->Now();
+  trace.success = st.ok();
+  trace.message = st.ok() ? "" : st.ToString();
+  traces_.push_back(trace);
+
+  if (st.ok()) {
+    ++runs_succeeded_;
+    completed_.insert({spec.name, period_start});
+    // Schedule the next period.
+    ScheduleJob(job_index, period_start + spec.period, /*attempt=*/1);
+  } else {
+    ++runs_failed_;
+    if (spec.max_attempts == 0 || attempt < spec.max_attempts) {
+      ScheduleJob(job_index, period_start, attempt + 1);
+    } else {
+      // Exhausted: give up on this period, move to the next one.
+      ScheduleJob(job_index, period_start + spec.period, /*attempt=*/1);
+    }
+  }
+}
+
+bool Oink::Completed(const std::string& job, TimeMs period_start) const {
+  return completed_.count({job, period_start}) > 0;
+}
+
+std::vector<ExecutionTrace> Oink::TracesFor(const std::string& job) const {
+  std::vector<ExecutionTrace> out;
+  for (const auto& trace : traces_) {
+    if (trace.job == job) out.push_back(trace);
+  }
+  return out;
+}
+
+}  // namespace unilog::oink

@@ -1,0 +1,99 @@
+#ifndef UNILOG_OINK_OINK_H_
+#define UNILOG_OINK_OINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace unilog::oink {
+
+/// Declaration of a recurring analytics job (§3: "Oink... schedules
+/// recurring jobs at fixed intervals... handles dataflow dependencies
+/// between jobs... preserves execution traces for audit purposes").
+struct JobSpec {
+  std::string name;
+  /// Recurrence period (e.g. hourly, daily). Periods are aligned to
+  /// multiples of `period` from the scheduler's epoch.
+  TimeMs period = kMillisPerDay;
+  /// Jobs (same period grid) whose current-period run must have succeeded
+  /// before this job runs.
+  std::vector<std::string> dependencies;
+  /// The work. Receives the period start; a non-OK return is recorded and
+  /// retried.
+  std::function<Status(TimeMs period_start)> run;
+  /// Delay after the period closes before the job is eligible.
+  TimeMs start_delay = kMillisPerMinute;
+  /// Retry interval after a failure or unmet dependency.
+  TimeMs retry_interval = 5 * kMillisPerMinute;
+  /// Give up after this many failed attempts per period (0 = unlimited).
+  int max_attempts = 0;
+};
+
+/// One audit-trail record: "when a job began, how long it lasted, whether
+/// it completed successfully".
+struct ExecutionTrace {
+  std::string job;
+  TimeMs period_start = 0;
+  TimeMs started_at = 0;
+  TimeMs finished_at = 0;
+  bool success = false;
+  std::string message;  // error text on failure
+};
+
+/// The Oink workflow manager: schedules periodic jobs on the simulator,
+/// runs them in dependency order within each period, retries failures, and
+/// keeps execution traces.
+class Oink {
+ public:
+  explicit Oink(Simulator* sim) : sim_(sim) {}
+
+  Oink(const Oink&) = delete;
+  Oink& operator=(const Oink&) = delete;
+
+  /// Registers a job; fails on duplicate names, self-dependency, or
+  /// unknown dependencies (dependencies must be registered first).
+  Status RegisterJob(JobSpec spec);
+
+  /// Starts scheduling; `epoch` anchors the period grid (first period is
+  /// [epoch, epoch + period)).
+  void Start(TimeMs epoch);
+
+  /// True if `job` completed successfully for the period containing `t`.
+  bool Completed(const std::string& job, TimeMs period_start) const;
+
+  const std::vector<ExecutionTrace>& traces() const { return traces_; }
+
+  /// Traces for one job, in execution order.
+  std::vector<ExecutionTrace> TracesFor(const std::string& job) const;
+
+  uint64_t runs_succeeded() const { return runs_succeeded_; }
+  uint64_t runs_failed() const { return runs_failed_; }
+  uint64_t dependency_waits() const { return dependency_waits_; }
+
+ private:
+  void ScheduleJob(size_t job_index, TimeMs period_start, int attempt);
+  void TryRun(size_t job_index, TimeMs period_start, int attempt);
+
+  Simulator* sim_;
+  std::vector<JobSpec> jobs_;
+  std::map<std::string, size_t> job_index_;
+  std::set<std::pair<std::string, TimeMs>> completed_;
+  std::vector<ExecutionTrace> traces_;
+  bool started_ = false;
+  TimeMs epoch_ = 0;
+  uint64_t runs_succeeded_ = 0;
+  uint64_t runs_failed_ = 0;
+  uint64_t dependency_waits_ = 0;
+};
+
+}  // namespace unilog::oink
+
+#endif  // UNILOG_OINK_OINK_H_

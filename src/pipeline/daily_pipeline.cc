@@ -1,0 +1,175 @@
+#include "pipeline/daily_pipeline.h"
+
+#include <algorithm>
+
+#include "common/coding.h"
+#include "events/client_event.h"
+#include "events/event_name.h"
+#include "sessions/sessionizer.h"
+
+namespace unilog::pipeline {
+
+void UserTable::Add(int64_t user_id, Attributes attributes) {
+  users_[user_id] = std::move(attributes);
+}
+
+const UserTable::Attributes* UserTable::Find(int64_t user_id) const {
+  auto it = users_.find(user_id);
+  return it == users_.end() ? nullptr : &it->second;
+}
+
+UserTable UserTable::FromWorkload(
+    const workload::WorkloadGenerator& generator) {
+  UserTable table;
+  for (const auto& user : generator.users()) {
+    table.Add(user.user_id, {user.country, user.logged_in});
+  }
+  return table;
+}
+
+std::vector<std::string> DailyPipeline::HourDirsFor(TimeMs date) const {
+  std::vector<std::string> dirs;
+  TimeMs day = TruncateToDay(date);
+  for (int hour = 0; hour < 24; ++hour) {
+    std::string dir = "/logs/" + category_ + "/" +
+                      HourPartitionPath(day + hour * kMillisPerHour);
+    if (warehouse_->Exists(dir)) dirs.push_back(dir);
+  }
+  return dirs;
+}
+
+Result<DailyJobResult> DailyPipeline::RunForDate(TimeMs date,
+                                                 const UserTable& users) {
+  std::vector<std::string> hour_dirs = HourDirsFor(date);
+  if (hour_dirs.empty()) {
+    return Status::NotFound("no warehouse logs for " + DateString(date) +
+                            " under /logs/" + category_);
+  }
+
+  DailyJobResult result;
+
+  // ---- Pass 1: histogram + dictionary job (plus rollups & catalog).
+  {
+    dataflow::MapReduceJob job(warehouse_, cost_model_);
+    for (const auto& dir : hour_dirs) {
+      UNILOG_RETURN_NOT_OK(job.AddInputDir(dir));
+    }
+    auto* histogram = &result.histogram;
+    auto* rollups = &result.rollups;
+    const UserTable* user_table = &users;
+    job.set_map([histogram, rollups, user_table](const std::string& record,
+                                                 dataflow::Emitter* emitter)
+                    -> Status {
+      UNILOG_ASSIGN_OR_RETURN(events::ClientEvent ev,
+                              events::ClientEvent::Deserialize(record));
+      histogram->Add(ev.event_name, &record);
+      // Rollup by-products: country/logged-in come from the users table.
+      auto parsed = events::EventName::Parse(ev.event_name);
+      if (parsed.ok()) {
+        const UserTable::Attributes* attrs = user_table->Find(ev.user_id);
+        rollups->Add(*parsed, attrs != nullptr ? attrs->country : "unknown",
+                     attrs != nullptr && attrs->logged_in);
+      }
+      emitter->Emit(ev.event_name, "");
+      return Status::OK();
+    });
+    job.set_reduce([](const std::string& key,
+                      const std::vector<std::string>& values,
+                      dataflow::Emitter* emitter) -> Status {
+      emitter->Emit(key, std::to_string(values.size()));
+      return Status::OK();
+    });
+    UNILOG_RETURN_NOT_OK(job.Run().status());
+    result.histogram_job = job.stats();
+  }
+  UNILOG_ASSIGN_OR_RETURN(
+      result.dictionary,
+      sessions::EventDictionary::FromSortedCounts(
+          result.histogram.SortedByFrequency()));
+  result.catalog =
+      catalog::EventCatalog::Build(result.histogram, result.dictionary);
+  // Rebuild-daily catalog semantics (§4.3): inherit yesterday's manual
+  // descriptions, then persist today's catalog to its known location.
+  std::string yesterday_catalog =
+      "/catalog/" + DateString(TruncateToDay(date) - kMillisPerDay) + ".json";
+  if (warehouse_->Exists(yesterday_catalog)) {
+    auto previous =
+        catalog::EventCatalog::LoadFrom(*warehouse_, yesterday_catalog);
+    if (previous.ok()) result.catalog.InheritDescriptions(*previous);
+  }
+  UNILOG_RETURN_NOT_OK(result.catalog.SaveTo(
+      warehouse_, "/catalog/" + DateString(date) + ".json"));
+
+  // ---- Pass 2: session reconstruction (the big group-by) + encoding.
+  {
+    dataflow::MapReduceJob job(warehouse_, cost_model_);
+    for (const auto& dir : hour_dirs) {
+      UNILOG_RETURN_NOT_OK(job.AddInputDir(dir));
+    }
+    // Map: key = (user_id, session_id); value = the whole serialized event
+    // (this is exactly the data shuffling §4.1 complains about).
+    job.set_map([](const std::string& record,
+                   dataflow::Emitter* emitter) -> Status {
+      UNILOG_ASSIGN_OR_RETURN(events::ClientEvent ev,
+                              events::ClientEvent::Deserialize(record));
+      std::string key;
+      PutSignedVarint64(&key, ev.user_id);
+      key.push_back('|');
+      key += ev.session_id;
+      emitter->Emit(std::move(key), record);
+      return Status::OK();
+    });
+    const sessions::EventDictionary* dict = &result.dictionary;
+    auto* sequences = &result.sequences;
+    job.set_reduce([dict, sequences](const std::string& /*key*/,
+                                     const std::vector<std::string>& values,
+                                     dataflow::Emitter* emitter) -> Status {
+      sessions::Sessionizer sessionizer;
+      for (const auto& record : values) {
+        UNILOG_ASSIGN_OR_RETURN(events::ClientEvent ev,
+                                events::ClientEvent::Deserialize(record));
+        sessionizer.Add(ev);
+      }
+      for (const auto& session : sessionizer.Build()) {
+        UNILOG_ASSIGN_OR_RETURN(sessions::SessionSequence seq,
+                                sessions::EncodeSession(session, *dict));
+        sequences->push_back(std::move(seq));
+        emitter->Emit(std::to_string(session.user_id), "");
+      }
+      return Status::OK();
+    });
+    UNILOG_RETURN_NOT_OK(job.Run().status());
+    result.sessionize_job = job.stats();
+  }
+
+  // Deterministic order for downstream consumers.
+  std::sort(result.sequences.begin(), result.sequences.end(),
+            [](const sessions::SessionSequence& a,
+               const sessions::SessionSequence& b) {
+              if (a.user_id != b.user_id) return a.user_id < b.user_id;
+              return a.session_id < b.session_id;
+            });
+
+  // ---- Materialize the sequence partition.
+  UNILOG_RETURN_NOT_OK(sessions::SequenceStore::WriteDaily(
+      warehouse_, date, result.sequences, result.dictionary));
+  return result;
+}
+
+Status DriveWorkloadThroughScribe(Simulator* sim,
+                                  scribe::ScribeCluster* cluster,
+                                  workload::WorkloadGenerator* generator,
+                                  const std::string& category) {
+  size_t dc_count = cluster->datacenter_count();
+  return generator->Generate([sim, cluster, dc_count, category](
+                                 const events::ClientEvent& ev) {
+    size_t dc = static_cast<size_t>(ev.user_id) % dc_count;
+    std::string message = ev.Serialize();
+    sim->At(ev.timestamp, [cluster, dc, category,
+                           message = std::move(message)]() {
+      cluster->Log(dc, scribe::LogEntry{category, message});
+    });
+  });
+}
+
+}  // namespace unilog::pipeline

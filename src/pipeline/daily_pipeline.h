@@ -1,0 +1,94 @@
+#ifndef UNILOG_PIPELINE_DAILY_PIPELINE_H_
+#define UNILOG_PIPELINE_DAILY_PIPELINE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "dataflow/cost_model.h"
+#include "dataflow/mapreduce.h"
+#include "events/rollup.h"
+#include "hdfs/mini_hdfs.h"
+#include "scribe/cluster.h"
+#include "sessions/dictionary.h"
+#include "sessions/histogram.h"
+#include "sessions/session_sequence.h"
+#include "workload/generator.h"
+
+namespace unilog::pipeline {
+
+/// Per-user attributes for rollup breakdowns and demographic joins
+/// (country, logged-in status) — the "users table" of §5.2.
+class UserTable {
+ public:
+  struct Attributes {
+    std::string country;
+    bool logged_in = true;
+  };
+
+  void Add(int64_t user_id, Attributes attributes);
+  const Attributes* Find(int64_t user_id) const;
+  size_t size() const { return users_.size(); }
+
+  static UserTable FromWorkload(const workload::WorkloadGenerator& generator);
+
+ private:
+  std::map<int64_t, Attributes> users_;
+};
+
+/// Output of one day's §4.2 job graph.
+struct DailyJobResult {
+  sessions::EventHistogram histogram;
+  sessions::EventDictionary dictionary;
+  std::vector<sessions::SessionSequence> sequences;
+  events::RollupAggregator rollups;
+  catalog::EventCatalog catalog;
+  /// Cost accounting of the two MapReduce passes (histogram/dictionary
+  /// job and session-reconstruction job).
+  dataflow::JobStats histogram_job;
+  dataflow::JobStats sessionize_job;
+};
+
+/// The daily job graph over the warehouse (§4.2): pass 1 scans client
+/// event logs to build the histogram + dictionary (and the rollup
+/// aggregates and catalog as by-products); pass 2 reconstructs sessions
+/// via the big group-by, encodes them through the dictionary, and
+/// materializes the session-sequence relation.
+class DailyPipeline {
+ public:
+  DailyPipeline(hdfs::MiniHdfs* warehouse, dataflow::JobCostModel cost_model,
+                std::string category = "client_events")
+      : warehouse_(warehouse),
+        cost_model_(cost_model),
+        category_(std::move(category)) {}
+
+  /// Runs both passes for the date containing `date` and writes the
+  /// sequence partition. Requires at least one warehouse hour of logs for
+  /// that date.
+  Result<DailyJobResult> RunForDate(TimeMs date, const UserTable& users);
+
+  /// The warehouse hour directories for a date that actually exist.
+  std::vector<std::string> HourDirsFor(TimeMs date) const;
+
+ private:
+  hdfs::MiniHdfs* warehouse_;
+  dataflow::JobCostModel cost_model_;
+  std::string category_;
+};
+
+/// Schedules every event of a generated workload as a Scribe daemon Log
+/// call at the event's timestamp (datacenter chosen round-robin by user).
+/// Call before sim->Run(); the generator must not have been consumed.
+Status DriveWorkloadThroughScribe(Simulator* sim,
+                                  scribe::ScribeCluster* cluster,
+                                  workload::WorkloadGenerator* generator,
+                                  const std::string& category);
+
+}  // namespace unilog::pipeline
+
+#endif  // UNILOG_PIPELINE_DAILY_PIPELINE_H_

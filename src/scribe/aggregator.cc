@@ -1,0 +1,131 @@
+#include "scribe/aggregator.h"
+
+#include <cstdio>
+#include <limits>
+
+namespace unilog::scribe {
+
+std::string AggregatorRegistryPath(const std::string& datacenter) {
+  return "/scribe/" + datacenter + "/aggregators";
+}
+
+Aggregator::Aggregator(Simulator* sim, zk::ZooKeeper* zk,
+                       hdfs::MiniHdfs* staging, std::string datacenter,
+                       std::string id, ScribeOptions options)
+    : sim_(sim),
+      zk_(zk),
+      staging_(staging),
+      datacenter_(std::move(datacenter)),
+      id_(std::move(id)),
+      options_(options) {}
+
+Status Aggregator::Start() {
+  if (alive_) return Status::FailedPrecondition("already running");
+  session_ = zk_->CreateSession();
+  // Ensure the registry path exists (persistent), then register ourselves
+  // with an ephemeral znode whose data is our "hostname".
+  std::string registry = AggregatorRegistryPath(datacenter_);
+  // Create parents /scribe, /scribe/<dc>, /scribe/<dc>/aggregators.
+  std::string partial;
+  for (const auto& part : {std::string("scribe"), datacenter_,
+                           std::string("aggregators")}) {
+    partial += "/" + part;
+    auto st = zk_->Create(session_, partial, "", zk::CreateMode::kPersistent);
+    if (!st.ok() && !st.status().IsAlreadyExists()) return st.status();
+  }
+  UNILOG_RETURN_NOT_OK(zk_->Create(session_, registry + "/" + id_,
+                                   datacenter_ + ":" + id_,
+                                   zk::CreateMode::kEphemeral)
+                           .status());
+  alive_ = true;
+  ++incarnation_;
+  ScheduleRoll();
+  return Status::OK();
+}
+
+void Aggregator::Crash() {
+  if (!alive_) return;
+  alive_ = false;
+  ++incarnation_;  // cancels pending roll timers
+  // Session expiry removes the ephemeral registration and fires daemon
+  // watches.
+  zk_->CloseSession(session_);
+  // Whatever was buffered but not rolled is gone: Scribe's loss window.
+  for (const auto& [key, buffer] : buffers_) {
+    stats_.entries_lost_in_crash += buffer.messages.size();
+  }
+  buffers_.clear();
+}
+
+Status Aggregator::Receive(const std::vector<LogEntry>& entries) {
+  if (!alive_) return Status::Unavailable("aggregator down: " + id_);
+  TimeMs hour = TruncateToHour(sim_->Now());
+  for (const auto& entry : entries) {
+    HourBuffer& buffer = buffers_[{entry.category, hour}];
+    buffer.bytes += entry.message.size();
+    buffer.messages.push_back(entry.message);
+    ++stats_.entries_received;
+    stats_.bytes_received += entry.message.size();
+    if (buffer.bytes >= options_.roll_bytes) {
+      BufferKey key{entry.category, hour};
+      if (RollBuffer(key, &buffer)) {
+        buffers_.erase(key);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Aggregator::ScheduleRoll() {
+  uint64_t my_incarnation = incarnation_;
+  sim_->After(options_.roll_interval_ms, [this, my_incarnation]() {
+    if (!alive_ || incarnation_ != my_incarnation) return;
+    RollAll();
+    ScheduleRoll();
+  });
+}
+
+void Aggregator::RollAll() {
+  if (!alive_) return;
+  for (auto it = buffers_.begin(); it != buffers_.end();) {
+    if (RollBuffer(it->first, &it->second)) {
+      it = buffers_.erase(it);
+    } else {
+      ++it;  // HDFS outage: keep buffering ("local disk")
+    }
+  }
+}
+
+bool Aggregator::RollBuffer(const BufferKey& key, HourBuffer* buffer) {
+  if (buffer->messages.empty()) return true;
+  const auto& [category, hour] = key;
+  std::string body = FrameMessages(buffer->messages);
+  if (options_.compress) body = Lz::Compress(body);
+
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s-%06llu", id_.c_str(),
+                static_cast<unsigned long long>(file_seq_));
+  std::string path = "/staging/" + category + "/" + HourPartitionPath(hour) +
+                     "/" + name;
+  Status st = staging_->WriteFile(path, body);
+  if (!st.ok()) {
+    ++stats_.hdfs_write_failures;
+    return false;
+  }
+  ++file_seq_;
+  ++stats_.files_written;
+  stats_.bytes_written += body.size();
+  return true;
+}
+
+TimeMs Aggregator::UnflushedWatermark() const {
+  TimeMs min_hour = std::numeric_limits<TimeMs>::max();
+  for (const auto& [key, buffer] : buffers_) {
+    if (!buffer.messages.empty() && key.second < min_hour) {
+      min_hour = key.second;
+    }
+  }
+  return min_hour;
+}
+
+}  // namespace unilog::scribe

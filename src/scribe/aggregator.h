@@ -1,0 +1,123 @@
+#ifndef UNILOG_SCRIBE_AGGREGATOR_H_
+#define UNILOG_SCRIBE_AGGREGATOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/compress.h"
+#include "common/result.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "hdfs/mini_hdfs.h"
+#include "scribe/message.h"
+#include "sim/simulator.h"
+#include "zk/zookeeper.h"
+
+namespace unilog::scribe {
+
+/// Tuning knobs shared across the Scribe tier.
+struct ScribeOptions {
+  /// Aggregator: roll buffered data to staging HDFS this often.
+  TimeMs roll_interval_ms = 60 * kMillisPerSecond;
+  /// Aggregator: roll a category early once its buffer reaches this size.
+  uint64_t roll_bytes = 4 * 1024 * 1024;
+  /// Aggregator: compress file bodies written to staging.
+  bool compress = true;
+  /// Daemon: flush queued entries to the aggregator this often.
+  TimeMs daemon_flush_interval_ms = 1 * kMillisPerSecond;
+  /// Daemon: buffer at most this many bytes while no aggregator is
+  /// reachable; beyond it the oldest entries are dropped (counted).
+  uint64_t daemon_buffer_limit_bytes = 64 * 1024 * 1024;
+  /// Daemon: wait this long after a failed send before retrying discovery.
+  TimeMs daemon_retry_backoff_ms = 5 * kMillisPerSecond;
+};
+
+/// The ZooKeeper registry path for a datacenter's aggregators.
+std::string AggregatorRegistryPath(const std::string& datacenter);
+
+/// Per-aggregator delivery metrics.
+struct AggregatorStats {
+  uint64_t entries_received = 0;
+  uint64_t bytes_received = 0;
+  uint64_t files_written = 0;
+  uint64_t bytes_written = 0;         // post-compression
+  uint64_t hdfs_write_failures = 0;   // writes deferred by HDFS outage
+  uint64_t entries_lost_in_crash = 0; // buffered entries lost on Crash()
+};
+
+/// A Scribe aggregator: receives per-category streams from many daemons,
+/// merges them, and periodically writes compressed framed files into the
+/// datacenter's staging HDFS under /staging/<category>/YYYY/MM/DD/HH/.
+/// It registers itself in ZooKeeper with an ephemeral znode; daemons
+/// discover it there (§2).
+///
+/// Fault model: on HDFS outage the roll fails and data stays buffered
+/// ("aggregators buffer data on local disk in case of HDFS outages"); on
+/// Crash() the ZooKeeper session expires (daemons re-discover) and any
+/// not-yet-rolled buffer contents are lost — Scribe's loss window.
+class Aggregator {
+ public:
+  Aggregator(Simulator* sim, zk::ZooKeeper* zk, hdfs::MiniHdfs* staging,
+             std::string datacenter, std::string id, ScribeOptions options);
+
+  Aggregator(const Aggregator&) = delete;
+  Aggregator& operator=(const Aggregator&) = delete;
+
+  /// Registers in ZooKeeper and schedules the periodic roll. Idempotent
+  /// restart after Crash() re-registers with a fresh session.
+  Status Start();
+
+  /// Simulates a crash: ZooKeeper session expires, buffers are dropped.
+  void Crash();
+
+  bool alive() const { return alive_; }
+  const std::string& id() const { return id_; }
+  const std::string& datacenter() const { return datacenter_; }
+
+  /// Synchronous receive from a daemon. Returns Unavailable when crashed
+  /// (the daemon treats this as a failed send and re-discovers).
+  Status Receive(const std::vector<LogEntry>& entries);
+
+  /// Rolls all category buffers to staging HDFS now. Called by the timer;
+  /// public so tests and the log mover's barrier can force a flush.
+  void RollAll();
+
+  /// The earliest hour for which this aggregator still holds unflushed
+  /// data, or INT64_MAX when fully flushed. The log mover's all-clear
+  /// barrier for hour H requires every live aggregator watermark > H.
+  TimeMs UnflushedWatermark() const;
+
+  const AggregatorStats& stats() const { return stats_; }
+
+ private:
+  struct HourBuffer {
+    std::vector<std::string> messages;
+    uint64_t bytes = 0;
+  };
+  // Keyed by (category, hour-start).
+  using BufferKey = std::pair<std::string, TimeMs>;
+
+  void ScheduleRoll();
+  /// Attempts to write one buffer to staging; returns false on HDFS outage.
+  bool RollBuffer(const BufferKey& key, HourBuffer* buffer);
+
+  Simulator* sim_;
+  zk::ZooKeeper* zk_;
+  hdfs::MiniHdfs* staging_;
+  std::string datacenter_;
+  std::string id_;
+  ScribeOptions options_;
+
+  bool alive_ = false;
+  uint64_t incarnation_ = 0;  // invalidates stale timers after crash
+  zk::SessionId session_ = 0;
+  std::map<BufferKey, HourBuffer> buffers_;
+  uint64_t file_seq_ = 0;
+  AggregatorStats stats_;
+};
+
+}  // namespace unilog::scribe
+
+#endif  // UNILOG_SCRIBE_AGGREGATOR_H_

@@ -1,0 +1,118 @@
+#include "scribe/cluster.h"
+
+namespace unilog::scribe {
+
+ScribeCluster::ScribeCluster(Simulator* sim, ClusterTopology topology,
+                             ScribeOptions scribe_options,
+                             LogMoverOptions mover_options, uint64_t seed)
+    : sim_(sim),
+      topology_(std::move(topology)),
+      scribe_options_(scribe_options),
+      mover_options_(mover_options),
+      zk_(sim),
+      warehouse_(sim),
+      rng_(seed) {
+  dc_names_ = topology_.datacenters;
+  staging_.resize(dc_names_.size());
+  aggregators_.resize(dc_names_.size());
+  aggregator_ptrs_.resize(dc_names_.size());
+  daemons_.resize(dc_names_.size());
+
+  for (size_t dc = 0; dc < dc_names_.size(); ++dc) {
+    staging_[dc] = std::make_unique<hdfs::MiniHdfs>(sim_);
+    const std::string& dc_name = dc_names_[dc];
+    for (int a = 0; a < topology_.aggregators_per_dc; ++a) {
+      std::string id = dc_name + "-agg" + std::to_string(a);
+      aggregators_[dc].push_back(std::make_unique<Aggregator>(
+          sim_, &zk_, staging_[dc].get(), dc_name, id, scribe_options_));
+      aggregator_ptrs_[dc].push_back(aggregators_[dc].back().get());
+    }
+    for (int d = 0; d < topology_.daemons_per_dc; ++d) {
+      std::string host = dc_name + "-host" + std::to_string(d);
+      // Resolver: map znode names back to Aggregator objects in this DC.
+      auto resolver = [this, dc](const std::string& name) -> Aggregator* {
+        for (Aggregator* agg : aggregator_ptrs_[dc]) {
+          if (agg->id() == name) return agg;
+        }
+        return nullptr;
+      };
+      daemons_[dc].push_back(std::make_unique<ScribeDaemon>(
+          sim_, &zk_, dc_name, host, resolver, rng_.Fork(), scribe_options_));
+    }
+  }
+
+  std::vector<DatacenterHandle> handles;
+  for (size_t dc = 0; dc < dc_names_.size(); ++dc) {
+    handles.push_back(DatacenterHandle{dc_names_[dc], staging_[dc].get(),
+                                       &aggregator_ptrs_[dc]});
+  }
+  mover_ = std::make_unique<LogMover>(sim_, std::move(handles), &warehouse_,
+                                      mover_options_);
+}
+
+Status ScribeCluster::Start() {
+  for (auto& dc_aggs : aggregators_) {
+    for (auto& agg : dc_aggs) {
+      UNILOG_RETURN_NOT_OK(agg->Start());
+    }
+  }
+  for (auto& dc_daemons : daemons_) {
+    for (auto& daemon : dc_daemons) {
+      daemon->Start();
+    }
+  }
+  mover_->Start(sim_->Now());
+  return Status::OK();
+}
+
+ScribeDaemon* ScribeCluster::daemon(size_t dc, size_t index) {
+  return daemons_[dc][index].get();
+}
+
+Aggregator* ScribeCluster::aggregator(size_t dc, size_t index) {
+  return aggregators_[dc][index].get();
+}
+
+hdfs::MiniHdfs* ScribeCluster::staging(size_t dc) {
+  return staging_[dc].get();
+}
+
+void ScribeCluster::Log(size_t dc, const LogEntry& entry) {
+  // Round-robin across the DC's daemons: models many hosts producing.
+  auto& dcd = daemons_[dc];
+  dcd[round_robin_++ % dcd.size()]->Log(entry);
+}
+
+void ScribeCluster::CrashAggregator(size_t dc, size_t index) {
+  aggregators_[dc][index]->Crash();
+}
+
+Status ScribeCluster::RestartAggregator(size_t dc, size_t index) {
+  return aggregators_[dc][index]->Start();
+}
+
+void ScribeCluster::SetStagingAvailable(size_t dc, bool available) {
+  staging_[dc]->SetAvailable(available);
+}
+
+ClusterStats ScribeCluster::TotalStats() const {
+  ClusterStats total;
+  for (const auto& dc_daemons : daemons_) {
+    for (const auto& daemon : dc_daemons) {
+      const DaemonStats& s = daemon->stats();
+      total.entries_logged += s.entries_logged;
+      total.entries_dropped_at_daemons += s.entries_dropped;
+      total.daemon_rediscoveries += s.rediscoveries;
+      total.send_failures += s.send_failures;
+    }
+  }
+  for (const auto& dc_aggs : aggregators_) {
+    for (const auto& agg : dc_aggs) {
+      total.entries_lost_in_crashes += agg->stats().entries_lost_in_crash;
+    }
+  }
+  total.messages_in_warehouse = mover_->stats().messages_moved;
+  return total;
+}
+
+}  // namespace unilog::scribe

@@ -1,0 +1,96 @@
+#ifndef UNILOG_SCRIBE_CLUSTER_H_
+#define UNILOG_SCRIBE_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "hdfs/mini_hdfs.h"
+#include "scribe/aggregator.h"
+#include "scribe/daemon.h"
+#include "scribe/log_mover.h"
+#include "sim/simulator.h"
+#include "zk/zookeeper.h"
+
+namespace unilog::scribe {
+
+/// Shape of the simulated fleet (Figure 1 of the paper).
+struct ClusterTopology {
+  std::vector<std::string> datacenters = {"dc1", "dc2", "dc3"};
+  int aggregators_per_dc = 2;
+  int daemons_per_dc = 10;
+};
+
+/// Aggregated fleet-wide delivery counters.
+struct ClusterStats {
+  uint64_t entries_logged = 0;
+  uint64_t entries_dropped_at_daemons = 0;
+  uint64_t entries_lost_in_crashes = 0;
+  uint64_t messages_in_warehouse = 0;  // from the log mover
+  uint64_t daemon_rediscoveries = 0;
+  uint64_t send_failures = 0;
+};
+
+/// The full Figure-1 assembly: per-datacenter Scribe daemons and
+/// aggregators with a staging Hadoop cluster each, a shared ZooKeeper, a
+/// main-datacenter warehouse, and the log mover that slides closed hours
+/// into it. Owns every component; drives everything off one Simulator.
+class ScribeCluster {
+ public:
+  ScribeCluster(Simulator* sim, ClusterTopology topology,
+                ScribeOptions scribe_options, LogMoverOptions mover_options,
+                uint64_t seed);
+
+  ScribeCluster(const ScribeCluster&) = delete;
+  ScribeCluster& operator=(const ScribeCluster&) = delete;
+
+  /// Starts aggregators, daemons, and the log mover.
+  Status Start();
+
+  // --- Component access ---
+  size_t datacenter_count() const { return dc_names_.size(); }
+  const std::string& datacenter_name(size_t dc) const { return dc_names_[dc]; }
+  ScribeDaemon* daemon(size_t dc, size_t index);
+  Aggregator* aggregator(size_t dc, size_t index);
+  hdfs::MiniHdfs* staging(size_t dc);
+  hdfs::MiniHdfs* warehouse() { return &warehouse_; }
+  zk::ZooKeeper* zookeeper() { return &zk_; }
+  LogMover* mover() { return mover_.get(); }
+
+  /// Routes a log entry to a daemon chosen by hash of the category+message
+  /// — convenience for workload drivers that do not care which host logs.
+  void Log(size_t dc, const LogEntry& entry);
+
+  // --- Failure injection ---
+  void CrashAggregator(size_t dc, size_t index);
+  Status RestartAggregator(size_t dc, size_t index);
+  void SetStagingAvailable(size_t dc, bool available);
+
+  /// Sums stats across the fleet.
+  ClusterStats TotalStats() const;
+
+ private:
+  Simulator* sim_;
+  ClusterTopology topology_;
+  ScribeOptions scribe_options_;
+  LogMoverOptions mover_options_;
+
+  zk::ZooKeeper zk_;
+  hdfs::MiniHdfs warehouse_;
+  std::vector<std::string> dc_names_;
+  std::vector<std::unique_ptr<hdfs::MiniHdfs>> staging_;
+  std::vector<std::vector<std::unique_ptr<Aggregator>>> aggregators_;
+  // Borrowed pointers for the mover's barrier checks, one vector per DC.
+  std::vector<std::vector<Aggregator*>> aggregator_ptrs_;
+  std::vector<std::vector<std::unique_ptr<ScribeDaemon>>> daemons_;
+  std::unique_ptr<LogMover> mover_;
+  Rng rng_;
+  uint64_t round_robin_ = 0;
+};
+
+}  // namespace unilog::scribe
+
+#endif  // UNILOG_SCRIBE_CLUSTER_H_

@@ -1,0 +1,85 @@
+#include "scribe/daemon.h"
+
+namespace unilog::scribe {
+
+ScribeDaemon::ScribeDaemon(Simulator* sim, zk::ZooKeeper* zk,
+                           std::string datacenter, std::string host,
+                           Resolver resolve, Rng rng, ScribeOptions options)
+    : sim_(sim),
+      zk_(zk),
+      datacenter_(std::move(datacenter)),
+      host_(std::move(host)),
+      resolve_(std::move(resolve)),
+      rng_(rng),
+      options_(options) {}
+
+void ScribeDaemon::Start() {
+  if (started_) return;
+  started_ = true;
+  ScheduleFlush();
+}
+
+void ScribeDaemon::Log(LogEntry entry) {
+  queue_bytes_ += entry.message.size();
+  queue_.push_back(std::move(entry));
+  ++stats_.entries_logged;
+  // Bounded local buffer: drop the oldest entries past the limit (counted
+  // — E1 reports these as the overload-loss channel).
+  while (queue_bytes_ > options_.daemon_buffer_limit_bytes &&
+         !queue_.empty()) {
+    queue_bytes_ -= queue_.front().message.size();
+    queue_.pop_front();
+    ++stats_.entries_dropped;
+  }
+}
+
+void ScribeDaemon::Log(const std::string& category, std::string message) {
+  Log(LogEntry{category, std::move(message)});
+}
+
+void ScribeDaemon::ScheduleFlush() {
+  sim_->After(options_.daemon_flush_interval_ms, [this]() {
+    Flush();
+    ScheduleFlush();
+  });
+}
+
+Aggregator* ScribeDaemon::Discover() {
+  auto children = zk_->GetChildren(AggregatorRegistryPath(datacenter_));
+  if (!children.ok() || children->empty()) return nullptr;
+  // Uniform choice balances load across aggregators (§2: "The same
+  // mechanism is used for balancing load across aggregators").
+  const std::string& pick =
+      (*children)[rng_.Uniform(children->size())];
+  ++stats_.rediscoveries;
+  return resolve_(pick);
+}
+
+void ScribeDaemon::Flush() {
+  if (queue_.empty()) return;
+  if (sim_->Now() < backoff_until_) return;
+
+  if (current_ == nullptr || !current_->alive()) {
+    current_ = Discover();
+    if (current_ == nullptr) {
+      backoff_until_ = sim_->Now() + options_.daemon_retry_backoff_ms;
+      return;
+    }
+  }
+
+  std::vector<LogEntry> batch(queue_.begin(), queue_.end());
+  Status st = current_->Receive(batch);
+  if (st.ok()) {
+    stats_.entries_sent += batch.size();
+    queue_.clear();
+    queue_bytes_ = 0;
+  } else {
+    // Aggregator died between discovery and send: drop the connection and
+    // back off; entries remain queued for the next attempt.
+    ++stats_.send_failures;
+    current_ = nullptr;
+    backoff_until_ = sim_->Now() + options_.daemon_retry_backoff_ms;
+  }
+}
+
+}  // namespace unilog::scribe

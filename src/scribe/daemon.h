@@ -1,0 +1,88 @@
+#ifndef UNILOG_SCRIBE_DAEMON_H_
+#define UNILOG_SCRIBE_DAEMON_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "scribe/aggregator.h"
+#include "scribe/message.h"
+#include "sim/simulator.h"
+#include "zk/zookeeper.h"
+
+namespace unilog::scribe {
+
+/// Per-daemon delivery metrics.
+struct DaemonStats {
+  uint64_t entries_logged = 0;
+  uint64_t entries_sent = 0;
+  uint64_t entries_dropped = 0;  // buffer-limit overflow
+  uint64_t send_failures = 0;
+  uint64_t rediscoveries = 0;
+};
+
+/// A Scribe daemon: runs on every production host, queues local log
+/// entries, and ships them to an aggregator in the same datacenter. The
+/// aggregator is discovered through ZooKeeper's ephemeral registry; on a
+/// failed send the daemon buffers locally (bounded), re-consults
+/// ZooKeeper, and retries — the §2 fault-tolerance story.
+class ScribeDaemon {
+ public:
+  /// `resolve` maps an aggregator registry entry (znode name) to the
+  /// Aggregator object — the simulation's stand-in for opening a network
+  /// connection to the advertised host:port.
+  using Resolver = std::function<Aggregator*(const std::string& name)>;
+
+  ScribeDaemon(Simulator* sim, zk::ZooKeeper* zk, std::string datacenter,
+               std::string host, Resolver resolve, Rng rng,
+               ScribeOptions options);
+
+  ScribeDaemon(const ScribeDaemon&) = delete;
+  ScribeDaemon& operator=(const ScribeDaemon&) = delete;
+
+  /// Starts the periodic flush loop.
+  void Start();
+
+  /// Queues one log entry (the application-facing API).
+  void Log(LogEntry entry);
+  void Log(const std::string& category, std::string message);
+
+  /// Flushes queued entries to the current aggregator now; on failure,
+  /// re-discovers and leaves entries queued. Normally timer-driven.
+  void Flush();
+
+  /// Entries queued but not yet acknowledged by an aggregator.
+  size_t QueuedEntries() const { return queue_.size(); }
+
+  const DaemonStats& stats() const { return stats_; }
+  const std::string& host() const { return host_; }
+
+ private:
+  void ScheduleFlush();
+  /// Picks a live aggregator from ZooKeeper; nullptr when none registered.
+  Aggregator* Discover();
+
+  Simulator* sim_;
+  zk::ZooKeeper* zk_;
+  std::string datacenter_;
+  std::string host_;
+  Resolver resolve_;
+  Rng rng_;
+  ScribeOptions options_;
+
+  bool started_ = false;
+  Aggregator* current_ = nullptr;
+  std::deque<LogEntry> queue_;
+  uint64_t queue_bytes_ = 0;
+  TimeMs backoff_until_ = 0;
+  DaemonStats stats_;
+};
+
+}  // namespace unilog::scribe
+
+#endif  // UNILOG_SCRIBE_DAEMON_H_

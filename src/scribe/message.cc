@@ -1,0 +1,41 @@
+#include "scribe/message.h"
+
+#include "common/coding.h"
+
+namespace unilog::scribe {
+
+std::string FrameMessages(const std::vector<std::string>& messages) {
+  std::string out;
+  for (const auto& m : messages) {
+    PutLengthPrefixed(&out, m);
+  }
+  return out;
+}
+
+void AppendFramed(std::string* out, std::string_view message) {
+  PutLengthPrefixed(out, message);
+}
+
+Result<std::vector<std::string>> UnframeMessages(std::string_view body) {
+  std::vector<std::string> out;
+  Decoder dec(body);
+  while (!dec.AtEnd()) {
+    std::string_view record;
+    UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&record));
+    out.emplace_back(record);
+  }
+  return out;
+}
+
+Result<uint64_t> CountFramed(std::string_view body) {
+  uint64_t count = 0;
+  Decoder dec(body);
+  while (!dec.AtEnd()) {
+    std::string_view record;
+    UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&record));
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace unilog::scribe

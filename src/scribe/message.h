@@ -1,0 +1,40 @@
+#ifndef UNILOG_SCRIBE_MESSAGE_H_
+#define UNILOG_SCRIBE_MESSAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace unilog::scribe {
+
+/// A Scribe log entry: "each log entry consists of two strings, a category
+/// and a message" (§2). The category selects routing and the warehouse
+/// directory; the message is opaque bytes (compact-Thrift client events,
+/// legacy text lines, anything).
+struct LogEntry {
+  std::string category;
+  std::string message;
+};
+
+/// Serializes a batch of messages (single category) into the framed file
+/// body used throughout the pipeline: each record is a varint length
+/// followed by raw message bytes.
+std::string FrameMessages(const std::vector<std::string>& messages);
+
+/// Appends one framed record.
+void AppendFramed(std::string* out, std::string_view message);
+
+/// Parses a framed file body back into messages. Returns Corruption on a
+/// malformed stream — the log mover uses this as its sanity check.
+Result<std::vector<std::string>> UnframeMessages(std::string_view body);
+
+/// Counts records in a framed body without materializing them.
+Result<uint64_t> CountFramed(std::string_view body);
+
+}  // namespace unilog::scribe
+
+#endif  // UNILOG_SCRIBE_MESSAGE_H_

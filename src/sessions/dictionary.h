@@ -1,0 +1,76 @@
+#ifndef UNILOG_SESSIONS_DICTIONARY_H_
+#define UNILOG_SESSIONS_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "events/event_name.h"
+
+namespace unilog::sessions {
+
+/// The client event dictionary (§4.2): a bijective mapping between event
+/// names and unicode code points, assigned so that *more frequent events
+/// get smaller code points*. Since smaller code points need fewer UTF-8
+/// bytes, the mapping is a variable-length code: the most common ~90
+/// events cost one byte each, the next ~1900 two bytes, and so on. A
+/// session sequence is then simply a valid unicode string.
+class EventDictionary {
+ public:
+  EventDictionary() = default;
+
+  /// Builds the dictionary from (event_name, count) pairs already sorted by
+  /// descending frequency (EventHistogram::SortedByFrequency output).
+  /// Fails if there are more names than encodable code points (~1.1M).
+  static Result<EventDictionary> FromSortedCounts(
+      const std::vector<std::pair<std::string, uint64_t>>& sorted);
+
+  /// Builds with an arbitrary (non-frequency) assignment — the ablation
+  /// baseline for E11.
+  static Result<EventDictionary> FromNamesInGivenOrder(
+      const std::vector<std::string>& names);
+
+  /// The `n`-th valid code point in the assignment order: 1, 2, ... with
+  /// the UTF-16 surrogate gap (U+D800..U+DFFF) skipped. Exposed for tests.
+  static Result<uint32_t> NthCodePoint(uint64_t n);
+
+  /// Name → code point; NotFound for unknown events.
+  Result<uint32_t> CodePointFor(std::string_view event_name) const;
+  /// Code point → name; NotFound for unassigned code points.
+  Result<std::string> NameFor(uint32_t code_point) const;
+  bool Contains(std::string_view event_name) const;
+
+  size_t size() const { return names_.size(); }
+
+  /// All names in code-point order (index i ↔ the i-th assigned cp).
+  const std::vector<std::string>& names_in_order() const { return names_; }
+
+  /// Expands a wildcard pattern to the set of matching code points — how
+  /// the CountClientEvents UDF turns '$EVENTS' regexes into string-matching
+  /// code (§5.2).
+  std::vector<uint32_t> Expand(const events::EventPattern& pattern) const;
+
+  /// Encodes a sequence of event names as a UTF-8 session-sequence string.
+  Result<std::string> EncodeNames(const std::vector<std::string>& names) const;
+  /// Decodes a session-sequence string back to event names.
+  Result<std::vector<std::string>> DecodeToNames(std::string_view utf8) const;
+
+  /// Persistence (stored "in a known location in HDFS" daily): framed
+  /// names in code-point order.
+  std::string Serialize() const;
+  static Result<EventDictionary> Deserialize(std::string_view data);
+
+ private:
+  std::vector<std::string> names_;                      // index = cp order
+  std::vector<uint32_t> code_points_;                   // parallel to names_
+  std::unordered_map<std::string, uint32_t> name_to_cp_;
+  std::unordered_map<uint32_t, uint32_t> cp_to_index_;
+};
+
+}  // namespace unilog::sessions
+
+#endif  // UNILOG_SESSIONS_DICTIONARY_H_

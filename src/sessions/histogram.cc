@@ -1,0 +1,63 @@
+#include "sessions/histogram.h"
+
+#include <algorithm>
+
+namespace unilog::sessions {
+
+void EventHistogram::Add(const std::string& event_name,
+                         const std::string* sample_payload) {
+  ++counts_[event_name];
+  ++total_;
+  if (sample_payload != nullptr) {
+    auto& samples = samples_[event_name];
+    if (samples.size() < kMaxSamples) {
+      samples.push_back(*sample_payload);
+    }
+  }
+}
+
+void EventHistogram::AddCount(const std::string& event_name, uint64_t n) {
+  if (n == 0) return;
+  counts_[event_name] += n;
+  total_ += n;
+}
+
+void EventHistogram::Merge(const EventHistogram& other) {
+  for (const auto& [name, count] : other.counts_) {
+    counts_[name] += count;
+    total_ += count;
+  }
+  for (const auto& [name, samples] : other.samples_) {
+    auto& mine = samples_[name];
+    for (const auto& s : samples) {
+      if (mine.size() >= kMaxSamples) break;
+      mine.push_back(s);
+    }
+  }
+}
+
+uint64_t EventHistogram::CountOf(const std::string& event_name) const {
+  auto it = counts_.find(event_name);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+const std::vector<std::string>& EventHistogram::SamplesOf(
+    const std::string& event_name) const {
+  static const std::vector<std::string>* kEmpty =
+      new std::vector<std::string>();
+  auto it = samples_.find(event_name);
+  return it == samples_.end() ? *kEmpty : it->second;
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+EventHistogram::SortedByFrequency() const {
+  std::vector<std::pair<std::string, uint64_t>> out(counts_.begin(),
+                                                    counts_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  return out;
+}
+
+}  // namespace unilog::sessions

@@ -1,0 +1,53 @@
+#ifndef UNILOG_SESSIONS_HISTOGRAM_H_
+#define UNILOG_SESSIONS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace unilog::sessions {
+
+/// The daily event-count histogram job (§4.2): "Oink triggers a job that
+/// scans the client event logs to compute a histogram of event counts.
+/// These counts, as well as samples of each event type, are stored in a
+/// known location in HDFS." The histogram both seeds the dictionary
+/// (frequency-ordered code points) and feeds the client event catalog
+/// (counts + example payloads).
+class EventHistogram {
+ public:
+  /// Keep at most this many example payloads per event type.
+  static constexpr size_t kMaxSamples = 3;
+
+  /// Counts one occurrence; optionally retains `sample_payload` (the
+  /// serialized Thrift message) as a catalog example.
+  void Add(const std::string& event_name,
+           const std::string* sample_payload = nullptr);
+
+  /// Counts `n` occurrences at once (merge path).
+  void AddCount(const std::string& event_name, uint64_t n);
+
+  /// Merges another histogram into this one (distributed-job combiner).
+  void Merge(const EventHistogram& other);
+
+  uint64_t CountOf(const std::string& event_name) const;
+  uint64_t total_events() const { return total_; }
+  size_t distinct_events() const { return counts_.size(); }
+
+  const std::map<std::string, uint64_t>& counts() const { return counts_; }
+  const std::vector<std::string>& SamplesOf(
+      const std::string& event_name) const;
+
+  /// (event_name, count) pairs sorted by descending count, ties broken by
+  /// name — the dictionary-assignment order.
+  std::vector<std::pair<std::string, uint64_t>> SortedByFrequency() const;
+
+ private:
+  std::map<std::string, uint64_t> counts_;
+  std::map<std::string, std::vector<std::string>> samples_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace unilog::sessions
+
+#endif  // UNILOG_SESSIONS_HISTOGRAM_H_

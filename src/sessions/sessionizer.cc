@@ -1,0 +1,51 @@
+#include "sessions/sessionizer.h"
+
+#include <algorithm>
+
+namespace unilog::sessions {
+
+void Sessionizer::Add(const events::ClientEvent& event) {
+  GroupKey key{event.user_id, event.session_id};
+  groups_[key].push_back(
+      PendingEvent{event.timestamp, event.event_name, event.ip});
+  ++event_count_;
+}
+
+std::vector<Session> Sessionizer::Build() const {
+  std::vector<Session> sessions;
+  for (const auto& [key, pending] : groups_) {
+    // Sort a copy by timestamp (stable so same-timestamp events keep
+    // arrival order deterministically).
+    std::vector<const PendingEvent*> ordered;
+    ordered.reserve(pending.size());
+    for (const auto& ev : pending) ordered.push_back(&ev);
+    std::stable_sort(ordered.begin(), ordered.end(),
+                     [](const PendingEvent* a, const PendingEvent* b) {
+                       return a->timestamp < b->timestamp;
+                     });
+
+    Session current;
+    bool open = false;
+    for (const PendingEvent* ev : ordered) {
+      if (open && ev->timestamp - current.end > options_.inactivity_gap_ms) {
+        sessions.push_back(current);
+        open = false;
+      }
+      if (!open) {
+        current = Session{};
+        current.user_id = key.user_id;
+        current.session_id = key.session_id;
+        current.ip = ev->ip;
+        current.start = ev->timestamp;
+        current.end = ev->timestamp;
+        open = true;
+      }
+      current.end = ev->timestamp;
+      current.event_names.push_back(ev->event_name);
+    }
+    if (open) sessions.push_back(current);
+  }
+  return sessions;
+}
+
+}  // namespace unilog::sessions

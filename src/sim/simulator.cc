@@ -1,0 +1,45 @@
+#include "sim/simulator.h"
+
+#include <utility>
+
+namespace unilog {
+
+void Simulator::At(TimeMs t, Callback cb) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Simulator::Run() {
+  while (!queue_.empty()) {
+    // priority_queue::top() returns const&; the callback must be moved out
+    // before pop, so copy the frame via const_cast-free extraction.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.cb();
+  }
+}
+
+void Simulator::RunUntil(TimeMs t) {
+  while (!queue_.empty() && queue_.top().time <= t) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.cb();
+  }
+  if (now_ < t) now_ = t;
+}
+
+void Simulator::Step(uint64_t n) {
+  while (n-- > 0 && !queue_.empty()) {
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = ev.time;
+    ++events_processed_;
+    ev.cb();
+  }
+}
+
+}  // namespace unilog

@@ -1,0 +1,159 @@
+#ifndef UNILOG_THRIFT_COMPACT_PROTOCOL_H_
+#define UNILOG_THRIFT_COMPACT_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/coding.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "thrift/value.h"
+
+namespace unilog::thrift {
+
+/// The unilog compact wire protocol, a from-scratch implementation of the
+/// Thrift TCompactProtocol design:
+///  - field headers delta-encode field ids into a (delta << 4 | type)
+///    nibble pair, with a long form for deltas > 15;
+///  - booleans are folded into the field-header type nibble;
+///  - integers are zigzag varints; doubles are fixed 8-byte LE;
+///  - strings are varint-length-prefixed bytes;
+///  - lists/sets pack small sizes into the header nibble;
+///  - structs terminate with a STOP byte.
+///
+/// The wire format is self-describing (every value carries its type), which
+/// is what makes unknown-field skipping — and therefore schema evolution —
+/// possible: new fields added by producers are silently skipped by old
+/// consumers (§3 of the paper relies on this property of Thrift).
+
+/// Compact-protocol wire type nibbles.
+enum class CType : uint8_t {
+  kStop = 0,
+  kBoolTrue = 1,
+  kBoolFalse = 2,
+  kByte = 3,
+  kI16 = 4,
+  kI32 = 5,
+  kI64 = 6,
+  kDouble = 7,
+  kBinary = 8,
+  kList = 9,
+  kSet = 10,
+  kMap = 11,
+  kStruct = 12,
+};
+
+/// Maps a logical TType to its compact wire nibble (bools map to kBoolTrue;
+/// the writer adjusts for the actual value).
+CType ToCType(TType t);
+
+/// Maps a wire nibble back to the logical type. kBoolTrue/kBoolFalse both
+/// map to kBool. Returns InvalidArgument for kStop or unknown nibbles.
+Result<TType> FromCType(uint8_t nibble);
+
+/// Streaming writer. Usage for a struct:
+///   CompactWriter w(&buf);
+///   w.BeginStruct();
+///   w.WriteI64Field(3, user_id);
+///   ...
+///   w.EndStruct();
+class CompactWriter {
+ public:
+  explicit CompactWriter(std::string* out) : out_(out) {}
+
+  /// Struct nesting. BeginStruct pushes a fresh last-field-id context.
+  void BeginStruct();
+  void EndStruct();
+
+  /// Field writers (id must be positive and ascending within a struct for
+  /// best compression; any positive id is accepted).
+  void WriteBoolField(int16_t id, bool v);
+  void WriteByteField(int16_t id, int8_t v);
+  void WriteI16Field(int16_t id, int16_t v);
+  void WriteI32Field(int16_t id, int32_t v);
+  void WriteI64Field(int16_t id, int64_t v);
+  void WriteDoubleField(int16_t id, double v);
+  void WriteStringField(int16_t id, std::string_view v);
+  /// Writes the header for a nested struct field; follow with
+  /// BeginStruct()/fields/EndStruct().
+  void WriteStructFieldHeader(int16_t id);
+  /// Writes the header for a list field; follow with `count` bare elements.
+  void WriteListFieldHeader(int16_t id, TType elem, uint32_t count);
+  /// Same, with the set wire type.
+  void WriteSetFieldHeader(int16_t id, TType elem, uint32_t count);
+  void WriteMapFieldHeader(int16_t id, TType key, TType value,
+                           uint32_t count);
+
+  /// Bare (headerless) element writers for list/map payloads.
+  void WriteBool(bool v);
+  void WriteByte(int8_t v);
+  void WriteI16(int16_t v);
+  void WriteI32(int32_t v);
+  void WriteI64(int64_t v);
+  void WriteDouble(double v);
+  void WriteString(std::string_view v);
+
+  std::string* out() { return out_; }
+
+ private:
+  void WriteFieldHeader(int16_t id, CType type);
+
+  std::string* out_;
+  // Stack of last-written field ids, one per open struct. Fixed small depth
+  // is plenty for log messages; grows if exceeded.
+  std::vector<int16_t> last_field_;
+};
+
+/// Streaming reader, mirror of CompactWriter.
+class CompactReader {
+ public:
+  explicit CompactReader(std::string_view data) : dec_(data) {}
+  explicit CompactReader(Decoder dec) : dec_(dec) {}
+
+  void BeginStruct();
+  /// Reads the next field header in the current struct. Sets *stop=true at
+  /// the STOP byte (and pops the struct context). For bool fields the value
+  /// is carried in the header: *bool_value receives it.
+  Status ReadFieldHeader(int16_t* id, TType* type, bool* stop,
+                         bool* bool_value);
+
+  Status ReadBool(bool* v);  // bare element only
+  Status ReadByte(int8_t* v);
+  Status ReadI16(int16_t* v);
+  Status ReadI32(int32_t* v);
+  Status ReadI64(int64_t* v);
+  Status ReadDouble(double* v);
+  Status ReadString(std::string* v);
+  Status ReadListHeader(TType* elem, uint32_t* count);
+  Status ReadMapHeader(TType* key, TType* value, uint32_t* count);
+
+  /// Skips a value of the given type (recursively for containers/structs).
+  /// `header_bool` supplies the value for bool fields folded into headers
+  /// (pass false for bare elements; bools-as-elements occupy one byte).
+  Status SkipValue(TType type, bool from_field_header);
+
+  /// Position bookkeeping for framing layers.
+  size_t position() const { return dec_.position(); }
+  bool AtEnd() const { return dec_.AtEnd(); }
+  Decoder* decoder() { return &dec_; }
+
+ private:
+  Decoder dec_;
+  std::vector<int16_t> last_field_;
+};
+
+/// Serializes a dynamic value (must be a struct) with the compact protocol.
+Status SerializeStruct(const ThriftValue& value, std::string* out);
+
+/// Parses one compact-protocol struct from `data`, consuming the whole
+/// buffer. Self-describing: no schema needed.
+Result<ThriftValue> ParseStruct(std::string_view data);
+
+/// Parses one struct from the reader (which must be positioned at the start
+/// of a struct body). Used for nested structs and framed streams.
+Result<ThriftValue> ParseStructFrom(CompactReader* reader);
+
+}  // namespace unilog::thrift
+
+#endif  // UNILOG_THRIFT_COMPACT_PROTOCOL_H_

@@ -1,0 +1,99 @@
+#include "thrift/schema.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace unilog::thrift {
+
+Status StructSchema::AddField(FieldSchema field) {
+  if (field.id <= 0) {
+    return Status::InvalidArgument("field id must be positive");
+  }
+  for (const auto& f : fields_) {
+    if (f.id == field.id) {
+      return Status::AlreadyExists("duplicate field id " +
+                                   std::to_string(field.id));
+    }
+    if (f.name == field.name) {
+      return Status::AlreadyExists("duplicate field name " + field.name);
+    }
+  }
+  auto pos = std::lower_bound(
+      fields_.begin(), fields_.end(), field,
+      [](const FieldSchema& a, const FieldSchema& b) { return a.id < b.id; });
+  fields_.insert(pos, std::move(field));
+  return Status::OK();
+}
+
+const FieldSchema* StructSchema::FindField(int16_t id) const {
+  for (const auto& f : fields_) {
+    if (f.id == id) return &f;
+  }
+  return nullptr;
+}
+
+const FieldSchema* StructSchema::FindFieldByName(const std::string& name) const {
+  for (const auto& f : fields_) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+Status StructSchema::Validate(const ThriftValue& value) const {
+  if (!value.is_struct()) {
+    return Status::InvalidArgument("not a struct");
+  }
+  for (const auto& f : fields_) {
+    const ThriftValue* v = value.FindField(f.id);
+    if (v == nullptr) {
+      if (f.required) {
+        return Status::InvalidArgument("missing required field '" + f.name +
+                                       "' (id " + std::to_string(f.id) + ")");
+      }
+      continue;
+    }
+    TType got = v->type();
+    // Sets and lists share a representation; treat them as interchangeable
+    // only if declared types match exactly.
+    if (got != f.type) {
+      return Status::InvalidArgument(
+          "field '" + f.name + "' has type " + TTypeName(got) +
+          ", schema declares " + TTypeName(f.type));
+    }
+  }
+  return Status::OK();
+}
+
+std::string StructSchema::ToIdl() const {
+  std::ostringstream os;
+  os << "struct " << name_ << " {\n";
+  for (const auto& f : fields_) {
+    os << "  " << f.id << ": " << (f.required ? "required " : "optional ")
+       << TTypeName(f.type) << " " << f.name << ";\n";
+  }
+  os << "}";
+  return os.str();
+}
+
+Status SchemaRegistry::Register(StructSchema schema) {
+  auto [it, inserted] = schemas_.emplace(schema.name(), std::move(schema));
+  if (!inserted) {
+    return Status::AlreadyExists("schema already registered: " +
+                                 it->first);
+  }
+  return Status::OK();
+}
+
+const StructSchema* SchemaRegistry::Lookup(const std::string& name) const {
+  auto it = schemas_.find(name);
+  return it == schemas_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> SchemaRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(schemas_.size());
+  for (const auto& [name, _] : schemas_) names.push_back(name);
+  return names;
+}
+
+}  // namespace unilog::thrift

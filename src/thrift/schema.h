@@ -1,0 +1,74 @@
+#ifndef UNILOG_THRIFT_SCHEMA_H_
+#define UNILOG_THRIFT_SCHEMA_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "thrift/value.h"
+
+namespace unilog::thrift {
+
+/// Declaration of a single struct field, the unit of schema evolution:
+/// producers may add new field ids at any time; consumers skip ids they do
+/// not know.
+struct FieldSchema {
+  int16_t id = 0;
+  std::string name;
+  TType type = TType::kString;
+  bool required = false;
+};
+
+/// A struct schema: what Elephant Bird derives readers/writers from. Schemas
+/// validate dynamic values and give the catalog human-readable field names.
+class StructSchema {
+ public:
+  StructSchema() = default;
+  explicit StructSchema(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Adds a field. Returns AlreadyExists if the id or name is taken,
+  /// InvalidArgument for non-positive ids.
+  Status AddField(FieldSchema field);
+
+  /// Field lookup by id / by name; nullptr when absent.
+  const FieldSchema* FindField(int16_t id) const;
+  const FieldSchema* FindFieldByName(const std::string& name) const;
+
+  /// All fields in ascending id order.
+  const std::vector<FieldSchema>& fields() const { return fields_; }
+
+  /// Validates a dynamic struct value: every required field present, every
+  /// present known field has the declared type. Unknown field ids are
+  /// permitted (that is the point of Thrift's extensibility).
+  Status Validate(const ThriftValue& value) const;
+
+  /// Renders the schema as Thrift IDL-ish text for documentation.
+  std::string ToIdl() const;
+
+ private:
+  std::string name_;
+  std::vector<FieldSchema> fields_;  // kept sorted by id
+};
+
+/// Process-wide registry mapping schema names to schemas (one per Scribe
+/// category in the application-specific world; a single "client_event"
+/// schema in the unified world).
+class SchemaRegistry {
+ public:
+  Status Register(StructSchema schema);
+  const StructSchema* Lookup(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  std::map<std::string, StructSchema> schemas_;
+};
+
+}  // namespace unilog::thrift
+
+#endif  // UNILOG_THRIFT_SCHEMA_H_

@@ -1,0 +1,200 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace unilog::workload {
+
+namespace {
+
+constexpr const char* kCountries[] = {"us", "uk", "jp", "br", "de", "in"};
+constexpr double kCountryWeights[] = {0.45, 0.15, 0.12, 0.10, 0.08, 0.10};
+constexpr const char* kClients[] = {"web", "iphone", "android", "ipad"};
+constexpr double kClientWeights[] = {0.50, 0.25, 0.18, 0.07};
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(WorkloadOptions options)
+    : options_(std::move(options)),
+      rng_(options_.seed),
+      hierarchy_(ViewHierarchy::TwitterLike(options_.hierarchy_scale)) {
+  BuildUsers();
+  truth_.funnel_stage_sessions.assign(ViewHierarchy::kSignupStages, 0);
+}
+
+void WorkloadGenerator::BuildUsers() {
+  std::vector<double> country_w(std::begin(kCountryWeights),
+                                std::end(kCountryWeights));
+  std::vector<double> client_w(std::begin(kClientWeights),
+                               std::end(kClientWeights));
+  users_.reserve(options_.num_users);
+  for (int i = 0; i < options_.num_users; ++i) {
+    UserProfile u;
+    u.user_id = 1000000 + i;
+    u.country = kCountries[rng_.PickWeighted(country_w)];
+    u.logged_in = rng_.Bernoulli(0.8);
+    u.client = kClients[rng_.PickWeighted(client_w)];
+    char ip[32];
+    std::snprintf(ip, sizeof(ip), "10.%d.%d.%d", i / 65536 % 256,
+                  i / 256 % 256, i % 256);
+    u.ip = ip;
+    // Heavy-tailed activity: a few power users.
+    u.activity = 0.3 + rng_.Exponential(1.0);
+    users_.push_back(std::move(u));
+  }
+}
+
+const UserProfile* WorkloadGenerator::FindUser(int64_t user_id) const {
+  int64_t index = user_id - 1000000;
+  if (index < 0 || index >= static_cast<int64_t>(users_.size())) {
+    return nullptr;
+  }
+  return &users_[index];
+}
+
+events::ClientEvent WorkloadGenerator::MakeEvent(const UserProfile& user,
+                                                 const std::string& session_id,
+                                                 TimeMs ts,
+                                                 const std::string& name) {
+  events::ClientEvent ev;
+  // Impressions are app-initiated half the time (timeline polls); other
+  // actions are user-initiated.
+  bool is_impression =
+      name.size() > 11 && name.compare(name.size() - 10, 10, "impression") == 0;
+  ev.initiator = (is_impression && rng_.Bernoulli(0.5))
+                     ? events::EventInitiator::kClientApp
+                     : events::EventInitiator::kClientUser;
+  ev.event_name = name;
+  ev.user_id = user.user_id;
+  ev.session_id = session_id;
+  ev.ip = user.ip;
+  ev.timestamp = ts;
+  // Event-specific details: teams populate these freely (§3.2); give the
+  // raw logs realistic bulk.
+  ev.details = {{"lang", user.country == "us" || user.country == "uk"
+                             ? "en"
+                             : user.country},
+                {"client_version", "4." + std::to_string(ev.user_id % 7)}};
+  if (name.find(":search:") != std::string::npos) {
+    ev.details.emplace_back("query",
+                            "q" + std::to_string(rng_.Uniform(1000)));
+  }
+  if (name.find("profile_click") != std::string::npos) {
+    ev.details.emplace_back("profile_id",
+                            std::to_string(1000000 + rng_.Uniform(5000)));
+  }
+  for (int i = 0; i < options_.extra_detail_pairs; ++i) {
+    ev.details.emplace_back(
+        "ctx_" + std::to_string(i),
+        "v" + std::to_string(rng_.Uniform(100000)) + "-" +
+            std::to_string(rng_.Uniform(100000)));
+  }
+  return ev;
+}
+
+void WorkloadGenerator::GenerateSession(
+    const UserProfile& user, int session_index, TimeMs start,
+    std::vector<events::ClientEvent>* out) {
+  std::string session_id = "u" + std::to_string(user.user_id) + "-s" +
+                           std::to_string(session_index);
+  // Per-client alphabet with Zipfian base popularity. The signup flow is
+  // excluded: ordinary browsing never wanders into it, so funnel ground
+  // truth stays exact.
+  std::vector<std::string> alphabet;
+  for (auto& name : hierarchy_.NamesForClient(user.client)) {
+    if (name.find(":signup:") == std::string::npos) {
+      alphabet.push_back(std::move(name));
+    }
+  }
+  ZipfianSampler zipf(alphabet.size(), options_.zipf_theta);
+
+  size_t n_events =
+      1 + rng_.Poisson(std::max(0.0, options_.events_per_session_mean - 1));
+  TimeMs ts = start;
+  std::string current = alphabet[zipf.Sample(rng_)];
+  for (size_t e = 0; e < n_events; ++e) {
+    out->push_back(MakeEvent(user, session_id, ts, current));
+    ++truth_.event_counts[current];
+    ++truth_.total_events;
+    // Next event: planted follow-up with configured probability, else a
+    // fresh Zipfian draw (the Markov structure §5.4's models detect).
+    const std::string* follow = hierarchy_.FollowUpOf(current);
+    if (follow != nullptr && rng_.Bernoulli(options_.follow_up_probability)) {
+      current = *follow;
+    } else {
+      current = alphabet[zipf.Sample(rng_)];
+    }
+    // Gap: exponential, clamped well below the sessionization gap so one
+    // generated session is exactly one reconstructed session.
+    TimeMs gap = static_cast<TimeMs>(
+        rng_.Exponential(static_cast<double>(options_.event_gap_mean_ms)));
+    gap = std::min<TimeMs>(gap, kSessionInactivityGapMs / 3);
+    ts += std::max<TimeMs>(gap, 1);
+  }
+  ++truth_.total_sessions;
+  ++truth_.sessions_per_client[user.client];
+}
+
+void WorkloadGenerator::GenerateSignupSession(
+    const UserProfile& user, int session_index, TimeMs start,
+    std::vector<events::ClientEvent>* out) {
+  std::string session_id = "u" + std::to_string(user.user_id) + "-s" +
+                           std::to_string(session_index);
+  TimeMs ts = start;
+  ++truth_.signup_sessions;
+  for (int stage = 0; stage < ViewHierarchy::kSignupStages; ++stage) {
+    std::string name = ViewHierarchy::SignupStageEvent(user.client, stage);
+    out->push_back(MakeEvent(user, session_id, ts, name));
+    ++truth_.event_counts[name];
+    ++truth_.total_events;
+    ++truth_.funnel_stage_sessions[stage];
+    if (stage < static_cast<int>(options_.signup_continue.size()) &&
+        !rng_.Bernoulli(options_.signup_continue[stage])) {
+      break;  // abandonment
+    }
+    TimeMs gap = 5 * kMillisPerSecond +
+                 static_cast<TimeMs>(rng_.Exponential(20 * kMillisPerSecond));
+    ts += std::min<TimeMs>(gap, kSessionInactivityGapMs / 3);
+  }
+  ++truth_.total_sessions;
+  ++truth_.sessions_per_client[user.client];
+}
+
+Status WorkloadGenerator::Generate(
+    const std::function<void(const events::ClientEvent&)>& sink) {
+  if (generated_) {
+    return Status::FailedPrecondition("Generate already called");
+  }
+  generated_ = true;
+
+  std::vector<events::ClientEvent> all;
+  for (const UserProfile& user : users_) {
+    uint64_t sessions =
+        rng_.Poisson(options_.sessions_per_user_mean * user.activity);
+    for (uint64_t s = 0; s < sessions; ++s) {
+      // Keep sessions inside the window and separated by > the
+      // sessionization gap from each other via distinct session ids.
+      TimeMs latest_start = options_.start + options_.duration -
+                            2 * kSessionInactivityGapMs;
+      if (latest_start <= options_.start) latest_start = options_.start + 1;
+      TimeMs start =
+          options_.start +
+          static_cast<TimeMs>(rng_.Uniform(
+              static_cast<uint64_t>(latest_start - options_.start)));
+      if (rng_.Bernoulli(options_.signup_session_fraction)) {
+        GenerateSignupSession(user, static_cast<int>(s), start, &all);
+      } else {
+        GenerateSession(user, static_cast<int>(s), start, &all);
+      }
+    }
+  }
+  std::stable_sort(all.begin(), all.end(),
+                   [](const events::ClientEvent& a,
+                      const events::ClientEvent& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  for (const auto& ev : all) sink(ev);
+  return Status::OK();
+}
+
+}  // namespace unilog::workload

@@ -1,0 +1,114 @@
+#ifndef UNILOG_WORKLOAD_GENERATOR_H_
+#define UNILOG_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "events/client_event.h"
+#include "workload/hierarchy.h"
+
+namespace unilog::workload {
+
+/// A simulated user of the service.
+struct UserProfile {
+  int64_t user_id = 0;
+  std::string country;
+  bool logged_in = true;
+  std::string client;  // primary client application
+  std::string ip;
+  double activity = 1.0;  // relative session-rate multiplier
+};
+
+/// Generator configuration. Defaults produce a laptop-scale day of traffic
+/// with the statistical shape the paper's claims rest on: Zipf-skewed
+/// event popularity, Markov-correlated within-session behaviour, a signup
+/// funnel with per-stage abandonment, and 30-minute-separable sessions.
+struct WorkloadOptions {
+  uint64_t seed = 42;
+  int num_users = 500;
+  TimeMs start = 0;             // window start (set via MakeDate)
+  TimeMs duration = kMillisPerDay;
+  double sessions_per_user_mean = 2.0;
+  double events_per_session_mean = 18.0;
+  /// Zipf skew of the base event-popularity distribution.
+  double zipf_theta = 1.05;
+  /// Probability that the next event is the planted follow-up of the
+  /// current one (temporal signal for the n-gram experiments).
+  double follow_up_probability = 0.35;
+  /// Mean gap between consecutive events in a session (must stay well
+  /// under the 30-minute sessionization gap).
+  TimeMs event_gap_mean_ms = 15 * kMillisPerSecond;
+  /// Fraction of sessions that are signup-funnel attempts.
+  double signup_session_fraction = 0.08;
+  /// P(advance to stage i+1 | reached stage i) for the signup funnel.
+  std::vector<double> signup_continue = {0.75, 0.65, 0.80, 0.60};
+  /// View-hierarchy fan-out multiplier.
+  int hierarchy_scale = 1;
+  /// Extra synthetic event_details key-value pairs per event, modeling the
+  /// "rich nested payloads" of production logs (drives the E5 sweep).
+  int extra_detail_pairs = 0;
+};
+
+/// Exact ground truth recorded while generating — benches compare pipeline
+/// outputs against these.
+struct GroundTruth {
+  uint64_t total_events = 0;
+  uint64_t total_sessions = 0;
+  uint64_t signup_sessions = 0;
+  /// sessions that reached stage i (index 0 = entered the funnel).
+  std::vector<uint64_t> funnel_stage_sessions;
+  std::map<std::string, uint64_t> event_counts;
+  std::map<std::string, uint64_t> sessions_per_client;
+};
+
+/// Generates a window of client events for a synthetic user population.
+/// Deterministic for a given options.seed. Events are delivered to the
+/// sink in global timestamp order.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(WorkloadOptions options);
+
+  /// The generated user population (stable across calls).
+  const std::vector<UserProfile>& users() const { return users_; }
+  const ViewHierarchy& hierarchy() const { return hierarchy_; }
+
+  /// Generates all events into `sink` in timestamp order and records
+  /// ground truth. May be called once.
+  Status Generate(const std::function<void(const events::ClientEvent&)>& sink);
+
+  const GroundTruth& truth() const { return truth_; }
+
+  /// Country of a user id (for rollup breakdowns / joins).
+  const UserProfile* FindUser(int64_t user_id) const;
+
+ private:
+  void BuildUsers();
+  /// Appends one session's events for `user` starting at `start` into
+  /// `out`; updates ground truth.
+  void GenerateSession(const UserProfile& user, int session_index,
+                       TimeMs start, std::vector<events::ClientEvent>* out);
+  void GenerateSignupSession(const UserProfile& user, int session_index,
+                             TimeMs start,
+                             std::vector<events::ClientEvent>* out);
+  events::ClientEvent MakeEvent(const UserProfile& user,
+                                const std::string& session_id, TimeMs ts,
+                                const std::string& name);
+
+  WorkloadOptions options_;
+  Rng rng_;
+  ViewHierarchy hierarchy_;
+  std::vector<UserProfile> users_;
+  std::vector<std::string> client_names_[8];  // per client index
+  GroundTruth truth_;
+  bool generated_ = false;
+};
+
+}  // namespace unilog::workload
+
+#endif  // UNILOG_WORKLOAD_GENERATOR_H_

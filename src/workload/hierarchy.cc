@@ -1,0 +1,140 @@
+#include "workload/hierarchy.h"
+
+#include <cstdio>
+#include <set>
+
+namespace unilog::workload {
+
+namespace {
+
+struct Surface {
+  const char* page;
+  const char* section;
+  const char* component;
+  const char* element;
+};
+
+// The shared surface catalog: each client exposes the same logical
+// surfaces (§3.2's consistent design language).
+constexpr Surface kSurfaces[] = {
+    {"home", "timeline", "stream", "tweet"},
+    {"home", "timeline", "stream", "avatar"},
+    {"home", "timeline", "stream", "link"},
+    {"home", "mentions", "stream", "tweet"},
+    {"home", "mentions", "stream", "avatar"},
+    {"home", "retweets", "stream", "tweet"},
+    {"home", "searches", "search_box", "button"},
+    {"home", "suggestions", "who_to_follow", "follow_button"},
+    {"home", "suggestions", "who_to_follow", "avatar"},
+    {"home", "trends", "trend_list", "trend"},
+    {"profile", "tweets", "stream", "tweet"},
+    {"profile", "followers", "user_list", "follow_button"},
+    {"profile", "following", "user_list", "avatar"},
+    {"profile", "", "header", "bio"},
+    {"search", "results", "result_list", "result"},
+    {"search", "results", "result_list", "avatar"},
+    {"search", "", "search_box", "button"},
+    {"discover", "stories", "story_list", "story"},
+    {"discover", "activity", "activity_list", "item"},
+    {"connect", "interactions", "stream", "item"},
+    {"connect", "mentions", "stream", "tweet"},
+    {"settings", "account", "form", "save_button"},
+    {"messages", "inbox", "thread_list", "thread"},
+};
+
+constexpr const char* kActions[] = {
+    "impression", "click", "hover", "favorite",
+    "retweet",    "follow", "profile_click", "expand",
+};
+
+// Which (element, action) pairs exist: not every action applies to every
+// element; keep a simple rule set so the universe is realistic.
+bool ActionApplies(const std::string& element, const std::string& action) {
+  if (action == "impression" || action == "click") return true;
+  if (action == "hover") return element != "button";
+  if (action == "favorite" || action == "retweet" || action == "expand") {
+    return element == "tweet";
+  }
+  if (action == "follow") return element == "follow_button";
+  if (action == "profile_click") {
+    return element == "avatar" || element == "bio";
+  }
+  return false;
+}
+
+}  // namespace
+
+ViewHierarchy ViewHierarchy::TwitterLike(int scale) {
+  ViewHierarchy h;
+  h.clients_ = {"web", "iphone", "android", "ipad"};
+  if (scale < 1) scale = 1;
+
+  for (const auto& client : h.clients_) {
+    for (const Surface& s : kSurfaces) {
+      for (int rep = 0; rep < scale; ++rep) {
+        std::string element = s.element;
+        if (rep > 0) element += "_" + std::to_string(rep);
+        for (const char* action : kActions) {
+          if (!ActionApplies(s.element, action)) continue;
+          auto name = events::EventName::Make(client, s.page, s.section,
+                                              s.component, element, action);
+          if (!name.ok()) continue;
+          h.names_.push_back(name->ToString());
+        }
+      }
+    }
+    // Signup funnel stages.
+    for (int stage = 0; stage < kSignupStages; ++stage) {
+      h.names_.push_back(SignupStageEvent(client, stage));
+    }
+  }
+
+  // Planted follow-ups: impression → click on the same surface; click →
+  // profile_click where available.
+  std::set<std::string> universe(h.names_.begin(), h.names_.end());
+  for (const auto& name : h.names_) {
+    auto parsed = events::EventName::Parse(name);
+    if (!parsed.ok()) continue;
+    if (parsed->action() == "impression") {
+      auto click = events::EventName::Make(
+          parsed->client(), parsed->page(), parsed->section(),
+          parsed->part_component(), parsed->element(), "click");
+      if (click.ok() && universe.count(click->ToString())) {
+        h.follow_ups_[name] = click->ToString();
+      }
+    } else if (parsed->action() == "click") {
+      auto profile = events::EventName::Make(
+          parsed->client(), parsed->page(), parsed->section(),
+          parsed->part_component(), parsed->element(), "profile_click");
+      if (profile.ok() && universe.count(profile->ToString())) {
+        h.follow_ups_[name] = profile->ToString();
+      }
+    }
+  }
+  return h;
+}
+
+std::vector<std::string> ViewHierarchy::NamesForClient(
+    const std::string& client) const {
+  std::vector<std::string> out;
+  std::string prefix = client + ":";
+  for (const auto& name : names_) {
+    if (name.compare(0, prefix.size(), prefix) == 0) out.push_back(name);
+  }
+  return out;
+}
+
+std::string ViewHierarchy::SignupStageEvent(const std::string& client,
+                                            int stage) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "stage_%02d", stage);
+  return client + ":signup:flow:form:page:" + buf;
+}
+
+const std::string* ViewHierarchy::FollowUpOf(
+    const std::string& event_name) const {
+  auto it = follow_ups_.find(event_name);
+  return it == follow_ups_.end() ? nullptr : &it->second;
+}
+
+}  // namespace unilog::workload

@@ -1,0 +1,59 @@
+#ifndef UNILOG_WORKLOAD_HIERARCHY_H_
+#define UNILOG_WORKLOAD_HIERARCHY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "events/event_name.h"
+
+namespace unilog::workload {
+
+/// The view hierarchy of the simulated Twitter clients: the universe of
+/// six-level event names the workload generator draws from. Mirrors the
+/// paper's design language: every client has the same logical surfaces
+/// ("all clients have a section for viewing a user's mentions; an
+/// impression means the same thing, whether on the web client or the
+/// iPhone"), so names differ only in the client component.
+class ViewHierarchy {
+ public:
+  /// Builds the default Twitter-like hierarchy:
+  ///   clients  : web, iphone, android, ipad
+  ///   pages    : home, profile, search, discover, connect, signup
+  ///   sections : per page (mentions/retweets/searches/... on home, etc.)
+  ///   actions  : impression, click, hover, favorite, retweet, follow,
+  ///              profile_click, ...
+  /// `scale` multiplies the component/element fan-out (1 → ~1-2k names).
+  static ViewHierarchy TwitterLike(int scale = 1);
+
+  /// All event names, in a deterministic order.
+  const std::vector<std::string>& event_names() const { return names_; }
+  size_t size() const { return names_.size(); }
+
+  /// Names filtered to one client.
+  std::vector<std::string> NamesForClient(const std::string& client) const;
+
+  const std::vector<std::string>& clients() const { return clients_; }
+
+  /// The signup-funnel stage event for `client` and stage index (0-based).
+  /// Stage events live under <client>:signup:flow:form:page:stage_NN.
+  static std::string SignupStageEvent(const std::string& client, int stage);
+  /// Number of stages in the signup funnel.
+  static constexpr int kSignupStages = 5;
+
+  /// Planted behavioural correlations: for an event name that has a
+  /// natural follow-up (impression → click on the same surface, click →
+  /// profile view), returns it; empty string otherwise. The user-modeling
+  /// experiments (collocations, n-gram signal) recover exactly these.
+  const std::string* FollowUpOf(const std::string& event_name) const;
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::string> clients_;
+  std::map<std::string, std::string> follow_ups_;
+};
+
+}  // namespace unilog::workload
+
+#endif  // UNILOG_WORKLOAD_HIERARCHY_H_

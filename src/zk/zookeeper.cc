@@ -1,0 +1,237 @@
+#include "zk/zookeeper.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace unilog::zk {
+
+const char* WatchEventName(WatchEvent ev) {
+  switch (ev) {
+    case WatchEvent::kCreated:
+      return "created";
+    case WatchEvent::kDeleted:
+      return "deleted";
+    case WatchEvent::kDataChanged:
+      return "data_changed";
+    case WatchEvent::kChildrenChanged:
+      return "children_changed";
+  }
+  return "unknown";
+}
+
+ZooKeeper::ZooKeeper(Simulator* sim) : sim_(sim) {
+  nodes_["/"] = Znode{};
+}
+
+SessionId ZooKeeper::CreateSession() {
+  SessionId id = next_session_++;
+  live_sessions_.insert(id);
+  return id;
+}
+
+bool ZooKeeper::SessionAlive(SessionId session) const {
+  return live_sessions_.count(session) > 0;
+}
+
+Status ZooKeeper::CloseSession(SessionId session) {
+  if (!live_sessions_.erase(session)) {
+    return Status::NotFound("no such session");
+  }
+  auto it = session_ephemerals_.find(session);
+  if (it != session_ephemerals_.end()) {
+    // Copy: DeleteInternal mutates the set via erase callbacks.
+    std::set<std::string> paths = it->second;
+    session_ephemerals_.erase(it);
+    for (const auto& path : paths) {
+      // Ignore NotFound: the node may have been deleted explicitly.
+      DeleteInternal(path);
+    }
+  }
+  return Status::OK();
+}
+
+Status ZooKeeper::ValidatePath(const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must start with '/': " + path);
+  }
+  if (path.size() > 1 && path.back() == '/') {
+    return Status::InvalidArgument("path must not end with '/': " + path);
+  }
+  if (path.find("//") != std::string::npos) {
+    return Status::InvalidArgument("path has empty component: " + path);
+  }
+  return Status::OK();
+}
+
+std::string ZooKeeper::ParentOf(const std::string& path) {
+  size_t pos = path.rfind('/');
+  if (pos == 0) return "/";
+  return path.substr(0, pos);
+}
+
+Result<std::string> ZooKeeper::Create(SessionId session,
+                                      const std::string& path,
+                                      const std::string& data,
+                                      CreateMode mode) {
+  if (!SessionAlive(session)) {
+    return Status::FailedPrecondition("session closed");
+  }
+  UNILOG_RETURN_NOT_OK(ValidatePath(path));
+  if (path == "/") return Status::AlreadyExists("root already exists");
+
+  std::string parent = ParentOf(path);
+  auto pit = nodes_.find(parent);
+  if (pit == nodes_.end()) {
+    return Status::NotFound("parent does not exist: " + parent);
+  }
+  if (pit->second.ephemeral_owner != 0) {
+    return Status::FailedPrecondition(
+        "ephemeral znodes may not have children: " + parent);
+  }
+
+  std::string actual = path;
+  bool sequential = (mode == CreateMode::kPersistentSequential ||
+                     mode == CreateMode::kEphemeralSequential);
+  if (sequential) {
+    char suffix[16];
+    std::snprintf(suffix, sizeof(suffix), "%010llu",
+                  static_cast<unsigned long long>(pit->second.seq_counter++));
+    actual += suffix;
+  }
+  if (nodes_.count(actual)) {
+    return Status::AlreadyExists("znode exists: " + actual);
+  }
+
+  Znode node;
+  node.data = data;
+  bool ephemeral = (mode == CreateMode::kEphemeral ||
+                    mode == CreateMode::kEphemeralSequential);
+  if (ephemeral) {
+    node.ephemeral_owner = session;
+    session_ephemerals_[session].insert(actual);
+  }
+  nodes_[actual] = std::move(node);
+
+  FireWatches(&exists_watchers_, actual, WatchEvent::kCreated);
+  FireWatches(&children_watchers_, parent, WatchEvent::kChildrenChanged);
+  return actual;
+}
+
+Status ZooKeeper::DeleteInternal(const std::string& path) {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("no such znode: " + path);
+
+  // Check for children: any key strictly between path+"/" and path+"/\xff".
+  std::string prefix = path == "/" ? "/" : path + "/";
+  auto child = nodes_.upper_bound(prefix);
+  if (child != nodes_.end() && StartsWith(child->first, prefix)) {
+    return Status::FailedPrecondition("znode has children: " + path);
+  }
+
+  SessionId owner = it->second.ephemeral_owner;
+  nodes_.erase(it);
+  if (owner != 0) {
+    auto sit = session_ephemerals_.find(owner);
+    if (sit != session_ephemerals_.end()) sit->second.erase(path);
+  }
+  FireWatches(&exists_watchers_, path, WatchEvent::kDeleted);
+  FireWatches(&data_watchers_, path, WatchEvent::kDeleted);
+  FireWatches(&children_watchers_, ParentOf(path),
+              WatchEvent::kChildrenChanged);
+  return Status::OK();
+}
+
+Status ZooKeeper::Delete(SessionId session, const std::string& path) {
+  if (!SessionAlive(session)) {
+    return Status::FailedPrecondition("session closed");
+  }
+  UNILOG_RETURN_NOT_OK(ValidatePath(path));
+  if (path == "/") return Status::InvalidArgument("cannot delete root");
+  return DeleteInternal(path);
+}
+
+Result<std::string> ZooKeeper::GetData(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("no such znode: " + path);
+  return it->second.data;
+}
+
+Status ZooKeeper::SetData(SessionId session, const std::string& path,
+                          const std::string& data) {
+  if (!SessionAlive(session)) {
+    return Status::FailedPrecondition("session closed");
+  }
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("no such znode: " + path);
+  it->second.data = data;
+  ++it->second.version;
+  FireWatches(&data_watchers_, path, WatchEvent::kDataChanged);
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ZooKeeper::GetChildren(
+    const std::string& path) const {
+  UNILOG_RETURN_NOT_OK(ValidatePath(path));
+  if (!nodes_.count(path)) return Status::NotFound("no such znode: " + path);
+  std::string prefix = path == "/" ? "/" : path + "/";
+  std::vector<std::string> children;
+  for (auto it = nodes_.upper_bound(prefix);
+       it != nodes_.end() && StartsWith(it->first, prefix); ++it) {
+    std::string rest = it->first.substr(prefix.size());
+    if (rest.find('/') == std::string::npos) {
+      children.push_back(rest);
+    }
+  }
+  return children;
+}
+
+bool ZooKeeper::Exists(const std::string& path) const {
+  return nodes_.count(path) > 0;
+}
+
+Result<ZnodeStat> ZooKeeper::Stat(const std::string& path) const {
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("no such znode: " + path);
+  ZnodeStat stat;
+  stat.version = it->second.version;
+  stat.ephemeral_owner = it->second.ephemeral_owner;
+  auto children = GetChildren(path);
+  stat.num_children = children.ok() ? children->size() : 0;
+  return stat;
+}
+
+void ZooKeeper::WatchExists(const std::string& path, Watcher watcher) {
+  exists_watchers_.emplace(path, std::move(watcher));
+}
+
+void ZooKeeper::WatchChildren(const std::string& path, Watcher watcher) {
+  children_watchers_.emplace(path, std::move(watcher));
+}
+
+void ZooKeeper::WatchData(const std::string& path, Watcher watcher) {
+  data_watchers_.emplace(path, std::move(watcher));
+}
+
+void ZooKeeper::FireWatches(std::multimap<std::string, Watcher>* table,
+                            const std::string& path, WatchEvent ev) {
+  auto range = table->equal_range(path);
+  if (range.first == range.second) return;
+  std::vector<Watcher> to_fire;
+  for (auto it = range.first; it != range.second; ++it) {
+    to_fire.push_back(std::move(it->second));
+  }
+  table->erase(range.first, range.second);  // one-shot semantics
+  watch_fires_ += to_fire.size();
+  for (auto& w : to_fire) {
+    if (sim_ != nullptr) {
+      // Deliver asynchronously on the virtual clock, as a real client would
+      // observe.
+      sim_->After(0, [w = std::move(w), ev, path]() { w(ev, path); });
+    } else {
+      w(ev, path);
+    }
+  }
+}
+
+}  // namespace unilog::zk

@@ -1,0 +1,148 @@
+#ifndef UNILOG_ZK_ZOOKEEPER_H_
+#define UNILOG_ZK_ZOOKEEPER_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "sim/simulator.h"
+
+namespace unilog::zk {
+
+/// Session handle. Sessions model client connections: ephemeral znodes are
+/// tied to the session that created them and disappear when it ends —
+/// which is exactly the mechanism the paper's Scribe daemons use to
+/// discover live aggregators (§2).
+using SessionId = uint64_t;
+
+/// Creation modes, as in ZooKeeper.
+enum class CreateMode {
+  kPersistent,
+  kEphemeral,
+  kPersistentSequential,
+  kEphemeralSequential,
+};
+
+/// Watch notification kinds.
+enum class WatchEvent {
+  kCreated,
+  kDeleted,
+  kDataChanged,
+  kChildrenChanged,
+};
+
+/// Returns a printable name for a watch event.
+const char* WatchEventName(WatchEvent ev);
+
+/// Metadata about a znode.
+struct ZnodeStat {
+  int64_t version = 0;
+  SessionId ephemeral_owner = 0;  // 0 = persistent
+  size_t num_children = 0;
+};
+
+/// A ZooKeeper-like coordination service: a hierarchical namespace of data
+/// nodes ("znodes") with ephemeral nodes, sequential nodes, and one-shot
+/// watches. Single-replica and synchronous — the coordination *protocol*
+/// (ZAB) is out of scope; the paper's infrastructure only relies on the
+/// client-visible semantics modeled here.
+class ZooKeeper {
+ public:
+  /// `sim` supplies the virtual clock used to defer watch callbacks; may be
+  /// nullptr, in which case watches fire synchronously.
+  explicit ZooKeeper(Simulator* sim = nullptr);
+
+  ZooKeeper(const ZooKeeper&) = delete;
+  ZooKeeper& operator=(const ZooKeeper&) = delete;
+
+  /// Watch callback: receives the event kind and the affected path.
+  using Watcher = std::function<void(WatchEvent, const std::string& path)>;
+
+  // --- Sessions ---
+
+  /// Opens a new session.
+  SessionId CreateSession();
+
+  /// Ends a session: all its ephemeral znodes are deleted (firing watches).
+  /// Used both for graceful close and crash-induced expiry.
+  Status CloseSession(SessionId session);
+
+  /// True if the session exists and has not been closed.
+  bool SessionAlive(SessionId session) const;
+
+  // --- Znode operations ---
+
+  /// Creates a znode. The parent must exist. For sequential modes a
+  /// monotonically increasing 10-digit suffix is appended (per parent);
+  /// the actual created path is returned. Ephemeral znodes may not have
+  /// children, matching ZooKeeper.
+  Result<std::string> Create(SessionId session, const std::string& path,
+                             const std::string& data, CreateMode mode);
+
+  /// Deletes a znode; fails if it has children.
+  Status Delete(SessionId session, const std::string& path);
+
+  /// Reads znode data.
+  Result<std::string> GetData(const std::string& path) const;
+
+  /// Replaces znode data, bumping the version.
+  Status SetData(SessionId session, const std::string& path,
+                 const std::string& data);
+
+  /// Lists direct children (names, not full paths), sorted.
+  Result<std::vector<std::string>> GetChildren(const std::string& path) const;
+
+  bool Exists(const std::string& path) const;
+  Result<ZnodeStat> Stat(const std::string& path) const;
+
+  // --- Watches (one-shot, as in ZooKeeper) ---
+
+  /// Fires once on the next create or delete of `path`.
+  void WatchExists(const std::string& path, Watcher watcher);
+
+  /// Fires once on the next change to the children of `path`.
+  void WatchChildren(const std::string& path, Watcher watcher);
+
+  /// Fires once on the next data change or deletion of `path`.
+  void WatchData(const std::string& path, Watcher watcher);
+
+  // --- Introspection ---
+
+  size_t znode_count() const { return nodes_.size(); }
+  uint64_t watch_fires() const { return watch_fires_; }
+
+ private:
+  struct Znode {
+    std::string data;
+    SessionId ephemeral_owner = 0;
+    int64_t version = 0;
+    uint64_t seq_counter = 0;  // for sequential children
+  };
+
+  static Status ValidatePath(const std::string& path);
+  static std::string ParentOf(const std::string& path);
+
+  void FireWatches(std::multimap<std::string, Watcher>* table,
+                   const std::string& path, WatchEvent ev);
+  Status DeleteInternal(const std::string& path);
+
+  Simulator* sim_;
+  std::map<std::string, Znode> nodes_;  // sorted: enables child scans
+  std::map<SessionId, std::set<std::string>> session_ephemerals_;
+  std::set<SessionId> live_sessions_;
+  SessionId next_session_ = 1;
+  uint64_t watch_fires_ = 0;
+
+  std::multimap<std::string, Watcher> exists_watchers_;
+  std::multimap<std::string, Watcher> children_watchers_;
+  std::multimap<std::string, Watcher> data_watchers_;
+};
+
+}  // namespace unilog::zk
+
+#endif  // UNILOG_ZK_ZOOKEEPER_H_

@@ -1,0 +1,157 @@
+// Tests for the Elephant Bird-style typed adapter: declarative field
+// descriptors generating writers, readers, and schemas.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "thrift/adapter.h"
+
+namespace unilog::thrift {
+
+// A "search event" an application team might declare (§3: developers
+// "come up with a simple logging object definition in Thrift, start using
+// it").
+struct SearchEvent {
+  int64_t user_id = 0;
+  std::string query;
+  int32_t result_count = 0;
+  double latency_ms = 0;
+  bool personalized = false;
+  int8_t shard = 0;
+  int16_t datacenter = 0;
+};
+
+template <>
+struct ThriftTraits<SearchEvent> {
+  static constexpr const char* kName = "search_event";
+  static constexpr auto fields() {
+    return std::make_tuple(
+        Field(1, "user_id", &SearchEvent::user_id),
+        Field(2, "query", &SearchEvent::query),
+        Field(3, "result_count", &SearchEvent::result_count),
+        Field(4, "latency_ms", &SearchEvent::latency_ms,
+              /*required=*/false),
+        Field(5, "personalized", &SearchEvent::personalized,
+              /*required=*/false),
+        Field(6, "shard", &SearchEvent::shard, /*required=*/false),
+        Field(7, "datacenter", &SearchEvent::datacenter,
+              /*required=*/false));
+  }
+};
+
+namespace {
+
+SearchEvent Sample() {
+  SearchEvent ev;
+  ev.user_id = 987654321;
+  ev.query = "vldb 2012 istanbul";
+  ev.result_count = 42;
+  ev.latency_ms = 13.5;
+  ev.personalized = true;
+  ev.shard = 7;
+  ev.datacenter = -2;
+  return ev;
+}
+
+bool Same(const SearchEvent& a, const SearchEvent& b) {
+  return a.user_id == b.user_id && a.query == b.query &&
+         a.result_count == b.result_count && a.latency_ms == b.latency_ms &&
+         a.personalized == b.personalized && a.shard == b.shard &&
+         a.datacenter == b.datacenter;
+}
+
+TEST(TypedAdapterTest, RoundTrip) {
+  SearchEvent ev = Sample();
+  std::string wire = SerializeTyped(ev);
+  auto back = DeserializeTyped<SearchEvent>(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(Same(*back, ev));
+}
+
+TEST(TypedAdapterTest, InteroperatesWithDynamicParser) {
+  // The typed writer produces standard compact protocol: the dynamic
+  // parser reads it.
+  std::string wire = SerializeTyped(Sample());
+  auto dynamic = ParseStruct(wire);
+  ASSERT_TRUE(dynamic.ok());
+  EXPECT_EQ(dynamic->FindField(1)->i64_value(), 987654321);
+  EXPECT_EQ(dynamic->FindField(2)->string_value(), "vldb 2012 istanbul");
+  EXPECT_EQ(dynamic->FindField(5)->bool_value(), true);
+}
+
+TEST(TypedAdapterTest, UnknownFieldsSkipped) {
+  // A v2 producer adds fields 20/21; the v1 reader skips them.
+  auto v2 = ParseStruct(SerializeTyped(Sample()));
+  ASSERT_TRUE(v2.ok());
+  v2->SetField(20, ThriftValue::String("extra"));
+  v2->SetField(21, ThriftValue::Double(1.5));
+  std::string wire;
+  ASSERT_TRUE(SerializeStruct(*v2, &wire).ok());
+  auto back = DeserializeTyped<SearchEvent>(wire);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(Same(*back, Sample()));
+}
+
+TEST(TypedAdapterTest, MissingRequiredFieldFails) {
+  auto dynamic = ParseStruct(SerializeTyped(Sample()));
+  ASSERT_TRUE(dynamic.ok());
+  dynamic->mutable_struct().fields.erase(2);  // drop the required query
+  std::string wire;
+  ASSERT_TRUE(SerializeStruct(*dynamic, &wire).ok());
+  Status st = DeserializeTyped<SearchEvent>(wire).status();
+  ASSERT_TRUE(st.IsInvalidArgument());
+  EXPECT_NE(st.message().find("query"), std::string::npos);
+}
+
+TEST(TypedAdapterTest, MissingOptionalFieldKeepsDefault) {
+  auto dynamic = ParseStruct(SerializeTyped(Sample()));
+  ASSERT_TRUE(dynamic.ok());
+  dynamic->mutable_struct().fields.erase(4);  // optional latency_ms
+  std::string wire;
+  ASSERT_TRUE(SerializeStruct(*dynamic, &wire).ok());
+  auto back = DeserializeTyped<SearchEvent>(wire);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->latency_ms, 0);
+  EXPECT_EQ(back->query, Sample().query);
+}
+
+TEST(TypedAdapterTest, WireTypeMismatchDetected) {
+  auto dynamic = ParseStruct(SerializeTyped(Sample()));
+  ASSERT_TRUE(dynamic.ok());
+  dynamic->SetField(2, ThriftValue::I64(5));  // query must be a string
+  std::string wire;
+  ASSERT_TRUE(SerializeStruct(*dynamic, &wire).ok());
+  Status st = DeserializeTyped<SearchEvent>(wire).status();
+  EXPECT_TRUE(st.IsCorruption());
+}
+
+TEST(TypedAdapterTest, SchemaGeneration) {
+  StructSchema schema = SchemaOfTyped<SearchEvent>();
+  EXPECT_EQ(schema.name(), "search_event");
+  ASSERT_EQ(schema.fields().size(), 7u);
+  const FieldSchema* query = schema.FindFieldByName("query");
+  ASSERT_NE(query, nullptr);
+  EXPECT_EQ(query->id, 2);
+  EXPECT_EQ(query->type, TType::kString);
+  EXPECT_TRUE(query->required);
+  const FieldSchema* latency = schema.FindField(4);
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->type, TType::kDouble);
+  EXPECT_FALSE(latency->required);
+
+  // The generated schema validates the dynamic form of the typed message.
+  auto dynamic = ParseStruct(SerializeTyped(Sample()));
+  ASSERT_TRUE(dynamic.ok());
+  EXPECT_TRUE(schema.Validate(*dynamic).ok());
+}
+
+TEST(TypedAdapterTest, TruncationDetected) {
+  std::string wire = SerializeTyped(Sample());
+  EXPECT_FALSE(
+      DeserializeTyped<SearchEvent>(wire.substr(0, wire.size() / 2)).ok());
+  EXPECT_FALSE(DeserializeTyped<SearchEvent>(wire + "x").ok());
+}
+
+}  // namespace
+}  // namespace unilog::thrift

@@ -1,0 +1,259 @@
+// Tests for the §5 analytics applications: event counting, funnels,
+// CTR/FTR, and BirdBrain summary statistics.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analytics/summary.h"
+#include "analytics/udfs.h"
+#include "sessions/dictionary.h"
+#include "sessions/session_sequence.h"
+
+namespace unilog::analytics {
+namespace {
+
+using sessions::EventDictionary;
+using sessions::SessionSequence;
+
+// A small universe used throughout.
+const std::vector<std::string>& Universe() {
+  static const auto* kNames = new std::vector<std::string>{
+      "web:home:timeline:stream:tweet:impression",
+      "web:home:timeline:stream:tweet:click",
+      "web:search:results:result_list:result:impression",
+      "web:search:results:result_list:result:click",
+      "web:home:suggestions:who_to_follow:follow_button:follow",
+      "web:signup:flow:form:page:stage_00",
+      "web:signup:flow:form:page:stage_01",
+      "web:signup:flow:form:page:stage_02",
+      "iphone:home:timeline:stream:tweet:impression",
+  };
+  return *kNames;
+}
+
+EventDictionary Dict() {
+  return *EventDictionary::FromNamesInGivenOrder(Universe());
+}
+
+SessionSequence MakeSeq(const EventDictionary& dict,
+                        const std::vector<std::string>& names,
+                        int64_t user_id = 1, int32_t duration = 60) {
+  SessionSequence seq;
+  seq.user_id = user_id;
+  seq.session_id = "s" + std::to_string(user_id);
+  seq.ip = "10.0.0.1";
+  seq.sequence = dict.EncodeNames(names).value();
+  seq.duration_seconds = duration;
+  return seq;
+}
+
+// ---------------------------------------------------------------------------
+// CountClientEvents
+
+TEST(CountClientEventsTest, CountsMatchingEvents) {
+  EventDictionary dict = Dict();
+  CountClientEvents counter(dict, events::EventPattern("*:impression"));
+  EXPECT_EQ(counter.target_count(), 3u);
+  SessionSequence seq = MakeSeq(
+      dict, {"web:home:timeline:stream:tweet:impression",
+             "web:home:timeline:stream:tweet:click",
+             "web:home:timeline:stream:tweet:impression",
+             "iphone:home:timeline:stream:tweet:impression"});
+  EXPECT_EQ(counter.Count(seq), 3u);
+  EXPECT_TRUE(counter.ContainsAny(seq));
+}
+
+TEST(CountClientEventsTest, NoMatches) {
+  EventDictionary dict = Dict();
+  CountClientEvents counter(dict, events::EventPattern("android:*"));
+  EXPECT_EQ(counter.target_count(), 0u);
+  SessionSequence seq =
+      MakeSeq(dict, {"web:home:timeline:stream:tweet:impression"});
+  EXPECT_EQ(counter.Count(seq), 0u);
+  EXPECT_FALSE(counter.ContainsAny(seq));
+}
+
+TEST(CountClientEventsTest, ClientScopedPattern) {
+  EventDictionary dict = Dict();
+  CountClientEvents web_only(dict, events::EventPattern("web:*:impression"));
+  SessionSequence seq = MakeSeq(
+      dict, {"web:home:timeline:stream:tweet:impression",
+             "iphone:home:timeline:stream:tweet:impression"});
+  EXPECT_EQ(web_only.Count(seq), 1u);
+}
+
+TEST(CountClientEventsTest, EmptySequence) {
+  EventDictionary dict = Dict();
+  CountClientEvents counter(dict, events::EventPattern("*"));
+  SessionSequence seq = MakeSeq(dict, {});
+  EXPECT_EQ(counter.Count(seq), 0u);
+  EXPECT_FALSE(counter.ContainsAny(seq));
+}
+
+// ---------------------------------------------------------------------------
+// Funnel
+
+TEST(FunnelTest, StagesCompletedInOrder) {
+  EventDictionary dict = Dict();
+  auto funnel = Funnel::Make(dict, {"web:signup:flow:form:page:stage_00",
+                                    "web:signup:flow:form:page:stage_01",
+                                    "web:signup:flow:form:page:stage_02"});
+  ASSERT_TRUE(funnel.ok());
+  EXPECT_EQ(funnel->num_stages(), 3u);
+
+  // Full completion with interleaved noise.
+  SessionSequence full = MakeSeq(
+      dict, {"web:signup:flow:form:page:stage_00",
+             "web:home:timeline:stream:tweet:impression",
+             "web:signup:flow:form:page:stage_01",
+             "web:signup:flow:form:page:stage_02"});
+  EXPECT_EQ(funnel->StagesCompleted(full), 3u);
+
+  // Abandoned after stage 0.
+  SessionSequence partial =
+      MakeSeq(dict, {"web:signup:flow:form:page:stage_00",
+                     "web:home:timeline:stream:tweet:click"});
+  EXPECT_EQ(funnel->StagesCompleted(partial), 1u);
+
+  // Never entered.
+  SessionSequence none =
+      MakeSeq(dict, {"web:home:timeline:stream:tweet:impression"});
+  EXPECT_EQ(funnel->StagesCompleted(none), 0u);
+
+  // Out of order does not count: stage_01 before stage_00 only credits
+  // the prefix that appears in order.
+  SessionSequence reversed =
+      MakeSeq(dict, {"web:signup:flow:form:page:stage_01",
+                     "web:signup:flow:form:page:stage_00"});
+  EXPECT_EQ(funnel->StagesCompleted(reversed), 1u);
+}
+
+TEST(FunnelTest, StageCountsAggregate) {
+  EventDictionary dict = Dict();
+  auto funnel = Funnel::Make(dict, {"web:signup:flow:form:page:stage_00",
+                                    "web:signup:flow:form:page:stage_01",
+                                    "web:signup:flow:form:page:stage_02"});
+  ASSERT_TRUE(funnel.ok());
+  std::vector<SessionSequence> seqs;
+  // 3 complete, 2 reach stage 1, 1 reaches stage 0 only, 2 never enter.
+  for (int i = 0; i < 3; ++i) {
+    seqs.push_back(MakeSeq(dict, {"web:signup:flow:form:page:stage_00",
+                                  "web:signup:flow:form:page:stage_01",
+                                  "web:signup:flow:form:page:stage_02"}));
+  }
+  for (int i = 0; i < 2; ++i) {
+    seqs.push_back(MakeSeq(dict, {"web:signup:flow:form:page:stage_00",
+                                  "web:signup:flow:form:page:stage_01"}));
+  }
+  seqs.push_back(MakeSeq(dict, {"web:signup:flow:form:page:stage_00"}));
+  for (int i = 0; i < 2; ++i) {
+    seqs.push_back(
+        MakeSeq(dict, {"web:home:timeline:stream:tweet:impression"}));
+  }
+  auto counts = funnel->StageCounts(seqs);
+  EXPECT_EQ(counts, (std::vector<uint64_t>{6, 5, 3}));
+  auto abandonment = funnel->AbandonmentRates(seqs);
+  ASSERT_EQ(abandonment.size(), 2u);
+  EXPECT_NEAR(abandonment[0], 1.0 - 5.0 / 6.0, 1e-9);
+  EXPECT_NEAR(abandonment[1], 1.0 - 3.0 / 5.0, 1e-9);
+}
+
+TEST(FunnelTest, UnknownStageEventFails) {
+  EventDictionary dict = Dict();
+  EXPECT_TRUE(Funnel::Make(dict, {"nope:signup:flow:form:page:stage_00"})
+                  .status().IsNotFound());
+  EXPECT_TRUE(Funnel::Make(dict, {}).status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// CTR
+
+TEST(RateTest, ClickThroughRate) {
+  EventDictionary dict = Dict();
+  std::vector<SessionSequence> seqs;
+  // Session A: 3 impressions, 1 click. Session B: 2 impressions, 0 clicks.
+  seqs.push_back(MakeSeq(
+      dict,
+      {"web:search:results:result_list:result:impression",
+       "web:search:results:result_list:result:impression",
+       "web:search:results:result_list:result:click",
+       "web:search:results:result_list:result:impression"}));
+  seqs.push_back(MakeSeq(
+      dict, {"web:search:results:result_list:result:impression",
+             "web:search:results:result_list:result:impression"}));
+  RateReport report = ComputeRate(
+      seqs, dict, events::EventPattern("web:search:*:impression"),
+      events::EventPattern("web:search:*:click"));
+  EXPECT_EQ(report.impressions, 5u);
+  EXPECT_EQ(report.actions, 1u);
+  EXPECT_NEAR(report.rate, 0.2, 1e-9);
+  EXPECT_EQ(report.sessions_with_impression, 2u);
+  EXPECT_EQ(report.sessions_with_action, 1u);
+}
+
+TEST(RateTest, ZeroImpressionsYieldZeroRate) {
+  EventDictionary dict = Dict();
+  std::vector<SessionSequence> seqs = {
+      MakeSeq(dict, {"web:home:timeline:stream:tweet:click"})};
+  RateReport report =
+      ComputeRate(seqs, dict, events::EventPattern("android:*"),
+                  events::EventPattern("*:click"));
+  EXPECT_EQ(report.impressions, 0u);
+  EXPECT_EQ(report.rate, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Summary
+
+TEST(SummaryTest, DurationBuckets) {
+  EXPECT_EQ(BucketFor(0), DurationBucket::kZero);
+  EXPECT_EQ(BucketFor(5), DurationBucket::kUnder10s);
+  EXPECT_EQ(BucketFor(10), DurationBucket::kUnder10s);
+  EXPECT_EQ(BucketFor(11), DurationBucket::kUnder1m);
+  EXPECT_EQ(BucketFor(299), DurationBucket::kUnder5m);
+  EXPECT_EQ(BucketFor(1800), DurationBucket::kUnder30m);
+  EXPECT_EQ(BucketFor(1801), DurationBucket::kOver30m);
+  EXPECT_STREQ(DurationBucketLabel(DurationBucket::kUnder1m), "11-60s");
+}
+
+TEST(SummaryTest, SummarizeBasics) {
+  EventDictionary dict = Dict();
+  std::vector<SessionSequence> seqs;
+  seqs.push_back(MakeSeq(dict,
+                         {"web:home:timeline:stream:tweet:impression",
+                          "web:home:timeline:stream:tweet:click"},
+                         /*user=*/1, /*duration=*/5));
+  seqs.push_back(MakeSeq(dict,
+                         {"iphone:home:timeline:stream:tweet:impression"},
+                         /*user=*/2, /*duration=*/0));
+  seqs.push_back(MakeSeq(dict,
+                         {"web:search:results:result_list:result:click"},
+                         /*user=*/1, /*duration=*/90));
+  auto summary = Summarize(seqs, dict);
+  ASSERT_TRUE(summary.ok()) << summary.status().ToString();
+  EXPECT_EQ(summary->sessions, 3u);
+  EXPECT_EQ(summary->events, 4u);
+  EXPECT_EQ(summary->distinct_users, 2u);
+  EXPECT_NEAR(summary->avg_events_per_session, 4.0 / 3.0, 1e-9);
+  EXPECT_EQ(summary->sessions_by_client.at("web"), 2u);
+  EXPECT_EQ(summary->sessions_by_client.at("iphone"), 1u);
+  EXPECT_EQ(summary->sessions_by_duration_bucket.at("0s"), 1u);
+  EXPECT_EQ(summary->sessions_by_duration_bucket.at("1-10s"), 1u);
+  EXPECT_EQ(summary->sessions_by_duration_bucket.at("1-5m"), 1u);
+  std::string rendered = summary->ToString();
+  EXPECT_NE(rendered.find("sessions=3"), std::string::npos);
+  EXPECT_NE(rendered.find("web=2"), std::string::npos);
+}
+
+TEST(SummaryTest, EmptyInput) {
+  EventDictionary dict = Dict();
+  auto summary = Summarize({}, dict);
+  ASSERT_TRUE(summary.ok());
+  EXPECT_EQ(summary->sessions, 0u);
+  EXPECT_EQ(summary->avg_events_per_session, 0.0);
+}
+
+}  // namespace
+}  // namespace unilog::analytics

@@ -1,0 +1,136 @@
+// Tests for the BirdBrain dashboard time series (§5.1) and catalog
+// persistence across daily rebuilds (§4.3).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "analytics/birdbrain.h"
+#include "catalog/catalog.h"
+#include "events/client_event.h"
+#include "hdfs/mini_hdfs.h"
+#include "sessions/dictionary.h"
+#include "sessions/histogram.h"
+
+namespace unilog {
+namespace {
+
+constexpr TimeMs kDay = 1345507200000;  // 2012-08-21
+
+analytics::DailySummary MakeSummary(uint64_t sessions) {
+  analytics::DailySummary s;
+  s.sessions = sessions;
+  s.events = sessions * 15;
+  s.distinct_users = sessions / 2;
+  s.sessions_by_client = {{"web", sessions / 2}, {"iphone", sessions / 4}};
+  s.sessions_by_duration_bucket = {{"1-5m", sessions / 2},
+                                   {"5-30m", sessions / 3}};
+  return s;
+}
+
+TEST(BirdBrainTest, RecordAndSeries) {
+  analytics::BirdBrain bb;
+  bb.Record(kDay, MakeSummary(100));
+  bb.Record(kDay + kMillisPerDay, MakeSummary(120));
+  bb.Record(kDay + 2 * kMillisPerDay, MakeSummary(150));
+  EXPECT_EQ(bb.days(), 3u);
+  auto series = bb.SessionsSeries();
+  ASSERT_EQ(series.size(), 3u);
+  EXPECT_EQ(series[0].second, 100u);
+  EXPECT_EQ(series[2].second, 150u);
+  EXPECT_NEAR(bb.GrowthRatio().value(), 1.5, 1e-9);
+  ASSERT_NE(bb.Day(kDay + kMillisPerDay), nullptr);
+  EXPECT_EQ(bb.Day(kDay + kMillisPerDay)->sessions, 120u);
+  EXPECT_EQ(bb.Day(kDay + 30 * kMillisPerDay), nullptr);
+}
+
+TEST(BirdBrainTest, RecordOverwritesSameDay) {
+  analytics::BirdBrain bb;
+  bb.Record(kDay, MakeSummary(100));
+  bb.Record(kDay + kMillisPerHour, MakeSummary(110));  // same civil day
+  EXPECT_EQ(bb.days(), 1u);
+  EXPECT_EQ(bb.Day(kDay)->sessions, 110u);
+}
+
+TEST(BirdBrainTest, GrowthRequiresTwoDays) {
+  analytics::BirdBrain bb;
+  EXPECT_TRUE(bb.GrowthRatio().status().IsFailedPrecondition());
+  bb.Record(kDay, MakeSummary(100));
+  EXPECT_TRUE(bb.GrowthRatio().status().IsFailedPrecondition());
+}
+
+TEST(BirdBrainTest, RenderShowsTrendAndDrillDowns) {
+  analytics::BirdBrain bb;
+  bb.Record(kDay, MakeSummary(50));
+  bb.Record(kDay + kMillisPerDay, MakeSummary(100));
+  std::string rendered = bb.Render();
+  EXPECT_NE(rendered.find("2012-08-21"), std::string::npos);
+  EXPECT_NE(rendered.find("2012-08-22"), std::string::npos);
+  // The 100-session day has a longer bar than the 50-session day.
+  size_t line1 = rendered.find("2012-08-21");
+  size_t line2 = rendered.find("2012-08-22");
+  std::string l1 = rendered.substr(line1, rendered.find('\n', line1) - line1);
+  std::string l2 = rendered.substr(line2, rendered.find('\n', line2) - line2);
+  auto hashes = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_GT(hashes(l2), hashes(l1));
+  EXPECT_NE(rendered.find("by client: iphone=25 web=50"), std::string::npos);
+
+  auto by_client = bb.RenderDrillDown("client");
+  ASSERT_TRUE(by_client.ok());
+  EXPECT_NE(by_client->find("web"), std::string::npos);
+  auto by_duration = bb.RenderDrillDown("duration");
+  ASSERT_TRUE(by_duration.ok());
+  EXPECT_TRUE(bb.RenderDrillDown("nope").status().IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Catalog persistence
+
+catalog::EventCatalog MakeCatalog(int count) {
+  sessions::EventHistogram hist;
+  events::ClientEvent ev;
+  ev.event_name = "web:home:::tweet:click";
+  ev.user_id = 1;
+  std::string payload = ev.Serialize();
+  for (int i = 0; i < count; ++i) hist.Add("web:home:::tweet:click", &payload);
+  hist.AddCount("web:home:::tweet:impression", count * 3);
+  auto dict = sessions::EventDictionary::FromSortedCounts(
+      hist.SortedByFrequency());
+  return catalog::EventCatalog::Build(hist, *dict);
+}
+
+TEST(CatalogPersistenceTest, SaveLoadRoundTrip) {
+  hdfs::MiniHdfs fs;
+  catalog::EventCatalog today = MakeCatalog(10);
+  ASSERT_TRUE(
+      today.AttachDescription("web:home:::tweet:click", "a click").ok());
+  ASSERT_TRUE(today.SaveTo(&fs, "/catalog/2012-08-21.json").ok());
+
+  auto loaded = catalog::EventCatalog::LoadFrom(fs, "/catalog/2012-08-21.json");
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), today.size());
+  const catalog::CatalogEntry* e = loaded->Find("web:home:::tweet:click");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 10u);
+  EXPECT_EQ(e->description, "a click");
+  EXPECT_FALSE(e->samples.empty());
+  // Save again (overwrite) works.
+  ASSERT_TRUE(loaded->SaveTo(&fs, "/catalog/2012-08-21.json").ok());
+}
+
+TEST(CatalogPersistenceTest, LoadMissingOrCorrupt) {
+  hdfs::MiniHdfs fs;
+  EXPECT_TRUE(catalog::EventCatalog::LoadFrom(fs, "/nope.json")
+                  .status().IsNotFound());
+  ASSERT_TRUE(fs.WriteFile("/bad.json", "{not json").ok());
+  EXPECT_FALSE(catalog::EventCatalog::LoadFrom(fs, "/bad.json").ok());
+  ASSERT_TRUE(fs.WriteFile("/notarray.json", "{\"a\":1}").ok());
+  EXPECT_TRUE(catalog::EventCatalog::LoadFrom(fs, "/notarray.json")
+                  .status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace unilog

@@ -1,0 +1,162 @@
+// Tests for the §4.3 client event catalog: browsing (hierarchical, by
+// component, by pattern), payload samples, descriptions, and JSON export.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/json.h"
+#include "events/client_event.h"
+#include "sessions/dictionary.h"
+#include "sessions/histogram.h"
+
+namespace unilog::catalog {
+namespace {
+
+using sessions::EventDictionary;
+using sessions::EventHistogram;
+
+EventHistogram MakeHistogram() {
+  EventHistogram hist;
+  events::ClientEvent ev;
+  ev.user_id = 1;
+  ev.session_id = "s";
+  ev.ip = "10.0.0.1";
+  ev.timestamp = 1345507200000;
+
+  auto add = [&](const std::string& name, int count) {
+    ev.event_name = name;
+    std::string payload = ev.Serialize();
+    for (int i = 0; i < count; ++i) hist.Add(name, &payload);
+  };
+  add("web:home:timeline:stream:tweet:impression", 100);
+  add("web:home:timeline:stream:tweet:click", 40);
+  add("web:home:mentions:stream:avatar:profile_click", 25);
+  add("iphone:home:timeline:stream:tweet:impression", 60);
+  add("iphone:profile:::header:impression", 5);
+  return hist;
+}
+
+EventCatalog MakeCatalog() {
+  EventHistogram hist = MakeHistogram();
+  auto dict = EventDictionary::FromSortedCounts(hist.SortedByFrequency());
+  return EventCatalog::Build(hist, *dict);
+}
+
+TEST(CatalogTest, BuildPopulatesEntries) {
+  EventCatalog catalog = MakeCatalog();
+  EXPECT_EQ(catalog.size(), 5u);
+  const CatalogEntry* e =
+      catalog.Find("web:home:timeline:stream:tweet:impression");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->count, 100u);
+  EXPECT_GT(e->code_point, 0u);
+  ASSERT_FALSE(e->samples.empty());
+  // Samples are rendered Thrift structs, not raw bytes.
+  EXPECT_NE(e->samples[0].find("web:home:timeline"), std::string::npos);
+  EXPECT_EQ(catalog.Find("nope"), nullptr);
+}
+
+TEST(CatalogTest, MostFrequentEventHasSmallestCodePoint) {
+  EventCatalog catalog = MakeCatalog();
+  auto by_count = catalog.ByCount();
+  ASSERT_EQ(by_count.size(), 5u);
+  EXPECT_EQ(by_count[0]->name, "web:home:timeline:stream:tweet:impression");
+  for (size_t i = 1; i < by_count.size(); ++i) {
+    EXPECT_GE(by_count[i - 1]->count, by_count[i]->count);
+  }
+  EXPECT_EQ(by_count[0]->code_point, 1u);
+}
+
+TEST(CatalogTest, HierarchicalBrowsing) {
+  EventCatalog catalog = MakeCatalog();
+  EXPECT_EQ(catalog.ByPrefix("web").size(), 3u);
+  EXPECT_EQ(catalog.ByPrefix("web:home").size(), 3u);
+  EXPECT_EQ(catalog.ByPrefix("web:home:timeline").size(), 2u);
+  EXPECT_EQ(catalog.ByPrefix("iphone").size(), 2u);
+  EXPECT_EQ(catalog.ByPrefix("android").size(), 0u);
+  // Prefixes respect component boundaries: "web:ho" is not a component.
+  EXPECT_EQ(catalog.ByPrefix("web:ho").size(), 0u);
+  // Exact full-name prefix matches itself.
+  EXPECT_EQ(
+      catalog.ByPrefix("web:home:timeline:stream:tweet:click").size(), 1u);
+}
+
+TEST(CatalogTest, PatternBrowsing) {
+  EventCatalog catalog = MakeCatalog();
+  EXPECT_EQ(catalog.ByPattern(events::EventPattern("*:impression")).size(),
+            3u);
+  EXPECT_EQ(catalog.ByPattern(events::EventPattern("*:profile_click")).size(),
+            1u);
+  EXPECT_EQ(catalog.ByPattern(events::EventPattern("*")).size(), 5u);
+}
+
+TEST(CatalogTest, ComponentBrowsing) {
+  EventCatalog catalog = MakeCatalog();
+  EXPECT_EQ(
+      catalog.ByComponent(events::NameComponent::kSection, "mentions").size(),
+      1u);
+  EXPECT_EQ(
+      catalog.ByComponent(events::NameComponent::kClient, "iphone").size(),
+      2u);
+  EXPECT_EQ(
+      catalog.ByComponent(events::NameComponent::kAction, "impression").size(),
+      3u);
+  // Empty section matches the iphone profile event.
+  EXPECT_EQ(catalog.ByComponent(events::NameComponent::kSection, "").size(),
+            1u);
+}
+
+TEST(CatalogTest, DescriptionsAttachAndInherit) {
+  EventCatalog today = MakeCatalog();
+  ASSERT_TRUE(today
+                  .AttachDescription(
+                      "web:home:timeline:stream:tweet:click",
+                      "User clicked a tweet in the home timeline")
+                  .ok());
+  EXPECT_TRUE(today.AttachDescription("nope", "x").IsNotFound());
+
+  // Tomorrow's rebuild inherits yesterday's descriptions.
+  EventCatalog tomorrow = MakeCatalog();
+  tomorrow.InheritDescriptions(today);
+  EXPECT_EQ(
+      tomorrow.Find("web:home:timeline:stream:tweet:click")->description,
+      "User clicked a tweet in the home timeline");
+  EXPECT_TRUE(tomorrow.Find("web:home:timeline:stream:tweet:impression")
+                  ->description.empty());
+}
+
+TEST(CatalogTest, JsonExportRoundTrips) {
+  EventCatalog catalog = MakeCatalog();
+  ASSERT_TRUE(
+      catalog.AttachDescription("iphone:profile:::header:impression", "desc")
+          .ok());
+  Json exported = catalog.ExportJson();
+  ASSERT_TRUE(exported.is_array());
+  ASSERT_EQ(exported.array_items().size(), 5u);
+  // First entry = most frequent.
+  EXPECT_EQ(exported.at(0)["name"].string_value(),
+            "web:home:timeline:stream:tweet:impression");
+  EXPECT_EQ(exported.at(0)["count"].int_value(), 100);
+  // Re-parse the dump to prove it is valid JSON.
+  auto reparsed = Json::Parse(exported.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->array_items().size(), 5u);
+}
+
+TEST(CatalogTest, UnparseableSampleRenderedAsRaw) {
+  EventHistogram hist;
+  std::string garbage = "\xff\xfe not thrift";
+  hist.Add("web:home:::tweet:click", &garbage);
+  auto dict = EventDictionary::FromSortedCounts(hist.SortedByFrequency());
+  EventCatalog catalog = EventCatalog::Build(hist, *dict);
+  const CatalogEntry* e = catalog.Find("web:home:::tweet:click");
+  ASSERT_NE(e, nullptr);
+  ASSERT_EQ(e->samples.size(), 1u);
+  EXPECT_EQ(e->samples[0].rfind("<raw:", 0), 0u);
+}
+
+}  // namespace
+}  // namespace unilog::catalog

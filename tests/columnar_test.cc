@@ -1,0 +1,163 @@
+// Tests for the simplified RCFile columnar layout (§4.2's rejected
+// alternative): round trips, projection reads, and corruption handling.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "columnar/rcfile.h"
+#include "common/rng.h"
+
+namespace unilog::columnar {
+namespace {
+
+std::vector<events::ClientEvent> MakeEvents(size_t n) {
+  std::vector<events::ClientEvent> out;
+  Rng rng(17);
+  for (size_t i = 0; i < n; ++i) {
+    events::ClientEvent ev;
+    ev.initiator = static_cast<events::EventInitiator>(i % 4);
+    ev.event_name = "web:home:::tweet:action" + std::to_string(i % 7);
+    ev.user_id = static_cast<int64_t>(1000 + i % 13);
+    ev.session_id = "s" + std::to_string(i % 13);
+    ev.ip = "10.0.0." + std::to_string(i % 200);
+    ev.timestamp = 1345507200000 + static_cast<TimeMs>(i) * 1000;
+    if (i % 3 == 0) {
+      ev.details = {{"rank", std::to_string(i)}, {"lang", "en"}};
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+std::string WriteAll(const std::vector<events::ClientEvent>& events,
+                     size_t rows_per_group) {
+  std::string body;
+  RcFileWriter writer(&body, rows_per_group);
+  for (const auto& ev : events) writer.Add(ev);
+  writer.Finish();
+  return body;
+}
+
+TEST(RcFileTest, FullRoundTrip) {
+  auto events = MakeEvents(100);
+  std::string body = WriteAll(events, 32);  // several groups + partial tail
+  RcFileReader reader(body);
+  std::vector<events::ClientEvent> back;
+  ASSERT_TRUE(reader.ReadAll(kAllColumns, &back).ok());
+  ASSERT_EQ(back.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i], events[i]) << i;
+  }
+}
+
+TEST(RcFileTest, ProjectionPopulatesOnlyRequestedColumns) {
+  auto events = MakeEvents(50);
+  std::string body = WriteAll(events, 16);
+  RcFileReader reader(body);
+  std::vector<events::ClientEvent> back;
+  ASSERT_TRUE(reader
+                  .ReadAll(ColumnBit(EventColumn::kEventName) |
+                               ColumnBit(EventColumn::kUserId),
+                           &back)
+                  .ok());
+  ASSERT_EQ(back.size(), events.size());
+  EXPECT_EQ(back[0].event_name, events[0].event_name);
+  EXPECT_EQ(back[0].user_id, events[0].user_id);
+  // Unrequested columns keep defaults.
+  EXPECT_TRUE(back[0].session_id.empty());
+  EXPECT_TRUE(back[0].ip.empty());
+  EXPECT_EQ(back[0].timestamp, 0);
+  EXPECT_TRUE(back[0].details.empty());
+}
+
+TEST(RcFileTest, ProjectionTouchesFewerBytes) {
+  auto events = MakeEvents(500);
+  std::string body = WriteAll(events, 128);
+
+  RcFileReader full(body);
+  std::vector<events::ClientEvent> out_full;
+  ASSERT_TRUE(full.ReadAll(kAllColumns, &out_full).ok());
+
+  RcFileReader narrow(body);
+  std::vector<events::ClientEvent> out_narrow;
+  ASSERT_TRUE(
+      narrow.ReadAll(ColumnBit(EventColumn::kEventName), &out_narrow).ok());
+
+  EXPECT_LT(narrow.bytes_touched(), full.bytes_touched() / 2);
+  EXPECT_EQ(full.bytes_touched(), full.TotalColumnBytes().value());
+}
+
+TEST(RcFileTest, ForEachEventNameMatchesRows) {
+  auto events = MakeEvents(77);
+  std::string body = WriteAll(events, 25);
+  RcFileReader reader(body);
+  std::vector<std::string> names;
+  ASSERT_TRUE(reader
+                  .ForEachEventName([&](std::string_view name) {
+                    names.emplace_back(name);
+                  })
+                  .ok());
+  ASSERT_EQ(names.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(names[i], events[i].event_name);
+  }
+}
+
+TEST(RcFileTest, EmptyFile) {
+  std::string body = WriteAll({}, 16);
+  EXPECT_TRUE(body.empty());
+  RcFileReader reader(body);
+  std::vector<events::ClientEvent> out;
+  ASSERT_TRUE(reader.ReadAll(kAllColumns, &out).ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RcFileTest, SingleRowGroups) {
+  auto events = MakeEvents(5);
+  std::string body = WriteAll(events, 1);
+  RcFileReader reader(body);
+  std::vector<events::ClientEvent> back;
+  ASSERT_TRUE(reader.ReadAll(kAllColumns, &back).ok());
+  EXPECT_EQ(back.size(), 5u);
+  EXPECT_EQ(back[4], events[4]);
+}
+
+TEST(RcFileTest, CorruptionDetected) {
+  auto events = MakeEvents(20);
+  std::string body = WriteAll(events, 8);
+  RcFileReader truncated(std::string_view(body).substr(0, body.size() / 2));
+  std::vector<events::ClientEvent> out;
+  EXPECT_FALSE(truncated.ReadAll(kAllColumns, &out).ok());
+
+  std::string garbled = body;
+  garbled[body.size() / 3] ^= 0x5A;
+  RcFileReader bad(garbled);
+  out.clear();
+  // Either a decompression failure or a decode failure — not OK.
+  EXPECT_FALSE(bad.ReadAll(kAllColumns, &out).ok());
+}
+
+TEST(RcFileTest, FinishIsIdempotentAndRequired) {
+  auto events = MakeEvents(10);
+  std::string body;
+  RcFileWriter writer(&body, 100);  // all rows pending
+  for (const auto& ev : events) writer.Add(ev);
+  // Without Finish, the trailing group is not on disk yet.
+  {
+    RcFileReader reader(body);
+    std::vector<events::ClientEvent> out;
+    ASSERT_TRUE(reader.ReadAll(kAllColumns, &out).ok());
+    EXPECT_TRUE(out.empty());
+  }
+  writer.Finish();
+  writer.Finish();  // idempotent
+  RcFileReader reader(body);
+  std::vector<events::ClientEvent> out;
+  ASSERT_TRUE(reader.ReadAll(kAllColumns, &out).ok());
+  EXPECT_EQ(out.size(), 10u);
+}
+
+}  // namespace
+}  // namespace unilog::columnar

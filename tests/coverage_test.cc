@@ -1,0 +1,113 @@
+// Final coverage sweep: small behaviours not exercised elsewhere —
+// simulator stepping, LZ window limits, relation rendering, job-stat
+// formatting, pig DESCRIBE of grouped aliases, and n-gram bookkeeping.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/compress.h"
+#include "dataflow/cost_model.h"
+#include "dataflow/pig.h"
+#include "dataflow/relation.h"
+#include "nlp/ngram_model.h"
+#include "sim/simulator.h"
+
+namespace unilog {
+namespace {
+
+TEST(SimulatorStepTest, StepExecutesBoundedEvents) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    sim.After(10 * (i + 1), [&] { ++fired; });
+  }
+  sim.Step();  // one event
+  EXPECT_EQ(fired, 1);
+  sim.Step(2);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(sim.PendingEvents(), 2u);
+  sim.Step(100);  // more than pending: drains
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.PendingEvents(), 0u);
+}
+
+TEST(LzWindowTest, MatchesBeyondWindowStillRoundTrip) {
+  // A repeated phrase separated by more than the 64 KiB window: the
+  // compressor cannot reference it, but correctness must hold.
+  std::string phrase = "the-unified-logging-infrastructure-";
+  std::string data = phrase;
+  data += std::string(Lz::kWindow + 1000, 'x');
+  data += phrase;  // out of window: must be emitted as literals/new match
+  auto back = Lz::Decompress(Lz::Compress(data));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, data);
+}
+
+TEST(LzWindowTest, EmptyAndOneByte) {
+  for (const std::string& s : {std::string(), std::string("a")}) {
+    auto back = Lz::Decompress(Lz::Compress(s));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, s);
+  }
+}
+
+TEST(RelationRenderTest, ToStringTruncatesLongRelations) {
+  dataflow::Relation r({"x"});
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_TRUE(r.AddRow({dataflow::Value::Int(i)}).ok());
+  }
+  std::string rendered = r.ToString(/*max_rows=*/5);
+  EXPECT_NE(rendered.find("... (25 more rows)"), std::string::npos);
+  EXPECT_EQ(rendered.find("29"), std::string::npos);
+}
+
+TEST(JobStatsRenderTest, ToStringContainsFields) {
+  dataflow::JobStats stats;
+  stats.map_tasks = 12;
+  stats.bytes_scanned = 3456;
+  stats.records_output = 7;
+  stats.modeled_ms = 1500;
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("maps=12"), std::string::npos);
+  EXPECT_NE(s.find("scanned=3456"), std::string::npos);
+  EXPECT_NE(s.find("out=7"), std::string::npos);
+  EXPECT_NE(s.find("modeled_ms=1500"), std::string::npos);
+}
+
+TEST(PigDescribeTest, GroupedAliasMarked) {
+  dataflow::PigInterpreter pig;
+  dataflow::Relation r({"a", "b"});
+  EXPECT_TRUE(
+      r.AddRow({dataflow::Value::Int(1), dataflow::Value::Int(2)}).ok());
+  pig.RegisterLoader("Mem",
+                     [r](const std::string&, const std::vector<std::string>&)
+                         -> Result<dataflow::Relation> { return r; });
+  ASSERT_TRUE(pig.Run("x = load 'm' using Mem();"
+                      "g = group x by a;"
+                      "describe g;")
+                  .ok());
+  ASSERT_EQ(pig.output().size(), 1u);
+  EXPECT_EQ(pig.output()[0], "g: {a, b} (grouped)");
+  // Lookup of a grouped alias is rejected with a helpful error.
+  EXPECT_TRUE(pig.Lookup("g").status().IsFailedPrecondition());
+}
+
+TEST(NgramBookkeepingTest, TotalNgramsObserved) {
+  nlp::NgramModel model(2, 10);
+  // Sequence of 3 symbols trains 4 positions (3 symbols + EOS).
+  model.Train({1, 2, 3});
+  EXPECT_EQ(model.total_ngrams_observed(), 4u);
+  model.Train({});  // just EOS
+  EXPECT_EQ(model.total_ngrams_observed(), 5u);
+  EXPECT_EQ(model.n(), 2);
+}
+
+TEST(StatusCodeNamesTest, AllCodesNamed) {
+  EXPECT_EQ(StatusCodeToString(StatusCode::kOk), "Ok");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kUnavailable), "Unavailable");
+  EXPECT_EQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+}  // namespace
+}  // namespace unilog

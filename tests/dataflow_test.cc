@@ -1,0 +1,342 @@
+// Tests for the dataflow engine: the Hadoop-shaped cost model, simulated
+// MapReduce jobs over MiniHdfs, and the Pig-like relational operators.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/compress.h"
+#include "dataflow/cost_model.h"
+#include "dataflow/mapreduce.h"
+#include "dataflow/relation.h"
+#include "hdfs/mini_hdfs.h"
+#include "scribe/message.h"
+
+namespace unilog::dataflow {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Cost model
+
+TEST(CostModelTest, MoreMapTasksCostMore) {
+  JobCostModel model;
+  JobStats few, many;
+  few.map_tasks = 10;
+  few.bytes_scanned = 10 << 20;
+  many.map_tasks = 10000;
+  many.bytes_scanned = 10 << 20;  // same bytes, more tasks
+  EXPECT_LT(ModelWallTimeMs(model, few), ModelWallTimeMs(model, many));
+}
+
+TEST(CostModelTest, MoreBytesCostMore) {
+  JobCostModel model;
+  JobStats small, big;
+  small.map_tasks = big.map_tasks = 100;
+  small.bytes_scanned = 1 << 20;
+  big.bytes_scanned = 1 << 30;
+  EXPECT_LT(ModelWallTimeMs(model, small), ModelWallTimeMs(model, big));
+}
+
+TEST(CostModelTest, ShuffleAddsCost) {
+  JobCostModel model;
+  JobStats map_only, with_shuffle;
+  map_only.map_tasks = with_shuffle.map_tasks = 100;
+  map_only.bytes_scanned = with_shuffle.bytes_scanned = 1 << 20;
+  with_shuffle.reduce_tasks = 16;
+  with_shuffle.bytes_shuffled = 1 << 26;
+  EXPECT_LT(ModelWallTimeMs(model, map_only),
+            ModelWallTimeMs(model, with_shuffle));
+}
+
+TEST(CostModelTest, AccumulateSums) {
+  JobStats a, b;
+  a.map_tasks = 5;
+  a.bytes_scanned = 100;
+  b.map_tasks = 7;
+  b.bytes_scanned = 200;
+  a.Accumulate(b);
+  EXPECT_EQ(a.map_tasks, 12u);
+  EXPECT_EQ(a.bytes_scanned, 300u);
+}
+
+// ---------------------------------------------------------------------------
+// MapReduce
+
+class MapReduceTest : public ::testing::Test {
+ protected:
+  MapReduceTest() {
+    // Small block size so files split into multiple map tasks.
+    hdfs::HdfsOptions opts;
+    opts.block_size = 256;
+    fs_ = std::make_unique<hdfs::MiniHdfs>(nullptr, opts);
+  }
+
+  void WriteFramedCompressed(const std::string& path,
+                             const std::vector<std::string>& messages) {
+    std::string body = Lz::Compress(scribe::FrameMessages(messages));
+    ASSERT_TRUE(fs_->WriteFile(path, body).ok());
+  }
+
+  std::unique_ptr<hdfs::MiniHdfs> fs_;
+  JobCostModel model_;
+};
+
+TEST_F(MapReduceTest, WordCountStyleJob) {
+  WriteFramedCompressed("/in/f1", {"a", "b", "a"});
+  WriteFramedCompressed("/in/f2", {"b", "a"});
+  MapReduceJob job(fs_.get(), model_);
+  ASSERT_TRUE(job.AddInputDir("/in").ok());
+  job.set_map([](const std::string& record, Emitter* e) {
+    e->Emit(record, "1");
+    return Status::OK();
+  });
+  job.set_reduce([](const std::string& key,
+                    const std::vector<std::string>& values, Emitter* e) {
+    e->Emit(key, std::to_string(values.size()));
+    return Status::OK();
+  });
+  auto out = job.Run();
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  ASSERT_EQ(out->size(), 2u);
+  EXPECT_EQ((*out)[0], (std::pair<std::string, std::string>{"a", "3"}));
+  EXPECT_EQ((*out)[1], (std::pair<std::string, std::string>{"b", "2"}));
+  EXPECT_EQ(job.stats().records_read, 5u);
+  EXPECT_GE(job.stats().map_tasks, 2u);
+  EXPECT_GT(job.stats().bytes_shuffled, 0u);
+  EXPECT_GT(job.stats().modeled_ms, 0.0);
+}
+
+TEST_F(MapReduceTest, MapOnlyJob) {
+  WriteFramedCompressed("/in/f1", {"x", "yy", "zzz"});
+  MapReduceJob job(fs_.get(), model_);
+  ASSERT_TRUE(job.AddInputDir("/in").ok());
+  job.set_map([](const std::string& record, Emitter* e) {
+    if (record.size() >= 2) e->Emit(record, "");
+    return Status::OK();
+  });
+  auto out = job.Run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);
+  EXPECT_EQ(job.stats().reduce_tasks, 0u);
+  EXPECT_EQ(job.stats().bytes_shuffled, 0u);
+}
+
+TEST_F(MapReduceTest, SkipsUnderscoreFiles) {
+  WriteFramedCompressed("/in/f1", {"a"});
+  ASSERT_TRUE(fs_->WriteFile("/in/_SUCCESS", "").ok());
+  MapReduceJob job(fs_.get(), model_);
+  ASSERT_TRUE(job.AddInputDir("/in").ok());
+  EXPECT_EQ(job.input_file_count(), 1u);
+}
+
+TEST_F(MapReduceTest, MapTasksScaleWithBlocks) {
+  // One big file spanning many 256-byte blocks.
+  std::vector<std::string> many(200, "some-message-payload");
+  std::string body = scribe::FrameMessages(many);  // uncompressed
+  ASSERT_TRUE(fs_->WriteFile("/in/big", body).ok());
+  MapReduceJob job(fs_.get(), model_);
+  ASSERT_TRUE(job.AddInputDir("/in").ok());
+  job.set_input_format(InputFormat::Framed());
+  job.set_map([](const std::string&, Emitter*) { return Status::OK(); });
+  ASSERT_TRUE(job.Run().ok());
+  EXPECT_EQ(job.stats().map_tasks, fs_->Stat("/in/big")->block_count);
+  EXPECT_GT(job.stats().map_tasks, 10u);
+}
+
+TEST_F(MapReduceTest, FileFilterPushDownSkipsScans) {
+  WriteFramedCompressed("/in/keep", {"a", "a"});
+  WriteFramedCompressed("/in/skip", {"b", "b", "b"});
+  MapReduceJob job(fs_.get(), model_);
+  ASSERT_TRUE(job.AddInputDir("/in").ok());
+  job.set_input_format(InputFormat::CompressedFramed().WithFileFilter(
+      [](const std::string& path) {
+        return path.find("skip") == std::string::npos;
+      }));
+  job.set_map([](const std::string& record, Emitter* e) {
+    e->Emit(record, "");
+    return Status::OK();
+  });
+  auto out = job.Run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);  // only "keep" records
+  EXPECT_EQ(job.stats().records_read, 2u);
+}
+
+TEST_F(MapReduceTest, LinesInputFormat) {
+  ASSERT_TRUE(fs_->WriteFile("/in/log.txt", "line1\nline2\n\nline3").ok());
+  MapReduceJob job(fs_.get(), model_);
+  ASSERT_TRUE(job.AddInputDir("/in").ok());
+  job.set_input_format(InputFormat::Lines());
+  job.set_map([](const std::string& record, Emitter* e) {
+    e->Emit(record, "");
+    return Status::OK();
+  });
+  auto out = job.Run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 3u);
+}
+
+TEST_F(MapReduceTest, CorruptInputSurfacesError) {
+  ASSERT_TRUE(fs_->WriteFile("/in/bad", "not a compressed file").ok());
+  MapReduceJob job(fs_.get(), model_);
+  ASSERT_TRUE(job.AddInputDir("/in").ok());
+  job.set_map([](const std::string&, Emitter*) { return Status::OK(); });
+  EXPECT_FALSE(job.Run().ok());
+}
+
+TEST_F(MapReduceTest, MissingInputDirFails) {
+  MapReduceJob job(fs_.get(), model_);
+  EXPECT_TRUE(job.AddInputDir("/nope").IsNotFound());
+}
+
+TEST_F(MapReduceTest, NoMapFunctionFails) {
+  MapReduceJob job(fs_.get(), model_);
+  EXPECT_TRUE(job.Run().status().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------------------
+// Relation
+
+Relation SampleEvents() {
+  Relation r({"user_id", "event", "country", "count"});
+  auto add = [&r](int64_t uid, const char* ev, const char* c, int64_t n) {
+    EXPECT_TRUE(
+        r.AddRow({Value::Int(uid), Value::Str(ev), Value::Str(c),
+                  Value::Int(n)})
+            .ok());
+  };
+  add(1, "impression", "us", 10);
+  add(1, "click", "us", 2);
+  add(2, "impression", "uk", 5);
+  add(2, "impression", "us", 7);
+  add(3, "click", "uk", 1);
+  return r;
+}
+
+TEST(RelationTest, SchemaAndArity) {
+  Relation r({"a", "b"});
+  EXPECT_TRUE(r.AddRow({Value::Int(1)}).IsInvalidArgument());
+  EXPECT_TRUE(r.AddRow({Value::Int(1), Value::Str("x")}).ok());
+  EXPECT_EQ(r.size(), 1u);
+  EXPECT_TRUE(r.ColumnIndex("a").ok());
+  EXPECT_TRUE(r.ColumnIndex("zzz").status().IsNotFound());
+}
+
+TEST(RelationTest, FilterAndProject) {
+  Relation r = SampleEvents();
+  size_t ev_idx = r.ColumnIndex("event").value();
+  Relation clicks = r.Filter(
+      [&](const Row& row) { return row[ev_idx].str_value() == "click"; });
+  EXPECT_EQ(clicks.size(), 2u);
+
+  auto projected = clicks.Project({"user_id", "country"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->columns(),
+            (std::vector<std::string>{"user_id", "country"}));
+  EXPECT_EQ(projected->rows()[0].size(), 2u);
+  EXPECT_FALSE(clicks.Project({"nope"}).ok());
+}
+
+TEST(RelationTest, GroupByCountSumMinMax) {
+  Relation r = SampleEvents();
+  auto grouped = r.GroupBy(
+      {"event"},
+      {{Aggregate::Op::kCount, "", "n"},
+       {Aggregate::Op::kSum, "count", "total"},
+       {Aggregate::Op::kMin, "count", "lo"},
+       {Aggregate::Op::kMax, "count", "hi"}});
+  ASSERT_TRUE(grouped.ok()) << grouped.status().ToString();
+  ASSERT_EQ(grouped->size(), 2u);  // click, impression (sorted)
+  const Row& click = grouped->rows()[0];
+  EXPECT_EQ(click[0].str_value(), "click");
+  EXPECT_EQ(click[1].int_value(), 2);
+  EXPECT_EQ(click[2].real_value(), 3.0);
+  EXPECT_EQ(click[3].int_value(), 1);
+  EXPECT_EQ(click[4].int_value(), 2);
+  const Row& imp = grouped->rows()[1];
+  EXPECT_EQ(imp[1].int_value(), 3);
+  EXPECT_EQ(imp[2].real_value(), 22.0);
+}
+
+TEST(RelationTest, GroupByCountDistinct) {
+  Relation r = SampleEvents();
+  auto grouped = r.GroupBy(
+      {"event"}, {{Aggregate::Op::kCountDistinct, "user_id", "users"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->rows()[0][1].int_value(), 2);  // click: users 1,3
+  EXPECT_EQ(grouped->rows()[1][1].int_value(), 2);  // impression: users 1,2
+}
+
+TEST(RelationTest, MultiKeyGroupBy) {
+  Relation r = SampleEvents();
+  auto grouped =
+      r.GroupBy({"event", "country"}, {{Aggregate::Op::kCount, "", "n"}});
+  ASSERT_TRUE(grouped.ok());
+  EXPECT_EQ(grouped->size(), 4u);
+}
+
+TEST(RelationTest, JoinInner) {
+  Relation users({"uid", "name"});
+  ASSERT_TRUE(users.AddRow({Value::Int(1), Value::Str("alice")}).ok());
+  ASSERT_TRUE(users.AddRow({Value::Int(2), Value::Str("bob")}).ok());
+  Relation r = SampleEvents();
+  auto joined = r.Join(users, "user_id", "uid");
+  ASSERT_TRUE(joined.ok());
+  // User 3 has no match → dropped.
+  EXPECT_EQ(joined->size(), 4u);
+  EXPECT_EQ(joined->columns().back(), "name");
+  auto name = joined->Get(joined->rows()[0], "name");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->str_value(), "alice");
+  EXPECT_FALSE(r.Join(users, "nope", "uid").ok());
+}
+
+TEST(RelationTest, DistinctOrderByLimit) {
+  Relation r({"x"});
+  for (int v : {3, 1, 3, 2, 1}) {
+    ASSERT_TRUE(r.AddRow({Value::Int(v)}).ok());
+  }
+  Relation d = r.Distinct();
+  EXPECT_EQ(d.size(), 3u);
+  auto sorted = d.OrderBy("x", /*descending=*/true);
+  ASSERT_TRUE(sorted.ok());
+  EXPECT_EQ(sorted->rows()[0][0].int_value(), 3);
+  EXPECT_EQ(sorted->rows()[2][0].int_value(), 1);
+  EXPECT_EQ(sorted->Limit(2).size(), 2u);
+  EXPECT_EQ(sorted->Limit(99).size(), 3u);
+}
+
+TEST(RelationTest, WithColumnComputes) {
+  Relation r = SampleEvents();
+  size_t count_idx = r.ColumnIndex("count").value();
+  auto extended = r.WithColumn("doubled", [count_idx](const Row& row) {
+    return Value::Int(row[count_idx].int_value() * 2);
+  });
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended->Get(extended->rows()[0], "doubled")->int_value(), 20);
+  EXPECT_TRUE(r.WithColumn("count", [](const Row&) {
+                   return Value::Int(0);
+                 }).status().IsAlreadyExists());
+}
+
+TEST(RelationTest, ValueOrderingAcrossTypes) {
+  EXPECT_TRUE(Value::Int(1) < Value::Int(2));
+  EXPECT_TRUE(Value::Str("a") < Value::Str("b"));
+  EXPECT_TRUE(Value::Int(5) == Value::Int(5));
+  EXPECT_FALSE(Value::Int(5) == Value::Str("5"));
+  EXPECT_EQ(Value::Real(2.5).AsNumber(), 2.5);
+  EXPECT_EQ(Value::Int(3).AsNumber(), 3.0);
+  EXPECT_EQ(Value::Bool(true).AsNumber(), 1.0);
+}
+
+TEST(RelationTest, ToStringRendersHeaderAndRows) {
+  Relation r({"a", "b"});
+  ASSERT_TRUE(r.AddRow({Value::Int(1), Value::Str("x")}).ok());
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("a\tb"), std::string::npos);
+  EXPECT_NE(s.find("1\tx"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unilog::dataflow

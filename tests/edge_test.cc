@@ -1,0 +1,142 @@
+// Assorted edge-case and cross-feature tests: mover-built indexes, funnel
+// stage repetition, event-name character policing, and UDF corner cases.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analytics/udfs.h"
+#include "etwin/index.h"
+#include "events/client_event.h"
+#include "events/event_name.h"
+#include "events/rollup.h"
+#include "scribe/aggregator.h"
+#include "scribe/log_mover.h"
+#include "sessions/dictionary.h"
+#include "sim/simulator.h"
+#include "zk/zookeeper.h"
+
+namespace unilog {
+namespace {
+
+constexpr TimeMs kT0 = 1345507200000;
+
+TEST(LogMoverIndexTest, MoverBuildsUsableIndexForConfiguredCategories) {
+  Simulator sim(kT0);
+  zk::ZooKeeper zk(&sim);
+  hdfs::MiniHdfs staging(&sim), warehouse(&sim);
+  scribe::ScribeOptions sopts;
+  sopts.roll_interval_ms = 10 * kMillisPerSecond;
+  scribe::Aggregator agg(&sim, &zk, &staging, "dc1", "a1", sopts);
+  ASSERT_TRUE(agg.Start().ok());
+  std::vector<scribe::Aggregator*> aggs = {&agg};
+
+  scribe::LogMoverOptions mopts;
+  mopts.run_interval_ms = kMillisPerMinute;
+  mopts.grace_ms = kMillisPerMinute;
+  mopts.index_categories = {"client_events"};
+  scribe::LogMover mover(&sim,
+                         {scribe::DatacenterHandle{"dc1", &staging, &aggs}},
+                         &warehouse, mopts);
+  mover.Start(kT0);
+
+  // Two categories: only client_events gets indexed.
+  events::ClientEvent ev;
+  ev.event_name = "web:home:::tweet:impression";
+  ev.user_id = 1;
+  ev.session_id = "s";
+  ev.ip = "10.0.0.1";
+  ev.timestamp = kT0;
+  ASSERT_TRUE(agg.Receive({{"client_events", ev.Serialize()},
+                           {"other_logs", "plain text line"}})
+                  .ok());
+  agg.RollAll();
+  sim.RunUntil(kT0 + kMillisPerHour + 3 * kMillisPerMinute);
+
+  std::string hour_dir = "/logs/client_events/2012/08/21/00";
+  ASSERT_TRUE(warehouse.Exists(hour_dir));
+  ASSERT_TRUE(warehouse.Exists(hour_dir + "/_etwin_index"));
+  EXPECT_FALSE(warehouse.Exists("/logs/other_logs/2012/08/21/00/_etwin_index"));
+
+  // The index is loadable and points at real warehouse files.
+  auto index = etwin::EventNameIndex::Load(warehouse, hour_dir);
+  ASSERT_TRUE(index.ok());
+  auto files = index->FilesMatching(events::EventPattern("*:impression"));
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_TRUE(warehouse.Exists(files[0]));
+}
+
+TEST(FunnelEdgeTest, RepeatedStageEventsCountInOrder) {
+  auto dict = sessions::EventDictionary::FromNamesInGivenOrder({"a", "b"});
+  ASSERT_TRUE(dict.ok());
+  // A funnel whose two stages are the SAME event: "a then a again".
+  auto funnel = analytics::Funnel::Make(*dict, {"a", "a"});
+  ASSERT_TRUE(funnel.ok());
+  sessions::SessionSequence once, twice, interleaved;
+  once.sequence = dict->EncodeNames({"a"}).value();
+  twice.sequence = dict->EncodeNames({"a", "a"}).value();
+  interleaved.sequence = dict->EncodeNames({"a", "b", "a"}).value();
+  EXPECT_EQ(funnel->StagesCompleted(once), 1u);
+  EXPECT_EQ(funnel->StagesCompleted(twice), 2u);
+  EXPECT_EQ(funnel->StagesCompleted(interleaved), 2u);
+}
+
+TEST(FunnelEdgeTest, StageEventRevisitsDoNotDoubleCount) {
+  auto dict =
+      sessions::EventDictionary::FromNamesInGivenOrder({"s0", "s1", "x"});
+  auto funnel = analytics::Funnel::Make(*dict, {"s0", "s1"});
+  ASSERT_TRUE(funnel.ok());
+  // Completing stage 0 twice without stage 1 stays at 1.
+  sessions::SessionSequence seq;
+  seq.sequence = dict->EncodeNames({"s0", "x", "s0", "x"}).value();
+  EXPECT_EQ(funnel->StagesCompleted(seq), 1u);
+}
+
+TEST(EventNameEdgeTest, PatternMetacharactersRejectedInNames) {
+  // '*' and ':' can never appear inside a component, so patterns cannot
+  // be confused with real names.
+  EXPECT_FALSE(events::EventName::Make("web", "ho*me", "", "", "", "click")
+                   .ok());
+  EXPECT_FALSE(events::EventName::Make("we:b", "home", "", "", "", "click")
+                   .ok());
+  EXPECT_FALSE(events::EventName::Parse("web:home:::tweet:cl*ck").ok());
+}
+
+TEST(EventNameEdgeTest, AllEmptyMiddleRoundTrips) {
+  auto name = events::EventName::Parse("web:::::click");
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(name->ToString(), "web:::::click");
+  EXPECT_EQ(name->page(), "");
+  // Rollup keys stay well-formed even with empty middles.
+  EXPECT_EQ(events::RollupKeyFor(*name, events::RollupLevel::kNoPage),
+            "web:*:*:*:*:click");
+  EXPECT_EQ(events::RollupKeyFor(*name, events::RollupLevel::kFull),
+            "web:::::click");
+}
+
+TEST(CountUdfEdgeTest, PatternMatchingEmptyExpansionIsCheap) {
+  auto dict = sessions::EventDictionary::FromNamesInGivenOrder({"a", "b"});
+  analytics::CountClientEvents udf(*dict,
+                                   events::EventPattern("zzz:*"));
+  EXPECT_EQ(udf.target_count(), 0u);
+  sessions::SessionSequence seq;
+  seq.sequence = dict->EncodeNames({"a", "b", "a"}).value();
+  EXPECT_EQ(udf.Count(seq), 0u);
+}
+
+TEST(DictionaryEdgeTest, EmptyDictionary) {
+  auto dict = sessions::EventDictionary::FromNamesInGivenOrder({});
+  ASSERT_TRUE(dict.ok());
+  EXPECT_EQ(dict->size(), 0u);
+  EXPECT_TRUE(dict->EncodeNames({}).ok());
+  EXPECT_TRUE(dict->CodePointFor("x").status().IsNotFound());
+  EXPECT_TRUE(dict->Expand(events::EventPattern("*")).empty());
+  // Serialization of empty dictionary round-trips.
+  auto back = sessions::EventDictionary::Deserialize(dict->Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 0u);
+}
+
+}  // namespace
+}  // namespace unilog

@@ -1,0 +1,256 @@
+// Tests for the extension modules: log anonymization (§3.2), grammar
+// induction over session sequences, and LifeFlow-style aggregation (§6).
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analytics/lifeflow.h"
+#include "common/rng.h"
+#include "events/anonymize.h"
+#include "nlp/grammar.h"
+#include "sessions/dictionary.h"
+
+namespace unilog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Anonymization
+
+events::ClientEvent SampleEvent() {
+  events::ClientEvent ev;
+  ev.event_name = "web:search:results:result_list:result:click";
+  ev.user_id = 123456789;
+  ev.session_id = "cookie-abc";
+  ev.ip = "203.10.113.57";
+  ev.timestamp = 1345507200000;
+  ev.details = {{"query", "secret health question"},
+                {"rank", "3"},
+                {"lang", "en"}};
+  return ev;
+}
+
+TEST(AnonymizeTest, PseudonymsAreStableWithinKeyAndDifferAcrossKeys) {
+  int64_t a1 = events::PseudonymizeUserId(1, 42);
+  int64_t a2 = events::PseudonymizeUserId(1, 42);
+  int64_t b = events::PseudonymizeUserId(2, 42);
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_NE(a1, 42);
+  EXPECT_GE(a1, 0);  // stays a plausible id
+
+  EXPECT_EQ(events::PseudonymizeSessionId(1, "x"),
+            events::PseudonymizeSessionId(1, "x"));
+  EXPECT_NE(events::PseudonymizeSessionId(1, "x"),
+            events::PseudonymizeSessionId(2, "x"));
+  EXPECT_NE(events::PseudonymizeSessionId(1, "x"),
+            events::PseudonymizeSessionId(1, "y"));
+}
+
+TEST(AnonymizeTest, PseudonymsPreserveJoinability) {
+  // Two events by the same user map to the same pseudonym: the group-by
+  // still reconstructs sessions after anonymization.
+  events::AnonymizationPolicy policy;
+  events::ClientEvent a = SampleEvent(), b = SampleEvent();
+  b.event_name = "web:home:::tweet:impression";
+  ASSERT_TRUE(events::Anonymize(policy, &a).ok());
+  ASSERT_TRUE(events::Anonymize(policy, &b).ok());
+  EXPECT_EQ(a.user_id, b.user_id);
+  EXPECT_EQ(a.session_id, b.session_id);
+  EXPECT_NE(a.user_id, SampleEvent().user_id);
+}
+
+TEST(AnonymizeTest, IpTruncation) {
+  EXPECT_EQ(events::TruncateIp("203.10.113.57", 1).value(), "203.10.113.0");
+  EXPECT_EQ(events::TruncateIp("203.10.113.57", 2).value(), "203.10.0.0");
+  EXPECT_EQ(events::TruncateIp("203.10.113.57", 4).value(), "0.0.0.0");
+  EXPECT_EQ(events::TruncateIp("203.10.113.57", 9).value(), "0.0.0.0");
+  EXPECT_EQ(events::TruncateIp("203.10.113.57", 0).value(), "203.10.113.57");
+  EXPECT_FALSE(events::TruncateIp("not-an-ip", 1).ok());
+  EXPECT_FALSE(events::TruncateIp("1.2.3", 1).ok());
+  EXPECT_FALSE(events::TruncateIp("1.2.3.999", 1).ok());
+  EXPECT_FALSE(events::TruncateIp("1.2.3.x", 1).ok());
+}
+
+TEST(AnonymizeTest, PolicyDropsAndRedactsDetails) {
+  events::AnonymizationPolicy policy;
+  policy.drop_detail_keys = {"query"};
+  policy.redact_detail_keys = {"rank"};
+  events::ClientEvent ev = SampleEvent();
+  ASSERT_TRUE(events::Anonymize(policy, &ev).ok());
+  EXPECT_EQ(ev.FindDetail("query"), nullptr);
+  ASSERT_NE(ev.FindDetail("rank"), nullptr);
+  EXPECT_EQ(*ev.FindDetail("rank"), "<redacted>");
+  ASSERT_NE(ev.FindDetail("lang"), nullptr);
+  EXPECT_EQ(*ev.FindDetail("lang"), "en");
+  EXPECT_EQ(ev.ip, "203.10.113.0");  // default /24 truncation
+  // Event name, timestamp untouched: analyses still work.
+  EXPECT_EQ(ev.event_name, SampleEvent().event_name);
+  EXPECT_EQ(ev.timestamp, SampleEvent().timestamp);
+}
+
+TEST(AnonymizeTest, DisabledPolicyIsIdentityPlusIp) {
+  events::AnonymizationPolicy policy;
+  policy.pseudonymize_user_ids = false;
+  policy.pseudonymize_session_ids = false;
+  policy.ip_zero_octets = 0;
+  events::ClientEvent ev = SampleEvent();
+  ASSERT_TRUE(events::Anonymize(policy, &ev).ok());
+  EXPECT_EQ(ev, SampleEvent());
+}
+
+TEST(AnonymizeTest, MalformedIpReported) {
+  events::AnonymizationPolicy policy;
+  events::ClientEvent ev = SampleEvent();
+  ev.ip = "garbage";
+  EXPECT_TRUE(events::Anonymize(policy, &ev).IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Grammar induction
+
+TEST(GrammarTest, InducesRepeatedPhrase) {
+  // The phrase {1,2,3} repeats; induction should build it hierarchically.
+  std::vector<nlp::SymbolSequence> corpus;
+  for (int i = 0; i < 20; ++i) {
+    corpus.push_back({1, 2, 3, 9, 1, 2, 3, 8, 1, 2, 3});
+  }
+  auto grammar = nlp::InducedGrammar::Induce(corpus);
+  ASSERT_GE(grammar.rules().size(), 2u);
+  // The first rule merges the most frequent pair (1,2).
+  EXPECT_EQ(grammar.rules()[0].left, 1u);
+  EXPECT_EQ(grammar.rules()[0].right, 2u);
+  // Some rule expands exactly to {1,2,3}.
+  bool found_phrase = false;
+  for (const auto& rule : grammar.rules()) {
+    if (grammar.Expand(rule.nonterminal) ==
+        std::vector<uint32_t>({1, 2, 3})) {
+      found_phrase = true;
+    }
+  }
+  EXPECT_TRUE(found_phrase);
+}
+
+TEST(GrammarTest, EncodeDecodeRoundTrip) {
+  Rng rng(5);
+  std::vector<nlp::SymbolSequence> corpus;
+  for (int s = 0; s < 50; ++s) {
+    nlp::SymbolSequence seq;
+    for (int i = 0; i < 30; ++i) {
+      if (rng.Bernoulli(0.4)) {
+        seq.push_back(10);
+        seq.push_back(11);  // planted bigram
+      } else {
+        seq.push_back(1 + static_cast<uint32_t>(rng.Uniform(8)));
+      }
+    }
+    corpus.push_back(seq);
+  }
+  auto grammar = nlp::InducedGrammar::Induce(corpus);
+  for (const auto& seq : corpus) {
+    nlp::SymbolSequence encoded = grammar.Encode(seq);
+    EXPECT_LE(encoded.size(), seq.size());
+    EXPECT_EQ(grammar.Decode(encoded), seq);
+  }
+  EXPECT_LT(grammar.CompressionRatio(corpus), 0.95);
+}
+
+TEST(GrammarTest, RespectsMinCountAndMaxRules) {
+  std::vector<nlp::SymbolSequence> corpus = {{1, 2, 1, 2, 1, 2, 3, 4}};
+  nlp::InducedGrammar::Options opts;
+  opts.min_count = 3;
+  auto grammar = nlp::InducedGrammar::Induce(corpus, opts);
+  // Only (1,2) occurs >= 3 times.
+  ASSERT_EQ(grammar.rules().size(), 1u);
+  EXPECT_EQ(grammar.rules()[0].left, 1u);
+  EXPECT_EQ(grammar.rules()[0].right, 2u);
+
+  opts.min_count = 1;
+  opts.max_rules = 2;
+  auto capped = nlp::InducedGrammar::Induce(corpus, opts);
+  EXPECT_EQ(capped.rules().size(), 2u);
+}
+
+TEST(GrammarTest, EmptyCorpus) {
+  auto grammar = nlp::InducedGrammar::Induce({});
+  EXPECT_TRUE(grammar.rules().empty());
+  EXPECT_EQ(grammar.CompressionRatio({}), 1.0);
+  EXPECT_EQ(grammar.Encode({1, 2}), (nlp::SymbolSequence{1, 2}));
+}
+
+TEST(GrammarTest, TerminalExpansionIsIdentity) {
+  auto grammar = nlp::InducedGrammar::Induce({{1, 2, 1, 2, 1, 2, 1, 2}});
+  EXPECT_EQ(grammar.Expand(7), std::vector<uint32_t>{7});
+}
+
+// ---------------------------------------------------------------------------
+// LifeFlow
+
+TEST(LifeFlowTest, BuildsPrefixTree) {
+  std::vector<std::vector<std::string>> paths = {
+      {"home", "mentions", "click"},
+      {"home", "mentions", "expand"},
+      {"home", "trends"},
+      {"search", "results"},
+  };
+  auto tree = analytics::LifeFlowTree::Build(paths);
+  EXPECT_EQ(tree.total_sessions(), 4u);
+  // root + home + mentions + click + expand + trends + search + results.
+  EXPECT_EQ(tree.NodeCount(), 8u);
+  const auto& root = tree.root();
+  ASSERT_EQ(root.children.size(), 2u);  // home, search
+}
+
+TEST(LifeFlowTest, RenderShowsCountsAndElision) {
+  std::vector<std::vector<std::string>> paths;
+  for (int i = 0; i < 8; ++i) paths.push_back({"home", "timeline"});
+  for (int i = 0; i < 2; ++i) paths.push_back({"home", "mentions"});
+  paths.push_back({"home", "trends"});
+  paths.push_back({"home", "discover"});
+  auto tree = analytics::LifeFlowTree::Build(paths);
+  std::string rendered = tree.Render(/*max_children=*/2);
+  EXPECT_NE(rendered.find("12 <start>"), std::string::npos);
+  EXPECT_NE(rendered.find("8 timeline"), std::string::npos);
+  EXPECT_NE(rendered.find("2 mentions"), std::string::npos);
+  // trends/discover fall past the fan-out cap and are summarized.
+  EXPECT_NE(rendered.find("2 more branches (2 sessions)"),
+            std::string::npos);
+  EXPECT_EQ(rendered.find("trends"), std::string::npos);
+}
+
+TEST(LifeFlowTest, MaxDepthTruncates) {
+  std::vector<std::vector<std::string>> paths = {{"a", "b", "c", "d", "e"}};
+  auto tree = analytics::LifeFlowTree::Build(paths, /*max_depth=*/2);
+  EXPECT_EQ(tree.NodeCount(), 3u);  // root + a + b
+}
+
+TEST(LifeFlowTest, FromSequencesDecodesThroughDictionary) {
+  auto dict = sessions::EventDictionary::FromNamesInGivenOrder(
+      {"web:home:::tweet:impression", "web:home:::tweet:click"});
+  sessions::SessionSequence seq;
+  seq.sequence = dict->EncodeNames({"web:home:::tweet:impression",
+                                    "web:home:::tweet:click"})
+                     .value();
+  auto tree = analytics::LifeFlowTree::FromSequences({seq, seq}, *dict);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->total_sessions(), 2u);
+  std::string rendered = tree->Render();
+  EXPECT_NE(rendered.find("2 web:home:::tweet:impression"),
+            std::string::npos);
+}
+
+TEST(LifeFlowTest, TerminalsTracked) {
+  std::vector<std::vector<std::string>> paths = {
+      {"a"}, {"a", "b"}, {"a", "b"}};
+  auto tree = analytics::LifeFlowTree::Build(paths);
+  const auto& a = *tree.root().children[0];
+  EXPECT_EQ(a.count, 3u);
+  EXPECT_EQ(a.terminals, 1u);  // one session ends at 'a'
+  std::string rendered = tree.Render();
+  EXPECT_NE(rendered.find("(1 end here)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace unilog

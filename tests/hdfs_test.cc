@@ -1,0 +1,196 @@
+// Unit tests for the simulated HDFS: namespace semantics, atomic rename
+// (the log mover's primitive), block accounting, and outage injection.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "hdfs/mini_hdfs.h"
+#include "sim/simulator.h"
+
+namespace unilog::hdfs {
+namespace {
+
+TEST(MiniHdfsTest, WriteReadRoundTrip) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/logs/a.log", "hello").ok());
+  EXPECT_EQ(fs.ReadFile("/logs/a.log").value(), "hello");
+  EXPECT_TRUE(fs.Exists("/logs/a.log"));
+  EXPECT_TRUE(fs.IsDir("/logs"));
+  EXPECT_EQ(fs.file_count(), 1u);
+  EXPECT_EQ(fs.total_file_bytes(), 5u);
+}
+
+TEST(MiniHdfsTest, CreateFailsIfExists) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "x").ok());
+  EXPECT_TRUE(fs.WriteFile("/f", "y").IsAlreadyExists());
+}
+
+TEST(MiniHdfsTest, AppendCreatesOrExtends) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.AppendFile("/f", "ab").ok());
+  ASSERT_TRUE(fs.AppendFile("/f", "cd").ok());
+  EXPECT_EQ(fs.ReadFile("/f").value(), "abcd");
+  EXPECT_TRUE(fs.Mkdirs("/d").ok());
+  EXPECT_TRUE(fs.AppendFile("/d", "x").IsFailedPrecondition());
+}
+
+TEST(MiniHdfsTest, MkdirsCreatesAncestors) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.Mkdirs("/a/b/c").ok());
+  EXPECT_TRUE(fs.IsDir("/a"));
+  EXPECT_TRUE(fs.IsDir("/a/b"));
+  EXPECT_TRUE(fs.IsDir("/a/b/c"));
+  // Idempotent.
+  EXPECT_TRUE(fs.Mkdirs("/a/b/c").ok());
+  // A file in the way fails.
+  ASSERT_TRUE(fs.WriteFile("/a/b/f", "x").ok());
+  EXPECT_TRUE(fs.Mkdirs("/a/b/f/g").IsFailedPrecondition());
+}
+
+TEST(MiniHdfsTest, PathValidation) {
+  MiniHdfs fs;
+  EXPECT_TRUE(fs.WriteFile("relative", "x").IsInvalidArgument());
+  EXPECT_TRUE(fs.WriteFile("/trailing/", "x").IsInvalidArgument());
+  EXPECT_TRUE(fs.WriteFile("/a//b", "x").IsInvalidArgument());
+}
+
+TEST(MiniHdfsTest, ReadMissingFileNotFound) {
+  MiniHdfs fs;
+  EXPECT_TRUE(fs.ReadFile("/nope").status().IsNotFound());
+  EXPECT_TRUE(fs.Stat("/nope").status().IsNotFound());
+}
+
+TEST(MiniHdfsTest, ListDirectChildren) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/logs/cat/2012/a", "1").ok());
+  ASSERT_TRUE(fs.WriteFile("/logs/cat/2012/b", "22").ok());
+  ASSERT_TRUE(fs.WriteFile("/logs/cat/2013/c", "333").ok());
+  auto ls = fs.List("/logs/cat");
+  ASSERT_TRUE(ls.ok());
+  ASSERT_EQ(ls->size(), 2u);
+  EXPECT_EQ((*ls)[0].path, "/logs/cat/2012");
+  EXPECT_TRUE((*ls)[0].is_dir);
+  EXPECT_EQ((*ls)[1].path, "/logs/cat/2013");
+
+  auto files = fs.List("/logs/cat/2012");
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 2u);
+  EXPECT_EQ((*files)[0].size, 1u);
+  EXPECT_EQ((*files)[1].size, 2u);
+
+  EXPECT_TRUE(fs.List("/logs/cat/2012/a").status().IsFailedPrecondition());
+  EXPECT_TRUE(fs.List("/nope").status().IsNotFound());
+}
+
+TEST(MiniHdfsTest, ListRecursiveReturnsOnlyFiles) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/w/x/1", "a").ok());
+  ASSERT_TRUE(fs.WriteFile("/w/x/y/2", "b").ok());
+  ASSERT_TRUE(fs.WriteFile("/w/3", "c").ok());
+  auto all = fs.ListRecursive("/w");
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 3u);
+  EXPECT_EQ((*all)[0].path, "/w/3");
+  EXPECT_EQ((*all)[1].path, "/w/x/1");
+  EXPECT_EQ((*all)[2].path, "/w/x/y/2");
+}
+
+TEST(MiniHdfsTest, RenameFileAtomic) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/tmp/part-0", "data").ok());
+  ASSERT_TRUE(fs.Mkdirs("/logs/cat").ok());
+  ASSERT_TRUE(fs.Rename("/tmp/part-0", "/logs/cat/part-0").ok());
+  EXPECT_FALSE(fs.Exists("/tmp/part-0"));
+  EXPECT_EQ(fs.ReadFile("/logs/cat/part-0").value(), "data");
+}
+
+TEST(MiniHdfsTest, RenameDirectoryMovesSubtree) {
+  // The log mover's atomic hourly slide: staging dir → warehouse dir.
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/staging/hour/part-0", "a").ok());
+  ASSERT_TRUE(fs.WriteFile("/staging/hour/part-1", "b").ok());
+  ASSERT_TRUE(fs.Mkdirs("/logs/client_events/2012/08/21").ok());
+  ASSERT_TRUE(
+      fs.Rename("/staging/hour", "/logs/client_events/2012/08/21/13").ok());
+  EXPECT_FALSE(fs.Exists("/staging/hour"));
+  EXPECT_EQ(fs.ReadFile("/logs/client_events/2012/08/21/13/part-0").value(),
+            "a");
+  EXPECT_EQ(fs.ReadFile("/logs/client_events/2012/08/21/13/part-1").value(),
+            "b");
+}
+
+TEST(MiniHdfsTest, RenameEdgeCases) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/a", "x").ok());
+  ASSERT_TRUE(fs.WriteFile("/b", "y").ok());
+  EXPECT_TRUE(fs.Rename("/a", "/b").IsAlreadyExists());
+  EXPECT_TRUE(fs.Rename("/nope", "/c").IsNotFound());
+  EXPECT_TRUE(fs.Rename("/a", "/missing_dir/c").IsNotFound());
+  ASSERT_TRUE(fs.Mkdirs("/d/e").ok());
+  EXPECT_TRUE(fs.Rename("/d", "/d/e/f").IsInvalidArgument());
+}
+
+TEST(MiniHdfsTest, DeleteSemantics) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/dir/f1", "abc").ok());
+  ASSERT_TRUE(fs.WriteFile("/dir/f2", "de").ok());
+  EXPECT_TRUE(fs.Delete("/dir").IsFailedPrecondition());
+  ASSERT_TRUE(fs.Delete("/dir/f1").ok());
+  EXPECT_EQ(fs.total_file_bytes(), 2u);
+  ASSERT_TRUE(fs.Delete("/dir", /*recursive=*/true).ok());
+  EXPECT_FALSE(fs.Exists("/dir"));
+  EXPECT_EQ(fs.file_count(), 0u);
+  EXPECT_EQ(fs.total_file_bytes(), 0u);
+  EXPECT_TRUE(fs.Delete("/").IsInvalidArgument());
+}
+
+TEST(MiniHdfsTest, BlockAccounting) {
+  HdfsOptions opts;
+  opts.block_size = 10;
+  MiniHdfs fs(nullptr, opts);
+  EXPECT_EQ(fs.BlocksFor(0), 1u);
+  EXPECT_EQ(fs.BlocksFor(1), 1u);
+  EXPECT_EQ(fs.BlocksFor(10), 1u);
+  EXPECT_EQ(fs.BlocksFor(11), 2u);
+  ASSERT_TRUE(fs.WriteFile("/f", std::string(25, 'x')).ok());
+  EXPECT_EQ(fs.Stat("/f")->block_count, 3u);
+  EXPECT_EQ(fs.total_blocks(), 3u);
+}
+
+TEST(MiniHdfsTest, OutageMakesOperationsUnavailable) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "x").ok());
+  fs.SetAvailable(false);
+  EXPECT_TRUE(fs.WriteFile("/g", "y").IsUnavailable());
+  EXPECT_TRUE(fs.AppendFile("/f", "y").IsUnavailable());
+  EXPECT_TRUE(fs.ReadFile("/f").status().IsUnavailable());
+  EXPECT_TRUE(fs.Rename("/f", "/h").IsUnavailable());
+  EXPECT_TRUE(fs.Delete("/f").IsUnavailable());
+  EXPECT_TRUE(fs.List("/").status().IsUnavailable());
+  fs.SetAvailable(true);
+  EXPECT_EQ(fs.ReadFile("/f").value(), "x");
+}
+
+TEST(MiniHdfsTest, MtimeTracksSimClock) {
+  Simulator sim(1000);
+  MiniHdfs fs(&sim);
+  ASSERT_TRUE(fs.WriteFile("/f", "x").ok());
+  EXPECT_EQ(fs.Stat("/f")->mtime, 1000);
+  sim.RunUntil(5000);
+  ASSERT_TRUE(fs.AppendFile("/f", "y").ok());
+  EXPECT_EQ(fs.Stat("/f")->mtime, 5000);
+}
+
+TEST(MiniHdfsTest, ByteCounters) {
+  MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/f", "abcde").ok());
+  ASSERT_TRUE(fs.ReadFile("/f").ok());
+  ASSERT_TRUE(fs.ReadFile("/f").ok());
+  EXPECT_EQ(fs.bytes_written(), 5u);
+  EXPECT_EQ(fs.bytes_read(), 10u);
+}
+
+}  // namespace
+}  // namespace unilog::hdfs

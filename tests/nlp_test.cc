@@ -1,0 +1,298 @@
+// Tests for §5.4 user modeling: n-gram language models (cross-entropy /
+// perplexity), collocation extraction (PMI + Dunning LLR), and the §6
+// Smith-Waterman query-by-example extension.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "nlp/alignment.h"
+#include "nlp/collocations.h"
+#include "nlp/ngram_model.h"
+
+namespace unilog::nlp {
+namespace {
+
+// ---------------------------------------------------------------------------
+// NgramModel
+
+TEST(NgramModelTest, ProbabilitiesSumToOneOverVocabulary) {
+  // Vocabulary {1,2,3}; model must be a proper distribution including EOS.
+  NgramModel model(2, 3);
+  model.TrainBatch({{1, 2, 3}, {1, 2}, {2, 3, 1}});
+  SymbolSequence history = {1};
+  double sum = 0;
+  for (uint32_t s : {1u, 2u, 3u}) sum += model.Probability(history, s);
+  sum += model.Probability(history, kEosSymbol);
+  sum += model.Probability(history, kBosSymbol);  // tiny uniform mass
+  // Remaining mass sits on the uniform floor spread over unseen ids; with
+  // vocab_size=5 internal, the enumerated symbols carry nearly all of it.
+  EXPECT_NEAR(sum, 1.0, 0.01);
+}
+
+TEST(NgramModelTest, SeenBigramMoreLikelyThanUnseen) {
+  NgramModel model(2, 10);
+  for (int i = 0; i < 50; ++i) {
+    model.Train({1, 2});  // 1 is always followed by 2
+    model.Train({3, 4});
+  }
+  EXPECT_GT(model.Probability({1}, 2), model.Probability({1}, 4));
+  EXPECT_GT(model.Probability({1}, 2), 0.5);
+}
+
+TEST(NgramModelTest, UnseenSymbolHasNonZeroProbability) {
+  NgramModel model(2, 100);
+  model.Train({1, 2, 3});
+  double p = model.Probability({1}, 99);
+  EXPECT_GT(p, 0.0);
+  EXPECT_LT(p, 0.01);
+}
+
+TEST(NgramModelTest, UnigramModelIgnoresHistory) {
+  NgramModel model(1, 5);
+  model.TrainBatch({{1, 1, 1, 2}});
+  EXPECT_EQ(model.Probability({1}, 1), model.Probability({2}, 1));
+}
+
+TEST(NgramModelTest, CrossEntropyLowerForPredictableData) {
+  // Deterministic alternation vs uniform noise.
+  Rng rng(3);
+  std::vector<SymbolSequence> predictable, noisy;
+  for (int s = 0; s < 200; ++s) {
+    SymbolSequence p, n;
+    for (int i = 0; i < 20; ++i) {
+      p.push_back(1 + (i % 2));
+      n.push_back(1 + static_cast<uint32_t>(rng.Uniform(10)));
+    }
+    predictable.push_back(p);
+    noisy.push_back(n);
+  }
+  auto train_eval = [](const std::vector<SymbolSequence>& data) {
+    NgramModel model(2, 10);
+    std::vector<SymbolSequence> train(data.begin(), data.begin() + 150);
+    std::vector<SymbolSequence> test(data.begin() + 150, data.end());
+    model.TrainBatch(train);
+    return model.CrossEntropy(test).value();
+  };
+  EXPECT_LT(train_eval(predictable), train_eval(noisy) - 1.0);
+}
+
+TEST(NgramModelTest, HigherOrderCapturesMarkovStructure) {
+  // Data with strong bigram structure: after A comes B 90% of the time.
+  Rng rng(11);
+  std::vector<SymbolSequence> data;
+  for (int s = 0; s < 300; ++s) {
+    SymbolSequence seq;
+    uint32_t cur = 1 + static_cast<uint32_t>(rng.Uniform(6));
+    for (int i = 0; i < 25; ++i) {
+      seq.push_back(cur);
+      if (cur == 1 && rng.Bernoulli(0.9)) {
+        cur = 2;
+      } else {
+        cur = 1 + static_cast<uint32_t>(rng.Uniform(6));
+      }
+    }
+    data.push_back(seq);
+  }
+  std::vector<SymbolSequence> train(data.begin(), data.begin() + 250);
+  std::vector<SymbolSequence> test(data.begin() + 250, data.end());
+
+  std::vector<double> perplexities;
+  for (int n = 1; n <= 3; ++n) {
+    NgramModel model(n, 6);
+    model.TrainBatch(train);
+    perplexities.push_back(model.Perplexity(test).value());
+  }
+  // Bigram beats unigram distinctly (the "temporal signal" of §5.4);
+  // trigram adds little on 1st-order Markov data.
+  EXPECT_LT(perplexities[1], perplexities[0] * 0.95);
+  EXPECT_LT(perplexities[2], perplexities[0]);
+  double bigram_gain = perplexities[0] - perplexities[1];
+  double trigram_gain = perplexities[1] - perplexities[2];
+  EXPECT_LT(trigram_gain, bigram_gain);
+}
+
+TEST(NgramModelTest, EmptyTestSetRejected) {
+  NgramModel model(2, 5);
+  model.Train({1, 2});
+  EXPECT_TRUE(model.CrossEntropy({}).status().IsInvalidArgument());
+}
+
+TEST(NgramModelTest, PerplexityIsTwoToTheCrossEntropy) {
+  NgramModel model(2, 5);
+  model.TrainBatch({{1, 2, 3}, {2, 3, 1}});
+  std::vector<SymbolSequence> test = {{1, 2}};
+  double h = model.CrossEntropy(test).value();
+  double ppl = model.Perplexity(test).value();
+  EXPECT_NEAR(ppl, std::pow(2.0, h), 1e-9);
+}
+
+// Parameterized sweep: perplexity is finite and positive for n = 1..5.
+class NgramOrderSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NgramOrderSweep, FinitePerplexity) {
+  int n = GetParam();
+  Rng rng(n);
+  std::vector<SymbolSequence> data;
+  for (int s = 0; s < 50; ++s) {
+    SymbolSequence seq;
+    for (int i = 0; i < 15; ++i) {
+      seq.push_back(1 + static_cast<uint32_t>(rng.Uniform(20)));
+    }
+    data.push_back(seq);
+  }
+  NgramModel model(n, 20);
+  model.TrainBatch(data);
+  auto ppl = model.Perplexity(data);
+  ASSERT_TRUE(ppl.ok());
+  EXPECT_GT(*ppl, 1.0);
+  EXPECT_LT(*ppl, 50.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, NgramOrderSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Collocations
+
+TEST(CollocationTest, PlantedPairRanksTop) {
+  // Symbols 1..20 uniform, but 5 is followed by 6 80% of the time.
+  Rng rng(17);
+  CollocationFinder finder;
+  for (int s = 0; s < 500; ++s) {
+    SymbolSequence seq;
+    uint32_t cur = 1 + static_cast<uint32_t>(rng.Uniform(20));
+    for (int i = 0; i < 30; ++i) {
+      seq.push_back(cur);
+      if (cur == 5 && rng.Bernoulli(0.8)) {
+        cur = 6;
+      } else {
+        cur = 1 + static_cast<uint32_t>(rng.Uniform(20));
+      }
+    }
+    finder.Add(seq);
+  }
+  auto top_pmi = finder.TopByPmi(/*min_count=*/20, /*k=*/5);
+  ASSERT_FALSE(top_pmi.empty());
+  EXPECT_EQ(top_pmi[0].first, 5u);
+  EXPECT_EQ(top_pmi[0].second, 6u);
+  EXPECT_GT(top_pmi[0].pmi, 2.0);
+
+  auto top_llr = finder.TopByLlr(/*k=*/5);
+  ASSERT_FALSE(top_llr.empty());
+  EXPECT_EQ(top_llr[0].first, 5u);
+  EXPECT_EQ(top_llr[0].second, 6u);
+  EXPECT_GT(top_llr[0].llr, 100.0);
+}
+
+TEST(CollocationTest, IndependentPairsHaveLowScores) {
+  Rng rng(23);
+  CollocationFinder finder;
+  for (int s = 0; s < 500; ++s) {
+    SymbolSequence seq;
+    for (int i = 0; i < 30; ++i) {
+      seq.push_back(1 + static_cast<uint32_t>(rng.Uniform(10)));
+    }
+    finder.Add(seq);
+  }
+  for (const auto& c : finder.TopByPmi(/*min_count=*/20, /*k=*/3)) {
+    EXPECT_LT(c.pmi, 0.5);
+  }
+}
+
+TEST(CollocationTest, PairStatsAndCounts) {
+  CollocationFinder finder;
+  finder.Add({1, 2, 1, 2, 3});
+  EXPECT_EQ(finder.total_bigrams(), 4u);
+  Collocation c = finder.PairStats(1, 2);
+  EXPECT_EQ(c.pair_count, 2u);
+  EXPECT_EQ(c.first_count, 2u);   // 1 appears twice as bigram-left
+  EXPECT_EQ(c.second_count, 2u);  // 2 appears twice as bigram-right
+  Collocation missing = finder.PairStats(9, 9);
+  EXPECT_EQ(missing.pair_count, 0u);
+}
+
+TEST(CollocationTest, MinCountFiltersRarePairs) {
+  CollocationFinder finder;
+  finder.Add({1, 2});  // a single rare pair with sky-high PMI
+  for (int i = 0; i < 100; ++i) finder.Add({3, 4});
+  auto top = finder.TopByPmi(/*min_count=*/10, /*k=*/10);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, 3u);
+}
+
+TEST(LlrTest, KnownBehaviours) {
+  // Strong association vs no association.
+  EXPECT_GT(LogLikelihoodRatio(90, 100, 10, 1000),
+            LogLikelihoodRatio(10, 100, 100, 1000));
+  // Identical rates → ~0.
+  EXPECT_NEAR(LogLikelihoodRatio(10, 100, 100, 1000), 0.0, 1e-6);
+  // Degenerate inputs do not blow up.
+  EXPECT_EQ(LogLikelihoodRatio(0, 0, 5, 10), 0.0);
+  EXPECT_GE(LogLikelihoodRatio(100, 100, 0, 1000), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Alignment
+
+TEST(AlignmentTest, IdenticalSequencesAlignFully) {
+  SymbolSequence a = {1, 2, 3, 4, 5};
+  AlignmentResult r = LocalAlign(a, a);
+  EXPECT_EQ(r.matches, 5u);
+  EXPECT_EQ(r.score, 10.0);  // 5 matches x 2.0
+  EXPECT_EQ(r.a_begin, 0u);
+  EXPECT_EQ(r.a_end, 5u);
+}
+
+TEST(AlignmentTest, FindsSharedSubsequence) {
+  // Common motif {7,8,9} embedded in different noise.
+  SymbolSequence a = {1, 2, 7, 8, 9, 3};
+  SymbolSequence b = {4, 7, 8, 9, 5, 6};
+  AlignmentResult r = LocalAlign(a, b);
+  EXPECT_GE(r.matches, 3u);
+  EXPECT_GE(r.score, 6.0);
+  EXPECT_EQ(r.a_begin, 2u);
+  EXPECT_EQ(r.a_end, 5u);
+  EXPECT_EQ(r.b_begin, 1u);
+  EXPECT_EQ(r.b_end, 4u);
+}
+
+TEST(AlignmentTest, DisjointSequencesScoreZero) {
+  AlignmentResult r = LocalAlign({1, 2, 3}, {4, 5, 6});
+  EXPECT_EQ(r.score, 0.0);
+  EXPECT_EQ(r.matches, 0u);
+}
+
+TEST(AlignmentTest, GapsTolerated) {
+  SymbolSequence a = {1, 2, 3, 4};
+  SymbolSequence b = {1, 2, 9, 3, 4};  // insertion of 9
+  AlignmentResult r = LocalAlign(a, b);
+  EXPECT_EQ(r.matches, 4u);
+  EXPECT_EQ(r.score, 4 * 2.0 - 1.0);  // four matches minus one gap
+}
+
+TEST(AlignmentTest, EmptyInputs) {
+  EXPECT_EQ(LocalAlign({}, {1, 2}).score, 0.0);
+  EXPECT_EQ(LocalAlign({1, 2}, {}).score, 0.0);
+}
+
+TEST(AlignmentTest, QueryByExampleRanksSimilarFirst) {
+  SymbolSequence example = {1, 2, 3, 4, 5};
+  std::vector<SymbolSequence> candidates = {
+      {9, 9, 9, 9},            // unrelated
+      {1, 2, 3, 4, 5},         // identical
+      {0, 1, 2, 3, 9},         // partial overlap
+  };
+  auto ranked = QueryByExample(example, candidates, 3);
+  ASSERT_EQ(ranked.size(), 3u);
+  EXPECT_EQ(ranked[0].first, 1u);
+  EXPECT_EQ(ranked[1].first, 2u);
+  EXPECT_EQ(ranked[2].first, 0u);
+  EXPECT_GT(ranked[0].second, ranked[1].second);
+  // k limits results.
+  EXPECT_EQ(QueryByExample(example, candidates, 1).size(), 1u);
+}
+
+}  // namespace
+}  // namespace unilog::nlp

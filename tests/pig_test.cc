@@ -1,0 +1,327 @@
+// Tests for the mini Pig Latin interpreter and the unilog stdlib bindings
+// — including a verbatim run of the paper's §5.2 event-counting script and
+// the §5.3 funnel script.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analytics/pig_stdlib.h"
+#include "common/compress.h"
+#include "dataflow/pig.h"
+#include "events/client_event.h"
+#include "hdfs/mini_hdfs.h"
+#include "sessions/dictionary.h"
+#include "sessions/session_sequence.h"
+
+namespace unilog::dataflow {
+namespace {
+
+constexpr TimeMs kDay = 1345507200000;  // 2012-08-21
+
+// A tiny in-memory loader for interpreter-core tests.
+Relation TestEvents() {
+  Relation r({"user_id", "event", "n"});
+  auto add = [&r](int64_t u, const char* e, int64_t n) {
+    EXPECT_TRUE(r.AddRow({Value::Int(u), Value::Str(e), Value::Int(n)}).ok());
+  };
+  add(1, "impression", 10);
+  add(1, "click", 2);
+  add(2, "impression", 5);
+  add(2, "click", 1);
+  add(3, "impression", 7);
+  return r;
+}
+
+class PigCoreTest : public ::testing::Test {
+ protected:
+  PigCoreTest() {
+    pig_.RegisterLoader("TestLoader",
+                        [](const std::string&, const std::vector<std::string>&)
+                            -> Result<Relation> { return TestEvents(); });
+    pig_.RegisterUdfFactory(
+        "Double", [](const std::vector<std::string>&)
+                      -> Result<PigInterpreter::ScalarUdf> {
+          return PigInterpreter::ScalarUdf(
+              [](const std::vector<Value>& args) -> Result<Value> {
+                if (args.size() != 1) {
+                  return Status::InvalidArgument("Double takes one arg");
+                }
+                return Value::Int(args[0].int_value() * 2);
+              });
+        });
+  }
+
+  PigInterpreter pig_;
+};
+
+TEST_F(PigCoreTest, LoadAndDump) {
+  ASSERT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader(); DUMP raw;").ok());
+  ASSERT_EQ(pig_.output().size(), 5u);
+  EXPECT_EQ(pig_.output()[0], "(1, impression, 10)");
+}
+
+TEST_F(PigCoreTest, FilterByComparisons) {
+  ASSERT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader();"
+                       "big = FILTER raw BY n >= 5;"
+                       "DUMP big;")
+                  .ok());
+  EXPECT_EQ(pig_.output().size(), 3u);
+  pig_.ClearOutput();
+  ASSERT_TRUE(pig_.Run("clicks = FILTER raw BY event == 'click'; DUMP clicks;")
+                  .ok());
+  EXPECT_EQ(pig_.output().size(), 2u);
+}
+
+TEST_F(PigCoreTest, FilterByMatches) {
+  ASSERT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader();"
+                       "imp = FILTER raw BY event MATCHES 'imp*';"
+                       "DUMP imp;")
+                  .ok());
+  EXPECT_EQ(pig_.output().size(), 3u);
+}
+
+TEST_F(PigCoreTest, ForEachColumnsAndUdf) {
+  ASSERT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader();"
+                       "gen = FOREACH raw GENERATE user_id, Double(n) AS n2;"
+                       "DUMP gen;")
+                  .ok());
+  ASSERT_EQ(pig_.output().size(), 5u);
+  EXPECT_EQ(pig_.output()[0], "(1, 20)");
+}
+
+TEST_F(PigCoreTest, GroupAllWithAggregates) {
+  ASSERT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader();"
+                       "g = GROUP raw ALL;"
+                       "t = FOREACH g GENERATE SUM(n) AS total, COUNT(*) AS c;"
+                       "DUMP t;")
+                  .ok());
+  ASSERT_EQ(pig_.output().size(), 1u);
+  EXPECT_EQ(pig_.output()[0], "(25, 5)");
+}
+
+TEST_F(PigCoreTest, GroupByKeyWithAggregates) {
+  ASSERT_TRUE(
+      pig_.Run("raw = LOAD 'x' USING TestLoader();"
+               "g = GROUP raw BY event;"
+               "t = FOREACH g GENERATE event, COUNT(*) AS c, SUM(n) AS s,"
+               "    COUNT_DISTINCT(user_id) AS users;"
+               "sorted = ORDER t BY event;"
+               "DUMP sorted;")
+          .ok());
+  ASSERT_EQ(pig_.output().size(), 2u);
+  EXPECT_EQ(pig_.output()[0], "(click, 2, 3, 2)");
+  EXPECT_EQ(pig_.output()[1], "(impression, 3, 22, 3)");
+}
+
+TEST_F(PigCoreTest, DistinctOrderLimitJoin) {
+  ASSERT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader();"
+                       "users = FOREACH raw GENERATE user_id;"
+                       "du = DISTINCT users;"
+                       "top = ORDER du BY user_id DESC;"
+                       "two = LIMIT top 2;"
+                       "DUMP two;")
+                  .ok());
+  ASSERT_EQ(pig_.output().size(), 2u);
+  EXPECT_EQ(pig_.output()[0], "(3)");
+  EXPECT_EQ(pig_.output()[1], "(2)");
+
+  pig_.ClearOutput();
+  ASSERT_TRUE(pig_.Run("j = JOIN raw BY user_id, du BY user_id;").ok());
+  auto joined = pig_.Lookup("j");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ(joined->size(), 5u);
+}
+
+TEST_F(PigCoreTest, DescribeShowsSchema) {
+  ASSERT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader(); DESCRIBE raw;")
+                  .ok());
+  ASSERT_EQ(pig_.output().size(), 1u);
+  EXPECT_EQ(pig_.output()[0], "raw: {user_id, event, n}");
+}
+
+TEST_F(PigCoreTest, ParamSubstitution) {
+  pig_.SetParam("MIN", "6");
+  ASSERT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader();"
+                       "big = FILTER raw BY n >= $MIN; DUMP big;")
+                  .ok());
+  EXPECT_EQ(pig_.output().size(), 2u);
+  EXPECT_TRUE(pig_.Run("z = FILTER raw BY n >= $UNDEFINED;")
+                  .IsInvalidArgument());
+}
+
+TEST_F(PigCoreTest, CommentsIgnored) {
+  ASSERT_TRUE(pig_.Run("-- this is the §5.2 style comment\n"
+                       "raw = LOAD 'x' USING TestLoader(); -- trailing\n"
+                       "DUMP raw;")
+                  .ok());
+  EXPECT_EQ(pig_.output().size(), 5u);
+}
+
+TEST_F(PigCoreTest, ErrorsAreInformative) {
+  EXPECT_TRUE(pig_.Run("DUMP nothing;").IsInvalidArgument());
+  EXPECT_TRUE(pig_.Run("x = LOAD 'p' USING NopeLoader();").IsInvalidArgument());
+  EXPECT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader();"
+                       "bad = FILTER raw BY missing_col == 1;")
+                  .IsInvalidArgument());
+  // Aggregates without GROUP.
+  EXPECT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader();"
+                       "t = FOREACH raw GENERATE SUM(n);")
+                  .IsInvalidArgument());
+  // Non-key bare column in grouped FOREACH.
+  EXPECT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader();"
+                       "g = GROUP raw BY event;"
+                       "t = FOREACH g GENERATE user_id, COUNT(*);")
+                  .IsInvalidArgument());
+  // DUMP of a grouped alias.
+  EXPECT_TRUE(pig_.Run("raw = LOAD 'x' USING TestLoader();"
+                       "g = GROUP raw ALL; DUMP g;")
+                  .IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Stdlib over a real warehouse partition: the paper's scripts verbatim.
+
+class PigStdlibTest : public ::testing::Test {
+ protected:
+  PigStdlibTest() {
+    // Build a small sequence partition.
+    auto dict = sessions::EventDictionary::FromNamesInGivenOrder(
+        {"web:home:::tweet:impression", "web:home:::tweet:click",
+         "web:signup:flow:form:page:stage_00",
+         "web:signup:flow:form:page:stage_01"});
+    dict_ = *dict;
+    std::vector<sessions::SessionSequence> seqs;
+    auto make = [&](int64_t uid, const std::vector<std::string>& names) {
+      sessions::SessionSequence s;
+      s.user_id = uid;
+      s.session_id = "s" + std::to_string(uid);
+      s.ip = "10.0.0.1";
+      s.sequence = dict_.EncodeNames(names).value();
+      s.duration_seconds = 30;
+      seqs.push_back(s);
+    };
+    // 3 sessions: 2 with clicks, 1 signup reaching stage 1.
+    make(1, {"web:home:::tweet:impression", "web:home:::tweet:click",
+             "web:home:::tweet:impression"});
+    make(2, {"web:home:::tweet:impression", "web:home:::tweet:click",
+             "web:home:::tweet:click"});
+    make(3, {"web:signup:flow:form:page:stage_00",
+             "web:signup:flow:form:page:stage_01"});
+    EXPECT_TRUE(
+        sessions::SequenceStore::WriteDaily(&warehouse_, kDay, seqs, dict_)
+            .ok());
+    analytics::InstallPigStdlib(&pig_, &warehouse_);
+    pig_.SetParam("DATE", "2012-08-21");
+  }
+
+  hdfs::MiniHdfs warehouse_;
+  sessions::EventDictionary dict_;
+  PigInterpreter pig_;
+};
+
+TEST_F(PigStdlibTest, PaperEventCountingScript) {
+  // §5.2, lightly normalized quoting. SUM variant.
+  pig_.SetParam("EVENTS", "*:click");
+  std::string script = R"(
+    define CountClicks CountClientEvents('$EVENTS');
+    raw = load '/session_sequences/$DATE' using SessionSequencesLoader();
+    generated = foreach raw generate CountClicks(sequence) as symbols;
+    grouped = group generated all;
+    count = foreach grouped generate SUM(symbols);
+    dump count;
+  )";
+  ASSERT_TRUE(pig_.Run(script).ok()) << pig_.Run(script).ToString();
+  ASSERT_EQ(pig_.output().size(), 1u);
+  EXPECT_EQ(pig_.output()[0], "(3)");  // 1 + 2 clicks
+}
+
+TEST_F(PigStdlibTest, PaperCountVariantSessionsContaining) {
+  // "a replacement of SUM by COUNT ... number of user sessions that
+  // contain at least one instance".
+  std::string script = R"(
+    define HasClick ContainsClientEvents('*:click');
+    raw = load '/session_sequences/$DATE' using SessionSequencesLoader();
+    flagged = foreach raw generate HasClick(sequence) as has;
+    hits = filter flagged by has == 1;
+    grouped = group hits all;
+    count = foreach grouped generate COUNT(*);
+    dump count;
+  )";
+  ASSERT_TRUE(pig_.Run(script).ok());
+  ASSERT_EQ(pig_.output().size(), 1u);
+  EXPECT_EQ(pig_.output()[0], "(2)");
+}
+
+TEST_F(PigStdlibTest, PaperFunnelScript) {
+  // §5.3: per-stage counts via the funnel UDF + group-by.
+  std::string script = R"(
+    define Funnel ClientEventsFunnel('web:signup:flow:form:page:stage_00',
+                                     'web:signup:flow:form:page:stage_01');
+    raw = load '/session_sequences/$DATE' using SessionSequencesLoader();
+    staged = foreach raw generate Funnel(sequence) as stages;
+    grouped = group staged by stages;
+    counts = foreach grouped generate stages, COUNT(*) as sessions;
+    ordered = order counts by stages;
+    dump ordered;
+  )";
+  ASSERT_TRUE(pig_.Run(script).ok());
+  ASSERT_EQ(pig_.output().size(), 2u);
+  EXPECT_EQ(pig_.output()[0], "(0, 2)");  // two browsing sessions
+  EXPECT_EQ(pig_.output()[1], "(2, 1)");  // one completed both stages
+}
+
+TEST_F(PigStdlibTest, EventCountAndDemographicJoin) {
+  std::string script = R"(
+    raw = load '/session_sequences/$DATE' using SessionSequencesLoader();
+    lens = foreach raw generate user_id, EventCount(sequence) as n;
+    dump lens;
+  )";
+  ASSERT_TRUE(pig_.Run(script).ok());
+  ASSERT_EQ(pig_.output().size(), 3u);
+  EXPECT_EQ(pig_.output()[0], "(1, 3)");
+}
+
+TEST_F(PigStdlibTest, ClientEventsLoaderReadsRawLogs) {
+  // Write one raw hour and load it.
+  events::ClientEvent ev;
+  ev.event_name = "web:home:::tweet:impression";
+  ev.user_id = 7;
+  ev.session_id = "s7";
+  ev.ip = "10.0.0.1";
+  ev.timestamp = kDay;
+  std::string body;
+  events::ClientEventWriter writer(&body);
+  writer.Add(ev);
+  ASSERT_TRUE(warehouse_
+                  .WriteFile("/logs/client_events/2012/08/21/00/part-0",
+                             Lz::Compress(body))
+                  .ok());
+  std::string script = R"(
+    ev = load '/logs/client_events/2012/08/21/00' using ClientEventsLoader();
+    names = foreach ev generate event_name, user_id;
+    dump names;
+  )";
+  ASSERT_TRUE(pig_.Run(script).ok());
+  ASSERT_EQ(pig_.output().size(), 1u);
+  EXPECT_EQ(pig_.output()[0], "(web:home:::tweet:impression, 7)");
+}
+
+TEST_F(PigStdlibTest, UdfBeforeLoadFailsGracefully) {
+  // Using a dictionary-dependent UDF without loading a partition first.
+  PigInterpreter fresh;
+  analytics::InstallPigStdlib(&fresh, &warehouse_);
+  Relation r({"sequence"});
+  ASSERT_TRUE(r.AddRow({Value::Str("\x01")}).ok());
+  fresh.RegisterLoader("Mem",
+                       [r](const std::string&, const std::vector<std::string>&)
+                           -> Result<Relation> { return r; });
+  EXPECT_FALSE(fresh
+                   .Run("x = load 'm' using Mem();"
+                        "y = foreach x generate CountClientEvents(sequence);")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace unilog::dataflow

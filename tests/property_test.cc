@@ -1,0 +1,316 @@
+// Property-based sweeps over the codecs and core invariants: randomized
+// LZ round-trips, random Thrift value round-trips, sessionizer partition
+// invariants, glob-matching properties, and dictionary coding laws.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/compress.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "common/utf8.h"
+#include "events/client_event.h"
+#include "sessions/dictionary.h"
+#include "sessions/sessionizer.h"
+#include "thrift/compact_protocol.h"
+#include "thrift/value.h"
+
+namespace unilog {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LZ codec: random inputs of varied structure always round-trip.
+
+class LzPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::string RandomBuffer(Rng& rng) {
+  std::string data;
+  size_t segments = 1 + rng.Uniform(20);
+  for (size_t s = 0; s < segments; ++s) {
+    switch (rng.Uniform(4)) {
+      case 0: {  // random bytes
+        size_t n = rng.Uniform(500);
+        for (size_t i = 0; i < n; ++i) {
+          data.push_back(static_cast<char>(rng.Next64() & 0xFF));
+        }
+        break;
+      }
+      case 1: {  // run of one byte
+        data.append(rng.Uniform(300), static_cast<char>(rng.Uniform(256)));
+        break;
+      }
+      case 2: {  // repeated phrase
+        std::string phrase = "event" + std::to_string(rng.Uniform(10)) + ":";
+        size_t reps = rng.Uniform(100);
+        for (size_t i = 0; i < reps; ++i) data += phrase;
+        break;
+      }
+      default: {  // copy of an earlier window (long-range match)
+        if (!data.empty()) {
+          size_t start = rng.Uniform(data.size());
+          size_t len = std::min<size_t>(rng.Uniform(200),
+                                        data.size() - start);
+          data += data.substr(start, len);
+        }
+        break;
+      }
+    }
+  }
+  return data;
+}
+
+TEST_P(LzPropertyTest, RoundTrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    std::string data = RandomBuffer(rng);
+    std::string compressed = Lz::Compress(data);
+    auto back = Lz::Decompress(compressed);
+    ASSERT_TRUE(back.ok()) << "seed=" << GetParam() << " iter=" << iter;
+    ASSERT_EQ(*back, data) << "seed=" << GetParam() << " iter=" << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LzPropertyTest,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// ---------------------------------------------------------------------------
+// Thrift: randomly generated values round-trip through the compact
+// protocol.
+
+thrift::ThriftValue RandomValue(Rng& rng, int depth);
+
+thrift::ThriftValue RandomScalar(Rng& rng) {
+  switch (rng.Uniform(7)) {
+    case 0:
+      return thrift::ThriftValue::Bool(rng.Bernoulli(0.5));
+    case 1:
+      return thrift::ThriftValue::Byte(static_cast<int8_t>(rng.Next64()));
+    case 2:
+      return thrift::ThriftValue::I16(static_cast<int16_t>(rng.Next64()));
+    case 3:
+      return thrift::ThriftValue::I32(static_cast<int32_t>(rng.Next64()));
+    case 4:
+      return thrift::ThriftValue::I64(static_cast<int64_t>(rng.Next64()));
+    case 5:
+      return thrift::ThriftValue::Double(rng.NextDouble() * 1e6 - 5e5);
+    default: {
+      std::string s;
+      size_t n = rng.Uniform(30);
+      for (size_t i = 0; i < n; ++i) {
+        s.push_back(static_cast<char>(rng.Next64() & 0xFF));
+      }
+      return thrift::ThriftValue::String(std::move(s));
+    }
+  }
+}
+
+thrift::ThriftValue RandomStruct(Rng& rng, int depth) {
+  thrift::ThriftValue s = thrift::ThriftValue::Struct();
+  size_t fields = rng.Uniform(6);
+  int16_t id = 0;
+  for (size_t f = 0; f < fields; ++f) {
+    id = static_cast<int16_t>(id + 1 + rng.Uniform(30));
+    s.SetField(id, RandomValue(rng, depth - 1));
+  }
+  return s;
+}
+
+thrift::ThriftValue RandomValue(Rng& rng, int depth) {
+  if (depth <= 0 || rng.Bernoulli(0.5)) return RandomScalar(rng);
+  switch (rng.Uniform(3)) {
+    case 0:
+      return RandomStruct(rng, depth);
+    case 1: {
+      thrift::ListData l;
+      // Homogeneous element type required: sample one exemplar.
+      thrift::ThriftValue exemplar = RandomScalar(rng);
+      l.elem_type = exemplar.type();
+      l.is_set = rng.Bernoulli(0.3);
+      size_t n = rng.Uniform(5);
+      for (size_t i = 0; i < n; ++i) {
+        // Re-draw until the type matches the exemplar.
+        thrift::ThriftValue v = RandomScalar(rng);
+        while (v.type() != l.elem_type) v = RandomScalar(rng);
+        l.elems.push_back(std::move(v));
+      }
+      return thrift::ThriftValue::List(std::move(l));
+    }
+    default: {
+      thrift::MapData m;
+      thrift::ThriftValue kx = RandomScalar(rng);
+      thrift::ThriftValue vx = RandomScalar(rng);
+      m.key_type = kx.type();
+      m.value_type = vx.type();
+      size_t n = rng.Uniform(4);
+      for (size_t i = 0; i < n; ++i) {
+        thrift::ThriftValue k = RandomScalar(rng);
+        while (k.type() != m.key_type) k = RandomScalar(rng);
+        thrift::ThriftValue v = RandomScalar(rng);
+        while (v.type() != m.value_type) v = RandomScalar(rng);
+        m.entries.emplace_back(std::move(k), std::move(v));
+      }
+      return thrift::ThriftValue::Map(std::move(m));
+    }
+  }
+}
+
+class ThriftPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ThriftPropertyTest, RandomStructsRoundTrip) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 25; ++iter) {
+    thrift::ThriftValue s = RandomStruct(rng, 3);
+    std::string buf;
+    ASSERT_TRUE(thrift::SerializeStruct(s, &buf).ok());
+    auto parsed = thrift::ParseStruct(buf);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_TRUE(parsed->Equals(s)) << "seed=" << GetParam()
+                                   << " iter=" << iter << "\nvalue "
+                                   << s.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThriftPropertyTest,
+                         ::testing::Values(101u, 202u, 303u, 404u, 505u));
+
+// ---------------------------------------------------------------------------
+// Sessionizer invariants under random event streams.
+
+class SessionizerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SessionizerPropertyTest, PartitionInvariants) {
+  Rng rng(GetParam());
+  sessions::Sessionizer sessionizer;
+  uint64_t total_events = 200 + rng.Uniform(300);
+  TimeMs base = 1345507200000;
+  for (uint64_t i = 0; i < total_events; ++i) {
+    events::ClientEvent ev;
+    ev.user_id = static_cast<int64_t>(rng.Uniform(10));
+    ev.session_id = "s" + std::to_string(rng.Uniform(3));
+    ev.event_name = "e" + std::to_string(rng.Uniform(5));
+    ev.ip = "10.0.0.1";
+    ev.timestamp = base + static_cast<TimeMs>(
+                              rng.Uniform(6 * kMillisPerHour));
+    sessionizer.Add(ev);
+  }
+  auto sessions = sessionizer.Build();
+
+  // (1) Every event lands in exactly one session.
+  uint64_t reconstructed = 0;
+  for (const auto& s : sessions) reconstructed += s.event_names.size();
+  EXPECT_EQ(reconstructed, total_events);
+
+  // (2) Within a session: duration >= 0 and end - start <= events * gap.
+  // (3) Sessions of the same (user, session id) are separated by > gap.
+  std::map<std::pair<int64_t, std::string>, std::vector<const sessions::Session*>>
+      by_group;
+  for (const auto& s : sessions) {
+    EXPECT_GE(s.end, s.start);
+    by_group[{s.user_id, s.session_id}].push_back(&s);
+  }
+  for (auto& [key, group] : by_group) {
+    std::sort(group.begin(), group.end(),
+              [](const sessions::Session* a, const sessions::Session* b) {
+                return a->start < b->start;
+              });
+    for (size_t i = 1; i < group.size(); ++i) {
+      EXPECT_GT(group[i]->start - group[i - 1]->end, kSessionInactivityGapMs)
+          << "sessions for the same key must be gap-separated";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionizerPropertyTest,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+// ---------------------------------------------------------------------------
+// Glob matching: agreement with a simple recursive reference.
+
+bool ReferenceGlob(std::string_view p, std::string_view t) {
+  if (p.empty()) return t.empty();
+  if (p[0] == '*') {
+    for (size_t skip = 0; skip <= t.size(); ++skip) {
+      if (ReferenceGlob(p.substr(1), t.substr(skip))) return true;
+    }
+    return false;
+  }
+  if (t.empty() || p[0] != t[0]) return false;
+  return ReferenceGlob(p.substr(1), t.substr(1));
+}
+
+class GlobPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GlobPropertyTest, AgreesWithReference) {
+  Rng rng(GetParam());
+  const char alphabet[] = "ab:*";
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string pattern, text;
+    size_t pn = rng.Uniform(8), tn = rng.Uniform(10);
+    for (size_t i = 0; i < pn; ++i) {
+      pattern.push_back(alphabet[rng.Uniform(4)]);
+    }
+    for (size_t i = 0; i < tn; ++i) {
+      text.push_back(alphabet[rng.Uniform(3)]);  // no '*' in text
+    }
+    EXPECT_EQ(GlobMatch(pattern, text), ReferenceGlob(pattern, text))
+        << "pattern='" << pattern << "' text='" << text << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GlobPropertyTest,
+                         ::testing::Values(7u, 77u, 777u));
+
+// ---------------------------------------------------------------------------
+// Dictionary coding laws.
+
+class DictionaryPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DictionaryPropertyTest, EncodingIsBijectiveAndMonotone) {
+  Rng rng(GetParam());
+  // Random alphabet with random frequencies.
+  std::vector<std::pair<std::string, uint64_t>> counts;
+  size_t n = 50 + rng.Uniform(400);
+  for (size_t i = 0; i < n; ++i) {
+    counts.emplace_back("event_" + std::to_string(i), 1 + rng.Uniform(10000));
+  }
+  std::sort(counts.begin(), counts.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  auto dict = sessions::EventDictionary::FromSortedCounts(counts);
+  ASSERT_TRUE(dict.ok());
+
+  // Monotonicity: higher frequency rank → strictly smaller code point,
+  // and every code point encodes to at most as many bytes as later ones.
+  uint32_t prev_cp = 0;
+  for (const auto& [name, count] : counts) {
+    uint32_t cp = dict->CodePointFor(name).value();
+    EXPECT_GT(cp, prev_cp);
+    prev_cp = cp;
+  }
+
+  // Round trip random sessions.
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<std::string> names;
+    size_t len = rng.Uniform(60);
+    for (size_t i = 0; i < len; ++i) {
+      names.push_back(counts[rng.Uniform(counts.size())].first);
+    }
+    auto encoded = dict->EncodeNames(names);
+    ASSERT_TRUE(encoded.ok());
+    auto decoded = dict->DecodeToNames(*encoded);
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, names);
+    EXPECT_EQ(Utf8Length(*encoded), names.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DictionaryPropertyTest,
+                         ::testing::Values(9u, 99u, 999u));
+
+}  // namespace
+}  // namespace unilog

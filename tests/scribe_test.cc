@@ -1,0 +1,543 @@
+// Tests for the Scribe delivery infrastructure (Figure 1): daemons,
+// aggregators, ZooKeeper-based discovery and failover, staging writes,
+// and the log mover's atomic hourly slide into the warehouse.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/compress.h"
+#include "common/sim_time.h"
+#include "hdfs/mini_hdfs.h"
+#include "scribe/aggregator.h"
+#include "scribe/cluster.h"
+#include "scribe/daemon.h"
+#include "scribe/log_mover.h"
+#include "scribe/message.h"
+#include "sim/simulator.h"
+#include "zk/zookeeper.h"
+
+namespace unilog::scribe {
+namespace {
+
+constexpr TimeMs kT0 = 1345507200000;  // 2012-08-21 00:00 UTC
+
+// ---------------------------------------------------------------------------
+// Simulator basics
+
+TEST(SimulatorTest, EventsRunInTimeThenFifoOrder) {
+  Simulator sim(100);
+  std::vector<int> order;
+  sim.At(300, [&] { order.push_back(3); });
+  sim.At(200, [&] { order.push_back(1); });
+  sim.At(200, [&] { order.push_back(2); });  // same time: FIFO
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 300);
+  EXPECT_EQ(sim.EventsProcessed(), 3u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(50, [&] { ++fired; });
+  sim.At(150, [&] { ++fired; });
+  sim.RunUntil(100);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 100);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, PastSchedulingClampsToNow) {
+  Simulator sim(1000);
+  TimeMs seen = -1;
+  sim.At(5, [&] { seen = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(seen, 1000);
+}
+
+TEST(SimulatorTest, CallbacksCanScheduleMore) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&]() {
+    if (++depth < 5) sim.After(10, chain);
+  };
+  sim.After(10, chain);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+// ---------------------------------------------------------------------------
+// Message framing
+
+TEST(MessageTest, FrameUnframeRoundTrip) {
+  std::vector<std::string> msgs = {"a", "", std::string(500, 'x'), "end"};
+  std::string body = FrameMessages(msgs);
+  auto back = UnframeMessages(body);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, msgs);
+  EXPECT_EQ(CountFramed(body).value(), 4u);
+}
+
+TEST(MessageTest, CorruptFramingDetected) {
+  std::string body = FrameMessages({"hello", "world"});
+  EXPECT_FALSE(UnframeMessages(body.substr(0, body.size() - 2)).ok());
+  EXPECT_FALSE(CountFramed(body.substr(0, 3)).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator
+
+class AggregatorTest : public ::testing::Test {
+ protected:
+  AggregatorTest()
+      : sim_(kT0), zk_(&sim_), staging_(&sim_), options_() {
+    options_.roll_interval_ms = 10 * kMillisPerSecond;
+    options_.compress = true;
+  }
+
+  Simulator sim_;
+  zk::ZooKeeper zk_;
+  hdfs::MiniHdfs staging_;
+  ScribeOptions options_;
+};
+
+TEST_F(AggregatorTest, StartRegistersEphemeralZnode) {
+  Aggregator agg(&sim_, &zk_, &staging_, "dc1", "agg0", options_);
+  ASSERT_TRUE(agg.Start().ok());
+  EXPECT_TRUE(zk_.Exists("/scribe/dc1/aggregators/agg0"));
+  auto children = zk_.GetChildren(AggregatorRegistryPath("dc1"));
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, std::vector<std::string>{"agg0"});
+}
+
+TEST_F(AggregatorTest, ReceiveBuffersAndRollWritesCompressedFile) {
+  Aggregator agg(&sim_, &zk_, &staging_, "dc1", "agg0", options_);
+  ASSERT_TRUE(agg.Start().ok());
+  std::vector<LogEntry> batch = {{"client_events", "msg-one"},
+                                 {"client_events", "msg-two"}};
+  ASSERT_TRUE(agg.Receive(batch).ok());
+  EXPECT_EQ(agg.stats().entries_received, 2u);
+  EXPECT_EQ(agg.UnflushedWatermark(), TruncateToHour(kT0));
+
+  agg.RollAll();
+  EXPECT_EQ(agg.UnflushedWatermark(), INT64_MAX);
+  auto files = staging_.ListRecursive("/staging/client_events");
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 1u);
+  EXPECT_NE((*files)[0].path.find("/staging/client_events/2012/08/21/00/"),
+            std::string::npos);
+
+  auto body = staging_.ReadFile((*files)[0].path);
+  ASSERT_TRUE(body.ok());
+  auto raw = Lz::Decompress(*body);
+  ASSERT_TRUE(raw.ok());
+  auto msgs = UnframeMessages(*raw);
+  ASSERT_TRUE(msgs.ok());
+  EXPECT_EQ(*msgs, (std::vector<std::string>{"msg-one", "msg-two"}));
+}
+
+TEST_F(AggregatorTest, PeriodicRollTimerFires) {
+  Aggregator agg(&sim_, &zk_, &staging_, "dc1", "agg0", options_);
+  ASSERT_TRUE(agg.Start().ok());
+  ASSERT_TRUE(agg.Receive({{"cat", "m"}}).ok());
+  sim_.RunUntil(kT0 + 11 * kMillisPerSecond);
+  EXPECT_EQ(agg.stats().files_written, 1u);
+}
+
+TEST_F(AggregatorTest, SizeTriggeredEarlyRoll) {
+  options_.roll_bytes = 100;
+  Aggregator agg(&sim_, &zk_, &staging_, "dc1", "agg0", options_);
+  ASSERT_TRUE(agg.Start().ok());
+  ASSERT_TRUE(agg.Receive({{"cat", std::string(200, 'x')}}).ok());
+  // Roll happened inline, before any timer.
+  EXPECT_EQ(agg.stats().files_written, 1u);
+}
+
+TEST_F(AggregatorTest, CrashDropsBufferAndDeregisters) {
+  Aggregator agg(&sim_, &zk_, &staging_, "dc1", "agg0", options_);
+  ASSERT_TRUE(agg.Start().ok());
+  ASSERT_TRUE(agg.Receive({{"cat", "m1"}, {"cat", "m2"}}).ok());
+  agg.Crash();
+  EXPECT_FALSE(agg.alive());
+  EXPECT_EQ(agg.stats().entries_lost_in_crash, 2u);
+  sim_.Run();  // deliver watch events
+  EXPECT_FALSE(zk_.Exists("/scribe/dc1/aggregators/agg0"));
+  EXPECT_TRUE(agg.Receive({{"cat", "m3"}}).IsUnavailable());
+}
+
+TEST_F(AggregatorTest, RestartAfterCrashReRegisters) {
+  Aggregator agg(&sim_, &zk_, &staging_, "dc1", "agg0", options_);
+  ASSERT_TRUE(agg.Start().ok());
+  agg.Crash();
+  ASSERT_TRUE(agg.Start().ok());
+  EXPECT_TRUE(agg.alive());
+  EXPECT_TRUE(zk_.Exists("/scribe/dc1/aggregators/agg0"));
+  ASSERT_TRUE(agg.Receive({{"cat", "m"}}).ok());
+}
+
+TEST_F(AggregatorTest, HdfsOutageKeepsDataBuffered) {
+  Aggregator agg(&sim_, &zk_, &staging_, "dc1", "agg0", options_);
+  ASSERT_TRUE(agg.Start().ok());
+  ASSERT_TRUE(agg.Receive({{"cat", "m"}}).ok());
+  staging_.SetAvailable(false);
+  agg.RollAll();
+  EXPECT_EQ(agg.stats().files_written, 0u);
+  EXPECT_GE(agg.stats().hdfs_write_failures, 1u);
+  EXPECT_EQ(agg.UnflushedWatermark(), TruncateToHour(kT0));
+  // Recovery: next roll drains the buffer — no data lost.
+  staging_.SetAvailable(true);
+  agg.RollAll();
+  EXPECT_EQ(agg.stats().files_written, 1u);
+  EXPECT_EQ(agg.UnflushedWatermark(), INT64_MAX);
+}
+
+// ---------------------------------------------------------------------------
+// Daemon + failover
+
+class DaemonTest : public ::testing::Test {
+ protected:
+  DaemonTest() : sim_(kT0), zk_(&sim_), staging_(&sim_) {
+    options_.daemon_flush_interval_ms = kMillisPerSecond;
+    options_.daemon_retry_backoff_ms = 2 * kMillisPerSecond;
+  }
+
+  ScribeDaemon MakeDaemon(const std::string& host) {
+    auto resolver = [this](const std::string& name) -> Aggregator* {
+      for (Aggregator* a : aggs_) {
+        if (a->id() == name) return a;
+      }
+      return nullptr;
+    };
+    return ScribeDaemon(&sim_, &zk_, "dc1", host, resolver, Rng(42), options_);
+  }
+
+  Simulator sim_;
+  zk::ZooKeeper zk_;
+  hdfs::MiniHdfs staging_;
+  ScribeOptions options_;
+  std::vector<Aggregator*> aggs_;
+};
+
+TEST_F(DaemonTest, LogsFlowToAggregator) {
+  Aggregator agg(&sim_, &zk_, &staging_, "dc1", "agg0", options_);
+  ASSERT_TRUE(agg.Start().ok());
+  aggs_ = {&agg};
+  ScribeDaemon daemon = MakeDaemon("host0");
+  daemon.Start();
+  daemon.Log("client_events", "hello");
+  daemon.Log("client_events", "world");
+  EXPECT_EQ(daemon.QueuedEntries(), 2u);
+  sim_.RunUntil(kT0 + 2 * kMillisPerSecond);
+  EXPECT_EQ(daemon.QueuedEntries(), 0u);
+  EXPECT_EQ(daemon.stats().entries_sent, 2u);
+  EXPECT_EQ(agg.stats().entries_received, 2u);
+}
+
+TEST_F(DaemonTest, FailoverToSurvivingAggregator) {
+  Aggregator agg0(&sim_, &zk_, &staging_, "dc1", "agg0", options_);
+  Aggregator agg1(&sim_, &zk_, &staging_, "dc1", "agg1", options_);
+  ASSERT_TRUE(agg0.Start().ok());
+  ASSERT_TRUE(agg1.Start().ok());
+  aggs_ = {&agg0, &agg1};
+  ScribeDaemon daemon = MakeDaemon("host0");
+  daemon.Start();
+
+  daemon.Log("cat", "before-crash");
+  sim_.RunUntil(kT0 + 2 * kMillisPerSecond);
+  EXPECT_EQ(daemon.QueuedEntries(), 0u);
+
+  // Kill both; log while dark; restart one; daemon must re-discover.
+  agg0.Crash();
+  agg1.Crash();
+  daemon.Log("cat", "while-dark");
+  sim_.RunUntil(kT0 + 10 * kMillisPerSecond);
+  EXPECT_EQ(daemon.QueuedEntries(), 1u);  // buffered, not lost
+
+  ASSERT_TRUE(agg1.Start().ok());
+  sim_.RunUntil(kT0 + 30 * kMillisPerSecond);
+  EXPECT_EQ(daemon.QueuedEntries(), 0u);
+  EXPECT_EQ(agg1.stats().entries_received, 1u);
+  EXPECT_GE(daemon.stats().rediscoveries, 2u);
+}
+
+TEST_F(DaemonTest, BufferLimitDropsOldest) {
+  options_.daemon_buffer_limit_bytes = 100;
+  ScribeDaemon daemon = MakeDaemon("host0");  // no aggregators at all
+  daemon.Start();
+  for (int i = 0; i < 10; ++i) {
+    daemon.Log("cat", std::string(30, 'x'));
+  }
+  EXPECT_GT(daemon.stats().entries_dropped, 0u);
+  EXPECT_LE(daemon.QueuedEntries() * 30, 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Log mover
+
+class LogMoverTest : public ::testing::Test {
+ protected:
+  LogMoverTest() : sim_(kT0), zk_(&sim_), warehouse_(&sim_) {
+    scribe_options_.roll_interval_ms = 10 * kMillisPerSecond;
+    mover_options_.run_interval_ms = kMillisPerMinute;
+    mover_options_.grace_ms = kMillisPerMinute;
+  }
+
+  Simulator sim_;
+  zk::ZooKeeper zk_;
+  hdfs::MiniHdfs warehouse_;
+  ScribeOptions scribe_options_;
+  LogMoverOptions mover_options_;
+};
+
+TEST_F(LogMoverTest, MovesClosedHourAcrossDatacenters) {
+  hdfs::MiniHdfs staging1(&sim_), staging2(&sim_);
+  Aggregator agg1(&sim_, &zk_, &staging1, "dc1", "a1", scribe_options_);
+  Aggregator agg2(&sim_, &zk_, &staging2, "dc2", "a2", scribe_options_);
+  ASSERT_TRUE(agg1.Start().ok());
+  ASSERT_TRUE(agg2.Start().ok());
+  std::vector<Aggregator*> dc1 = {&agg1}, dc2 = {&agg2};
+  LogMover mover(&sim_,
+                 {DatacenterHandle{"dc1", &staging1, &dc1},
+                  DatacenterHandle{"dc2", &staging2, &dc2}},
+                 &warehouse_, mover_options_);
+  mover.Start(kT0);
+
+  ASSERT_TRUE(agg1.Receive({{"client_events", "from-dc1-a"},
+                            {"client_events", "from-dc1-b"}})
+                  .ok());
+  ASSERT_TRUE(agg2.Receive({{"client_events", "from-dc2"}}).ok());
+  agg1.RollAll();
+  agg2.RollAll();
+
+  // Run past the hour close + grace; the mover should slide the hour.
+  sim_.RunUntil(kT0 + kMillisPerHour + 3 * kMillisPerMinute);
+  std::string dir = "/logs/client_events/2012/08/21/00";
+  ASSERT_TRUE(warehouse_.Exists(dir));
+  auto files = warehouse_.ListRecursive(dir);
+  ASSERT_TRUE(files.ok());
+  ASSERT_GE(files->size(), 1u);
+
+  // All three messages present after decompress+unframe.
+  std::vector<std::string> all;
+  for (const auto& f : *files) {
+    auto body = warehouse_.ReadFile(f.path);
+    ASSERT_TRUE(body.ok());
+    auto raw = Lz::Decompress(*body);
+    ASSERT_TRUE(raw.ok());
+    auto msgs = UnframeMessages(*raw);
+    ASSERT_TRUE(msgs.ok());
+    for (auto& m : *msgs) all.push_back(std::move(m));
+  }
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(mover.stats().messages_moved, 3u);
+  EXPECT_EQ(mover.stats().hours_moved, 1u);
+
+  // Staging is cleaned up.
+  EXPECT_FALSE(staging1.Exists("/staging/client_events/2012/08/21/00"));
+  EXPECT_FALSE(staging2.Exists("/staging/client_events/2012/08/21/00"));
+}
+
+TEST_F(LogMoverTest, BarrierWaitsForUnflushedAggregator) {
+  hdfs::MiniHdfs staging1(&sim_);
+  Aggregator agg(&sim_, &zk_, &staging1, "dc1", "a1", scribe_options_);
+  ASSERT_TRUE(agg.Start().ok());
+  std::vector<Aggregator*> dc1 = {&agg};
+  LogMover mover(&sim_, {DatacenterHandle{"dc1", &staging1, &dc1}},
+                 &warehouse_, mover_options_);
+  mover.Start(kT0);
+
+  // Simulate an HDFS outage so the periodic roll cannot flush: data for
+  // hour 0 stays buffered past the hour boundary.
+  ASSERT_TRUE(agg.Receive({{"cat", "stuck"}}).ok());
+  staging1.SetAvailable(false);
+  sim_.RunUntil(kT0 + kMillisPerHour + 10 * kMillisPerMinute);
+  EXPECT_EQ(mover.next_hour(), TruncateToHour(kT0));  // barrier holds
+
+  // Outage ends; aggregator flushes on its timer; mover advances.
+  staging1.SetAvailable(true);
+  sim_.RunUntil(kT0 + kMillisPerHour + 20 * kMillisPerMinute);
+  EXPECT_GT(mover.next_hour(), TruncateToHour(kT0));
+  EXPECT_TRUE(warehouse_.Exists("/logs/cat/2012/08/21/00"));
+}
+
+TEST_F(LogMoverTest, CorruptStagingFileSkippedNotFatal) {
+  hdfs::MiniHdfs staging1(&sim_);
+  std::vector<Aggregator*> none;
+  LogMover mover(&sim_, {DatacenterHandle{"dc1", &staging1, &none}},
+                 &warehouse_, mover_options_);
+  mover.Start(kT0);
+
+  // One good file, one garbage file.
+  std::string good = Lz::Compress(FrameMessages({"ok-message"}));
+  ASSERT_TRUE(
+      staging1.WriteFile("/staging/cat/2012/08/21/00/good", good).ok());
+  ASSERT_TRUE(
+      staging1.WriteFile("/staging/cat/2012/08/21/00/bad", "garbage!").ok());
+  sim_.RunUntil(kT0 + kMillisPerHour + 3 * kMillisPerMinute);
+  EXPECT_TRUE(warehouse_.Exists("/logs/cat/2012/08/21/00"));
+  EXPECT_EQ(mover.stats().messages_moved, 1u);
+  EXPECT_EQ(mover.stats().corrupt_files_skipped, 1u);
+}
+
+TEST_F(LogMoverTest, MergesManySmallFilesIntoFew) {
+  hdfs::MiniHdfs staging1(&sim_);
+  std::vector<Aggregator*> none;
+  mover_options_.target_file_bytes = 1 << 20;
+  LogMover mover(&sim_, {DatacenterHandle{"dc1", &staging1, &none}},
+                 &warehouse_, mover_options_);
+  mover.Start(kT0);
+  for (int i = 0; i < 40; ++i) {
+    std::string body =
+        Lz::Compress(FrameMessages({"m" + std::to_string(i)}));
+    ASSERT_TRUE(staging1
+                    .WriteFile("/staging/cat/2012/08/21/00/f" +
+                                   std::to_string(i),
+                               body)
+                    .ok());
+  }
+  sim_.RunUntil(kT0 + kMillisPerHour + 3 * kMillisPerMinute);
+  auto files = warehouse_.ListRecursive("/logs/cat/2012/08/21/00");
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 1u);  // 40 small files → 1 big file
+  EXPECT_EQ(mover.stats().staging_files_read, 40u);
+  EXPECT_EQ(mover.stats().messages_moved, 40u);
+}
+
+// ---------------------------------------------------------------------------
+// Full cluster integration
+
+TEST(ScribeClusterTest, EndToEndDeliveryConservation) {
+  Simulator sim(kT0);
+  ClusterTopology topo;
+  topo.datacenters = {"dc1", "dc2"};
+  topo.aggregators_per_dc = 2;
+  topo.daemons_per_dc = 4;
+  ScribeOptions sopts;
+  sopts.roll_interval_ms = 30 * kMillisPerSecond;
+  LogMoverOptions mopts;
+  mopts.run_interval_ms = 2 * kMillisPerMinute;
+  mopts.grace_ms = kMillisPerMinute;
+  ScribeCluster cluster(&sim, topo, sopts, mopts, /*seed=*/7);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  // Produce traffic for 90 minutes of virtual time.
+  const int kMessages = 2000;
+  for (int i = 0; i < kMessages; ++i) {
+    TimeMs at = kT0 + (i * 90 * kMillisPerMinute) / kMessages;
+    size_t dc = i % 2;
+    sim.At(at, [&cluster, dc, i]() {
+      cluster.Log(dc, LogEntry{"client_events", "m" + std::to_string(i)});
+    });
+  }
+  // Run long enough for hour 0 to be moved (closed at +60m, grace +1m).
+  sim.RunUntil(kT0 + 2 * kMillisPerHour + 10 * kMillisPerMinute);
+
+  ClusterStats stats = cluster.TotalStats();
+  EXPECT_EQ(stats.entries_logged, static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(stats.entries_dropped_at_daemons, 0u);
+  EXPECT_EQ(stats.entries_lost_in_crashes, 0u);
+  // Hour 0 (two-thirds of the messages) must be in the warehouse.
+  EXPECT_TRUE(cluster.warehouse()->Exists("/logs/client_events/2012/08/21/00"));
+  EXPECT_GT(stats.messages_in_warehouse, 0u);
+}
+
+TEST(ScribeClusterTest, AggregatorCrashCausesBoundedLossOnly) {
+  Simulator sim(kT0);
+  ClusterTopology topo;
+  topo.datacenters = {"dc1"};
+  topo.aggregators_per_dc = 2;
+  topo.daemons_per_dc = 3;
+  ScribeOptions sopts;
+  sopts.roll_interval_ms = 20 * kMillisPerSecond;
+  LogMoverOptions mopts;
+  mopts.run_interval_ms = 2 * kMillisPerMinute;
+  ScribeCluster cluster(&sim, topo, sopts, mopts, /*seed=*/11);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const int kMessages = 1000;
+  for (int i = 0; i < kMessages; ++i) {
+    TimeMs at = kT0 + (i * 40 * kMillisPerMinute) / kMessages;
+    sim.At(at, [&cluster, i]() {
+      cluster.Log(0, LogEntry{"client_events", "m" + std::to_string(i)});
+    });
+  }
+  // Crash one aggregator mid-stream; restart it later.
+  sim.At(kT0 + 15 * kMillisPerMinute, [&]() { cluster.CrashAggregator(0, 0); });
+  sim.At(kT0 + 25 * kMillisPerMinute,
+         [&]() { ASSERT_TRUE(cluster.RestartAggregator(0, 0).ok()); });
+  sim.RunUntil(kT0 + 2 * kMillisPerHour);
+
+  ClusterStats stats = cluster.TotalStats();
+  EXPECT_EQ(stats.entries_logged, static_cast<uint64_t>(kMessages));
+  // Loss is bounded by one roll interval's worth of buffered messages.
+  EXPECT_LT(stats.entries_lost_in_crashes, 300u);
+  // Delivered messages = logged - crash loss (hour 0 fully moved).
+  EXPECT_EQ(stats.messages_in_warehouse,
+            stats.entries_logged - stats.entries_lost_in_crashes);
+  // Daemons noticed and re-discovered.
+  EXPECT_GE(stats.daemon_rediscoveries, 1u);
+}
+
+TEST(ScribeClusterTest, StagingOutageDelaysButDoesNotLose) {
+  Simulator sim(kT0);
+  ClusterTopology topo;
+  topo.datacenters = {"dc1"};
+  topo.aggregators_per_dc = 1;
+  topo.daemons_per_dc = 2;
+  ScribeOptions sopts;
+  sopts.roll_interval_ms = 20 * kMillisPerSecond;
+  LogMoverOptions mopts;
+  mopts.run_interval_ms = 2 * kMillisPerMinute;
+  ScribeCluster cluster(&sim, topo, sopts, mopts, /*seed=*/13);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  const int kMessages = 500;
+  for (int i = 0; i < kMessages; ++i) {
+    TimeMs at = kT0 + (i * 50 * kMillisPerMinute) / kMessages;
+    sim.At(at, [&cluster, i]() {
+      cluster.Log(0, LogEntry{"client_events", "m" + std::to_string(i)});
+    });
+  }
+  // 20-minute staging outage in the middle of the hour.
+  sim.At(kT0 + 10 * kMillisPerMinute,
+         [&]() { cluster.SetStagingAvailable(0, false); });
+  sim.At(kT0 + 30 * kMillisPerMinute,
+         [&]() { cluster.SetStagingAvailable(0, true); });
+  sim.RunUntil(kT0 + 2 * kMillisPerHour);
+
+  ClusterStats stats = cluster.TotalStats();
+  EXPECT_EQ(stats.entries_logged, static_cast<uint64_t>(kMessages));
+  EXPECT_EQ(stats.entries_lost_in_crashes, 0u);
+  EXPECT_EQ(stats.messages_in_warehouse, static_cast<uint64_t>(kMessages));
+}
+
+TEST(ScribeClusterTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulator sim(kT0);
+    ClusterTopology topo;
+    topo.datacenters = {"dc1", "dc2"};
+    ScribeCluster cluster(&sim, topo, ScribeOptions{}, LogMoverOptions{},
+                          seed);
+    EXPECT_TRUE(cluster.Start().ok());
+    for (int i = 0; i < 200; ++i) {
+      TimeMs at = kT0 + i * 500;
+      size_t dc = i % 2;
+      sim.At(at, [&cluster, dc, i]() {
+        cluster.Log(dc, LogEntry{"cat", "m" + std::to_string(i)});
+      });
+    }
+    sim.RunUntil(kT0 + 90 * kMillisPerMinute);
+    ClusterStats s = cluster.TotalStats();
+    return std::make_tuple(s.entries_logged, s.messages_in_warehouse,
+                           sim.EventsProcessed());
+  };
+  EXPECT_EQ(run(99), run(99));
+}
+
+}  // namespace
+}  // namespace unilog::scribe

@@ -1,0 +1,248 @@
+// Tests for the synthetic workload: view hierarchy, user population, event
+// generation, ground truth, and the statistical properties downstream
+// experiments rely on.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "events/event_name.h"
+#include "workload/generator.h"
+#include "workload/hierarchy.h"
+
+namespace unilog::workload {
+namespace {
+
+constexpr TimeMs kDay = 1345507200000;  // 2012-08-21
+
+TEST(ViewHierarchyTest, AllNamesAreValidSixLevelNames) {
+  ViewHierarchy h = ViewHierarchy::TwitterLike();
+  ASSERT_GT(h.size(), 100u);
+  for (const auto& name : h.event_names()) {
+    auto parsed = events::EventName::Parse(name);
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status().ToString();
+  }
+}
+
+TEST(ViewHierarchyTest, NamesAreUnique) {
+  ViewHierarchy h = ViewHierarchy::TwitterLike();
+  std::set<std::string> unique(h.event_names().begin(),
+                               h.event_names().end());
+  EXPECT_EQ(unique.size(), h.size());
+}
+
+TEST(ViewHierarchyTest, EveryClientHasSameLogicalSurfaces) {
+  // §3.2: events of the same type across clients get the same name modulo
+  // the client component.
+  ViewHierarchy h = ViewHierarchy::TwitterLike();
+  auto web = h.NamesForClient("web");
+  auto iphone = h.NamesForClient("iphone");
+  ASSERT_EQ(web.size(), iphone.size());
+  std::set<std::string> web_suffixes, iphone_suffixes;
+  for (const auto& n : web) web_suffixes.insert(n.substr(n.find(':')));
+  for (const auto& n : iphone) iphone_suffixes.insert(n.substr(n.find(':')));
+  EXPECT_EQ(web_suffixes, iphone_suffixes);
+}
+
+TEST(ViewHierarchyTest, ScaleGrowsUniverse) {
+  EXPECT_GT(ViewHierarchy::TwitterLike(3).size(),
+            2 * ViewHierarchy::TwitterLike(1).size());
+}
+
+TEST(ViewHierarchyTest, SignupStagesExist) {
+  ViewHierarchy h = ViewHierarchy::TwitterLike();
+  std::string stage0 = ViewHierarchy::SignupStageEvent("web", 0);
+  EXPECT_EQ(stage0, "web:signup:flow:form:page:stage_00");
+  std::set<std::string> names(h.event_names().begin(), h.event_names().end());
+  for (int s = 0; s < ViewHierarchy::kSignupStages; ++s) {
+    EXPECT_TRUE(names.count(ViewHierarchy::SignupStageEvent("iphone", s)));
+  }
+}
+
+TEST(ViewHierarchyTest, FollowUpsArePlanted) {
+  ViewHierarchy h = ViewHierarchy::TwitterLike();
+  // impression → click on the home timeline tweet surface.
+  std::string imp = "web:home:timeline:stream:tweet:impression";
+  const std::string* follow = h.FollowUpOf(imp);
+  ASSERT_NE(follow, nullptr);
+  EXPECT_EQ(*follow, "web:home:timeline:stream:tweet:click");
+  // Terminal actions have no follow-up.
+  EXPECT_EQ(h.FollowUpOf("web:home:timeline:stream:tweet:favorite"), nullptr);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  static WorkloadOptions SmallOptions() {
+    WorkloadOptions opts;
+    opts.seed = 7;
+    opts.num_users = 100;
+    opts.start = kDay;
+    opts.duration = kMillisPerDay;
+    opts.sessions_per_user_mean = 1.5;
+    opts.events_per_session_mean = 12;
+    return opts;
+  }
+};
+
+TEST_F(GeneratorTest, UsersHavePlausibleAttributes) {
+  WorkloadGenerator gen(SmallOptions());
+  ASSERT_EQ(gen.users().size(), 100u);
+  std::set<std::string> countries, clients;
+  for (const auto& u : gen.users()) {
+    countries.insert(u.country);
+    clients.insert(u.client);
+    EXPECT_GE(u.user_id, 1000000);
+    EXPECT_FALSE(u.ip.empty());
+    EXPECT_GT(u.activity, 0);
+  }
+  EXPECT_GE(countries.size(), 3u);
+  EXPECT_GE(clients.size(), 2u);
+  EXPECT_NE(gen.FindUser(1000000), nullptr);
+  EXPECT_EQ(gen.FindUser(999), nullptr);
+}
+
+TEST_F(GeneratorTest, EventsSortedValidAndInWindow) {
+  WorkloadGenerator gen(SmallOptions());
+  TimeMs last = 0;
+  uint64_t count = 0;
+  ASSERT_TRUE(gen.Generate([&](const events::ClientEvent& ev) {
+    EXPECT_GE(ev.timestamp, last);
+    last = ev.timestamp;
+    EXPECT_GE(ev.timestamp, kDay);
+    EXPECT_LT(ev.timestamp, kDay + kMillisPerDay);
+    EXPECT_TRUE(events::EventName::Parse(ev.event_name).ok()) << ev.event_name;
+    EXPECT_FALSE(ev.session_id.empty());
+    ++count;
+  }).ok());
+  EXPECT_GT(count, 500u);
+  EXPECT_EQ(count, gen.truth().total_events);
+}
+
+TEST_F(GeneratorTest, GenerateTwiceFails) {
+  WorkloadGenerator gen(SmallOptions());
+  ASSERT_TRUE(gen.Generate([](const events::ClientEvent&) {}).ok());
+  EXPECT_TRUE(
+      gen.Generate([](const events::ClientEvent&) {}).IsFailedPrecondition());
+}
+
+TEST_F(GeneratorTest, DeterministicForSeed) {
+  auto run = [](uint64_t seed) {
+    WorkloadOptions opts = SmallOptions();
+    opts.seed = seed;
+    WorkloadGenerator gen(opts);
+    std::vector<std::string> fingerprint;
+    EXPECT_TRUE(gen.Generate([&](const events::ClientEvent& ev) {
+      fingerprint.push_back(std::to_string(ev.user_id) + ev.event_name +
+                            std::to_string(ev.timestamp));
+    }).ok());
+    return fingerprint;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST_F(GeneratorTest, GroundTruthConsistent) {
+  WorkloadGenerator gen(SmallOptions());
+  std::map<std::string, uint64_t> observed;
+  ASSERT_TRUE(gen.Generate([&](const events::ClientEvent& ev) {
+    ++observed[ev.event_name];
+  }).ok());
+  const GroundTruth& truth = gen.truth();
+  EXPECT_EQ(observed, truth.event_counts);
+  uint64_t session_total = 0;
+  for (const auto& [client, n] : truth.sessions_per_client) session_total += n;
+  EXPECT_EQ(session_total, truth.total_sessions);
+}
+
+TEST_F(GeneratorTest, FunnelStageCountsMonotoneDecreasing) {
+  WorkloadOptions opts = SmallOptions();
+  opts.num_users = 400;
+  opts.signup_session_fraction = 0.5;  // lots of funnel traffic
+  WorkloadGenerator gen(opts);
+  ASSERT_TRUE(gen.Generate([](const events::ClientEvent&) {}).ok());
+  const auto& stages = gen.truth().funnel_stage_sessions;
+  ASSERT_EQ(stages.size(),
+            static_cast<size_t>(ViewHierarchy::kSignupStages));
+  EXPECT_GT(stages[0], 50u);
+  for (size_t i = 1; i < stages.size(); ++i) {
+    EXPECT_LE(stages[i], stages[i - 1]) << "stage " << i;
+  }
+  // With continue probs {.75,.65,.8,.6} stage4/stage0 ≈ 23%.
+  double completion = static_cast<double>(stages.back()) /
+                      static_cast<double>(stages[0]);
+  EXPECT_GT(completion, 0.10);
+  EXPECT_LT(completion, 0.40);
+}
+
+TEST_F(GeneratorTest, EventPopularityIsSkewed) {
+  WorkloadOptions opts = SmallOptions();
+  opts.num_users = 300;
+  WorkloadGenerator gen(opts);
+  ASSERT_TRUE(gen.Generate([](const events::ClientEvent&) {}).ok());
+  std::vector<uint64_t> counts;
+  for (const auto& [name, n] : gen.truth().event_counts) {
+    counts.push_back(n);
+  }
+  std::sort(counts.rbegin(), counts.rend());
+  ASSERT_GT(counts.size(), 20u);
+  // Top decile carries a large share of the mass (Zipf skew).
+  uint64_t total = 0, head = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    total += counts[i];
+    if (i < counts.size() / 10) head += counts[i];
+  }
+  EXPECT_GT(static_cast<double>(head) / static_cast<double>(total), 0.3);
+}
+
+TEST_F(GeneratorTest, SessionsSeparableByThirtyMinuteGap) {
+  // Within one generated session, consecutive events are < 30 min apart
+  // (so sessionization recovers exactly the generated sessions).
+  WorkloadGenerator gen(SmallOptions());
+  std::map<std::string, TimeMs> last_seen;
+  ASSERT_TRUE(gen.Generate([&](const events::ClientEvent& ev) {
+    std::string key = std::to_string(ev.user_id) + "|" + ev.session_id;
+    auto it = last_seen.find(key);
+    if (it != last_seen.end()) {
+      EXPECT_LE(ev.timestamp - it->second, kSessionInactivityGapMs)
+          << key;
+    }
+    last_seen[key] = ev.timestamp;
+  }).ok());
+}
+
+TEST_F(GeneratorTest, FollowUpCorrelationPresent) {
+  // P(click | preceding impression on same surface) should be visibly
+  // larger than the base rate of that click — the signal E9/E10 detect.
+  WorkloadOptions opts = SmallOptions();
+  opts.num_users = 400;
+  WorkloadGenerator gen(opts);
+  const std::string imp = "web:home:timeline:stream:tweet:impression";
+  const std::string click = "web:home:timeline:stream:tweet:click";
+  std::map<std::string, std::string> prev_by_session;
+  uint64_t imp_then_click = 0, imp_then_other = 0, total = 0, clicks = 0;
+  ASSERT_TRUE(gen.Generate([&](const events::ClientEvent& ev) {
+    std::string key = std::to_string(ev.user_id) + "|" + ev.session_id;
+    auto it = prev_by_session.find(key);
+    if (it != prev_by_session.end() && it->second == imp) {
+      if (ev.event_name == click) {
+        ++imp_then_click;
+      } else {
+        ++imp_then_other;
+      }
+    }
+    if (ev.event_name == click) ++clicks;
+    ++total;
+    prev_by_session[key] = ev.event_name;
+  }).ok());
+  ASSERT_GT(imp_then_click + imp_then_other, 20u);
+  double p_follow = static_cast<double>(imp_then_click) /
+                    static_cast<double>(imp_then_click + imp_then_other);
+  double base_rate = static_cast<double>(clicks) / static_cast<double>(total);
+  EXPECT_GT(p_follow, 5 * base_rate);
+}
+
+}  // namespace
+}  // namespace unilog::workload

@@ -1,0 +1,232 @@
+// Unit tests for the ZooKeeper-style coordination service, focused on the
+// semantics the Scribe infrastructure depends on: ephemeral registration,
+// session expiry, and one-shot watches (§2 of the paper).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "zk/zookeeper.h"
+
+namespace unilog::zk {
+namespace {
+
+TEST(ZooKeeperTest, RootExists) {
+  ZooKeeper zk;
+  EXPECT_TRUE(zk.Exists("/"));
+  EXPECT_EQ(zk.znode_count(), 1u);
+}
+
+TEST(ZooKeeperTest, CreateGetSetDelete) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  auto created = zk.Create(s, "/config", "v1", CreateMode::kPersistent);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(*created, "/config");
+  EXPECT_EQ(zk.GetData("/config").value(), "v1");
+
+  ASSERT_TRUE(zk.SetData(s, "/config", "v2").ok());
+  EXPECT_EQ(zk.GetData("/config").value(), "v2");
+  EXPECT_EQ(zk.Stat("/config")->version, 1);
+
+  ASSERT_TRUE(zk.Delete(s, "/config").ok());
+  EXPECT_FALSE(zk.Exists("/config"));
+}
+
+TEST(ZooKeeperTest, PathValidation) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  EXPECT_TRUE(zk.Create(s, "noslash", "", CreateMode::kPersistent)
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(zk.Create(s, "/trailing/", "", CreateMode::kPersistent)
+                  .status().IsInvalidArgument());
+  EXPECT_TRUE(zk.Create(s, "/a//b", "", CreateMode::kPersistent)
+                  .status().IsInvalidArgument());
+}
+
+TEST(ZooKeeperTest, ParentMustExist) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  EXPECT_TRUE(zk.Create(s, "/a/b", "", CreateMode::kPersistent)
+                  .status().IsNotFound());
+  ASSERT_TRUE(zk.Create(s, "/a", "", CreateMode::kPersistent).ok());
+  EXPECT_TRUE(zk.Create(s, "/a/b", "", CreateMode::kPersistent).ok());
+}
+
+TEST(ZooKeeperTest, DuplicateCreateFails) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(s, "/x", "", CreateMode::kPersistent).ok());
+  EXPECT_TRUE(zk.Create(s, "/x", "", CreateMode::kPersistent)
+                  .status().IsAlreadyExists());
+}
+
+TEST(ZooKeeperTest, DeleteWithChildrenFails) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(s, "/a", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(zk.Create(s, "/a/b", "", CreateMode::kPersistent).ok());
+  EXPECT_TRUE(zk.Delete(s, "/a").IsFailedPrecondition());
+  ASSERT_TRUE(zk.Delete(s, "/a/b").ok());
+  EXPECT_TRUE(zk.Delete(s, "/a").ok());
+}
+
+TEST(ZooKeeperTest, GetChildrenSorted) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(s, "/agg", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(zk.Create(s, "/agg/c", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(zk.Create(s, "/agg/a", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(zk.Create(s, "/agg/b", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(zk.Create(s, "/agg/a/nested", "", CreateMode::kPersistent).ok());
+  auto children = zk.GetChildren("/agg");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, (std::vector<std::string>{"a", "b", "c"}));
+  // Nested nodes are not direct children.
+  auto root_children = zk.GetChildren("/");
+  ASSERT_TRUE(root_children.ok());
+  EXPECT_EQ(*root_children, std::vector<std::string>{"agg"});
+}
+
+TEST(ZooKeeperTest, SequentialNodesGetIncreasingSuffixes) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(s, "/q", "", CreateMode::kPersistent).ok());
+  auto a = zk.Create(s, "/q/item-", "", CreateMode::kPersistentSequential);
+  auto b = zk.Create(s, "/q/item-", "", CreateMode::kPersistentSequential);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, "/q/item-0000000000");
+  EXPECT_EQ(*b, "/q/item-0000000001");
+  EXPECT_LT(*a, *b);
+}
+
+TEST(ZooKeeperTest, EphemeralNodesDieWithSession) {
+  ZooKeeper zk;
+  SessionId daemon = zk.CreateSession();
+  SessionId agg = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(daemon, "/aggregators", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(
+      zk.Create(agg, "/aggregators/agg1", "host1:1463", CreateMode::kEphemeral)
+          .ok());
+  EXPECT_TRUE(zk.Exists("/aggregators/agg1"));
+  EXPECT_EQ(zk.Stat("/aggregators/agg1")->ephemeral_owner, agg);
+
+  // Aggregator crashes → session expires → ephemeral node disappears (§2).
+  ASSERT_TRUE(zk.CloseSession(agg).ok());
+  EXPECT_FALSE(zk.Exists("/aggregators/agg1"));
+  // Persistent parent survives.
+  EXPECT_TRUE(zk.Exists("/aggregators"));
+}
+
+TEST(ZooKeeperTest, EphemeralCannotHaveChildren) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(s, "/e", "", CreateMode::kEphemeral).ok());
+  EXPECT_TRUE(zk.Create(s, "/e/child", "", CreateMode::kPersistent)
+                  .status().IsFailedPrecondition());
+}
+
+TEST(ZooKeeperTest, ClosedSessionRejected) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  ASSERT_TRUE(zk.CloseSession(s).ok());
+  EXPECT_FALSE(zk.SessionAlive(s));
+  EXPECT_TRUE(zk.Create(s, "/x", "", CreateMode::kPersistent)
+                  .status().IsFailedPrecondition());
+  EXPECT_TRUE(zk.CloseSession(s).IsNotFound());
+}
+
+TEST(ZooKeeperTest, ExistsWatchFiresOnceOnCreate) {
+  ZooKeeper zk;  // synchronous watches (no simulator)
+  SessionId s = zk.CreateSession();
+  std::vector<std::string> fired;
+  zk.WatchExists("/new", [&](WatchEvent ev, const std::string& path) {
+    fired.push_back(std::string(WatchEventName(ev)) + ":" + path);
+  });
+  ASSERT_TRUE(zk.Create(s, "/new", "", CreateMode::kPersistent).ok());
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], "created:/new");
+  // One-shot: a second change does not re-fire.
+  ASSERT_TRUE(zk.Delete(s, "/new").ok());
+  EXPECT_EQ(fired.size(), 1u);
+}
+
+TEST(ZooKeeperTest, ChildrenWatchFiresOnMembershipChange) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(s, "/agg", "", CreateMode::kPersistent).ok());
+  int fires = 0;
+  zk.WatchChildren("/agg", [&](WatchEvent ev, const std::string&) {
+    EXPECT_EQ(ev, WatchEvent::kChildrenChanged);
+    ++fires;
+  });
+  ASSERT_TRUE(zk.Create(s, "/agg/a", "", CreateMode::kEphemeral).ok());
+  EXPECT_EQ(fires, 1);
+  // Re-arm, then delete.
+  zk.WatchChildren("/agg", [&](WatchEvent, const std::string&) { ++fires; });
+  ASSERT_TRUE(zk.Delete(s, "/agg/a").ok());
+  EXPECT_EQ(fires, 2);
+}
+
+TEST(ZooKeeperTest, DataWatchFiresOnSetAndDelete) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(s, "/d", "v0", CreateMode::kPersistent).ok());
+  std::vector<WatchEvent> events;
+  zk.WatchData("/d", [&](WatchEvent ev, const std::string&) {
+    events.push_back(ev);
+  });
+  ASSERT_TRUE(zk.SetData(s, "/d", "v1").ok());
+  zk.WatchData("/d", [&](WatchEvent ev, const std::string&) {
+    events.push_back(ev);
+  });
+  ASSERT_TRUE(zk.Delete(s, "/d").ok());
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], WatchEvent::kDataChanged);
+  EXPECT_EQ(events[1], WatchEvent::kDeleted);
+}
+
+TEST(ZooKeeperTest, SessionExpiryFiresWatches) {
+  // This is the re-discovery mechanism: daemons watch the aggregator
+  // registry; when an aggregator's session dies, the children watch fires
+  // and daemons re-consult the registry.
+  Simulator sim;
+  ZooKeeper zk(&sim);
+  SessionId agg = zk.CreateSession();
+  SessionId daemon = zk.CreateSession();
+  ASSERT_TRUE(
+      zk.Create(daemon, "/aggregators", "", CreateMode::kPersistent).ok());
+  ASSERT_TRUE(
+      zk.Create(agg, "/aggregators/a1", "h1", CreateMode::kEphemeral).ok());
+  sim.Run();
+
+  bool notified = false;
+  zk.WatchChildren("/aggregators", [&](WatchEvent, const std::string&) {
+    notified = true;
+    auto children = zk.GetChildren("/aggregators");
+    ASSERT_TRUE(children.ok());
+    EXPECT_TRUE(children->empty());
+  });
+  ASSERT_TRUE(zk.CloseSession(agg).ok());
+  EXPECT_FALSE(notified);  // deferred onto the virtual clock
+  sim.Run();
+  EXPECT_TRUE(notified);
+  EXPECT_GE(zk.watch_fires(), 1u);
+}
+
+TEST(ZooKeeperTest, EphemeralSequentialCombines) {
+  ZooKeeper zk;
+  SessionId s = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(s, "/members", "", CreateMode::kPersistent).ok());
+  auto a = zk.Create(s, "/members/m-", "", CreateMode::kEphemeralSequential);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(zk.Stat(*a)->ephemeral_owner, s);
+  ASSERT_TRUE(zk.CloseSession(s).ok());
+  EXPECT_FALSE(zk.Exists(*a));
+}
+
+}  // namespace
+}  // namespace unilog::zk
