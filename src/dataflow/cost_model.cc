@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "obs/metrics.h"
+
 namespace unilog::dataflow {
 
 void JobStats::Accumulate(const JobStats& other) {
@@ -64,6 +66,24 @@ double ModelWallTimeMs(const JobCostModel& model, const JobStats& stats) {
                 shuffle_parallel;
   }
   return map_ms + reduce_ms;
+}
+
+void PublishJobStats(obs::MetricsRegistry* metrics, const std::string& job,
+                     const JobStats& stats) {
+  obs::Labels labels{{"job", job}};
+  metrics->GetCounter("job.runs", labels)->Increment();
+  metrics->GetCounter("job.map_tasks", labels)->Increment(stats.map_tasks);
+  metrics->GetCounter("job.reduce_tasks", labels)
+      ->Increment(stats.reduce_tasks);
+  metrics->GetCounter("job.bytes_scanned", labels)
+      ->Increment(stats.bytes_scanned);
+  metrics->GetCounter("job.bytes_shuffled", labels)
+      ->Increment(stats.bytes_shuffled);
+  metrics->GetCounter("job.records_read", labels)
+      ->Increment(stats.records_read);
+  metrics->GetCounter("job.records_output", labels)
+      ->Increment(stats.records_output);
+  metrics->GetHistogram("job.modeled_ms", labels)->Observe(stats.modeled_ms);
 }
 
 }  // namespace unilog::dataflow

@@ -4,6 +4,10 @@
 #include <cstdint>
 #include <string>
 
+namespace unilog::obs {
+class MetricsRegistry;
+}  // namespace unilog::obs
+
 namespace unilog::dataflow {
 
 /// The Hadoop-shaped cost model behind the paper's performance argument.
@@ -48,6 +52,12 @@ struct JobStats {
 /// reduce waves run task_count/slots rounds, each charged startup plus its
 /// share of scan/shuffle bytes.
 double ModelWallTimeMs(const JobCostModel& model, const JobStats& stats);
+
+/// Publishes one job run into the unified registry as job.*{job=<name>}
+/// counters plus a job.modeled_ms histogram, so daily-pipeline runs show
+/// up in the same report as the delivery path.
+void PublishJobStats(obs::MetricsRegistry* metrics, const std::string& job,
+                     const JobStats& stats);
 
 }  // namespace unilog::dataflow
 

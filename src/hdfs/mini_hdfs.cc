@@ -6,9 +6,23 @@
 
 namespace unilog::hdfs {
 
-MiniHdfs::MiniHdfs(Simulator* sim, HdfsOptions options)
+MiniHdfs::MiniHdfs(Simulator* sim, HdfsOptions options,
+                   obs::MetricsRegistry* metrics, std::string instance)
     : sim_(sim), options_(options) {
   nodes_["/"] = Node{/*is_dir=*/true, "", 0};
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(sim_);
+    metrics = owned_metrics_.get();
+  }
+  obs::Labels labels{{"fs", std::move(instance)}};
+  bytes_read_ = metrics->GetCounter("hdfs.bytes_read", labels);
+  bytes_written_ = metrics->GetCounter("hdfs.bytes_written", labels);
+  files_created_ = metrics->GetCounter("hdfs.files_created", labels);
+  files_deleted_ = metrics->GetCounter("hdfs.files_deleted", labels);
+  unavailable_rejections_ =
+      metrics->GetCounter("hdfs.unavailable_rejections", labels);
+  file_count_gauge_ = metrics->GetGauge("hdfs.file_count", labels);
+  file_bytes_gauge_ = metrics->GetGauge("hdfs.file_bytes", labels);
 }
 
 Status MiniHdfs::ValidatePath(const std::string& path) {
@@ -31,7 +45,10 @@ std::string MiniHdfs::ParentOf(const std::string& path) {
 }
 
 Status MiniHdfs::CheckAvailable() const {
-  if (!available_) return Status::Unavailable("HDFS outage");
+  if (!available_) {
+    unavailable_rejections_->Increment();
+    return Status::Unavailable("HDFS outage");
+  }
   return Status::OK();
 }
 
@@ -62,9 +79,10 @@ Status MiniHdfs::WriteFile(const std::string& path, std::string_view content) {
   }
   UNILOG_RETURN_NOT_OK(Mkdirs(ParentOf(path)));
   nodes_[path] = Node{/*is_dir=*/false, std::string(content), Now()};
-  total_file_bytes_ += content.size();
-  bytes_written_ += content.size();
-  ++file_count_;
+  bytes_written_->Increment(content.size());
+  files_created_->Increment();
+  file_bytes_gauge_->Add(static_cast<int64_t>(content.size()));
+  file_count_gauge_->Add(1);
   return Status::OK();
 }
 
@@ -81,8 +99,8 @@ Status MiniHdfs::AppendFile(const std::string& path,
   }
   it->second.content.append(content.data(), content.size());
   it->second.mtime = Now();
-  total_file_bytes_ += content.size();
-  bytes_written_ += content.size();
+  bytes_written_->Increment(content.size());
+  file_bytes_gauge_->Add(static_cast<int64_t>(content.size()));
   return Status::OK();
 }
 
@@ -93,7 +111,7 @@ Result<std::string> MiniHdfs::ReadFile(const std::string& path) const {
   if (it->second.is_dir) {
     return Status::FailedPrecondition("is a directory: " + path);
   }
-  bytes_read_ += it->second.content.size();
+  bytes_read_->Increment(it->second.content.size());
   return it->second.content;
 }
 
@@ -157,8 +175,9 @@ Status MiniHdfs::Delete(const std::string& path, bool recursive) {
   for (const auto& p : to_erase) {
     auto nit = nodes_.find(p);
     if (!nit->second.is_dir) {
-      total_file_bytes_ -= nit->second.content.size();
-      --file_count_;
+      file_bytes_gauge_->Add(-static_cast<int64_t>(nit->second.content.size()));
+      file_count_gauge_->Add(-1);
+      files_deleted_->Increment();
     }
     nodes_.erase(nit);
   }

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace unilog::hdfs {
@@ -44,7 +46,12 @@ struct FileStatus {
 /// aggregators to buffer on local disk.
 class MiniHdfs {
  public:
-  explicit MiniHdfs(Simulator* sim = nullptr, HdfsOptions options = {});
+  /// `metrics`/`instance`: the registry this file system reports into and
+  /// the label distinguishing it from sibling instances (warehouse vs.
+  /// per-DC staging). A private registry is used when none is supplied.
+  explicit MiniHdfs(Simulator* sim = nullptr, HdfsOptions options = {},
+                    obs::MetricsRegistry* metrics = nullptr,
+                    std::string instance = "hdfs");
 
   MiniHdfs(const MiniHdfs&) = delete;
   MiniHdfs& operator=(const MiniHdfs&) = delete;
@@ -87,12 +94,20 @@ class MiniHdfs {
   void SetAvailable(bool available) { available_ = available; }
   bool available() const { return available_; }
 
-  // --- Metrics ---
-  uint64_t total_file_bytes() const { return total_file_bytes_; }
+  // --- Metrics (backed by the obs registry: hdfs.*{fs=<instance>}) ---
+  uint64_t total_file_bytes() const {
+    return static_cast<uint64_t>(file_bytes_gauge_->value());
+  }
   uint64_t total_blocks() const;
-  uint64_t file_count() const { return file_count_; }
-  uint64_t bytes_written() const { return bytes_written_; }
-  uint64_t bytes_read() const { return bytes_read_; }
+  uint64_t file_count() const {
+    return static_cast<uint64_t>(file_count_gauge_->value());
+  }
+  uint64_t bytes_written() const { return bytes_written_->value(); }
+  uint64_t bytes_read() const { return bytes_read_->value(); }
+  /// Operations rejected while the namenode was unavailable.
+  uint64_t unavailable_rejections() const {
+    return unavailable_rejections_->value();
+  }
 
   const HdfsOptions& options() const { return options_; }
 
@@ -113,10 +128,15 @@ class MiniHdfs {
   HdfsOptions options_;
   bool available_ = true;
   std::map<std::string, Node> nodes_;  // sorted by path
-  uint64_t total_file_bytes_ = 0;
-  uint64_t file_count_ = 0;
-  mutable uint64_t bytes_read_ = 0;
-  uint64_t bytes_written_ = 0;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* bytes_read_;
+  obs::Counter* bytes_written_;
+  obs::Counter* files_created_;
+  obs::Counter* files_deleted_;
+  obs::Counter* unavailable_rejections_;
+  obs::Gauge* file_count_gauge_;
+  obs::Gauge* file_bytes_gauge_;
 };
 
 }  // namespace unilog::hdfs

@@ -1,0 +1,89 @@
+#ifndef UNILOG_OBS_DELIVERY_AUDIT_H_
+#define UNILOG_OBS_DELIVERY_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.h"
+#include "common/sim_time.h"
+#include "common/status.h"
+#include "scribe/cluster.h"
+
+namespace unilog::obs {
+
+/// A point-in-time accounting of every log entry the fleet has accepted.
+/// The audit identity the pipeline must satisfy at all times:
+///
+///   entries_logged == warehoused
+///                   + dropped_at_daemons   (daemon buffer overflow)
+///                   + lost_in_crash        (aggregator crash loss window)
+///                   + dropped_overflow     (aggregator buffer-limit drops)
+///                   + late_dropped         (stragglers for moved hours)
+///                   + in_flight            (queued / buffered / staged)
+///
+/// Any imbalance means a loss channel is leaking uncounted — the class of
+/// bug this audit exists to catch.
+struct DeliverySnapshot {
+  TimeMs at = 0;
+
+  uint64_t logged = 0;
+  uint64_t warehoused = 0;
+
+  // --- Accounted loss channels ---
+  uint64_t dropped_at_daemons = 0;
+  uint64_t lost_in_crash = 0;
+  uint64_t dropped_overflow = 0;
+  uint64_t late_dropped = 0;
+  /// Corrupt staged files are skipped whole; their message counts are
+  /// unrecoverable, so a nonzero value here relaxes Balanced() to >=.
+  uint64_t corrupt_files_skipped = 0;
+
+  // --- In-flight (not yet lost, not yet warehoused) ---
+  uint64_t in_flight_daemons = 0;      // queued in daemon buffers
+  uint64_t in_flight_aggregators = 0;  // buffered, not yet staged
+  uint64_t in_flight_staging = 0;      // staged, not yet moved
+
+  uint64_t InFlight() const {
+    return in_flight_daemons + in_flight_aggregators + in_flight_staging;
+  }
+
+  /// Everything the accounting can explain.
+  uint64_t Accounted() const {
+    return warehoused + dropped_at_daemons + lost_in_crash + dropped_overflow +
+           late_dropped + InFlight();
+  }
+
+  /// True when the audit identity holds. With corrupt files skipped the
+  /// skipped messages are uncountable, so the identity degrades to
+  /// logged >= accounted.
+  bool Balanced() const {
+    if (corrupt_files_skipped > 0) return Accounted() <= logged;
+    return Accounted() == logged;
+  }
+
+  /// One-line human-readable form for bench output.
+  std::string ToString() const;
+
+  Json ToJson() const;
+};
+
+/// Reconciles the cluster's delivery counters into a DeliverySnapshot.
+/// Borrow-only: the cluster must outlive the audit.
+class DeliveryAudit {
+ public:
+  explicit DeliveryAudit(const scribe::ScribeCluster* cluster)
+      : cluster_(cluster) {}
+
+  DeliverySnapshot Snapshot() const;
+
+  /// OK when the identity holds now; DataLoss with the full snapshot
+  /// rendered into the message otherwise.
+  Status Check() const;
+
+ private:
+  const scribe::ScribeCluster* cluster_;
+};
+
+}  // namespace unilog::obs
+
+#endif  // UNILOG_OBS_DELIVERY_AUDIT_H_

@@ -1,0 +1,141 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace unilog::obs {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {}
+
+void Histogram::Observe(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+  size_t bucket =
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) - bounds_.begin();
+  ++buckets_[bucket];
+}
+
+std::vector<double> MetricsRegistry::DefaultBounds() {
+  std::vector<double> bounds;
+  for (double b = 1; b <= 1e9; b *= 4) bounds.push_back(b);
+  return bounds;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name, Labels labels) {
+  auto& slot = counters_[MetricKey{name, std::move(labels)}];
+  if (slot == nullptr) slot.reset(new Counter());
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name, Labels labels) {
+  auto& slot = gauges_[MetricKey{name, std::move(labels)}];
+  if (slot == nullptr) slot.reset(new Gauge());
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         Labels labels,
+                                         std::vector<double> bounds) {
+  auto& slot = histograms_[MetricKey{name, std::move(labels)}];
+  if (slot == nullptr) slot.reset(new Histogram(std::move(bounds)));
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterTotal(const std::string& name) const {
+  uint64_t total = 0;
+  for (auto it = counters_.lower_bound(MetricKey{name, {}});
+       it != counters_.end() && it->first.name == name; ++it) {
+    total += it->second->value();
+  }
+  return total;
+}
+
+int64_t MetricsRegistry::GaugeTotal(const std::string& name) const {
+  int64_t total = 0;
+  for (auto it = gauges_.lower_bound(MetricKey{name, {}});
+       it != gauges_.end() && it->first.name == name; ++it) {
+    total += it->second->value();
+  }
+  return total;
+}
+
+std::string MetricsRegistry::RenderKey(const MetricKey& key) {
+  if (key.labels.empty()) return key.name;
+  std::string out = key.name + "{";
+  bool first = true;
+  for (const auto& [k, v] : key.labels) {
+    if (!first) out += ",";
+    first = false;
+    out += k + "=" + v;
+  }
+  out += "}";
+  return out;
+}
+
+std::string MetricsRegistry::TextReport() const {
+  TimeMs at = sim_ != nullptr ? sim_->Now() : 0;
+  std::string out = "# metrics @ " + std::to_string(at) + " (" +
+                    TimestampString(at) + " sim)\n";
+  for (const auto& [key, counter] : counters_) {
+    out += "counter " + RenderKey(key) + " " +
+           std::to_string(counter->value()) + "\n";
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    out +=
+        "gauge " + RenderKey(key) + " " + std::to_string(gauge->value()) + "\n";
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  " count=%llu sum=%.0f min=%.0f mean=%.1f max=%.0f",
+                  static_cast<unsigned long long>(histogram->count()),
+                  histogram->sum(), histogram->min(), histogram->mean(),
+                  histogram->max());
+    out += "histogram " + RenderKey(key) + buf + "\n";
+  }
+  return out;
+}
+
+Json MetricsRegistry::JsonReport() const {
+  Json root = Json::Object();
+  root.Set("at_ms", Json::Int(sim_ != nullptr ? sim_->Now() : 0));
+
+  Json counters = Json::Object();
+  for (const auto& [key, counter] : counters_) {
+    counters.Set(RenderKey(key), Json::Int(static_cast<int64_t>(counter->value())));
+  }
+  root.Set("counters", std::move(counters));
+
+  Json gauges = Json::Object();
+  for (const auto& [key, gauge] : gauges_) {
+    gauges.Set(RenderKey(key), Json::Int(gauge->value()));
+  }
+  root.Set("gauges", std::move(gauges));
+
+  Json histograms = Json::Object();
+  for (const auto& [key, histogram] : histograms_) {
+    Json h = Json::Object();
+    h.Set("count", Json::Int(static_cast<int64_t>(histogram->count())));
+    h.Set("sum", Json::Number(histogram->sum()));
+    h.Set("min", Json::Number(histogram->min()));
+    h.Set("max", Json::Number(histogram->max()));
+    Json buckets = Json::Array();
+    for (uint64_t b : histogram->bucket_counts()) {
+      buckets.Push(Json::Int(static_cast<int64_t>(b)));
+    }
+    h.Set("buckets", std::move(buckets));
+    histograms.Set(RenderKey(key), std::move(h));
+  }
+  root.Set("histograms", std::move(histograms));
+  return root;
+}
+
+}  // namespace unilog::obs

@@ -1,0 +1,142 @@
+#ifndef UNILOG_OBS_METRICS_H_
+#define UNILOG_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/sim_time.h"
+#include "sim/simulator.h"
+
+namespace unilog::obs {
+
+/// Metric labels: sorted key→value pairs. Sorted storage makes metric
+/// identity and report ordering deterministic, which the sim-driven tests
+/// rely on ("a given seed always produces the exact same run" extends to
+/// the exact same metrics report).
+using Labels = std::map<std::string, std::string>;
+
+/// A monotonically increasing counter. Obtained from a MetricsRegistry,
+/// which owns it; handles stay valid for the registry's lifetime.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  uint64_t value_ = 0;
+};
+
+/// A gauge: a value that can go up and down (queue depths, file counts).
+class Gauge {
+ public:
+  void Set(int64_t value) { value_ = value; }
+  void Add(int64_t delta) { value_ += delta; }
+  int64_t value() const { return value_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+  int64_t value_ = 0;
+};
+
+/// A histogram with fixed upper-bound buckets plus count/sum/min/max.
+/// Observations larger than the last bound land in an implicit overflow
+/// bucket.
+class Histogram {
+ public:
+  void Observe(double value);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_counts().size() == bounds().size() + 1 (last = overflow).
+  const std::vector<uint64_t>& bucket_counts() const { return buckets_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  std::vector<double> bounds_;
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// The unified metrics registry every delivery-path component reports
+/// into. One registry per assembled system (ScribeCluster /
+/// UnifiedLoggingPipeline); components constructed standalone fall back to
+/// a private registry so their accessors keep working.
+///
+/// Deterministic by construction: metrics are stored sorted by
+/// (name, labels) and reports carry the *simulated* clock, never the host
+/// clock.
+class MetricsRegistry {
+ public:
+  /// `sim` supplies the virtual timestamp stamped onto reports; may be
+  /// nullptr (timestamp 0).
+  explicit MetricsRegistry(Simulator* sim = nullptr) : sim_(sim) {}
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under (name, labels), creating it on
+  /// first use. The handle is owned by the registry and stable.
+  Counter* GetCounter(const std::string& name, Labels labels = {});
+  Gauge* GetGauge(const std::string& name, Labels labels = {});
+  /// `bounds` must be strictly increasing; used only on first creation.
+  Histogram* GetHistogram(const std::string& name, Labels labels = {},
+                          std::vector<double> bounds = DefaultBounds());
+
+  /// Sum of a counter across every label set it was registered with.
+  uint64_t CounterTotal(const std::string& name) const;
+  /// Sum of a gauge across every label set it was registered with.
+  int64_t GaugeTotal(const std::string& name) const;
+
+  size_t metric_count() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Human-readable snapshot, one metric per line, sorted, stamped with
+  /// the simulated time.
+  std::string TextReport() const;
+
+  /// Machine-readable snapshot:
+  /// {"at_ms":..., "counters":{...}, "gauges":{...}, "histograms":{...}}.
+  Json JsonReport() const;
+
+  /// Default histogram bounds: powers of four from 1 to ~10^9, a decent
+  /// spread for both byte sizes and millisecond latencies.
+  static std::vector<double> DefaultBounds();
+
+  Simulator* sim() const { return sim_; }
+
+ private:
+  struct MetricKey {
+    std::string name;
+    Labels labels;
+    bool operator<(const MetricKey& other) const {
+      if (name != other.name) return name < other.name;
+      return labels < other.labels;
+    }
+  };
+  static std::string RenderKey(const MetricKey& key);
+
+  Simulator* sim_;
+  std::map<MetricKey, std::unique_ptr<Counter>> counters_;
+  std::map<MetricKey, std::unique_ptr<Gauge>> gauges_;
+  std::map<MetricKey, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace unilog::obs
+
+#endif  // UNILOG_OBS_METRICS_H_

@@ -1,0 +1,33 @@
+#include "pipeline/unified_pipeline.h"
+
+namespace unilog::pipeline {
+
+UnifiedLoggingPipeline::UnifiedLoggingPipeline(Simulator* sim,
+                                               UnifiedPipelineOptions options)
+    : sim_(sim),
+      options_(std::move(options)),
+      metrics_(sim),
+      cluster_(sim, options_.topology, options_.scribe, options_.mover,
+               options_.seed, &metrics_),
+      audit_(&cluster_),
+      daily_(cluster_.warehouse(), options_.cost_model, options_.category) {}
+
+Status UnifiedLoggingPipeline::Start() { return cluster_.Start(); }
+
+Status UnifiedLoggingPipeline::DriveWorkload(
+    workload::WorkloadGenerator* generator) {
+  return DriveWorkloadThroughScribe(sim_, &cluster_, generator,
+                                    options_.category);
+}
+
+Result<DailyJobResult> UnifiedLoggingPipeline::RunDailyJob(
+    TimeMs date, const UserTable& users) {
+  Result<DailyJobResult> result = daily_.RunForDate(date, users);
+  if (result.ok()) {
+    dataflow::PublishJobStats(&metrics_, "histogram", result->histogram_job);
+    dataflow::PublishJobStats(&metrics_, "sessionize", result->sessionize_job);
+  }
+  return result;
+}
+
+}  // namespace unilog::pipeline

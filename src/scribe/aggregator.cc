@@ -1,6 +1,5 @@
 #include "scribe/aggregator.h"
 
-#include <cstdio>
 #include <limits>
 
 namespace unilog::scribe {
@@ -11,13 +10,47 @@ std::string AggregatorRegistryPath(const std::string& datacenter) {
 
 Aggregator::Aggregator(Simulator* sim, zk::ZooKeeper* zk,
                        hdfs::MiniHdfs* staging, std::string datacenter,
-                       std::string id, ScribeOptions options)
+                       std::string id, ScribeOptions options,
+                       obs::MetricsRegistry* metrics)
     : sim_(sim),
       zk_(zk),
       staging_(staging),
       datacenter_(std::move(datacenter)),
       id_(std::move(id)),
-      options_(options) {}
+      options_(options) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(sim_);
+    metrics = owned_metrics_.get();
+  }
+  obs::Labels labels{{"dc", datacenter_}, {"id", id_}};
+  entries_received_ = metrics->GetCounter("agg.entries_received", labels);
+  bytes_received_ = metrics->GetCounter("agg.bytes_received", labels);
+  entries_staged_ = metrics->GetCounter("agg.entries_staged", labels);
+  files_written_ = metrics->GetCounter("agg.files_written", labels);
+  bytes_written_ = metrics->GetCounter("agg.bytes_written", labels);
+  hdfs_write_failures_ =
+      metrics->GetCounter("agg.hdfs_write_failures", labels);
+  entries_lost_in_crash_ =
+      metrics->GetCounter("agg.entries_lost_in_crash", labels);
+  entries_dropped_overflow_ =
+      metrics->GetCounter("agg.entries_dropped_overflow", labels);
+  buffered_entries_gauge_ = metrics->GetGauge("agg.buffered_entries", labels);
+  staging_file_bytes_ =
+      metrics->GetHistogram("agg.staging_file_bytes", labels);
+}
+
+AggregatorStats Aggregator::stats() const {
+  AggregatorStats s;
+  s.entries_received = entries_received_->value();
+  s.bytes_received = bytes_received_->value();
+  s.entries_staged = entries_staged_->value();
+  s.files_written = files_written_->value();
+  s.bytes_written = bytes_written_->value();
+  s.hdfs_write_failures = hdfs_write_failures_->value();
+  s.entries_lost_in_crash = entries_lost_in_crash_->value();
+  s.entries_dropped_overflow = entries_dropped_overflow_->value();
+  return s;
+}
 
 Status Aggregator::Start() {
   if (alive_) return Status::FailedPrecondition("already running");
@@ -52,9 +85,11 @@ void Aggregator::Crash() {
   zk_->CloseSession(session_);
   // Whatever was buffered but not rolled is gone: Scribe's loss window.
   for (const auto& [key, buffer] : buffers_) {
-    stats_.entries_lost_in_crash += buffer.messages.size();
+    entries_lost_in_crash_->Increment(buffer.messages.size());
   }
   buffers_.clear();
+  buffered_bytes_ = 0;
+  buffered_entries_gauge_->Set(0);
 }
 
 Status Aggregator::Receive(const std::vector<LogEntry>& entries) {
@@ -63,17 +98,46 @@ Status Aggregator::Receive(const std::vector<LogEntry>& entries) {
   for (const auto& entry : entries) {
     HourBuffer& buffer = buffers_[{entry.category, hour}];
     buffer.bytes += entry.message.size();
+    buffered_bytes_ += entry.message.size();
     buffer.messages.push_back(entry.message);
-    ++stats_.entries_received;
-    stats_.bytes_received += entry.message.size();
-    if (buffer.bytes >= options_.roll_bytes) {
-      BufferKey key{entry.category, hour};
-      if (RollBuffer(key, &buffer)) {
-        buffers_.erase(key);
+    entries_received_->Increment();
+    bytes_received_->Increment(entry.message.size());
+    EnforceBufferLimit();
+    // The just-appended entry can itself be evicted under an extreme
+    // limit, so re-look-up instead of trusting the old reference.
+    auto it = buffers_.find({entry.category, hour});
+    if (it != buffers_.end() && it->second.bytes >= options_.roll_bytes) {
+      if (RollBuffer(it->first, &it->second)) {
+        buffers_.erase(it);
       }
     }
   }
+  buffered_entries_gauge_->Set(static_cast<int64_t>(BufferedEntries()));
   return Status::OK();
+}
+
+void Aggregator::EnforceBufferLimit() {
+  while (buffered_bytes_ > options_.aggregator_buffer_limit_bytes &&
+         !buffers_.empty()) {
+    // Oldest hour first (ties broken by category order for determinism):
+    // during a prolonged outage the stalest data is sacrificed, bounding
+    // the "local disk".
+    auto oldest = buffers_.begin();
+    for (auto it = buffers_.begin(); it != buffers_.end(); ++it) {
+      if (it->first.second < oldest->first.second) oldest = it;
+    }
+    HourBuffer& buffer = oldest->second;
+    if (buffer.messages.empty()) {
+      buffers_.erase(oldest);
+      continue;
+    }
+    uint64_t size = buffer.messages.front().size();
+    buffer.bytes -= size;
+    buffered_bytes_ -= size;
+    buffer.messages.pop_front();
+    entries_dropped_overflow_->Increment();
+    if (buffer.messages.empty()) buffers_.erase(oldest);
+  }
 }
 
 void Aggregator::ScheduleRoll() {
@@ -94,27 +158,34 @@ void Aggregator::RollAll() {
       ++it;  // HDFS outage: keep buffering ("local disk")
     }
   }
+  buffered_entries_gauge_->Set(static_cast<int64_t>(BufferedEntries()));
 }
 
 bool Aggregator::RollBuffer(const BufferKey& key, HourBuffer* buffer) {
   if (buffer->messages.empty()) return true;
   const auto& [category, hour] = key;
-  std::string body = FrameMessages(buffer->messages);
+  std::string body;
+  for (const auto& m : buffer->messages) AppendFramed(&body, m);
   if (options_.compress) body = Lz::Compress(body);
 
-  char name[64];
-  std::snprintf(name, sizeof(name), "%s-%06llu", id_.c_str(),
-                static_cast<unsigned long long>(file_seq_));
+  // File names are id-seq. Built with std::string concatenation: ids of
+  // any length stay unique (a fixed snprintf buffer used to silently
+  // truncate long ids, colliding distinct aggregators onto one name).
+  std::string seq = std::to_string(file_seq_);
+  if (seq.size() < 6) seq.insert(0, 6 - seq.size(), '0');
   std::string path = "/staging/" + category + "/" + HourPartitionPath(hour) +
-                     "/" + name;
+                     "/" + id_ + "-" + seq;
   Status st = staging_->WriteFile(path, body);
   if (!st.ok()) {
-    ++stats_.hdfs_write_failures;
+    hdfs_write_failures_->Increment();
     return false;
   }
   ++file_seq_;
-  ++stats_.files_written;
-  stats_.bytes_written += body.size();
+  entries_staged_->Increment(buffer->messages.size());
+  files_written_->Increment();
+  bytes_written_->Increment(body.size());
+  staging_file_bytes_->Observe(static_cast<double>(body.size()));
+  buffered_bytes_ -= buffer->bytes;
   return true;
 }
 
@@ -126,6 +197,12 @@ TimeMs Aggregator::UnflushedWatermark() const {
     }
   }
   return min_hour;
+}
+
+uint64_t Aggregator::BufferedEntries() const {
+  uint64_t n = 0;
+  for (const auto& [key, buffer] : buffers_) n += buffer.messages.size();
+  return n;
 }
 
 }  // namespace unilog::scribe

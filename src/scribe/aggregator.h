@@ -2,7 +2,9 @@
 #define UNILOG_SCRIBE_AGGREGATOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +13,7 @@
 #include "common/sim_time.h"
 #include "common/status.h"
 #include "hdfs/mini_hdfs.h"
+#include "obs/metrics.h"
 #include "scribe/message.h"
 #include "sim/simulator.h"
 #include "zk/zookeeper.h"
@@ -23,6 +26,11 @@ struct ScribeOptions {
   TimeMs roll_interval_ms = 60 * kMillisPerSecond;
   /// Aggregator: roll a category early once its buffer reaches this size.
   uint64_t roll_bytes = 4 * 1024 * 1024;
+  /// Aggregator: buffer at most this many bytes across all categories
+  /// while staging HDFS is unreachable; beyond it the oldest buffered
+  /// messages are dropped (counted). The paper's "local disk" buffer is
+  /// finite too — a prolonged outage must not grow memory without bound.
+  uint64_t aggregator_buffer_limit_bytes = 256 * 1024 * 1024;
   /// Aggregator: compress file bodies written to staging.
   bool compress = true;
   /// Daemon: flush queued entries to the aggregator this often.
@@ -37,14 +45,16 @@ struct ScribeOptions {
 /// The ZooKeeper registry path for a datacenter's aggregators.
 std::string AggregatorRegistryPath(const std::string& datacenter);
 
-/// Per-aggregator delivery metrics.
+/// Per-aggregator delivery metrics, materialized from the registry.
 struct AggregatorStats {
   uint64_t entries_received = 0;
   uint64_t bytes_received = 0;
+  uint64_t entries_staged = 0;         // messages written to staging files
   uint64_t files_written = 0;
-  uint64_t bytes_written = 0;         // post-compression
-  uint64_t hdfs_write_failures = 0;   // writes deferred by HDFS outage
-  uint64_t entries_lost_in_crash = 0; // buffered entries lost on Crash()
+  uint64_t bytes_written = 0;          // post-compression
+  uint64_t hdfs_write_failures = 0;    // writes deferred by HDFS outage
+  uint64_t entries_lost_in_crash = 0;  // buffered entries lost on Crash()
+  uint64_t entries_dropped_overflow = 0;  // buffer-limit drops (oldest)
 };
 
 /// A Scribe aggregator: receives per-category streams from many daemons,
@@ -54,13 +64,16 @@ struct AggregatorStats {
 /// discover it there (§2).
 ///
 /// Fault model: on HDFS outage the roll fails and data stays buffered
-/// ("aggregators buffer data on local disk in case of HDFS outages"); on
-/// Crash() the ZooKeeper session expires (daemons re-discover) and any
-/// not-yet-rolled buffer contents are lost — Scribe's loss window.
+/// ("aggregators buffer data on local disk in case of HDFS outages") up to
+/// aggregator_buffer_limit_bytes, past which the oldest messages are
+/// dropped and counted; on Crash() the ZooKeeper session expires (daemons
+/// re-discover) and any not-yet-rolled buffer contents are lost —
+/// Scribe's loss window.
 class Aggregator {
  public:
   Aggregator(Simulator* sim, zk::ZooKeeper* zk, hdfs::MiniHdfs* staging,
-             std::string datacenter, std::string id, ScribeOptions options);
+             std::string datacenter, std::string id, ScribeOptions options,
+             obs::MetricsRegistry* metrics = nullptr);
 
   Aggregator(const Aggregator&) = delete;
   Aggregator& operator=(const Aggregator&) = delete;
@@ -89,11 +102,16 @@ class Aggregator {
   /// barrier for hour H requires every live aggregator watermark > H.
   TimeMs UnflushedWatermark() const;
 
-  const AggregatorStats& stats() const { return stats_; }
+  /// Messages currently buffered (received but not yet staged). The
+  /// delivery audit counts these as in-flight.
+  uint64_t BufferedEntries() const;
+  uint64_t BufferedBytes() const { return buffered_bytes_; }
+
+  AggregatorStats stats() const;
 
  private:
   struct HourBuffer {
-    std::vector<std::string> messages;
+    std::deque<std::string> messages;
     uint64_t bytes = 0;
   };
   // Keyed by (category, hour-start).
@@ -102,6 +120,8 @@ class Aggregator {
   void ScheduleRoll();
   /// Attempts to write one buffer to staging; returns false on HDFS outage.
   bool RollBuffer(const BufferKey& key, HourBuffer* buffer);
+  /// Drops the oldest buffered messages until under the buffer limit.
+  void EnforceBufferLimit();
 
   Simulator* sim_;
   zk::ZooKeeper* zk_;
@@ -110,12 +130,24 @@ class Aggregator {
   std::string id_;
   ScribeOptions options_;
 
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* entries_received_;
+  obs::Counter* bytes_received_;
+  obs::Counter* entries_staged_;
+  obs::Counter* files_written_;
+  obs::Counter* bytes_written_;
+  obs::Counter* hdfs_write_failures_;
+  obs::Counter* entries_lost_in_crash_;
+  obs::Counter* entries_dropped_overflow_;
+  obs::Gauge* buffered_entries_gauge_;
+  obs::Histogram* staging_file_bytes_;
+
   bool alive_ = false;
   uint64_t incarnation_ = 0;  // invalidates stale timers after crash
   zk::SessionId session_ = 0;
   std::map<BufferKey, HourBuffer> buffers_;
+  uint64_t buffered_bytes_ = 0;  // sum of HourBuffer::bytes
   uint64_t file_seq_ = 0;
-  AggregatorStats stats_;
 };
 
 }  // namespace unilog::scribe

@@ -4,13 +4,18 @@ namespace unilog::scribe {
 
 ScribeCluster::ScribeCluster(Simulator* sim, ClusterTopology topology,
                              ScribeOptions scribe_options,
-                             LogMoverOptions mover_options, uint64_t seed)
+                             LogMoverOptions mover_options, uint64_t seed,
+                             obs::MetricsRegistry* metrics)
     : sim_(sim),
       topology_(std::move(topology)),
       scribe_options_(scribe_options),
       mover_options_(mover_options),
-      zk_(sim),
-      warehouse_(sim),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>(sim)
+                         : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+      zk_(sim, metrics_),
+      warehouse_(sim, hdfs::HdfsOptions{}, metrics_, "warehouse"),
       rng_(seed) {
   dc_names_ = topology_.datacenters;
   staging_.resize(dc_names_.size());
@@ -19,12 +24,14 @@ ScribeCluster::ScribeCluster(Simulator* sim, ClusterTopology topology,
   daemons_.resize(dc_names_.size());
 
   for (size_t dc = 0; dc < dc_names_.size(); ++dc) {
-    staging_[dc] = std::make_unique<hdfs::MiniHdfs>(sim_);
     const std::string& dc_name = dc_names_[dc];
+    staging_[dc] = std::make_unique<hdfs::MiniHdfs>(
+        sim_, hdfs::HdfsOptions{}, metrics_, "staging-" + dc_name);
     for (int a = 0; a < topology_.aggregators_per_dc; ++a) {
       std::string id = dc_name + "-agg" + std::to_string(a);
       aggregators_[dc].push_back(std::make_unique<Aggregator>(
-          sim_, &zk_, staging_[dc].get(), dc_name, id, scribe_options_));
+          sim_, &zk_, staging_[dc].get(), dc_name, id, scribe_options_,
+          metrics_));
       aggregator_ptrs_[dc].push_back(aggregators_[dc].back().get());
     }
     for (int d = 0; d < topology_.daemons_per_dc; ++d) {
@@ -37,7 +44,8 @@ ScribeCluster::ScribeCluster(Simulator* sim, ClusterTopology topology,
         return nullptr;
       };
       daemons_[dc].push_back(std::make_unique<ScribeDaemon>(
-          sim_, &zk_, dc_name, host, resolver, rng_.Fork(), scribe_options_));
+          sim_, &zk_, dc_name, host, resolver, rng_.Fork(), scribe_options_,
+          metrics_));
     }
   }
 
@@ -47,7 +55,7 @@ ScribeCluster::ScribeCluster(Simulator* sim, ClusterTopology topology,
                                        &aggregator_ptrs_[dc]});
   }
   mover_ = std::make_unique<LogMover>(sim_, std::move(handles), &warehouse_,
-                                      mover_options_);
+                                      mover_options_, metrics_);
 }
 
 Status ScribeCluster::Start() {
@@ -69,7 +77,15 @@ ScribeDaemon* ScribeCluster::daemon(size_t dc, size_t index) {
   return daemons_[dc][index].get();
 }
 
+const ScribeDaemon* ScribeCluster::daemon(size_t dc, size_t index) const {
+  return daemons_[dc][index].get();
+}
+
 Aggregator* ScribeCluster::aggregator(size_t dc, size_t index) {
+  return aggregators_[dc][index].get();
+}
+
+const Aggregator* ScribeCluster::aggregator(size_t dc, size_t index) const {
   return aggregators_[dc][index].get();
 }
 
@@ -99,7 +115,7 @@ ClusterStats ScribeCluster::TotalStats() const {
   ClusterStats total;
   for (const auto& dc_daemons : daemons_) {
     for (const auto& daemon : dc_daemons) {
-      const DaemonStats& s = daemon->stats();
+      const DaemonStats s = daemon->stats();
       total.entries_logged += s.entries_logged;
       total.entries_dropped_at_daemons += s.entries_dropped;
       total.daemon_rediscoveries += s.rediscoveries;
@@ -108,10 +124,15 @@ ClusterStats ScribeCluster::TotalStats() const {
   }
   for (const auto& dc_aggs : aggregators_) {
     for (const auto& agg : dc_aggs) {
-      total.entries_lost_in_crashes += agg->stats().entries_lost_in_crash;
+      const AggregatorStats s = agg->stats();
+      total.entries_lost_in_crashes += s.entries_lost_in_crash;
+      total.entries_dropped_overflow += s.entries_dropped_overflow;
+      total.entries_staged += s.entries_staged;
     }
   }
-  total.messages_in_warehouse = mover_->stats().messages_moved;
+  const LogMoverStats mover_stats = mover_->stats();
+  total.messages_in_warehouse = mover_stats.messages_moved;
+  total.late_entries_dropped = mover_stats.late_entries_dropped;
   return total;
 }
 

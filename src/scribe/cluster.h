@@ -9,6 +9,7 @@
 
 #include "common/rng.h"
 #include "hdfs/mini_hdfs.h"
+#include "obs/metrics.h"
 #include "scribe/aggregator.h"
 #include "scribe/daemon.h"
 #include "scribe/log_mover.h"
@@ -24,12 +25,16 @@ struct ClusterTopology {
   int daemons_per_dc = 10;
 };
 
-/// Aggregated fleet-wide delivery counters.
+/// Aggregated fleet-wide delivery counters. Every loss channel the
+/// delivery audit reconciles is named here.
 struct ClusterStats {
   uint64_t entries_logged = 0;
   uint64_t entries_dropped_at_daemons = 0;
   uint64_t entries_lost_in_crashes = 0;
-  uint64_t messages_in_warehouse = 0;  // from the log mover
+  uint64_t entries_dropped_overflow = 0;   // aggregator buffer-limit drops
+  uint64_t entries_staged = 0;             // messages written to staging
+  uint64_t late_entries_dropped = 0;       // stragglers for moved hours
+  uint64_t messages_in_warehouse = 0;      // from the log mover
   uint64_t daemon_rediscoveries = 0;
   uint64_t send_failures = 0;
 };
@@ -38,11 +43,15 @@ struct ClusterStats {
 /// aggregators with a staging Hadoop cluster each, a shared ZooKeeper, a
 /// main-datacenter warehouse, and the log mover that slides closed hours
 /// into it. Owns every component; drives everything off one Simulator.
+///
+/// All components report into one obs::MetricsRegistry (caller-supplied or
+/// owned), labeled by datacenter and instance, so a single TextReport()
+/// describes the whole fleet.
 class ScribeCluster {
  public:
   ScribeCluster(Simulator* sim, ClusterTopology topology,
                 ScribeOptions scribe_options, LogMoverOptions mover_options,
-                uint64_t seed);
+                uint64_t seed, obs::MetricsRegistry* metrics = nullptr);
 
   ScribeCluster(const ScribeCluster&) = delete;
   ScribeCluster& operator=(const ScribeCluster&) = delete;
@@ -53,12 +62,21 @@ class ScribeCluster {
   // --- Component access ---
   size_t datacenter_count() const { return dc_names_.size(); }
   const std::string& datacenter_name(size_t dc) const { return dc_names_[dc]; }
+  size_t daemon_count(size_t dc) const { return daemons_[dc].size(); }
+  size_t aggregator_count(size_t dc) const { return aggregators_[dc].size(); }
   ScribeDaemon* daemon(size_t dc, size_t index);
+  const ScribeDaemon* daemon(size_t dc, size_t index) const;
   Aggregator* aggregator(size_t dc, size_t index);
+  const Aggregator* aggregator(size_t dc, size_t index) const;
   hdfs::MiniHdfs* staging(size_t dc);
   hdfs::MiniHdfs* warehouse() { return &warehouse_; }
   zk::ZooKeeper* zookeeper() { return &zk_; }
   LogMover* mover() { return mover_.get(); }
+  const LogMover* mover() const { return mover_.get(); }
+
+  /// The registry every component of this cluster reports into.
+  obs::MetricsRegistry* metrics() { return metrics_; }
+  const obs::MetricsRegistry* metrics() const { return metrics_; }
 
   /// Routes a log entry to a daemon chosen by hash of the category+message
   /// — convenience for workload drivers that do not care which host logs.
@@ -78,6 +96,8 @@ class ScribeCluster {
   ScribeOptions scribe_options_;
   LogMoverOptions mover_options_;
 
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
   zk::ZooKeeper zk_;
   hdfs::MiniHdfs warehouse_;
   std::vector<std::string> dc_names_;

@@ -4,14 +4,38 @@ namespace unilog::scribe {
 
 ScribeDaemon::ScribeDaemon(Simulator* sim, zk::ZooKeeper* zk,
                            std::string datacenter, std::string host,
-                           Resolver resolve, Rng rng, ScribeOptions options)
+                           Resolver resolve, Rng rng, ScribeOptions options,
+                           obs::MetricsRegistry* metrics)
     : sim_(sim),
       zk_(zk),
       datacenter_(std::move(datacenter)),
       host_(std::move(host)),
       resolve_(std::move(resolve)),
       rng_(rng),
-      options_(options) {}
+      options_(options) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(sim_);
+    metrics = owned_metrics_.get();
+  }
+  obs::Labels labels{{"dc", datacenter_}, {"host", host_}};
+  entries_logged_ = metrics->GetCounter("daemon.entries_logged", labels);
+  entries_sent_ = metrics->GetCounter("daemon.entries_sent", labels);
+  entries_dropped_ = metrics->GetCounter("daemon.entries_dropped", labels);
+  send_failures_ = metrics->GetCounter("daemon.send_failures", labels);
+  rediscoveries_ = metrics->GetCounter("daemon.rediscoveries", labels);
+  queue_depth_ = metrics->GetGauge("daemon.queue_entries", labels);
+  batch_entries_ = metrics->GetHistogram("daemon.batch_entries", labels);
+}
+
+DaemonStats ScribeDaemon::stats() const {
+  DaemonStats s;
+  s.entries_logged = entries_logged_->value();
+  s.entries_sent = entries_sent_->value();
+  s.entries_dropped = entries_dropped_->value();
+  s.send_failures = send_failures_->value();
+  s.rediscoveries = rediscoveries_->value();
+  return s;
+}
 
 void ScribeDaemon::Start() {
   if (started_) return;
@@ -22,15 +46,16 @@ void ScribeDaemon::Start() {
 void ScribeDaemon::Log(LogEntry entry) {
   queue_bytes_ += entry.message.size();
   queue_.push_back(std::move(entry));
-  ++stats_.entries_logged;
+  entries_logged_->Increment();
   // Bounded local buffer: drop the oldest entries past the limit (counted
   // — E1 reports these as the overload-loss channel).
   while (queue_bytes_ > options_.daemon_buffer_limit_bytes &&
          !queue_.empty()) {
     queue_bytes_ -= queue_.front().message.size();
     queue_.pop_front();
-    ++stats_.entries_dropped;
+    entries_dropped_->Increment();
   }
+  queue_depth_->Set(static_cast<int64_t>(queue_.size()));
 }
 
 void ScribeDaemon::Log(const std::string& category, std::string message) {
@@ -51,7 +76,7 @@ Aggregator* ScribeDaemon::Discover() {
   // mechanism is used for balancing load across aggregators").
   const std::string& pick =
       (*children)[rng_.Uniform(children->size())];
-  ++stats_.rediscoveries;
+  rediscoveries_->Increment();
   return resolve_(pick);
 }
 
@@ -70,13 +95,15 @@ void ScribeDaemon::Flush() {
   std::vector<LogEntry> batch(queue_.begin(), queue_.end());
   Status st = current_->Receive(batch);
   if (st.ok()) {
-    stats_.entries_sent += batch.size();
+    entries_sent_->Increment(batch.size());
+    batch_entries_->Observe(static_cast<double>(batch.size()));
     queue_.clear();
     queue_bytes_ = 0;
+    queue_depth_->Set(0);
   } else {
     // Aggregator died between discovery and send: drop the connection and
     // back off; entries remain queued for the next attempt.
-    ++stats_.send_failures;
+    send_failures_->Increment();
     current_ = nullptr;
     backoff_until_ = sim_->Now() + options_.daemon_retry_backoff_ms;
   }

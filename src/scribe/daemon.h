@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "scribe/aggregator.h"
 #include "scribe/message.h"
 #include "sim/simulator.h"
@@ -17,7 +19,7 @@
 
 namespace unilog::scribe {
 
-/// Per-daemon delivery metrics.
+/// Per-daemon delivery metrics, materialized from the metrics registry.
 struct DaemonStats {
   uint64_t entries_logged = 0;
   uint64_t entries_sent = 0;
@@ -31,6 +33,10 @@ struct DaemonStats {
 /// aggregator is discovered through ZooKeeper's ephemeral registry; on a
 /// failed send the daemon buffers locally (bounded), re-consults
 /// ZooKeeper, and retries — the §2 fault-tolerance story.
+///
+/// All delivery counters live in an obs::MetricsRegistry under
+/// `daemon.*{dc=...,host=...}`; when no registry is supplied the daemon
+/// owns a private one so standalone construction keeps working.
 class ScribeDaemon {
  public:
   /// `resolve` maps an aggregator registry entry (znode name) to the
@@ -40,7 +46,8 @@ class ScribeDaemon {
 
   ScribeDaemon(Simulator* sim, zk::ZooKeeper* zk, std::string datacenter,
                std::string host, Resolver resolve, Rng rng,
-               ScribeOptions options);
+               ScribeOptions options,
+               obs::MetricsRegistry* metrics = nullptr);
 
   ScribeDaemon(const ScribeDaemon&) = delete;
   ScribeDaemon& operator=(const ScribeDaemon&) = delete;
@@ -59,7 +66,7 @@ class ScribeDaemon {
   /// Entries queued but not yet acknowledged by an aggregator.
   size_t QueuedEntries() const { return queue_.size(); }
 
-  const DaemonStats& stats() const { return stats_; }
+  DaemonStats stats() const;
   const std::string& host() const { return host_; }
 
  private:
@@ -75,12 +82,20 @@ class ScribeDaemon {
   Rng rng_;
   ScribeOptions options_;
 
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* entries_logged_;
+  obs::Counter* entries_sent_;
+  obs::Counter* entries_dropped_;
+  obs::Counter* send_failures_;
+  obs::Counter* rediscoveries_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* batch_entries_;
+
   bool started_ = false;
   Aggregator* current_ = nullptr;
   std::deque<LogEntry> queue_;
   uint64_t queue_bytes_ = 0;
   TimeMs backoff_until_ = 0;
-  DaemonStats stats_;
 };
 
 }  // namespace unilog::scribe

@@ -1,19 +1,91 @@
 #include "scribe/log_mover.h"
 
-#include <cstdio>
-
 #include "common/compress.h"
+#include "common/strings.h"
 #include "etwin/index.h"
 #include "scribe/message.h"
 
 namespace unilog::scribe {
 
+namespace {
+
+/// Messages inside one staged file, best effort: unreadable or corrupt
+/// files count as zero (their content cannot be attributed).
+uint64_t CountEntriesInFile(hdfs::MiniHdfs* staging, const std::string& path) {
+  auto body = staging->ReadFile(path);
+  if (!body.ok()) return 0;
+  auto raw = Lz::Decompress(*body);
+  if (!raw.ok()) return 0;
+  auto count = CountFramed(*raw);
+  return count.ok() ? *count : 0;
+}
+
+/// Parses the hour out of a staged file path
+/// (/staging/<category>/YYYY/MM/DD/HH/<file>); false if malformed.
+bool ParseStagedHour(const std::string& path, std::string* category,
+                     TimeMs* hour) {
+  std::vector<std::string> parts = Split(path.substr(1), '/');
+  if (parts.size() < 7 || parts[0] != "staging") return false;
+  CivilTime civil;
+  auto parse_int = [](const std::string& s, int* out) {
+    if (s.empty()) return false;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+    }
+    *out = std::stoi(s);
+    return true;
+  };
+  if (!parse_int(parts[2], &civil.year) || !parse_int(parts[3], &civil.month) ||
+      !parse_int(parts[4], &civil.day) || !parse_int(parts[5], &civil.hour)) {
+    return false;
+  }
+  *category = parts[1];
+  *hour = FromCivil(civil);
+  return true;
+}
+
+}  // namespace
+
 LogMover::LogMover(Simulator* sim, std::vector<DatacenterHandle> datacenters,
-                   hdfs::MiniHdfs* warehouse, LogMoverOptions options)
+                   hdfs::MiniHdfs* warehouse, LogMoverOptions options,
+                   obs::MetricsRegistry* metrics)
     : sim_(sim),
       datacenters_(std::move(datacenters)),
       warehouse_(warehouse),
-      options_(options) {}
+      options_(options) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(sim_);
+    metrics = owned_metrics_.get();
+  }
+  hours_moved_ = metrics->GetCounter("mover.hours_moved");
+  categories_moved_ = metrics->GetCounter("mover.categories_moved");
+  staging_files_read_ = metrics->GetCounter("mover.staging_files_read");
+  warehouse_files_written_ =
+      metrics->GetCounter("mover.warehouse_files_written");
+  messages_moved_ = metrics->GetCounter("mover.messages_moved");
+  corrupt_files_skipped_ =
+      metrics->GetCounter("mover.corrupt_files_skipped");
+  barrier_stalls_ = metrics->GetCounter("mover.barrier_stalls");
+  move_retries_ = metrics->GetCounter("mover.move_retries");
+  late_files_dropped_ = metrics->GetCounter("mover.late_files_dropped");
+  late_entries_dropped_ = metrics->GetCounter("mover.late_entries_dropped");
+  warehouse_file_bytes_ = metrics->GetHistogram("mover.warehouse_file_bytes");
+}
+
+LogMoverStats LogMover::stats() const {
+  LogMoverStats s;
+  s.hours_moved = hours_moved_->value();
+  s.categories_moved = categories_moved_->value();
+  s.staging_files_read = staging_files_read_->value();
+  s.warehouse_files_written = warehouse_files_written_->value();
+  s.messages_moved = messages_moved_->value();
+  s.corrupt_files_skipped = corrupt_files_skipped_->value();
+  s.barrier_stalls = barrier_stalls_->value();
+  s.move_retries = move_retries_->value();
+  s.late_files_dropped = late_files_dropped_->value();
+  s.late_entries_dropped = late_entries_dropped_->value();
+  return s;
+}
 
 void LogMover::Start(TimeMs start_hour) {
   if (started_) return;
@@ -31,19 +103,31 @@ void LogMover::Start(TimeMs start_hour) {
 }
 
 void LogMover::RunOnce() {
-  while (BarrierMet(next_hour_)) {
-    if (!MoveHour(next_hour_)) {
-      ++stats_.barrier_stalls;
-      return;  // retry this hour next run
+  while (HourClosed(next_hour_)) {
+    if (!AggregatorsFlushed(next_hour_)) {
+      // A datacenter still holds data for the closed hour: this — and
+      // only this — is a barrier stall.
+      barrier_stalls_->Increment();
+      break;
     }
-    ++stats_.hours_moved;
+    if (!MoveHour(next_hour_)) {
+      // The move itself failed (e.g. warehouse outage): retry this hour
+      // next run.
+      move_retries_->Increment();
+      break;
+    }
+    hours_moved_->Increment();
     next_hour_ += kMillisPerHour;
   }
+  SweepLateStaging();
 }
 
-bool LogMover::BarrierMet(TimeMs hour) const {
+bool LogMover::HourClosed(TimeMs hour) const {
   // Hour must be closed (plus grace).
-  if (sim_->Now() < hour + kMillisPerHour + options_.grace_ms) return false;
+  return sim_->Now() >= hour + kMillisPerHour + options_.grace_ms;
+}
+
+bool LogMover::AggregatorsFlushed(TimeMs hour) const {
   // Every live aggregator in every datacenter must have flushed everything
   // up to and including this hour ("it ensures that by the time logs are
   // made available... all datacenters that produce a given log category
@@ -76,7 +160,7 @@ bool LogMover::MoveHour(TimeMs hour) {
   for (const auto& category : categories) {
     Status st = MoveCategoryHour(category, hour);
     if (!st.ok()) return false;  // e.g. warehouse outage: retry whole hour
-    ++stats_.categories_moved;
+    categories_moved_->Increment();
   }
   return true;
 }
@@ -85,9 +169,13 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
   std::string hour_fragment = HourPartitionPath(hour);
   std::string final_dir = "/logs/" + category + "/" + hour_fragment;
   if (warehouse_->Exists(final_dir)) {
-    // Already moved (e.g. a previous attempt succeeded for this category
-    // but a later category failed and the hour was retried).
-    return Status::OK();
+    // The hour is already in the warehouse (a previous attempt succeeded
+    // for this category before a later category forced a retry, or an
+    // aggregator staged a straggler file after the slide). A slid hour is
+    // immutable, so whatever sits in staging now is late data: drop it
+    // and account the loss — leaving it would leak staged files forever
+    // with the loss uncounted.
+    return DropLateStaging(category, hour);
   }
 
   // 1. Collect + sanity-check all staged files across datacenters.
@@ -107,15 +195,15 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
       auto raw = Lz::Decompress(*body);
       if (!raw.ok()) {
         // Sanity check failed: a corrupt file is skipped, not fatal.
-        ++stats_.corrupt_files_skipped;
+        corrupt_files_skipped_->Increment();
         continue;
       }
       auto messages = UnframeMessages(*raw);
       if (!messages.ok()) {
-        ++stats_.corrupt_files_skipped;
+        corrupt_files_skipped_->Increment();
         continue;
       }
-      ++stats_.staging_files_read;
+      staging_files_read_->Increment();
       for (auto& m : *messages) {
         merged_bytes += m.size();
         merged.push_back(std::move(m));
@@ -135,12 +223,15 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
   uint64_t part = 0;
   auto flush_part = [&]() -> Status {
     if (body.empty()) return Status::OK();
-    char name[32];
-    std::snprintf(name, sizeof(name), "part-%05llu",
-                  static_cast<unsigned long long>(part++));
+    // part-NNNNN, zero-padded via std::string so any sequence width stays
+    // unique (no fixed-buffer truncation).
+    std::string seq = std::to_string(part++);
+    if (seq.size() < 5) seq.insert(0, 5 - seq.size(), '0');
     std::string out = options_.compress ? Lz::Compress(body) : body;
-    UNILOG_RETURN_NOT_OK(warehouse_->WriteFile(tmp_dir + "/" + name, out));
-    ++stats_.warehouse_files_written;
+    UNILOG_RETURN_NOT_OK(
+        warehouse_->WriteFile(tmp_dir + "/part-" + seq, out));
+    warehouse_files_written_->Increment();
+    warehouse_file_bytes_->Observe(static_cast<double>(out.size()));
     body.clear();
     return Status::OK();
   };
@@ -151,7 +242,7 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
     }
   }
   UNILOG_RETURN_NOT_OK(flush_part());
-  stats_.messages_moved += merged.size();
+  messages_moved_->Increment(merged.size());
 
   // 3. Atomically slide the hour into the warehouse, then build any
   // necessary indexes alongside the data (§2; the index records final
@@ -172,6 +263,49 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
     }
   }
   return Status::OK();
+}
+
+Status LogMover::DropLateStaging(const std::string& category, TimeMs hour) {
+  std::string dir = "/staging/" + category + "/" + HourPartitionPath(hour);
+  for (const auto& dc : datacenters_) {
+    if (!dc.staging->Exists(dir)) continue;
+    auto files = dc.staging->ListRecursive(dir);
+    if (!files.ok()) return files.status();
+    for (const auto& file : *files) {
+      late_files_dropped_->Increment();
+      late_entries_dropped_->Increment(CountEntriesInFile(dc.staging,
+                                                          file.path));
+    }
+    UNILOG_RETURN_NOT_OK(dc.staging->Delete(dir, /*recursive=*/true));
+  }
+  return Status::OK();
+}
+
+void LogMover::SweepLateStaging() {
+  for (const auto& dc : datacenters_) {
+    auto files = dc.staging->ListRecursive("/staging");
+    if (!files.ok()) continue;  // nothing staged, or outage: sweep later
+    // Collect the late (category, hour) pairs first — deleting while
+    // iterating a listing would skip entries.
+    std::set<std::pair<std::string, TimeMs>> late;
+    for (const auto& file : *files) {
+      std::string category;
+      TimeMs hour = 0;
+      if (!ParseStagedHour(file.path, &category, &hour)) continue;
+      if (hour < next_hour_) late.insert({category, hour});
+    }
+    for (const auto& [category, hour] : late) {
+      std::string dir = "/staging/" + category + "/" + HourPartitionPath(hour);
+      auto staged = dc.staging->ListRecursive(dir);
+      if (!staged.ok()) continue;
+      for (const auto& file : *staged) {
+        late_files_dropped_->Increment();
+        late_entries_dropped_->Increment(
+            CountEntriesInFile(dc.staging, file.path));
+      }
+      if (!dc.staging->Delete(dir, /*recursive=*/true).ok()) continue;
+    }
+  }
 }
 
 }  // namespace unilog::scribe

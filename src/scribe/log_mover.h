@@ -2,6 +2,7 @@
 #define UNILOG_SCRIBE_LOG_MOVER_H_
 
 #include <cstdint>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
@@ -10,6 +11,7 @@
 #include "common/sim_time.h"
 #include "common/status.h"
 #include "hdfs/mini_hdfs.h"
+#include "obs/metrics.h"
 #include "scribe/aggregator.h"
 #include "sim/simulator.h"
 
@@ -41,7 +43,7 @@ struct DatacenterHandle {
   const std::vector<Aggregator*>* aggregators = nullptr;
 };
 
-/// Mover metrics.
+/// Mover metrics, materialized from the metrics registry.
 struct LogMoverStats {
   uint64_t hours_moved = 0;
   uint64_t categories_moved = 0;
@@ -49,7 +51,16 @@ struct LogMoverStats {
   uint64_t warehouse_files_written = 0;
   uint64_t messages_moved = 0;
   uint64_t corrupt_files_skipped = 0;
-  uint64_t barrier_stalls = 0;  // runs blocked waiting for a datacenter
+  /// Runs where a closed hour was blocked by an unflushed aggregator.
+  uint64_t barrier_stalls = 0;
+  /// Runs where MoveHour itself failed (e.g. warehouse outage) and the
+  /// hour will be retried. Previously mis-counted as barrier_stalls.
+  uint64_t move_retries = 0;
+  /// Staged files that arrived after their hour was already slid into the
+  /// warehouse; they are dropped (and their messages counted) rather than
+  /// leaked in staging forever.
+  uint64_t late_files_dropped = 0;
+  uint64_t late_entries_dropped = 0;
 };
 
 /// The log mover pipeline (§2): once every datacenter has transferred an
@@ -58,10 +69,17 @@ struct LogMoverStats {
 /// atomically slides the hour into the main warehouse at
 /// /logs/<category>/YYYY/MM/DD/HH/. Hours move strictly in order; a stalled
 /// hour (barrier not met, HDFS outage) is retried on the next run.
+///
+/// Late data: a staged file for an hour that has already been moved can no
+/// longer be merged (the hour's warehouse directory is immutable once
+/// slid); it is deleted from staging and accounted in the
+/// `late_entries_dropped` loss channel so the delivery audit still
+/// balances.
 class LogMover {
  public:
   LogMover(Simulator* sim, std::vector<DatacenterHandle> datacenters,
-           hdfs::MiniHdfs* warehouse, LogMoverOptions options);
+           hdfs::MiniHdfs* warehouse, LogMoverOptions options,
+           obs::MetricsRegistry* metrics = nullptr);
 
   LogMover(const LogMover&) = delete;
   LogMover& operator=(const LogMover&) = delete;
@@ -70,19 +88,22 @@ class LogMover {
   /// assumed already handled.
   void Start(TimeMs start_hour);
 
-  /// One mover iteration: moves every eligible closed hour. Public for
-  /// tests and for deterministic end-of-run draining.
+  /// One mover iteration: moves every eligible closed hour, then sweeps
+  /// staging for late files of already-moved hours. Public for tests and
+  /// for deterministic end-of-run draining.
   void RunOnce();
 
   /// First hour not yet moved.
   TimeMs next_hour() const { return next_hour_; }
 
-  const LogMoverStats& stats() const { return stats_; }
+  LogMoverStats stats() const;
 
  private:
-  /// True when hour `hour` is closed, past grace, and no live aggregator
-  /// anywhere still buffers data for it.
-  bool BarrierMet(TimeMs hour) const;
+  /// True when hour `hour` is closed and past grace.
+  bool HourClosed(TimeMs hour) const;
+
+  /// True when no live aggregator anywhere still buffers data for `hour`.
+  bool AggregatorsFlushed(TimeMs hour) const;
 
   /// Moves one hour across all categories. Returns false if the move must
   /// be retried (e.g. warehouse HDFS outage).
@@ -91,14 +112,35 @@ class LogMover {
   /// Merges one (category, hour) from all datacenters into the warehouse.
   Status MoveCategoryHour(const std::string& category, TimeMs hour);
 
+  /// Deletes staged files for `category`/`hour` in every datacenter,
+  /// counting the dropped files and messages as late-data loss.
+  Status DropLateStaging(const std::string& category, TimeMs hour);
+
+  /// Scans staging for hour directories older than next_hour_ (stragglers
+  /// that appeared after their hour was moved) and drops them. Best
+  /// effort: a staging outage skips the sweep until the next run.
+  void SweepLateStaging();
+
   Simulator* sim_;
   std::vector<DatacenterHandle> datacenters_;
   hdfs::MiniHdfs* warehouse_;
   LogMoverOptions options_;
 
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* hours_moved_;
+  obs::Counter* categories_moved_;
+  obs::Counter* staging_files_read_;
+  obs::Counter* warehouse_files_written_;
+  obs::Counter* messages_moved_;
+  obs::Counter* corrupt_files_skipped_;
+  obs::Counter* barrier_stalls_;
+  obs::Counter* move_retries_;
+  obs::Counter* late_files_dropped_;
+  obs::Counter* late_entries_dropped_;
+  obs::Histogram* warehouse_file_bytes_;
+
   bool started_ = false;
   TimeMs next_hour_ = 0;
-  LogMoverStats stats_;
 };
 
 }  // namespace unilog::scribe

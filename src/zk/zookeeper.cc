@@ -20,13 +20,24 @@ const char* WatchEventName(WatchEvent ev) {
   return "unknown";
 }
 
-ZooKeeper::ZooKeeper(Simulator* sim) : sim_(sim) {
+ZooKeeper::ZooKeeper(Simulator* sim, obs::MetricsRegistry* metrics)
+    : sim_(sim) {
   nodes_["/"] = Znode{};
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(sim_);
+    metrics = owned_metrics_.get();
+  }
+  sessions_opened_ = metrics->GetCounter("zk.sessions_opened");
+  sessions_closed_ = metrics->GetCounter("zk.sessions_closed");
+  znodes_created_ = metrics->GetCounter("zk.znodes_created");
+  znodes_deleted_ = metrics->GetCounter("zk.znodes_deleted");
+  watch_fires_ = metrics->GetCounter("zk.watch_fires");
 }
 
 SessionId ZooKeeper::CreateSession() {
   SessionId id = next_session_++;
   live_sessions_.insert(id);
+  sessions_opened_->Increment();
   return id;
 }
 
@@ -38,6 +49,7 @@ Status ZooKeeper::CloseSession(SessionId session) {
   if (!live_sessions_.erase(session)) {
     return Status::NotFound("no such session");
   }
+  sessions_closed_->Increment();
   auto it = session_ephemerals_.find(session);
   if (it != session_ephemerals_.end()) {
     // Copy: DeleteInternal mutates the set via erase callbacks.
@@ -112,6 +124,7 @@ Result<std::string> ZooKeeper::Create(SessionId session,
     session_ephemerals_[session].insert(actual);
   }
   nodes_[actual] = std::move(node);
+  znodes_created_->Increment();
 
   FireWatches(&exists_watchers_, actual, WatchEvent::kCreated);
   FireWatches(&children_watchers_, parent, WatchEvent::kChildrenChanged);
@@ -131,6 +144,7 @@ Status ZooKeeper::DeleteInternal(const std::string& path) {
 
   SessionId owner = it->second.ephemeral_owner;
   nodes_.erase(it);
+  znodes_deleted_->Increment();
   if (owner != 0) {
     auto sit = session_ephemerals_.find(owner);
     if (sit != session_ephemerals_.end()) sit->second.erase(path);
@@ -222,7 +236,7 @@ void ZooKeeper::FireWatches(std::multimap<std::string, Watcher>* table,
     to_fire.push_back(std::move(it->second));
   }
   table->erase(range.first, range.second);  // one-shot semantics
-  watch_fires_ += to_fire.size();
+  watch_fires_->Increment(to_fire.size());
   for (auto& w : to_fire) {
     if (sim_ != nullptr) {
       // Deliver asynchronously on the virtual clock, as a real client would

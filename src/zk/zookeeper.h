@@ -4,12 +4,14 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace unilog::zk {
@@ -54,8 +56,11 @@ struct ZnodeStat {
 class ZooKeeper {
  public:
   /// `sim` supplies the virtual clock used to defer watch callbacks; may be
-  /// nullptr, in which case watches fire synchronously.
-  explicit ZooKeeper(Simulator* sim = nullptr);
+  /// nullptr, in which case watches fire synchronously. `metrics` is the
+  /// registry zk.* counters report into; a private registry is used when
+  /// none is supplied.
+  explicit ZooKeeper(Simulator* sim = nullptr,
+                     obs::MetricsRegistry* metrics = nullptr);
 
   ZooKeeper(const ZooKeeper&) = delete;
   ZooKeeper& operator=(const ZooKeeper&) = delete;
@@ -114,7 +119,9 @@ class ZooKeeper {
   // --- Introspection ---
 
   size_t znode_count() const { return nodes_.size(); }
-  uint64_t watch_fires() const { return watch_fires_; }
+  uint64_t watch_fires() const { return watch_fires_->value(); }
+  uint64_t sessions_opened() const { return sessions_opened_->value(); }
+  uint64_t sessions_closed() const { return sessions_closed_->value(); }
 
  private:
   struct Znode {
@@ -136,7 +143,13 @@ class ZooKeeper {
   std::map<SessionId, std::set<std::string>> session_ephemerals_;
   std::set<SessionId> live_sessions_;
   SessionId next_session_ = 1;
-  uint64_t watch_fires_ = 0;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* sessions_opened_;
+  obs::Counter* sessions_closed_;
+  obs::Counter* znodes_created_;
+  obs::Counter* znodes_deleted_;
+  obs::Counter* watch_fires_;
 
   std::multimap<std::string, Watcher> exists_watchers_;
   std::multimap<std::string, Watcher> children_watchers_;

@@ -17,8 +17,11 @@
 #include "dataflow/pig.h"
 #include "events/anonymize.h"
 #include "events/client_event.h"
+#include "obs/delivery_audit.h"
+#include "obs/metrics.h"
 #include "oink/oink.h"
 #include "pipeline/daily_pipeline.h"
+#include "pipeline/unified_pipeline.h"
 #include "scribe/cluster.h"
 #include "scribe/message.h"
 #include "sessions/session_sequence.h"
@@ -281,6 +284,126 @@ TEST(PortabilityTest, SameScriptWorksAcrossClients) {
     EXPECT_GT(n, 0) << client;
   }
   EXPECT_GT(per_client["web"], per_client["android"]);
+}
+
+// ---------------------------------------------------------------------------
+// Delivery audit: entries_logged must equal warehoused + every accounted
+// loss channel + in-flight, at every instant — including while aggregator
+// crashes and staging outages are in progress.
+
+TEST(DeliveryAuditIntegrationTest, IdentityHoldsUnderInjectedFaults) {
+  Simulator sim(kDay);
+  pipeline::UnifiedPipelineOptions opts;
+  opts.topology.datacenters = {"dc1", "dc2"};
+  opts.topology.aggregators_per_dc = 2;
+  opts.topology.daemons_per_dc = 4;
+  opts.scribe.roll_interval_ms = 30 * kMillisPerSecond;
+  // Small enough that the dc2 staging outage forces overflow drops.
+  opts.scribe.aggregator_buffer_limit_bytes = 8 * 1024;
+  opts.mover.run_interval_ms = 2 * kMillisPerMinute;
+  opts.mover.grace_ms = kMillisPerMinute;
+  opts.seed = 21;
+  pipeline::UnifiedLoggingPipeline pipe(&sim, opts);
+  ASSERT_TRUE(pipe.Start().ok());
+
+  const int kMessages = 3000;
+  for (int i = 0; i < kMessages; ++i) {
+    TimeMs at = kDay + (static_cast<TimeMs>(i) * 100 * kMillisPerMinute) /
+                           kMessages;
+    size_t dc = i % 2;
+    sim.At(at, [&pipe, dc, i]() {
+      pipe.cluster()->Log(
+          dc, scribe::LogEntry{"client_events",
+                               "m" + std::to_string(i) + std::string(100, 'p')});
+    });
+  }
+
+  // Faults: one aggregator crash + restart in dc1, and a 20-minute staging
+  // outage in dc2 long enough to blow the aggregator buffer limit.
+  sim.At(kDay + 20 * kMillisPerMinute,
+         [&pipe]() { pipe.cluster()->CrashAggregator(0, 0); });
+  sim.At(kDay + 30 * kMillisPerMinute, [&pipe]() {
+    ASSERT_TRUE(pipe.cluster()->RestartAggregator(0, 0).ok());
+  });
+  sim.At(kDay + 40 * kMillisPerMinute,
+         [&pipe]() { pipe.cluster()->SetStagingAvailable(1, false); });
+  sim.At(kDay + 60 * kMillisPerMinute,
+         [&pipe]() { pipe.cluster()->SetStagingAvailable(1, true); });
+
+  // The identity must hold mid-crash, mid-outage, and after recovery —
+  // not only at quiescence.
+  for (TimeMs cp : {kDay + 25 * kMillisPerMinute, kDay + 50 * kMillisPerMinute,
+                    kDay + 90 * kMillisPerMinute}) {
+    sim.At(cp, [&pipe]() {
+      EXPECT_TRUE(pipe.CheckDeliveryAudit().ok())
+          << pipe.Audit().ToString();
+    });
+  }
+  sim.RunUntil(kDay + 3 * kMillisPerHour);
+
+  obs::DeliverySnapshot snap = pipe.Audit();
+  EXPECT_TRUE(snap.Balanced()) << snap.ToString();
+  EXPECT_EQ(snap.logged, static_cast<uint64_t>(kMessages));
+  // Both injected loss channels actually fired.
+  EXPECT_GT(snap.lost_in_crash, 0u);
+  EXPECT_GT(snap.dropped_overflow, 0u);
+  EXPECT_GT(snap.warehoused, 0u);
+  EXPECT_EQ(snap.Accounted(), snap.logged);
+
+  // Every component reports into the one registry.
+  std::string report = pipe.MetricsTextReport();
+  EXPECT_NE(report.find("daemon.entries_logged{dc=dc1"), std::string::npos);
+  EXPECT_NE(report.find("agg.entries_received{dc=dc2"), std::string::npos);
+  EXPECT_NE(report.find("mover.hours_moved"), std::string::npos);
+  EXPECT_NE(report.find("hdfs.bytes_written{fs=warehouse}"),
+            std::string::npos);
+  EXPECT_NE(report.find("zk.watch_fires"), std::string::npos);
+  EXPECT_EQ(pipe.metrics()->CounterTotal("daemon.entries_logged"),
+            static_cast<uint64_t>(kMessages));
+}
+
+TEST(DeliveryAuditIntegrationTest, DailyJobPublishesCostMetrics) {
+  Simulator sim(kDay);
+  pipeline::UnifiedPipelineOptions opts;
+  opts.topology.datacenters = {"dc1"};
+  opts.topology.aggregators_per_dc = 1;
+  opts.topology.daemons_per_dc = 2;
+  opts.scribe.roll_interval_ms = 2 * kMillisPerMinute;
+  opts.mover.run_interval_ms = 10 * kMillisPerMinute;
+  opts.seed = 5;
+  pipeline::UnifiedLoggingPipeline pipe(&sim, opts);
+  ASSERT_TRUE(pipe.Start().ok());
+
+  workload::WorkloadOptions wopts;
+  wopts.seed = 100;
+  wopts.num_users = 30;
+  wopts.start = kDay;
+  wopts.duration = kMillisPerDay - 3 * kMillisPerHour;
+  workload::WorkloadGenerator generator(wopts);
+  ASSERT_TRUE(pipe.DriveWorkload(&generator).ok());
+  sim.RunUntil(kDay + kMillisPerDay + kMillisPerHour);
+
+  pipeline::UserTable users = pipeline::UserTable::FromWorkload(generator);
+  auto result = pipe.RunDailyJob(kDay, users);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Both passes published their cost accounting into the shared registry.
+  EXPECT_EQ(pipe.metrics()
+                ->GetCounter("job.runs", {{"job", "histogram"}})
+                ->value(),
+            1u);
+  EXPECT_EQ(pipe.metrics()
+                ->GetCounter("job.runs", {{"job", "sessionize"}})
+                ->value(),
+            1u);
+  EXPECT_GT(pipe.metrics()->CounterTotal("job.map_tasks"), 0u);
+  EXPECT_GT(pipe.metrics()->CounterTotal("job.bytes_scanned"), 0u);
+
+  // A fault-free day delivers everything and stays balanced.
+  obs::DeliverySnapshot snap = pipe.Audit();
+  EXPECT_TRUE(snap.Balanced()) << snap.ToString();
+  EXPECT_EQ(snap.warehoused, generator.truth().total_events);
+  EXPECT_EQ(snap.InFlight(), 0u);
 }
 
 }  // namespace

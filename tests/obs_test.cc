@@ -1,0 +1,152 @@
+// Tests for the unified metrics layer (obs/): registry handle identity,
+// counter/gauge/histogram semantics, cross-label totals, and deterministic
+// sim-clock-stamped reports.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+
+namespace unilog::obs {
+namespace {
+
+constexpr TimeMs kT0 = 1345507200000;  // 2012-08-21 00:00 UTC
+
+TEST(MetricsRegistryTest, CounterHandleIsStableAndMonotonic) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("daemon.entries_logged");
+  EXPECT_EQ(c->value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->value(), 42u);
+  // Same (name, labels) → same handle.
+  EXPECT_EQ(registry.GetCounter("daemon.entries_logged"), c);
+}
+
+TEST(MetricsRegistryTest, LabelsSeparateSeries) {
+  MetricsRegistry registry;
+  Counter* dc1 = registry.GetCounter("daemon.entries_logged", {{"dc", "dc1"}});
+  Counter* dc2 = registry.GetCounter("daemon.entries_logged", {{"dc", "dc2"}});
+  EXPECT_NE(dc1, dc2);
+  dc1->Increment(3);
+  dc2->Increment(4);
+  EXPECT_EQ(dc1->value(), 3u);
+  EXPECT_EQ(dc2->value(), 4u);
+  // Label insertion order does not matter: Labels is a sorted map.
+  Counter* both_a = registry.GetCounter("x", {{"a", "1"}, {"b", "2"}});
+  Counter* both_b = registry.GetCounter("x", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(both_a, both_b);
+}
+
+TEST(MetricsRegistryTest, CounterTotalSumsAcrossLabelSets) {
+  MetricsRegistry registry;
+  registry.GetCounter("agg.entries_received", {{"id", "a0"}})->Increment(10);
+  registry.GetCounter("agg.entries_received", {{"id", "a1"}})->Increment(5);
+  registry.GetCounter("agg.entries_receivedX")->Increment(100);  // other name
+  EXPECT_EQ(registry.CounterTotal("agg.entries_received"), 15u);
+  EXPECT_EQ(registry.CounterTotal("absent"), 0u);
+}
+
+TEST(MetricsRegistryTest, GaugeMovesBothWays) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("daemon.queue_depth", {{"host", "h0"}});
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+  registry.GetGauge("daemon.queue_depth", {{"host", "h1"}})->Set(5);
+  EXPECT_EQ(registry.GaugeTotal("daemon.queue_depth"), 12);
+}
+
+TEST(MetricsRegistryTest, HistogramBucketsAndSummaryStats) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("latency", {}, {10, 100, 1000});
+  h->Observe(5);     // bucket 0 (<=10)
+  h->Observe(10);    // bucket 0 (bound is inclusive via lower_bound)
+  h->Observe(50);    // bucket 1
+  h->Observe(5000);  // overflow bucket
+  EXPECT_EQ(h->count(), 4u);
+  EXPECT_DOUBLE_EQ(h->sum(), 5065);
+  EXPECT_DOUBLE_EQ(h->min(), 5);
+  EXPECT_DOUBLE_EQ(h->max(), 5000);
+  EXPECT_DOUBLE_EQ(h->mean(), 5065.0 / 4);
+  ASSERT_EQ(h->bucket_counts().size(), 4u);
+  EXPECT_EQ(h->bucket_counts()[0], 2u);
+  EXPECT_EQ(h->bucket_counts()[1], 1u);
+  EXPECT_EQ(h->bucket_counts()[2], 0u);
+  EXPECT_EQ(h->bucket_counts()[3], 1u);
+}
+
+TEST(MetricsRegistryTest, DefaultBoundsStrictlyIncreasing) {
+  std::vector<double> bounds = MetricsRegistry::DefaultBounds();
+  ASSERT_GT(bounds.size(), 2u);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsRegistryTest, TextReportIsSortedAndSimStamped) {
+  Simulator sim(kT0);
+  MetricsRegistry registry(&sim);
+  registry.GetCounter("b.second", {{"dc", "dc1"}})->Increment(2);
+  registry.GetCounter("a.first")->Increment(1);
+  registry.GetGauge("c.gauge")->Set(-5);
+  sim.At(kT0 + 1234, [] {});
+  sim.Run();
+
+  std::string report = registry.TextReport();
+  EXPECT_NE(report.find("# metrics @ " + std::to_string(kT0 + 1234)),
+            std::string::npos);
+  EXPECT_NE(report.find("2012-08-21"), std::string::npos);  // sim date
+  EXPECT_NE(report.find("counter a.first 1\n"), std::string::npos);
+  EXPECT_NE(report.find("counter b.second{dc=dc1} 2\n"), std::string::npos);
+  EXPECT_NE(report.find("gauge c.gauge -5\n"), std::string::npos);
+  // Sorted: a.first precedes b.second.
+  EXPECT_LT(report.find("a.first"), report.find("b.second"));
+  // Deterministic: rendering twice yields identical bytes.
+  EXPECT_EQ(report, registry.TextReport());
+}
+
+TEST(MetricsRegistryTest, JsonReportRoundTrips) {
+  Simulator sim(kT0);
+  MetricsRegistry registry(&sim);
+  registry.GetCounter("hdfs.bytes_written", {{"fs", "warehouse"}})
+      ->Increment(1024);
+  registry.GetGauge("hdfs.file_count", {{"fs", "warehouse"}})->Set(3);
+  registry.GetHistogram("mover.warehouse_file_bytes")->Observe(512);
+
+  Json report = registry.JsonReport();
+  EXPECT_EQ(report["at_ms"].int_value(), kT0);
+  EXPECT_EQ(report["counters"]["hdfs.bytes_written{fs=warehouse}"].int_value(),
+            1024);
+  EXPECT_EQ(report["gauges"]["hdfs.file_count{fs=warehouse}"].int_value(), 3);
+  const Json& hist = report["histograms"]["mover.warehouse_file_bytes"];
+  EXPECT_EQ(hist["count"].int_value(), 1);
+  EXPECT_DOUBLE_EQ(hist["sum"].number_value(), 512);
+
+  // Dump → Parse round trip stays intact (report is real JSON).
+  auto parsed = Json::Parse(report.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Dump(), report.Dump());
+}
+
+TEST(MetricsRegistryTest, NullSimReportsTimeZero) {
+  MetricsRegistry registry;
+  EXPECT_NE(registry.TextReport().find("# metrics @ 0"), std::string::npos);
+  EXPECT_EQ(registry.JsonReport()["at_ms"].int_value(), 0);
+}
+
+TEST(MetricsRegistryTest, MetricCountTracksDistinctSeries) {
+  MetricsRegistry registry;
+  registry.GetCounter("a");
+  registry.GetCounter("a");  // same series
+  registry.GetCounter("a", {{"k", "v"}});
+  registry.GetGauge("b");
+  registry.GetHistogram("c");
+  EXPECT_EQ(registry.metric_count(), 4u);
+}
+
+}  // namespace
+}  // namespace unilog::obs

@@ -196,6 +196,63 @@ TEST_F(AggregatorTest, HdfsOutageKeepsDataBuffered) {
   EXPECT_EQ(agg.UnflushedWatermark(), INT64_MAX);
 }
 
+TEST_F(AggregatorTest, BufferLimitDropsOldestDuringOutage) {
+  options_.aggregator_buffer_limit_bytes = 100;
+  options_.roll_bytes = 1 << 20;  // no size-triggered roll
+  Aggregator agg(&sim_, &zk_, &staging_, "dc1", "agg0", options_);
+  ASSERT_TRUE(agg.Start().ok());
+  staging_.SetAvailable(false);
+  // 25-byte messages against a 100-byte limit: only the newest 4 survive.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        agg.Receive({{"cat", "msg-" + std::to_string(i) + std::string(20, 'x')}})
+            .ok());
+  }
+  EXPECT_EQ(agg.stats().entries_dropped_overflow, 6u);
+  EXPECT_EQ(agg.BufferedEntries(), 4u);
+  EXPECT_LE(agg.BufferedBytes(), 100u);
+
+  // Recovery: the surviving (newest) messages reach staging; accounting
+  // closes — received == staged + dropped.
+  staging_.SetAvailable(true);
+  agg.RollAll();
+  EXPECT_EQ(agg.stats().entries_staged, 4u);
+  EXPECT_EQ(agg.stats().entries_received,
+            agg.stats().entries_staged + agg.stats().entries_dropped_overflow);
+  auto files = staging_.ListRecursive("/staging/cat");
+  ASSERT_TRUE(files.ok());
+  ASSERT_EQ(files->size(), 1u);
+  auto raw = Lz::Decompress(*staging_.ReadFile((*files)[0].path));
+  ASSERT_TRUE(raw.ok());
+  auto msgs = UnframeMessages(*raw);
+  ASSERT_TRUE(msgs.ok());
+  ASSERT_EQ(msgs->size(), 4u);
+  EXPECT_EQ((*msgs)[0].substr(0, 5), "msg-6");  // oldest were dropped
+  EXPECT_EQ((*msgs)[3].substr(0, 5), "msg-9");
+}
+
+TEST_F(AggregatorTest, LongAggregatorIdsProduceDistinctStagedFiles) {
+  // Two aggregators whose ids only differ past the 63rd character used to
+  // collide onto one staged file name (fixed-buffer snprintf truncation):
+  // the second roll then failed forever with AlreadyExists.
+  std::string prefix(80, 'a');
+  Aggregator agg1(&sim_, &zk_, &staging_, "dc1", prefix + "-1", options_);
+  Aggregator agg2(&sim_, &zk_, &staging_, "dc1", prefix + "-2", options_);
+  ASSERT_TRUE(agg1.Start().ok());
+  ASSERT_TRUE(agg2.Start().ok());
+  ASSERT_TRUE(agg1.Receive({{"cat", "from-1"}}).ok());
+  ASSERT_TRUE(agg2.Receive({{"cat", "from-2"}}).ok());
+  agg1.RollAll();
+  agg2.RollAll();
+  EXPECT_EQ(agg1.stats().files_written, 1u);
+  EXPECT_EQ(agg2.stats().files_written, 1u);
+  EXPECT_EQ(agg1.stats().hdfs_write_failures, 0u);
+  EXPECT_EQ(agg2.stats().hdfs_write_failures, 0u);
+  auto files = staging_.ListRecursive("/staging/cat");
+  ASSERT_TRUE(files.ok());
+  EXPECT_EQ(files->size(), 2u);
+}
+
 // ---------------------------------------------------------------------------
 // Daemon + failover
 
@@ -406,6 +463,90 @@ TEST_F(LogMoverTest, MergesManySmallFilesIntoFew) {
   EXPECT_EQ(files->size(), 1u);  // 40 small files → 1 big file
   EXPECT_EQ(mover.stats().staging_files_read, 40u);
   EXPECT_EQ(mover.stats().messages_moved, 40u);
+}
+
+TEST_F(LogMoverTest, LateStagedFileForMovedHourDroppedViaRetryPath) {
+  // Regression: when the hour's warehouse directory already exists (a
+  // previous attempt succeeded for this category), MoveCategoryHour used
+  // to return early and leak whatever sat in staging forever, uncounted.
+  hdfs::MiniHdfs staging1(&sim_);
+  std::vector<Aggregator*> none;
+  LogMover mover(&sim_, {DatacenterHandle{"dc1", &staging1, &none}},
+                 &warehouse_, mover_options_);
+  mover.Start(kT0);
+
+  ASSERT_TRUE(warehouse_.Mkdirs("/logs/cat/2012/08/21/00").ok());
+  std::string body = Lz::Compress(FrameMessages({"late-1", "late-2"}));
+  ASSERT_TRUE(
+      staging1.WriteFile("/staging/cat/2012/08/21/00/straggler", body).ok());
+  sim_.RunUntil(kT0 + kMillisPerHour + 3 * kMillisPerMinute);
+
+  EXPECT_EQ(mover.stats().late_files_dropped, 1u);
+  EXPECT_EQ(mover.stats().late_entries_dropped, 2u);
+  EXPECT_FALSE(staging1.Exists("/staging/cat/2012/08/21/00"));
+  EXPECT_GT(mover.next_hour(), TruncateToHour(kT0));  // hour not stuck
+}
+
+TEST_F(LogMoverTest, SweepDropsStragglersStagedAfterHourMoved) {
+  hdfs::MiniHdfs staging1(&sim_);
+  std::vector<Aggregator*> none;
+  LogMover mover(&sim_, {DatacenterHandle{"dc1", &staging1, &none}},
+                 &warehouse_, mover_options_);
+  mover.Start(kT0);
+
+  std::string good = Lz::Compress(FrameMessages({"on-time"}));
+  ASSERT_TRUE(
+      staging1.WriteFile("/staging/cat/2012/08/21/00/good", good).ok());
+  sim_.RunUntil(kT0 + kMillisPerHour + 3 * kMillisPerMinute);
+  ASSERT_EQ(mover.stats().messages_moved, 1u);
+
+  // A straggler for the already-moved hour appears later; the periodic
+  // sweep must drop and count it instead of leaking it.
+  std::string late = Lz::Compress(FrameMessages({"too-late"}));
+  ASSERT_TRUE(
+      staging1.WriteFile("/staging/cat/2012/08/21/00/late", late).ok());
+  sim_.RunUntil(kT0 + kMillisPerHour + 10 * kMillisPerMinute);
+  EXPECT_EQ(mover.stats().late_files_dropped, 1u);
+  EXPECT_EQ(mover.stats().late_entries_dropped, 1u);
+  EXPECT_FALSE(staging1.Exists("/staging/cat/2012/08/21/00"));
+  // The on-time data is untouched.
+  EXPECT_TRUE(warehouse_.Exists("/logs/cat/2012/08/21/00"));
+  EXPECT_EQ(mover.stats().messages_moved, 1u);
+}
+
+TEST_F(LogMoverTest, BarrierStallAndMoveRetryCountedSeparately) {
+  // Regression: MoveHour failures (warehouse outage) used to be counted
+  // as barrier_stalls, hiding real barrier behavior from operators.
+  hdfs::MiniHdfs staging1(&sim_);
+  Aggregator agg(&sim_, &zk_, &staging1, "dc1", "a1", scribe_options_);
+  ASSERT_TRUE(agg.Start().ok());
+  std::vector<Aggregator*> dc1 = {&agg};
+  LogMover mover(&sim_, {DatacenterHandle{"dc1", &staging1, &dc1}},
+                 &warehouse_, mover_options_);
+  mover.Start(kT0);
+
+  // Phase 1 — staging outage keeps the aggregator unflushed past the hour
+  // close: barrier stalls, no move retries.
+  ASSERT_TRUE(agg.Receive({{"cat", "stuck"}}).ok());
+  staging1.SetAvailable(false);
+  sim_.RunUntil(kT0 + kMillisPerHour + 5 * kMillisPerMinute);
+  EXPECT_GT(mover.stats().barrier_stalls, 0u);
+  EXPECT_EQ(mover.stats().move_retries, 0u);
+
+  // Phase 2 — aggregator flushes, but the warehouse is down: the move
+  // itself fails and is retried, with no new barrier stalls.
+  staging1.SetAvailable(true);
+  warehouse_.SetAvailable(false);
+  uint64_t stalls_before = mover.stats().barrier_stalls;
+  sim_.RunUntil(kT0 + kMillisPerHour + 15 * kMillisPerMinute);
+  EXPECT_GT(mover.stats().move_retries, 0u);
+  EXPECT_EQ(mover.stats().barrier_stalls, stalls_before);
+
+  // Phase 3 — warehouse recovers; the hour moves with nothing lost.
+  warehouse_.SetAvailable(true);
+  sim_.RunUntil(kT0 + kMillisPerHour + 25 * kMillisPerMinute);
+  EXPECT_EQ(mover.stats().messages_moved, 1u);
+  EXPECT_TRUE(warehouse_.Exists("/logs/cat/2012/08/21/00"));
 }
 
 // ---------------------------------------------------------------------------
