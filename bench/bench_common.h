@@ -8,6 +8,9 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -17,6 +20,7 @@
 #include "common/strings.h"
 #include "common/sim_time.h"
 #include "events/client_event.h"
+#include "exec/executor.h"
 #include "hdfs/mini_hdfs.h"
 #include "pipeline/daily_pipeline.h"
 #include "workload/generator.h"
@@ -135,6 +139,57 @@ class WallTimer {
  private:
   std::chrono::steady_clock::time_point start_;
 };
+
+/// Extracts a `--threads=N` flag from argv (removing it so google-benchmark
+/// never sees it). Returns 1 when absent.
+inline int ParseThreadsFlag(int* argc, char** argv) {
+  int threads = 1;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = std::atoi(argv[i] + 10);
+      if (threads < 1) threads = 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return threads;
+}
+
+/// Runs `work` (which must return a checksum of its output) under the
+/// unilog::exec engine at 1, 2, 4, and 8 threads, printing wall time and
+/// speedup vs the serial engine and verifying the checksum never changes.
+/// Each configuration takes the best of `reps` runs.
+inline void SpeedupReport(
+    const char* title,
+    const std::function<uint64_t(exec::Executor*)>& work, int reps = 3) {
+  std::printf("--- %s: unilog::exec speedup ---\n", title);
+  std::printf("%8s %12s %9s  %s\n", "threads", "best_ms", "speedup", "output");
+  double serial_ms = 0;
+  uint64_t serial_sum = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    exec::ExecOptions opts;
+    opts.threads = threads;
+    exec::Executor executor(opts);
+    double best_ms = 0;
+    uint64_t checksum = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      WallTimer timer;
+      checksum = work(&executor);
+      double ms = timer.ElapsedMs();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (threads == 1) {
+      serial_ms = best_ms;
+      serial_sum = checksum;
+    }
+    std::printf("%8d %12.2f %8.2fx  %s\n", threads, best_ms,
+                best_ms > 0 ? serial_ms / best_ms : 0.0,
+                checksum == serial_sum ? "identical" : "MISMATCH!");
+  }
+  std::printf("\n");
+}
 
 }  // namespace unilog::bench
 

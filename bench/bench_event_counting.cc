@@ -80,6 +80,35 @@ void BM_CtrQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_CtrQuery);
 
+// Day-level scans at 1/2/4/8 threads over a replicated day (the fixture
+// day is small; replication makes the parallel section measurable without
+// changing per-item work). Checksums must agree across thread counts —
+// the exec engine's determinism contract.
+void PrintSpeedup(int requested_threads) {
+  const bench::DayFixture& fx = Fixture();
+  std::vector<sessions::SessionSequence> day;
+  constexpr int kReplicas = 100;
+  day.reserve(fx.daily.sequences.size() * kReplicas);
+  for (int r = 0; r < kReplicas; ++r) {
+    for (const auto& seq : fx.daily.sequences) day.push_back(seq);
+  }
+  analytics::CountClientEvents udf(fx.daily.dictionary,
+                                   events::EventPattern("*:impression"));
+  std::printf("replicated day: %zu sessions (requested --threads=%d)\n",
+              day.size(), requested_threads);
+  bench::SpeedupReport(
+      "CountClientEvents SUM", [&](exec::Executor* exec) -> uint64_t {
+        return udf.TotalCount(day, exec);
+      });
+  bench::SpeedupReport("CTR query", [&](exec::Executor* exec) -> uint64_t {
+    analytics::RateReport report = analytics::ComputeRate(
+        day, fx.daily.dictionary, events::EventPattern("*:impression"),
+        events::EventPattern("*:click"), exec);
+    return report.impressions * 1000003 + report.actions * 1009 +
+           report.sessions_with_impression * 31 + report.sessions_with_action;
+  });
+}
+
 void PrintHeader() {
   const bench::DayFixture& fx = Fixture();
   std::printf("=== E7 / §5.2: event counting over session sequences ===\n");
@@ -110,7 +139,9 @@ void PrintHeader() {
 }  // namespace unilog
 
 int main(int argc, char** argv) {
+  int threads = unilog::bench::ParseThreadsFlag(&argc, argv);
   unilog::PrintHeader();
+  unilog::PrintSpeedup(threads);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

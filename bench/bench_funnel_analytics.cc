@@ -10,8 +10,9 @@
 #include "bench_common.h"
 #include "workload/hierarchy.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace unilog;
+  int threads = bench::ParseThreadsFlag(&argc, argv);
   std::printf("=== E8 / §5.3: funnel analytics (signup flow) ===\n\n");
 
   workload::WorkloadOptions wopts = bench::DefaultWorkload(42, 800);
@@ -82,5 +83,31 @@ int main() {
               fx.daily.sequences.size(), 4, query_ms);
   std::printf("shape check — exact recovery of planted funnel: %s\n",
               exact ? "YES" : "NO");
+
+  // Parallel StageCounts sweep (requested --threads=%d honored inside the
+  // sweep set); per-stage counts must match at every thread count.
+  std::printf("\nparallel funnel sweep (requested --threads=%d):\n", threads);
+  {
+    const auto& clients = fx.generator->hierarchy().clients();
+    std::vector<analytics::Funnel> funnels;
+    for (const auto& client : clients) {
+      std::vector<std::string> stages;
+      for (int s = 0; s < kStages; ++s) {
+        stages.push_back(workload::ViewHierarchy::SignupStageEvent(client, s));
+      }
+      auto funnel = analytics::Funnel::Make(fx.daily.dictionary, stages);
+      if (funnel.ok()) funnels.push_back(std::move(*funnel));
+    }
+    bench::SpeedupReport("StageCounts", [&](exec::Executor* exec) -> uint64_t {
+      uint64_t checksum = 0;
+      for (const auto& funnel : funnels) {
+        auto counts = funnel.StageCounts(fx.daily.sequences, exec);
+        for (size_t s = 0; s < counts.size(); ++s) {
+          checksum = checksum * 1000003 + counts[s];
+        }
+      }
+      return checksum;
+    });
+  }
   return exact ? 0 : 1;
 }

@@ -12,8 +12,9 @@
 #include "events/client_event.h"
 #include "sessions/sessionizer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace unilog;
+  int threads = bench::ParseThreadsFlag(&argc, argv);
   std::printf("=== E14 / §5.1: BirdBrain daily summary statistics ===\n\n");
 
   bench::DayFixture fx = bench::BuildDay(bench::DefaultWorkload(42, 500));
@@ -81,5 +82,22 @@ int main() {
               seq_bytes * 5 < job.stats().bytes_scanned ? "YES" : "NO",
               HumanBytes(seq_bytes).c_str(),
               HumanBytes(job.stats().bytes_scanned).c_str());
+
+  // Parallel summary over a replicated day (the fixture day is small;
+  // replication makes the scan measurable). The rendered dashboard string
+  // must be byte-identical at every thread count.
+  std::printf("\nreplicated-day Summarize (requested --threads=%d):\n",
+              threads);
+  std::vector<sessions::SessionSequence> day;
+  constexpr int kReplicas = 100;
+  day.reserve(fx.daily.sequences.size() * kReplicas);
+  for (int r = 0; r < kReplicas; ++r) {
+    for (const auto& seq : fx.daily.sequences) day.push_back(seq);
+  }
+  bench::SpeedupReport("Summarize", [&](exec::Executor* exec) -> uint64_t {
+    auto s = analytics::Summarize(day, fx.daily.dictionary, exec);
+    if (!s.ok()) std::abort();
+    return std::hash<std::string>{}(s->ToString());
+  });
   return 0;
 }

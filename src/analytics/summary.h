@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "exec/executor.h"
 #include "sessions/dictionary.h"
 #include "sessions/session_sequence.h"
 
@@ -45,9 +46,14 @@ struct DailySummary {
 /// Computes the daily summary from session sequences. The client type is
 /// recovered from the first event's name (its client component) via the
 /// dictionary — names alone suffice, which is the point of §4.
+///
+/// With a parallel executor, sequences are scanned in chunks whose partial
+/// summaries merge in chunk order. Every accumulator is either a counter
+/// or an integer-valued duration sum (exact in double), so the result is
+/// identical to the serial scan at any thread count.
 Result<DailySummary> Summarize(
     const std::vector<sessions::SessionSequence>& seqs,
-    const sessions::EventDictionary& dict);
+    const sessions::EventDictionary& dict, exec::Executor* exec = nullptr);
 
 }  // namespace unilog::analytics
 

@@ -24,6 +24,24 @@ uint64_t CountClientEvents::Count(const sessions::SessionSequence& seq) const {
   return Count(seq.sequence);
 }
 
+uint64_t CountClientEvents::TotalCount(
+    const std::vector<sessions::SessionSequence>& seqs,
+    exec::Executor* exec) const {
+  if (exec == nullptr || !exec->parallel()) {
+    uint64_t total = 0;
+    for (const auto& seq : seqs) total += Count(seq);
+    return total;
+  }
+  std::vector<uint64_t> partials(exec->ChunksFor(seqs.size()), 0);
+  exec->ParallelForChunked(
+      "count-events", seqs.size(), [&](size_t chunk, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) partials[chunk] += Count(seqs[i]);
+      });
+  uint64_t total = 0;
+  for (uint64_t p : partials) total += p;
+  return total;
+}
+
 bool CountClientEvents::ContainsAny(
     const sessions::SessionSequence& seq) const {
   size_t pos = 0;
@@ -64,11 +82,27 @@ size_t Funnel::StagesCompleted(const sessions::SessionSequence& seq) const {
 }
 
 std::vector<uint64_t> Funnel::StageCounts(
-    const std::vector<sessions::SessionSequence>& seqs) const {
+    const std::vector<sessions::SessionSequence>& seqs,
+    exec::Executor* exec) const {
   std::vector<uint64_t> counts(stages_.size(), 0);
-  for (const auto& seq : seqs) {
-    size_t completed = StagesCompleted(seq);
-    for (size_t i = 0; i < completed; ++i) ++counts[i];
+  if (exec == nullptr || !exec->parallel()) {
+    for (const auto& seq : seqs) {
+      size_t completed = StagesCompleted(seq);
+      for (size_t i = 0; i < completed; ++i) ++counts[i];
+    }
+    return counts;
+  }
+  std::vector<std::vector<uint64_t>> partials(
+      exec->ChunksFor(seqs.size()), std::vector<uint64_t>(stages_.size(), 0));
+  exec->ParallelForChunked(
+      "funnel", seqs.size(), [&](size_t chunk, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          size_t completed = StagesCompleted(seqs[i]);
+          for (size_t s = 0; s < completed; ++s) ++partials[chunk][s];
+        }
+      });
+  for (const auto& partial : partials) {
+    for (size_t s = 0; s < counts.size(); ++s) counts[s] += partial[s];
   }
   return counts;
 }
@@ -91,17 +125,34 @@ std::vector<double> Funnel::AbandonmentRates(
 RateReport ComputeRate(const std::vector<sessions::SessionSequence>& seqs,
                        const sessions::EventDictionary& dict,
                        const events::EventPattern& impression_pattern,
-                       const events::EventPattern& action_pattern) {
+                       const events::EventPattern& action_pattern,
+                       exec::Executor* exec) {
   CountClientEvents impressions(dict, impression_pattern);
   CountClientEvents actions(dict, action_pattern);
-  RateReport report;
-  for (const auto& seq : seqs) {
+  auto scan_one = [&](const sessions::SessionSequence& seq,
+                      RateReport* report) {
     uint64_t imp = impressions.Count(seq);
     uint64_t act = actions.Count(seq);
-    report.impressions += imp;
-    report.actions += act;
-    if (imp > 0) ++report.sessions_with_impression;
-    if (act > 0) ++report.sessions_with_action;
+    report->impressions += imp;
+    report->actions += act;
+    if (imp > 0) ++report->sessions_with_impression;
+    if (act > 0) ++report->sessions_with_action;
+  };
+  RateReport report;
+  if (exec == nullptr || !exec->parallel()) {
+    for (const auto& seq : seqs) scan_one(seq, &report);
+  } else {
+    std::vector<RateReport> partials(exec->ChunksFor(seqs.size()));
+    exec->ParallelForChunked(
+        "rate", seqs.size(), [&](size_t chunk, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) scan_one(seqs[i], &partials[chunk]);
+        });
+    for (const auto& p : partials) {
+      report.impressions += p.impressions;
+      report.actions += p.actions;
+      report.sessions_with_impression += p.sessions_with_impression;
+      report.sessions_with_action += p.sessions_with_action;
+    }
   }
   report.rate = report.impressions == 0
                     ? 0.0

@@ -9,6 +9,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "events/event_name.h"
+#include "exec/executor.h"
 #include "sessions/dictionary.h"
 #include "sessions/session_sequence.h"
 
@@ -32,6 +33,13 @@ class CountClientEvents {
   /// variant: "number of user sessions that contain at least one
   /// instance").
   bool ContainsAny(const sessions::SessionSequence& seq) const;
+
+  /// Day-level SUM over all sessions. With a parallel executor, chunk
+  /// partial sums merge in chunk order — integer counters, so the total is
+  /// identical to the serial scan at any thread count. Count() is const
+  /// and reentrant, as UDFs must be under the exec engine.
+  uint64_t TotalCount(const std::vector<sessions::SessionSequence>& seqs,
+                      exec::Executor* exec = nullptr) const;
 
   /// How many code points the pattern expanded to.
   size_t target_count() const { return targets_.size(); }
@@ -58,9 +66,11 @@ class Funnel {
   size_t StagesCompleted(std::string_view sequence_utf8) const;
 
   /// Aggregates over a day: result[i] = sessions that completed stage i
-  /// (the "(0, 490123) (1, 297071) ..." output of §5.3).
+  /// (the "(0, 490123) (1, 297071) ..." output of §5.3). With a parallel
+  /// executor, per-chunk stage vectors sum element-wise — exact.
   std::vector<uint64_t> StageCounts(
-      const std::vector<sessions::SessionSequence>& seqs) const;
+      const std::vector<sessions::SessionSequence>& seqs,
+      exec::Executor* exec = nullptr) const;
 
   /// Per-stage abandonment rate: fraction of sessions that reached stage i
   /// but not stage i+1. Size = num_stages-1. Stages with zero reach give 0.
@@ -82,11 +92,13 @@ struct RateReport {
 };
 
 /// Computes CTR/FTR-style rates over session sequences: total matching
-/// impressions, total matching actions, and the ratio.
+/// impressions, total matching actions, and the ratio. Integer counters,
+/// so the parallel scan is exact at any thread count.
 RateReport ComputeRate(const std::vector<sessions::SessionSequence>& seqs,
                        const sessions::EventDictionary& dict,
                        const events::EventPattern& impression_pattern,
-                       const events::EventPattern& action_pattern);
+                       const events::EventPattern& action_pattern,
+                       exec::Executor* exec = nullptr);
 
 }  // namespace unilog::analytics
 

@@ -69,10 +69,41 @@ Status MapReduceJob::AddInputDir(const std::string& dir) {
   return Status::OK();
 }
 
-Result<std::vector<std::pair<std::string, std::string>>> MapReduceJob::Run() {
-  if (!map_) return Status::FailedPrecondition("no map function");
-  stats_ = JobStats{};
+void MapReduceJob::set_map_with_state(
+    MapWithStateFn map, std::function<std::unique_ptr<TaskLocal>()> create,
+    std::function<void(TaskLocal*)> merge) {
+  map_with_state_ = std::move(map);
+  create_state_ = std::move(create);
+  merge_state_ = std::move(merge);
+}
 
+std::map<std::string, std::vector<std::string>> StableShuffle(
+    std::vector<Emitter>* per_task, uint64_t* bytes_shuffled) {
+  std::map<std::string, std::vector<std::string>> groups;
+  for (Emitter& task : *per_task) {
+    for (auto& [key, value] : task.mutable_pairs()) {
+      if (bytes_shuffled != nullptr) {
+        *bytes_shuffled += key.size() + value.size();
+      }
+      groups[std::move(key)].push_back(std::move(value));
+    }
+  }
+  return groups;
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> MapReduceJob::Run() {
+  if (!map_ && !map_with_state_) {
+    return Status::FailedPrecondition("no map function");
+  }
+  stats_ = JobStats{};
+  if (exec_ != nullptr && exec_->parallel()) return RunParallel();
+  return RunSerial();
+}
+
+// The historical single-threaded engine, kept as its own code path:
+// threads=1 must execute exactly what it always has.
+Result<std::vector<std::pair<std::string, std::string>>>
+MapReduceJob::RunSerial() {
   // ----- Map phase: one task per HDFS block of each accepted input file.
   Emitter map_out;
   for (const auto& path : inputs_) {
@@ -85,10 +116,17 @@ Result<std::vector<std::pair<std::string, std::string>>> MapReduceJob::Run() {
     UNILOG_ASSIGN_OR_RETURN(std::string body, fs_->ReadFile(path));
     UNILOG_ASSIGN_OR_RETURN(std::string decoded, format_.decode(body));
     UNILOG_ASSIGN_OR_RETURN(auto records, format_.split(decoded));
+    std::unique_ptr<TaskLocal> state;
+    if (map_with_state_) state = create_state_();
     for (const auto& record : records) {
       ++stats_.records_read;
-      UNILOG_RETURN_NOT_OK(map_(record, &map_out));
+      if (map_with_state_) {
+        UNILOG_RETURN_NOT_OK(map_with_state_(record, &map_out, state.get()));
+      } else {
+        UNILOG_RETURN_NOT_OK(map_(record, &map_out));
+      }
     }
+    if (state != nullptr) merge_state_(state.get());
   }
   stats_.records_emitted = map_out.pairs().size();
 
@@ -119,6 +157,123 @@ Result<std::vector<std::pair<std::string, std::string>>> MapReduceJob::Run() {
     UNILOG_RETURN_NOT_OK(reduce_(key, values, &reduce_out));
   }
   output = std::move(reduce_out.mutable_pairs());
+  std::stable_sort(
+      output.begin(), output.end(),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  stats_.records_output = output.size();
+  stats_.modeled_ms = ModelWallTimeMs(cost_model_, stats_);
+  return output;
+}
+
+// The unilog::exec engine: map tasks fan out one per accepted input file,
+// the shuffle merge is stable and input-order-preserving, and reduce
+// groups run concurrently with outputs concatenated in key order. Every
+// phase writes only to per-task slots, so the final output is
+// byte-identical to RunSerial() at any thread count.
+Result<std::vector<std::pair<std::string, std::string>>>
+MapReduceJob::RunParallel() {
+  // ----- Plan: accept-filter, stat and read bodies on the calling thread
+  // (MiniHdfs access stays single-threaded; decode/map is the hot part).
+  std::vector<std::string> bodies;
+  for (const auto& path : inputs_) {
+    if (format_.accept_file && !format_.accept_file(path)) continue;
+    UNILOG_ASSIGN_OR_RETURN(auto st, fs_->Stat(path));
+    stats_.map_tasks += st.block_count;
+    stats_.bytes_scanned += st.size;
+    UNILOG_ASSIGN_OR_RETURN(std::string body, fs_->ReadFile(path));
+    bodies.push_back(std::move(body));
+  }
+
+  // ----- Map phase: one task per file, each with a private emitter (and
+  // private by-product state).
+  size_t num_tasks = bodies.size();
+  std::vector<Emitter> task_out(num_tasks);
+  std::vector<uint64_t> task_records(num_tasks, 0);
+  std::vector<std::unique_ptr<TaskLocal>> task_state(num_tasks);
+  if (map_with_state_) {
+    for (auto& state : task_state) state = create_state_();
+  }
+  UNILOG_RETURN_NOT_OK(
+      exec_->ParallelForStatus("map", num_tasks, [&](size_t i) -> Status {
+        UNILOG_ASSIGN_OR_RETURN(std::string decoded,
+                                format_.decode(bodies[i]));
+        UNILOG_ASSIGN_OR_RETURN(auto records, format_.split(decoded));
+        task_records[i] = records.size();
+        for (const auto& record : records) {
+          if (map_with_state_) {
+            UNILOG_RETURN_NOT_OK(
+                map_with_state_(record, &task_out[i], task_state[i].get()));
+          } else {
+            UNILOG_RETURN_NOT_OK(map_(record, &task_out[i]));
+          }
+        }
+        return Status::OK();
+      }));
+  for (size_t i = 0; i < num_tasks; ++i) {
+    stats_.records_read += task_records[i];
+    stats_.records_emitted += task_out[i].pairs().size();
+    if (task_state[i] != nullptr) merge_state_(task_state[i].get());
+  }
+
+  std::vector<std::pair<std::string, std::string>> output;
+  if (!reduce_) {
+    // Map-only: concatenate per-task emissions in input order — identical
+    // to the serial engine's single-emitter stream — then sort stably.
+    for (Emitter& task : task_out) {
+      for (auto& pair : task.mutable_pairs()) output.push_back(std::move(pair));
+    }
+    std::stable_sort(
+        output.begin(), output.end(),
+        [](const auto& a, const auto& b) { return a.first < b.first; });
+    stats_.records_output = output.size();
+    stats_.modeled_ms = ModelWallTimeMs(cost_model_, stats_);
+    return output;
+  }
+
+  // ----- Shuffle: hash-partition keys so partitions group concurrently.
+  // Each partition scans the task emitters in input order, so per-key
+  // value order matches StableShuffle (and therefore the serial engine);
+  // each key lives in exactly one partition, so the partition count never
+  // affects the result.
+  size_t num_parts = static_cast<size_t>(exec_->threads()) * 2;
+  std::vector<std::map<std::string, std::vector<std::string>>> parts(
+      num_parts);
+  std::vector<uint64_t> part_bytes(num_parts, 0);
+  exec_->ParallelFor("shuffle", num_parts, [&](size_t p) {
+    std::hash<std::string_view> hasher;
+    for (Emitter& task : task_out) {
+      for (auto& [key, value] : task.mutable_pairs()) {
+        if (hasher(key) % num_parts != p) continue;
+        part_bytes[p] += key.size() + value.size();
+        parts[p][key].push_back(std::move(value));
+      }
+    }
+  });
+  size_t num_groups = 0;
+  for (size_t p = 0; p < num_parts; ++p) {
+    stats_.bytes_shuffled += part_bytes[p];
+    num_groups += parts[p].size();
+  }
+  stats_.reduce_tasks =
+      std::min<uint64_t>(num_reducers_, std::max<size_t>(1, num_groups));
+
+  // ----- Reduce phase: groups in global key order, one emitter each.
+  using Group = std::pair<const std::string*, const std::vector<std::string>*>;
+  std::vector<Group> groups;
+  groups.reserve(num_groups);
+  for (const auto& part : parts) {
+    for (const auto& [key, values] : part) groups.emplace_back(&key, &values);
+  }
+  std::sort(groups.begin(), groups.end(),
+            [](const Group& a, const Group& b) { return *a.first < *b.first; });
+  std::vector<Emitter> reduce_out(groups.size());
+  UNILOG_RETURN_NOT_OK(
+      exec_->ParallelForStatus("reduce", groups.size(), [&](size_t g) {
+        return reduce_(*groups[g].first, *groups[g].second, &reduce_out[g]);
+      }));
+  for (Emitter& group : reduce_out) {
+    for (auto& pair : group.mutable_pairs()) output.push_back(std::move(pair));
+  }
   std::stable_sort(
       output.begin(), output.end(),
       [](const auto& a, const auto& b) { return a.first < b.first; });

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "dataflow/cost_model.h"
+#include "exec/executor.h"
 #include "hdfs/mini_hdfs.h"
 
 namespace unilog::dataflow {
@@ -59,16 +61,43 @@ class Emitter {
   std::vector<std::pair<std::string, std::string>> pairs_;
 };
 
+/// The shuffle of the unilog::exec engine: groups per-task emissions with
+/// a stable, input-order-preserving merge. For every key, values appear in
+/// (task index, emission order) — exactly the order the serial engine
+/// produces by concatenating task outputs before grouping. Consumes the
+/// emitters' pairs. Exposed for the determinism/property test suite.
+std::map<std::string, std::vector<std::string>> StableShuffle(
+    std::vector<Emitter>* per_task, uint64_t* bytes_shuffled);
+
+/// Base class for per-map-task by-product state (histograms, rollups):
+/// jobs whose map function accumulates outside the emitter subclass this,
+/// so every map task mutates private state and Run() merges the pieces in
+/// input order — deterministic at any thread count.
+struct TaskLocal {
+  virtual ~TaskLocal() = default;
+};
+
 /// A simulated MapReduce job over MiniHdfs files: one map task per HDFS
 /// block, hash-partitioned shuffle, one reduce wave. Executes locally and
 /// deterministically while charging the JobCostModel for task startups,
 /// scans, and shuffles — the same bookkeeping a Hadoop jobtracker would
 /// see from the paper's Pig scripts.
+///
+/// With an exec::Executor attached (set_executor), map tasks fan out one
+/// per input file, the shuffle merge preserves input order, and reduce
+/// groups run concurrently with outputs emitted in key order — so the
+/// final output is byte-identical to the serial engine at any thread
+/// count. Map/reduce functions must then be safe to call from multiple
+/// threads at once (each task receives a private Emitter; shared
+/// accumulation goes through the TaskLocal machinery).
 class MapReduceJob {
  public:
   /// Map function: one input record → zero or more (key, value) pairs.
   using MapFn =
       std::function<Status(const std::string& record, Emitter* emitter)>;
+  /// Map function with per-task by-product state.
+  using MapWithStateFn = std::function<Status(
+      const std::string& record, Emitter* emitter, TaskLocal* state)>;
   /// Reduce function: one key and all its values → zero or more outputs.
   using ReduceFn = std::function<Status(
       const std::string& key, const std::vector<std::string>& values,
@@ -87,10 +116,19 @@ class MapReduceJob {
 
   void set_input_format(InputFormat format) { format_ = std::move(format); }
   void set_map(MapFn map) { map_ = std::move(map); }
+  /// Map with per-task state: `create` makes one state object per map
+  /// task; after the map phase Run() calls `merge` once per task, in input
+  /// order, on the calling thread.
+  void set_map_with_state(MapWithStateFn map,
+                          std::function<std::unique_ptr<TaskLocal>()> create,
+                          std::function<void(TaskLocal*)> merge);
   /// Optional; omitting the reducer yields a map-only job whose map outputs
   /// are the final outputs.
   void set_reduce(ReduceFn reduce) { reduce_ = std::move(reduce); }
   void set_num_reducers(uint64_t n) { num_reducers_ = n; }
+  /// Attaches the parallel execution engine; nullptr (the default) or a
+  /// serial executor keeps the historical single-threaded code path.
+  void set_executor(exec::Executor* exec) { exec_ = exec; }
 
   /// Runs the job. Returns final (key, value) outputs sorted by key.
   Result<std::vector<std::pair<std::string, std::string>>> Run();
@@ -99,13 +137,20 @@ class MapReduceJob {
   const JobStats& stats() const { return stats_; }
 
  private:
+  Result<std::vector<std::pair<std::string, std::string>>> RunSerial();
+  Result<std::vector<std::pair<std::string, std::string>>> RunParallel();
+
   const hdfs::MiniHdfs* fs_;
   JobCostModel cost_model_;
   std::vector<std::string> inputs_;
   InputFormat format_ = InputFormat::CompressedFramed();
   MapFn map_;
+  MapWithStateFn map_with_state_;
+  std::function<std::unique_ptr<TaskLocal>()> create_state_;
+  std::function<void(TaskLocal*)> merge_state_;
   ReduceFn reduce_;
   uint64_t num_reducers_ = 16;
+  exec::Executor* exec_ = nullptr;
   JobStats stats_;
 };
 

@@ -458,7 +458,7 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
                GlobMatch(b.str_value(), a.str_value());
       }
       return CompareValues(a, op, b);
-    });
+    }, exec_);
     return out;
   }
 
@@ -557,7 +557,7 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
         }
       }
       UNILOG_ASSIGN_OR_RETURN(Relation grouped,
-                              rel.data.GroupBy(rel.keys, aggs));
+                              rel.data.GroupBy(rel.keys, aggs, exec_));
       // Rename key columns if AS was used, then project requested order.
       // GroupBy output = keys..., aggs...; map names.
       std::vector<std::string> project;
@@ -625,13 +625,11 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
       }
       resolved.push_back(std::move(r));
     }
-    out.data = Relation(out_cols);
-    for (const Row& row : rel.data.rows()) {
-      Row out_row;
-      out_row.reserve(resolved.size());
+    auto generate_one = [&](const Row& row, Row* out_row) -> Status {
+      out_row->reserve(resolved.size());
       for (const auto& r : resolved) {
         if (r.item->kind == GenItem::Kind::kColumn) {
-          out_row.push_back(row[static_cast<size_t>(r.column_index)]);
+          out_row->push_back(row[static_cast<size_t>(r.column_index)]);
         } else {
           std::vector<Value> args;
           for (size_t a = 0; a < r.arg_indices.size(); ++a) {
@@ -641,11 +639,29 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
           }
           const ScalarUdf& fn = r.udf != nullptr ? *r.udf : r.owned_udf;
           UNILOG_ASSIGN_OR_RETURN(Value v, fn(args));
-          out_row.push_back(std::move(v));
+          out_row->push_back(std::move(v));
         }
       }
-      UNILOG_RETURN_NOT_OK(out.data.AddRow(std::move(out_row)));
+      return Status::OK();
+    };
+    if (exec_ == nullptr || !exec_->parallel()) {
+      out.data = Relation(out_cols);
+      for (const Row& row : rel.data.rows()) {
+        Row out_row;
+        UNILOG_RETURN_NOT_OK(generate_one(row, &out_row));
+        UNILOG_RETURN_NOT_OK(out.data.AddRow(std::move(out_row)));
+      }
+      return out;
     }
+    // Parallel FOREACH: each row writes its own output slot; row order is
+    // preserved by construction.
+    const std::vector<Row>& in_rows = rel.data.rows();
+    std::vector<Row> out_rows(in_rows.size());
+    UNILOG_RETURN_NOT_OK(exec_->ParallelForStatus(
+        "foreach", in_rows.size(),
+        [&](size_t i) { return generate_one(in_rows[i], &out_rows[i]); }));
+    UNILOG_ASSIGN_OR_RETURN(out.data,
+                            Relation::FromRows(out_cols, std::move(out_rows)));
     return out;
   }
 
@@ -721,7 +737,8 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
       return Status::InvalidArgument("pig: JOIN requires BY on both sides");
     }
     UNILOG_ASSIGN_OR_RETURN(std::string rcol, t->ExpectIdent("join column"));
-    UNILOG_ASSIGN_OR_RETURN(out.data, lrel.data.Join(rrel.data, lcol, rcol));
+    UNILOG_ASSIGN_OR_RETURN(out.data,
+                            lrel.data.Join(rrel.data, lcol, rcol, exec_));
     return out;
   }
 

@@ -50,6 +50,13 @@ class PigInterpreter {
 
   PigInterpreter() = default;
 
+  /// Attaches the unilog::exec engine: FILTER, row-level FOREACH, grouped
+  /// FOREACH (GroupBy) and JOIN then fan rows out across worker threads,
+  /// with outputs merged deterministically — script output is
+  /// byte-identical to the serial interpreter at any thread count.
+  /// Registered UDFs must be safe to call concurrently.
+  void set_executor(exec::Executor* exec) { exec_ = exec; }
+
   /// Registers a loader usable in LOAD ... USING <name>(...).
   void RegisterLoader(const std::string& name, Loader loader);
 
@@ -83,6 +90,7 @@ class PigInterpreter {
   Result<GroupedRelation> EvalExpression(class PigTokens* tokens);
   Result<GroupedRelation> LookupRel(const std::string& alias) const;
 
+  exec::Executor* exec_ = nullptr;
   std::map<std::string, Loader> loaders_;
   std::map<std::string, UdfFactory> factories_;
   std::map<std::string, ScalarUdf> defined_udfs_;

@@ -33,6 +33,20 @@ std::string Value::ToString() const {
   return str_value();
 }
 
+Result<Relation> Relation::FromRows(std::vector<std::string> columns,
+                                    std::vector<Row> rows) {
+  Relation out(std::move(columns));
+  for (const Row& row : rows) {
+    if (row.size() != out.columns_.size()) {
+      return Status::InvalidArgument(
+          "row arity " + std::to_string(row.size()) + " != schema arity " +
+          std::to_string(out.columns_.size()));
+    }
+  }
+  out.rows_ = std::move(rows);
+  return out;
+}
+
 Status Relation::AddRow(Row row) {
   if (row.size() != columns_.size()) {
     return Status::InvalidArgument(
@@ -56,61 +70,175 @@ Result<Value> Relation::Get(const Row& row, const std::string& column) const {
   return row[idx];
 }
 
-Relation Relation::Filter(const Predicate& predicate) const {
+Relation Relation::Filter(const Predicate& predicate,
+                          exec::Executor* exec) const {
   Relation out(columns_);
-  for (const auto& row : rows_) {
-    if (predicate(row)) out.rows_.push_back(row);
+  if (exec == nullptr || !exec->parallel()) {
+    for (const auto& row : rows_) {
+      if (predicate(row)) out.rows_.push_back(row);
+    }
+    return out;
+  }
+  // Chunked fan-out; concatenating per-chunk survivors in chunk order
+  // reproduces the serial row order exactly.
+  std::vector<std::vector<Row>> kept(exec->ChunksFor(rows_.size()));
+  exec->ParallelForChunked(
+      "filter", rows_.size(), [&](size_t chunk, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          if (predicate(rows_[i])) kept[chunk].push_back(rows_[i]);
+        }
+      });
+  for (auto& chunk : kept) {
+    for (auto& row : chunk) out.rows_.push_back(std::move(row));
   }
   return out;
 }
 
-Result<Relation> Relation::Project(
-    const std::vector<std::string>& cols) const {
+Result<Relation> Relation::Project(const std::vector<std::string>& cols,
+                                   exec::Executor* exec) const {
   std::vector<size_t> indices;
   for (const auto& col : cols) {
     UNILOG_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(col));
     indices.push_back(idx);
   }
   Relation out(cols);
-  for (const auto& row : rows_) {
+  out.rows_.resize(rows_.size());
+  auto project_one = [&](size_t i) {
     Row projected;
     projected.reserve(indices.size());
-    for (size_t idx : indices) projected.push_back(row[idx]);
-    out.rows_.push_back(std::move(projected));
+    for (size_t idx : indices) projected.push_back(rows_[i][idx]);
+    out.rows_[i] = std::move(projected);
+  };
+  if (exec == nullptr || !exec->parallel()) {
+    for (size_t i = 0; i < rows_.size(); ++i) project_one(i);
+  } else {
+    exec->ParallelForChunked("project", rows_.size(),
+                             [&](size_t, size_t begin, size_t end) {
+                               for (size_t i = begin; i < end; ++i) {
+                                 project_one(i);
+                               }
+                             });
   }
   return out;
 }
 
-Result<Relation> Relation::WithColumn(
-    const std::string& name, std::function<Value(const Row&)> fn) const {
+Result<Relation> Relation::WithColumn(const std::string& name,
+                                      std::function<Value(const Row&)> fn,
+                                      exec::Executor* exec) const {
   if (ColumnIndex(name).ok()) {
     return Status::AlreadyExists("column exists: " + name);
   }
   std::vector<std::string> cols = columns_;
   cols.push_back(name);
   Relation out(cols);
-  for (const auto& row : rows_) {
-    Row extended = row;
-    extended.push_back(fn(row));
-    out.rows_.push_back(std::move(extended));
+  out.rows_.resize(rows_.size());
+  auto extend_one = [&](size_t i) {
+    Row extended = rows_[i];
+    extended.push_back(fn(rows_[i]));
+    out.rows_[i] = std::move(extended);
+  };
+  if (exec == nullptr || !exec->parallel()) {
+    for (size_t i = 0; i < rows_.size(); ++i) extend_one(i);
+  } else {
+    exec->ParallelForChunked("with_column", rows_.size(),
+                             [&](size_t, size_t begin, size_t end) {
+                               for (size_t i = begin; i < end; ++i) {
+                                 extend_one(i);
+                               }
+                             });
   }
   return out;
 }
 
+namespace {
+
+struct AggState {
+  uint64_t count = 0;
+  double sum = 0;
+  bool has_minmax = false;
+  Value min, max;
+  std::set<std::string> distinct;
+};
+
+void Accumulate(const std::vector<Aggregate>& aggs,
+                const std::vector<size_t>& agg_idx, const Row& row,
+                std::vector<AggState>* states) {
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    AggState& st = (*states)[i];
+    switch (aggs[i].op) {
+      case Aggregate::Op::kCount:
+        ++st.count;
+        break;
+      case Aggregate::Op::kSum:
+        st.sum += row[agg_idx[i]].AsNumber();
+        break;
+      case Aggregate::Op::kMin:
+      case Aggregate::Op::kMax: {
+        const Value& v = row[agg_idx[i]];
+        if (!st.has_minmax) {
+          st.min = st.max = v;
+          st.has_minmax = true;
+        } else {
+          if (v < st.min) st.min = v;
+          if (st.max < v) st.max = v;
+        }
+        break;
+      }
+      case Aggregate::Op::kCountDistinct:
+        st.distinct.insert(row[agg_idx[i]].ToString());
+        break;
+    }
+  }
+}
+
+Row FinalizeGroup(const std::vector<Aggregate>& aggs, const Row& key,
+                  const std::vector<AggState>& states) {
+  Row row = key;
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const AggState& st = states[i];
+    switch (aggs[i].op) {
+      case Aggregate::Op::kCount:
+        row.push_back(Value::Int(static_cast<int64_t>(st.count)));
+        break;
+      case Aggregate::Op::kSum:
+        row.push_back(Value::Real(st.sum));
+        break;
+      case Aggregate::Op::kMin:
+        row.push_back(st.min);
+        break;
+      case Aggregate::Op::kMax:
+        row.push_back(st.max);
+        break;
+      case Aggregate::Op::kCountDistinct:
+        row.push_back(Value::Int(static_cast<int64_t>(st.distinct.size())));
+        break;
+    }
+  }
+  return row;
+}
+
+/// Position-independent hash of a group key, used only to assign groups to
+/// shards — the merge is by key order, so the shard assignment never shows
+/// up in the output.
+size_t HashKey(const Row& key) {
+  std::hash<std::string> hasher;
+  size_t h = 0;
+  for (const Value& v : key) {
+    h = h * 1099511628211ull + hasher(v.ToString()) + v.is_str();
+  }
+  return h;
+}
+
+}  // namespace
+
 Result<Relation> Relation::GroupBy(const std::vector<std::string>& keys,
-                                   const std::vector<Aggregate>& aggs) const {
+                                   const std::vector<Aggregate>& aggs,
+                                   exec::Executor* exec) const {
   std::vector<size_t> key_idx;
   for (const auto& k : keys) {
     UNILOG_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(k));
     key_idx.push_back(idx);
   }
-  struct AggState {
-    uint64_t count = 0;
-    double sum = 0;
-    bool has_minmax = false;
-    Value min, max;
-    std::set<std::string> distinct;
-  };
   std::vector<size_t> agg_idx(aggs.size(), 0);
   for (size_t i = 0; i < aggs.size(); ++i) {
     if (aggs[i].op != Aggregate::Op::kCount) {
@@ -118,74 +246,81 @@ Result<Relation> Relation::GroupBy(const std::vector<std::string>& keys,
     }
   }
 
-  std::map<Row, std::vector<AggState>> groups;  // ordered → sorted output
-  for (const auto& row : rows_) {
-    Row key;
-    key.reserve(key_idx.size());
-    for (size_t idx : key_idx) key.push_back(row[idx]);
-    auto [it, inserted] = groups.try_emplace(std::move(key));
-    if (inserted) it->second.resize(aggs.size());
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      AggState& st = it->second[i];
-      switch (aggs[i].op) {
-        case Aggregate::Op::kCount:
-          ++st.count;
-          break;
-        case Aggregate::Op::kSum:
-          st.sum += row[agg_idx[i]].AsNumber();
-          break;
-        case Aggregate::Op::kMin:
-        case Aggregate::Op::kMax: {
-          const Value& v = row[agg_idx[i]];
-          if (!st.has_minmax) {
-            st.min = st.max = v;
-            st.has_minmax = true;
-          } else {
-            if (v < st.min) st.min = v;
-            if (st.max < v) st.max = v;
-          }
-          break;
-        }
-        case Aggregate::Op::kCountDistinct:
-          st.distinct.insert(row[agg_idx[i]].ToString());
-          break;
-      }
-    }
-  }
-
   std::vector<std::string> out_cols = keys;
   for (const auto& agg : aggs) out_cols.push_back(agg.as);
   Relation out(out_cols);
-  for (const auto& [key, states] : groups) {
-    Row row = key;
-    for (size_t i = 0; i < aggs.size(); ++i) {
-      const AggState& st = states[i];
-      switch (aggs[i].op) {
-        case Aggregate::Op::kCount:
-          row.push_back(Value::Int(static_cast<int64_t>(st.count)));
-          break;
-        case Aggregate::Op::kSum:
-          row.push_back(Value::Real(st.sum));
-          break;
-        case Aggregate::Op::kMin:
-          row.push_back(st.min);
-          break;
-        case Aggregate::Op::kMax:
-          row.push_back(st.max);
-          break;
-        case Aggregate::Op::kCountDistinct:
-          row.push_back(Value::Int(static_cast<int64_t>(st.distinct.size())));
-          break;
-      }
+
+  if (exec == nullptr || !exec->parallel()) {
+    // Serial engine: one ordered map, rows accumulated in row order.
+    std::map<Row, std::vector<AggState>> groups;
+    for (const auto& row : rows_) {
+      Row key;
+      key.reserve(key_idx.size());
+      for (size_t idx : key_idx) key.push_back(row[idx]);
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) it->second.resize(aggs.size());
+      Accumulate(aggs, agg_idx, row, &it->second);
     }
-    out.rows_.push_back(std::move(row));
+    for (const auto& [key, states] : groups) {
+      out.rows_.push_back(FinalizeGroup(aggs, key, states));
+    }
+    return out;
   }
+
+  // Parallel engine: hash-partition rows by group key so every group is
+  // owned by exactly one shard. Each shard scans the rows in original
+  // order, so per-group accumulation order — and therefore even
+  // floating-point SUM — is bit-identical to the serial engine. The shard
+  // count only affects scheduling: the merge walks groups in key order.
+  size_t num_shards = static_cast<size_t>(exec->threads()) * 2;
+  std::vector<uint32_t> shard_of(rows_.size());
+  exec->ParallelForChunked(
+      "groupby-hash", rows_.size(), [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          Row key;
+          key.reserve(key_idx.size());
+          for (size_t idx : key_idx) key.push_back(rows_[i][idx]);
+          shard_of[i] = static_cast<uint32_t>(HashKey(key) % num_shards);
+        }
+      });
+  std::vector<std::map<Row, std::vector<AggState>>> shards(num_shards);
+  exec->ParallelFor("groupby-agg", num_shards, [&](size_t s) {
+    auto& groups = shards[s];
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (shard_of[i] != s) continue;
+      const Row& row = rows_[i];
+      Row key;
+      key.reserve(key_idx.size());
+      for (size_t idx : key_idx) key.push_back(row[idx]);
+      auto [it, inserted] = groups.try_emplace(std::move(key));
+      if (inserted) it->second.resize(aggs.size());
+      Accumulate(aggs, agg_idx, row, &it->second);
+    }
+  });
+
+  // Merge: every group lives in one shard; emit in global key order.
+  using GroupRef = std::pair<const Row*, const std::vector<AggState>*>;
+  std::vector<GroupRef> refs;
+  for (const auto& shard : shards) {
+    for (const auto& [key, states] : shard) refs.emplace_back(&key, &states);
+  }
+  std::sort(refs.begin(), refs.end(), [](const GroupRef& a, const GroupRef& b) {
+    return *a.first < *b.first;
+  });
+  out.rows_.resize(refs.size());
+  exec->ParallelForChunked(
+      "groupby-finalize", refs.size(), [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          out.rows_[i] = FinalizeGroup(aggs, *refs[i].first, *refs[i].second);
+        }
+      });
   return out;
 }
 
 Result<Relation> Relation::Join(const Relation& right,
                                 const std::string& left_col,
-                                const std::string& right_col) const {
+                                const std::string& right_col,
+                                exec::Executor* exec) const {
   UNILOG_ASSIGN_OR_RETURN(size_t li, ColumnIndex(left_col));
   UNILOG_ASSIGN_OR_RETURN(size_t ri, right.ColumnIndex(right_col));
 
@@ -202,18 +337,31 @@ Result<Relation> Relation::Join(const Relation& right,
     out_cols.push_back(right.columns_[i]);
   }
   Relation out(out_cols);
-  for (const auto& row : rows_) {
+  auto probe_one = [&](const Row& row, std::vector<Row>* sink) {
     auto it = table.find(row[li].ToString() + "\x01" +
                          std::to_string(row[li].is_str()));
-    if (it == table.end()) continue;
+    if (it == table.end()) return;
     for (const Row* rrow : it->second) {
       Row joined = row;
       for (size_t i = 0; i < rrow->size(); ++i) {
         if (i == ri) continue;
         joined.push_back((*rrow)[i]);
       }
-      out.rows_.push_back(std::move(joined));
+      sink->push_back(std::move(joined));
     }
+  };
+  if (exec == nullptr || !exec->parallel()) {
+    for (const auto& row : rows_) probe_one(row, &out.rows_);
+    return out;
+  }
+  // Parallel probe: per-chunk outputs concatenated in probe-row order.
+  std::vector<std::vector<Row>> chunks(exec->ChunksFor(rows_.size()));
+  exec->ParallelForChunked(
+      "join-probe", rows_.size(), [&](size_t chunk, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) probe_one(rows_[i], &chunks[chunk]);
+      });
+  for (auto& chunk : chunks) {
+    for (auto& row : chunk) out.rows_.push_back(std::move(row));
   }
   return out;
 }

@@ -9,6 +9,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "exec/executor.h"
 
 namespace unilog::dataflow {
 
@@ -64,11 +65,23 @@ struct Aggregate {
 /// Pig-like layer. Operators are purely functional (return new relations)
 /// and Status-checked, so a misspelled column is an error, not garbage
 /// output — one of §3.1's complaints about the legacy world.
+///
+/// Operators accept an optional exec::Executor. With a parallel executor,
+/// rows fan out across worker threads and results are merged in row (or
+/// key) order, so output is byte-identical to the serial path at any
+/// thread count — including floating-point aggregates, because per-group
+/// accumulation order is preserved, never reassociated. Caller-supplied
+/// predicates/functions must then be reentrant.
 class Relation {
  public:
   Relation() = default;
   explicit Relation(std::vector<std::string> columns)
       : columns_(std::move(columns)) {}
+
+  /// Builds a relation from pre-assembled rows (the pattern parallel
+  /// producers use); every row must match the schema arity.
+  static Result<Relation> FromRows(std::vector<std::string> columns,
+                                   std::vector<Row> rows);
 
   const std::vector<std::string>& columns() const { return columns_; }
   const std::vector<Row>& rows() const { return rows_; }
@@ -87,24 +100,32 @@ class Relation {
   /// Keeps rows where `predicate` returns true. The predicate receives the
   /// row and a bound accessor for column lookups.
   using Predicate = std::function<bool(const Row& row)>;
-  Relation Filter(const Predicate& predicate) const;
+  Relation Filter(const Predicate& predicate,
+                  exec::Executor* exec = nullptr) const;
 
   /// Keeps only the named columns, in the given order.
-  Result<Relation> Project(const std::vector<std::string>& cols) const;
+  Result<Relation> Project(const std::vector<std::string>& cols,
+                           exec::Executor* exec = nullptr) const;
 
   /// Adds a computed column.
   Result<Relation> WithColumn(const std::string& name,
-                              std::function<Value(const Row&)> fn) const;
+                              std::function<Value(const Row&)> fn,
+                              exec::Executor* exec = nullptr) const;
 
   /// Groups by key columns and applies aggregates. Output columns: keys
-  /// then aggregate outputs. Output sorted by key.
+  /// then aggregate outputs. Output sorted by key. Parallel grouping
+  /// hash-partitions rows by key, so each group is accumulated by exactly
+  /// one task in original row order (SUM stays bit-identical).
   Result<Relation> GroupBy(const std::vector<std::string>& keys,
-                           const std::vector<Aggregate>& aggs) const;
+                           const std::vector<Aggregate>& aggs,
+                           exec::Executor* exec = nullptr) const;
 
   /// Inner hash join on left_col == right_col. Output columns: all left
-  /// columns then all right columns except the join column.
+  /// columns then all right columns except the join column. The build side
+  /// is sequential; probes fan out with outputs merged in probe-row order.
   Result<Relation> Join(const Relation& right, const std::string& left_col,
-                        const std::string& right_col) const;
+                        const std::string& right_col,
+                        exec::Executor* exec = nullptr) const;
 
   /// Distinct full rows.
   Relation Distinct() const;

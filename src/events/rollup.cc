@@ -37,6 +37,20 @@ void RollupAggregator::Add(const EventName& name, const std::string& country,
   }
 }
 
+void RollupAggregator::Merge(const RollupAggregator& other) {
+  for (int level = 0; level < kRollupLevels; ++level) {
+    for (const auto& [key, cell] : other.levels_[level]) {
+      RollupCell& mine = levels_[level][key];
+      mine.total += cell.total;
+      mine.logged_in += cell.logged_in;
+      mine.logged_out += cell.logged_out;
+      for (const auto& [country, count] : cell.by_country) {
+        mine.by_country[country] += count;
+      }
+    }
+  }
+}
+
 const std::map<std::string, RollupCell>& RollupAggregator::Level(
     RollupLevel level) const {
   return levels_[static_cast<int>(level)];

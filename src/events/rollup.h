@@ -51,6 +51,11 @@ class RollupAggregator {
   void Add(const EventName& name, const std::string& country, bool logged_in,
            uint64_t count = 1);
 
+  /// Adds every cell of `other` into this aggregator. Counters are
+  /// commutative sums, so merging per-map-task partial rollups in any
+  /// order yields the same cells as one serial pass.
+  void Merge(const RollupAggregator& other);
+
   /// The aggregated cells for one level, keyed by wildcarded name.
   const std::map<std::string, RollupCell>& Level(RollupLevel level) const;
 

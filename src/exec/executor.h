@@ -1,0 +1,143 @@
+#ifndef UNILOG_EXEC_EXECUTOR_H_
+#define UNILOG_EXEC_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace unilog::obs {
+class MetricsRegistry;
+}  // namespace unilog::obs
+
+namespace unilog::exec {
+
+/// Execution configuration for the dataflow layer. `threads <= 1` selects
+/// the serial engine: every ParallelFor runs inline on the calling thread
+/// in index order, with no pool, no locks, and no worker threads — the
+/// exact pre-engine code path.
+struct ExecOptions {
+  int threads = 1;
+  /// Floor on items per chunk for the chunked variants, so tiny inputs do
+  /// not shatter into per-row tasks.
+  size_t min_items_per_chunk = 16;
+};
+
+/// A fixed-size pool of worker threads executing one "batch" (a bounded
+/// parallel-for) at a time. Indices are claimed dynamically with an atomic
+/// cursor, so stragglers do not serialize the batch; determinism comes
+/// from callers writing results only into per-index slots, never from
+/// completion order. The calling thread participates in the batch, so a
+/// pool of N-1 workers yields N-way parallelism.
+class ThreadPool {
+ public:
+  /// Spawns `num_workers` threads (0 is allowed: Run degenerates to an
+  /// inline loop on the caller).
+  explicit ThreadPool(int num_workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int worker_count() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs task(i) for every i in [0, n) across the workers plus the
+  /// calling thread; returns once all n indices completed. Batches are
+  /// serialized: concurrent Run calls queue on an internal mutex. `task`
+  /// must not throw.
+  void Run(size_t n, const std::function<void(size_t)>& task);
+
+  /// True when the current thread is one of this process's pool workers.
+  /// Nested parallel regions use this to degrade to inline execution
+  /// instead of deadlocking on the batch mutex.
+  static bool OnWorkerThread();
+
+ private:
+  struct Batch {
+    const std::function<void(size_t)>* task = nullptr;
+    size_t n = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+  };
+
+  void WorkerLoop();
+  void DrainBatch(Batch* batch);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Heap-owned so a worker that wakes late can still claim (and find
+  // exhausted) a batch the caller has already abandoned.
+  std::shared_ptr<Batch> batch_;  // guarded by mu_
+  uint64_t batch_seq_ = 0;        // guarded by mu_; bumped per batch
+  bool stop_ = false;             // guarded by mu_
+  std::mutex run_mu_;             // serializes Run() calls
+  std::vector<std::thread> workers_;
+};
+
+/// The deterministic parallel execution engine the dataflow layer runs on.
+/// An Executor owns (at most) one ThreadPool and exposes ordered
+/// parallel-for primitives whose outputs are byte-identical at any thread
+/// count, provided bodies write only to state owned by their index.
+///
+/// Optionally reports per-stage task counts, region counts, and region
+/// latencies into a shared obs::MetricsRegistry. Metrics are recorded by
+/// the calling thread after each region completes, so the registry itself
+/// is never touched concurrently by this class.
+class Executor {
+ public:
+  explicit Executor(ExecOptions options = {});
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  int threads() const { return options_.threads; }
+  /// True when a pool exists and regions actually fan out.
+  bool parallel() const { return pool_ != nullptr; }
+  const ExecOptions& options() const { return options_; }
+
+  /// Attaches a metrics registry (may be nullptr to detach). Not
+  /// thread-safe against in-flight regions.
+  void set_metrics(obs::MetricsRegistry* metrics) { metrics_ = metrics; }
+
+  /// Runs body(i) for i in [0, n). Serial mode (threads <= 1, or a nested
+  /// call from inside a pool worker) runs inline in index order.
+  void ParallelFor(const char* stage, size_t n,
+                   const std::function<void(size_t)>& body);
+
+  /// Number of contiguous chunks ParallelForChunked splits n items into.
+  /// 1 in serial mode. Chunk boundaries depend only on n and the options,
+  /// never on scheduling, so chunk-indexed results are deterministic.
+  size_t ChunksFor(size_t n) const;
+
+  /// Splits [0, n) into ChunksFor(n) contiguous chunks and runs
+  /// body(chunk_index, begin, end) for each.
+  void ParallelForChunked(
+      const char* stage, size_t n,
+      const std::function<void(size_t chunk, size_t begin, size_t end)>& body);
+
+  /// Status-collecting variant: runs body for every index and returns the
+  /// non-OK status with the smallest index, or OK. The serial engine
+  /// stops at the first failure (the historical behavior); the parallel
+  /// engine runs all indices but reports the same status object.
+  Status ParallelForStatus(const char* stage, size_t n,
+                           const std::function<Status(size_t)>& body);
+
+ private:
+  void Record(const char* stage, size_t tasks, double elapsed_ms);
+
+  ExecOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+};
+
+}  // namespace unilog::exec
+
+#endif  // UNILOG_EXEC_EXECUTOR_H_

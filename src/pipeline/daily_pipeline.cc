@@ -1,6 +1,7 @@
 #include "pipeline/daily_pipeline.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/coding.h"
 #include "events/client_event.h"
@@ -51,28 +52,42 @@ Result<DailyJobResult> DailyPipeline::RunForDate(TimeMs date,
   // ---- Pass 1: histogram + dictionary job (plus rollups & catalog).
   {
     dataflow::MapReduceJob job(warehouse_, cost_model_);
+    job.set_executor(exec_);
     for (const auto& dir : hour_dirs) {
       UNILOG_RETURN_NOT_OK(job.AddInputDir(dir));
     }
-    auto* histogram = &result.histogram;
-    auto* rollups = &result.rollups;
+    // The histogram and rollups are map-side by-products; each map task
+    // accumulates into private state, merged in input order after the map
+    // phase — the same stream a serial scan would have produced.
+    struct Pass1Locals : dataflow::TaskLocal {
+      sessions::EventHistogram histogram;
+      events::RollupAggregator rollups;
+    };
     const UserTable* user_table = &users;
-    job.set_map([histogram, rollups, user_table](const std::string& record,
-                                                 dataflow::Emitter* emitter)
-                    -> Status {
-      UNILOG_ASSIGN_OR_RETURN(events::ClientEvent ev,
-                              events::ClientEvent::Deserialize(record));
-      histogram->Add(ev.event_name, &record);
-      // Rollup by-products: country/logged-in come from the users table.
-      auto parsed = events::EventName::Parse(ev.event_name);
-      if (parsed.ok()) {
-        const UserTable::Attributes* attrs = user_table->Find(ev.user_id);
-        rollups->Add(*parsed, attrs != nullptr ? attrs->country : "unknown",
-                     attrs != nullptr && attrs->logged_in);
-      }
-      emitter->Emit(ev.event_name, "");
-      return Status::OK();
-    });
+    job.set_map_with_state(
+        [user_table](const std::string& record, dataflow::Emitter* emitter,
+                     dataflow::TaskLocal* state) -> Status {
+          auto* locals = static_cast<Pass1Locals*>(state);
+          UNILOG_ASSIGN_OR_RETURN(events::ClientEvent ev,
+                                  events::ClientEvent::Deserialize(record));
+          locals->histogram.Add(ev.event_name, &record);
+          // Rollup by-products: country/logged-in from the users table.
+          auto parsed = events::EventName::Parse(ev.event_name);
+          if (parsed.ok()) {
+            const UserTable::Attributes* attrs = user_table->Find(ev.user_id);
+            locals->rollups.Add(
+                *parsed, attrs != nullptr ? attrs->country : "unknown",
+                attrs != nullptr && attrs->logged_in);
+          }
+          emitter->Emit(ev.event_name, "");
+          return Status::OK();
+        },
+        [] { return std::make_unique<Pass1Locals>(); },
+        [&result](dataflow::TaskLocal* state) {
+          auto* locals = static_cast<Pass1Locals*>(state);
+          result.histogram.Merge(locals->histogram);
+          result.rollups.Merge(locals->rollups);
+        });
     job.set_reduce([](const std::string& key,
                       const std::vector<std::string>& values,
                       dataflow::Emitter* emitter) -> Status {
@@ -103,6 +118,7 @@ Result<DailyJobResult> DailyPipeline::RunForDate(TimeMs date,
   // ---- Pass 2: session reconstruction (the big group-by) + encoding.
   {
     dataflow::MapReduceJob job(warehouse_, cost_model_);
+    job.set_executor(exec_);
     for (const auto& dir : hour_dirs) {
       UNILOG_RETURN_NOT_OK(job.AddInputDir(dir));
     }
@@ -119,11 +135,13 @@ Result<DailyJobResult> DailyPipeline::RunForDate(TimeMs date,
       emitter->Emit(std::move(key), record);
       return Status::OK();
     });
+    // Reduce emits encoded sequences as values (no shared state, so
+    // reduce groups may run concurrently); they are decoded from the job
+    // output below, which arrives in deterministic key order.
     const sessions::EventDictionary* dict = &result.dictionary;
-    auto* sequences = &result.sequences;
-    job.set_reduce([dict, sequences](const std::string& /*key*/,
-                                     const std::vector<std::string>& values,
-                                     dataflow::Emitter* emitter) -> Status {
+    job.set_reduce([dict](const std::string& /*key*/,
+                          const std::vector<std::string>& values,
+                          dataflow::Emitter* emitter) -> Status {
       sessions::Sessionizer sessionizer;
       for (const auto& record : values) {
         UNILOG_ASSIGN_OR_RETURN(events::ClientEvent ev,
@@ -133,22 +151,30 @@ Result<DailyJobResult> DailyPipeline::RunForDate(TimeMs date,
       for (const auto& session : sessionizer.Build()) {
         UNILOG_ASSIGN_OR_RETURN(sessions::SessionSequence seq,
                                 sessions::EncodeSession(session, *dict));
-        sequences->push_back(std::move(seq));
-        emitter->Emit(std::to_string(session.user_id), "");
+        std::string blob;
+        sessions::AppendSequenceRecord(&blob, seq);
+        emitter->Emit(std::to_string(session.user_id), std::move(blob));
       }
       return Status::OK();
     });
-    UNILOG_RETURN_NOT_OK(job.Run().status());
+    UNILOG_ASSIGN_OR_RETURN(auto output, job.Run());
     result.sessionize_job = job.stats();
+    for (const auto& [key, blob] : output) {
+      sessions::SequenceRecordReader reader(blob);
+      sessions::SessionSequence seq;
+      UNILOG_RETURN_NOT_OK(reader.Next(&seq));
+      result.sequences.push_back(std::move(seq));
+    }
   }
 
-  // Deterministic order for downstream consumers.
-  std::sort(result.sequences.begin(), result.sequences.end(),
-            [](const sessions::SessionSequence& a,
-               const sessions::SessionSequence& b) {
-              if (a.user_id != b.user_id) return a.user_id < b.user_id;
-              return a.session_id < b.session_id;
-            });
+  // Deterministic order for downstream consumers (stable: ties keep the
+  // job-output key order, itself deterministic).
+  std::stable_sort(result.sequences.begin(), result.sequences.end(),
+                   [](const sessions::SessionSequence& a,
+                      const sessions::SessionSequence& b) {
+                     if (a.user_id != b.user_id) return a.user_id < b.user_id;
+                     return a.session_id < b.session_id;
+                   });
 
   // ---- Materialize the sequence partition.
   UNILOG_RETURN_NOT_OK(sessions::SequenceStore::WriteDaily(

@@ -67,6 +67,13 @@ class DailyPipeline {
         cost_model_(cost_model),
         category_(std::move(category)) {}
 
+  /// Attaches the unilog::exec engine: both MapReduce passes then fan
+  /// their map tasks and reduce groups across worker threads. Histogram
+  /// and rollup by-products accumulate in per-task state merged in input
+  /// order, so DailyJobResult is byte-identical to a serial run at any
+  /// thread count.
+  void set_executor(exec::Executor* exec) { exec_ = exec; }
+
   /// Runs both passes for the date containing `date` and writes the
   /// sequence partition. Requires at least one warehouse hour of logs for
   /// that date.
@@ -79,6 +86,7 @@ class DailyPipeline {
   hdfs::MiniHdfs* warehouse_;
   dataflow::JobCostModel cost_model_;
   std::string category_;
+  exec::Executor* exec_ = nullptr;
 };
 
 /// Schedules every event of a generated workload as a Scribe daemon Log

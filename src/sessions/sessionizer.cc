@@ -11,39 +11,72 @@ void Sessionizer::Add(const events::ClientEvent& event) {
   ++event_count_;
 }
 
+namespace {
+
+/// Sorts one group's events by timestamp and splits at inactivity gaps,
+/// appending the resulting sessions to *out. Shared by the serial and
+/// parallel Build paths so they are the same computation per group.
+template <typename Key, typename Pending>
+void BuildGroup(const Key& key, const std::vector<Pending>& pending,
+                TimeMs inactivity_gap_ms, std::vector<Session>* out) {
+  // Sort a copy by timestamp (stable so same-timestamp events keep
+  // arrival order deterministically).
+  std::vector<const Pending*> ordered;
+  ordered.reserve(pending.size());
+  for (const auto& ev : pending) ordered.push_back(&ev);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Pending* a, const Pending* b) {
+                     return a->timestamp < b->timestamp;
+                   });
+
+  Session current;
+  bool open = false;
+  for (const Pending* ev : ordered) {
+    if (open && ev->timestamp - current.end > inactivity_gap_ms) {
+      out->push_back(current);
+      open = false;
+    }
+    if (!open) {
+      current = Session{};
+      current.user_id = key.user_id;
+      current.session_id = key.session_id;
+      current.ip = ev->ip;
+      current.start = ev->timestamp;
+      current.end = ev->timestamp;
+      open = true;
+    }
+    current.end = ev->timestamp;
+    current.event_names.push_back(ev->event_name);
+  }
+  if (open) out->push_back(current);
+}
+
+}  // namespace
+
 std::vector<Session> Sessionizer::Build() const {
   std::vector<Session> sessions;
   for (const auto& [key, pending] : groups_) {
-    // Sort a copy by timestamp (stable so same-timestamp events keep
-    // arrival order deterministically).
-    std::vector<const PendingEvent*> ordered;
-    ordered.reserve(pending.size());
-    for (const auto& ev : pending) ordered.push_back(&ev);
-    std::stable_sort(ordered.begin(), ordered.end(),
-                     [](const PendingEvent* a, const PendingEvent* b) {
-                       return a->timestamp < b->timestamp;
-                     });
+    BuildGroup(key, pending, options_.inactivity_gap_ms, &sessions);
+  }
+  return sessions;
+}
 
-    Session current;
-    bool open = false;
-    for (const PendingEvent* ev : ordered) {
-      if (open && ev->timestamp - current.end > options_.inactivity_gap_ms) {
-        sessions.push_back(current);
-        open = false;
-      }
-      if (!open) {
-        current = Session{};
-        current.user_id = key.user_id;
-        current.session_id = key.session_id;
-        current.ip = ev->ip;
-        current.start = ev->timestamp;
-        current.end = ev->timestamp;
-        open = true;
-      }
-      current.end = ev->timestamp;
-      current.event_names.push_back(ev->event_name);
-    }
-    if (open) sessions.push_back(current);
+std::vector<Session> Sessionizer::Build(exec::Executor* exec) const {
+  if (exec == nullptr || !exec->parallel()) return Build();
+  // One task per (user_id, session_id) group, each writing a private slot;
+  // concatenating slots in key order reproduces the serial loop exactly.
+  std::vector<const std::pair<const GroupKey, std::vector<PendingEvent>>*>
+      group_ptrs;
+  group_ptrs.reserve(groups_.size());
+  for (const auto& entry : groups_) group_ptrs.push_back(&entry);
+  std::vector<std::vector<Session>> slots(group_ptrs.size());
+  exec->ParallelFor("sessionize", group_ptrs.size(), [&](size_t g) {
+    BuildGroup(group_ptrs[g]->first, group_ptrs[g]->second,
+               options_.inactivity_gap_ms, &slots[g]);
+  });
+  std::vector<Session> sessions;
+  for (auto& slot : slots) {
+    for (auto& session : slot) sessions.push_back(std::move(session));
   }
   return sessions;
 }

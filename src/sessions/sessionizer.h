@@ -8,6 +8,7 @@
 
 #include "common/sim_time.h"
 #include "events/client_event.h"
+#include "exec/executor.h"
 
 namespace unilog::sessions {
 
@@ -53,6 +54,12 @@ class Sessionizer {
   /// inactivity gaps. Sessions are ordered by (user_id, session_id, start).
   /// Leaves the accumulated state intact (Build may be called repeatedly).
   std::vector<Session> Build() const;
+
+  /// Like Build(), but the per-group sort/split fans out across the
+  /// executor's worker threads; groups are written to per-group slots and
+  /// concatenated in key order, so the result is byte-identical to the
+  /// serial Build() at any thread count.
+  std::vector<Session> Build(exec::Executor* exec) const;
 
  private:
   struct GroupKey {

@@ -8,6 +8,7 @@
 
 #include "analytics/summary.h"
 #include "analytics/udfs.h"
+#include "exec/executor.h"
 #include "sessions/dictionary.h"
 #include "sessions/session_sequence.h"
 
@@ -253,6 +254,61 @@ TEST(SummaryTest, EmptyInput) {
   ASSERT_TRUE(summary.ok());
   EXPECT_EQ(summary->sessions, 0u);
   EXPECT_EQ(summary->avg_events_per_session, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Parallel determinism: every analytics entry point that accepts an
+// executor must reproduce the serial answer exactly — including the
+// floating-point averages in the summary — at any thread count.
+
+std::vector<SessionSequence> ManySequences(const EventDictionary& dict) {
+  const auto& names = Universe();
+  std::vector<SessionSequence> seqs;
+  for (int u = 0; u < 120; ++u) {
+    std::vector<std::string> session_names;
+    for (int e = 0; e <= u % 7; ++e) {
+      session_names.push_back(names[(u * 3 + e) % names.size()]);
+    }
+    seqs.push_back(MakeSeq(dict, session_names, /*user=*/u % 37,
+                           /*duration=*/(u * 13) % 2000));
+  }
+  return seqs;
+}
+
+TEST(AnalyticsDeterminismTest, ParallelMatchesSerialExactly) {
+  EventDictionary dict = Dict();
+  std::vector<SessionSequence> seqs = ManySequences(dict);
+
+  auto serial_summary = Summarize(seqs, dict);
+  ASSERT_TRUE(serial_summary.ok());
+  CountClientEvents counter(dict, events::EventPattern("*:impression"));
+  uint64_t serial_total = counter.TotalCount(seqs);
+  RateReport serial_rate =
+      ComputeRate(seqs, dict, events::EventPattern("*:impression"),
+                  events::EventPattern("*:click"));
+
+  for (int threads : {2, 8}) {
+    exec::ExecOptions opts;
+    opts.threads = threads;
+    opts.min_items_per_chunk = 4;  // force real fan-out on this small input
+    exec::Executor executor(opts);
+    auto summary = Summarize(seqs, dict, &executor);
+    ASSERT_TRUE(summary.ok());
+    EXPECT_EQ(summary->ToString(), serial_summary->ToString())
+        << "threads=" << threads;
+    // Bit-exact doubles, not just matching rendered text.
+    EXPECT_EQ(summary->avg_events_per_session,
+              serial_summary->avg_events_per_session);
+    EXPECT_EQ(summary->avg_duration_seconds,
+              serial_summary->avg_duration_seconds);
+    EXPECT_EQ(counter.TotalCount(seqs, &executor), serial_total);
+    RateReport rate =
+        ComputeRate(seqs, dict, events::EventPattern("*:impression"),
+                    events::EventPattern("*:click"), &executor);
+    EXPECT_EQ(rate.impressions, serial_rate.impressions);
+    EXPECT_EQ(rate.actions, serial_rate.actions);
+    EXPECT_EQ(rate.rate, serial_rate.rate);
+  }
 }
 
 }  // namespace

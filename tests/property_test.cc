@@ -9,11 +9,16 @@
 #include <string>
 #include <vector>
 
+#include "common/coding.h"
 #include "common/compress.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "common/utf8.h"
+#include "dataflow/mapreduce.h"
+#include "dataflow/relation.h"
 #include "events/client_event.h"
+#include "exec/executor.h"
+#include "hdfs/mini_hdfs.h"
 #include "sessions/dictionary.h"
 #include "sessions/sessionizer.h"
 #include "thrift/compact_protocol.h"
@@ -311,6 +316,253 @@ TEST_P(DictionaryPropertyTest, EncodingIsBijectiveAndMonotone) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DictionaryPropertyTest,
                          ::testing::Values(9u, 99u, 999u));
+
+// ---------------------------------------------------------------------------
+// StableShuffle: the exec engine's grouped merge must equal the serial
+// engine's concatenate-then-group reference on random emitter sets, and
+// per-key value order must be (task index, emission order).
+
+class StableShufflePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+std::vector<dataflow::Emitter> RandomEmitters(Rng& rng) {
+  std::vector<dataflow::Emitter> tasks(1 + rng.Uniform(8));
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    size_t pairs = rng.Uniform(50);
+    for (size_t p = 0; p < pairs; ++p) {
+      // Few distinct keys so values from different tasks really collide.
+      std::string key = "k" + std::to_string(rng.Uniform(6));
+      std::string value =
+          "t" + std::to_string(t) + "#" + std::to_string(p);
+      tasks[t].Emit(std::move(key), std::move(value));
+    }
+  }
+  return tasks;
+}
+
+TEST_P(StableShufflePropertyTest, MatchesSerialReferenceAndPreservesOrder) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<dataflow::Emitter> tasks = RandomEmitters(rng);
+
+    // Reference: exactly what the serial engine does — concatenate all
+    // task pairs in task order, group into an ordered map.
+    std::map<std::string, std::vector<std::string>> reference;
+    uint64_t reference_bytes = 0;
+    for (const auto& task : tasks) {
+      for (const auto& [key, value] : task.pairs()) {
+        reference_bytes += key.size() + value.size();
+        reference[key].push_back(value);
+      }
+    }
+
+    std::vector<dataflow::Emitter> consumed = tasks;  // StableShuffle consumes
+    uint64_t bytes = 0;
+    auto groups = dataflow::StableShuffle(&consumed, &bytes);
+
+    EXPECT_EQ(groups, reference) << "seed=" << GetParam() << " iter=" << iter;
+    EXPECT_EQ(bytes, reference_bytes);
+
+    // Per-key value order is (task index, emission order): the embedded
+    // "t<task>#<seq>" tags must be non-decreasing in task and strictly
+    // increasing in seq within a task.
+    for (const auto& [key, values] : groups) {
+      long prev_task = -1, prev_seq = -1;
+      for (const auto& v : values) {
+        size_t hash_pos = v.find('#');
+        long task = std::stol(v.substr(1, hash_pos - 1));
+        long seq = std::stol(v.substr(hash_pos + 1));
+        if (task == prev_task) {
+          EXPECT_GT(seq, prev_seq) << "key=" << key;
+        } else {
+          EXPECT_GT(task, prev_task) << "key=" << key;
+        }
+        prev_task = task;
+        prev_seq = seq;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StableShufflePropertyTest,
+                         ::testing::Values(4u, 44u, 444u, 4444u));
+
+// ---------------------------------------------------------------------------
+// Emitter isolation under the pool: each map task's emitter must contain
+// exactly its own emissions in emission order — pairs never interleave
+// across tasks, whatever the scheduling.
+
+class EmitterIsolationPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EmitterIsolationPropertyTest, TaskEmittersNeverInterleave) {
+  Rng rng(GetParam());
+  exec::ExecOptions opts;
+  opts.threads = 8;
+  exec::Executor executor(opts);
+  for (int iter = 0; iter < 10; ++iter) {
+    size_t num_tasks = 1 + rng.Uniform(32);
+    std::vector<size_t> emissions(num_tasks);
+    for (auto& e : emissions) e = rng.Uniform(64);
+    std::vector<dataflow::Emitter> task_out(num_tasks);
+    executor.ParallelFor("emit", num_tasks, [&](size_t t) {
+      for (size_t p = 0; p < emissions[t]; ++p) {
+        task_out[t].Emit("task" + std::to_string(t),
+                         std::to_string(p));
+      }
+    });
+    for (size_t t = 0; t < num_tasks; ++t) {
+      const auto& pairs = task_out[t].pairs();
+      ASSERT_EQ(pairs.size(), emissions[t]) << "task=" << t;
+      for (size_t p = 0; p < pairs.size(); ++p) {
+        EXPECT_EQ(pairs[p].first, "task" + std::to_string(t));
+        EXPECT_EQ(pairs[p].second, std::to_string(p));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EmitterIsolationPropertyTest,
+                         ::testing::Values(7u, 77u, 777u));
+
+// ---------------------------------------------------------------------------
+// MapReduce: on random warehouses and random-ish jobs, the parallel engine
+// must reproduce the serial engine byte for byte.
+
+class MapReducePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MapReducePropertyTest, ParallelMatchesSerialOnRandomWarehouses) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 4; ++iter) {
+    hdfs::MiniHdfs fs;
+    size_t num_files = 1 + rng.Uniform(7);
+    uint64_t key_space = 1 + rng.Uniform(12);
+    for (size_t f = 0; f < num_files; ++f) {
+      std::string body;
+      size_t records = rng.Uniform(60);
+      for (size_t r = 0; r < records; ++r) {
+        std::string record = "k" + std::to_string(rng.Uniform(key_space)) +
+                             " v" + std::to_string(rng.Next64() % 1000);
+        PutVarint64(&body, record.size());
+        body += record;
+      }
+      ASSERT_TRUE(
+          fs.WriteFile("/in/f" + std::to_string(f), body).ok());
+    }
+    bool with_reduce = rng.Bernoulli(0.5);
+    auto run = [&](exec::Executor* executor) {
+      dataflow::MapReduceJob job(&fs, dataflow::JobCostModel{});
+      job.set_executor(executor);
+      job.set_input_format(dataflow::InputFormat::Framed());
+      EXPECT_TRUE(job.AddInputDir("/in").ok());
+      job.set_map([](const std::string& record,
+                     dataflow::Emitter* emitter) -> Status {
+        size_t space = record.find(' ');
+        emitter->Emit(record.substr(0, space), record.substr(space + 1));
+        return Status::OK();
+      });
+      if (with_reduce) {
+        job.set_reduce([](const std::string& key,
+                          const std::vector<std::string>& values,
+                          dataflow::Emitter* emitter) -> Status {
+          std::string joined = key + "=";
+          for (const auto& v : values) joined += v + "|";
+          emitter->Emit(key, joined);
+          return Status::OK();
+        });
+      }
+      auto result = job.Run();
+      EXPECT_TRUE(result.ok());
+      return *result;
+    };
+    auto serial = run(nullptr);
+    for (int threads : {2, 5}) {
+      exec::ExecOptions opts;
+      opts.threads = threads;
+      exec::Executor executor(opts);
+      EXPECT_EQ(run(&executor), serial)
+          << "seed=" << GetParam() << " iter=" << iter
+          << " threads=" << threads << " reduce=" << with_reduce;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MapReducePropertyTest,
+                         ::testing::Values(5u, 55u, 555u));
+
+// ---------------------------------------------------------------------------
+// Relation operators: serial and parallel runs must agree on random
+// relations — including the floating-point SUM aggregate, which the
+// hash-partitioned GroupBy keeps bit-identical by never reassociating
+// per-group accumulation.
+
+class RelationPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+dataflow::Relation RandomRelation(Rng& rng, size_t rows) {
+  dataflow::Relation rel({"id", "grp", "score", "tag"});
+  for (size_t i = 0; i < rows; ++i) {
+    EXPECT_TRUE(rel.AddRow({dataflow::Value::Int(static_cast<int64_t>(i)),
+                            dataflow::Value::Int(static_cast<int64_t>(
+                                rng.Uniform(9))),
+                            dataflow::Value::Real(rng.NextDouble() * 100),
+                            dataflow::Value::Str(
+                                "t" + std::to_string(rng.Uniform(4)))})
+                    .ok());
+  }
+  return rel;
+}
+
+TEST_P(RelationPropertyTest, OperatorsMatchSerialAtAnyThreadCount) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 5; ++iter) {
+    dataflow::Relation rel = RandomRelation(rng, 50 + rng.Uniform(300));
+    dataflow::Relation right = RandomRelation(rng, 30);
+
+    auto serial_filter =
+        rel.Filter([](const dataflow::Row& r) { return r[1].int_value() < 5; });
+    auto serial_project = rel.Project({"grp", "score"}).value();
+    auto serial_with = rel.WithColumn("doubled", [](const dataflow::Row& r) {
+                            return dataflow::Value::Real(r[2].AsNumber() * 2);
+                          }).value();
+    std::vector<dataflow::Aggregate> aggs{
+        {dataflow::Aggregate::Op::kCount, "", "n"},
+        {dataflow::Aggregate::Op::kSum, "score", "total"},
+        {dataflow::Aggregate::Op::kMin, "id", "first"},
+        {dataflow::Aggregate::Op::kMax, "id", "last"},
+        {dataflow::Aggregate::Op::kCountDistinct, "tag", "tags"}};
+    auto serial_group = rel.GroupBy({"grp"}, aggs).value();
+    auto serial_join = rel.Join(right, "grp", "grp").value();
+
+    for (int threads : {2, 8}) {
+      exec::ExecOptions opts;
+      opts.threads = threads;
+      opts.min_items_per_chunk = 8;
+      exec::Executor executor(opts);
+      EXPECT_EQ(rel.Filter([](const dataflow::Row& r) {
+                     return r[1].int_value() < 5;
+                   }, &executor).rows(),
+                serial_filter.rows());
+      EXPECT_EQ(rel.Project({"grp", "score"}, &executor).value().rows(),
+                serial_project.rows());
+      EXPECT_EQ(rel.WithColumn("doubled", [](const dataflow::Row& r) {
+                     return dataflow::Value::Real(r[2].AsNumber() * 2);
+                   }, &executor).value().rows(),
+                serial_with.rows());
+      auto par_group = rel.GroupBy({"grp"}, aggs, &executor).value();
+      ASSERT_EQ(par_group.rows().size(), serial_group.rows().size());
+      for (size_t i = 0; i < par_group.rows().size(); ++i) {
+        // operator== on Value compares exact representations — the SUM
+        // doubles must be bit-for-bit equal, not just close.
+        EXPECT_EQ(par_group.rows()[i], serial_group.rows()[i])
+            << "row " << i << " threads=" << threads;
+      }
+      EXPECT_EQ(rel.Join(right, "grp", "grp", &executor).value().rows(),
+                serial_join.rows());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RelationPropertyTest,
+                         ::testing::Values(6u, 66u, 666u));
 
 }  // namespace
 }  // namespace unilog

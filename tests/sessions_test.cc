@@ -449,5 +449,40 @@ TEST(SessionSequenceCompressionTest, SequencesAreMuchSmallerThanRawEvents) {
   EXPECT_LT(seq_blob.size() * 10, raw_logs.size());
 }
 
+// ---------------------------------------------------------------------------
+// Parallel determinism: Build(executor) sessionizes (user, session) groups
+// across worker threads but must return exactly the sessions the serial
+// Build() produces, in the same order.
+
+TEST(SessionizerTest, ParallelBuildMatchesSerial) {
+  Sessionizer serial_szr;
+  Sessionizer parallel_szr;
+  // Many interleaved users/sessions, with ties and gap splits mixed in.
+  for (int i = 0; i < 2500; ++i) {
+    int64_t user = (i * 17) % 40;
+    std::string sess = "s" + std::to_string((i * 5) % 3);
+    TimeMs ts = kT0 + (i % 2 == 0 ? i : 2500 - i) * 45000;
+    auto ev = MakeEvent(user, sess, ts, "e" + std::to_string(i % 11));
+    serial_szr.Add(ev);
+    parallel_szr.Add(ev);
+  }
+  auto serial = serial_szr.Build();
+  for (int threads : {2, 8}) {
+    exec::ExecOptions opts;
+    opts.threads = threads;
+    exec::Executor executor(opts);
+    auto parallel = parallel_szr.Build(&executor);
+    ASSERT_EQ(parallel.size(), serial.size()) << "threads=" << threads;
+    for (size_t s = 0; s < serial.size(); ++s) {
+      EXPECT_EQ(parallel[s].user_id, serial[s].user_id) << "session " << s;
+      EXPECT_EQ(parallel[s].session_id, serial[s].session_id);
+      EXPECT_EQ(parallel[s].ip, serial[s].ip);
+      EXPECT_EQ(parallel[s].start, serial[s].start);
+      EXPECT_EQ(parallel[s].end, serial[s].end);
+      EXPECT_EQ(parallel[s].event_names, serial[s].event_names);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace unilog::sessions
