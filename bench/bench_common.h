@@ -17,6 +17,7 @@
 
 #include "common/coding.h"
 #include "common/compress.h"
+#include "common/json.h"
 #include "common/strings.h"
 #include "common/sim_time.h"
 #include "events/client_event.h"
@@ -155,6 +156,53 @@ inline int ParseThreadsFlag(int* argc, char** argv) {
   }
   *argc = out;
   return threads;
+}
+
+/// Extracts a `--users=N` flag from argv (removing it so google-benchmark
+/// never sees it). Returns `fallback` when absent; CI smoke runs pass a
+/// small N so the bench finishes in seconds.
+inline int ParseUsersFlag(int* argc, char** argv, int fallback = 400) {
+  int users = fallback;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--users=", 8) == 0) {
+      users = std::atoi(argv[i] + 8);
+      if (users < 1) users = 1;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return users;
+}
+
+/// Merges `section` into the JSON object document at `path` under `key`,
+/// creating the file when absent — so several benches can contribute
+/// sections to one machine-readable report (BENCH_scan.json).
+inline Status MergeBenchJsonSection(const std::string& path,
+                                    const std::string& key, Json section) {
+  Json doc = Json::Object();
+  if (std::FILE* f = std::fopen(path.c_str(), "rb")) {
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    auto parsed = Json::Parse(text);
+    if (parsed.ok() && parsed->is_object()) doc = std::move(*parsed);
+  }
+  doc.Set(key, std::move(section));
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IOError("cannot open " + path + " for writing");
+  }
+  std::string text = doc.Dump();
+  size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::IOError("short write to " + path);
+  }
+  return Status::OK();
 }
 
 /// Runs `work` (which must return a checksum of its output) under the

@@ -16,6 +16,12 @@
 // For the same day and the same names-only query, reports per layout:
 // bytes on disk, bytes a projection query must touch, map tasks spawned,
 // and whether a session group-by shuffle is still required.
+//
+// E18 (scan fast path) rides in the second half: the same day written as
+// RCFile v2 (zone maps + dictionaries) and scanned with a selective
+// timestamp-range + event-name ScanSpec, verifying the pushdown scan is
+// byte-identical to full-scan-then-filter at 1/2/8 threads and measuring
+// the reduction in bytes decompressed. Results land in BENCH_scan.json.
 
 #include <algorithm>
 #include <cstdio>
@@ -25,6 +31,7 @@
 #include "bench_common.h"
 #include "columnar/rcfile.h"
 #include "events/client_event.h"
+#include "events/event_name.h"
 #include "sessions/session_sequence.h"
 
 namespace unilog {
@@ -39,15 +46,177 @@ struct LayoutRow {
   uint64_t answer = 0;  // matching event count, must agree across layouts
 };
 
+// Order-sensitive digest of a result set; any reordering, dropped row, or
+// field difference changes it.
+uint64_t EventsDigest(const std::vector<events::ClientEvent>& events) {
+  uint64_t h = 1469598103934665603ull;
+  for (const auto& ev : events) {
+    std::string record = ev.Serialize();
+    PutVarint64(&record, record.size());
+    for (unsigned char c : record) {
+      h ^= c;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+// E18: pushdown scan vs ReadAll-then-filter on the same v2 file. Returns
+// false when a digest mismatches or the bytes-decompressed reduction is
+// under 2x (the acceptance floor).
+bool RunPushdownSection(const std::vector<events::ClientEvent>& all) {
+  std::printf("\n=== E18: columnar scan fast path (zone maps + dictionary "
+              "pushdown) ===\n\n");
+
+  // The mover lays warehouse hours out in time order, so a day of parts
+  // has strong time locality; sorting by timestamp reproduces that layout
+  // in a single file (row groups become nearly hour-contiguous).
+  std::vector<events::ClientEvent> rows = all;
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const events::ClientEvent& a,
+                      const events::ClientEvent& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+  std::string body;
+  columnar::RcFileWriter writer(&body, /*rows_per_group=*/1024);
+  for (const auto& ev : rows) writer.Add(ev);
+  if (!writer.Finish().ok()) return false;
+
+  // The selective query: a mid-day four-hour window of clicks.
+  columnar::ScanSpec spec;
+  spec.min_timestamp = bench::kBenchDay + 10 * kMillisPerHour;
+  spec.max_timestamp = bench::kBenchDay + 14 * kMillisPerHour - 1;
+  spec.event_name_patterns.push_back("*:click");
+
+  // Baseline: decompress every column of every group, filter afterwards.
+  uint64_t baseline_bytes = 0;
+  uint64_t baseline_digest = 0;
+  size_t baseline_rows = 0;
+  {
+    columnar::RcFileReader reader(body);
+    std::vector<events::ClientEvent> everything;
+    if (!reader.ReadAll(columnar::kAllColumns, &everything).ok()) return false;
+    baseline_bytes = reader.bytes_touched();
+    events::EventPattern pattern("*:click");
+    std::vector<events::ClientEvent> selected;
+    for (const auto& ev : everything) {
+      if (ev.timestamp >= *spec.min_timestamp &&
+          ev.timestamp <= *spec.max_timestamp &&
+          pattern.Matches(ev.event_name)) {
+        selected.push_back(ev);
+      }
+    }
+    baseline_rows = selected.size();
+    baseline_digest = EventsDigest(selected);
+  }
+
+  // Pushdown, serial Scan().
+  columnar::ScanStats stats;
+  uint64_t pushdown_digest = 0;
+  {
+    columnar::RcFileReader reader(body);
+    std::vector<events::ClientEvent> selected;
+    if (!reader.Scan(spec, &selected, &stats).ok()) return false;
+    pushdown_digest = EventsDigest(selected);
+  }
+
+  // Pushdown, group-parallel ScanGroup() at 1/2/8 threads: per-group
+  // output slots merged in handle order must reproduce Scan() exactly.
+  bool digests_identical = pushdown_digest == baseline_digest;
+  columnar::RcFileReader reader(body);
+  auto groups = reader.IndexGroups();
+  if (!groups.ok()) return false;
+  std::printf("%8s %12s  %s\n", "threads", "best_ms", "digest");
+  for (int threads : {1, 2, 8}) {
+    exec::ExecOptions eopts;
+    eopts.threads = threads;
+    exec::Executor executor(eopts);
+    double best_ms = 0;
+    uint64_t digest = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      bench::WallTimer timer;
+      std::vector<std::vector<events::ClientEvent>> slots(groups->size());
+      Status st = executor.ParallelForStatus(
+          "bench_scan", groups->size(), [&](size_t g) {
+            return reader.ScanGroup((*groups)[g], spec, &slots[g], nullptr);
+          });
+      if (!st.ok()) return false;
+      std::vector<events::ClientEvent> merged;
+      for (auto& slot : slots) {
+        for (auto& ev : slot) merged.push_back(std::move(ev));
+      }
+      digest = EventsDigest(merged);
+      double ms = timer.ElapsedMs();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    bool same = digest == baseline_digest;
+    digests_identical = digests_identical && same;
+    std::printf("%8d %12.2f  %s\n", threads, best_ms,
+                same ? "identical" : "MISMATCH!");
+  }
+
+  double reduction =
+      stats.bytes_decompressed > 0
+          ? static_cast<double>(baseline_bytes) /
+                static_cast<double>(stats.bytes_decompressed)
+          : static_cast<double>(baseline_bytes);
+  std::printf("\nquery: 4h window + '*:click' over %zu rows\n", rows.size());
+  std::printf("  groups: %llu total, %llu skipped (zone map/dictionary), "
+              "%llu scanned\n",
+              static_cast<unsigned long long>(stats.groups_total),
+              static_cast<unsigned long long>(stats.groups_skipped),
+              static_cast<unsigned long long>(stats.groups_scanned));
+  std::printf("  rows: %llu pruned before materialization, %llu returned "
+              "(baseline %zu)\n",
+              static_cast<unsigned long long>(stats.rows_pruned),
+              static_cast<unsigned long long>(stats.rows_returned),
+              baseline_rows);
+  std::printf("  bytes decompressed: %s pushdown vs %s ReadAll -> %.1fx "
+              "reduction (floor 2.0x)\n",
+              HumanBytes(stats.bytes_decompressed).c_str(),
+              HumanBytes(baseline_bytes).c_str(), reduction);
+  std::printf("  pushdown == full-scan-then-filter at 1/2/8 threads: %s\n",
+              digests_identical ? "YES" : "NO");
+
+  bool pass = digests_identical && reduction >= 2.0;
+  Json section = Json::Object();
+  section.Set("rows", Json::Int(static_cast<int64_t>(rows.size())));
+  section.Set("query", Json::Str("timestamp in [day+10h, day+14h) and "
+                                 "event_name matches *:click"));
+  section.Set("groups_total", Json::Int(stats.groups_total));
+  section.Set("groups_skipped", Json::Int(stats.groups_skipped));
+  section.Set("groups_scanned", Json::Int(stats.groups_scanned));
+  section.Set("rows_pruned", Json::Int(stats.rows_pruned));
+  section.Set("rows_returned", Json::Int(stats.rows_returned));
+  section.Set("baseline_bytes_decompressed",
+              Json::Int(static_cast<int64_t>(baseline_bytes)));
+  section.Set("pushdown_bytes_decompressed",
+              Json::Int(static_cast<int64_t>(stats.bytes_decompressed)));
+  section.Set("bytes_reduction", Json::Number(reduction));
+  section.Set("digests_identical_threads_1_2_8",
+              Json::Bool(digests_identical));
+  section.Set("pass", Json::Bool(pass));
+  Status js = bench::MergeBenchJsonSection("BENCH_scan.json",
+                                           "rcfile_pushdown", section);
+  if (!js.ok()) {
+    std::fprintf(stderr, "BENCH_scan.json write failed: %s\n",
+                 js.ToString().c_str());
+    return false;
+  }
+  std::printf("  wrote BENCH_scan.json section 'rcfile_pushdown'\n");
+  return pass;
+}
+
 }  // namespace
 }  // namespace unilog
 
-int main() {
+int main(int argc, char** argv) {
   using namespace unilog;
+  int users = bench::ParseUsersFlag(&argc, argv);
   std::printf("=== E16 / §4.2: session sequences vs rejected alternatives "
               "(RCFile, session-ordered rows) ===\n\n");
 
-  workload::WorkloadOptions wopts = bench::DefaultWorkload(42, 400);
+  workload::WorkloadOptions wopts = bench::DefaultWorkload(42, users);
   wopts.extra_detail_pairs = 5;  // production-verbosity payloads
   workload::WorkloadGenerator generator(wopts);
   std::vector<events::ClientEvent> all;
@@ -110,7 +279,12 @@ int main() {
   LayoutRow rcfile{"rcfile columnar"};
   {
     std::string body;
-    columnar::RcFileWriter writer(&body, /*rows_per_group=*/1024);
+    // The plain v1 layout: §4.2 weighed RCFile as-published, without the
+    // zone-map/dictionary fast path E18 adds below.
+    columnar::RcFileWriterOptions wo;
+    wo.rows_per_group = 1024;
+    wo.format_version = 1;
+    columnar::RcFileWriter writer(&body, wo);
     for (const auto& ev : all) writer.Add(ev);
     writer.Finish();
     rcfile.disk_bytes = body.size();
@@ -198,5 +372,7 @@ int main() {
                       !seqs.needs_group_by
                   ? "YES"
                   : "NO");
-  return answers_agree ? 0 : 1;
+
+  bool pushdown_ok = RunPushdownSection(all);
+  return answers_agree && pushdown_ok ? 0 : 1;
 }

@@ -4,6 +4,10 @@
 #include "dataflow/pig.h"
 #include "hdfs/mini_hdfs.h"
 
+namespace unilog::obs {
+class MetricsRegistry;
+}  // namespace unilog::obs
+
 namespace unilog::analytics {
 
 /// Installs the unilog standard library into a Pig interpreter, wired to a
@@ -15,7 +19,13 @@ namespace unilog::analytics {
 ///       the partition's dictionary for the UDFs below.
 ///   ClientEventsLoader()      — LOAD any /logs/<category>/... directory;
 ///       columns {initiator, event_name, user_id, session_id, ip,
-///       timestamp}.
+///       timestamp}; reads legacy framed-compressed and columnar (RCFile
+///       v2) part files alike, sniffing the format per file.
+///   ColumnarEventsLoader()    — same directories and columns, but binds a
+///       deferred pushdown scan: an immediately-following FILTER/FOREACH
+///       is fused into the scan (zone-map group skipping, dictionary
+///       pruning, column projection) and rows materialize only at the
+///       first non-fusible consumer.
 ///
 /// UDF factories (usable via DEFINE or directly):
 ///   CountClientEvents('pattern')        — matching events in a sequence.
@@ -27,8 +37,12 @@ namespace unilog::analytics {
 /// resolve their patterns against the dictionary of the most recently
 /// loaded sequence partition at first use (lazily), matching how the
 /// paper's loader "abstracts over details of the physical layout".
+///
+/// Columnar scan accounting (groups skipped, bytes decompressed, rows
+/// pruned) is reported into `metrics` when non-null.
 void InstallPigStdlib(dataflow::PigInterpreter* pig,
-                      const hdfs::MiniHdfs* warehouse);
+                      const hdfs::MiniHdfs* warehouse,
+                      obs::MetricsRegistry* metrics = nullptr);
 
 }  // namespace unilog::analytics
 

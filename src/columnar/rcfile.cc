@@ -1,23 +1,429 @@
 #include "columnar/rcfile.h"
 
+#include <algorithm>
+#include <map>
+
 #include "common/coding.h"
 #include "common/compress.h"
+#include "events/event_name.h"
+#include "obs/metrics.h"
 
 namespace unilog::columnar {
 
 namespace {
 
-/// Encodes one column of a row group as framed values.
+constexpr std::string_view kMagic = "RCF2";
+
+/// FNV-1a over a byte range: the group checksum. Zone maps and
+/// dictionaries live uncompressed in the header, where a flipped byte
+/// would otherwise read back as silently different data (unlike the
+/// compressed blobs, which usually fail Lz decoding).
+uint32_t Fnv1a(std::string_view data) {
+  uint32_t h = 2166136261u;
+  for (unsigned char c : data) {
+    h ^= c;
+    h *= 16777619u;
+  }
+  return h;
+}
+
+/// A parsed row-group header. In v2 the zone map and the dictionaries live
+/// in the header, uncompressed, so group skipping touches no compressed
+/// data; the dictionary entry views point into the file body and stay
+/// valid for the reader's lifetime.
+struct GroupHeader {
+  uint64_t row_count = 0;
+  int64_t min_ts = 0, max_ts = 0;
+  int64_t min_uid = 0, max_uid = 0;
+  std::vector<std::string_view> name_dict;
+  std::vector<events::EventInitiator> init_dict;
+  /// v2: checksum over the group's blob section, verified only when the
+  /// group is actually scanned — a zone-map skip stays header-only.
+  uint32_t blobs_checksum = 0;
+};
+
+Status ReadGroupHeader(Decoder* dec, int version, GroupHeader* hdr) {
+  const size_t header_begin = dec->position();
+  UNILOG_RETURN_NOT_OK(dec->GetVarint64(&hdr->row_count));
+  if (hdr->row_count == 0 || hdr->row_count > kMaxRowsPerGroup) {
+    return Status::Corruption("rcfile: implausible row-group size");
+  }
+  if (version < 2) return Status::OK();
+  UNILOG_RETURN_NOT_OK(dec->GetSignedVarint64(&hdr->min_ts));
+  UNILOG_RETURN_NOT_OK(dec->GetSignedVarint64(&hdr->max_ts));
+  UNILOG_RETURN_NOT_OK(dec->GetSignedVarint64(&hdr->min_uid));
+  UNILOG_RETURN_NOT_OK(dec->GetSignedVarint64(&hdr->max_uid));
+  uint64_t names = 0;
+  UNILOG_RETURN_NOT_OK(dec->GetVarint64(&names));
+  if (names > hdr->row_count) {
+    return Status::Corruption("rcfile: dictionary larger than row group");
+  }
+  hdr->name_dict.resize(names);
+  for (uint64_t i = 0; i < names; ++i) {
+    UNILOG_RETURN_NOT_OK(dec->GetLengthPrefixed(&hdr->name_dict[i]));
+  }
+  uint64_t inits = 0;
+  UNILOG_RETURN_NOT_OK(dec->GetVarint64(&inits));
+  if (inits > 4) return Status::Corruption("rcfile: bad initiator dictionary");
+  hdr->init_dict.resize(inits);
+  for (uint64_t i = 0; i < inits; ++i) {
+    uint64_t v = 0;
+    UNILOG_RETURN_NOT_OK(dec->GetVarint64(&v));
+    if (v > 3) return Status::Corruption("rcfile: bad initiator");
+    hdr->init_dict[i] = static_cast<events::EventInitiator>(v);
+  }
+  // The uncompressed header (zone map + dictionaries) is checksummed: a
+  // flipped dictionary byte must fail loudly, not read back as a
+  // different event name.
+  const size_t header_end = dec->position();
+  uint32_t expected = 0;
+  UNILOG_RETURN_NOT_OK(dec->GetVarint32(&expected));
+  if (Fnv1a(dec->data().substr(header_begin, header_end - header_begin)) !=
+      expected) {
+    return Status::Corruption("rcfile: row-group header checksum mismatch");
+  }
+  UNILOG_RETURN_NOT_OK(dec->GetVarint32(&hdr->blobs_checksum));
+  return Status::OK();
+}
+
+/// Advances past a group's column blobs without decompressing any.
+Status SkipBlobs(Decoder* dec) {
+  for (int c = 0; c < kEventColumns; ++c) {
+    std::string_view blob;
+    UNILOG_RETURN_NOT_OK(dec->GetLengthPrefixed(&blob));
+  }
+  return Status::OK();
+}
+
+/// A ScanSpec with its glob patterns compiled once per scan.
+struct CompiledSpec {
+  explicit CompiledSpec(const ScanSpec& s) : spec(&s) {
+    patterns.reserve(s.event_name_patterns.size());
+    for (const auto& p : s.event_name_patterns) {
+      patterns.emplace_back(p);
+    }
+  }
+
+  bool NameMatches(std::string_view name) const {
+    if (spec->event_names.has_value() &&
+        spec->event_names->count(std::string(name)) == 0) {
+      return false;
+    }
+    for (const auto& p : patterns) {
+      if (!p.Matches(name)) return false;
+    }
+    return true;
+  }
+
+  const ScanSpec* spec;
+  std::vector<events::EventPattern> patterns;
+};
+
+/// Per-group scratch: each needed column is decompressed at most once.
+struct GroupBlobs {
+  std::string_view compressed[kEventColumns];
+  std::string decompressed[kEventColumns];
+  bool done[kEventColumns] = {};
+
+  Status Ensure(EventColumn column, ScanStats* stats) {
+    int c = static_cast<int>(column);
+    if (done[c]) return Status::OK();
+    stats->bytes_decompressed += compressed[c].size();
+    UNILOG_ASSIGN_OR_RETURN(decompressed[c], Lz::Decompress(compressed[c]));
+    done[c] = true;
+    return Status::OK();
+  }
+};
+
+Status DecodeNameIds(std::string_view blob, const GroupHeader& hdr,
+                     std::vector<uint32_t>* ids) {
+  Decoder dec(blob);
+  ids->resize(hdr.row_count);
+  for (auto& id : *ids) {
+    UNILOG_RETURN_NOT_OK(dec.GetVarint32(&id));
+    if (id >= hdr.name_dict.size()) {
+      return Status::Corruption("rcfile: event-name id out of range");
+    }
+  }
+  if (!dec.AtEnd()) return Status::Corruption("rcfile: column overrun");
+  return Status::OK();
+}
+
+Status DecodeInt64Column(std::string_view blob, uint64_t row_count,
+                         std::vector<int64_t>* values) {
+  Decoder dec(blob);
+  values->resize(row_count);
+  for (auto& v : *values) {
+    UNILOG_RETURN_NOT_OK(dec.GetSignedVarint64(&v));
+  }
+  if (!dec.AtEnd()) return Status::Corruption("rcfile: column overrun");
+  return Status::OK();
+}
+
+/// Decodes one column, assigning values only into the selected rows.
+/// `out` rows for this group start at `out_base`; the k-th selected row
+/// maps to (*out)[out_base + k]. Unselected values are parsed (the stream
+/// is sequential) but never copied or allocated.
+Status DecodeColumnSelected(std::string_view blob, EventColumn column,
+                            const GroupHeader& hdr, int version,
+                            const std::vector<uint8_t>& sel,
+                            std::vector<events::ClientEvent>* out,
+                            size_t out_base) {
+  Decoder dec(blob);
+  size_t k = out_base;
+  for (uint64_t r = 0; r < hdr.row_count; ++r) {
+    const bool keep = sel[r] != 0;
+    events::ClientEvent* ev = keep ? &(*out)[k++] : nullptr;
+    switch (column) {
+      case EventColumn::kInitiator: {
+        uint64_t v = 0;
+        UNILOG_RETURN_NOT_OK(dec.GetVarint64(&v));
+        if (version >= 2) {
+          if (v >= hdr.init_dict.size()) {
+            return Status::Corruption("rcfile: initiator id out of range");
+          }
+          if (keep) ev->initiator = hdr.init_dict[v];
+        } else {
+          if (v > 3) return Status::Corruption("rcfile: bad initiator");
+          if (keep) ev->initiator = static_cast<events::EventInitiator>(v);
+        }
+        break;
+      }
+      case EventColumn::kEventName: {
+        if (version >= 2) {
+          uint32_t id = 0;
+          UNILOG_RETURN_NOT_OK(dec.GetVarint32(&id));
+          if (id >= hdr.name_dict.size()) {
+            return Status::Corruption("rcfile: event-name id out of range");
+          }
+          if (keep) {
+            ev->event_name.assign(hdr.name_dict[id].data(),
+                                  hdr.name_dict[id].size());
+          }
+        } else {
+          std::string_view sv;
+          UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&sv));
+          if (keep) ev->event_name.assign(sv.data(), sv.size());
+        }
+        break;
+      }
+      case EventColumn::kUserId: {
+        int64_t v = 0;
+        UNILOG_RETURN_NOT_OK(dec.GetSignedVarint64(&v));
+        if (keep) ev->user_id = v;
+        break;
+      }
+      case EventColumn::kSessionId: {
+        std::string_view sv;
+        UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&sv));
+        if (keep) ev->session_id.assign(sv.data(), sv.size());
+        break;
+      }
+      case EventColumn::kIp: {
+        std::string_view sv;
+        UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&sv));
+        if (keep) ev->ip.assign(sv.data(), sv.size());
+        break;
+      }
+      case EventColumn::kTimestamp: {
+        int64_t v = 0;
+        UNILOG_RETURN_NOT_OK(dec.GetSignedVarint64(&v));
+        if (keep) ev->timestamp = v;
+        break;
+      }
+      case EventColumn::kDetails: {
+        uint64_t n = 0;
+        UNILOG_RETURN_NOT_OK(dec.GetVarint64(&n));
+        if (n > dec.remaining() / 2) {
+          return Status::Corruption("rcfile: bad details count");
+        }
+        if (keep) {
+          ev->details.clear();
+          ev->details.reserve(n);
+        }
+        for (uint64_t i = 0; i < n; ++i) {
+          std::string_view dk, dv;
+          UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&dk));
+          UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&dv));
+          if (keep) {
+            ev->details.emplace_back(std::string(dk), std::string(dv));
+          }
+        }
+        break;
+      }
+    }
+  }
+  if (!dec.AtEnd()) return Status::Corruption("rcfile: column overrun");
+  return Status::OK();
+}
+
+/// Scans one group at the decoder's position, leaving the decoder past it.
+Status ScanOneGroup(Decoder* dec, int version, const CompiledSpec& compiled,
+                    std::vector<events::ClientEvent>* out, ScanStats* stats) {
+  const ScanSpec& spec = *compiled.spec;
+  GroupHeader hdr;
+  UNILOG_RETURN_NOT_OK(ReadGroupHeader(dec, version, &hdr));
+  ++stats->groups_total;
+
+  // Group-level skips, all header-only (v2; a v1 group has no zone map).
+  std::vector<uint8_t> name_flags;
+  if (version >= 2) {
+    bool skip = false;
+    if (spec.min_timestamp.has_value() && hdr.max_ts < *spec.min_timestamp) {
+      skip = true;
+    }
+    if (spec.max_timestamp.has_value() && hdr.min_ts > *spec.max_timestamp) {
+      skip = true;
+    }
+    if (!skip && spec.user_ids.has_value()) {
+      auto it = spec.user_ids->lower_bound(hdr.min_uid);
+      if (it == spec.user_ids->end() || *it > hdr.max_uid) skip = true;
+    }
+    if (!skip && compiled.spec->has_name_predicate()) {
+      name_flags.resize(hdr.name_dict.size());
+      bool any = false;
+      for (size_t i = 0; i < hdr.name_dict.size(); ++i) {
+        name_flags[i] = compiled.NameMatches(hdr.name_dict[i]) ? 1 : 0;
+        any = any || name_flags[i] != 0;
+      }
+      if (!any) skip = true;
+    }
+    if (skip) {
+      UNILOG_RETURN_NOT_OK(SkipBlobs(dec));
+      ++stats->groups_skipped;
+      stats->rows_pruned += hdr.row_count;
+      return Status::OK();
+    }
+  }
+
+  GroupBlobs blobs;
+  const size_t blobs_begin = dec->position();
+  for (int c = 0; c < kEventColumns; ++c) {
+    UNILOG_RETURN_NOT_OK(dec->GetLengthPrefixed(&blobs.compressed[c]));
+  }
+  if (version >= 2 &&
+      Fnv1a(dec->data().substr(blobs_begin, dec->position() - blobs_begin)) !=
+          hdr.blobs_checksum) {
+    return Status::Corruption("rcfile: row-group blob checksum mismatch");
+  }
+  ++stats->groups_scanned;
+  stats->rows_scanned += hdr.row_count;
+
+  // Row selection on encoded / cheap columns, before materialization.
+  std::vector<uint8_t> sel(hdr.row_count, 1);
+  std::vector<uint32_t> name_ids;
+  std::vector<int64_t> ts_vals, uid_vals;
+  if (compiled.spec->has_name_predicate()) {
+    UNILOG_RETURN_NOT_OK(blobs.Ensure(EventColumn::kEventName, stats));
+    std::string_view blob =
+        blobs.decompressed[static_cast<int>(EventColumn::kEventName)];
+    if (version >= 2) {
+      UNILOG_RETURN_NOT_OK(DecodeNameIds(blob, hdr, &name_ids));
+      for (uint64_t r = 0; r < hdr.row_count; ++r) {
+        if (name_flags[name_ids[r]] == 0) sel[r] = 0;
+      }
+    } else {
+      Decoder col(blob);
+      for (uint64_t r = 0; r < hdr.row_count; ++r) {
+        std::string_view name;
+        UNILOG_RETURN_NOT_OK(col.GetLengthPrefixed(&name));
+        if (!compiled.NameMatches(name)) sel[r] = 0;
+      }
+      if (!col.AtEnd()) return Status::Corruption("rcfile: column overrun");
+    }
+  }
+  if (spec.min_timestamp.has_value() || spec.max_timestamp.has_value()) {
+    UNILOG_RETURN_NOT_OK(blobs.Ensure(EventColumn::kTimestamp, stats));
+    UNILOG_RETURN_NOT_OK(DecodeInt64Column(
+        blobs.decompressed[static_cast<int>(EventColumn::kTimestamp)],
+        hdr.row_count, &ts_vals));
+    for (uint64_t r = 0; r < hdr.row_count; ++r) {
+      if (spec.min_timestamp.has_value() && ts_vals[r] < *spec.min_timestamp) {
+        sel[r] = 0;
+      }
+      if (spec.max_timestamp.has_value() && ts_vals[r] > *spec.max_timestamp) {
+        sel[r] = 0;
+      }
+    }
+  }
+  if (spec.user_ids.has_value()) {
+    UNILOG_RETURN_NOT_OK(blobs.Ensure(EventColumn::kUserId, stats));
+    UNILOG_RETURN_NOT_OK(DecodeInt64Column(
+        blobs.decompressed[static_cast<int>(EventColumn::kUserId)],
+        hdr.row_count, &uid_vals));
+    for (uint64_t r = 0; r < hdr.row_count; ++r) {
+      if (spec.user_ids->count(uid_vals[r]) == 0) sel[r] = 0;
+    }
+  }
+
+  size_t selected = 0;
+  for (uint64_t r = 0; r < hdr.row_count; ++r) selected += sel[r];
+  stats->rows_pruned += hdr.row_count - selected;
+  stats->rows_returned += selected;
+
+  const size_t out_base = out->size();
+  out->resize(out_base + selected);
+  if (selected == 0) return Status::OK();
+
+  for (int c = 0; c < kEventColumns; ++c) {
+    if ((spec.columns & (1u << c)) == 0) continue;
+    auto column = static_cast<EventColumn>(c);
+    // Columns already decoded for predicates are assigned from the cache.
+    if (column == EventColumn::kTimestamp && !ts_vals.empty()) {
+      size_t k = out_base;
+      for (uint64_t r = 0; r < hdr.row_count; ++r) {
+        if (sel[r]) (*out)[k++].timestamp = ts_vals[r];
+      }
+      continue;
+    }
+    if (column == EventColumn::kUserId && !uid_vals.empty()) {
+      size_t k = out_base;
+      for (uint64_t r = 0; r < hdr.row_count; ++r) {
+        if (sel[r]) (*out)[k++].user_id = uid_vals[r];
+      }
+      continue;
+    }
+    if (column == EventColumn::kEventName && !name_ids.empty()) {
+      size_t k = out_base;
+      for (uint64_t r = 0; r < hdr.row_count; ++r) {
+        if (sel[r]) {
+          const std::string_view name = hdr.name_dict[name_ids[r]];
+          (*out)[k++].event_name.assign(name.data(), name.size());
+        }
+      }
+      continue;
+    }
+    UNILOG_RETURN_NOT_OK(blobs.Ensure(column, stats));
+    UNILOG_RETURN_NOT_OK(
+        DecodeColumnSelected(blobs.decompressed[c], column, hdr, version, sel,
+                             out, out_base));
+  }
+  return Status::OK();
+}
+
+/// Encodes one column of a v1 or v2 row group. For v2, `name_ids` /
+/// `init_ids` carry the per-row dictionary ids.
 std::string EncodeColumn(const std::vector<events::ClientEvent>& rows,
-                         EventColumn column) {
+                         EventColumn column, int version,
+                         const std::vector<uint32_t>& name_ids,
+                         const std::vector<uint32_t>& init_ids) {
   std::string out;
-  for (const auto& ev : rows) {
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const auto& ev = rows[i];
     switch (column) {
       case EventColumn::kInitiator:
-        PutVarint64(&out, static_cast<uint64_t>(ev.initiator));
+        if (version >= 2) {
+          PutVarint32(&out, init_ids[i]);
+        } else {
+          PutVarint64(&out, static_cast<uint64_t>(ev.initiator));
+        }
         break;
       case EventColumn::kEventName:
-        PutLengthPrefixed(&out, ev.event_name);
+        if (version >= 2) {
+          PutVarint32(&out, name_ids[i]);
+        } else {
+          PutLengthPrefixed(&out, ev.event_name);
+        }
         break;
       case EventColumn::kUserId:
         PutSignedVarint64(&out, ev.user_id);
@@ -44,140 +450,251 @@ std::string EncodeColumn(const std::vector<events::ClientEvent>& rows,
   return out;
 }
 
-Status DecodeColumn(std::string_view blob, EventColumn column,
-                    std::vector<events::ClientEvent>* rows) {
-  Decoder dec(blob);
-  for (auto& ev : *rows) {
-    switch (column) {
-      case EventColumn::kInitiator: {
-        uint64_t v;
-        UNILOG_RETURN_NOT_OK(dec.GetVarint64(&v));
-        if (v > 3) return Status::Corruption("rcfile: bad initiator");
-        ev.initiator = static_cast<events::EventInitiator>(v);
-        break;
-      }
-      case EventColumn::kEventName: {
-        std::string_view sv;
-        UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&sv));
-        ev.event_name.assign(sv.data(), sv.size());
-        break;
-      }
-      case EventColumn::kUserId:
-        UNILOG_RETURN_NOT_OK(dec.GetSignedVarint64(&ev.user_id));
-        break;
-      case EventColumn::kSessionId: {
-        std::string_view sv;
-        UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&sv));
-        ev.session_id.assign(sv.data(), sv.size());
-        break;
-      }
-      case EventColumn::kIp: {
-        std::string_view sv;
-        UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&sv));
-        ev.ip.assign(sv.data(), sv.size());
-        break;
-      }
-      case EventColumn::kTimestamp:
-        UNILOG_RETURN_NOT_OK(dec.GetSignedVarint64(&ev.timestamp));
-        break;
-      case EventColumn::kDetails: {
-        uint64_t n;
-        UNILOG_RETURN_NOT_OK(dec.GetVarint64(&n));
-        ev.details.clear();
-        ev.details.reserve(n);
-        for (uint64_t i = 0; i < n; ++i) {
-          std::string_view k, v;
-          UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&k));
-          UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&v));
-          ev.details.emplace_back(std::string(k), std::string(v));
-        }
-        break;
-      }
-    }
-  }
-  if (!dec.AtEnd()) return Status::Corruption("rcfile: column overrun");
-  return Status::OK();
-}
-
 }  // namespace
 
-RcFileWriter::RcFileWriter(std::string* out, size_t rows_per_group)
-    : out_(out), rows_per_group_(rows_per_group == 0 ? 1 : rows_per_group) {}
+void ScanStats::MergeFrom(const ScanStats& other) {
+  groups_total += other.groups_total;
+  groups_scanned += other.groups_scanned;
+  groups_skipped += other.groups_skipped;
+  bytes_decompressed += other.bytes_decompressed;
+  rows_scanned += other.rows_scanned;
+  rows_pruned += other.rows_pruned;
+  rows_returned += other.rows_returned;
+}
 
-void RcFileWriter::Add(const events::ClientEvent& event) {
+void ReportScanStats(const ScanStats& stats, obs::MetricsRegistry* metrics,
+                     const std::string& source) {
+  if (metrics == nullptr) return;
+  obs::Labels labels{{"source", source}};
+  metrics->GetCounter("columnar.groups_scanned", labels)
+      ->Increment(stats.groups_scanned);
+  metrics->GetCounter("columnar.groups_skipped", labels)
+      ->Increment(stats.groups_skipped);
+  metrics->GetCounter("columnar.bytes_decompressed", labels)
+      ->Increment(stats.bytes_decompressed);
+  metrics->GetCounter("columnar.rows_pruned", labels)
+      ->Increment(stats.rows_pruned);
+  metrics->GetCounter("columnar.rows_returned", labels)
+      ->Increment(stats.rows_returned);
+}
+
+bool IsRcFile(std::string_view data) {
+  return data.size() >= kMagic.size() &&
+         data.substr(0, kMagic.size()) == kMagic;
+}
+
+RcFileWriter::RcFileWriter(std::string* out, size_t rows_per_group)
+    : RcFileWriter(out, RcFileWriterOptions{rows_per_group, 2}) {}
+
+RcFileWriter::RcFileWriter(std::string* out, RcFileWriterOptions options)
+    : out_(out), options_(options) {
+  if (options_.rows_per_group == 0) options_.rows_per_group = 1;
+  if (options_.rows_per_group > kMaxRowsPerGroup) {
+    options_.rows_per_group = kMaxRowsPerGroup;
+  }
+}
+
+Status RcFileWriter::Add(const events::ClientEvent& event) {
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "rcfile: Add() after Finish() would corrupt the file tail");
+  }
   pending_.push_back(event);
   ++rows_written_;
-  if (pending_.size() >= rows_per_group_) FlushGroup();
+  if (pending_.size() >= options_.rows_per_group) FlushGroup();
+  return Status::OK();
 }
 
 void RcFileWriter::FlushGroup() {
   if (pending_.empty()) return;
-  PutVarint64(out_, pending_.size());
-  for (int c = 0; c < kEventColumns; ++c) {
-    std::string column =
-        EncodeColumn(pending_, static_cast<EventColumn>(c));
-    PutLengthPrefixed(out_, Lz::Compress(column));
+  const int version = options_.format_version;
+
+  if (version < 2) {
+    PutVarint64(out_, pending_.size());
+    for (int c = 0; c < kEventColumns; ++c) {
+      std::string column = EncodeColumn(pending_, static_cast<EventColumn>(c),
+                                        version, {}, {});
+      PutLengthPrefixed(out_, Lz::Compress(column));
+    }
+    pending_.clear();
+    return;
   }
+
+  if (!wrote_magic_) {
+    out_->append(kMagic);
+    wrote_magic_ = true;
+  }
+
+  // v2 group = header | header checksum | blob checksum | blobs. The
+  // header and blob sections are built in scratch buffers so each can be
+  // checksummed as the exact byte range the reader will re-hash.
+  std::string header;
+  PutVarint64(&header, pending_.size());
+
+  // Zone map over the group.
+  int64_t min_ts = pending_[0].timestamp, max_ts = pending_[0].timestamp;
+  int64_t min_uid = pending_[0].user_id, max_uid = pending_[0].user_id;
+  for (const auto& ev : pending_) {
+    min_ts = std::min<int64_t>(min_ts, ev.timestamp);
+    max_ts = std::max<int64_t>(max_ts, ev.timestamp);
+    min_uid = std::min(min_uid, ev.user_id);
+    max_uid = std::max(max_uid, ev.user_id);
+  }
+  PutSignedVarint64(&header, min_ts);
+  PutSignedVarint64(&header, max_ts);
+  PutSignedVarint64(&header, min_uid);
+  PutSignedVarint64(&header, max_uid);
+
+  // Dictionaries in first-appearance order (deterministic).
+  std::vector<uint32_t> name_ids, init_ids;
+  std::map<std::string_view, uint32_t> name_index;
+  std::vector<std::string_view> name_entries;
+  name_ids.reserve(pending_.size());
+  for (const auto& ev : pending_) {
+    auto [it, inserted] = name_index.try_emplace(
+        ev.event_name, static_cast<uint32_t>(name_entries.size()));
+    if (inserted) name_entries.push_back(ev.event_name);
+    name_ids.push_back(it->second);
+  }
+  uint32_t init_index[4] = {~0u, ~0u, ~0u, ~0u};
+  std::vector<uint32_t> init_entries;
+  init_ids.reserve(pending_.size());
+  for (const auto& ev : pending_) {
+    auto v = static_cast<uint32_t>(ev.initiator);
+    if (init_index[v] == ~0u) {
+      init_index[v] = static_cast<uint32_t>(init_entries.size());
+      init_entries.push_back(v);
+    }
+    init_ids.push_back(init_index[v]);
+  }
+  PutVarint64(&header, name_entries.size());
+  for (const auto& name : name_entries) PutLengthPrefixed(&header, name);
+  PutVarint64(&header, init_entries.size());
+  for (uint32_t v : init_entries) PutVarint32(&header, v);
+
+  std::string blobs;
+  for (int c = 0; c < kEventColumns; ++c) {
+    std::string column = EncodeColumn(pending_, static_cast<EventColumn>(c),
+                                      version, name_ids, init_ids);
+    PutLengthPrefixed(&blobs, Lz::Compress(column));
+  }
+
+  out_->append(header);
+  PutVarint32(out_, Fnv1a(header));
+  PutVarint32(out_, Fnv1a(blobs));
+  out_->append(blobs);
   pending_.clear();
 }
 
-void RcFileWriter::Finish() {
-  if (finished_) return;
+Status RcFileWriter::Finish() {
+  if (finished_) return Status::OK();
   finished_ = true;
   FlushGroup();
+  return Status::OK();
+}
+
+RcFileReader::RcFileReader(std::string_view data) : data_(data) {
+  if (IsRcFile(data)) {
+    version_ = 2;
+    body_offset_ = kMagic.size();
+  }
 }
 
 Status RcFileReader::ReadAll(ColumnMask mask,
                              std::vector<events::ClientEvent>* out) {
-  Decoder dec(data_);
-  while (!dec.AtEnd()) {
-    uint64_t row_count;
-    UNILOG_RETURN_NOT_OK(dec.GetVarint64(&row_count));
-    std::vector<events::ClientEvent> rows(row_count);
-    for (int c = 0; c < kEventColumns; ++c) {
-      std::string_view compressed;
-      UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&compressed));
-      if ((mask & (1u << c)) == 0) continue;  // skip without decompressing
-      bytes_touched_ += compressed.size();
-      UNILOG_ASSIGN_OR_RETURN(std::string column, Lz::Decompress(compressed));
-      UNILOG_RETURN_NOT_OK(
-          DecodeColumn(column, static_cast<EventColumn>(c), &rows));
-    }
-    for (auto& row : rows) out->push_back(std::move(row));
+  ScanSpec spec;
+  spec.columns = mask;
+  return Scan(spec, out, nullptr);
+}
+
+Status RcFileReader::Scan(const ScanSpec& spec,
+                          std::vector<events::ClientEvent>* out,
+                          ScanStats* stats) {
+  if ((spec.columns & ~kAllColumns) != 0) {
+    return Status::InvalidArgument("rcfile: column mask has unknown bits");
   }
+  CompiledSpec compiled(spec);
+  ScanStats local;
+  Decoder dec(data_);
+  UNILOG_RETURN_NOT_OK(dec.Skip(body_offset_));
+  while (!dec.AtEnd()) {
+    UNILOG_RETURN_NOT_OK(ScanOneGroup(&dec, version_, compiled, out, &local));
+  }
+  bytes_touched_ += local.bytes_decompressed;
+  if (stats != nullptr) stats->MergeFrom(local);
   return Status::OK();
 }
 
 Status RcFileReader::ForEachEventName(
     const std::function<void(std::string_view)>& fn) {
   Decoder dec(data_);
+  UNILOG_RETURN_NOT_OK(dec.Skip(body_offset_));
   while (!dec.AtEnd()) {
-    uint64_t row_count;
-    UNILOG_RETURN_NOT_OK(dec.GetVarint64(&row_count));
+    GroupHeader hdr;
+    UNILOG_RETURN_NOT_OK(ReadGroupHeader(&dec, version_, &hdr));
     for (int c = 0; c < kEventColumns; ++c) {
       std::string_view compressed;
       UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&compressed));
       if (static_cast<EventColumn>(c) != EventColumn::kEventName) continue;
       bytes_touched_ += compressed.size();
       UNILOG_ASSIGN_OR_RETURN(std::string column, Lz::Decompress(compressed));
-      Decoder col(column);
-      for (uint64_t r = 0; r < row_count; ++r) {
-        std::string_view name;
-        UNILOG_RETURN_NOT_OK(col.GetLengthPrefixed(&name));
-        fn(name);
+      if (version_ >= 2) {
+        std::vector<uint32_t> ids;
+        UNILOG_RETURN_NOT_OK(DecodeNameIds(column, hdr, &ids));
+        for (uint32_t id : ids) fn(hdr.name_dict[id]);
+      } else {
+        Decoder col(column);
+        for (uint64_t r = 0; r < hdr.row_count; ++r) {
+          std::string_view name;
+          UNILOG_RETURN_NOT_OK(col.GetLengthPrefixed(&name));
+          fn(name);
+        }
       }
     }
   }
   return Status::OK();
 }
 
+Result<std::vector<RcFileReader::RowGroupHandle>> RcFileReader::IndexGroups()
+    const {
+  std::vector<RowGroupHandle> groups;
+  Decoder dec(data_);
+  UNILOG_RETURN_NOT_OK(dec.Skip(body_offset_));
+  while (!dec.AtEnd()) {
+    RowGroupHandle handle;
+    handle.offset = dec.position();
+    GroupHeader hdr;
+    UNILOG_RETURN_NOT_OK(ReadGroupHeader(&dec, version_, &hdr));
+    handle.row_count = hdr.row_count;
+    UNILOG_RETURN_NOT_OK(SkipBlobs(&dec));
+    groups.push_back(handle);
+  }
+  return groups;
+}
+
+Status RcFileReader::ScanGroup(const RowGroupHandle& group,
+                               const ScanSpec& spec,
+                               std::vector<events::ClientEvent>* out,
+                               ScanStats* stats) const {
+  if ((spec.columns & ~kAllColumns) != 0) {
+    return Status::InvalidArgument("rcfile: column mask has unknown bits");
+  }
+  CompiledSpec compiled(spec);
+  ScanStats local;
+  Decoder dec(data_);
+  UNILOG_RETURN_NOT_OK(dec.Skip(group.offset));
+  UNILOG_RETURN_NOT_OK(ScanOneGroup(&dec, version_, compiled, out, &local));
+  if (stats != nullptr) stats->MergeFrom(local);
+  return Status::OK();
+}
+
 Result<uint64_t> RcFileReader::TotalColumnBytes() const {
   Decoder dec(data_);
+  UNILOG_RETURN_NOT_OK(dec.Skip(body_offset_));
   uint64_t total = 0;
   while (!dec.AtEnd()) {
-    uint64_t row_count;
-    UNILOG_RETURN_NOT_OK(dec.GetVarint64(&row_count));
-    (void)row_count;
+    GroupHeader hdr;
+    UNILOG_RETURN_NOT_OK(ReadGroupHeader(&dec, version_, &hdr));
     for (int c = 0; c < kEventColumns; ++c) {
       std::string_view compressed;
       UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&compressed));

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
+#include <set>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,19 +13,44 @@
 #include "common/status.h"
 #include "events/client_event.h"
 
+namespace unilog::obs {
+class MetricsRegistry;
+}  // namespace unilog::obs
+
 namespace unilog::columnar {
 
 /// A simplified RCFile (He et al., ICDE 2011): the columnar layout §4.2
-/// considers as an alternative to session sequences and rejects. Rows are
-/// batched into row groups; within a group each client-event field is
-/// stored (and compressed) as its own column run, so a projection query
-/// decompresses only the columns it touches.
+/// considers as an alternative to session sequences. Rows are batched into
+/// row groups; within a group each client-event field is stored (and
+/// compressed) as its own column run, so a projection query decompresses
+/// only the columns it touches.
 ///
-/// The paper's argument, which bench_rcfile_alternative reproduces: this
-/// "primarily focuses on reducing the running time of each map task;
-/// without modification, RCFiles would not reduce the number of mappers
-/// ... and the associated jobtracker traffic" — nor do they remove the
-/// session group-by. Session sequences fix both at once.
+/// Format v2 extends each row-group header with a zone map (min/max
+/// timestamp, min/max user id) and per-group dictionaries for the
+/// low-cardinality columns (event_name, initiator), both stored
+/// *uncompressed* in the header. The column blobs for those two columns
+/// then hold only dictionary ids. This buys the scan fast path three
+/// skips, all before a single row is materialized:
+///
+///   1. zone-map skip     — a timestamp-range or user-id predicate that
+///                          cannot match the group skips every blob;
+///   2. dictionary skip   — an event-name predicate with no matching
+///                          dictionary entry skips every blob;
+///   3. encoded pruning   — surviving groups evaluate event-name
+///                          predicates on varint dictionary ids and only
+///                          materialize the selected rows.
+///
+/// Files keep backward read compatibility: v2 files begin with the magic
+/// "RCF2"; anything else is decoded as the legacy v1 stream (no zone maps,
+/// inline strings), on which predicates still work row-wise but no group
+/// can be skipped.
+///
+/// Each v2 row group carries two FNV-1a checksums right after the header:
+/// one over the header bytes (row count + zone map + dictionaries),
+/// verified on every header parse, and one over the column-blob section,
+/// verified only when the group is actually scanned — so zone-map skips
+/// stay header-only while any flipped byte in either section is still a
+/// Corruption error rather than silently different data.
 
 /// The client-event columns, in storage order.
 enum class EventColumn : int {
@@ -44,17 +71,82 @@ inline ColumnMask ColumnBit(EventColumn c) {
   return 1u << static_cast<int>(c);
 }
 
+/// Hard ceiling on rows per group; headers claiming more are rejected as
+/// corrupt before any allocation is sized from the claimed count.
+inline constexpr uint64_t kMaxRowsPerGroup = 1u << 20;
+
+/// What a scan should return and which rows it may drop. All predicates
+/// are conjunctive; rows must satisfy every engaged predicate. Fields not
+/// in `columns` keep their default values in the output events.
+struct ScanSpec {
+  ColumnMask columns = kAllColumns;
+  /// Inclusive timestamp range.
+  std::optional<int64_t> min_timestamp;
+  std::optional<int64_t> max_timestamp;
+  /// Exact-match event-name allowlist.
+  std::optional<std::set<std::string>> event_names;
+  /// Glob patterns (events::EventPattern syntax); each must match.
+  std::vector<std::string> event_name_patterns;
+  /// user_id allowlist.
+  std::optional<std::set<int64_t>> user_ids;
+
+  bool has_name_predicate() const {
+    return event_names.has_value() || !event_name_patterns.empty();
+  }
+  bool has_predicates() const {
+    return has_name_predicate() || min_timestamp.has_value() ||
+           max_timestamp.has_value() || user_ids.has_value();
+  }
+};
+
+/// Scan-side accounting, the numbers §4.2's economics argument is about.
+struct ScanStats {
+  uint64_t groups_total = 0;
+  uint64_t groups_scanned = 0;
+  /// Groups eliminated whole by a zone map or dictionary check.
+  uint64_t groups_skipped = 0;
+  /// Compressed bytes actually fed to the decompressor.
+  uint64_t bytes_decompressed = 0;
+  /// Rows in groups that were decoded.
+  uint64_t rows_scanned = 0;
+  /// Rows eliminated before materialization (skipped groups + predicate
+  /// failures on encoded values).
+  uint64_t rows_pruned = 0;
+  uint64_t rows_returned = 0;
+
+  void MergeFrom(const ScanStats& other);
+};
+
+/// Increments the `columnar.*` counters (groups_scanned, groups_skipped,
+/// bytes_decompressed, rows_pruned, rows_returned) labeled
+/// {source=<source>} in `metrics`. No-op when `metrics` is null.
+void ReportScanStats(const ScanStats& stats, obs::MetricsRegistry* metrics,
+                     const std::string& source);
+
+/// True when `data` carries the v2 magic.
+bool IsRcFile(std::string_view data);
+
+/// Writer knobs.
+struct RcFileWriterOptions {
+  size_t rows_per_group = 1024;
+  /// 2 (default) writes zone maps + dictionaries; 1 writes the legacy
+  /// layout (for compatibility tests and old-file fixtures).
+  int format_version = 2;
+};
+
 /// Writes client events into the columnar layout.
 class RcFileWriter {
  public:
   /// `out` receives the file body; groups hold up to `rows_per_group` rows.
   explicit RcFileWriter(std::string* out, size_t rows_per_group = 1024);
+  RcFileWriter(std::string* out, RcFileWriterOptions options);
 
-  /// Appends one event. Never fails (memory-backed).
-  void Add(const events::ClientEvent& event);
+  /// Appends one event. Fails with FailedPrecondition once Finish() has
+  /// been called (appending then would corrupt the file tail).
+  Status Add(const events::ClientEvent& event);
 
-  /// Flushes the trailing partial group. Must be called exactly once, last.
-  void Finish();
+  /// Flushes the trailing partial group. Idempotent; must be called last.
+  Status Finish();
 
   size_t rows_written() const { return rows_written_; }
 
@@ -62,32 +154,63 @@ class RcFileWriter {
   void FlushGroup();
 
   std::string* out_;
-  size_t rows_per_group_;
+  RcFileWriterOptions options_;
   size_t rows_written_ = 0;
   bool finished_ = false;
+  bool wrote_magic_ = false;
   std::vector<events::ClientEvent> pending_;
 };
 
-/// Reads a columnar file, decompressing only the requested columns.
+/// Reads a columnar file (either format version), decompressing only the
+/// requested columns and — given a ScanSpec — skipping whole row groups
+/// via zone maps and dictionaries.
 class RcFileReader {
  public:
-  explicit RcFileReader(std::string_view data) : data_(data) {}
+  explicit RcFileReader(std::string_view data);
+
+  /// 1 or 2, from the file magic.
+  int format_version() const { return version_; }
 
   /// Reads every row, populating only the fields whose columns are in
   /// `mask` (other fields keep their default values). Appends to `out`.
+  /// Masks with bits outside the known columns are InvalidArgument.
   Status ReadAll(ColumnMask mask, std::vector<events::ClientEvent>* out);
+
+  /// Predicate + projection scan. Appends the selected rows, in file
+  /// order, to `out`; accumulates accounting into `stats` when non-null.
+  Status Scan(const ScanSpec& spec, std::vector<events::ClientEvent>* out,
+              ScanStats* stats = nullptr);
 
   /// Visits only the event-name column (the histogram/counting fast path).
   Status ForEachEventName(const std::function<void(std::string_view)>& fn);
 
-  /// Compressed bytes actually decompressed by calls so far — the
-  /// projection savings RCFile exists to provide.
+  /// A row group's position, for group-parallel scans.
+  struct RowGroupHandle {
+    size_t offset = 0;
+    uint64_t row_count = 0;
+  };
+
+  /// Walks the file once (headers only, nothing decompressed) and returns
+  /// a handle per row group, in file order.
+  Result<std::vector<RowGroupHandle>> IndexGroups() const;
+
+  /// Scans a single row group. Thread-safe: touches no reader state, so
+  /// disjoint groups may be scanned concurrently; appending each group's
+  /// output in handle order reproduces Scan() exactly.
+  Status ScanGroup(const RowGroupHandle& group, const ScanSpec& spec,
+                   std::vector<events::ClientEvent>* out,
+                   ScanStats* stats) const;
+
+  /// Compressed bytes actually decompressed by (non-const) calls so far —
+  /// the projection savings RCFile exists to provide.
   uint64_t bytes_touched() const { return bytes_touched_; }
   /// Total compressed column bytes in the file.
   Result<uint64_t> TotalColumnBytes() const;
 
  private:
   std::string_view data_;
+  int version_ = 1;
+  size_t body_offset_ = 0;
   uint64_t bytes_touched_ = 0;
 };
 

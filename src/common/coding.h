@@ -56,6 +56,9 @@ class Decoder {
   bool AtEnd() const { return pos_ >= data_.size(); }
   size_t position() const { return pos_; }
   size_t remaining() const { return data_.size() - pos_; }
+  /// The whole underlying buffer (for checksumming decoded byte ranges by
+  /// position).
+  std::string_view data() const { return data_; }
 
  private:
   std::string_view data_;

@@ -1,0 +1,324 @@
+#include "dataflow/columnar_scan.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/compress.h"
+#include "events/client_event.h"
+#include "events/event_name.h"
+
+namespace unilog::dataflow {
+
+namespace {
+
+using columnar::EventColumn;
+
+/// The six relational columns a client-event scan exposes (details stays
+/// a storage-only column; the eager loader never exposed it either).
+const std::vector<std::pair<std::string, EventColumn>> kDefaultVisible = {
+    {"initiator", EventColumn::kInitiator},
+    {"event_name", EventColumn::kEventName},
+    {"user_id", EventColumn::kUserId},
+    {"session_id", EventColumn::kSessionId},
+    {"ip", EventColumn::kIp},
+    {"timestamp", EventColumn::kTimestamp},
+};
+
+Value ColumnValue(const events::ClientEvent& ev, EventColumn col) {
+  switch (col) {
+    case EventColumn::kInitiator:
+      return Value::Str(events::EventInitiatorName(ev.initiator));
+    case EventColumn::kEventName:
+      return Value::Str(ev.event_name);
+    case EventColumn::kUserId:
+      return Value::Int(ev.user_id);
+    case EventColumn::kSessionId:
+      return Value::Str(ev.session_id);
+    case EventColumn::kIp:
+      return Value::Str(ev.ip);
+    case EventColumn::kTimestamp:
+      return Value::Int(ev.timestamp);
+    case EventColumn::kDetails:
+      break;
+  }
+  return Value();
+}
+
+/// Row-wise predicate evaluation for legacy (non-columnar) files, with
+/// the glob patterns compiled once per materialization.
+struct RowPredicate {
+  const columnar::ScanSpec* spec;
+  std::vector<events::EventPattern> patterns;
+
+  explicit RowPredicate(const columnar::ScanSpec& s) : spec(&s) {
+    patterns.reserve(s.event_name_patterns.size());
+    for (const auto& p : s.event_name_patterns) {
+      patterns.emplace_back(p);
+    }
+  }
+
+  bool Passes(const events::ClientEvent& ev) const {
+    if (spec->min_timestamp && ev.timestamp < *spec->min_timestamp) {
+      return false;
+    }
+    if (spec->max_timestamp && ev.timestamp > *spec->max_timestamp) {
+      return false;
+    }
+    if (spec->event_names && !spec->event_names->count(ev.event_name)) {
+      return false;
+    }
+    for (const auto& pattern : patterns) {
+      if (!pattern.Matches(ev.event_name)) return false;
+    }
+    if (spec->user_ids && !spec->user_ids->count(ev.user_id)) {
+      return false;
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+Result<std::shared_ptr<ColumnarEventScan>> ColumnarEventScan::Open(
+    const hdfs::MiniHdfs* fs, const std::string& dir,
+    obs::MetricsRegistry* metrics) {
+  auto files = std::make_shared<std::vector<LoadedFile>>();
+  UNILOG_ASSIGN_OR_RETURN(auto listing, fs->ListRecursive(dir));
+  for (const auto& entry : listing) {
+    size_t slash = entry.path.rfind('/');
+    if (entry.path[slash + 1] == '_') continue;
+    UNILOG_ASSIGN_OR_RETURN(std::string body, fs->ReadFile(entry.path));
+    files->push_back({entry.path, std::move(body)});
+  }
+
+  auto scan = std::shared_ptr<ColumnarEventScan>(new ColumnarEventScan());
+  scan->files_ = std::move(files);
+  scan->source_ = dir;
+  scan->metrics_ = metrics;
+  scan->visible_ = kDefaultVisible;
+  scan->SyncColumnMask();
+  return scan;
+}
+
+const std::vector<std::string>& ColumnarEventScan::columns() const {
+  return column_names_;
+}
+
+std::shared_ptr<PushdownScan> ColumnarEventScan::Clone() const {
+  return std::shared_ptr<ColumnarEventScan>(new ColumnarEventScan(*this));
+}
+
+std::optional<EventColumn> ColumnarEventScan::Resolve(
+    const std::string& name) const {
+  for (const auto& [visible_name, source] : visible_) {
+    if (visible_name == name) return source;
+  }
+  return std::nullopt;
+}
+
+void ColumnarEventScan::SyncColumnMask() {
+  column_names_.clear();
+  columnar::ColumnMask mask = 0;
+  for (const auto& [name, source] : visible_) {
+    column_names_.push_back(name);
+    mask |= columnar::ColumnBit(source);
+  }
+  spec_.columns = mask;
+}
+
+bool ColumnarEventScan::PushFilter(const std::string& column,
+                                   const std::string& op,
+                                   const Value& literal) {
+  std::optional<EventColumn> source = Resolve(column);
+  if (!source.has_value()) return false;
+
+  auto tighten_min = [this](int64_t v) {
+    spec_.min_timestamp =
+        spec_.min_timestamp ? std::max(*spec_.min_timestamp, v) : v;
+  };
+  auto tighten_max = [this](int64_t v) {
+    spec_.max_timestamp =
+        spec_.max_timestamp ? std::min(*spec_.max_timestamp, v) : v;
+  };
+  auto intersect =
+      [](auto& target, const auto& value) {
+        if (!target.has_value()) {
+          target.emplace();
+          target->insert(value);
+        } else if (target->count(value)) {
+          target->clear();
+          target->insert(value);
+        } else {
+          // Contradictory equalities: empty allowlist (zero rows, still
+          // correct — and every group gets dictionary-skipped).
+          target->clear();
+        }
+      };
+
+  switch (*source) {
+    case EventColumn::kTimestamp: {
+      if (!literal.is_int()) return false;
+      int64_t v = literal.int_value();
+      if (op == "==") {
+        tighten_min(v);
+        tighten_max(v);
+      } else if (op == "<=") {
+        tighten_max(v);
+      } else if (op == ">=") {
+        tighten_min(v);
+      } else if (op == "<") {
+        // Strict bounds fold into the inclusive zone-map ranges; at the
+        // integer extreme there is no representable inclusive bound.
+        if (v == INT64_MIN) return false;
+        tighten_max(v - 1);
+      } else if (op == ">") {
+        if (v == INT64_MAX) return false;
+        tighten_min(v + 1);
+      } else {
+        return false;
+      }
+      cache_.reset();
+      return true;
+    }
+    case EventColumn::kEventName: {
+      if (!literal.is_str()) return false;
+      if (op == "==") {
+        intersect(spec_.event_names, literal.str_value());
+      } else if (op == "matches") {
+        spec_.event_name_patterns.push_back(literal.str_value());
+      } else {
+        return false;
+      }
+      cache_.reset();
+      return true;
+    }
+    case EventColumn::kUserId: {
+      if (!literal.is_int() || op != "==") return false;
+      intersect(spec_.user_ids, literal.int_value());
+      cache_.reset();
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+bool ColumnarEventScan::PushProject(const std::vector<std::string>& cols,
+                                    const std::vector<std::string>& names) {
+  if (cols.size() != names.size()) return false;
+  std::vector<std::pair<std::string, EventColumn>> next;
+  next.reserve(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    std::optional<EventColumn> source = Resolve(cols[i]);
+    if (!source.has_value()) return false;
+    next.push_back({names[i], *source});
+  }
+  visible_ = std::move(next);
+  SyncColumnMask();
+  cache_.reset();
+  return true;
+}
+
+Result<Relation> ColumnarEventScan::Materialize(exec::Executor* exec) {
+  if (cache_.has_value()) return *cache_;
+
+  // Plan: one unit per (columnar file, row group); one unit per legacy
+  // file. Units carry their own reader state, so bodies share nothing
+  // but the immutable file set and the spec.
+  struct ScanUnit {
+    const LoadedFile* file = nullptr;
+    bool is_columnar = false;
+    columnar::RcFileReader::RowGroupHandle group;
+  };
+  std::vector<ScanUnit> units;
+  for (const auto& file : *files_) {
+    if (columnar::IsRcFile(file.body)) {
+      columnar::RcFileReader reader(file.body);
+      UNILOG_ASSIGN_OR_RETURN(auto groups, reader.IndexGroups());
+      for (const auto& group : groups) {
+        units.push_back({&file, true, group});
+      }
+    } else {
+      units.push_back({&file, false, {}});
+    }
+  }
+
+  RowPredicate legacy_predicate(spec_);
+  std::vector<std::vector<Row>> row_slots(units.size());
+  std::vector<columnar::ScanStats> stat_slots(units.size());
+
+  auto run_unit = [&](size_t i) -> Status {
+    const ScanUnit& unit = units[i];
+    std::vector<Row>& rows = row_slots[i];
+    columnar::ScanStats& stats = stat_slots[i];
+    std::vector<events::ClientEvent> events;
+    if (unit.is_columnar) {
+      columnar::RcFileReader reader(unit.file->body);
+      UNILOG_RETURN_NOT_OK(
+          reader.ScanGroup(unit.group, spec_, &events, &stats));
+    } else {
+      // Legacy framed-compressed part: no zone maps, so the whole file is
+      // one always-scanned group filtered row-wise.
+      stats.groups_total++;
+      stats.groups_scanned++;
+      stats.bytes_decompressed += unit.file->body.size();
+      UNILOG_ASSIGN_OR_RETURN(std::string body,
+                              Lz::Decompress(unit.file->body));
+      events::ClientEventReader reader(body);
+      events::ClientEvent ev;
+      while (true) {
+        Status st = reader.Next(&ev);
+        if (st.IsNotFound()) break;
+        UNILOG_RETURN_NOT_OK(st);
+        stats.rows_scanned++;
+        if (legacy_predicate.Passes(ev)) {
+          stats.rows_returned++;
+          events.push_back(ev);
+        } else {
+          stats.rows_pruned++;
+        }
+      }
+    }
+    rows.reserve(events.size());
+    for (const auto& event : events) {
+      Row row;
+      row.reserve(visible_.size());
+      for (const auto& [name, source] : visible_) {
+        row.push_back(ColumnValue(event, source));
+      }
+      rows.push_back(std::move(row));
+    }
+    return Status::OK();
+  };
+
+  if (exec != nullptr) {
+    UNILOG_RETURN_NOT_OK(
+        exec->ParallelForStatus("columnar_scan", units.size(), run_unit));
+  } else {
+    for (size_t i = 0; i < units.size(); ++i) {
+      UNILOG_RETURN_NOT_OK(run_unit(i));
+    }
+  }
+
+  // In-order merge: unit order is file order (sorted listing) x group
+  // order, which matches what a serial scan of the same files yields.
+  last_stats_ = columnar::ScanStats();
+  std::vector<Row> merged;
+  size_t total = 0;
+  for (const auto& slot : row_slots) total += slot.size();
+  merged.reserve(total);
+  for (size_t i = 0; i < units.size(); ++i) {
+    last_stats_.MergeFrom(stat_slots[i]);
+    for (auto& row : row_slots[i]) {
+      merged.push_back(std::move(row));
+    }
+  }
+  columnar::ReportScanStats(last_stats_, metrics_, source_);
+
+  UNILOG_ASSIGN_OR_RETURN(Relation rel,
+                          Relation::FromRows(column_names_, std::move(merged)));
+  cache_ = rel;
+  return rel;
+}
+
+}  // namespace unilog::dataflow

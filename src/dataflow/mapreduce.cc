@@ -2,8 +2,10 @@
 
 #include <algorithm>
 
+#include "columnar/rcfile.h"
 #include "common/compress.h"
 #include "common/strings.h"
+#include "events/client_event.h"
 #include "scribe/message.h"
 
 namespace unilog::dataflow {
@@ -12,6 +14,27 @@ InputFormat InputFormat::CompressedFramed() {
   InputFormat f;
   f.decode = [](std::string_view body) -> Result<std::string> {
     return Lz::Decompress(body);
+  };
+  f.split = [](std::string_view decoded) {
+    return scribe::UnframeMessages(decoded);
+  };
+  return f;
+}
+
+InputFormat InputFormat::CompressedFramedOrColumnar() {
+  InputFormat f;
+  f.decode = [](std::string_view body) -> Result<std::string> {
+    if (!columnar::IsRcFile(body)) return Lz::Decompress(body);
+    // Columnar part: materialize every row and re-frame the serialized
+    // events so split() and the map function see the usual record stream.
+    columnar::RcFileReader reader(body);
+    std::vector<events::ClientEvent> events;
+    UNILOG_RETURN_NOT_OK(reader.ReadAll(columnar::kAllColumns, &events));
+    std::string framed;
+    for (const auto& ev : events) {
+      scribe::AppendFramed(&framed, ev.Serialize());
+    }
+    return framed;
   };
   f.split = [](std::string_view decoded) {
     return scribe::UnframeMessages(decoded);

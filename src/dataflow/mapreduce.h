@@ -30,6 +30,13 @@ struct InputFormat {
   /// The standard format for unilog warehouse files: LZ decompression +
   /// varint framing.
   static InputFormat CompressedFramed();
+  /// CompressedFramed that also accepts columnar (RCFile v2) parts: a file
+  /// carrying the RCF2 magic is decoded by reading every row and
+  /// re-framing the serialized events, so map functions see the same
+  /// compact-Thrift records either way. This is the format for warehouse
+  /// directories that may mix layouts (LogMoverOptions::columnar_categories
+  /// plus legacy hours).
+  static InputFormat CompressedFramedOrColumnar();
   /// Framed records without compression.
   static InputFormat Framed();
   /// Newline-delimited text (legacy logs).

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/strings.h"
+#include "dataflow/columnar_scan.h"
 
 namespace unilog::dataflow {
 
@@ -245,6 +246,16 @@ struct GenItem {
   std::string as;               // output name ("" = default)
 };
 
+/// Rewrites `literal op column` as `column op' literal` (matches has no
+/// flipped form; == and != are symmetric).
+std::string FlipComparison(const std::string& op) {
+  if (op == "<") return ">";
+  if (op == "<=") return ">=";
+  if (op == ">") return "<";
+  if (op == ">=") return "<=";
+  return op;
+}
+
 bool AggregateOpFor(const std::string& name_lower, Aggregate::Op* op) {
   if (name_lower == "count") {
     *op = Aggregate::Op::kCount;
@@ -275,6 +286,11 @@ void PigInterpreter::RegisterLoader(const std::string& name, Loader loader) {
   loaders_[ToLower(name)] = std::move(loader);
 }
 
+void PigInterpreter::RegisterScanLoader(const std::string& name,
+                                        ScanLoader loader) {
+  scan_loaders_[ToLower(name)] = std::move(loader);
+}
+
 void PigInterpreter::RegisterUdfFactory(const std::string& name,
                                         UdfFactory factory) {
   factories_[ToLower(name)] = std::move(factory);
@@ -300,7 +316,13 @@ Result<Relation> PigInterpreter::Lookup(const std::string& alias) const {
     return Status::FailedPrecondition(
         "pig: alias '" + alias + "' is grouped; FOREACH it first");
   }
-  return rel.data;
+  return Materialized(rel);
+}
+
+Result<Relation> PigInterpreter::Materialized(
+    const GroupedRelation& rel) const {
+  if (rel.scan == nullptr) return rel.data;
+  return rel.scan->Materialize(exec_);
 }
 
 Status PigInterpreter::Run(const std::string& script) {
@@ -384,6 +406,9 @@ Status PigInterpreter::ExecuteStatement(const std::string& statement) {
     }
     line += "}";
     if (rel.grouped) line += " (grouped)";
+    // DESCRIBE on a deferred scan reads only the schema — it must not
+    // trigger materialization.
+    if (rel.scan != nullptr) line += " (columnar scan)";
     output_.push_back(std::move(line));
     return Status::OK();
   }
@@ -411,6 +436,13 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
     }
     UNILOG_ASSIGN_OR_RETURN(std::string loader_name,
                             t->ExpectIdent("loader name"));
+    auto sit = scan_loaders_.find(ToLower(loader_name));
+    if (sit != scan_loaders_.end()) {
+      UNILOG_ASSIGN_OR_RETURN(std::vector<std::string> args, ParseCtorArgs(t));
+      UNILOG_ASSIGN_OR_RETURN(out.scan, sit->second(path, args));
+      out.data = Relation(out.scan->columns());
+      return out;
+    }
     auto lit = loaders_.find(ToLower(loader_name));
     if (lit == loaders_.end()) {
       return Status::NotFound("pig: unknown loader: " + loader_name);
@@ -440,6 +472,37 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
       return Status::InvalidArgument("pig: expected comparison operator");
     }
     UNILOG_ASSIGN_OR_RETURN(Operand rhs, ParseOperand(t));
+
+    if (rel.scan != nullptr) {
+      // Pushdown: a column-vs-literal predicate is offered to the scan
+      // (cloned, so the source alias keeps its own plan). `lit op col` is
+      // flipped to `col op' lit`; `matches` needs the pattern on the
+      // right. Anything the scan declines falls through to the eager
+      // materialize-then-filter path below.
+      const Operand* col_op = nullptr;
+      const Operand* lit_op = nullptr;
+      std::string scan_op = op;
+      if (lhs.kind == Operand::Kind::kColumn &&
+          rhs.kind == Operand::Kind::kLiteral) {
+        col_op = &lhs;
+        lit_op = &rhs;
+      } else if (lhs.kind == Operand::Kind::kLiteral &&
+                 rhs.kind == Operand::Kind::kColumn && op != "matches") {
+        col_op = &rhs;
+        lit_op = &lhs;
+        scan_op = FlipComparison(op);
+      }
+      if (col_op != nullptr) {
+        std::shared_ptr<PushdownScan> clone = rel.scan->Clone();
+        if (clone->PushFilter(col_op->column, scan_op, lit_op->literal)) {
+          out.scan = std::move(clone);
+          out.data = Relation(out.scan->columns());
+          return out;
+        }
+      }
+      UNILOG_ASSIGN_OR_RETURN(rel.data, Materialized(rel));
+      rel.scan.reset();
+    }
 
     // Resolve column indices once.
     auto resolve = [&rel](const Operand& o) -> Result<int64_t> {
@@ -512,6 +575,32 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
     bool has_aggregate = false;
     for (const auto& item : items) {
       if (item.kind == GenItem::Kind::kAggregate) has_aggregate = true;
+    }
+
+    if (rel.scan != nullptr) {
+      // Pushdown: a pure column projection (with optional AS renames)
+      // narrows the scan's column mask instead of materializing. UDFs and
+      // aggregates are not fusible.
+      bool pure_projection = !has_aggregate;
+      for (const auto& item : items) {
+        if (item.kind != GenItem::Kind::kColumn) pure_projection = false;
+      }
+      if (pure_projection) {
+        std::vector<std::string> cols;
+        std::vector<std::string> names;
+        for (const auto& item : items) {
+          cols.push_back(item.column);
+          names.push_back(item.as.empty() ? item.column : item.as);
+        }
+        std::shared_ptr<PushdownScan> clone = rel.scan->Clone();
+        if (clone->PushProject(cols, names)) {
+          out.scan = std::move(clone);
+          out.data = Relation(out.scan->columns());
+          return out;
+        }
+      }
+      UNILOG_ASSIGN_OR_RETURN(rel.data, Materialized(rel));
+      rel.scan.reset();
     }
 
     if (rel.grouped || has_aggregate) {
@@ -671,7 +760,7 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
     if (rel.grouped) {
       return Status::FailedPrecondition("pig: alias is already grouped");
     }
-    out.data = rel.data;
+    UNILOG_ASSIGN_OR_RETURN(out.data, Materialized(rel));
     out.grouped = true;
     if (t->ConsumeKeyword("all")) {
       return out;
@@ -691,7 +780,8 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
   if (t->ConsumeKeyword("distinct")) {
     UNILOG_ASSIGN_OR_RETURN(std::string src, t->ExpectIdent("alias"));
     UNILOG_ASSIGN_OR_RETURN(GroupedRelation rel, LookupRel(src));
-    out.data = rel.data.Distinct();
+    UNILOG_ASSIGN_OR_RETURN(Relation input, Materialized(rel));
+    out.data = input.Distinct();
     return out;
   }
 
@@ -708,7 +798,8 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
     } else {
       t->ConsumeKeyword("asc");
     }
-    UNILOG_ASSIGN_OR_RETURN(out.data, rel.data.OrderBy(col, descending));
+    UNILOG_ASSIGN_OR_RETURN(Relation input, Materialized(rel));
+    UNILOG_ASSIGN_OR_RETURN(out.data, input.OrderBy(col, descending));
     return out;
   }
 
@@ -719,7 +810,8 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
       return Status::InvalidArgument("pig: LIMIT requires a number");
     }
     long long n = std::strtoll(t->Next().text.c_str(), nullptr, 10);
-    out.data = rel.data.Limit(static_cast<size_t>(n < 0 ? 0 : n));
+    UNILOG_ASSIGN_OR_RETURN(Relation input, Materialized(rel));
+    out.data = input.Limit(static_cast<size_t>(n < 0 ? 0 : n));
     return out;
   }
 
@@ -737,8 +829,9 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
       return Status::InvalidArgument("pig: JOIN requires BY on both sides");
     }
     UNILOG_ASSIGN_OR_RETURN(std::string rcol, t->ExpectIdent("join column"));
-    UNILOG_ASSIGN_OR_RETURN(out.data,
-                            lrel.data.Join(rrel.data, lcol, rcol, exec_));
+    UNILOG_ASSIGN_OR_RETURN(Relation linput, Materialized(lrel));
+    UNILOG_ASSIGN_OR_RETURN(Relation rinput, Materialized(rrel));
+    UNILOG_ASSIGN_OR_RETURN(out.data, linput.Join(rinput, lcol, rcol, exec_));
     return out;
   }
 

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -11,6 +12,8 @@
 #include "dataflow/relation.h"
 
 namespace unilog::dataflow {
+
+class PushdownScan;
 
 /// A miniature Pig Latin interpreter over the Relation layer, sufficient
 /// to run the paper's §5.2 scripts verbatim (modulo quoting style):
@@ -47,6 +50,12 @@ class PigInterpreter {
   /// A loader: path + args → relation.
   using Loader = std::function<Result<Relation>(
       const std::string& path, const std::vector<std::string>& args)>;
+  /// A pushdown-capable loader: path + args → deferred scan. LOAD binds
+  /// the scan instead of materializing; an immediately-following FILTER
+  /// (column op literal) or pure-projection FOREACH is fused into it, and
+  /// rows only materialize at the first non-fusible consumer.
+  using ScanLoader = std::function<Result<std::shared_ptr<PushdownScan>>(
+      const std::string& path, const std::vector<std::string>& args)>;
 
   PigInterpreter() = default;
 
@@ -59,6 +68,10 @@ class PigInterpreter {
 
   /// Registers a loader usable in LOAD ... USING <name>(...).
   void RegisterLoader(const std::string& name, Loader loader);
+
+  /// Registers a pushdown scan loader. Scan loaders are looked up before
+  /// plain loaders of the same name.
+  void RegisterScanLoader(const std::string& name, ScanLoader loader);
 
   /// Registers a UDF factory usable in DEFINE <alias> <name>(...). The
   /// factory may also be used directly in GENERATE with no DEFINE, in
@@ -81,17 +94,25 @@ class PigInterpreter {
 
  private:
   struct GroupedRelation {
+    /// When `scan` is set, `data` holds only the schema (zero rows); the
+    /// rows live behind the deferred scan until Materialized() runs it.
     Relation data;                    // the pre-group rows
     std::vector<std::string> keys;    // empty = GROUP ALL
     bool grouped = false;
+    std::shared_ptr<PushdownScan> scan;
   };
 
   Status ExecuteStatement(const std::string& statement);
   Result<GroupedRelation> EvalExpression(class PigTokens* tokens);
   Result<GroupedRelation> LookupRel(const std::string& alias) const;
+  /// Runs a deferred scan (pass-through for eager relations). The scan
+  /// object is shared across alias copies, so repeat materializations hit
+  /// its cache.
+  Result<Relation> Materialized(const GroupedRelation& rel) const;
 
   exec::Executor* exec_ = nullptr;
   std::map<std::string, Loader> loaders_;
+  std::map<std::string, ScanLoader> scan_loaders_;
   std::map<std::string, UdfFactory> factories_;
   std::map<std::string, ScalarUdf> defined_udfs_;
   std::map<std::string, std::string> params_;

@@ -53,6 +53,9 @@ Result<DailyJobResult> DailyPipeline::RunForDate(TimeMs date,
   {
     dataflow::MapReduceJob job(warehouse_, cost_model_);
     job.set_executor(exec_);
+    // Warehoused hours may be framed-compressed or columnar (RCFile v2)
+    // depending on the mover's columnar_categories; sniff per file.
+    job.set_input_format(dataflow::InputFormat::CompressedFramedOrColumnar());
     for (const auto& dir : hour_dirs) {
       UNILOG_RETURN_NOT_OK(job.AddInputDir(dir));
     }
@@ -119,6 +122,7 @@ Result<DailyJobResult> DailyPipeline::RunForDate(TimeMs date,
   {
     dataflow::MapReduceJob job(warehouse_, cost_model_);
     job.set_executor(exec_);
+    job.set_input_format(dataflow::InputFormat::CompressedFramedOrColumnar());
     for (const auto& dir : hour_dirs) {
       UNILOG_RETURN_NOT_OK(job.AddInputDir(dir));
     }

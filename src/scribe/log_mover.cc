@@ -1,8 +1,10 @@
 #include "scribe/log_mover.h"
 
+#include "columnar/rcfile.h"
 #include "common/compress.h"
 #include "common/strings.h"
 #include "etwin/index.h"
+#include "events/client_event.h"
 #include "scribe/message.h"
 
 namespace unilog::scribe {
@@ -69,6 +71,10 @@ LogMover::LogMover(Simulator* sim, std::vector<DatacenterHandle> datacenters,
   move_retries_ = metrics->GetCounter("mover.move_retries");
   late_files_dropped_ = metrics->GetCounter("mover.late_files_dropped");
   late_entries_dropped_ = metrics->GetCounter("mover.late_entries_dropped");
+  columnar_files_written_ =
+      metrics->GetCounter("mover.columnar_files_written");
+  columnar_parse_fallbacks_ =
+      metrics->GetCounter("mover.columnar_parse_fallbacks");
   warehouse_file_bytes_ = metrics->GetHistogram("mover.warehouse_file_bytes");
 }
 
@@ -84,6 +90,8 @@ LogMoverStats LogMover::stats() const {
   s.move_retries = move_retries_->value();
   s.late_files_dropped = late_files_dropped_->value();
   s.late_entries_dropped = late_entries_dropped_->value();
+  s.columnar_files_written = columnar_files_written_->value();
+  s.columnar_parse_fallbacks = columnar_parse_fallbacks_->value();
   return s;
 }
 
@@ -219,29 +227,75 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
     UNILOG_RETURN_NOT_OK(warehouse_->Delete(tmp_dir, /*recursive=*/true));
   }
   UNILOG_RETURN_NOT_OK(warehouse_->Mkdirs(tmp_dir));
-  std::string body;
   uint64_t part = 0;
-  auto flush_part = [&]() -> Status {
-    if (body.empty()) return Status::OK();
-    // part-NNNNN, zero-padded via std::string so any sequence width stays
-    // unique (no fixed-buffer truncation).
+  // part-NNNNN, zero-padded via std::string so any sequence width stays
+  // unique (no fixed-buffer truncation).
+  auto write_part = [&](const std::string& out) -> Status {
     std::string seq = std::to_string(part++);
     if (seq.size() < 5) seq.insert(0, 5 - seq.size(), '0');
-    std::string out = options_.compress ? Lz::Compress(body) : body;
     UNILOG_RETURN_NOT_OK(
         warehouse_->WriteFile(tmp_dir + "/part-" + seq, out));
     warehouse_files_written_->Increment();
     warehouse_file_bytes_->Observe(static_cast<double>(out.size()));
-    body.clear();
     return Status::OK();
   };
-  for (const auto& m : merged) {
-    AppendFramed(&body, m);
-    if (body.size() >= options_.target_file_bytes) {
-      UNILOG_RETURN_NOT_OK(flush_part());
+  if (options_.columnar_categories.count(category)) {
+    // Columnar layout: parse each message back into a client event and
+    // stream it through the RCFile writer. Parse failures are preserved
+    // verbatim in a framed-compressed sidecar part (never dropped), so
+    // messages_moved still counts every merged message and the delivery
+    // audit stays balanced.
+    std::string body;
+    auto writer = std::make_unique<columnar::RcFileWriter>(&body);
+    size_t rows_in_part = 0;
+    auto flush_columnar = [&]() -> Status {
+      if (rows_in_part == 0) return Status::OK();
+      UNILOG_RETURN_NOT_OK(writer->Finish());
+      UNILOG_RETURN_NOT_OK(write_part(body));
+      columnar_files_written_->Increment();
+      body.clear();
+      writer = std::make_unique<columnar::RcFileWriter>(&body);
+      rows_in_part = 0;
+      return Status::OK();
+    };
+    std::string fallback;
+    for (const auto& m : merged) {
+      auto ev = events::ClientEvent::Deserialize(m);
+      if (!ev.ok()) {
+        AppendFramed(&fallback, m);
+        columnar_parse_fallbacks_->Increment();
+        continue;
+      }
+      UNILOG_RETURN_NOT_OK(writer->Add(*ev));
+      ++rows_in_part;
+      // body holds only flushed groups, so rotation is approximate —
+      // "files of roughly this size", as with the framed layout.
+      if (body.size() >= options_.target_file_bytes) {
+        UNILOG_RETURN_NOT_OK(flush_columnar());
+      }
     }
+    UNILOG_RETURN_NOT_OK(flush_columnar());
+    if (!fallback.empty()) {
+      UNILOG_RETURN_NOT_OK(
+          write_part(options_.compress ? Lz::Compress(fallback) : fallback));
+    }
+  } else {
+    std::string body;
+    auto flush_part = [&]() -> Status {
+      if (body.empty()) return Status::OK();
+      UNILOG_RETURN_NOT_OK(
+          write_part(options_.compress ? Lz::Compress(body) : body));
+      body.clear();
+      return Status::OK();
+    };
+    for (const auto& m : merged) {
+      AppendFramed(&body, m);
+      if (body.size() >= options_.target_file_bytes) {
+        UNILOG_RETURN_NOT_OK(flush_part());
+      }
+    }
+    UNILOG_RETURN_NOT_OK(flush_part());
   }
-  UNILOG_RETURN_NOT_OK(flush_part());
   messages_moved_->Increment(merged.size());
 
   // 3. Atomically slide the hour into the warehouse, then build any
@@ -250,7 +304,11 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
   UNILOG_RETURN_NOT_OK(warehouse_->Mkdirs("/logs/" + category + "/" +
                                           hour_fragment.substr(0, 10)));
   UNILOG_RETURN_NOT_OK(warehouse_->Rename(tmp_dir, final_dir));
-  if (options_.index_categories.count(category)) {
+  // Columnar hours skip the etwin index: their group headers already carry
+  // the zone maps and event-name dictionaries the index would provide (and
+  // the index builder expects framed parts).
+  if (options_.index_categories.count(category) &&
+      !options_.columnar_categories.count(category)) {
     UNILOG_RETURN_NOT_OK(
         etwin::EventNameIndex::BuildForDir(warehouse_, final_dir));
   }

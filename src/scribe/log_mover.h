@@ -33,6 +33,15 @@ struct LogMoverOptions {
   /// built alongside the data ("building any necessary indexes", §2).
   /// Entries must contain compact-Thrift client events.
   std::set<std::string> index_categories;
+  /// Categories whose warehoused hours are written as columnar RCFile v2
+  /// parts (zone maps + dictionaries) instead of framed-compressed blobs,
+  /// enabling the scan fast path. Entries must contain compact-Thrift
+  /// client events; a message that fails to parse is preserved in a
+  /// framed-compressed sidecar part (readers sniff per file), so delivery
+  /// accounting is unchanged. Columnar parts carry their own per-column
+  /// compression, so `compress` does not apply to them; the etwin index is
+  /// skipped for these categories (zone maps + dictionaries subsume it).
+  std::set<std::string> columnar_categories;
 };
 
 /// A datacenter as the log mover sees it: its staging cluster plus the
@@ -61,6 +70,11 @@ struct LogMoverStats {
   /// leaked in staging forever.
   uint64_t late_files_dropped = 0;
   uint64_t late_entries_dropped = 0;
+  /// Warehouse parts written in the columnar (RCFile v2) layout.
+  uint64_t columnar_files_written = 0;
+  /// Messages in a columnar category that failed the client-event parse
+  /// and were preserved in a framed-compressed sidecar part instead.
+  uint64_t columnar_parse_fallbacks = 0;
 };
 
 /// The log mover pipeline (§2): once every datacenter has transferred an
@@ -137,6 +151,8 @@ class LogMover {
   obs::Counter* move_retries_;
   obs::Counter* late_files_dropped_;
   obs::Counter* late_entries_dropped_;
+  obs::Counter* columnar_files_written_;
+  obs::Counter* columnar_parse_fallbacks_;
   obs::Histogram* warehouse_file_bytes_;
 
   bool started_ = false;

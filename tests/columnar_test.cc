@@ -1,13 +1,17 @@
 // Tests for the simplified RCFile columnar layout (§4.2's rejected
-// alternative): round trips, projection reads, and corruption handling.
+// alternative): round trips, projection reads, corruption handling, and
+// the v2 scan fast path (zone maps, dictionaries, pushdown pruning).
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <string>
 #include <vector>
 
 #include "columnar/rcfile.h"
 #include "common/rng.h"
+#include "exec/executor.h"
+#include "obs/metrics.h"
 
 namespace unilog::columnar {
 namespace {
@@ -157,6 +161,279 @@ TEST(RcFileTest, FinishIsIdempotentAndRequired) {
   std::vector<events::ClientEvent> out;
   ASSERT_TRUE(reader.ReadAll(kAllColumns, &out).ok());
   EXPECT_EQ(out.size(), 10u);
+}
+
+TEST(RcFileTest, V1FormatRoundTrip) {
+  auto events = MakeEvents(60);
+  std::string body;
+  RcFileWriterOptions options;
+  options.rows_per_group = 16;
+  options.format_version = 1;
+  RcFileWriter writer(&body, options);
+  for (const auto& ev : events) ASSERT_TRUE(writer.Add(ev).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  EXPECT_FALSE(IsRcFile(body));  // no v2 magic on the legacy layout
+
+  RcFileReader reader(body);
+  EXPECT_EQ(reader.format_version(), 1);
+  std::vector<events::ClientEvent> back;
+  ASSERT_TRUE(reader.ReadAll(kAllColumns, &back).ok());
+  ASSERT_EQ(back.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(back[i], events[i]) << i;
+  }
+}
+
+TEST(RcFileTest, InvalidColumnMaskRejected) {
+  auto events = MakeEvents(4);
+  std::string body = WriteAll(events, 4);
+  RcFileReader reader(body);
+  std::vector<events::ClientEvent> out;
+  Status st = reader.ReadAll(kAllColumns | (1u << kEventColumns), &out);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsInvalidArgument()) << st.ToString();
+  EXPECT_TRUE(out.empty());
+  EXPECT_FALSE(reader.ReadAll(1u << 13, &out).ok());
+
+  ScanSpec spec;
+  spec.columns = 1u << 30;
+  EXPECT_FALSE(reader.Scan(spec, &out).ok());
+}
+
+TEST(RcFileTest, AddAfterFinishFails) {
+  auto events = MakeEvents(3);
+  std::string body;
+  RcFileWriter writer(&body, 8);
+  for (const auto& ev : events) ASSERT_TRUE(writer.Add(ev).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  size_t size_after_finish = body.size();
+
+  Status st = writer.Add(events[0]);
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsFailedPrecondition()) << st.ToString();
+  EXPECT_EQ(writer.rows_written(), 3u);
+  EXPECT_EQ(body.size(), size_after_finish);  // file tail untouched
+}
+
+TEST(RcFileTest, TruncatedHeaderReportsCorruption) {
+  auto events = MakeEvents(12);
+  std::string body = WriteAll(events, 4);
+  ASSERT_TRUE(IsRcFile(body));
+  // Any cut inside the first group (header, checksums, or blobs) must be
+  // a Status error, never UB; cutting exactly after the magic is a valid
+  // empty file.
+  std::vector<events::ClientEvent> out;
+  {
+    RcFileReader reader(std::string_view(body).substr(0, 4));
+    out.clear();
+    EXPECT_TRUE(reader.ReadAll(kAllColumns, &out).ok());
+    EXPECT_TRUE(out.empty());
+  }
+  for (size_t cut = 5; cut < std::min<size_t>(body.size(), 64); ++cut) {
+    RcFileReader reader(std::string_view(body).substr(0, cut));
+    out.clear();
+    EXPECT_FALSE(reader.ReadAll(kAllColumns, &out).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(RcFileTest, HeaderByteFlipIsCorruption) {
+  auto events = MakeEvents(40);
+  std::string body = WriteAll(events, 40);  // one group
+  ASSERT_TRUE(IsRcFile(body));
+  // Flip bytes across the header region (row count, zone map, and the
+  // uncompressed dictionaries); the header checksum must catch each one
+  // rather than silently decoding different event names.
+  for (size_t pos : {5u, 9u, 14u, 20u, 28u, 36u}) {
+    ASSERT_LT(pos, body.size());
+    std::string garbled = body;
+    garbled[pos] ^= 0x5A;
+    RcFileReader reader(garbled);
+    std::vector<events::ClientEvent> out;
+    EXPECT_FALSE(reader.ReadAll(kAllColumns, &out).ok()) << "pos=" << pos;
+  }
+}
+
+// Time-ordered fixture: group g holds timestamps [g*1000*rows, ...), so
+// zone maps partition the time axis cleanly.
+std::vector<events::ClientEvent> MakeTimeOrderedEvents(size_t n) {
+  auto events = MakeEvents(n);  // MakeEvents timestamps already ascend
+  return events;
+}
+
+TEST(RcFileTest, ZoneMapSkipsGroupsOnTimestampRange) {
+  auto events = MakeTimeOrderedEvents(80);
+  std::string body = WriteAll(events, 8);  // 10 groups
+  RcFileReader reader(body);
+
+  ScanSpec spec;
+  spec.min_timestamp = events[30].timestamp;
+  spec.max_timestamp = events[41].timestamp;
+  std::vector<events::ClientEvent> got;
+  ScanStats stats;
+  ASSERT_TRUE(reader.Scan(spec, &got, &stats).ok());
+
+  std::vector<events::ClientEvent> want;
+  for (const auto& ev : events) {
+    if (ev.timestamp >= *spec.min_timestamp &&
+        ev.timestamp <= *spec.max_timestamp) {
+      want.push_back(ev);
+    }
+  }
+  EXPECT_EQ(got, want);
+  EXPECT_EQ(stats.groups_total, 10u);
+  EXPECT_GE(stats.groups_skipped, 7u);  // only ~2 groups overlap the range
+  EXPECT_EQ(stats.groups_scanned + stats.groups_skipped, stats.groups_total);
+  EXPECT_EQ(stats.rows_returned, want.size());
+  EXPECT_EQ(stats.rows_pruned + stats.rows_returned, events.size());
+  EXPECT_LT(stats.bytes_decompressed, reader.TotalColumnBytes().value());
+}
+
+TEST(RcFileTest, ZoneMapSkipsGroupsOnUserIds) {
+  std::vector<events::ClientEvent> events;
+  for (size_t i = 0; i < 60; ++i) {
+    events::ClientEvent ev;
+    ev.event_name = "web:e";
+    ev.user_id = static_cast<int64_t>(i / 10) * 1000;  // 6 uid bands
+    ev.timestamp = 1345507200000 + static_cast<TimeMs>(i);
+    events.push_back(std::move(ev));
+  }
+  std::string body = WriteAll(events, 10);  // one group per uid band
+  RcFileReader reader(body);
+  ScanSpec spec;
+  spec.user_ids = std::set<int64_t>{3000};
+  std::vector<events::ClientEvent> got;
+  ScanStats stats;
+  ASSERT_TRUE(reader.Scan(spec, &got, &stats).ok());
+  EXPECT_EQ(got.size(), 10u);
+  for (const auto& ev : got) EXPECT_EQ(ev.user_id, 3000);
+  EXPECT_EQ(stats.groups_skipped, 5u);
+  EXPECT_EQ(stats.groups_scanned, 1u);
+}
+
+TEST(RcFileTest, DictionarySkipsGroupsWithoutMatchingName) {
+  std::vector<events::ClientEvent> events;
+  for (size_t i = 0; i < 50; ++i) {
+    events::ClientEvent ev;
+    ev.event_name = i < 30 ? "web:home:click" : "api:timeline:fetch";
+    ev.user_id = 7;
+    ev.timestamp = 1345507200000 + static_cast<TimeMs>(i);
+    events.push_back(std::move(ev));
+  }
+  std::string body = WriteAll(events, 10);  // groups 0-2 click, 3-4 fetch
+  {
+    RcFileReader reader(body);
+    ScanSpec spec;
+    spec.event_names = std::set<std::string>{"api:timeline:fetch"};
+    std::vector<events::ClientEvent> got;
+    ScanStats stats;
+    ASSERT_TRUE(reader.Scan(spec, &got, &stats).ok());
+    EXPECT_EQ(got.size(), 20u);
+    EXPECT_EQ(stats.groups_skipped, 3u);  // the all-click groups
+  }
+  {
+    RcFileReader reader(body);
+    ScanSpec spec;
+    spec.event_name_patterns.push_back("web:*");
+    std::vector<events::ClientEvent> got;
+    ScanStats stats;
+    ASSERT_TRUE(reader.Scan(spec, &got, &stats).ok());
+    EXPECT_EQ(got.size(), 30u);
+    EXPECT_EQ(stats.groups_skipped, 2u);  // the all-fetch groups
+  }
+}
+
+TEST(RcFileTest, EncodedPruningDropsRowsBeforeMaterialization) {
+  auto events = MakeEvents(90);  // 7 names interleaved in every group
+  std::string body = WriteAll(events, 30);
+  RcFileReader reader(body);
+  ScanSpec spec;
+  spec.event_names = std::set<std::string>{"web:home:::tweet:action3"};
+  std::vector<events::ClientEvent> got;
+  ScanStats stats;
+  ASSERT_TRUE(reader.Scan(spec, &got, &stats).ok());
+
+  std::vector<events::ClientEvent> want;
+  for (const auto& ev : events) {
+    if (ev.event_name == "web:home:::tweet:action3") want.push_back(ev);
+  }
+  EXPECT_EQ(got, want);
+  // Every group holds all 7 names, so none skip; rows are pruned on
+  // dictionary ids instead.
+  EXPECT_EQ(stats.groups_skipped, 0u);
+  EXPECT_EQ(stats.groups_scanned, stats.groups_total);
+  EXPECT_GT(stats.rows_pruned, 0u);
+  EXPECT_EQ(stats.rows_pruned + stats.rows_returned, events.size());
+}
+
+TEST(RcFileTest, ScanProjectionKeepsUnrequestedColumnsDefault) {
+  auto events = MakeEvents(24);
+  std::string body = WriteAll(events, 8);
+  RcFileReader reader(body);
+  ScanSpec spec;
+  spec.columns =
+      ColumnBit(EventColumn::kEventName) | ColumnBit(EventColumn::kTimestamp);
+  spec.event_name_patterns.push_back("web:*");
+  std::vector<events::ClientEvent> got;
+  ASSERT_TRUE(reader.Scan(spec, &got, nullptr).ok());
+  ASSERT_EQ(got.size(), events.size());
+  EXPECT_EQ(got[5].event_name, events[5].event_name);
+  EXPECT_EQ(got[5].timestamp, events[5].timestamp);
+  EXPECT_EQ(got[5].user_id, 0);
+  EXPECT_TRUE(got[5].session_id.empty());
+  EXPECT_TRUE(got[5].details.empty());
+}
+
+TEST(RcFileTest, GroupParallelScanMatchesSerial) {
+  auto events = MakeEvents(200);
+  std::string body = WriteAll(events, 16);
+  RcFileReader reader(body);
+  ScanSpec spec;
+  spec.min_timestamp = events[40].timestamp;
+  spec.max_timestamp = events[150].timestamp;
+  spec.event_name_patterns.push_back("*:action?");
+
+  std::vector<events::ClientEvent> serial;
+  ASSERT_TRUE(reader.Scan(spec, &serial, nullptr).ok());
+
+  auto groups = reader.IndexGroups();
+  ASSERT_TRUE(groups.ok());
+  for (int threads : {2, 8}) {
+    exec::ExecOptions opts;
+    opts.threads = threads;
+    exec::Executor executor(opts);
+    std::vector<std::vector<events::ClientEvent>> slots(groups->size());
+    ASSERT_TRUE(executor
+                    .ParallelForStatus(
+                        "scan", groups->size(),
+                        [&](size_t g) {
+                          return reader.ScanGroup((*groups)[g], spec,
+                                                  &slots[g], nullptr);
+                        })
+                    .ok());
+    std::vector<events::ClientEvent> merged;
+    for (const auto& slot : slots) {
+      merged.insert(merged.end(), slot.begin(), slot.end());
+    }
+    EXPECT_EQ(merged, serial) << "threads=" << threads;
+  }
+}
+
+TEST(RcFileTest, ReportScanStatsIncrementsCounters) {
+  obs::MetricsRegistry metrics;
+  ScanStats stats;
+  stats.groups_scanned = 3;
+  stats.groups_skipped = 7;
+  stats.bytes_decompressed = 4096;
+  stats.rows_pruned = 90;
+  stats.rows_returned = 10;
+  ReportScanStats(stats, &metrics, "/logs/client_events");
+  ReportScanStats(stats, &metrics, "/logs/client_events");  // accumulates
+  EXPECT_EQ(metrics.CounterTotal("columnar.groups_scanned"), 6u);
+  EXPECT_EQ(metrics.CounterTotal("columnar.groups_skipped"), 14u);
+  EXPECT_EQ(metrics.CounterTotal("columnar.bytes_decompressed"), 8192u);
+  EXPECT_EQ(metrics.CounterTotal("columnar.rows_pruned"), 180u);
+  EXPECT_EQ(metrics.CounterTotal("columnar.rows_returned"), 20u);
+  ReportScanStats(stats, nullptr, "x");  // null registry is a no-op
 }
 
 }  // namespace

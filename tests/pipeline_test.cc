@@ -10,6 +10,7 @@
 
 #include "analytics/summary.h"
 #include "analytics/udfs.h"
+#include "columnar/rcfile.h"
 #include "pipeline/daily_pipeline.h"
 #include "scribe/cluster.h"
 #include "sessions/session_sequence.h"
@@ -24,7 +25,10 @@ constexpr TimeMs kDay = 1345507200000;  // 2012-08-21 00:00 UTC
 class PipelineTest : public ::testing::Test {
  protected:
   // Runs the full pipeline for a small day of traffic; returns the result.
-  DailyJobResult RunEndToEnd(workload::WorkloadOptions wopts) {
+  // With `columnar` set the mover lands warehouse hours as RCFile v2 parts
+  // and the daily jobs must read them through the format-sniffing input.
+  DailyJobResult RunEndToEnd(workload::WorkloadOptions wopts,
+                             bool columnar = false) {
     sim_ = std::make_unique<Simulator>(kDay);
     scribe::ClusterTopology topo;
     topo.datacenters = {"dc1", "dc2"};
@@ -35,6 +39,7 @@ class PipelineTest : public ::testing::Test {
     scribe::LogMoverOptions mopts;
     mopts.run_interval_ms = 5 * kMillisPerMinute;
     mopts.grace_ms = 2 * kMillisPerMinute;
+    if (columnar) mopts.columnar_categories = {"client_events"};
     cluster_ = std::make_unique<scribe::ScribeCluster>(sim_.get(), topo,
                                                        sopts, mopts, 99);
     EXPECT_TRUE(cluster_->Start().ok());
@@ -100,6 +105,36 @@ TEST_F(PipelineTest, SessionizationRecoversGeneratedSessions) {
       sessions::SequenceStore::LoadDaily(*cluster_->warehouse(), kDay);
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->size(), result.sequences.size());
+}
+
+TEST_F(PipelineTest, ColumnarWarehouseFeedsDailyPipeline) {
+  // Same workload twice: once landing framed-compressed hours, once landing
+  // RCFile v2 columnar hours. The daily jobs sniff the format per file, so
+  // both runs must produce identical results.
+  DailyJobResult framed = RunEndToEnd(SmallWorkload());
+  DailyJobResult columnar = RunEndToEnd(SmallWorkload(), /*columnar=*/true);
+  const workload::GroundTruth& truth = generator_->truth();
+
+  // The columnar run really did land RCFile parts in the warehouse.
+  auto files =
+      cluster_->warehouse()->ListRecursive("/logs/client_events/2012/08/21");
+  ASSERT_TRUE(files.ok());
+  size_t rcfile_parts = 0;
+  for (const auto& f : *files) {
+    auto body = cluster_->warehouse()->ReadFile(f.path);
+    ASSERT_TRUE(body.ok());
+    if (columnar::IsRcFile(*body)) ++rcfile_parts;
+  }
+  EXPECT_GT(rcfile_parts, 0u);
+
+  // No loss through the columnar path, and job-for-job parity with the
+  // framed run.
+  EXPECT_EQ(columnar.histogram.total_events(), truth.total_events);
+  EXPECT_EQ(columnar.histogram.total_events(), framed.histogram.total_events());
+  for (const auto& [name, count] : truth.event_counts) {
+    EXPECT_EQ(columnar.histogram.CountOf(name), count) << name;
+  }
+  EXPECT_EQ(columnar.sequences, framed.sequences);
 }
 
 TEST_F(PipelineTest, SummaryMatchesGroundTruthByClient) {

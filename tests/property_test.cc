@@ -15,8 +15,10 @@
 #include "common/strings.h"
 #include "common/utf8.h"
 #include "dataflow/mapreduce.h"
+#include "columnar/rcfile.h"
 #include "dataflow/relation.h"
 #include "events/client_event.h"
+#include "events/event_name.h"
 #include "exec/executor.h"
 #include "hdfs/mini_hdfs.h"
 #include "sessions/dictionary.h"
@@ -563,6 +565,180 @@ TEST_P(RelationPropertyTest, OperatorsMatchSerialAtAnyThreadCount) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RelationPropertyTest,
                          ::testing::Values(6u, 66u, 666u));
+
+// ---------------------------------------------------------------------------
+// Columnar scan pushdown: on random events (empty details, multi-byte
+// UTF-8 names, very long names) and random ScanSpecs, Scan() must equal
+// read-everything-then-filter-then-project, and the group-parallel scan
+// must reproduce it byte-for-byte at any thread count.
+
+class ColumnarScanPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+constexpr TimeMs kScanBase = 1345507200000;
+
+events::ClientEvent RandomColumnarEvent(Rng& rng) {
+  events::ClientEvent ev;
+  ev.initiator = static_cast<events::EventInitiator>(rng.Uniform(4));
+  switch (rng.Uniform(5)) {
+    case 0:
+      ev.event_name = "web:home:::tweet:click";
+      break;
+    case 1:
+      ev.event_name = "api:timeline:fetch";
+      break;
+    case 2:  // multi-byte UTF-8 components
+      ev.event_name = "web:día:ツイート:impression" +
+                      std::to_string(rng.Uniform(3));
+      break;
+    case 3:  // pathologically long name
+      ev.event_name = "web:" + std::string(240, 'x') + ":click";
+      break;
+    default:
+      ev.event_name = "web:home:::tweet:action" + std::to_string(rng.Uniform(7));
+      break;
+  }
+  ev.user_id = static_cast<int64_t>(rng.Uniform(40));
+  ev.session_id = "s" + std::to_string(rng.Uniform(20));
+  ev.ip = "10.0." + std::to_string(rng.Uniform(4)) + "." +
+          std::to_string(rng.Uniform(200));
+  ev.timestamp = kScanBase + static_cast<TimeMs>(rng.Uniform(3600000));
+  size_t details = rng.Uniform(3);  // 0 (common), 1, or 2 pairs
+  for (size_t d = 0; d < details; ++d) {
+    ev.details.push_back({"k" + std::to_string(d),
+                          "vé" + std::to_string(rng.Uniform(10))});
+  }
+  return ev;
+}
+
+columnar::ScanSpec RandomScanSpec(Rng& rng) {
+  columnar::ScanSpec spec;
+  // Random projection (always at least one column).
+  spec.columns = static_cast<columnar::ColumnMask>(
+      1 + rng.Uniform(columnar::kAllColumns));
+  if (rng.Uniform(2) == 0) {
+    TimeMs lo = kScanBase + static_cast<TimeMs>(rng.Uniform(3600000));
+    TimeMs hi = kScanBase + static_cast<TimeMs>(rng.Uniform(3600000));
+    spec.min_timestamp = std::min(lo, hi);
+    spec.max_timestamp = std::max(lo, hi);
+  }
+  if (rng.Uniform(3) == 0) {
+    std::set<std::string> names;
+    names.insert("web:home:::tweet:click");
+    if (rng.Uniform(2) == 0) names.insert("api:timeline:fetch");
+    if (rng.Uniform(2) == 0) {
+      names.insert("web:home:::tweet:action" + std::to_string(rng.Uniform(7)));
+    }
+    spec.event_names = std::move(names);
+  }
+  if (rng.Uniform(3) == 0) {
+    static const char* kPatterns[] = {"*:click", "web:*", "*fetch",
+                                      "web:día:*", "*:action?"};
+    spec.event_name_patterns.push_back(kPatterns[rng.Uniform(5)]);
+  }
+  if (rng.Uniform(4) == 0) {
+    std::set<int64_t> ids;
+    size_t n = 1 + rng.Uniform(6);
+    for (size_t i = 0; i < n; ++i) {
+      ids.insert(static_cast<int64_t>(rng.Uniform(40)));
+    }
+    spec.user_ids = std::move(ids);
+  }
+  return spec;
+}
+
+// Copies only the masked fields (what a projection scan materializes).
+events::ClientEvent ApplyMask(const events::ClientEvent& ev,
+                              columnar::ColumnMask mask) {
+  using columnar::ColumnBit;
+  using columnar::EventColumn;
+  events::ClientEvent out;
+  if (mask & ColumnBit(EventColumn::kInitiator)) out.initiator = ev.initiator;
+  if (mask & ColumnBit(EventColumn::kEventName)) out.event_name = ev.event_name;
+  if (mask & ColumnBit(EventColumn::kUserId)) out.user_id = ev.user_id;
+  if (mask & ColumnBit(EventColumn::kSessionId)) out.session_id = ev.session_id;
+  if (mask & ColumnBit(EventColumn::kIp)) out.ip = ev.ip;
+  if (mask & ColumnBit(EventColumn::kTimestamp)) out.timestamp = ev.timestamp;
+  if (mask & ColumnBit(EventColumn::kDetails)) out.details = ev.details;
+  return out;
+}
+
+bool ReferencePasses(const events::ClientEvent& ev,
+                     const columnar::ScanSpec& spec) {
+  if (spec.min_timestamp && ev.timestamp < *spec.min_timestamp) return false;
+  if (spec.max_timestamp && ev.timestamp > *spec.max_timestamp) return false;
+  if (spec.event_names && !spec.event_names->count(ev.event_name)) return false;
+  for (const auto& pattern : spec.event_name_patterns) {
+    if (!events::EventPattern(pattern).Matches(ev.event_name)) return false;
+  }
+  if (spec.user_ids && !spec.user_ids->count(ev.user_id)) return false;
+  return true;
+}
+
+TEST_P(ColumnarScanPropertyTest, PushdownEqualsFullScanThenFilter) {
+  Rng rng(GetParam());
+  const size_t kGroupSizes[] = {1, 7, 64};
+  for (int iter = 0; iter < 4; ++iter) {
+    size_t n = rng.Uniform(300);
+    std::vector<events::ClientEvent> events;
+    for (size_t i = 0; i < n; ++i) events.push_back(RandomColumnarEvent(rng));
+
+    size_t rows_per_group = kGroupSizes[rng.Uniform(3)];
+    std::string body;
+    columnar::RcFileWriter writer(&body, rows_per_group);
+    for (const auto& ev : events) ASSERT_TRUE(writer.Add(ev).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+
+    // Round trip at this group size.
+    {
+      columnar::RcFileReader reader(body);
+      std::vector<events::ClientEvent> back;
+      ASSERT_TRUE(reader.ReadAll(columnar::kAllColumns, &back).ok());
+      ASSERT_EQ(back, events) << "rows_per_group=" << rows_per_group;
+    }
+
+    for (int s = 0; s < 5; ++s) {
+      columnar::ScanSpec spec = RandomScanSpec(rng);
+
+      std::vector<events::ClientEvent> want;
+      for (const auto& ev : events) {
+        if (ReferencePasses(ev, spec)) want.push_back(ApplyMask(ev, spec.columns));
+      }
+
+      columnar::RcFileReader reader(body);
+      std::vector<events::ClientEvent> got;
+      columnar::ScanStats stats;
+      ASSERT_TRUE(reader.Scan(spec, &got, &stats).ok());
+      ASSERT_EQ(got, want) << "iter=" << iter << " spec=" << s;
+      EXPECT_EQ(stats.rows_returned, want.size());
+      EXPECT_EQ(stats.rows_pruned + stats.rows_returned, events.size());
+
+      auto groups = reader.IndexGroups();
+      ASSERT_TRUE(groups.ok());
+      for (int threads : {2, 8}) {
+        exec::ExecOptions opts;
+        opts.threads = threads;
+        exec::Executor executor(opts);
+        std::vector<std::vector<events::ClientEvent>> slots(groups->size());
+        ASSERT_TRUE(executor
+                        .ParallelForStatus(
+                            "scan", groups->size(),
+                            [&](size_t g) {
+                              return reader.ScanGroup((*groups)[g], spec,
+                                                      &slots[g], nullptr);
+                            })
+                        .ok());
+        std::vector<events::ClientEvent> merged;
+        for (const auto& slot : slots) {
+          merged.insert(merged.end(), slot.begin(), slot.end());
+        }
+        ASSERT_EQ(merged, got) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarScanPropertyTest,
+                         ::testing::Values(7u, 77u, 777u));
 
 }  // namespace
 }  // namespace unilog

@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "columnar/rcfile.h"
 #include "common/compress.h"
 #include "common/sim_time.h"
+#include "events/client_event.h"
 #include "hdfs/mini_hdfs.h"
 #include "scribe/aggregator.h"
 #include "scribe/cluster.h"
@@ -463,6 +465,92 @@ TEST_F(LogMoverTest, MergesManySmallFilesIntoFew) {
   EXPECT_EQ(files->size(), 1u);  // 40 small files → 1 big file
   EXPECT_EQ(mover.stats().staging_files_read, 40u);
   EXPECT_EQ(mover.stats().messages_moved, 40u);
+}
+
+TEST_F(LogMoverTest, ColumnarCategoryWritesRcFileParts) {
+  hdfs::MiniHdfs staging1(&sim_);
+  std::vector<Aggregator*> none;
+  mover_options_.columnar_categories = {"client_events"};
+  LogMover mover(&sim_, {DatacenterHandle{"dc1", &staging1, &none}},
+                 &warehouse_, mover_options_);
+  mover.Start(kT0);
+
+  // An hour of parseable client events plus one foreign message.
+  std::vector<std::string> messages;
+  std::vector<events::ClientEvent> staged;
+  for (int i = 0; i < 6; ++i) {
+    events::ClientEvent ev;
+    ev.initiator = events::EventInitiator::kClientUser;
+    ev.event_name = i % 2 == 0 ? "web:home:::tweet:click"
+                               : "web:home:::tweet:impression";
+    ev.user_id = 100 + i;
+    ev.session_id = "s" + std::to_string(i);
+    ev.ip = "10.0.0.1";
+    ev.timestamp = kT0 + i * 1000;
+    staged.push_back(ev);
+    messages.push_back(ev.Serialize());
+  }
+  messages.push_back("not-a-client-event");
+  ASSERT_TRUE(staging1
+                  .WriteFile("/staging/client_events/2012/08/21/00/f0",
+                             Lz::Compress(FrameMessages(messages)))
+                  .ok());
+  sim_.RunUntil(kT0 + kMillisPerHour + 3 * kMillisPerMinute);
+
+  auto files = warehouse_.ListRecursive("/logs/client_events/2012/08/21/00");
+  ASSERT_TRUE(files.ok());
+  std::vector<events::ClientEvent> columnar_rows;
+  std::vector<std::string> sidecar_messages;
+  for (const auto& f : *files) {
+    auto body = warehouse_.ReadFile(f.path);
+    ASSERT_TRUE(body.ok());
+    if (columnar::IsRcFile(*body)) {
+      columnar::RcFileReader reader(*body);
+      ASSERT_TRUE(reader.ReadAll(columnar::kAllColumns, &columnar_rows).ok());
+    } else {
+      // The fallback sidecar keeps unparseable messages verbatim.
+      auto raw = Lz::Decompress(*body);
+      ASSERT_TRUE(raw.ok());
+      auto msgs = UnframeMessages(*raw);
+      ASSERT_TRUE(msgs.ok());
+      for (auto& m : *msgs) sidecar_messages.push_back(std::move(m));
+    }
+  }
+  EXPECT_EQ(columnar_rows, staged);
+  ASSERT_EQ(sidecar_messages.size(), 1u);
+  EXPECT_EQ(sidecar_messages[0], "not-a-client-event");
+
+  // Audit stays balanced: every merged message is accounted as moved.
+  EXPECT_EQ(mover.stats().messages_moved, 7u);
+  EXPECT_GE(mover.stats().columnar_files_written, 1u);
+  EXPECT_EQ(mover.stats().columnar_parse_fallbacks, 1u);
+}
+
+TEST_F(LogMoverTest, ColumnarCategorySkipsEtwinIndex) {
+  hdfs::MiniHdfs staging1(&sim_);
+  std::vector<Aggregator*> none;
+  mover_options_.columnar_categories = {"client_events"};
+  mover_options_.index_categories = {"client_events"};
+  LogMover mover(&sim_, {DatacenterHandle{"dc1", &staging1, &none}},
+                 &warehouse_, mover_options_);
+  mover.Start(kT0);
+
+  events::ClientEvent ev;
+  ev.event_name = "web:home:::tweet:click";
+  ev.user_id = 1;
+  ev.session_id = "s";
+  ev.ip = "10.0.0.1";
+  ev.timestamp = kT0;
+  ASSERT_TRUE(staging1
+                  .WriteFile("/staging/client_events/2012/08/21/00/f0",
+                             Lz::Compress(FrameMessages({ev.Serialize()})))
+                  .ok());
+  sim_.RunUntil(kT0 + kMillisPerHour + 3 * kMillisPerMinute);
+
+  std::string hour_dir = "/logs/client_events/2012/08/21/00";
+  ASSERT_TRUE(warehouse_.Exists(hour_dir));
+  // Zone maps and dictionaries in the RCFile headers subsume the index.
+  EXPECT_FALSE(warehouse_.Exists(hour_dir + "/_etwin_index"));
 }
 
 TEST_F(LogMoverTest, LateStagedFileForMovedHourDroppedViaRetryPath) {
