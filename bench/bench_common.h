@@ -6,15 +6,18 @@
 // exercises delivery separately), then exposes the §4.2 daily-pipeline
 // outputs that most experiments consume.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "columnar/rcfile.h"
 #include "common/coding.h"
 #include "common/compress.h"
 #include "common/json.h"
@@ -82,6 +85,45 @@ inline Status MaterializeWarehouseDay(
   UNILOG_RETURN_NOT_OK(write_status);
   for (auto& [hour, buf] : hours) {
     UNILOG_RETURN_NOT_OK(flush(hour, &buf));
+  }
+  return Status::OK();
+}
+
+/// Writes generated events into hourly warehouse partitions as RCFile v2
+/// parts (zone maps, dictionaries, embedded checksums) — the layout the
+/// Oink memoization bench scans, and the one whose per-group checksums
+/// give the engine header-only content fingerprints. Rows within an hour
+/// are time-sorted so zone maps stay tight. Appends each non-empty hour's
+/// start time to `hours_out` (sorted) when non-null.
+inline Status MaterializeWarehouseHoursColumnar(
+    workload::WorkloadGenerator* generator, hdfs::MiniHdfs* warehouse,
+    const std::string& root = "/warehouse/client_events",
+    size_t rows_per_part = 8192, std::vector<TimeMs>* hours_out = nullptr) {
+  std::map<TimeMs, std::vector<events::ClientEvent>> hours;
+  UNILOG_RETURN_NOT_OK(generator->Generate([&](const events::ClientEvent& ev) {
+    hours[TruncateToHour(ev.timestamp)].push_back(ev);
+  }));
+  for (auto& [hour, rows] : hours) {
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const events::ClientEvent& a,
+                        const events::ClientEvent& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    std::string dir = root + "/" + HourPartitionPath(hour);
+    int part = 0;
+    for (size_t off = 0; off < rows.size(); off += rows_per_part) {
+      std::string body;
+      columnar::RcFileWriter writer(&body, /*rows_per_group=*/1024);
+      size_t end = std::min(rows.size(), off + rows_per_part);
+      for (size_t i = off; i < end; ++i) {
+        UNILOG_RETURN_NOT_OK(writer.Add(rows[i]));
+      }
+      UNILOG_RETURN_NOT_OK(writer.Finish());
+      char name[32];
+      std::snprintf(name, sizeof(name), "part-%05d", part++);
+      UNILOG_RETURN_NOT_OK(warehouse->WriteFile(dir + "/" + name, body));
+    }
+    if (hours_out != nullptr) hours_out->push_back(hour);
   }
   return Status::OK();
 }
@@ -174,6 +216,22 @@ inline int ParseUsersFlag(int* argc, char** argv, int fallback = 400) {
   }
   *argc = out;
   return users;
+}
+
+/// Extracts a boolean `--<name>` switch from argv (removing it). Returns
+/// true when present; CI's verified-cache job passes `--verify-cache`.
+inline bool ParseSwitchFlag(int* argc, char** argv, const char* name) {
+  bool found = false;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) {
+      found = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return found;
 }
 
 /// Merges `section` into the JSON object document at `path` under `key`,

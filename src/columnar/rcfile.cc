@@ -40,6 +40,10 @@ struct GroupHeader {
   /// v2: checksum over the group's blob section, verified only when the
   /// group is actually scanned — a zone-map skip stays header-only.
   uint32_t blobs_checksum = 0;
+  /// v2: the stored header checksum (already verified against the header
+  /// bytes by ReadGroupHeader); kept so ContentFingerprint can fold the
+  /// embedded checksums into a whole-file digest without re-hashing.
+  uint32_t header_checksum = 0;
 };
 
 Status ReadGroupHeader(Decoder* dec, int version, GroupHeader* hdr) {
@@ -82,6 +86,7 @@ Status ReadGroupHeader(Decoder* dec, int version, GroupHeader* hdr) {
       expected) {
     return Status::Corruption("rcfile: row-group header checksum mismatch");
   }
+  hdr->header_checksum = expected;
   UNILOG_RETURN_NOT_OK(dec->GetVarint32(&hdr->blobs_checksum));
   return Status::OK();
 }
@@ -478,6 +483,32 @@ void ReportScanStats(const ScanStats& stats, obs::MetricsRegistry* metrics,
       ->Increment(stats.rows_returned);
 }
 
+RowMatcher::RowMatcher(const ScanSpec& spec) : spec_(&spec) {
+  patterns_.reserve(spec.event_name_patterns.size());
+  for (const auto& p : spec.event_name_patterns) {
+    patterns_.emplace_back(p);
+  }
+}
+
+bool RowMatcher::Matches(const events::ClientEvent& event) const {
+  if (spec_->min_timestamp && event.timestamp < *spec_->min_timestamp) {
+    return false;
+  }
+  if (spec_->max_timestamp && event.timestamp > *spec_->max_timestamp) {
+    return false;
+  }
+  if (spec_->event_names && !spec_->event_names->count(event.event_name)) {
+    return false;
+  }
+  for (const auto& pattern : patterns_) {
+    if (!pattern.Matches(event.event_name)) return false;
+  }
+  if (spec_->user_ids && !spec_->user_ids->count(event.user_id)) {
+    return false;
+  }
+  return true;
+}
+
 bool IsRcFile(std::string_view data) {
   return data.size() >= kMagic.size() &&
          data.substr(0, kMagic.size()) == kMagic;
@@ -686,6 +717,33 @@ Status RcFileReader::ScanGroup(const RowGroupHandle& group,
   UNILOG_RETURN_NOT_OK(ScanOneGroup(&dec, version_, compiled, out, &local));
   if (stats != nullptr) stats->MergeFrom(local);
   return Status::OK();
+}
+
+Result<uint64_t> RcFileReader::ContentFingerprint() const {
+  if (version_ < 2) {
+    return Status::FailedPrecondition(
+        "rcfile: v1 files carry no embedded checksums to fingerprint");
+  }
+  // FNV-1a over (row_count, header checksum, blob checksum) per group, in
+  // file order. Header-only: SkipBlobs never touches compressed data.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= static_cast<unsigned char>(v >> (i * 8));
+      h *= 1099511628211ull;
+    }
+  };
+  Decoder dec(data_);
+  UNILOG_RETURN_NOT_OK(dec.Skip(body_offset_));
+  while (!dec.AtEnd()) {
+    GroupHeader hdr;
+    UNILOG_RETURN_NOT_OK(ReadGroupHeader(&dec, version_, &hdr));
+    UNILOG_RETURN_NOT_OK(SkipBlobs(&dec));
+    mix(hdr.row_count);
+    mix(hdr.header_checksum);
+    mix(hdr.blobs_checksum);
+  }
+  return h;
 }
 
 Result<uint64_t> RcFileReader::TotalColumnBytes() const {

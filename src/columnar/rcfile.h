@@ -12,6 +12,7 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "events/client_event.h"
+#include "events/event_name.h"
 
 namespace unilog::obs {
 class MetricsRegistry;
@@ -123,6 +124,22 @@ struct ScanStats {
 void ReportScanStats(const ScanStats& stats, obs::MetricsRegistry* metrics,
                      const std::string& source);
 
+/// Row-wise evaluation of a ScanSpec's predicates against a fully decoded
+/// event, with the glob patterns compiled once at construction. This is
+/// the reference semantics the columnar fast path must agree with: legacy
+/// (framed) parts are filtered with it directly, and shared scans use it
+/// as the per-workflow residual filter over union-scanned rows. Borrows
+/// `spec`; the spec must outlive the matcher.
+class RowMatcher {
+ public:
+  explicit RowMatcher(const ScanSpec& spec);
+  bool Matches(const events::ClientEvent& event) const;
+
+ private:
+  const ScanSpec* spec_;
+  std::vector<events::EventPattern> patterns_;
+};
+
 /// True when `data` carries the v2 magic.
 bool IsRcFile(std::string_view data);
 
@@ -200,6 +217,15 @@ class RcFileReader {
   Status ScanGroup(const RowGroupHandle& group, const ScanSpec& spec,
                    std::vector<events::ClientEvent>* out,
                    ScanStats* stats) const;
+
+  /// A 64-bit content fingerprint of a v2 file, derived from the per-group
+  /// FNV-1a header and blob checksums already embedded in the format — so
+  /// it is computed header-only, without decompressing a single column
+  /// blob. Any content change alters a group checksum and therefore the
+  /// fingerprint; the Oink memoization layer uses it as the input half of
+  /// a cache key. FailedPrecondition on v1 files (no embedded checksums;
+  /// callers fall back to size+mtime), Corruption on malformed files.
+  Result<uint64_t> ContentFingerprint() const;
 
   /// Compressed bytes actually decompressed by (non-const) calls so far —
   /// the projection savings RCFile exists to provide.

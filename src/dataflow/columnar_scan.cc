@@ -4,6 +4,7 @@
 #include <set>
 
 #include "common/compress.h"
+#include "dataflow/plan_fingerprint.h"
 #include "events/client_event.h"
 #include "events/event_name.h"
 
@@ -44,40 +45,36 @@ Value ColumnValue(const events::ClientEvent& ev, EventColumn col) {
   return Value();
 }
 
-/// Row-wise predicate evaluation for legacy (non-columnar) files, with
-/// the glob patterns compiled once per materialization.
-struct RowPredicate {
-  const columnar::ScanSpec* spec;
-  std::vector<events::EventPattern> patterns;
-
-  explicit RowPredicate(const columnar::ScanSpec& s) : spec(&s) {
-    patterns.reserve(s.event_name_patterns.size());
-    for (const auto& p : s.event_name_patterns) {
-      patterns.emplace_back(p);
-    }
+/// Projects one event into a relation row under a visible-column list.
+Row ProjectEvent(
+    const events::ClientEvent& event,
+    const std::vector<std::pair<std::string, EventColumn>>& visible) {
+  Row row;
+  row.reserve(visible.size());
+  for (const auto& [name, source] : visible) {
+    row.push_back(ColumnValue(event, source));
   }
-
-  bool Passes(const events::ClientEvent& ev) const {
-    if (spec->min_timestamp && ev.timestamp < *spec->min_timestamp) {
-      return false;
-    }
-    if (spec->max_timestamp && ev.timestamp > *spec->max_timestamp) {
-      return false;
-    }
-    if (spec->event_names && !spec->event_names->count(ev.event_name)) {
-      return false;
-    }
-    for (const auto& pattern : patterns) {
-      if (!pattern.Matches(ev.event_name)) return false;
-    }
-    if (spec->user_ids && !spec->user_ids->count(ev.user_id)) {
-      return false;
-    }
-    return true;
-  }
-};
+  return row;
+}
 
 }  // namespace
+
+bool IsHiddenWarehousePath(const std::string& dir, const std::string& path) {
+  // Listings hand back absolute paths under `dir`; anything else is
+  // checked whole (defensive — never out of bounds).
+  size_t start = path.compare(0, dir.size(), dir) == 0 ? dir.size() : 0;
+  while (start < path.size()) {
+    if (path[start] == '/') {
+      ++start;
+      continue;
+    }
+    if (path[start] == '_') return true;
+    size_t slash = path.find('/', start);
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  return false;
+}
 
 Result<std::shared_ptr<ColumnarEventScan>> ColumnarEventScan::Open(
     const hdfs::MiniHdfs* fs, const std::string& dir,
@@ -85,8 +82,7 @@ Result<std::shared_ptr<ColumnarEventScan>> ColumnarEventScan::Open(
   auto files = std::make_shared<std::vector<LoadedFile>>();
   UNILOG_ASSIGN_OR_RETURN(auto listing, fs->ListRecursive(dir));
   for (const auto& entry : listing) {
-    size_t slash = entry.path.rfind('/');
-    if (entry.path[slash + 1] == '_') continue;
+    if (IsHiddenWarehousePath(dir, entry.path)) continue;
     UNILOG_ASSIGN_OR_RETURN(std::string body, fs->ReadFile(entry.path));
     files->push_back({entry.path, std::move(body)});
   }
@@ -95,6 +91,15 @@ Result<std::shared_ptr<ColumnarEventScan>> ColumnarEventScan::Open(
   scan->files_ = std::move(files);
   scan->source_ = dir;
   scan->metrics_ = metrics;
+  scan->visible_ = kDefaultVisible;
+  scan->SyncColumnMask();
+  return scan;
+}
+
+std::shared_ptr<ColumnarEventScan> ColumnarEventScan::PlanOnly() {
+  auto scan = std::shared_ptr<ColumnarEventScan>(new ColumnarEventScan());
+  scan->files_ = std::make_shared<std::vector<LoadedFile>>();
+  scan->source_ = "(plan-only)";
   scan->visible_ = kDefaultVisible;
   scan->SyncColumnMask();
   return scan;
@@ -219,19 +224,10 @@ bool ColumnarEventScan::PushProject(const std::vector<std::string>& cols,
   return true;
 }
 
-Result<Relation> ColumnarEventScan::Materialize(exec::Executor* exec) {
-  if (cache_.has_value()) return *cache_;
-
-  // Plan: one unit per (columnar file, row group); one unit per legacy
-  // file. Units carry their own reader state, so bodies share nothing
-  // but the immutable file set and the spec.
-  struct ScanUnit {
-    const LoadedFile* file = nullptr;
-    bool is_columnar = false;
-    columnar::RcFileReader::RowGroupHandle group;
-  };
+Result<std::vector<ColumnarEventScan::ScanUnit>> ColumnarEventScan::PlanUnits(
+    const std::vector<LoadedFile>& files) {
   std::vector<ScanUnit> units;
-  for (const auto& file : *files_) {
+  for (const auto& file : files) {
     if (columnar::IsRcFile(file.body)) {
       columnar::RcFileReader reader(file.body);
       UNILOG_ASSIGN_OR_RETURN(auto groups, reader.IndexGroups());
@@ -242,51 +238,59 @@ Result<Relation> ColumnarEventScan::Materialize(exec::Executor* exec) {
       units.push_back({&file, false, {}});
     }
   }
+  return units;
+}
 
-  RowPredicate legacy_predicate(spec_);
+Status ColumnarEventScan::ScanUnitEvents(
+    const ScanUnit& unit, const columnar::ScanSpec& spec,
+    const columnar::RowMatcher& legacy_matcher,
+    std::vector<events::ClientEvent>* events, columnar::ScanStats* stats) {
+  if (unit.is_columnar) {
+    columnar::RcFileReader reader(unit.file->body);
+    return reader.ScanGroup(unit.group, spec, events, stats);
+  }
+  // Legacy framed-compressed part: no zone maps, so the whole file is
+  // one always-scanned group filtered row-wise.
+  stats->groups_total++;
+  stats->groups_scanned++;
+  stats->bytes_decompressed += unit.file->body.size();
+  UNILOG_ASSIGN_OR_RETURN(std::string body, Lz::Decompress(unit.file->body));
+  events::ClientEventReader reader(body);
+  events::ClientEvent ev;
+  while (true) {
+    Status st = reader.Next(&ev);
+    if (st.IsNotFound()) break;
+    UNILOG_RETURN_NOT_OK(st);
+    stats->rows_scanned++;
+    if (legacy_matcher.Matches(ev)) {
+      stats->rows_returned++;
+      events->push_back(ev);
+    } else {
+      stats->rows_pruned++;
+    }
+  }
+  return Status::OK();
+}
+
+Result<Relation> ColumnarEventScan::Materialize(exec::Executor* exec) {
+  if (cache_.has_value()) return *cache_;
+
+  // Units carry their own reader state, so bodies share nothing but the
+  // immutable file set and the spec.
+  UNILOG_ASSIGN_OR_RETURN(std::vector<ScanUnit> units, PlanUnits(*files_));
+
+  columnar::RowMatcher legacy_matcher(spec_);
   std::vector<std::vector<Row>> row_slots(units.size());
   std::vector<columnar::ScanStats> stat_slots(units.size());
 
   auto run_unit = [&](size_t i) -> Status {
-    const ScanUnit& unit = units[i];
-    std::vector<Row>& rows = row_slots[i];
-    columnar::ScanStats& stats = stat_slots[i];
     std::vector<events::ClientEvent> events;
-    if (unit.is_columnar) {
-      columnar::RcFileReader reader(unit.file->body);
-      UNILOG_RETURN_NOT_OK(
-          reader.ScanGroup(unit.group, spec_, &events, &stats));
-    } else {
-      // Legacy framed-compressed part: no zone maps, so the whole file is
-      // one always-scanned group filtered row-wise.
-      stats.groups_total++;
-      stats.groups_scanned++;
-      stats.bytes_decompressed += unit.file->body.size();
-      UNILOG_ASSIGN_OR_RETURN(std::string body,
-                              Lz::Decompress(unit.file->body));
-      events::ClientEventReader reader(body);
-      events::ClientEvent ev;
-      while (true) {
-        Status st = reader.Next(&ev);
-        if (st.IsNotFound()) break;
-        UNILOG_RETURN_NOT_OK(st);
-        stats.rows_scanned++;
-        if (legacy_predicate.Passes(ev)) {
-          stats.rows_returned++;
-          events.push_back(ev);
-        } else {
-          stats.rows_pruned++;
-        }
-      }
-    }
+    UNILOG_RETURN_NOT_OK(ScanUnitEvents(units[i], spec_, legacy_matcher,
+                                        &events, &stat_slots[i]));
+    std::vector<Row>& rows = row_slots[i];
     rows.reserve(events.size());
     for (const auto& event : events) {
-      Row row;
-      row.reserve(visible_.size());
-      for (const auto& [name, source] : visible_) {
-        row.push_back(ColumnValue(event, source));
-      }
-      rows.push_back(std::move(row));
+      rows.push_back(ProjectEvent(event, visible_));
     }
     return Status::OK();
   };
@@ -319,6 +323,86 @@ Result<Relation> ColumnarEventScan::Materialize(exec::Executor* exec) {
                           Relation::FromRows(column_names_, std::move(merged)));
   cache_ = rel;
   return rel;
+}
+
+Result<std::vector<Relation>> ColumnarEventScan::MaterializeShared(
+    const std::vector<std::shared_ptr<ColumnarEventScan>>& members,
+    exec::Executor* exec, columnar::ScanStats* stats_out) {
+  if (members.empty()) return std::vector<Relation>{};
+  for (const auto& member : members) {
+    if (member == nullptr || member->files_ != members[0]->files_) {
+      return Status::InvalidArgument(
+          "shared scan members must be clones of one opened scan");
+    }
+  }
+
+  std::vector<columnar::ScanSpec> specs;
+  specs.reserve(members.size());
+  for (const auto& member : members) specs.push_back(member->spec_);
+  const columnar::ScanSpec merged_spec = MergeScanSpecs(specs);
+
+  UNILOG_ASSIGN_OR_RETURN(std::vector<ScanUnit> units,
+                          PlanUnits(*members[0]->files_));
+
+  // Residual matchers re-tighten the union rows per member; compiled once,
+  // shared read-only across scan units.
+  std::vector<columnar::RowMatcher> residual;
+  residual.reserve(members.size());
+  for (const auto& member : members) residual.emplace_back(member->spec_);
+  columnar::RowMatcher merged_matcher(merged_spec);
+
+  // row_slots[m][u]: member m's rows from unit u, merged in unit order so
+  // each member's output is byte-identical to its independent scan.
+  std::vector<std::vector<std::vector<Row>>> row_slots(
+      members.size(), std::vector<std::vector<Row>>(units.size()));
+  std::vector<columnar::ScanStats> stat_slots(units.size());
+
+  auto run_unit = [&](size_t u) -> Status {
+    std::vector<events::ClientEvent> events;
+    UNILOG_RETURN_NOT_OK(ScanUnitEvents(units[u], merged_spec, merged_matcher,
+                                        &events, &stat_slots[u]));
+    for (size_t m = 0; m < members.size(); ++m) {
+      std::vector<Row>& rows = row_slots[m][u];
+      for (const auto& event : events) {
+        if (!residual[m].Matches(event)) continue;
+        rows.push_back(ProjectEvent(event, members[m]->visible_));
+      }
+    }
+    return Status::OK();
+  };
+
+  if (exec != nullptr) {
+    UNILOG_RETURN_NOT_OK(
+        exec->ParallelForStatus("shared_scan", units.size(), run_unit));
+  } else {
+    for (size_t u = 0; u < units.size(); ++u) {
+      UNILOG_RETURN_NOT_OK(run_unit(u));
+    }
+  }
+
+  columnar::ScanStats total;
+  for (const auto& stats : stat_slots) total.MergeFrom(stats);
+  columnar::ReportScanStats(total, members[0]->metrics_, members[0]->source_);
+  if (stats_out != nullptr) stats_out->MergeFrom(total);
+
+  std::vector<Relation> out;
+  out.reserve(members.size());
+  for (size_t m = 0; m < members.size(); ++m) {
+    std::vector<Row> merged;
+    size_t n = 0;
+    for (const auto& slot : row_slots[m]) n += slot.size();
+    merged.reserve(n);
+    for (auto& slot : row_slots[m]) {
+      for (auto& row : slot) merged.push_back(std::move(row));
+    }
+    UNILOG_ASSIGN_OR_RETURN(
+        Relation rel,
+        Relation::FromRows(members[m]->column_names_, std::move(merged)));
+    members[m]->last_stats_ = total;
+    members[m]->cache_ = rel;
+    out.push_back(std::move(rel));
+  }
+  return out;
 }
 
 }  // namespace unilog::dataflow

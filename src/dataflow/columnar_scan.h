@@ -15,6 +15,14 @@
 
 namespace unilog::dataflow {
 
+/// True when any path component of `path` below the `dir` prefix starts
+/// with '_' — the warehouse convention for metadata and cache subtrees
+/// (_SUCCESS-style markers, /warehouse/_cache artifacts). Scans and the
+/// Oink input manifests both ignore hidden paths, so cached intermediate
+/// results written next to the data can never feed back into a scan, an
+/// input fingerprint, or delivery accounting.
+bool IsHiddenWarehousePath(const std::string& dir, const std::string& path);
+
 /// A deferred table scan the Pig layer can push work into. LOAD with a
 /// scan loader binds one of these instead of materializing a Relation;
 /// an immediately-following FILTER (column op literal) or FOREACH (pure
@@ -60,12 +68,34 @@ class PushdownScan {
 /// session_id, ip, timestamp}.
 class ColumnarEventScan : public PushdownScan {
  public:
-  /// Reads the file bodies under `dir` (entries whose basename starts
-  /// with '_' are ignored). Scan accounting is reported into `metrics`
-  /// (labels {source=<dir>}) at each materialization; may be null.
+  /// Reads the file bodies under `dir` (entries with any '_'-prefixed
+  /// path component below `dir` are ignored — see IsHiddenWarehousePath).
+  /// Scan accounting is reported into `metrics` (labels {source=<dir>})
+  /// at each materialization; may be null.
   static Result<std::shared_ptr<ColumnarEventScan>> Open(
       const hdfs::MiniHdfs* fs, const std::string& dir,
       obs::MetricsRegistry* metrics = nullptr);
+
+  /// A plan-only scan over an empty file set: filters and projections push
+  /// exactly as on an opened scan, so the Oink layer canonicalizes a
+  /// workflow's plan (spec + visible columns) without touching storage.
+  /// Materialize yields an empty relation.
+  static std::shared_ptr<ColumnarEventScan> PlanOnly();
+
+  /// One union scan fanned out to many per-workflow outputs — the Oink
+  /// shared-scan fast path. Every member must be a Clone() of the same
+  /// opened scan (they share one immutable file set); the files are
+  /// scanned once with the MergeScanSpecs union of the member specs, and
+  /// each row fans out through each member's residual RowMatcher and
+  /// projection. Output i is byte-identical to members[i]->Materialize on
+  /// the same files, at any thread count (scan units and residual filters
+  /// run on `exec`; slots merge in unit order). The union scan's
+  /// accounting lands in `stats_out` (may be null) and in each member's
+  /// last_stats(); members' caches are filled so later Materialize calls
+  /// are free.
+  static Result<std::vector<Relation>> MaterializeShared(
+      const std::vector<std::shared_ptr<ColumnarEventScan>>& members,
+      exec::Executor* exec, columnar::ScanStats* stats_out = nullptr);
 
   const std::vector<std::string>& columns() const override;
   std::shared_ptr<PushdownScan> Clone() const override;
@@ -77,6 +107,11 @@ class ColumnarEventScan : public PushdownScan {
 
   /// The accumulated spec (for tests and EXPLAIN-style debugging).
   const columnar::ScanSpec& spec() const { return spec_; }
+  /// Visible output columns after pushed projections: (name, source).
+  const std::vector<std::pair<std::string, columnar::EventColumn>>& visible()
+      const {
+    return visible_;
+  }
   /// Accounting of the last Materialize run.
   const columnar::ScanStats& last_stats() const { return last_stats_; }
 
@@ -86,7 +121,29 @@ class ColumnarEventScan : public PushdownScan {
     std::string body;
   };
 
+  /// One independently scannable work item: a columnar row group or a
+  /// whole legacy file.
+  struct ScanUnit {
+    const LoadedFile* file = nullptr;
+    bool is_columnar = false;
+    columnar::RcFileReader::RowGroupHandle group;
+  };
+
   ColumnarEventScan() = default;
+
+  /// One unit per (columnar file, row group); one unit per legacy file,
+  /// in file order (sorted listing) x group order.
+  static Result<std::vector<ScanUnit>> PlanUnits(
+      const std::vector<LoadedFile>& files);
+
+  /// Scans one unit under `spec` into `events`, accounting into `stats`.
+  /// `legacy_matcher` must be a RowMatcher over the same spec (compiled
+  /// once per scan; used for the row-wise legacy-file path).
+  static Status ScanUnitEvents(const ScanUnit& unit,
+                               const columnar::ScanSpec& spec,
+                               const columnar::RowMatcher& legacy_matcher,
+                               std::vector<events::ClientEvent>* events,
+                               columnar::ScanStats* stats);
 
   /// Resolves a visible column name to its source event column.
   std::optional<columnar::EventColumn> Resolve(const std::string& name) const;

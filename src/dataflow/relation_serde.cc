@@ -1,0 +1,139 @@
+#include "dataflow/relation_serde.h"
+
+#include <cstring>
+
+#include "common/coding.h"
+
+namespace unilog::dataflow {
+
+namespace {
+
+constexpr std::string_view kMagic = "REL1";
+
+constexpr uint8_t kTagInt = 0;
+constexpr uint8_t kTagReal = 1;
+constexpr uint8_t kTagStr = 2;
+constexpr uint8_t kTagBool = 3;
+
+void PutValue(std::string* out, const Value& value) {
+  if (value.is_int()) {
+    out->push_back(static_cast<char>(kTagInt));
+    PutSignedVarint64(out, value.int_value());
+  } else if (value.is_real()) {
+    out->push_back(static_cast<char>(kTagReal));
+    uint64_t bits = 0;
+    double v = value.real_value();
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed64(out, bits);
+  } else if (value.is_str()) {
+    out->push_back(static_cast<char>(kTagStr));
+    PutLengthPrefixed(out, value.str_value());
+  } else {
+    out->push_back(static_cast<char>(kTagBool));
+    out->push_back(value.bool_value() ? 1 : 0);
+  }
+}
+
+Status GetValue(Decoder* dec, Value* value) {
+  std::string_view tag_byte;
+  UNILOG_RETURN_NOT_OK(dec->GetBytes(1, &tag_byte));
+  switch (static_cast<uint8_t>(tag_byte[0])) {
+    case kTagInt: {
+      int64_t v = 0;
+      UNILOG_RETURN_NOT_OK(dec->GetSignedVarint64(&v));
+      *value = Value::Int(v);
+      return Status::OK();
+    }
+    case kTagReal: {
+      uint64_t bits = 0;
+      UNILOG_RETURN_NOT_OK(dec->GetFixed64(&bits));
+      double v = 0;
+      std::memcpy(&v, &bits, sizeof(v));
+      *value = Value::Real(v);
+      return Status::OK();
+    }
+    case kTagStr: {
+      std::string_view sv;
+      UNILOG_RETURN_NOT_OK(dec->GetLengthPrefixed(&sv));
+      *value = Value::Str(std::string(sv));
+      return Status::OK();
+    }
+    case kTagBool: {
+      std::string_view b;
+      UNILOG_RETURN_NOT_OK(dec->GetBytes(1, &b));
+      if (b[0] != 0 && b[0] != 1) {
+        return Status::Corruption("relation serde: bad bool payload");
+      }
+      *value = Value::Bool(b[0] == 1);
+      return Status::OK();
+    }
+    default:
+      return Status::Corruption("relation serde: unknown value tag");
+  }
+}
+
+}  // namespace
+
+std::string SerializeRelation(const Relation& relation) {
+  std::string out;
+  out.append(kMagic);
+  PutVarint64(&out, relation.columns().size());
+  for (const auto& name : relation.columns()) {
+    PutLengthPrefixed(&out, name);
+  }
+  PutVarint64(&out, relation.rows().size());
+  for (const auto& row : relation.rows()) {
+    for (const auto& value : row) {
+      PutValue(&out, value);
+    }
+  }
+  return out;
+}
+
+Result<Relation> DeserializeRelation(std::string_view data) {
+  Decoder dec(data);
+  std::string_view magic;
+  UNILOG_RETURN_NOT_OK(dec.GetBytes(kMagic.size(), &magic));
+  if (magic != kMagic) {
+    return Status::Corruption("relation serde: bad magic");
+  }
+  uint64_t ncols = 0;
+  UNILOG_RETURN_NOT_OK(dec.GetVarint64(&ncols));
+  if (ncols > dec.remaining()) {
+    return Status::Corruption("relation serde: implausible column count");
+  }
+  std::vector<std::string> columns;
+  columns.reserve(ncols);
+  for (uint64_t c = 0; c < ncols; ++c) {
+    std::string_view name;
+    UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&name));
+    columns.emplace_back(name);
+  }
+  uint64_t nrows = 0;
+  UNILOG_RETURN_NOT_OK(dec.GetVarint64(&nrows));
+  // Every value consumes at least one tag byte, so a plausible row count
+  // is bounded by the remaining bytes — sized allocations never trust the
+  // claimed count alone. Zero-column rows consume nothing; cap them hard.
+  if ((ncols > 0 && nrows > dec.remaining()) ||
+      (ncols == 0 && nrows > (1u << 20))) {
+    return Status::Corruption("relation serde: implausible row count");
+  }
+  std::vector<Row> rows;
+  rows.reserve(nrows);
+  for (uint64_t r = 0; r < nrows; ++r) {
+    Row row;
+    row.reserve(ncols);
+    for (uint64_t c = 0; c < ncols; ++c) {
+      Value value;
+      UNILOG_RETURN_NOT_OK(GetValue(&dec, &value));
+      row.push_back(std::move(value));
+    }
+    rows.push_back(std::move(row));
+  }
+  if (!dec.AtEnd()) {
+    return Status::Corruption("relation serde: trailing bytes");
+  }
+  return Relation::FromRows(std::move(columns), std::move(rows));
+}
+
+}  // namespace unilog::dataflow

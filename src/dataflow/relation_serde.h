@@ -1,0 +1,31 @@
+#ifndef UNILOG_DATAFLOW_RELATION_SERDE_H_
+#define UNILOG_DATAFLOW_RELATION_SERDE_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "dataflow/relation.h"
+
+namespace unilog::dataflow {
+
+/// Deterministic byte serialization of a Relation, the payload format of
+/// the Oink intermediate-result cache. Two relations with equal schemas
+/// and equal rows (in order) serialize to identical bytes — doubles are
+/// stored as their exact IEEE-754 bit pattern, so "byte-identical cold
+/// and warm runs" extends to floating-point aggregates.
+///
+/// Layout: "REL1" magic | varint column count | length-prefixed names |
+/// varint row count | rows as (tag byte, payload) values. Tags: 0 int
+/// (zigzag varint), 1 real (fixed64 bit pattern), 2 str (length-prefixed),
+/// 3 bool (one byte).
+std::string SerializeRelation(const Relation& relation);
+
+/// Inverse of SerializeRelation. Corruption on any malformed input
+/// (truncation, unknown tag, arity drift, trailing bytes) — never a crash
+/// or a silently different relation.
+Result<Relation> DeserializeRelation(std::string_view data);
+
+}  // namespace unilog::dataflow
+
+#endif  // UNILOG_DATAFLOW_RELATION_SERDE_H_

@@ -1,0 +1,429 @@
+#include "oink/workflow.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "columnar/rcfile.h"
+#include "dataflow/plan_fingerprint.h"
+#include "dataflow/relation_serde.h"
+
+namespace unilog::oink {
+
+namespace {
+
+std::string HexU64(uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Type-tagged literal token for the canonical plan text; strings are
+/// length-prefixed so no literal can collide with another's serialization.
+std::string LiteralToken(const dataflow::Value& v) {
+  if (v.is_int()) return "i:" + std::to_string(v.int_value());
+  if (v.is_bool()) return std::string("b:") + (v.bool_value() ? "1" : "0");
+  if (v.is_real()) {
+    uint64_t bits = 0;
+    double d = v.real_value();
+    static_assert(sizeof(bits) == sizeof(d));
+    __builtin_memcpy(&bits, &d, sizeof(bits));
+    return "r:" + HexU64(bits);
+  }
+  const std::string& s = v.str_value();
+  return "s:" + std::to_string(s.size()) + ":" + s;
+}
+
+bool IsResidualOp(const std::string& op) {
+  return op == "==" || op == "!=" || op == "<" || op == "<=" || op == ">" ||
+         op == ">=";
+}
+
+bool EvalClause(const dataflow::Value& v, const std::string& op,
+                const dataflow::Value& lit) {
+  if (op == "==") return v == lit;
+  if (op == "!=") return !(v == lit);
+  if (op == "<") return v < lit;
+  if (op == "<=") return !(lit < v);
+  if (op == ">") return lit < v;
+  return !(v < lit);  // >=
+}
+
+}  // namespace
+
+WorkflowEngine::WorkflowEngine(hdfs::MiniHdfs* fs, OinkOptions options,
+                               obs::MetricsRegistry* metrics,
+                               exec::Executor* exec)
+    : fs_(fs),
+      options_(std::move(options)),
+      owned_metrics_(metrics == nullptr
+                         ? std::make_unique<obs::MetricsRegistry>()
+                         : nullptr),
+      metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
+      exec_(exec),
+      cache_(fs,
+             ArtifactCacheOptions{options_.cache_root,
+                                  options_.cache_byte_budget},
+             metrics_) {
+  workflows_run_ = metrics_->GetCounter("oink.workflows_run");
+  bytes_saved_ = metrics_->GetCounter("oink.bytes_saved");
+  shared_scans_ = metrics_->GetCounter("oink.shared_scans");
+  shared_scan_fanout_ = metrics_->GetCounter("oink.shared_scan_fanout");
+  scan_bytes_ = metrics_->GetCounter("oink.scan_bytes_decompressed");
+  verified_hits_ = metrics_->GetCounter("oink.verified_hits");
+}
+
+Status WorkflowEngine::AddWorkflow(WorkflowSpec spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("oink workflow: name required");
+  }
+  if (by_name_.count(spec.name) != 0) {
+    return Status::AlreadyExists("oink workflow: duplicate name " + spec.name);
+  }
+  if (!spec.input_dir) {
+    return Status::InvalidArgument("oink workflow " + spec.name +
+                                   ": input_dir required");
+  }
+  if (spec.project_cols.size() != spec.project_names.size()) {
+    return Status::InvalidArgument("oink workflow " + spec.name +
+                                   ": projection arity mismatch");
+  }
+  if (spec.stage && spec.stage_id.empty()) {
+    return Status::InvalidArgument(
+        "oink workflow " + spec.name +
+        ": stage requires a stage_id (its cache-key identity)");
+  }
+
+  // Dry-run the plan against a plan-only scan. This both validates it and
+  // yields the exact spec/visible state the canonical serialization (and
+  // later the real scan build) will have.
+  auto scan = dataflow::ColumnarEventScan::PlanOnly();
+  Planned planned;
+  planned.spec = std::move(spec);
+  const WorkflowSpec& wf = planned.spec;
+  for (const auto& clause : wf.filters) {
+    if (scan->PushFilter(clause.column, clause.op, clause.literal)) continue;
+    // Residual clause: must be evaluable row-wise on the scan output.
+    bool known = std::find(scan->columns().begin(), scan->columns().end(),
+                           clause.column) != scan->columns().end();
+    if (!known) {
+      return Status::InvalidArgument("oink workflow " + wf.name +
+                                     ": unknown filter column " +
+                                     clause.column);
+    }
+    if (!IsResidualOp(clause.op)) {
+      return Status::InvalidArgument("oink workflow " + wf.name +
+                                     ": unsupported filter op " + clause.op +
+                                     " on column " + clause.column);
+    }
+    planned.residuals.push_back(clause);
+  }
+  if (!wf.project_cols.empty()) {
+    for (const auto& col : wf.project_cols) {
+      bool known = std::find(scan->columns().begin(), scan->columns().end(),
+                             col) != scan->columns().end();
+      if (!known) {
+        return Status::InvalidArgument("oink workflow " + wf.name +
+                                       ": unknown projected column " + col);
+      }
+    }
+    // Residual clauses read scan-output columns, so the scan stays
+    // unprojected when any exist and the projection runs afterwards.
+    if (planned.residuals.empty()) {
+      if (!scan->PushProject(wf.project_cols, wf.project_names)) {
+        return Status::InvalidArgument("oink workflow " + wf.name +
+                                       ": projection not pushable");
+      }
+      planned.projection_pushed = true;
+    }
+  }
+
+  std::string plan = "spec=" + dataflow::CanonicalScanSpec(scan->spec());
+  plan += "\nvisible=";
+  for (const auto& [name, source] : scan->visible()) {
+    plan += name + ":" + std::to_string(static_cast<int>(source)) + ",";
+  }
+  plan += "\nresiduals=";
+  if (planned.residuals.empty()) {
+    plan += "-";
+  } else {
+    for (const auto& clause : planned.residuals) {
+      plan += clause.column + " " + clause.op + " " +
+              LiteralToken(clause.literal) + ";";
+    }
+  }
+  plan += "\nlate_project=";
+  if (planned.projection_pushed || wf.project_cols.empty()) {
+    plan += "-";
+  } else {
+    for (size_t i = 0; i < wf.project_cols.size(); ++i) {
+      plan += wf.project_cols[i] + "->" + wf.project_names[i] + ",";
+    }
+  }
+  plan += "\nstage=" + (wf.stage ? wf.stage_id : std::string("-"));
+  planned.canonical_plan = std::move(plan);
+
+  by_name_[wf.name] = workflows_.size();
+  workflows_.push_back(std::move(planned));
+  return Status::OK();
+}
+
+std::shared_ptr<dataflow::ColumnarEventScan> WorkflowEngine::BuildScan(
+    const std::shared_ptr<dataflow::ColumnarEventScan>& base,
+    const Planned& plan) const {
+  auto scan = std::static_pointer_cast<dataflow::ColumnarEventScan>(
+      base->Clone());
+  for (const auto& clause : plan.spec.filters) {
+    // Pushability depends only on the clause, so the outcome here matches
+    // the AddWorkflow dry run; rejected clauses are plan.residuals.
+    scan->PushFilter(clause.column, clause.op, clause.literal);
+  }
+  if (plan.projection_pushed) {
+    scan->PushProject(plan.spec.project_cols, plan.spec.project_names);
+  }
+  return scan;
+}
+
+Result<dataflow::Relation> WorkflowEngine::FinishPlan(
+    const Planned& plan, dataflow::Relation rel) const {
+  for (const auto& clause : plan.residuals) {
+    UNILOG_ASSIGN_OR_RETURN(size_t idx, rel.ColumnIndex(clause.column));
+    rel = rel.Filter(
+        [&clause, idx](const dataflow::Row& row) {
+          return EvalClause(row[idx], clause.op, clause.literal);
+        },
+        exec_);
+  }
+  if (!plan.projection_pushed && !plan.spec.project_cols.empty()) {
+    UNILOG_ASSIGN_OR_RETURN(dataflow::Relation projected,
+                            rel.Project(plan.spec.project_cols, exec_));
+    UNILOG_ASSIGN_OR_RETURN(
+        rel, dataflow::Relation::FromRows(
+                 plan.spec.project_names,
+                 std::vector<dataflow::Row>(projected.rows())));
+  }
+  if (plan.spec.stage) {
+    UNILOG_ASSIGN_OR_RETURN(rel, plan.spec.stage(rel));
+  }
+  return rel;
+}
+
+Result<std::string> WorkflowEngine::DirManifest(const hdfs::MiniHdfs* fs,
+                                                const std::string& dir) {
+  UNILOG_ASSIGN_OR_RETURN(auto listing, fs->ListRecursive(dir));
+  std::string out = "manifest-v1\n";
+  for (const auto& entry : listing) {
+    if (dataflow::IsHiddenWarehousePath(dir, entry.path)) continue;
+    out += entry.path;
+    out += ' ';
+    UNILOG_ASSIGN_OR_RETURN(std::string body, fs->ReadFile(entry.path));
+    bool fingerprinted = false;
+    if (columnar::IsRcFile(body)) {
+      columnar::RcFileReader reader(body);
+      Result<uint64_t> fp = reader.ContentFingerprint();
+      if (fp.ok()) {
+        out += "rcfp:" + HexU64(*fp);
+        fingerprinted = true;
+      } else if (!fp.status().IsFailedPrecondition()) {
+        // v1 files legitimately lack checksums (size+mtime below); any
+        // other failure is real corruption the scan would also hit.
+        return fp.status();
+      }
+    }
+    if (!fingerprinted) {
+      out += "szmt:" + std::to_string(entry.size) + ":" +
+             std::to_string(entry.mtime);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Status WorkflowEngine::RunTick(int64_t period_index) {
+  last_tick_ = TickStats{};
+  explain_.clear();
+
+  std::map<std::string, std::vector<size_t>> by_dir;
+  for (size_t i = 0; i < workflows_.size(); ++i) {
+    by_dir[workflows_[i].spec.input_dir(period_index)].push_back(i);
+  }
+
+  for (const auto& [dir, idxs] : by_dir) {
+    UNILOG_ASSIGN_OR_RETURN(std::string manifest, DirManifest(fs_, dir));
+    if (options_.explain) {
+      explain_.push_back("[oink t=" + std::to_string(period_index) + "] dir=" +
+                         dir + " manifest_fp=" +
+                         HexU64(dataflow::Fingerprint::OfBytes(manifest)) +
+                         " workflows=" + std::to_string(idxs.size()));
+    }
+
+    // Identical (plan, inputs) fingerprints collapse to one computation;
+    // sorted by key, so tick order is deterministic.
+    std::map<std::string, std::vector<size_t>> by_key;
+    for (size_t i : idxs) {
+      dataflow::Fingerprint fp;
+      fp.Mix("oink-plan-v1\n");
+      fp.Mix(workflows_[i].canonical_plan);
+      fp.Mix("\n#inputs\n");
+      fp.Mix(manifest);
+      by_key[fp.Hex()].push_back(i);
+    }
+
+    struct Pending {
+      std::string key;
+      std::vector<size_t> members;
+      /// Set when this is a verify_cache recomputation of a hit: the
+      /// cached serialized bytes the recomputation must reproduce.
+      std::optional<std::string> verify_against;
+    };
+    std::vector<Pending> pending;
+
+    for (const auto& [key, members] : by_key) {
+      last_tick_.workflows += members.size();
+      workflows_run_->Increment(members.size());
+      if (!options_.enable_cache) {
+        pending.push_back({key, members, std::nullopt});
+        continue;
+      }
+      Result<CacheArtifact> got = cache_.Get(key, manifest);
+      if (got.ok()) {
+        UNILOG_ASSIGN_OR_RETURN(dataflow::Relation rel,
+                                dataflow::DeserializeRelation(got->payload));
+        last_tick_.cache_hits++;
+        last_tick_.bytes_saved += got->cold_cost_bytes;
+        bytes_saved_->Increment(got->cold_cost_bytes);
+        for (size_t m : members) {
+          results_[workflows_[m].spec.name] = rel;
+          if (options_.explain) {
+            explain_.push_back("[oink] " + workflows_[m].spec.name + " key=" +
+                               key + " HIT saved=" +
+                               std::to_string(got->cold_cost_bytes));
+          }
+        }
+        if (options_.verify_cache) {
+          pending.push_back({key, members, std::move(got->payload)});
+        }
+        continue;
+      }
+      if (!got.status().IsNotFound()) return got.status();
+      last_tick_.cache_misses++;
+      if (options_.explain) {
+        for (size_t m : members) {
+          explain_.push_back("[oink] " + workflows_[m].spec.name + " key=" +
+                             key + " MISS");
+        }
+      }
+      pending.push_back({key, members, std::nullopt});
+    }
+    if (pending.empty()) continue;
+
+    UNILOG_ASSIGN_OR_RETURN(
+        auto base, dataflow::ColumnarEventScan::Open(fs_, dir, metrics_));
+    std::vector<std::shared_ptr<dataflow::ColumnarEventScan>> scans;
+    scans.reserve(pending.size());
+    for (const auto& p : pending) {
+      scans.push_back(BuildScan(base, workflows_[p.members[0]]));
+    }
+
+    std::vector<dataflow::Relation> scanned;
+    std::vector<uint64_t> costs(pending.size(), 0);
+    columnar::ScanStats scan_stats;
+    if (options_.enable_shared_scans && scans.size() >= 2) {
+      UNILOG_ASSIGN_OR_RETURN(
+          scanned, dataflow::ColumnarEventScan::MaterializeShared(
+                       scans, exec_, &scan_stats));
+      // The union scan's bytes are shared work: attribute an even split to
+      // each plan, so warm bytes_saved over all of them sums to the total.
+      for (auto& c : costs) c = scan_stats.bytes_decompressed / costs.size();
+      last_tick_.shared_scan_groups++;
+      last_tick_.shared_scan_fanout += scans.size();
+      shared_scans_->Increment();
+      shared_scan_fanout_->Increment(scans.size());
+      if (options_.explain) {
+        explain_.push_back(
+            "[oink] shared-scan dir=" + dir + " fanout=" +
+            std::to_string(scans.size()) + " bytes_decompressed=" +
+            std::to_string(scan_stats.bytes_decompressed));
+      }
+    } else {
+      for (size_t i = 0; i < scans.size(); ++i) {
+        UNILOG_ASSIGN_OR_RETURN(dataflow::Relation rel,
+                                scans[i]->Materialize(exec_));
+        scanned.push_back(std::move(rel));
+        costs[i] = scans[i]->last_stats().bytes_decompressed;
+        scan_stats.MergeFrom(scans[i]->last_stats());
+      }
+    }
+    last_tick_.scan_bytes_decompressed += scan_stats.bytes_decompressed;
+    scan_bytes_->Increment(scan_stats.bytes_decompressed);
+
+    for (size_t pi = 0; pi < pending.size(); ++pi) {
+      Pending& p = pending[pi];
+      const Planned& plan = workflows_[p.members[0]];
+      UNILOG_ASSIGN_OR_RETURN(dataflow::Relation rel,
+                              FinishPlan(plan, std::move(scanned[pi])));
+      std::string serialized = dataflow::SerializeRelation(rel);
+      if (p.verify_against.has_value()) {
+        if (serialized != *p.verify_against) {
+          return Status::Internal(
+              "oink verify_cache: cached result for '" + plan.spec.name +
+              "' (key " + p.key +
+              ") diverges from recomputation — plan under-keyed or cache "
+              "corrupt");
+        }
+        last_tick_.verified_hits++;
+        verified_hits_->Increment();
+        if (options_.explain) {
+          explain_.push_back("[oink] " + plan.spec.name + " key=" + p.key +
+                             " VERIFIED");
+        }
+        continue;
+      }
+      for (size_t m : p.members) {
+        results_[workflows_[m].spec.name] = rel;
+      }
+      if (options_.enable_cache) {
+        CacheArtifact artifact;
+        artifact.manifest = manifest;
+        artifact.cold_cost_bytes = costs[pi];
+        artifact.payload = std::move(serialized);
+        UNILOG_RETURN_NOT_OK(cache_.Put(p.key, artifact));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<dataflow::Relation> WorkflowEngine::ResultFor(
+    const std::string& name) const {
+  auto it = results_.find(name);
+  if (it == results_.end()) {
+    return Status::NotFound("oink workflow: no result yet for " + name);
+  }
+  return it->second;
+}
+
+Result<std::string> WorkflowEngine::CanonicalPlanFor(
+    const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("oink workflow: unknown workflow " + name);
+  }
+  return workflows_[it->second].canonical_plan;
+}
+
+Status RegisterEngineJob(Oink* oink, WorkflowEngine* engine, JobSpec spec) {
+  if (spec.period <= 0) {
+    return Status::InvalidArgument("oink engine job: period must be positive");
+  }
+  const TimeMs period = spec.period;
+  spec.run = [engine, period](TimeMs period_start) {
+    return engine->RunTick(static_cast<int64_t>(period_start / period));
+  };
+  return oink->RegisterJob(std::move(spec));
+}
+
+}  // namespace unilog::oink

@@ -1,0 +1,194 @@
+#ifndef UNILOG_OINK_WORKFLOW_H_
+#define UNILOG_OINK_WORKFLOW_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/columnar_scan.h"
+#include "dataflow/relation.h"
+#include "exec/executor.h"
+#include "hdfs/mini_hdfs.h"
+#include "obs/metrics.h"
+#include "oink/artifact_cache.h"
+#include "oink/oink.h"
+
+namespace unilog::oink {
+
+/// One FILTER clause of a workflow plan: `column op literal`. Clauses the
+/// columnar scan can absorb (timestamp ranges, event-name / user-id
+/// equality, event-name globs) are pushed into the ScanSpec; the rest run
+/// as residual row filters after the scan, identically on the shared-scan
+/// and independent paths.
+struct FilterClause {
+  std::string column;
+  std::string op;  // == != < <= > >= matches
+  dataflow::Value literal;
+};
+
+/// A recurring analytics workflow over one warehouse directory per period:
+/// scan -> filters -> optional projection -> optional relational stage.
+/// The declarative prefix (everything but `stage`) is what the engine
+/// canonicalizes into the plan fingerprint; `stage` is opaque code, so it
+/// must be paired with a `stage_id` that callers bump whenever its logic
+/// changes — the moral equivalent of a UDF version in the cache key.
+struct WorkflowSpec {
+  std::string name;
+  /// The input directory for a given period index (e.g. hour 17 of the
+  /// simulated epoch -> "/warehouse/web_events/2010/06/01/17").
+  std::function<std::string(int64_t period_index)> input_dir;
+  std::vector<FilterClause> filters;
+  /// Optional projection: keep `project_cols` renamed to `project_names`
+  /// (empty = keep all scan columns). Sizes must match.
+  std::vector<std::string> project_cols;
+  std::vector<std::string> project_names;
+  /// Optional deterministic relational tail (group-bys, joins against
+  /// static relations, ...). Must be a pure function of its input.
+  std::function<Result<dataflow::Relation>(const dataflow::Relation&)> stage;
+  /// Cache-key identity of `stage`; required when `stage` is set.
+  std::string stage_id;
+};
+
+/// Tuning knobs for the memoizing engine.
+struct OinkOptions {
+  /// Probe/fill the artifact cache.
+  bool enable_cache = true;
+  /// Batch same-directory workflows into one union scan per tick.
+  bool enable_shared_scans = true;
+  /// Paranoia mode for CI: every cache hit is *also* recomputed and the
+  /// serialized bytes compared; divergence fails the tick with Internal.
+  /// Catches under-keyed plans (e.g. a stage whose stage_id went stale).
+  bool verify_cache = false;
+  /// Record an EXPLAIN-style trace of every tick in explain_log().
+  bool explain = false;
+  uint64_t cache_byte_budget = 64ull * 1024 * 1024;
+  std::string cache_root = "/warehouse/_cache";
+};
+
+/// Per-tick accounting (also mirrored into oink.* metrics).
+struct TickStats {
+  uint64_t workflows = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  /// Bytes the tick actually decompressed scanning warehouse files — the
+  /// "work done" measure cold/warm benchmarks compare.
+  uint64_t scan_bytes_decompressed = 0;
+  /// Union scans executed / total workflows they fanned out to.
+  uint64_t shared_scan_groups = 0;
+  uint64_t shared_scan_fanout = 0;
+  /// Sum of the cold costs of the artifacts that hit.
+  uint64_t bytes_saved = 0;
+  /// Hits recomputed and byte-compared under verify_cache.
+  uint64_t verified_hits = 0;
+};
+
+/// The memoizing, shared-scan Oink execution layer (§3's "Oink manages
+/// hundreds of periodic jobs, many scanning the same hourly data"). Each
+/// tick it (1) fingerprints every workflow's plan together with a manifest
+/// of the input bytes, (2) serves byte-identical cached results for
+/// fingerprints seen before, (3) batches the remaining workflows that read
+/// the same directory into one union PushdownScan fanned out per workflow,
+/// and (4) caches the new results, content-addressed, in sim-HDFS under
+/// the warehouse so later runs (or a restarted engine) reuse them.
+class WorkflowEngine {
+ public:
+  /// `fs` is the warehouse file system. Metrics land in `metrics` (a
+  /// private registry when null); scans/filters parallelize on `exec`
+  /// (serial when null) with byte-identical output either way.
+  explicit WorkflowEngine(hdfs::MiniHdfs* fs, OinkOptions options = {},
+                          obs::MetricsRegistry* metrics = nullptr,
+                          exec::Executor* exec = nullptr);
+
+  WorkflowEngine(const WorkflowEngine&) = delete;
+  WorkflowEngine& operator=(const WorkflowEngine&) = delete;
+
+  /// Registers a workflow; validates the plan (column names, op/projection
+  /// arity, stage_id presence) against the scan schema and precomputes its
+  /// canonical plan serialization. Fails on duplicate names.
+  Status AddWorkflow(WorkflowSpec spec);
+
+  /// Runs every workflow for one period. Deterministic: the same
+  /// registered workflows over the same warehouse bytes produce the same
+  /// results, metrics deltas aside, whether served cold, from cache, or
+  /// through a shared scan, at any executor thread count.
+  Status RunTick(int64_t period_index);
+
+  /// Latest computed relation for a workflow (NotFound before its first
+  /// successful tick).
+  Result<dataflow::Relation> ResultFor(const std::string& name) const;
+
+  /// The canonical plan serialization (stable across runs; for tests and
+  /// EXPLAIN output).
+  Result<std::string> CanonicalPlanFor(const std::string& name) const;
+
+  const TickStats& last_tick() const { return last_tick_; }
+  /// EXPLAIN trace of the last tick (empty unless options.explain).
+  const std::vector<std::string>& explain_log() const { return explain_; }
+  ArtifactCache* cache() { return &cache_; }
+  obs::MetricsRegistry* metrics() { return metrics_; }
+
+  /// Canonical manifest of the file bytes a scan of `dir` would read:
+  /// sorted paths, each with a content fingerprint — RCFile v2 parts use
+  /// their embedded per-group checksums (no decompression), other files
+  /// fall back to size+mtime. Hidden paths (any '_'-prefixed component
+  /// below `dir`, e.g. a nested _cache subtree) are skipped, matching the
+  /// scan's own listing rule — cached artifacts never fingerprint
+  /// themselves into the inputs they memoize.
+  static Result<std::string> DirManifest(const hdfs::MiniHdfs* fs,
+                                         const std::string& dir);
+
+ private:
+  struct Planned {
+    WorkflowSpec spec;
+    std::string canonical_plan;
+    std::vector<FilterClause> residuals;
+    bool projection_pushed = false;
+  };
+
+  /// Clones `base` and pushes spec/filters/projection per `wf`, mirroring
+  /// exactly what plan canonicalization did against the plan-only scan.
+  std::shared_ptr<dataflow::ColumnarEventScan> BuildScan(
+      const std::shared_ptr<dataflow::ColumnarEventScan>& base,
+      const Planned& plan) const;
+
+  /// Residual filters + late projection + stage, shared by the cold path
+  /// and verify_cache recomputation.
+  Result<dataflow::Relation> FinishPlan(const Planned& plan,
+                                        dataflow::Relation rel) const;
+
+  hdfs::MiniHdfs* fs_;
+  OinkOptions options_;
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_;
+  exec::Executor* exec_;
+  ArtifactCache cache_;
+
+  std::vector<Planned> workflows_;
+  std::map<std::string, size_t> by_name_;
+  std::map<std::string, dataflow::Relation> results_;
+  TickStats last_tick_;
+  std::vector<std::string> explain_;
+
+  obs::Counter* workflows_run_;
+  obs::Counter* bytes_saved_;
+  obs::Counter* shared_scans_;
+  obs::Counter* shared_scan_fanout_;
+  obs::Counter* scan_bytes_;
+  obs::Counter* verified_hits_;
+};
+
+/// Hooks a WorkflowEngine into the classic Oink scheduler: registers
+/// `spec` (its `run` is replaced) so each period runs one engine tick with
+/// period_index = period_start / spec.period. Dependencies, retries and
+/// execution traces keep working exactly as for hand-written jobs.
+Status RegisterEngineJob(Oink* oink, WorkflowEngine* engine, JobSpec spec);
+
+}  // namespace unilog::oink
+
+#endif  // UNILOG_OINK_WORKFLOW_H_

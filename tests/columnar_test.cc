@@ -436,5 +436,120 @@ TEST(RcFileTest, ReportScanStatsIncrementsCounters) {
   ReportScanStats(stats, nullptr, "x");  // null registry is a no-op
 }
 
+// ---------------------------------------------------------------------------
+// Content fingerprints (the input half of the Oink cache key): derived
+// from the embedded per-group checksums, no blob decompression.
+
+TEST(ContentFingerprintTest, DeterministicAcrossReadersAndWrites) {
+  auto events = MakeEvents(200);
+  std::string a = WriteAll(events, 32);
+  std::string b = WriteAll(events, 32);
+  EXPECT_EQ(a, b);  // writer is deterministic...
+  RcFileReader ra(a), rb(b);
+  auto fa = ra.ContentFingerprint();
+  auto fb = rb.ContentFingerprint();
+  ASSERT_TRUE(fa.ok());
+  ASSERT_TRUE(fb.ok());
+  EXPECT_EQ(*fa, *fb);  // ...and so is the fingerprint
+  // A second read of the same reader agrees.
+  auto again = ra.ContentFingerprint();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*again, *fa);
+}
+
+TEST(ContentFingerprintTest, ChangesWithContentAndGrouping) {
+  auto events = MakeEvents(200);
+  std::string base_body = WriteAll(events, 32);
+  auto base_fp = RcFileReader(base_body).ContentFingerprint();
+  ASSERT_TRUE(base_fp.ok());
+
+  // One changed row changes the fingerprint.
+  auto edited = events;
+  edited[100].user_id += 1;
+  auto edited_fp = RcFileReader(WriteAll(edited, 32)).ContentFingerprint();
+  ASSERT_TRUE(edited_fp.ok());
+  EXPECT_NE(*edited_fp, *base_fp);
+
+  // One extra row changes the fingerprint.
+  auto extended = events;
+  extended.push_back(events[0]);
+  auto ext_fp = RcFileReader(WriteAll(extended, 32)).ContentFingerprint();
+  ASSERT_TRUE(ext_fp.ok());
+  EXPECT_NE(*ext_fp, *base_fp);
+}
+
+TEST(ContentFingerprintTest, V1FilesAreFailedPrecondition) {
+  auto events = MakeEvents(20);
+  std::string body;
+  RcFileWriterOptions options;
+  options.rows_per_group = 8;
+  options.format_version = 1;
+  RcFileWriter writer(&body, options);
+  for (const auto& ev : events) ASSERT_TRUE(writer.Add(ev).ok());
+  ASSERT_TRUE(writer.Finish().ok());
+  RcFileReader reader(body);
+  EXPECT_TRUE(reader.ContentFingerprint().status().IsFailedPrecondition());
+}
+
+TEST(ContentFingerprintTest, TruncatedBodyIsAnError) {
+  auto events = MakeEvents(100);
+  std::string body = WriteAll(events, 16);
+  std::string truncated = body.substr(0, body.size() - 7);
+  RcFileReader reader(truncated);
+  EXPECT_FALSE(reader.ContentFingerprint().ok());
+}
+
+// ---------------------------------------------------------------------------
+// RowMatcher: the row-level view of a ScanSpec, used for legacy parts and
+// shared-scan residual filtering. Must agree exactly with Scan().
+
+TEST(RowMatcherTest, AgreesWithScanOnEveryPredicateKind) {
+  auto events = MakeEvents(120);
+  std::string body = WriteAll(events, 16);
+
+  std::vector<ScanSpec> specs;
+  {
+    ScanSpec s;
+    s.min_timestamp = events[30].timestamp;
+    s.max_timestamp = events[90].timestamp;
+    specs.push_back(s);
+  }
+  {
+    ScanSpec s;
+    s.event_names = {events[5].event_name, events[6].event_name};
+    specs.push_back(s);
+  }
+  {
+    ScanSpec s;
+    s.event_name_patterns = {"*action1", "web:*"};
+    specs.push_back(s);
+  }
+  {
+    ScanSpec s;
+    s.user_ids = {1001, 1003, 1007};
+    s.min_timestamp = events[10].timestamp;
+    specs.push_back(s);
+  }
+  {
+    ScanSpec s;  // empty allowlist: matches nothing
+    s.event_names = std::set<std::string>{};
+    specs.push_back(s);
+  }
+
+  for (size_t i = 0; i < specs.size(); ++i) {
+    ScanSpec spec = specs[i];
+    spec.columns = kAllColumns;
+    RowMatcher matcher(spec);
+    std::vector<events::ClientEvent> want;
+    for (const auto& ev : events) {
+      if (matcher.Matches(ev)) want.push_back(ev);
+    }
+    RcFileReader reader(body);
+    std::vector<events::ClientEvent> got;
+    ASSERT_TRUE(reader.Scan(spec, &got, nullptr).ok()) << i;
+    EXPECT_EQ(got, want) << "spec " << i;
+  }
+}
+
 }  // namespace
 }  // namespace unilog::columnar

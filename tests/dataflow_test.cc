@@ -7,9 +7,13 @@
 #include <vector>
 
 #include "common/compress.h"
+#include "dataflow/columnar_scan.h"
 #include "dataflow/cost_model.h"
 #include "dataflow/mapreduce.h"
+#include "dataflow/plan_fingerprint.h"
 #include "dataflow/relation.h"
+#include "dataflow/relation_serde.h"
+#include "exec/executor.h"
 #include "hdfs/mini_hdfs.h"
 #include "scribe/message.h"
 
@@ -336,6 +340,308 @@ TEST(RelationTest, ToStringRendersHeaderAndRows) {
   std::string s = r.ToString();
   EXPECT_NE(s.find("a\tb"), std::string::npos);
   EXPECT_NE(s.find("1\tx"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Relation serde (the Oink cache payload format)
+
+TEST(RelationSerdeTest, RoundTripsAllValueTypes) {
+  Relation r({"i", "r", "s", "b"});
+  ASSERT_TRUE(r.AddRow({Value::Int(-42), Value::Real(0.1),
+                        Value::Str(std::string("h\0éllo", 7)),
+                        Value::Bool(true)})
+                  .ok());
+  ASSERT_TRUE(r.AddRow({Value::Int(INT64_MAX), Value::Real(-0.0),
+                        Value::Str(""), Value::Bool(false)})
+                  .ok());
+  std::string bytes = SerializeRelation(r);
+  auto back = DeserializeRelation(bytes);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->columns(), r.columns());
+  ASSERT_EQ(back->rows().size(), r.rows().size());
+  for (size_t i = 0; i < r.rows().size(); ++i) {
+    EXPECT_EQ(back->rows()[i], r.rows()[i]) << i;
+  }
+  // Bit-exact doubles: -0.0 re-serializes to the same bytes.
+  EXPECT_EQ(SerializeRelation(*back), bytes);
+}
+
+TEST(RelationSerdeTest, EmptyAndZeroColumnRelations) {
+  Relation empty({"a", "b"});
+  auto back = DeserializeRelation(SerializeRelation(empty));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->columns(), empty.columns());
+  EXPECT_EQ(back->size(), 0u);
+
+  Relation none;  // zero columns, zero rows
+  auto back2 = DeserializeRelation(SerializeRelation(none));
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(back2->columns().size(), 0u);
+}
+
+TEST(RelationSerdeTest, MalformedInputIsCorruptionNeverCrash) {
+  Relation r({"a", "b"});
+  ASSERT_TRUE(r.AddRow({Value::Int(1), Value::Str("x")}).ok());
+  ASSERT_TRUE(r.AddRow({Value::Int(2), Value::Str("yy")}).ok());
+  std::string good = SerializeRelation(r);
+
+  // Bad magic.
+  std::string bad = good;
+  bad[0] ^= 0x20;
+  EXPECT_TRUE(DeserializeRelation(bad).status().IsCorruption());
+  // Every truncation fails cleanly.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    auto st = DeserializeRelation(std::string_view(good).substr(0, cut));
+    EXPECT_FALSE(st.ok()) << "cut=" << cut;
+  }
+  // Trailing garbage is rejected (a silent prefix-parse would let a
+  // corrupt artifact half-match).
+  EXPECT_TRUE(DeserializeRelation(good + "z").status().IsCorruption());
+  // Unknown value tag.
+  bad = good;
+  bad[bad.size() - 4] = static_cast<char>(0x7f);
+  EXPECT_FALSE(DeserializeRelation(bad).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Canonical ScanSpec serialization + union merge (plan fingerprints)
+
+TEST(PlanFingerprintTest, CanonicalSpecDistinguishesAbsentFromEmpty) {
+  columnar::ScanSpec absent;
+  columnar::ScanSpec empty;
+  empty.event_names = std::set<std::string>{};
+  EXPECT_NE(CanonicalScanSpec(absent), CanonicalScanSpec(empty));
+}
+
+TEST(PlanFingerprintTest, CanonicalSpecIsOrderInsensitiveWhereSemanticsAre) {
+  columnar::ScanSpec a, b;
+  a.event_names = {"x", "y"};
+  b.event_names = {"y", "x"};
+  a.user_ids = {3, 1};
+  b.user_ids = {1, 3};
+  a.event_name_patterns = {"web:*", "*:click", "web:*"};
+  b.event_name_patterns = {"*:click", "web:*"};  // dup removed, order free
+  EXPECT_EQ(CanonicalScanSpec(a), CanonicalScanSpec(b));
+
+  columnar::ScanSpec c = a;
+  c.event_name_patterns.push_back("api:*");
+  EXPECT_NE(CanonicalScanSpec(c), CanonicalScanSpec(a));
+}
+
+TEST(PlanFingerprintTest, FingerprintIsStableAndSensitive) {
+  Fingerprint fp1, fp2;
+  fp1.Mix("hello");
+  fp2.Mix("hello");
+  EXPECT_EQ(fp1.value(), fp2.value());
+  EXPECT_EQ(fp1.Hex().size(), 16u);
+  Fingerprint fp3;
+  fp3.Mix("hellp");
+  EXPECT_NE(fp3.value(), fp1.value());
+  EXPECT_EQ(Fingerprint::OfBytes("abc"), Fingerprint::OfBytes("abc"));
+  EXPECT_NE(Fingerprint::OfBytes("abc"), Fingerprint::OfBytes("abd"));
+}
+
+TEST(MergeScanSpecsTest, MergedSpecIsWeakerThanEveryMember) {
+  columnar::ScanSpec a;
+  a.columns = columnar::ColumnBit(columnar::EventColumn::kEventName);
+  a.min_timestamp = 100;
+  a.max_timestamp = 200;
+  a.event_names = {"x"};
+  columnar::ScanSpec b;
+  b.columns = columnar::ColumnBit(columnar::EventColumn::kUserId);
+  b.min_timestamp = 150;
+  b.max_timestamp = 400;
+  b.event_names = {"y", "z"};
+
+  columnar::ScanSpec m = MergeScanSpecs({a, b});
+  EXPECT_EQ(*m.min_timestamp, 100);
+  EXPECT_EQ(*m.max_timestamp, 400);
+  ASSERT_TRUE(m.event_names.has_value());
+  EXPECT_EQ(m.event_names->size(), 3u);
+  // Both members' output columns survive...
+  EXPECT_TRUE(m.columns & columnar::ColumnBit(columnar::EventColumn::kEventName));
+  EXPECT_TRUE(m.columns & columnar::ColumnBit(columnar::EventColumn::kUserId));
+  // ...plus the columns residual re-filters must see (both members have
+  // timestamp + name predicates).
+  EXPECT_TRUE(m.columns & columnar::ColumnBit(columnar::EventColumn::kTimestamp));
+}
+
+TEST(MergeScanSpecsTest, ConstraintSurvivesOnlyWhenAllMembersImposeIt) {
+  columnar::ScanSpec a;
+  a.min_timestamp = 100;
+  a.event_names = {"x"};
+  a.user_ids = {1};
+  columnar::ScanSpec b;  // no constraints at all
+
+  columnar::ScanSpec m = MergeScanSpecs({a, b});
+  EXPECT_FALSE(m.min_timestamp.has_value());
+  EXPECT_FALSE(m.event_names.has_value());
+  EXPECT_FALSE(m.user_ids.has_value());
+  EXPECT_TRUE(m.event_name_patterns.empty());
+}
+
+TEST(MergeScanSpecsTest, PatternsIntersectAcrossMembers) {
+  columnar::ScanSpec a;
+  a.event_name_patterns = {"web:*", "*:click"};
+  columnar::ScanSpec b;
+  b.event_name_patterns = {"*:click", "api:*"};
+  columnar::ScanSpec m = MergeScanSpecs({a, b});
+  // Only the pattern every member imposes may constrain the union scan.
+  ASSERT_EQ(m.event_name_patterns.size(), 1u);
+  EXPECT_EQ(m.event_name_patterns[0], "*:click");
+}
+
+// ---------------------------------------------------------------------------
+// Hidden warehouse paths: '_'-prefixed components below the scanned dir
+// are invisible to scans and manifests, however deeply nested — the rule
+// that keeps /warehouse/_cache artifacts out of the inputs they memoize.
+
+TEST(HiddenWarehousePathTest, AnyUnderscoreComponentBelowDirHides) {
+  const std::string dir = "/logs/client_events/2012/08/21";
+  EXPECT_FALSE(IsHiddenWarehousePath(dir, dir + "/00/part-00000"));
+  EXPECT_TRUE(IsHiddenWarehousePath(dir, dir + "/00/_SUCCESS"));
+  EXPECT_TRUE(IsHiddenWarehousePath(dir, dir + "/_cache/ab12.okc"));
+  EXPECT_TRUE(IsHiddenWarehousePath(dir, dir + "/_cache/sub/deep.okc"));
+  // Underscores in the dir prefix itself never hide anything: listing
+  // "/warehouse/_cache" directly sees its own files.
+  EXPECT_FALSE(IsHiddenWarehousePath("/warehouse/_cache",
+                                     "/warehouse/_cache/ab12.okc"));
+  // Non-leading underscores are ordinary characters.
+  EXPECT_FALSE(IsHiddenWarehousePath(dir, dir + "/00/part_0"));
+}
+
+// ---------------------------------------------------------------------------
+// Shared scans: one union scan fanned out per member must be
+// byte-identical to independent scans, at any thread count.
+
+class SharedScanTest : public ::testing::Test {
+ protected:
+  SharedScanTest() {
+    std::string columnar_body;
+    columnar::RcFileWriter writer(&columnar_body, 16);
+    std::string legacy_body;
+    events::ClientEventWriter legacy(&legacy_body);
+    for (int i = 0; i < 150; ++i) {
+      events::ClientEvent ev;
+      ev.initiator = static_cast<events::EventInitiator>(i % 2);
+      ev.event_name = i % 3 == 0 ? "web:home:::tweet:click"
+                                 : "web:home:::tweet:impression";
+      ev.user_id = 100 + i % 7;
+      ev.session_id = "s" + std::to_string(i % 5);
+      ev.ip = "10.0.0.1";
+      ev.timestamp = 1345507200000 + static_cast<TimeMs>(i) * 60000;
+      if (i < 100) {
+        EXPECT_TRUE(writer.Add(ev).ok());
+      } else {
+        legacy.Add(ev);
+      }
+    }
+    EXPECT_TRUE(writer.Finish().ok());
+    EXPECT_TRUE(fs_.WriteFile(kDir + std::string("/part-00000"),
+                              columnar_body)
+                    .ok());
+    EXPECT_TRUE(fs_.WriteFile(kDir + std::string("/part-00001"),
+                              Lz::Compress(legacy_body))
+                    .ok());
+  }
+
+  static constexpr const char* kDir = "/warehouse/client_events/2012/08/21/00";
+
+  // Three deliberately different plans over the same hour.
+  std::vector<std::shared_ptr<ColumnarEventScan>> MakeMembers(
+      const std::shared_ptr<ColumnarEventScan>& base) {
+    auto clicks = std::static_pointer_cast<ColumnarEventScan>(base->Clone());
+    EXPECT_TRUE(clicks->PushFilter("event_name", "==",
+                                   Value::Str("web:home:::tweet:click")));
+    EXPECT_TRUE(clicks->PushProject({"user_id"}, {"uid"}));
+
+    auto window = std::static_pointer_cast<ColumnarEventScan>(base->Clone());
+    EXPECT_TRUE(window->PushFilter("timestamp", ">=",
+                                   Value::Int(1345507200000 + 30 * 60000)));
+    EXPECT_TRUE(window->PushFilter("timestamp", "<",
+                                   Value::Int(1345507200000 + 90 * 60000)));
+
+    auto user = std::static_pointer_cast<ColumnarEventScan>(base->Clone());
+    EXPECT_TRUE(user->PushFilter("user_id", "==", Value::Int(103)));
+    EXPECT_TRUE(user->PushProject({"event_name", "timestamp"}, {"n", "t"}));
+    return {clicks, window, user};
+  }
+
+  hdfs::MiniHdfs fs_;
+};
+
+TEST_F(SharedScanTest, SharedEqualsIndependentAtEveryThreadCount) {
+  // Reference: independent materialization, serial.
+  auto base = ColumnarEventScan::Open(&fs_, kDir);
+  ASSERT_TRUE(base.ok());
+  std::vector<std::string> want;
+  for (auto& member : MakeMembers(*base)) {
+    auto rel = member->Materialize(nullptr);
+    ASSERT_TRUE(rel.ok());
+    want.push_back(SerializeRelation(*rel));
+  }
+  ASSERT_EQ(want.size(), 3u);
+
+  for (int threads : {0, 1, 2, 8}) {
+    auto fresh = ColumnarEventScan::Open(&fs_, kDir);
+    ASSERT_TRUE(fresh.ok());
+    auto members = MakeMembers(*fresh);
+    std::unique_ptr<exec::Executor> executor;
+    if (threads > 0) {
+      exec::ExecOptions eo;
+      eo.threads = threads;
+      executor = std::make_unique<exec::Executor>(eo);
+    }
+    columnar::ScanStats stats;
+    auto rels =
+        ColumnarEventScan::MaterializeShared(members, executor.get(), &stats);
+    ASSERT_TRUE(rels.ok()) << rels.status().ToString();
+    ASSERT_EQ(rels->size(), 3u);
+    for (size_t i = 0; i < rels->size(); ++i) {
+      EXPECT_EQ(SerializeRelation((*rels)[i]), want[i])
+          << "threads=" << threads << " member=" << i;
+    }
+    EXPECT_GT(stats.bytes_decompressed, 0u);
+    // Members' caches were filled: re-materializing is free and identical.
+    auto again = members[0]->Materialize(nullptr);
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(SerializeRelation(*again), want[0]);
+  }
+}
+
+TEST_F(SharedScanTest, SharedScanDecompressesLessThanIndependentScans) {
+  // Independent: each member pays for the file bytes it touches.
+  auto base = ColumnarEventScan::Open(&fs_, kDir);
+  ASSERT_TRUE(base.ok());
+  uint64_t independent = 0;
+  for (auto& member : MakeMembers(*base)) {
+    ASSERT_TRUE(member->Materialize(nullptr).ok());
+    independent += member->last_stats().bytes_decompressed;
+  }
+  auto fresh = ColumnarEventScan::Open(&fs_, kDir);
+  ASSERT_TRUE(fresh.ok());
+  auto members = MakeMembers(*fresh);
+  columnar::ScanStats stats;
+  ASSERT_TRUE(
+      ColumnarEventScan::MaterializeShared(members, nullptr, &stats).ok());
+  EXPECT_LT(stats.bytes_decompressed, independent);
+}
+
+TEST_F(SharedScanTest, MembersMustShareOneOpenedScan) {
+  auto a = ColumnarEventScan::Open(&fs_, kDir);
+  auto b = ColumnarEventScan::Open(&fs_, kDir);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  auto clone_a = std::static_pointer_cast<ColumnarEventScan>((*a)->Clone());
+  EXPECT_TRUE(ColumnarEventScan::MaterializeShared({*a, *b}, nullptr)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      ColumnarEventScan::MaterializeShared({*a, clone_a}, nullptr).ok());
+  // Degenerate cases: empty and singleton member lists.
+  auto none = ColumnarEventScan::MaterializeShared({}, nullptr);
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
 }
 
 }  // namespace

@@ -17,9 +17,11 @@
 #include "dataflow/pig.h"
 #include "events/anonymize.h"
 #include "events/client_event.h"
+#include "dataflow/columnar_scan.h"
 #include "obs/delivery_audit.h"
 #include "obs/metrics.h"
 #include "oink/oink.h"
+#include "oink/workflow.h"
 #include "pipeline/daily_pipeline.h"
 #include "pipeline/unified_pipeline.h"
 #include "scribe/cluster.h"
@@ -404,6 +406,109 @@ TEST(DeliveryAuditIntegrationTest, DailyJobPublishesCostMetrics) {
   EXPECT_TRUE(snap.Balanced()) << snap.ToString();
   EXPECT_EQ(snap.warehoused, generator.truth().total_events);
   EXPECT_EQ(snap.InFlight(), 0u);
+}
+
+// Oink memoization writes cache artifacts into the warehouse filesystem.
+// The delivery-audit identity (logged == warehoused + losses + in-flight)
+// is counter-derived, and '_'-prefixed subtrees are invisible to scans
+// and input manifests — so caching a day of workflow results, even into a
+// _cache subtree nested *inside* the scanned day directory, must neither
+// unbalance the audit nor change what the workflows read.
+TEST(DeliveryAuditIntegrationTest, StaysBalancedWithOinkCachingOn) {
+  Simulator sim(kDay);
+  pipeline::UnifiedPipelineOptions opts;
+  opts.topology.datacenters = {"dc1"};
+  opts.topology.aggregators_per_dc = 1;
+  opts.topology.daemons_per_dc = 2;
+  opts.scribe.roll_interval_ms = 2 * kMillisPerMinute;
+  opts.mover.run_interval_ms = 10 * kMillisPerMinute;
+  // Columnar hours: the engine fingerprints parts from their embedded
+  // checksums instead of size+mtime.
+  opts.mover.columnar_categories = {"client_events"};
+  opts.seed = 9;
+  pipeline::UnifiedLoggingPipeline pipe(&sim, opts);
+  ASSERT_TRUE(pipe.Start().ok());
+
+  workload::WorkloadOptions wopts;
+  wopts.seed = 19;
+  wopts.num_users = 25;
+  wopts.start = kDay;
+  wopts.duration = kMillisPerDay - 3 * kMillisPerHour;
+  workload::WorkloadGenerator generator(wopts);
+  ASSERT_TRUE(pipe.DriveWorkload(&generator).ok());
+  sim.RunUntil(kDay + kMillisPerDay + kMillisPerHour);
+
+  obs::DeliverySnapshot before = pipe.Audit();
+  ASSERT_TRUE(before.Balanced()) << before.ToString();
+  ASSERT_EQ(before.warehoused, generator.truth().total_events);
+
+  // The moved day's directory, with the cache nested inside it.
+  std::string hour_path = HourPartitionPath(kDay);  // YYYY/MM/DD/HH
+  std::string day_dir =
+      "/logs/client_events/" + hour_path.substr(0, hour_path.rfind('/'));
+  hdfs::MiniHdfs* warehouse = pipe.cluster()->warehouse();
+  auto visible = [&]() {
+    std::map<std::string, uint64_t> out;
+    auto listing = warehouse->ListRecursive(day_dir);
+    EXPECT_TRUE(listing.ok());
+    if (listing.ok()) {
+      for (const auto& f : *listing) {
+        if (!dataflow::IsHiddenWarehousePath(day_dir, f.path)) {
+          out[f.path] = f.size;
+        }
+      }
+    }
+    return out;
+  };
+  std::map<std::string, uint64_t> data_before = visible();
+  ASSERT_FALSE(data_before.empty());
+
+  oink::OinkOptions oopts;
+  oopts.cache_root = day_dir + "/_cache";
+  oink::WorkflowEngine engine(warehouse, oopts, pipe.metrics());
+  oink::WorkflowSpec clicks;
+  clicks.name = "day-click-rollup";
+  clicks.input_dir = [day_dir](int64_t) { return day_dir; };
+  clicks.filters = {
+      {"event_name", "matches", dataflow::Value::Str("*:click")}};
+  clicks.project_cols = {"user_id"};
+  clicks.project_names = {"uid"};
+  clicks.stage = [](const dataflow::Relation& r) {
+    return r.GroupBy({"uid"}, {dataflow::Aggregate{
+                                  dataflow::Aggregate::Op::kCount, "", "n"}});
+  };
+  clicks.stage_id = "day-click-rollup-v1";
+  ASSERT_TRUE(engine.AddWorkflow(std::move(clicks)).ok());
+  oink::WorkflowSpec window;
+  window.name = "day-morning-window";
+  window.input_dir = [day_dir](int64_t) { return day_dir; };
+  window.filters = {
+      {"timestamp", ">=", dataflow::Value::Int(kDay)},
+      {"timestamp", "<", dataflow::Value::Int(kDay + 6 * kMillisPerHour)}};
+  ASSERT_TRUE(engine.AddWorkflow(std::move(window)).ok());
+
+  // Cold tick fills the nested cache; the warm tick must hit even though
+  // artifacts appeared inside the scanned tree between the two — the
+  // manifest never sees them.
+  ASSERT_TRUE(engine.RunTick(0).ok());
+  EXPECT_EQ(engine.last_tick().cache_misses, 2u);
+  auto cold = engine.ResultFor("day-click-rollup");
+  ASSERT_TRUE(cold.ok());
+  EXPECT_GT(cold->rows().size(), 0u);
+  ASSERT_TRUE(engine.RunTick(0).ok());
+  EXPECT_EQ(engine.last_tick().cache_hits, 2u);
+  EXPECT_EQ(engine.last_tick().scan_bytes_decompressed, 0u);
+
+  // Artifacts really landed in the warehouse under the day directory...
+  auto cached = warehouse->ListRecursive(day_dir + "/_cache");
+  ASSERT_TRUE(cached.ok());
+  EXPECT_GT(cached->size(), 0u);
+  // ...while the audit identity and the visible data are untouched.
+  obs::DeliverySnapshot after = pipe.Audit();
+  EXPECT_TRUE(after.Balanced()) << after.ToString();
+  EXPECT_EQ(after.warehoused, before.warehoused);
+  EXPECT_EQ(visible(), data_before);
+  EXPECT_GT(pipe.metrics()->CounterTotal("oink.cache_hits"), 0u);
 }
 
 }  // namespace

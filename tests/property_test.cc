@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -16,7 +17,11 @@
 #include "common/utf8.h"
 #include "dataflow/mapreduce.h"
 #include "columnar/rcfile.h"
+#include "dataflow/plan_fingerprint.h"
 #include "dataflow/relation.h"
+#include "dataflow/relation_serde.h"
+#include "oink/artifact_cache.h"
+#include "oink/workflow.h"
 #include "events/client_event.h"
 #include "events/event_name.h"
 #include "exec/executor.h"
@@ -739,6 +744,295 @@ TEST_P(ColumnarScanPropertyTest, PushdownEqualsFullScanThenFilter) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ColumnarScanPropertyTest,
                          ::testing::Values(7u, 77u, 777u));
+
+// ---------------------------------------------------------------------------
+// Shared-scan spec merging: scanning once under MergeScanSpecs and
+// re-filtering per member must equal each member's direct scan.
+
+TEST_P(ColumnarScanPropertyTest, MergedSpecScanPlusResidualEqualsDirectScan) {
+  Rng rng(GetParam() * 1311);
+  for (int iter = 0; iter < 4; ++iter) {
+    size_t n = 50 + rng.Uniform(250);
+    std::vector<events::ClientEvent> events;
+    for (size_t i = 0; i < n; ++i) events.push_back(RandomColumnarEvent(rng));
+    std::string body;
+    columnar::RcFileWriter writer(&body, 1 + rng.Uniform(40));
+    for (const auto& ev : events) ASSERT_TRUE(writer.Add(ev).ok());
+    ASSERT_TRUE(writer.Finish().ok());
+
+    size_t members = 2 + rng.Uniform(3);
+    std::vector<columnar::ScanSpec> specs;
+    for (size_t m = 0; m < members; ++m) specs.push_back(RandomScanSpec(rng));
+    columnar::ScanSpec merged = dataflow::MergeScanSpecs(specs);
+
+    columnar::RcFileReader reader(body);
+    std::vector<events::ClientEvent> union_rows;
+    ASSERT_TRUE(reader.Scan(merged, &union_rows, nullptr).ok());
+
+    for (size_t m = 0; m < members; ++m) {
+      // Direct scan under the member's own spec.
+      columnar::RcFileReader direct(body);
+      std::vector<events::ClientEvent> want;
+      ASSERT_TRUE(direct.Scan(specs[m], &want, nullptr).ok());
+
+      // Union rows re-tightened by the member's row matcher, projected to
+      // the member's column mask.
+      columnar::RowMatcher matcher(specs[m]);
+      std::vector<events::ClientEvent> got;
+      for (const auto& ev : union_rows) {
+        if (matcher.Matches(ev)) got.push_back(ApplyMask(ev, specs[m].columns));
+      }
+      ASSERT_EQ(got, want) << "iter=" << iter << " member=" << m;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Oink memoization: randomized workloads must produce byte-identical
+// results cold, warm (cache hit), shared-scan, and at any thread count.
+
+class OinkMemoPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+oink::WorkflowSpec RandomWorkflow(Rng& rng, const std::string& name,
+                                  const std::string& dir) {
+  oink::WorkflowSpec wf;
+  wf.name = name;
+  wf.input_dir = [dir](int64_t) { return dir; };
+  size_t nfilters = rng.Uniform(3);
+  for (size_t f = 0; f < nfilters; ++f) {
+    switch (rng.Uniform(6)) {
+      case 0: {
+        TimeMs lo = kScanBase + static_cast<TimeMs>(rng.Uniform(3600000));
+        wf.filters.push_back({"timestamp", rng.Uniform(2) == 0 ? ">=" : ">",
+                              dataflow::Value::Int(lo)});
+        break;
+      }
+      case 1: {
+        TimeMs hi = kScanBase + static_cast<TimeMs>(rng.Uniform(3600000));
+        wf.filters.push_back({"timestamp", rng.Uniform(2) == 0 ? "<=" : "<",
+                              dataflow::Value::Int(hi)});
+        break;
+      }
+      case 2:
+        wf.filters.push_back(
+            {"event_name", "==",
+             dataflow::Value::Str(rng.Uniform(2) == 0
+                                      ? "web:home:::tweet:click"
+                                      : "api:timeline:fetch")});
+        break;
+      case 3:
+        wf.filters.push_back({"event_name", "matches",
+                              dataflow::Value::Str(rng.Uniform(2) == 0
+                                                       ? "web:*"
+                                                       : "*:click")});
+        break;
+      case 4:  // residual: string equality on a non-indexed column
+        wf.filters.push_back(
+            {"session_id", "==",
+             dataflow::Value::Str("s" + std::to_string(rng.Uniform(20)))});
+        break;
+      default:  // residual: != never fuses
+        wf.filters.push_back(
+            {"user_id", "!=",
+             dataflow::Value::Int(static_cast<int64_t>(rng.Uniform(40)))});
+        break;
+    }
+  }
+  if (rng.Uniform(2) == 0) {
+    wf.project_cols = {"event_name", "user_id"};
+    wf.project_names = {"name", "uid"};
+    if (rng.Uniform(2) == 0) {
+      wf.stage = [](const dataflow::Relation& r) {
+        return r.GroupBy({"name"},
+                         {dataflow::Aggregate{
+                             dataflow::Aggregate::Op::kCount, "", "n"}});
+      };
+      wf.stage_id = "count-by-name-v1";
+    }
+  }
+  return wf;
+}
+
+TEST_P(OinkMemoPropertyTest, ColdWarmSharedAndParallelAllAgree) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 2; ++iter) {
+    hdfs::MiniHdfs fs;
+    const std::string dir = "/warehouse/client_events/h0";
+    // 1-2 columnar parts and sometimes a legacy framed part.
+    size_t parts = 1 + rng.Uniform(2);
+    for (size_t p = 0; p < parts; ++p) {
+      std::string body;
+      columnar::RcFileWriter writer(&body, 1 + rng.Uniform(32));
+      size_t n = 30 + rng.Uniform(200);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(writer.Add(RandomColumnarEvent(rng)).ok());
+      }
+      ASSERT_TRUE(writer.Finish().ok());
+      ASSERT_TRUE(
+          fs.WriteFile(dir + "/part-0000" + std::to_string(p), body).ok());
+    }
+    if (rng.Uniform(2) == 0) {
+      std::string legacy;
+      events::ClientEventWriter w(&legacy);
+      size_t n = 10 + rng.Uniform(60);
+      for (size_t i = 0; i < n; ++i) w.Add(RandomColumnarEvent(rng));
+      ASSERT_TRUE(fs.WriteFile(dir + "/part-legacy", Lz::Compress(legacy)).ok());
+    }
+
+    size_t nwf = 2 + rng.Uniform(3);
+    std::vector<oink::WorkflowSpec> wfs;
+    for (size_t w = 0; w < nwf; ++w) {
+      wfs.push_back(RandomWorkflow(rng, "wf" + std::to_string(w), dir));
+    }
+
+    // Reference: serial, no cache, no sharing.
+    std::vector<std::string> want(nwf);
+    {
+      oink::OinkOptions options;
+      options.enable_cache = false;
+      options.enable_shared_scans = false;
+      oink::WorkflowEngine ref(&fs, options);
+      for (const auto& wf : wfs) ASSERT_TRUE(ref.AddWorkflow(wf).ok());
+      ASSERT_TRUE(ref.RunTick(0).ok());
+      for (size_t w = 0; w < nwf; ++w) {
+        auto rel = ref.ResultFor(wfs[w].name);
+        ASSERT_TRUE(rel.ok());
+        want[w] = dataflow::SerializeRelation(*rel);
+      }
+    }
+
+    auto check = [&](oink::WorkflowEngine& engine, const std::string& what) {
+      for (size_t w = 0; w < nwf; ++w) {
+        auto rel = engine.ResultFor(wfs[w].name);
+        ASSERT_TRUE(rel.ok()) << what;
+        EXPECT_EQ(dataflow::SerializeRelation(*rel), want[w])
+            << what << " wf=" << w << " seed=" << GetParam();
+      }
+    };
+
+    for (int threads : {0, 2, 8}) {
+      std::unique_ptr<exec::Executor> executor;
+      if (threads > 0) {
+        exec::ExecOptions eo;
+        eo.threads = threads;
+        executor = std::make_unique<exec::Executor>(eo);
+      }
+      oink::WorkflowEngine engine(&fs, oink::OinkOptions{}, nullptr,
+                                  executor.get());
+      for (const auto& wf : wfs) ASSERT_TRUE(engine.AddWorkflow(wf).ok());
+      // Cold (shared scan when >1 distinct plan)...
+      ASSERT_TRUE(engine.RunTick(0).ok());
+      check(engine, "cold threads=" + std::to_string(threads));
+      // ...then warm from cache.
+      ASSERT_TRUE(engine.RunTick(0).ok());
+      EXPECT_EQ(engine.last_tick().scan_bytes_decompressed, 0u);
+      check(engine, "warm threads=" + std::to_string(threads));
+      // Drop the cache dir so the next thread count starts cold again.
+      if (fs.Exists("/warehouse/_cache")) {
+        ASSERT_TRUE(fs.Delete("/warehouse/_cache", true).ok());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OinkMemoPropertyTest,
+                         ::testing::Values(11u, 211u, 3111u));
+
+// ---------------------------------------------------------------------------
+// Cache artifact fuzzing: truncations and bit flips must read back as a
+// clean miss (entry dropped) — never a crash, never different bytes.
+
+class ArtifactFuzzPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ArtifactFuzzPropertyTest, MutatedArtifactsNeverServeWrongBytes) {
+  Rng rng(GetParam());
+  hdfs::MiniHdfs fs;
+  const std::string path = "/warehouse/_cache/k.okc";
+  oink::CacheArtifact artifact;
+  artifact.manifest = "manifest-v1\n/x szmt:1:2\n";
+  artifact.cold_cost_bytes = 12345;
+  artifact.payload = RandomBuffer(rng);
+  {
+    oink::ArtifactCache cache(&fs);
+    ASSERT_TRUE(cache.Put("k", artifact).ok());
+  }
+  auto raw = fs.ReadFile(path);
+  ASSERT_TRUE(raw.ok());
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string mutated = *raw;
+    switch (rng.Uniform(4)) {
+      case 0:  // truncate
+        mutated.resize(rng.Uniform(mutated.size()));
+        break;
+      case 1: {  // flip one bit
+        size_t pos = rng.Uniform(mutated.size());
+        mutated[pos] ^= static_cast<char>(1u << rng.Uniform(8));
+        break;
+      }
+      case 2:  // insert a byte
+        mutated.insert(mutated.begin() + rng.Uniform(mutated.size() + 1),
+                       static_cast<char>(rng.Next64() & 0xff));
+        break;
+      default:  // delete a byte
+        mutated.erase(mutated.begin() + rng.Uniform(mutated.size()));
+        break;
+    }
+    if (fs.Exists(path)) {
+      ASSERT_TRUE(fs.Delete(path).ok());
+    }
+    ASSERT_TRUE(fs.WriteFile(path, mutated).ok());
+
+    oink::ArtifactCache cache(&fs);  // fresh index, reads from disk
+    auto got = cache.Get("k", artifact.manifest);
+    if (got.ok()) {
+      // Only acceptable if the mutation left the artifact semantically
+      // intact (e.g. flip inside unused varint headroom) — bytes must be
+      // EXACTLY the original payload.
+      EXPECT_EQ(got->payload, artifact.payload) << "trial=" << trial;
+      EXPECT_EQ(got->manifest, artifact.manifest);
+    } else {
+      EXPECT_TRUE(got.status().IsNotFound())
+          << "trial=" << trial << " " << got.status().ToString();
+      // The poisoned entry was dropped, not left to flap.
+      EXPECT_FALSE(fs.Exists(path)) << "trial=" << trial;
+    }
+  }
+}
+
+TEST_P(ArtifactFuzzPropertyTest, LzDecompressNeverCrashesOnMutatedBlocks) {
+  Rng rng(GetParam() * 7919);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string block = Lz::Compress(RandomBuffer(rng));
+    switch (rng.Uniform(3)) {
+      case 0:
+        block.resize(rng.Uniform(block.size() + 1));
+        break;
+      case 1: {
+        if (!block.empty()) {
+          block[rng.Uniform(block.size())] ^=
+              static_cast<char>(1u << rng.Uniform(8));
+        }
+        break;
+      }
+      default: {
+        size_t extra = 1 + rng.Uniform(8);
+        for (size_t i = 0; i < extra; ++i) {
+          block.push_back(static_cast<char>(rng.Next64() & 0xff));
+        }
+        break;
+      }
+    }
+    // Must return OK or an error — never crash, hang, or overallocate.
+    Result<std::string> out = Lz::Decompress(block);
+    if (!out.ok()) {
+      EXPECT_TRUE(out.status().IsCorruption()) << out.status().ToString();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArtifactFuzzPropertyTest,
+                         ::testing::Values(3u, 33u, 333u));
 
 }  // namespace
 }  // namespace unilog
