@@ -8,12 +8,16 @@
 // exactly), and dumps the unified metrics report.
 
 #include <cstdio>
+#include <map>
 #include <string>
+#include <thread>
 
+#include "alloc_hooks.h"
 #include "bench_common.h"
 #include "obs/delivery_audit.h"
 #include "pipeline/unified_pipeline.h"
 #include "scribe/cluster.h"
+#include "scribe/message.h"
 #include "sim/simulator.h"
 
 namespace unilog {
@@ -29,10 +33,12 @@ struct ScenarioResult {
   uint64_t staging_files_read = 0;
   uint64_t hours_moved = 0;
   std::string metrics_report;
+  /// Warehouse contents, for the threads=1 vs threads=N identity check.
+  std::map<std::string, std::string> warehouse;
 };
 
 ScenarioResult RunScenario(const std::string& name, bool crash_aggregator,
-                           bool staging_outage) {
+                           bool staging_outage, int ingest_threads = 1) {
   Simulator sim(kBenchDay);
   pipeline::UnifiedPipelineOptions opts;
   opts.topology.datacenters = {"dc1", "dc2", "dc3"};
@@ -45,6 +51,7 @@ ScenarioResult RunScenario(const std::string& name, bool crash_aggregator,
   opts.mover.run_interval_ms = 5 * kMillisPerMinute;
   opts.mover.grace_ms = 2 * kMillisPerMinute;
   opts.seed = 1234;
+  opts.ingest_threads = ingest_threads;
   pipeline::UnifiedLoggingPipeline pipe(&sim, opts);
   if (!pipe.Start().ok()) std::abort();
   scribe::ScribeCluster& cluster = *pipe.cluster();
@@ -103,6 +110,12 @@ ScenarioResult RunScenario(const std::string& name, bool crash_aggregator,
   result.metrics_report = pipe.MetricsTextReport();
   auto files = cluster.warehouse()->ListRecursive("/logs/client_events");
   result.warehouse_files = files.ok() ? files->size() : 0;
+  if (files.ok()) {
+    for (const auto& f : *files) {
+      auto body = cluster.warehouse()->ReadFile(f.path);
+      if (body.ok()) result.warehouse[f.path] = *body;
+    }
+  }
 
   std::printf(
       "%-22s logged=%-6llu delivered=%-6llu crash_lost=%-4llu "
@@ -140,21 +153,164 @@ void PrintReportExcerpt(const std::string& report) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Ingest hot-path throughput: the mover's CPU kernel (decompress+unframe
+// staged files, merge, frame+compress warehouse parts) measured two ways.
+// "baseline" reproduces the seed serial path exactly: fresh strings and a
+// fresh-state compressor per file/part. "optimized" is the shipped path:
+// pooled buffers, reused hash-chain state, and unilog::exec fan-out — and
+// must produce byte-identical part bytes.
+
+struct IngestWorkload {
+  std::vector<std::string> staged;  // compressed staged file bodies
+  uint64_t uncompressed_bytes = 0;  // framed bytes the kernel processes
+};
+
+IngestWorkload BuildIngestWorkload(int files, int messages_per_file) {
+  IngestWorkload w;
+  Rng rng(99);
+  for (int f = 0; f < files; ++f) {
+    std::vector<std::string> msgs;
+    for (int m = 0; m < messages_per_file; ++m) {
+      std::string payload = "web:home:mentions:stream:avatar:profile_click|"
+                            "f" + std::to_string(f) + "m" + std::to_string(m) +
+                            "|";
+      size_t noise = 40 + rng.Uniform(80);
+      for (size_t i = 0; i < noise; ++i) {
+        payload.push_back(static_cast<char>('a' + rng.Uniform(26)));
+      }
+      msgs.push_back(std::move(payload));
+    }
+    std::string framed = scribe::FrameMessages(msgs);
+    w.uncompressed_bytes += framed.size();
+    w.staged.push_back(Lz::Compress(framed));
+  }
+  return w;
+}
+
+constexpr uint64_t kIngestTargetPartBytes = 64 * 1024;
+
+/// Seed serial path: fresh allocations everywhere, fresh compressor state
+/// per file and per part. Returns concatenated part bytes for identity.
+std::string IngestBaselineRep(const IngestWorkload& w) {
+  std::vector<std::string> merged;
+  for (const std::string& file : w.staged) {
+    auto raw = Lz::Decompress(file);
+    if (!raw.ok()) std::abort();
+    auto msgs = scribe::UnframeMessages(*raw);
+    if (!msgs.ok()) std::abort();
+    for (auto& m : *msgs) merged.push_back(std::move(m));
+  }
+  std::string sink;
+  std::string body;
+  uint64_t body_bytes = 0;
+  for (const std::string& m : merged) {
+    scribe::AppendFramed(&body, m);
+    body_bytes = body.size();
+    if (body_bytes >= kIngestTargetPartBytes) {
+      sink += Lz::CompressReference(body);
+      body = std::string();  // fresh buffer, as the seed path allocated
+    }
+  }
+  if (!body.empty()) sink += Lz::CompressReference(body);
+  return sink;
+}
+
+/// Shipped path: pooled buffers + reused compressor state, part builds
+/// fanned out on the executor exactly as LogMover::MoveCategoryHour does.
+std::string IngestOptimizedRep(const IngestWorkload& w,
+                               exec::Executor* executor,
+                               scribe::BufferPool* pool) {
+  std::vector<std::vector<std::string>> slots(w.staged.size());
+  executor->ParallelFor("bench.unstage", w.staged.size(), [&](size_t i) {
+    auto raw = Lz::Decompress(w.staged[i]);
+    if (!raw.ok()) std::abort();
+    auto msgs = scribe::UnframeMessages(*raw);
+    if (!msgs.ok()) std::abort();
+    slots[i] = std::move(*msgs);
+  });
+  std::vector<std::string> merged;
+  for (auto& slot : slots) {
+    for (auto& m : slot) merged.push_back(std::move(m));
+  }
+  std::vector<size_t> part_ends =
+      scribe::PlanFramedParts(merged, kIngestTargetPartBytes);
+  std::vector<scribe::BufferPool::Lease> parts(part_ends.size());
+  executor->ParallelFor("bench.build_parts", part_ends.size(), [&](size_t p) {
+    size_t begin = p == 0 ? 0 : part_ends[p - 1];
+    scribe::BufferPool::Lease framed = pool->Acquire();
+    scribe::AppendFramedRange(framed.get(), merged, begin, part_ends[p]);
+    scribe::BufferPool::Lease out = pool->Acquire();
+    Lz::Pooled().CompressTo(*framed, out.get());
+    parts[p] = std::move(out);
+  });
+  std::string sink;
+  for (auto& part : parts) {
+    sink += *part;
+    part.Release();
+  }
+  return sink;
+}
+
+struct IngestMeasurement {
+  double best_ms = 0;
+  double mb_per_sec = 0;
+  uint64_t allocs_per_rep = 0;
+};
+
+IngestMeasurement MeasureIngest(const IngestWorkload& w, int reps,
+                                const std::function<std::string()>& rep,
+                                std::string* out_bytes) {
+  IngestMeasurement m;
+  for (int r = 0; r < reps; ++r) {
+    bench::AllocScope allocs;
+    bench::WallTimer timer;
+    std::string bytes = rep();
+    double ms = timer.ElapsedMs();
+    if (r == 0) {
+      m.best_ms = ms;
+      *out_bytes = std::move(bytes);
+    } else if (ms < m.best_ms) {
+      m.best_ms = ms;
+    }
+    m.allocs_per_rep = allocs.Delta();  // last rep: pools warmed up
+  }
+  m.mb_per_sec = m.best_ms > 0
+                     ? static_cast<double>(w.uncompressed_bytes) / 1e6 /
+                           (m.best_ms / 1e3)
+                     : 0;
+  return m;
+}
+
 }  // namespace
 }  // namespace unilog
 
-int main() {
+int main(int argc, char** argv) {
+  using namespace unilog;
+  int threads = bench::ParseThreadsFlag(&argc, argv);
   std::printf(
       "=== E1 / Figure 1: Scribe delivery pipeline (3 DCs, 24 daemons, "
       "6 aggregators, 60k messages over 3h) ===\n");
   std::printf(
       "paper: robust, scalable delivery; daemons re-discover aggregators "
       "via ZooKeeper on crash;\n       aggregators buffer on HDFS outage; "
-      "log mover slides whole hours atomically.\n\n");
+      "log mover slides whole hours atomically.\n");
+  std::printf("ingest threads: %d (pass --threads=N to change)\n\n", threads);
 
-  auto healthy = unilog::RunScenario("healthy", false, false);
-  auto crash = unilog::RunScenario("aggregator-crash", true, false);
-  auto outage = unilog::RunScenario("staging-outage", false, true);
+  auto healthy = RunScenario("healthy", false, false, threads);
+  auto crash = RunScenario("aggregator-crash", true, false, threads);
+  auto outage = RunScenario("staging-outage", false, true, threads);
+
+  // Parallel staging must not change a single warehouse byte: re-run the
+  // healthy scenario serially and diff the two warehouses.
+  bool byte_identical = true;
+  if (threads > 1) {
+    auto serial = RunScenario("healthy-serial-check", false, false, 1);
+    byte_identical = serial.warehouse == healthy.warehouse;
+  } else {
+    auto parallel = RunScenario("healthy-parallel-check", false, false, 8);
+    byte_identical = parallel.warehouse == healthy.warehouse;
+  }
 
   std::printf("\nshape checks:\n");
   bool healthy_lossless =
@@ -182,13 +338,105 @@ int main() {
   std::printf(
       "  delivery audit balanced in all scenarios (incl. mid-fault): %s\n",
       all_balanced ? "YES" : "NO");
+  std::printf(
+      "  warehouse byte-identical across ingest thread counts:       %s\n",
+      byte_identical ? "YES" : "NO");
+
+  // --- Ingest hot-path throughput (seed serial vs pooled+parallel) ---
+  std::printf("\n--- ingest hot path: mover CPU kernel, %d thread(s) ---\n",
+              threads);
+  IngestWorkload w = BuildIngestWorkload(/*files=*/48,
+                                         /*messages_per_file=*/220);
+  const int kReps = 5;
+  std::string base_bytes, opt_serial_bytes, opt_bytes;
+  IngestMeasurement base = MeasureIngest(
+      w, kReps, [&w]() { return IngestBaselineRep(w); }, &base_bytes);
+
+  exec::Executor serial_exec(exec::ExecOptions{.threads = 1});
+  scribe::BufferPool pool_serial, pool_parallel;
+  IngestMeasurement opt1 = MeasureIngest(
+      w, kReps,
+      [&]() { return IngestOptimizedRep(w, &serial_exec, &pool_serial); },
+      &opt_serial_bytes);
+
+  exec::Executor parallel_exec(exec::ExecOptions{.threads = threads});
+  IngestMeasurement optn = MeasureIngest(
+      w, kReps,
+      [&]() { return IngestOptimizedRep(w, &parallel_exec, &pool_parallel); },
+      &opt_bytes);
+
+  bool kernel_identical = base_bytes == opt_serial_bytes &&
+                          base_bytes == opt_bytes;
+  double speedup_serial = opt1.best_ms > 0 ? base.best_ms / opt1.best_ms : 0;
+  double speedup = optn.best_ms > 0 ? base.best_ms / optn.best_ms : 0;
+  std::printf("%-28s %10s %10s %12s %9s\n", "path", "best_ms", "MB/s",
+              "allocs/rep", "speedup");
+  std::printf("%-28s %10.2f %10.1f %12llu %8.2fx\n",
+              "baseline (seed serial)", base.best_ms, base.mb_per_sec,
+              static_cast<unsigned long long>(base.allocs_per_rep), 1.0);
+  std::printf("%-28s %10.2f %10.1f %12llu %8.2fx\n",
+              "pooled (1 thread)", opt1.best_ms, opt1.mb_per_sec,
+              static_cast<unsigned long long>(opt1.allocs_per_rep),
+              speedup_serial);
+  std::printf("%-28s %10.2f %10.1f %12llu %8.2fx\n",
+              ("pooled (" + std::to_string(threads) + " threads)").c_str(),
+              optn.best_ms, optn.mb_per_sec,
+              static_cast<unsigned long long>(optn.allocs_per_rep), speedup);
+  std::printf("  part bytes identical across all three paths: %s\n",
+              kernel_identical ? "YES" : "NO");
+
+  // The wall-clock floor only binds where the hardware can express it:
+  // ISSUE acceptance asks ≥2x (floor 1.3x) on a multi-core host with
+  // --threads>=4. On one core the deterministic checks above still bind.
+  unsigned hw = std::thread::hardware_concurrency();
+  bool floor_enforced = threads >= 4 && hw >= 4;
+  bool floor_met = !floor_enforced || speedup >= 1.3;
+  if (floor_enforced) {
+    std::printf("  speedup floor (>=1.3x at %d threads, hw=%u): %s "
+                "(%.2fx, target 2x)\n",
+                threads, hw, floor_met ? "MET" : "MISSED", speedup);
+  } else {
+    std::printf("  speedup floor not enforced (threads=%d, hw=%u; needs "
+                "both >=4)\n", threads, hw);
+  }
+
+  Json section = Json::Object();
+  section.Set("threads", Json::Number(threads));
+  section.Set("hardware_concurrency", Json::Number(static_cast<double>(hw)));
+  section.Set("uncompressed_mb",
+              Json::Number(static_cast<double>(w.uncompressed_bytes) / 1e6));
+  section.Set("baseline_ms", Json::Number(base.best_ms));
+  section.Set("baseline_mb_per_sec", Json::Number(base.mb_per_sec));
+  section.Set("baseline_allocs_per_rep",
+              Json::Number(static_cast<double>(base.allocs_per_rep)));
+  section.Set("pooled_serial_ms", Json::Number(opt1.best_ms));
+  section.Set("pooled_serial_mb_per_sec", Json::Number(opt1.mb_per_sec));
+  section.Set("pooled_serial_allocs_per_rep",
+              Json::Number(static_cast<double>(opt1.allocs_per_rep)));
+  section.Set("pooled_parallel_ms", Json::Number(optn.best_ms));
+  section.Set("pooled_parallel_mb_per_sec", Json::Number(optn.mb_per_sec));
+  section.Set("pooled_parallel_allocs_per_rep",
+              Json::Number(static_cast<double>(optn.allocs_per_rep)));
+  section.Set("speedup_vs_baseline", Json::Number(speedup));
+  section.Set("kernel_byte_identical", Json::Bool(kernel_identical));
+  section.Set("warehouse_byte_identical", Json::Bool(byte_identical));
+  section.Set("audit_balanced", Json::Bool(all_balanced));
+  section.Set("floor_enforced", Json::Bool(floor_enforced));
+  section.Set("floor_met", Json::Bool(floor_met));
+  Status js = bench::MergeBenchJsonSection("BENCH_ingest.json",
+                                           "fig1_scribe_pipeline", section);
+  if (!js.ok()) {
+    std::fprintf(stderr, "BENCH_ingest.json write failed: %s\n",
+                 js.ToString().c_str());
+  }
 
   std::printf(
       "\nunified metrics report (staging-outage scenario; per-host daemon "
       "series elided):\n");
-  unilog::PrintReportExcerpt(outage.metrics_report);
+  PrintReportExcerpt(outage.metrics_report);
 
-  // The audit identity is this bench's contract: fail loudly if any
-  // scenario ever leaks an uncounted entry.
-  return all_balanced ? 0 : 1;
+  // This bench's contract: the audit identity, the byte-identity of the
+  // parallel staging path, and (on capable hardware) the speedup floor.
+  bool ok = all_balanced && byte_identical && kernel_identical && floor_met;
+  return ok ? 0 : 1;
 }

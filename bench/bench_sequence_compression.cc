@@ -6,6 +6,8 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/compress.h"
+#include "common/rng.h"
 #include "sessions/session_sequence.h"
 
 namespace unilog {
@@ -42,6 +44,66 @@ Row RunOnce(int extra_detail_pairs, uint64_t seed) {
   return row;
 }
 
+// Micro-assert for the pooled-compressor refactor: the state-reusing
+// Lz::Compressor must emit byte-identical blocks to a fresh-state
+// compressor on every input shape this bench's corpus exercises —
+// including inputs that straddle the 64 KiB window and a reuse sequence
+// of decreasing sizes (the stale-state hazard). Returns false on any
+// divergence; main exits nonzero so CI catches a silent codec change.
+bool PooledCompressorMatchesReference() {
+  Rng rng(2012);
+  std::vector<std::string> corpus;
+  corpus.emplace_back();                  // empty
+  corpus.emplace_back(200000, 'a');      // long self-overlapping run
+  {
+    std::string repetitive;
+    for (int i = 0; i < 6000; ++i) {
+      repetitive += "web:home:mentions:stream:avatar:profile_click|";
+    }
+    corpus.push_back(std::move(repetitive));  // > kWindow of phrases
+  }
+  {
+    std::string random;
+    for (int i = 0; i < 150000; ++i) {
+      random.push_back(static_cast<char>(rng.Next64() & 0xFF));
+    }
+    corpus.push_back(std::move(random));
+  }
+  {
+    // Matches whose distance straddles the window boundary exactly.
+    std::string phrase = "window-straddle-probe-phrase";
+    std::string data = phrase;
+    data.append(Lz::kWindow - 3, '\x01');
+    data += phrase;
+    corpus.push_back(std::move(data));
+  }
+  corpus.emplace_back(100, 'z');  // small after big: stale-state probe
+  corpus.emplace_back("tiny");
+
+  Lz::Compressor compressor;  // ONE instance across the whole corpus
+  std::string pooled;
+  for (size_t i = 0; i < corpus.size(); ++i) {
+    compressor.CompressTo(corpus[i], &pooled);
+    std::string reference = Lz::CompressReference(corpus[i]);
+    if (pooled != reference) {
+      std::fprintf(stderr,
+                   "FAIL: pooled Lz output diverges from reference on "
+                   "corpus[%zu] (%zu bytes): %zu vs %zu compressed bytes\n",
+                   i, corpus[i].size(), pooled.size(), reference.size());
+      return false;
+    }
+    auto back = Lz::Decompress(pooled);
+    if (!back.ok() || *back != corpus[i]) {
+      std::fprintf(stderr, "FAIL: pooled Lz block fails round-trip on "
+                           "corpus[%zu]\n", i);
+      return false;
+    }
+  }
+  std::printf("pooled-compressor check: %zu corpus inputs byte-identical "
+              "to fresh-state reference\n\n", corpus.size());
+  return true;
+}
+
 }  // namespace
 }  // namespace unilog
 
@@ -49,6 +111,7 @@ int main() {
   using namespace unilog;
   std::printf("=== E5 / §4.2: session sequences vs raw client event logs "
               "(compressed bytes on disk) ===\n");
+  if (!PooledCompressorMatchesReference()) return 1;
   std::printf("paper: sequences are ~50x smaller than the raw logs.\n\n");
   std::printf("%13s %14s %14s %9s %10s %10s\n", "detail_pairs", "raw_logs",
               "sequences", "ratio", "events", "sessions");

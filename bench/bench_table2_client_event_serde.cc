@@ -6,7 +6,10 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <string>
 
+#include "alloc_hooks.h"
+#include "bench_common.h"
 #include "events/client_event.h"
 #include "events/legacy.h"
 #include "thrift/compact_protocol.h"
@@ -36,6 +39,21 @@ void BM_Serialize(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_Serialize);
+
+void BM_SerializeReusedBuffer(benchmark::State& state) {
+  // The ingest hot-path shape: one warmed scratch buffer reused per
+  // record (what ClientEventWriter::Add does) instead of a fresh
+  // std::string per Serialize call.
+  events::ClientEvent ev = SampleEvent();
+  std::string buf;
+  for (auto _ : state) {
+    buf.clear();
+    ev.SerializeTo(&buf);
+    benchmark::DoNotOptimize(buf);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SerializeReusedBuffer);
 
 void BM_Deserialize(benchmark::State& state) {
   std::string buf = SampleEvent().Serialize();
@@ -117,11 +135,100 @@ void PrintTable2() {
       unified.size() >= legacy_tsv.size() ? "YES" : "NO");
 }
 
+// Batch-serde throughput with the zero-copy write path: per-event fresh
+// strings (seed shape) vs ClientEventWriter's reused scratch buffer.
+// Prints bytes/sec and allocs/op columns and contributes a section to
+// BENCH_ingest.json.
+void RunReusedBufferSection() {
+  constexpr int kEvents = 20000;
+  constexpr int kReps = 5;
+  events::ClientEvent ev = SampleEvent();
+
+  auto fresh_rep = [&ev]() {
+    std::string batch;
+    for (int i = 0; i < kEvents; ++i) {
+      std::string record = ev.Serialize();  // fresh buffer per event
+      PutVarint64(&batch, record.size());
+      batch.append(record);
+    }
+    return batch;
+  };
+  auto reused_rep = [&ev]() {
+    std::string batch;
+    events::ClientEventWriter writer(&batch);  // one reused scratch
+    for (int i = 0; i < kEvents; ++i) writer.Add(ev);
+    return batch;
+  };
+
+  struct Row {
+    double best_ms = 0;
+    uint64_t allocs = 0;
+    size_t bytes = 0;
+  };
+  auto measure = [](const std::function<std::string()>& rep) {
+    Row row;
+    for (int r = 0; r < kReps; ++r) {
+      bench::AllocScope allocs;
+      bench::WallTimer timer;
+      std::string batch = rep();
+      double ms = timer.ElapsedMs();
+      if (r == 0 || ms < row.best_ms) row.best_ms = ms;
+      row.allocs = allocs.Delta();
+      row.bytes = batch.size();
+    }
+    return row;
+  };
+
+  Row fresh = measure(fresh_rep);
+  Row reused = measure(reused_rep);
+  bool identical = fresh_rep() == reused_rep();
+  auto mbps = [](const Row& r) {
+    return r.best_ms > 0 ? static_cast<double>(r.bytes) / 1e6 /
+                               (r.best_ms / 1e3)
+                         : 0;
+  };
+  auto allocs_per_op = [](const Row& r) {
+    return static_cast<double>(r.allocs) / kEvents;
+  };
+
+  std::printf("--- batch serde: %d events, framed (ingest write path) ---\n",
+              kEvents);
+  std::printf("%-26s %10s %10s %12s\n", "path", "best_ms", "MB/s",
+              "allocs/op");
+  std::printf("%-26s %10.2f %10.1f %12.2f\n", "fresh string per event",
+              fresh.best_ms, mbps(fresh), allocs_per_op(fresh));
+  std::printf("%-26s %10.2f %10.1f %12.2f\n", "reused scratch (writer)",
+              reused.best_ms, mbps(reused), allocs_per_op(reused));
+  std::printf("  batch bytes identical: %s\n\n", identical ? "YES" : "NO");
+
+  Json section = Json::Object();
+  section.Set("events", Json::Number(kEvents));
+  section.Set("fresh_ms", Json::Number(fresh.best_ms));
+  section.Set("fresh_mb_per_sec", Json::Number(mbps(fresh)));
+  section.Set("fresh_allocs_per_op", Json::Number(allocs_per_op(fresh)));
+  section.Set("reused_ms", Json::Number(reused.best_ms));
+  section.Set("reused_mb_per_sec", Json::Number(mbps(reused)));
+  section.Set("reused_allocs_per_op", Json::Number(allocs_per_op(reused)));
+  section.Set("byte_identical", Json::Bool(identical));
+  Status js = bench::MergeBenchJsonSection("BENCH_ingest.json",
+                                           "table2_client_event_serde",
+                                           std::move(section));
+  if (!js.ok()) {
+    std::fprintf(stderr, "BENCH_ingest.json write failed: %s\n",
+                 js.ToString().c_str());
+  }
+  if (!identical) std::exit(1);
+}
+
 }  // namespace
 }  // namespace unilog
 
 int main(int argc, char** argv) {
+  // Accepted (and ignored beyond parsing) so CI can pass one --threads=N
+  // to every ingest bench uniformly; serde is single-threaded by design.
+  unilog::bench::ParseThreadsFlag(&argc, argv);
   unilog::PrintTable2();
+  unilog::RunReusedBufferSection();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,7 +1,6 @@
 #include "common/compress.h"
 
 #include <cstring>
-#include <vector>
 
 #include "common/coding.h"
 
@@ -28,15 +27,30 @@ void EmitLiterals(std::string* out, std::string_view input, size_t begin,
 
 }  // namespace
 
-std::string Lz::Compress(std::string_view input) {
-  std::string out;
-  PutVarint64(&out, input.size());
-  if (input.empty()) return out;
+void Lz::Compressor::CompressTo(std::string_view input, std::string* out) {
+  out->clear();
+  PutVarint64(out, input.size());
+  if (input.empty()) return;
 
-  // head[h]: most recent position with hash h (+1, 0 = empty).
-  // prev[i]: previous position in the chain for position i.
-  std::vector<uint32_t> head(kHashSize, 0);
-  std::vector<uint32_t> prev(input.size(), 0);
+  if (head_.empty()) head_.assign(kHashSize, 0);
+  if (++epoch_ == 0) {
+    // The 32-bit epoch wrapped: entries tagged with the old epoch 0 would
+    // read as live again, so hard-reset once every 2^32 calls.
+    std::fill(head_.begin(), head_.end(), 0);
+    epoch_ = 1;
+  }
+  if (prev_.size() < input.size()) prev_.resize(input.size());
+  const uint64_t epoch_tag = static_cast<uint64_t>(epoch_) << 32;
+
+  // head entry for hash h: most recent position with hash h (+1, 0 =
+  // empty). Entries from earlier epochs (earlier inputs) are empty.
+  auto head_get = [&](uint32_t h) -> uint32_t {
+    uint64_t e = head_[h];
+    return (e >> 32) == epoch_ ? static_cast<uint32_t>(e) : 0;
+  };
+  auto head_set = [&](uint32_t h, uint32_t pos_plus_1) {
+    head_[h] = epoch_tag | pos_plus_1;
+  };
 
   size_t literal_start = 0;
   size_t i = 0;
@@ -44,7 +58,7 @@ std::string Lz::Compress(std::string_view input) {
     uint32_t h = Hash4(input.data() + i);
     size_t best_len = 0;
     size_t best_dist = 0;
-    uint32_t cand = head[h];
+    uint32_t cand = head_get(h);
     int steps = 0;
     while (cand != 0 && steps < kMaxChainSteps) {
       size_t pos = cand - 1;
@@ -57,15 +71,15 @@ std::string Lz::Compress(std::string_view input) {
         best_len = len;
         best_dist = i - pos;
       }
-      cand = prev[pos];
+      cand = prev_[pos];
       ++steps;
     }
 
     if (best_len >= kMinMatch) {
-      EmitLiterals(&out, input, literal_start, i);
-      out.push_back('\x01');
-      PutVarint64(&out, best_dist);
-      PutVarint64(&out, best_len);
+      EmitLiterals(out, input, literal_start, i);
+      out->push_back('\x01');
+      PutVarint64(out, best_dist);
+      PutVarint64(out, best_len);
       // Insert hash entries for the skipped region (sparsely for speed).
       size_t match_end = i + best_len;
       size_t insert_end =
@@ -76,19 +90,38 @@ std::string Lz::Compress(std::string_view input) {
       size_t step = best_len > 64 ? 4 : 1;
       for (size_t j = i; j < insert_end; j += step) {
         uint32_t hj = Hash4(input.data() + j);
-        prev[j] = head[hj];
-        head[hj] = static_cast<uint32_t>(j + 1);
+        prev_[j] = head_get(hj);
+        head_set(hj, static_cast<uint32_t>(j + 1));
       }
       i = match_end;
       literal_start = i;
     } else {
-      prev[i] = head[h];
-      head[h] = static_cast<uint32_t>(i + 1);
+      prev_[i] = head_get(h);
+      head_set(h, static_cast<uint32_t>(i + 1));
       ++i;
     }
   }
-  EmitLiterals(&out, input, literal_start, input.size());
+  EmitLiterals(out, input, literal_start, input.size());
+}
+
+std::string Lz::Compressor::Compress(std::string_view input) {
+  std::string out;
+  CompressTo(input, &out);
   return out;
+}
+
+Lz::Compressor& Lz::Pooled() {
+  thread_local Compressor compressor;
+  return compressor;
+}
+
+std::string Lz::Compress(std::string_view input) {
+  return Pooled().Compress(input);
+}
+
+std::string Lz::CompressReference(std::string_view input) {
+  Compressor fresh;
+  return fresh.Compress(input);
 }
 
 Result<std::string> Lz::Decompress(std::string_view block) {

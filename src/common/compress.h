@@ -1,8 +1,10 @@
 #ifndef UNILOG_COMMON_COMPRESS_H_
 #define UNILOG_COMMON_COMPRESS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/result.h"
 #include "common/status.h"
@@ -26,9 +28,57 @@ class Lz {
   static constexpr size_t kWindow = 64 * 1024;
   static constexpr int kMaxChainSteps = 32;
 
-  /// Compresses `input`. Never fails; incompressible data grows by a few
-  /// bytes of framing.
+  /// Reusable compression state: the 64K-entry hash head table and the
+  /// per-position chain array, both kept across calls so the ingest hot
+  /// path (one Compress per staged file / per roll) stops paying two
+  /// vector allocations — 256 KiB of head table plus 4 bytes per input
+  /// byte — per call. Head entries are epoch-tagged, so reuse needs no
+  /// per-call clear either; output is byte-identical to a fresh-state
+  /// compressor on every input (asserted by tests and
+  /// bench_sequence_compression).
+  ///
+  /// Not thread-safe; one Compressor per thread. Lz::Pooled() hands out a
+  /// thread-local instance.
+  class Compressor {
+   public:
+    Compressor() = default;
+
+    Compressor(const Compressor&) = delete;
+    Compressor& operator=(const Compressor&) = delete;
+
+    /// Clears *out and writes the compressed block into it, reusing the
+    /// string's capacity. Never fails; incompressible data grows by a few
+    /// bytes of framing.
+    void CompressTo(std::string_view input, std::string* out);
+
+    /// Convenience wrapper returning a fresh string.
+    std::string Compress(std::string_view input);
+
+   private:
+    // head_[h] = (epoch << 32) | (pos + 1). An entry whose epoch differs
+    // from epoch_ is logically empty, which resets the table per call
+    // without touching its 512 KiB.
+    std::vector<uint64_t> head_;
+    // prev_[i]: previous chain position for i (+1). Entries are written at
+    // insertion before they can be read through a chain, so stale values
+    // from earlier inputs are never observed.
+    std::vector<uint32_t> prev_;
+    uint32_t epoch_ = 0;
+  };
+
+  /// Compresses `input` using a thread-local pooled Compressor, so every
+  /// existing call site gets state reuse for free. Output is byte-identical
+  /// to CompressReference.
   static std::string Compress(std::string_view input);
+
+  /// The thread-local pooled Compressor (for callers that also want the
+  /// CompressTo output-buffer reuse, e.g. the log mover's workers).
+  static Compressor& Pooled();
+
+  /// Fresh-state reference: allocates and discards the hash-chain state on
+  /// every call, the pre-pooling behavior. Kept as the equivalence baseline
+  /// for tests and the ingest benches' before/after comparison.
+  static std::string CompressReference(std::string_view input);
 
   /// Decompresses a block produced by Compress. Returns Corruption on
   /// malformed input.

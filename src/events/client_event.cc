@@ -208,8 +208,9 @@ bool ClientEvent::operator==(const ClientEvent& other) const {
 // Framed batch I/O
 
 void ClientEventWriter::Add(const ClientEvent& event) {
-  std::string record = event.Serialize();
-  PutLengthPrefixed(out_, record);
+  scratch_.clear();
+  event.SerializeTo(&scratch_);
+  PutLengthPrefixed(out_, scratch_);
   ++count_;
 }
 

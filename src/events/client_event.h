@@ -86,6 +86,9 @@ class ClientEventWriter {
 
  private:
   std::string* out_;
+  // Per-record serialization buffer, reused across Add calls so batched
+  // writes stop allocating once its capacity warms up.
+  std::string scratch_;
   size_t count_ = 0;
 };
 

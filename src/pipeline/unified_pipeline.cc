@@ -2,15 +2,34 @@
 
 namespace unilog::pipeline {
 
+namespace {
+
+/// Builds the pipeline-owned ingest executor (nullptr for the serial
+/// path) and points the mover options at it — runs after options_ is
+/// initialized and before cluster_ copies the mover options.
+std::unique_ptr<exec::Executor> MakeIngestExec(UnifiedPipelineOptions* o) {
+  if (o->ingest_threads <= 1 || o->mover.executor != nullptr) return nullptr;
+  exec::ExecOptions eo;
+  eo.threads = o->ingest_threads;
+  auto executor = std::make_unique<exec::Executor>(eo);
+  o->mover.executor = executor.get();
+  return executor;
+}
+
+}  // namespace
+
 UnifiedLoggingPipeline::UnifiedLoggingPipeline(Simulator* sim,
                                                UnifiedPipelineOptions options)
     : sim_(sim),
       options_(std::move(options)),
       metrics_(sim),
+      ingest_exec_(MakeIngestExec(&options_)),
       cluster_(sim, options_.topology, options_.scribe, options_.mover,
                options_.seed, &metrics_),
       audit_(&cluster_),
-      daily_(cluster_.warehouse(), options_.cost_model, options_.category) {}
+      daily_(cluster_.warehouse(), options_.cost_model, options_.category) {
+  if (ingest_exec_ != nullptr) ingest_exec_->set_metrics(&metrics_);
+}
 
 Status UnifiedLoggingPipeline::Start() { return cluster_.Start(); }
 

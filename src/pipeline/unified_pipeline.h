@@ -2,9 +2,11 @@
 #define UNILOG_PIPELINE_UNIFIED_PIPELINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "common/json.h"
+#include "exec/executor.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -26,6 +28,12 @@ struct UnifiedPipelineOptions {
   dataflow::JobCostModel cost_model;
   uint64_t seed = 42;
   std::string category = "client_events";
+  /// > 1: the pipeline owns a unilog::exec Executor with this many threads
+  /// and runs the log mover's CPU stages (per-file decompress, per-part
+  /// frame+compress) on it. Staged warehouse bytes are identical at any
+  /// value (the mover's ordering guarantee). Ignored when mover.executor
+  /// is already set by the caller.
+  int ingest_threads = 1;
 };
 
 /// The whole paper in one object: the Figure-1 Scribe delivery fleet, the
@@ -68,6 +76,8 @@ class UnifiedLoggingPipeline {
   Simulator* sim_;
   UnifiedPipelineOptions options_;
   obs::MetricsRegistry metrics_;
+  // Declared before cluster_: the mover holds a borrowed pointer to it.
+  std::unique_ptr<exec::Executor> ingest_exec_;
   scribe::ScribeCluster cluster_;
   obs::DeliveryAudit audit_;
   DailyPipeline daily_;

@@ -14,6 +14,7 @@
 #include "common/status.h"
 #include "hdfs/mini_hdfs.h"
 #include "obs/metrics.h"
+#include "scribe/buffer_pool.h"
 #include "scribe/message.h"
 #include "sim/simulator.h"
 #include "zk/zookeeper.h"
@@ -109,6 +110,9 @@ class Aggregator {
 
   AggregatorStats stats() const;
 
+  /// Accounting for the staging-buffer freelist (ingest hot path).
+  BufferPoolStats ingest_pool_stats() const { return pool_.stats(); }
+
  private:
   struct HourBuffer {
     std::deque<std::string> messages;
@@ -131,6 +135,8 @@ class Aggregator {
   ScribeOptions options_;
 
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Labels pool_labels_;
   obs::Counter* entries_received_;
   obs::Counter* bytes_received_;
   obs::Counter* entries_staged_;
@@ -141,6 +147,12 @@ class Aggregator {
   obs::Counter* entries_dropped_overflow_;
   obs::Gauge* buffered_entries_gauge_;
   obs::Histogram* staging_file_bytes_;
+
+  // Staged-file bodies are framed and compressed into pooled buffers so
+  // the per-roll allocations disappear; the compressor keeps its hash-chain
+  // state across rolls (byte-identical output to the fresh-state path).
+  BufferPool pool_;
+  Lz::Compressor compressor_;
 
   bool alive_ = false;
   uint64_t incarnation_ = 0;  // invalidates stale timers after crash

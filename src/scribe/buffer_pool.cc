@@ -1,0 +1,77 @@
+#include "scribe/buffer_pool.h"
+
+#include <algorithm>
+
+namespace unilog::scribe {
+
+BufferPool::BufferPool(size_t max_pooled)
+    : max_pooled_(std::max<size_t>(1, max_pooled)) {}
+
+BufferPool::Lease BufferPool::Acquire() {
+  std::unique_ptr<std::string> buf;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      buf = std::move(free_.back());
+      free_.pop_back();
+      ++hits_;
+    } else {
+      ++misses_;
+    }
+    ++outstanding_;
+    high_water_ = std::max(high_water_, outstanding_);
+  }
+  if (buf == nullptr) {
+    buf = std::make_unique<std::string>();
+  } else {
+    buf->clear();  // capacity preserved — that is the point of the pool
+  }
+  return Lease(this, std::move(buf));
+}
+
+void BufferPool::Lease::Release() {
+  if (pool_ == nullptr) return;
+  pool_->Return(std::move(buf_));
+  pool_ = nullptr;
+}
+
+void BufferPool::Return(std::unique_ptr<std::string> buf) {
+  std::lock_guard<std::mutex> lock(mu_);
+  --outstanding_;
+  if (free_.size() < max_pooled_) {
+    free_.push_back(std::move(buf));
+  }
+  // else: let `buf` die here, bounding idle memory after a burst.
+}
+
+BufferPoolStats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BufferPoolStats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.outstanding = outstanding_;
+  s.high_water = high_water_;
+  s.pooled = free_.size();
+  return s;
+}
+
+void BufferPool::PublishMetrics(obs::MetricsRegistry* metrics,
+                                const obs::Labels& labels) const {
+  if (metrics == nullptr) return;
+  BufferPoolStats s = stats();
+  // Counters are monotone in the registry; set-by-delta keeps them in sync
+  // with the pool's own monotone totals.
+  obs::Counter* hits = metrics->GetCounter("scribe.ingest.pool_hits", labels);
+  obs::Counter* misses =
+      metrics->GetCounter("scribe.ingest.pool_misses", labels);
+  if (s.hits > hits->value()) hits->Increment(s.hits - hits->value());
+  if (s.misses > misses->value()) misses->Increment(s.misses - misses->value());
+  metrics->GetGauge("scribe.ingest.pool_outstanding", labels)
+      ->Set(static_cast<int64_t>(s.outstanding));
+  metrics->GetGauge("scribe.ingest.pool_high_water", labels)
+      ->Set(static_cast<int64_t>(s.high_water));
+  metrics->GetGauge("scribe.ingest.pool_free", labels)
+      ->Set(static_cast<int64_t>(s.pooled));
+}
+
+}  // namespace unilog::scribe

@@ -1,0 +1,115 @@
+#ifndef UNILOG_SCRIBE_BUFFER_POOL_H_
+#define UNILOG_SCRIBE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace unilog::scribe {
+
+/// Point-in-time pool accounting, readable without the registry.
+struct BufferPoolStats {
+  uint64_t hits = 0;       // Acquire served from the freelist
+  uint64_t misses = 0;     // Acquire allocated a fresh buffer
+  uint64_t outstanding = 0;  // leases currently held
+  uint64_t high_water = 0;   // max simultaneous leases ever held
+  uint64_t pooled = 0;       // buffers sitting in the freelist
+};
+
+/// A small thread-safe freelist of staging byte buffers for the ingest hot
+/// path: aggregator rolls and log-mover part builds borrow a warmed-up
+/// std::string instead of growing a fresh one per flush.
+///
+/// Ownership rule (the one the aggregator's drop-oldest overflow path
+/// leans on): a buffer handed out through a Lease is owned exclusively by
+/// that lease until it is released. The pool never reaches into
+/// outstanding leases — overflow during an in-flight flush can therefore
+/// never recycle a buffer that is still being framed or compressed.
+///
+/// Thread safety: Acquire and lease release take an internal mutex, so
+/// log-mover workers on the exec pool can borrow buffers concurrently.
+/// Metrics are NOT pushed from inside those calls — obs counters are
+/// single-threaded by design — instead the owner calls PublishMetrics()
+/// from its own thread after each roll/move.
+class BufferPool {
+ public:
+  /// At most `max_pooled` idle buffers are retained; extra releases free
+  /// their memory (bounds the pool's high-water memory after a burst).
+  explicit BufferPool(size_t max_pooled = 16);
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// RAII handle to a pooled buffer. Movable; returns the buffer (with its
+  /// grown capacity) to the freelist on destruction.
+  class Lease {
+   public:
+    Lease() = default;
+    Lease(Lease&& other) noexcept
+        : pool_(other.pool_), buf_(std::move(other.buf_)) {
+      other.pool_ = nullptr;
+    }
+    Lease& operator=(Lease&& other) noexcept {
+      if (this != &other) {
+        Release();
+        pool_ = other.pool_;
+        buf_ = std::move(other.buf_);
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    ~Lease() { Release(); }
+
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    /// The leased buffer; cleared at acquire time, capacity preserved.
+    std::string* get() { return buf_.get(); }
+    std::string& operator*() { return *buf_; }
+    std::string* operator->() { return buf_.get(); }
+    bool valid() const { return pool_ != nullptr; }
+
+    /// Returns the buffer to the pool early (idempotent).
+    void Release();
+
+   private:
+    friend class BufferPool;
+    Lease(BufferPool* pool, std::unique_ptr<std::string> buf)
+        : pool_(pool), buf_(std::move(buf)) {}
+
+    BufferPool* pool_ = nullptr;
+    std::unique_ptr<std::string> buf_;
+  };
+
+  /// Borrows a cleared buffer (freelist hit when one is idle).
+  Lease Acquire();
+
+  BufferPoolStats stats() const;
+
+  /// Copies the pool counters into `scribe.ingest.pool_*{labels}` metrics
+  /// (labels distinguish the aggregator pools from the mover's in a shared
+  /// registry). Call from the owning (single) thread only; see the class
+  /// comment.
+  void PublishMetrics(obs::MetricsRegistry* metrics,
+                      const obs::Labels& labels = {}) const;
+
+ private:
+  void Return(std::unique_ptr<std::string> buf);
+
+  const size_t max_pooled_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<std::string>> free_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t outstanding_ = 0;
+  uint64_t high_water_ = 0;
+};
+
+}  // namespace unilog::scribe
+
+#endif  // UNILOG_SCRIBE_BUFFER_POOL_H_

@@ -92,11 +92,11 @@ void ScribeDaemon::Flush() {
     }
   }
 
-  std::vector<LogEntry> batch(queue_.begin(), queue_.end());
-  Status st = current_->Receive(batch);
+  batch_.assign(queue_.begin(), queue_.end());
+  Status st = current_->Receive(batch_);
   if (st.ok()) {
-    entries_sent_->Increment(batch.size());
-    batch_entries_->Observe(static_cast<double>(batch.size()));
+    entries_sent_->Increment(batch_.size());
+    batch_entries_->Observe(static_cast<double>(batch_.size()));
     queue_.clear();
     queue_bytes_ = 0;
     queue_depth_->Set(0);

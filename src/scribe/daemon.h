@@ -93,6 +93,9 @@ class ScribeDaemon {
 
   bool started_ = false;
   Aggregator* current_ = nullptr;
+  // Send batch assembled from queue_ each flush; member so its capacity is
+  // reused across the once-per-second flush timer.
+  std::vector<LogEntry> batch_;
   std::deque<LogEntry> queue_;
   uint64_t queue_bytes_ = 0;
   TimeMs backoff_until_ = 0;

@@ -59,6 +59,7 @@ LogMover::LogMover(Simulator* sim, std::vector<DatacenterHandle> datacenters,
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>(sim_);
     metrics = owned_metrics_.get();
   }
+  metrics_ = metrics;
   hours_moved_ = metrics->GetCounter("mover.hours_moved");
   categories_moved_ = metrics->GetCounter("mover.categories_moved");
   staging_files_read_ = metrics->GetCounter("mover.staging_files_read");
@@ -75,7 +76,20 @@ LogMover::LogMover(Simulator* sim, std::vector<DatacenterHandle> datacenters,
       metrics->GetCounter("mover.columnar_files_written");
   columnar_parse_fallbacks_ =
       metrics->GetCounter("mover.columnar_parse_fallbacks");
+  ingest_files_unstaged_parallel_ =
+      metrics->GetCounter("scribe.ingest.files_unstaged_parallel");
+  ingest_parts_built_parallel_ =
+      metrics->GetCounter("scribe.ingest.parts_built_parallel");
   warehouse_file_bytes_ = metrics->GetHistogram("mover.warehouse_file_bytes");
+}
+
+void LogMover::RunStage(const char* stage, size_t n,
+                        const std::function<void(size_t)>& body) {
+  if (options_.executor != nullptr) {
+    options_.executor->ParallelFor(stage, n, body);
+  } else {
+    for (size_t i = 0; i < n; ++i) body(i);
+  }
 }
 
 LogMoverStats LogMover::stats() const {
@@ -186,12 +200,10 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
     return DropLateStaging(category, hour);
   }
 
-  // 1. Collect + sanity-check all staged files across datacenters.
-  //    Ordering within an hour is unspecified (§2: "the ordering of
-  //    messages within each file is unspecified"), so simple concatenation
-  //    per datacenter/file order is faithful.
-  std::vector<std::string> merged;  // message payloads
-  uint64_t merged_bytes = 0;
+  // 1. Collect the staged file bodies across datacenters in stable order
+  //    (datacenter order, then listing order). I/O stays on this thread —
+  //    MiniHdfs and its metrics are single-threaded by design.
+  std::vector<std::string> staged_bodies;
   for (const auto& dc : datacenters_) {
     std::string dir = "/staging/" + category + "/" + hour_fragment;
     if (!dc.staging->Exists(dir)) continue;
@@ -200,23 +212,47 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
     for (const auto& file : *files) {
       auto body = dc.staging->ReadFile(file.path);
       if (!body.ok()) return body.status();
-      auto raw = Lz::Decompress(*body);
-      if (!raw.ok()) {
-        // Sanity check failed: a corrupt file is skipped, not fatal.
-        corrupt_files_skipped_->Increment();
-        continue;
-      }
-      auto messages = UnframeMessages(*raw);
-      if (!messages.ok()) {
-        corrupt_files_skipped_->Increment();
-        continue;
-      }
-      staging_files_read_->Increment();
-      for (auto& m : *messages) {
-        merged_bytes += m.size();
-        merged.push_back(std::move(m));
-      }
+      staged_bodies.push_back(std::move(*body));
     }
+  }
+
+  // 2. Sanity-check (decompress + unframe) every file, fanned out across
+  //    exec workers: each slot is written only by its own index, and the
+  //    merge below walks slots in input order, so the merged message list
+  //    is identical to the serial per-file loop. Ordering within an hour
+  //    is unspecified (§2: "the ordering of messages within each file is
+  //    unspecified"), so concatenation per datacenter/file order is
+  //    faithful.
+  struct FileSlot {
+    bool corrupt = false;
+    std::vector<std::string> messages;
+  };
+  std::vector<FileSlot> slots(staged_bodies.size());
+  RunStage("mover.unstage", staged_bodies.size(), [&](size_t i) {
+    auto raw = Lz::Decompress(staged_bodies[i]);
+    if (!raw.ok()) {
+      slots[i].corrupt = true;  // corrupt file: skipped, not fatal
+      return;
+    }
+    auto messages = UnframeMessages(*raw);
+    if (!messages.ok()) {
+      slots[i].corrupt = true;
+      return;
+    }
+    slots[i].messages = std::move(*messages);
+  });
+  if (options_.executor != nullptr && options_.executor->parallel()) {
+    ingest_files_unstaged_parallel_->Increment(staged_bodies.size());
+  }
+
+  std::vector<std::string> merged;  // message payloads
+  for (auto& slot : slots) {
+    if (slot.corrupt) {
+      corrupt_files_skipped_->Increment();
+      continue;
+    }
+    staging_files_read_->Increment();
+    for (auto& m : slot.messages) merged.push_back(std::move(m));
   }
   if (merged.empty()) return Status::OK();
 
@@ -280,21 +316,34 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
           write_part(options_.compress ? Lz::Compress(fallback) : fallback));
     }
   } else {
-    std::string body;
-    auto flush_part = [&]() -> Status {
-      if (body.empty()) return Status::OK();
-      UNILOG_RETURN_NOT_OK(
-          write_part(options_.compress ? Lz::Compress(body) : body));
-      body.clear();
-      return Status::OK();
-    };
-    for (const auto& m : merged) {
-      AppendFramed(&body, m);
-      if (body.size() >= options_.target_file_bytes) {
-        UNILOG_RETURN_NOT_OK(flush_part());
+    // Plan the part boundaries from message sizes alone (the same greedy
+    // cut the serial flush loop made), then frame + compress every part in
+    // exec workers using pooled buffers and the per-thread pooled
+    // compressor. Parts are committed in part order below, so the staged
+    // bytes match the serial path at any thread count.
+    std::vector<size_t> part_ends =
+        PlanFramedParts(merged, options_.target_file_bytes);
+    std::vector<BufferPool::Lease> parts(part_ends.size());
+    RunStage("mover.build_parts", part_ends.size(), [&](size_t p) {
+      size_t begin = p == 0 ? 0 : part_ends[p - 1];
+      BufferPool::Lease framed = pool_.Acquire();
+      AppendFramedRange(framed.get(), merged, begin, part_ends[p]);
+      if (options_.compress) {
+        BufferPool::Lease out = pool_.Acquire();
+        Lz::Pooled().CompressTo(*framed, out.get());
+        parts[p] = std::move(out);
+      } else {
+        parts[p] = std::move(framed);
       }
+    });
+    if (options_.executor != nullptr && options_.executor->parallel()) {
+      ingest_parts_built_parallel_->Increment(part_ends.size());
     }
-    UNILOG_RETURN_NOT_OK(flush_part());
+    for (auto& part : parts) {
+      UNILOG_RETURN_NOT_OK(write_part(*part));
+      part.Release();
+    }
+    pool_.PublishMetrics(metrics_, {{"component", "mover"}});
   }
   messages_moved_->Increment(merged.size());
 

@@ -10,9 +10,11 @@
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "common/status.h"
+#include "exec/executor.h"
 #include "hdfs/mini_hdfs.h"
 #include "obs/metrics.h"
 #include "scribe/aggregator.h"
+#include "scribe/buffer_pool.h"
 #include "sim/simulator.h"
 
 namespace unilog::scribe {
@@ -42,6 +44,14 @@ struct LogMoverOptions {
   /// compression, so `compress` does not apply to them; the etwin index is
   /// skipped for these categories (zone maps + dictionaries subsume it).
   std::set<std::string> columnar_categories;
+  /// When non-null, the mover fans its CPU-bound stages — per-staged-file
+  /// decompress+unframe and per-part frame+compress — out across this
+  /// engine's workers. All HDFS I/O and all obs counters stay on the
+  /// calling thread, merges and part writes are committed in stable input
+  /// order, and part boundaries are planned from message sizes alone, so
+  /// the staged warehouse bytes are byte-identical at any thread count.
+  /// Borrowed; must outlive the mover. nullptr = the serial path.
+  exec::Executor* executor = nullptr;
 };
 
 /// A datacenter as the log mover sees it: its staging cluster plus the
@@ -112,6 +122,9 @@ class LogMover {
 
   LogMoverStats stats() const;
 
+  /// Accounting for the part-buffer freelist (ingest hot path).
+  BufferPoolStats ingest_pool_stats() const { return pool_.stats(); }
+
  private:
   /// True when hour `hour` is closed and past grace.
   bool HourClosed(TimeMs hour) const;
@@ -125,6 +138,12 @@ class LogMover {
 
   /// Merges one (category, hour) from all datacenters into the warehouse.
   Status MoveCategoryHour(const std::string& category, TimeMs hour);
+
+  /// Runs body(i) for i in [0, n): on the executor's workers when one is
+  /// configured, inline otherwise. Bodies must write only to per-index
+  /// slots (the determinism contract of unilog::exec).
+  void RunStage(const char* stage, size_t n,
+                const std::function<void(size_t)>& body);
 
   /// Deletes staged files for `category`/`hour` in every datacenter,
   /// counting the dropped files and messages as late-data loss.
@@ -141,6 +160,10 @@ class LogMover {
   LogMoverOptions options_;
 
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  // Part bodies are framed and compressed into pooled buffers by the
+  // (possibly parallel) build stage; writes drain them in part order.
+  BufferPool pool_;
   obs::Counter* hours_moved_;
   obs::Counter* categories_moved_;
   obs::Counter* staging_files_read_;
@@ -153,6 +176,10 @@ class LogMover {
   obs::Counter* late_entries_dropped_;
   obs::Counter* columnar_files_written_;
   obs::Counter* columnar_parse_fallbacks_;
+  // scribe.ingest.*: work items handed to exec workers (0 on the serial
+  // path); the pool_* family is published from the buffer pool.
+  obs::Counter* ingest_files_unstaged_parallel_;
+  obs::Counter* ingest_parts_built_parallel_;
   obs::Histogram* warehouse_file_bytes_;
 
   bool started_ = false;

@@ -27,6 +27,35 @@ Result<std::vector<std::string>> UnframeMessages(std::string_view body) {
   return out;
 }
 
+size_t FramedSize(std::string_view message) {
+  size_t len = 1;
+  for (uint64_t v = message.size(); v >= 0x80; v >>= 7) ++len;
+  return len + message.size();
+}
+
+std::vector<size_t> PlanFramedParts(const std::vector<std::string>& messages,
+                                    uint64_t target_bytes) {
+  std::vector<size_t> ends;
+  uint64_t part_bytes = 0;
+  for (size_t i = 0; i < messages.size(); ++i) {
+    part_bytes += FramedSize(messages[i]);
+    if (part_bytes >= target_bytes) {
+      ends.push_back(i + 1);
+      part_bytes = 0;
+    }
+  }
+  if (part_bytes > 0) ends.push_back(messages.size());
+  return ends;
+}
+
+void AppendFramedRange(std::string* out,
+                       const std::vector<std::string>& messages, size_t begin,
+                       size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    PutLengthPrefixed(out, messages[i]);
+  }
+}
+
 Result<uint64_t> CountFramed(std::string_view body) {
   uint64_t count = 0;
   Decoder dec(body);

@@ -35,6 +35,24 @@ Result<std::vector<std::string>> UnframeMessages(std::string_view body);
 /// Counts records in a framed body without materializing them.
 Result<uint64_t> CountFramed(std::string_view body);
 
+/// On-wire size of one framed record: varint length prefix + payload.
+size_t FramedSize(std::string_view message);
+
+/// Replicates the serial flush loop's greedy part split: messages are
+/// framed in order and a part is cut as soon as its framed body reaches
+/// `target_bytes` (every part is non-empty; a single oversized message
+/// forms its own part). Returns the exclusive end index of each part.
+/// Boundaries depend only on the message sizes, never on scheduling, which
+/// is what lets the parallel mover build and compress parts in workers yet
+/// stage bytes identical to the serial path.
+std::vector<size_t> PlanFramedParts(const std::vector<std::string>& messages,
+                                    uint64_t target_bytes);
+
+/// Appends the framed records for messages[begin, end) to *out.
+void AppendFramedRange(std::string* out,
+                       const std::vector<std::string>& messages, size_t begin,
+                       size_t end);
+
 }  // namespace unilog::scribe
 
 #endif  // UNILOG_SCRIBE_MESSAGE_H_

@@ -510,6 +510,96 @@ TEST(LzTest, CorruptedBlockDetected) {
   EXPECT_FALSE(Lz::Decompress(bad).ok());
 }
 
+TEST(LzTest, PooledCompressorMatchesReference) {
+  // The pooled (state-reusing) compressor must emit byte-identical blocks
+  // to a fresh-state compressor on every input shape: repetitive, random,
+  // runs, and empty.
+  Rng rng(37);
+  std::vector<std::string> inputs;
+  inputs.emplace_back();
+  inputs.emplace_back(5000, 'a');
+  {
+    std::string repetitive;
+    for (int i = 0; i < 2000; ++i) repetitive += "home:timeline:tweet:click|";
+    inputs.push_back(std::move(repetitive));
+  }
+  {
+    std::string random;
+    for (int i = 0; i < 100000; ++i) {
+      random.push_back(static_cast<char>(rng.Next64() & 0xFF));
+    }
+    inputs.push_back(std::move(random));
+  }
+  Lz::Compressor compressor;
+  std::string out;
+  for (const std::string& data : inputs) {
+    compressor.CompressTo(data, &out);
+    EXPECT_EQ(out, Lz::CompressReference(data)) << "size=" << data.size();
+    EXPECT_EQ(Lz::Compress(data), Lz::CompressReference(data));
+  }
+}
+
+TEST(LzTest, WindowStraddlingMatchesRoundTrip) {
+  // Matches whose source sits just inside / just outside the 64 KiB window
+  // relative to the match position: phrase at offset 0, repeats placed at
+  // distances straddling kWindow.
+  std::string phrase = "straddle-the-window-boundary-phrase!";
+  for (size_t gap : {Lz::kWindow - phrase.size() - 1, Lz::kWindow - 1,
+                     Lz::kWindow, Lz::kWindow + 1, Lz::kWindow + 64}) {
+    std::string data = phrase;
+    data.append(gap, '\x00');
+    data += phrase;
+    data.append(17, 'z');
+    data += phrase;
+    std::string pooled = Lz::Compress(data);
+    EXPECT_EQ(pooled, Lz::CompressReference(data)) << "gap=" << gap;
+    auto back = Lz::Decompress(pooled);
+    ASSERT_TRUE(back.ok()) << "gap=" << gap;
+    EXPECT_EQ(*back, data) << "gap=" << gap;
+  }
+}
+
+TEST(LzTest, CompressorReuseAcrossDecreasingSizes) {
+  // A reused compressor must not leak hash-chain state from a big input
+  // into a later small one (positions beyond the small input's size would
+  // be read as matches → corrupt or non-reference output).
+  Rng rng(41);
+  Lz::Compressor compressor;
+  std::string out;
+  for (size_t size : {200000ul, 70000ul, 1000ul, 64ul, 5ul, 0ul}) {
+    std::string data;
+    data.reserve(size);
+    while (data.size() < size) {
+      if (rng.Bernoulli(0.5)) {
+        data += "web:home:mentions:avatar|";
+      } else {
+        data.push_back(static_cast<char>(rng.Next64() & 0xFF));
+      }
+    }
+    data.resize(size);
+    compressor.CompressTo(data, &out);
+    ASSERT_EQ(out, Lz::CompressReference(data)) << "size=" << size;
+    auto back = Lz::Decompress(out);
+    ASSERT_TRUE(back.ok()) << "size=" << size;
+    EXPECT_EQ(*back, data) << "size=" << size;
+  }
+}
+
+TEST(LzTest, CompressToReusesCapacity) {
+  Lz::Compressor compressor;
+  std::string out;
+  Rng rng(43);
+  std::string big;
+  for (int i = 0; i < 100000; ++i) {
+    big.push_back(static_cast<char>(rng.Next64() & 0xFF));
+  }
+  compressor.CompressTo(big, &out);
+  const size_t cap = out.capacity();
+  compressor.CompressTo("tiny tiny tiny tiny", &out);
+  EXPECT_GE(out.capacity(), cap);  // capacity retained, not reallocated
+  EXPECT_EQ(out, Lz::CompressReference("tiny tiny tiny tiny"));
+}
+
 TEST(LzTest, MixedContentRoundTrip) {
   Rng rng(31);
   std::string data;

@@ -86,6 +86,46 @@ TEST_P(LzPropertyTest, RoundTrip) {
   }
 }
 
+// Generator biased toward the 64 KiB window boundary: phrases repeated at
+// distances clustered around kWindow so matches straddle the cutoff, mixed
+// with noise so the hash chains stay populated.
+std::string WindowBoundaryBuffer(Rng& rng) {
+  std::string phrase = "boundary" + std::to_string(rng.Uniform(16)) + "!";
+  std::string data = phrase;
+  size_t repeats = 1 + rng.Uniform(4);
+  for (size_t r = 0; r < repeats; ++r) {
+    // Distance in [kWindow - 128, kWindow + 128] from the last phrase.
+    size_t gap = Lz::kWindow - 128 + rng.Uniform(257);
+    size_t noise = std::min<size_t>(gap, 64 + rng.Uniform(64));
+    for (size_t i = 0; i < noise; ++i) {
+      data.push_back(static_cast<char>(rng.Next64() & 0xFF));
+    }
+    data.append(gap - noise, static_cast<char>(rng.Uniform(4)));
+    data += phrase;
+  }
+  return data;
+}
+
+TEST_P(LzPropertyTest, PooledMatchesReferenceAndRoundTrips) {
+  // One reused Compressor across every buffer in the sweep: pooled output
+  // must equal fresh-state output and round-trip, regardless of the size
+  // sequence the compressor sees.
+  Rng rng(GetParam() * 7919 + 1);
+  Lz::Compressor compressor;
+  std::string pooled;
+  for (int iter = 0; iter < 12; ++iter) {
+    std::string data =
+        rng.Bernoulli(0.5) ? RandomBuffer(rng) : WindowBoundaryBuffer(rng);
+    compressor.CompressTo(data, &pooled);
+    ASSERT_EQ(pooled, Lz::CompressReference(data))
+        << "seed=" << GetParam() << " iter=" << iter
+        << " size=" << data.size();
+    auto back = Lz::Decompress(pooled);
+    ASSERT_TRUE(back.ok()) << "seed=" << GetParam() << " iter=" << iter;
+    ASSERT_EQ(*back, data) << "seed=" << GetParam() << " iter=" << iter;
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, LzPropertyTest,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
 
