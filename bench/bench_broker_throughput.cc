@@ -1,0 +1,186 @@
+// E21: partitioned broker tier vs the single-aggregator chain. Both tiers
+// get the same per-node service rate R (token bucket, 1 s burst) and the
+// same saturating producer load; the broker config shards the category
+// stream over 4 partitions led by 4 nodes, so its aggregate intake should
+// approach 4R where the single aggregator chain is pinned at R. The bench
+// measures intake MB/s over the load window, drains both pipelines through
+// the log mover, checks the delivery-audit identity at quiescence, and
+// reports the broker path's produce->consume p99 latency (dominated by the
+// hourly move barrier, as §2 of the paper describes for Scribe itself).
+
+#include <cstdio>
+#include <string>
+
+#include "bench_common.h"
+#include "broker/broker.h"
+#include "obs/delivery_audit.h"
+#include "obs/metrics.h"
+#include "scribe/cluster.h"
+#include "sim/simulator.h"
+
+namespace unilog {
+namespace {
+
+using bench::kBenchDay;
+
+constexpr uint64_t kServiceBytesPerSec = 64 * 1024;  // R for both tiers
+constexpr TimeMs kWindow = 120 * kMillisPerSecond;
+constexpr int kPayloadBytes = 500;
+constexpr int kEntriesPerTick = 110;  // every 100 ms -> ~550 KB/s offered
+
+struct TierResult {
+  uint64_t intake_bytes = 0;  // accepted by the tier during the window
+  double intake_mb_per_sec = 0;
+  double consume_mb_per_sec = 0;
+  double p99_e2e_ms = 0;
+  scribe::ClusterStats stats;
+  obs::DeliverySnapshot audit;
+  bool audit_ok = false;
+};
+
+TierResult RunTier(const char* name, bool brokered) {
+  Simulator sim(kBenchDay);
+  scribe::ClusterTopology topo;
+  topo.datacenters = {"dc1"};
+  topo.daemons_per_dc = 8;
+  if (brokered) {
+    topo.brokers_per_dc = 4;
+    topo.broker_options.num_partitions = 4;
+    topo.broker_options.replication_factor = 1;
+    topo.broker_options.acks = broker::kAcksLeader;
+    topo.broker_options.node_service_bytes_per_sec = kServiceBytesPerSec;
+  } else {
+    topo.aggregators_per_dc = 1;
+  }
+
+  scribe::ScribeOptions sopts;
+  sopts.roll_interval_ms = 30 * kMillisPerSecond;
+  sopts.daemon_flush_interval_ms = 500;
+  // Saturation keeps every flush near the rate limit; quick retries keep
+  // the measurement capacity-bound instead of backoff-bound.
+  sopts.daemon_retry_backoff_ms = 100;
+  sopts.daemon_retry_backoff_max_ms = 500;
+  sopts.daemon_max_batch_bytes = 32 * 1024;  // fits the 1 s token burst
+  if (!brokered) sopts.aggregator_service_bytes_per_sec = kServiceBytesPerSec;
+
+  scribe::LogMoverOptions mopts;
+  mopts.run_interval_ms = kMillisPerMinute;
+  mopts.grace_ms = kMillisPerMinute;
+
+  scribe::ScribeCluster cluster(&sim, topo, sopts, mopts, /*seed=*/77);
+  if (!cluster.Start().ok()) std::abort();
+
+  // Four categories spread the (host, category) partition hash over all
+  // partitions and broker nodes.
+  static const char* kCategories[] = {"clicks", "search", "timeline", "ads"};
+  int seq = 0;
+  for (TimeMs t = 0; t < kWindow; t += 100) {
+    sim.At(kBenchDay + t, [&cluster, &seq]() {
+      for (int i = 0; i < kEntriesPerTick; ++i, ++seq) {
+        cluster.Log(0, scribe::LogEntry{kCategories[seq % 4],
+                                        "e" + std::to_string(seq) +
+                                            std::string(kPayloadBytes, 'b')});
+      }
+    });
+  }
+
+  TierResult result;
+  // Snapshot intake at the end of the load window: both tiers keep
+  // draining their daemon queues afterwards, which is recovery, not
+  // throughput.
+  sim.At(kBenchDay + kWindow, [&]() {
+    result.intake_bytes =
+        brokered ? cluster.fleet(0)->TotalStats().bytes_produced
+                 : cluster.aggregator(0, 0)->stats().bytes_received;
+  });
+
+  // Drain: past the hour close + grace so the mover slides the hour (and,
+  // on the broker path, the consumer group commits every partition).
+  sim.RunUntil(kBenchDay + kMillisPerHour + 5 * kMillisPerMinute);
+
+  result.stats = cluster.TotalStats();
+  obs::DeliveryAudit audit(&cluster);
+  result.audit = audit.Snapshot();
+  result.audit_ok = audit.Check().ok();
+  result.intake_mb_per_sec = static_cast<double>(result.intake_bytes) / 1e6 /
+                             (static_cast<double>(kWindow) / 1e3);
+  if (brokered) {
+    result.consume_mb_per_sec =
+        static_cast<double>(cluster.fleet(0)->TotalStats().bytes_consumed) /
+        1e6 / (static_cast<double>(kWindow) / 1e3);
+    result.p99_e2e_ms = obs::HistogramQuantile(
+        *cluster.metrics()->GetHistogram("broker.e2e_latency_ms"), 0.99);
+  }
+
+  std::printf(
+      "%-18s intake=%7.3f MB/s  logged=%-6llu warehoused=%-6llu "
+      "throttled=%-5llu in_flight=%llu  audit=%s\n",
+      name, result.intake_mb_per_sec,
+      static_cast<unsigned long long>(result.stats.entries_logged),
+      static_cast<unsigned long long>(result.stats.messages_in_warehouse),
+      static_cast<unsigned long long>(result.stats.produce_throttled),
+      static_cast<unsigned long long>(result.audit.InFlight()),
+      result.audit_ok ? "balanced" : "IMBALANCED");
+  return result;
+}
+
+}  // namespace
+}  // namespace unilog
+
+int main() {
+  using namespace unilog;
+  std::printf(
+      "=== E21: broker tier throughput vs single-aggregator chain ===\n"
+      "per-node service rate R = %llu KB/s for both tiers; offered load "
+      "~%d KB/s for %llu s\n\n",
+      static_cast<unsigned long long>(kServiceBytesPerSec / 1024),
+      kEntriesPerTick * 10 * (kPayloadBytes + 8) / 1024,
+      static_cast<unsigned long long>(kWindow / 1000));
+
+  TierResult baseline = RunTier("single-aggregator", /*brokered=*/false);
+  TierResult brokered = RunTier("broker-4p", /*brokered=*/true);
+
+  double speedup = baseline.intake_mb_per_sec > 0
+                       ? brokered.intake_mb_per_sec /
+                             baseline.intake_mb_per_sec
+                       : 0;
+  std::printf(
+      "\nbroker consume throughput (drain phase, normalized to the load "
+      "window): %.3f MB/s\n",
+      brokered.consume_mb_per_sec);
+  std::printf("broker produce->consume p99 latency: %.0f ms "
+              "(hourly move barrier dominates)\n",
+              brokered.p99_e2e_ms);
+  std::printf("speedup (4 partitions vs single chain): %.2fx (target >=2x)\n",
+              speedup);
+
+  bool ok = baseline.audit_ok && brokered.audit_ok && speedup >= 2.0 &&
+            brokered.stats.messages_in_warehouse > 0 &&
+            brokered.audit.in_flight_broker == 0;
+  std::printf("contract (both audits balanced, broker drained, >=2x): %s\n",
+              ok ? "MET" : "MISSED");
+
+  Json section = Json::Object();
+  section.Set("service_bytes_per_sec",
+              Json::Number(static_cast<double>(kServiceBytesPerSec)));
+  section.Set("window_seconds",
+              Json::Number(static_cast<double>(kWindow) / 1e3));
+  section.Set("baseline_intake_mb_per_sec",
+              Json::Number(baseline.intake_mb_per_sec));
+  section.Set("broker_intake_mb_per_sec",
+              Json::Number(brokered.intake_mb_per_sec));
+  section.Set("broker_consume_mb_per_sec",
+              Json::Number(brokered.consume_mb_per_sec));
+  section.Set("broker_p99_e2e_ms", Json::Number(brokered.p99_e2e_ms));
+  section.Set("speedup", Json::Number(speedup));
+  section.Set("baseline_audit_balanced", Json::Bool(baseline.audit_ok));
+  section.Set("broker_audit_balanced", Json::Bool(brokered.audit_ok));
+  section.Set("contract_met", Json::Bool(ok));
+  Status js = bench::MergeBenchJsonSection("BENCH_broker.json",
+                                           "broker_throughput", section);
+  if (!js.ok()) {
+    std::fprintf(stderr, "BENCH_broker.json write failed: %s\n",
+                 js.ToString().c_str());
+  }
+  return ok ? 0 : 1;
+}

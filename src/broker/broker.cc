@@ -1,0 +1,647 @@
+#include "broker/broker.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace unilog::broker {
+
+uint64_t StableHash(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::string BrokerRootPath(const std::string& dc) { return "/broker/" + dc; }
+
+std::string BrokersPath(const std::string& dc) {
+  return BrokerRootPath(dc) + "/brokers";
+}
+
+std::string TopicsPath(const std::string& dc) {
+  return BrokerRootPath(dc) + "/topics";
+}
+
+std::string PartitionPath(const std::string& dc, const std::string& category,
+                          int partition) {
+  return TopicsPath(dc) + "/" + category + "/" + std::to_string(partition);
+}
+
+std::string CandidatesPath(const std::string& dc, const std::string& category,
+                           int partition) {
+  return PartitionPath(dc, category, partition) + "/candidates";
+}
+
+std::string StatePath(const std::string& dc, const std::string& category,
+                      int partition) {
+  return PartitionPath(dc, category, partition) + "/state";
+}
+
+std::string ConsumersPath(const std::string& dc) {
+  return BrokerRootPath(dc) + "/consumers";
+}
+
+std::string OffsetPath(const std::string& dc, const std::string& group,
+                       const std::string& category, int partition) {
+  return ConsumersPath(dc) + "/" + group + "/" + category + "-" +
+         std::to_string(partition);
+}
+
+namespace {
+
+uint64_t ParseUint(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+/// Creates `path` (and any missing ancestors) as persistent znodes.
+Status EnsurePersistent(zk::ZooKeeper* zk, zk::SessionId session,
+                        const std::string& path) {
+  size_t pos = 1;
+  while (pos != std::string::npos && pos < path.size()) {
+    size_t next = path.find('/', pos);
+    std::string prefix =
+        next == std::string::npos ? path : path.substr(0, next);
+    if (!zk->Exists(prefix)) {
+      auto created =
+          zk->Create(session, prefix, "", zk::CreateMode::kPersistent);
+      if (!created.ok() && !created.status().IsAlreadyExists()) {
+        return created.status();
+      }
+    }
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::string> ElectLeader(const zk::ZooKeeper& zk, const std::string& dc,
+                                const std::string& category, int partition) {
+  std::string dir = CandidatesPath(dc, category, partition);
+  auto children = zk.GetChildren(dir);
+  if (!children.ok()) return children.status();
+  bool found = false;
+  std::string best_id;
+  std::string best_seq;
+  uint64_t best_end = 0;
+  for (const std::string& name : *children) {
+    // Candidate names are "m-<id>-<10-digit zk sequence>".
+    if (name.size() < 13 || name.rfind("m-", 0) != 0) continue;
+    std::string seq = name.substr(name.size() - 10);
+    std::string id = name.substr(2, name.size() - 13);
+    uint64_t end = 0;
+    if (auto data = zk.GetData(dir + "/" + name); data.ok()) {
+      end = ParseUint(*data);
+    }
+    // Winner: most complete log first (no acked data sacrificed when a
+    // caught-up replica is available), then earliest registration.
+    if (!found || end > best_end || (end == best_end && seq < best_seq)) {
+      found = true;
+      best_id = std::move(id);
+      best_seq = std::move(seq);
+      best_end = end;
+    }
+  }
+  if (!found) {
+    return Status::NotFound("no candidates for " + category + "/" +
+                            std::to_string(partition));
+  }
+  return best_id;
+}
+
+uint64_t MaxCommittedOffset(const zk::ZooKeeper& zk, const std::string& dc,
+                            const std::string& category, int partition) {
+  uint64_t best = 0;
+  auto groups = zk.GetChildren(ConsumersPath(dc));
+  if (!groups.ok()) return 0;
+  for (const std::string& group : *groups) {
+    if (auto data = zk.GetData(OffsetPath(dc, group, category, partition));
+        data.ok()) {
+      best = std::max(best, ParseUint(*data));
+    }
+  }
+  return best;
+}
+
+std::vector<std::string> BrokerNode::AssignedReplicas(
+    const std::vector<std::string>& fleet_ids, const std::string& category,
+    int partition, int replication) {
+  std::vector<std::string> out;
+  if (fleet_ids.empty()) return out;
+  size_t n = fleet_ids.size();
+  size_t count = std::min<size_t>(std::max(replication, 1), n);
+  size_t start =
+      (StableHash(category) + static_cast<uint64_t>(partition)) % n;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(fleet_ids[(start + i) % n]);
+  }
+  return out;
+}
+
+BrokerNode::BrokerNode(Simulator* sim, zk::ZooKeeper* zk,
+                       std::string datacenter, std::string id,
+                       std::vector<std::string> fleet_ids, Resolver resolve,
+                       BrokerOptions options, obs::MetricsRegistry* metrics)
+    : sim_(sim),
+      zk_(zk),
+      dc_(std::move(datacenter)),
+      id_(std::move(id)),
+      fleet_ids_(std::move(fleet_ids)),
+      resolve_(std::move(resolve)),
+      options_(options) {
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(sim_);
+    metrics = owned_metrics_.get();
+  }
+  obs::Labels labels{{"dc", dc_}, {"id", id_}};
+  produced_ = metrics->GetCounter("broker.entries_produced", labels);
+  bytes_produced_ = metrics->GetCounter("broker.bytes_produced", labels);
+  duplicates_ = metrics->GetCounter("broker.entries_duplicate", labels);
+  replicated_ = metrics->GetCounter("broker.entries_replicated", labels);
+  lost_failover_ = metrics->GetCounter("broker.entries_lost_failover", labels);
+  elections_ = metrics->GetCounter("broker.elections_won", labels);
+  throttled_backpressure_ =
+      metrics->GetCounter("broker.throttled_backpressure", labels);
+  throttled_rate_ = metrics->GetCounter("broker.throttled_rate", labels);
+  insufficient_replicas_ =
+      metrics->GetCounter("broker.insufficient_replicas", labels);
+  not_leader_rejects_ =
+      metrics->GetCounter("broker.not_leader_rejects", labels);
+  log_entries_gauge_ = metrics->GetGauge("broker.log_entries", labels);
+  log_bytes_gauge_ = metrics->GetGauge("broker.log_bytes", labels);
+  partitions_led_gauge_ = metrics->GetGauge("broker.partitions_led", labels);
+  produce_batch_entries_ =
+      metrics->GetHistogram("broker.produce_batch_entries", labels);
+}
+
+Status BrokerNode::Start() {
+  if (alive_) return Status::OK();
+  alive_ = true;
+  ++incarnation_;
+  session_ = zk_->CreateSession();
+  UNILOG_RETURN_NOT_OK(EnsurePersistent(zk_, session_, BrokersPath(dc_)));
+  UNILOG_RETURN_NOT_OK(EnsurePersistent(zk_, session_, TopicsPath(dc_)));
+  UNILOG_RETURN_NOT_OK(EnsurePersistent(zk_, session_, ConsumersPath(dc_)));
+  auto reg = zk_->Create(session_, BrokersPath(dc_) + "/" + id_, id_,
+                         zk::CreateMode::kEphemeral);
+  if (!reg.ok()) return reg.status();
+
+  tokens_ = static_cast<double>(options_.node_service_bytes_per_sec);
+  last_refill_ = sim_->Now();
+
+  // Re-adopt assigned replicas of every topic that already exists (restart
+  // after a crash starts from an empty log and catches up via fetch).
+  if (auto topics = zk_->GetChildren(TopicsPath(dc_)); topics.ok()) {
+    for (const std::string& category : *topics) {
+      int nparts = options_.num_partitions;
+      if (auto data = zk_->GetData(TopicsPath(dc_) + "/" + category);
+          data.ok() && !data->empty()) {
+        nparts = static_cast<int>(ParseUint(*data));
+      }
+      for (int p = 0; p < nparts; ++p) {
+        auto assigned = AssignedReplicas(fleet_ids_, category, p,
+                                         options_.replication_factor);
+        if (std::find(assigned.begin(), assigned.end(), id_) !=
+            assigned.end()) {
+          UNILOG_RETURN_NOT_OK(AdoptReplica(category, p));
+        }
+      }
+    }
+  }
+  ScheduleReplicaFetch();
+  UpdateGauges();
+  return Status::OK();
+}
+
+void BrokerNode::Crash() {
+  if (!alive_) return;
+  alive_ = false;
+  ++incarnation_;
+  // Session expiry deletes the candidate znodes; peers' children watches
+  // fire (deferred) and re-elect without this node.
+  zk_->CloseSession(session_);
+  session_ = 0;
+  replicas_.clear();  // in-memory logs die with the process
+  UpdateGauges();
+}
+
+Status BrokerNode::ExpireSession() {
+  if (!alive_) return Status::FailedPrecondition("broker down: " + id_);
+  ++incarnation_;  // stale watch callbacks from the old session no-op
+  zk_->CloseSession(session_);
+  session_ = zk_->CreateSession();
+  auto reg = zk_->Create(session_, BrokersPath(dc_) + "/" + id_, id_,
+                         zk::CreateMode::kEphemeral);
+  if (!reg.ok()) return reg.status();
+  // Logs survive expiry; re-register every candidate first so the
+  // recompute pass (and peers' deferred watch cascades) see the full
+  // candidate set, then re-run elections.
+  for (auto& [key, r] : replicas_) {
+    r.leader = false;
+    r.candidate_path.clear();
+    UNILOG_RETURN_NOT_OK(RegisterCandidate(&r));
+    WatchCandidates(key.first, key.second);
+  }
+  for (auto& [key, r] : replicas_) {
+    RecomputeLeader(key.first, key.second);
+  }
+  ScheduleReplicaFetch();
+  UpdateGauges();
+  return Status::OK();
+}
+
+Status BrokerNode::AdoptReplica(const std::string& category, int partition) {
+  if (!alive_) return Status::FailedPrecondition("broker down: " + id_);
+  Replica& r = replicas_[PartitionKey{category, partition}];
+  r.category = category;
+  r.partition = partition;
+  if (!r.candidate_path.empty() && zk_->Exists(r.candidate_path)) {
+    return Status::OK();  // already campaigning
+  }
+  UNILOG_RETURN_NOT_OK(RegisterCandidate(&r));
+  WatchCandidates(category, partition);
+  RecomputeLeader(category, partition);
+  return Status::OK();
+}
+
+bool BrokerNode::IsLeader(const std::string& category, int partition) const {
+  const Replica* r = FindReplica(category, partition);
+  return alive_ && r != nullptr && r->leader;
+}
+
+BrokerNode::Replica* BrokerNode::FindReplica(const std::string& category,
+                                             int partition) {
+  auto it = replicas_.find(PartitionKey{category, partition});
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+const BrokerNode::Replica* BrokerNode::FindReplica(const std::string& category,
+                                                   int partition) const {
+  auto it = replicas_.find(PartitionKey{category, partition});
+  return it == replicas_.end() ? nullptr : &it->second;
+}
+
+uint64_t BrokerNode::AckedWatermark(const Replica& r) const {
+  // Everything below the lowest appended-but-unacknowledged offset is
+  // acknowledged; with no unacked entries the whole log is.
+  uint64_t w = r.log.end_offset();
+  for (const auto& [producer, offset] : r.unacked_min_offset) {
+    w = std::min(w, offset);
+  }
+  return w;
+}
+
+Status BrokerNode::RegisterCandidate(Replica* r) {
+  std::string dir = CandidatesPath(dc_, r->category, r->partition);
+  UNILOG_RETURN_NOT_OK(EnsurePersistent(zk_, session_, dir));
+  auto created =
+      zk_->Create(session_, dir + "/m-" + id_ + "-",
+                  std::to_string(r->log.end_offset()),
+                  zk::CreateMode::kEphemeralSequential);
+  if (!created.ok()) return created.status();
+  r->candidate_path = *created;
+  return Status::OK();
+}
+
+void BrokerNode::PublishEndOffset(Replica* r) {
+  if (r->candidate_path.empty()) return;
+  // Best effort: the election tie-break prefers the most complete log, so
+  // candidates advertise their end offset as znode data.
+  zk_->SetData(session_, r->candidate_path,
+               std::to_string(r->log.end_offset()));
+}
+
+void BrokerNode::WatchCandidates(std::string category, int partition) {
+  // Build the path before constructing the lambda: the capture moves
+  // `category` out, and argument evaluation order would otherwise be free to
+  // run the move first and arm the watch on a mangled path.
+  std::string dir = CandidatesPath(dc_, category, partition);
+  zk_->WatchChildren(
+      dir,
+      [this, category = std::move(category), partition,
+       inc = incarnation_](zk::WatchEvent, const std::string&) {
+        if (inc != incarnation_ || !alive_) return;
+        // Re-arm before acting (the coalescing in zk makes this safe even
+        // when several membership changes land in one delivery window).
+        WatchCandidates(category, partition);
+        RecomputeLeader(category, partition);
+      });
+}
+
+void BrokerNode::RecomputeLeader(const std::string& category, int partition) {
+  Replica* r = FindReplica(category, partition);
+  if (r == nullptr || !alive_) return;
+  auto winner = ElectLeader(*zk_, dc_, category, partition);
+  bool won = winner.ok() && *winner == id_;
+  if (won && !r->leader) {
+    BecomeLeader(r);
+  } else if (!won && r->leader) {
+    r->leader = false;
+    UpdateGauges();
+  }
+}
+
+void BrokerNode::BecomeLeader(Replica* r) {
+  uint64_t w_state = 0;
+  if (auto data = zk_->GetData(StatePath(dc_, r->category, r->partition));
+      data.ok()) {
+    w_state = ParseUint(*data);
+  }
+  uint64_t local_end = r->log.end_offset();
+  if (w_state > local_end) {
+    // The acknowledged watermark is ahead of everything this replica holds:
+    // those entries died with the old leader before replication reached us.
+    // Count them lost (minus any prefix consumers already banked) and open
+    // an explicit gap so offsets stay monotone.
+    uint64_t committed =
+        MaxCommittedOffset(*zk_, dc_, r->category, r->partition);
+    uint64_t have = std::max(local_end, committed);
+    if (w_state > have) lost_failover_->Increment(w_state - have);
+    r->log.AdvanceTo(w_state);
+  }
+  // Rebuild the idempotence tables from the retained log: records below
+  // the watermark were acknowledged, records above it were appended but
+  // never acknowledged (their producers will resend).
+  r->producer_appended =
+      r->log.ProducerHighWatermarks(std::numeric_limits<uint64_t>::max());
+  r->producer_acked = r->log.ProducerHighWatermarks(w_state);
+  r->unacked_min_offset.clear();
+  for (const Record& rec : r->log.records()) {
+    if (rec.offset < w_state) continue;
+    auto [it, inserted] =
+        r->unacked_min_offset.emplace(rec.producer, rec.offset);
+    if (!inserted) it->second = std::min(it->second, rec.offset);
+  }
+  r->leader = true;
+  elections_->Increment();
+  zk_->SetData(session_, StatePath(dc_, r->category, r->partition),
+               std::to_string(AckedWatermark(*r)));
+  PublishEndOffset(r);
+  UpdateGauges();
+}
+
+std::vector<BrokerNode*> BrokerNode::LivePeers(const std::string& category,
+                                               int partition) const {
+  std::vector<BrokerNode*> peers;
+  if (!resolve_) return peers;
+  for (const std::string& peer_id : AssignedReplicas(
+           fleet_ids_, category, partition, options_.replication_factor)) {
+    if (peer_id == id_) continue;
+    BrokerNode* node = resolve_(peer_id);
+    if (node != nullptr && node->alive()) peers.push_back(node);
+  }
+  return peers;
+}
+
+bool BrokerNode::SyncReplicate(const std::string& category, int partition,
+                               const std::vector<Record>& records) {
+  if (!alive_) return false;
+  Replica* r = FindReplica(category, partition);
+  if (r == nullptr) return false;
+  if (records.empty()) return true;
+  if (records.front().offset != r->log.end_offset()) {
+    // This follower is behind (e.g. freshly restarted); accepting a
+    // non-contiguous batch would hide a real gap. It catches up through
+    // the periodic replica fetch instead.
+    return false;
+  }
+  for (const Record& rec : records) {
+    if (r->log.AppendRecord(rec)) replicated_->Increment();
+  }
+  PublishEndOffset(r);
+  UpdateGauges();
+  return true;
+}
+
+Status BrokerNode::Produce(const std::string& category, int partition,
+                           const std::string& producer,
+                           const std::vector<ProduceItem>& items,
+                           ProduceAck* ack) {
+  if (ack != nullptr) *ack = ProduceAck{};
+  if (!alive_) return Status::Unavailable("broker down: " + id_);
+  Replica* r = FindReplica(category, partition);
+  if (r == nullptr || !r->leader) {
+    not_leader_rejects_->Increment();
+    return Status::FailedPrecondition(id_ + " does not lead " + category +
+                                      "/" + std::to_string(partition));
+  }
+  if (items.empty()) return Status::OK();
+
+  std::vector<BrokerNode*> peers;
+  if (options_.acks == kAcksAll) {
+    peers = LivePeers(category, partition);
+    if (1 + static_cast<int>(peers.size()) < options_.min_insync_replicas) {
+      insufficient_replicas_->Increment();
+      return Status::Unavailable("not enough in-sync replicas for " +
+                                 category);
+    }
+  }
+
+  uint64_t cost = 0;
+  for (const ProduceItem& item : items) cost += item.payload.size();
+  if (options_.node_service_bytes_per_sec > 0) {
+    RefillTokens();
+    if (tokens_ < static_cast<double>(cost)) {
+      throttled_rate_->Increment();
+      return Status::Unavailable("produce rate throttled on " + id_);
+    }
+  }
+  if (r->log.byte_size() >= options_.partition_inflight_limit_bytes) {
+    // Bounded in-flight window: backpressure instead of drop-oldest. The
+    // producer keeps its queue and retries after backoff; consumers
+    // draining the partition (triggering trims) reopen the window.
+    throttled_backpressure_->Increment();
+    return Status::Unavailable("partition in-flight window full");
+  }
+  if (options_.node_service_bytes_per_sec > 0) {
+    tokens_ -= static_cast<double>(cost);
+  }
+
+  uint64_t acked_wm = 0;
+  if (auto it = r->producer_acked.find(producer);
+      it != r->producer_acked.end()) {
+    acked_wm = it->second;
+  }
+  uint64_t appended_wm = acked_wm;
+  if (auto it = r->producer_appended.find(producer);
+      it != r->producer_appended.end()) {
+    appended_wm = std::max(appended_wm, it->second);
+  }
+
+  std::vector<Record> appended;
+  uint64_t newly_acked = 0;
+  uint64_t newly_acked_bytes = 0;
+  uint64_t dups = 0;
+  uint64_t max_seq = acked_wm;
+  for (const ProduceItem& item : items) {
+    if (item.seq <= acked_wm) {
+      // Already acknowledged in a previous call: a crash-retry resend.
+      // Dedup on (producer, seq) keeps delivery exactly-once.
+      ++dups;
+      continue;
+    }
+    ++newly_acked;
+    newly_acked_bytes += item.payload.size();
+    max_seq = std::max(max_seq, item.seq);
+    if (item.seq <= appended_wm) {
+      // Appended before a lost ack: the payload is already in the log, so
+      // this resend is deduped too — it just gets acknowledged now.
+      ++dups;
+      continue;
+    }
+    appended.push_back(r->log.Append(producer, item.seq, sim_->Now(),
+                                     item.logged_at, item.payload));
+  }
+  if (max_seq > appended_wm) r->producer_appended[producer] = max_seq;
+
+  if (options_.acks == kAcksAll && !appended.empty()) {
+    for (BrokerNode* peer : peers) {
+      peer->SyncReplicate(category, partition, appended);
+    }
+  }
+  PublishEndOffset(r);
+  produce_batch_entries_->Observe(static_cast<double>(items.size()));
+
+  if (inject_ack_loss_once_) {
+    inject_ack_loss_once_ = false;
+    // The append (and replication) happened but the ack never reaches the
+    // producer. Pin the acked watermark below the new records so consumers
+    // cannot see them until the resend resolves their fate.
+    if (!appended.empty()) {
+      auto [it, inserted] =
+          r->unacked_min_offset.emplace(producer, appended.front().offset);
+      if (!inserted) it->second = std::min(it->second, appended.front().offset);
+    }
+    zk_->SetData(session_, StatePath(dc_, category, partition),
+                 std::to_string(AckedWatermark(*r)));
+    UpdateGauges();
+    return Status::Unavailable("ack lost (injected)");
+  }
+
+  r->producer_acked[producer] = max_seq;
+  r->unacked_min_offset.erase(producer);
+  produced_->Increment(newly_acked);
+  bytes_produced_->Increment(newly_acked_bytes);
+  duplicates_->Increment(dups);
+  zk_->SetData(session_, StatePath(dc_, category, partition),
+               std::to_string(AckedWatermark(*r)));
+  UpdateGauges();
+  if (ack != nullptr) {
+    ack->accepted = newly_acked;
+    ack->deduped = dups;
+  }
+  return Status::OK();
+}
+
+Result<PartitionLog::ReadResult> BrokerNode::ConsumerFetch(
+    const std::string& category, int partition, uint64_t from,
+    TimeMs ts_limit) const {
+  if (!alive_) return Status::Unavailable("broker down: " + id_);
+  const Replica* r = FindReplica(category, partition);
+  if (r == nullptr || !r->leader) {
+    return Status::FailedPrecondition(id_ + " does not lead " + category +
+                                      "/" + std::to_string(partition));
+  }
+  return r->log.ReadFrom(from, AckedWatermark(*r), ts_limit);
+}
+
+Result<PartitionLog::ReadResult> BrokerNode::ReplicaFetch(
+    const std::string& category, int partition, uint64_t from,
+    uint64_t* trim_to) const {
+  if (!alive_) return Status::Unavailable("broker down: " + id_);
+  const Replica* r = FindReplica(category, partition);
+  if (r == nullptr) {
+    return Status::NotFound(id_ + " hosts no replica of " + category);
+  }
+  if (trim_to != nullptr) *trim_to = r->log.begin_offset();
+  return r->log.ReadFrom(from, r->log.end_offset(),
+                         std::numeric_limits<TimeMs>::max());
+}
+
+void BrokerNode::NoteConsumedTo(const std::string& category, int partition,
+                                uint64_t offset) {
+  Replica* r = FindReplica(category, partition);
+  if (r == nullptr || !r->leader) return;
+  r->log.TrimTo(offset);
+  UpdateGauges();
+}
+
+void BrokerNode::ScheduleReplicaFetch() {
+  if (options_.replica_fetch_interval_ms <= 0) return;
+  sim_->After(options_.replica_fetch_interval_ms,
+              [this, inc = incarnation_]() {
+                if (inc != incarnation_ || !alive_) return;
+                FetchFromLeaders();
+                ScheduleReplicaFetch();
+              });
+}
+
+void BrokerNode::FetchFromLeaders() {
+  for (auto& [key, r] : replicas_) {
+    if (r.leader) continue;
+    auto winner = ElectLeader(*zk_, dc_, key.first, key.second);
+    if (!winner.ok() || *winner == id_ || !resolve_) continue;
+    BrokerNode* leader = resolve_(*winner);
+    if (leader == nullptr || !leader->alive()) continue;
+    uint64_t trim_to = 0;
+    auto fetched = leader->ReplicaFetch(key.first, key.second,
+                                        r.log.end_offset(), &trim_to);
+    if (!fetched.ok()) continue;
+    size_t mirrored = 0;
+    for (Record& rec : fetched->records) {
+      if (r.log.AppendRecord(std::move(rec))) ++mirrored;
+    }
+    r.log.TrimTo(trim_to);
+    if (mirrored > 0) {
+      replicated_->Increment(mirrored);
+      PublishEndOffset(&r);
+    }
+  }
+  UpdateGauges();
+}
+
+void BrokerNode::RefillTokens() {
+  TimeMs now = sim_->Now();
+  double cap = static_cast<double>(options_.node_service_bytes_per_sec);
+  tokens_ = std::min(
+      cap, tokens_ + cap * static_cast<double>(now - last_refill_) / 1000.0);
+  last_refill_ = now;
+}
+
+void BrokerNode::UpdateGauges() {
+  uint64_t entries = 0;
+  uint64_t bytes = 0;
+  int64_t led = 0;
+  for (const auto& [key, r] : replicas_) {
+    entries += r.log.entry_count();
+    bytes += r.log.byte_size();
+    if (r.leader) ++led;
+  }
+  log_entries_gauge_->Set(static_cast<int64_t>(entries));
+  log_bytes_gauge_->Set(static_cast<int64_t>(bytes));
+  partitions_led_gauge_->Set(led);
+}
+
+BrokerNodeStats BrokerNode::stats() const {
+  BrokerNodeStats s;
+  s.entries_produced = produced_->value();
+  s.bytes_produced = bytes_produced_->value();
+  s.entries_duplicate = duplicates_->value();
+  s.entries_replicated = replicated_->value();
+  s.entries_lost_failover = lost_failover_->value();
+  s.elections_won = elections_->value();
+  s.throttled_backpressure = throttled_backpressure_->value();
+  s.throttled_rate = throttled_rate_->value();
+  s.insufficient_replicas = insufficient_replicas_->value();
+  s.not_leader_rejects = not_leader_rejects_->value();
+  s.log_entries = static_cast<uint64_t>(log_entries_gauge_->value());
+  s.log_bytes = static_cast<uint64_t>(log_bytes_gauge_->value());
+  s.partitions_led = static_cast<uint64_t>(partitions_led_gauge_->value());
+  return s;
+}
+
+}  // namespace unilog::broker

@@ -1,0 +1,213 @@
+#include "broker/fleet.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace unilog::broker {
+
+namespace {
+
+uint64_t ParseUint(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+BrokerFleet::BrokerFleet(Simulator* sim, zk::ZooKeeper* zk,
+                         std::string datacenter,
+                         std::vector<std::string> node_ids,
+                         BrokerOptions options, obs::MetricsRegistry* metrics)
+    : sim_(sim),
+      zk_(zk),
+      dc_(std::move(datacenter)),
+      options_(options),
+      node_ids_(std::move(node_ids)) {
+  // Sorted ids make AssignedReplicas deterministic regardless of the order
+  // the caller listed the nodes in.
+  std::sort(node_ids_.begin(), node_ids_.end());
+  if (metrics == nullptr) {
+    owned_metrics_ = std::make_unique<obs::MetricsRegistry>(sim_);
+    metrics = owned_metrics_.get();
+  }
+  obs::Labels labels{{"dc", dc_}};
+  entries_consumed_ = metrics->GetCounter("broker.entries_consumed", labels);
+  bytes_consumed_ = metrics->GetCounter("broker.bytes_consumed", labels);
+  for (const std::string& id : node_ids_) {
+    nodes_.push_back(std::make_unique<BrokerNode>(
+        sim_, zk_, dc_, id, node_ids_,
+        [this](const std::string& node_id) { return FindNode(node_id); },
+        options_, metrics));
+  }
+}
+
+Status BrokerFleet::Start() {
+  admin_session_ = zk_->CreateSession();
+  for (const std::string& path :
+       {BrokersPath(dc_), TopicsPath(dc_), ConsumersPath(dc_)}) {
+    std::string prefix;
+    size_t pos = 1;
+    while (pos < path.size()) {
+      size_t next = path.find('/', pos);
+      prefix = next == std::string::npos ? path : path.substr(0, next);
+      if (!zk_->Exists(prefix)) {
+        auto created = zk_->Create(admin_session_, prefix, "",
+                                   zk::CreateMode::kPersistent);
+        if (!created.ok() && !created.status().IsAlreadyExists()) {
+          return created.status();
+        }
+      }
+      pos = next == std::string::npos ? path.size() : next + 1;
+    }
+  }
+  for (auto& node : nodes_) {
+    UNILOG_RETURN_NOT_OK(node->Start());
+  }
+  return Status::OK();
+}
+
+BrokerNode* BrokerFleet::FindNode(const std::string& id) {
+  for (auto& node : nodes_) {
+    if (node->id() == id) return node.get();
+  }
+  return nullptr;
+}
+
+int BrokerFleet::PartitionFor(const std::string& producer_host,
+                              const std::string& category) const {
+  uint64_t h = StableHash(producer_host + "|" + category);
+  return static_cast<int>(h % static_cast<uint64_t>(
+                                  std::max(1, options_.num_partitions)));
+}
+
+Status BrokerFleet::EnsureTopic(const std::string& category) {
+  std::string topic_path = TopicsPath(dc_) + "/" + category;
+  if (!zk_->Exists(topic_path)) {
+    auto created =
+        zk_->Create(admin_session_, topic_path,
+                    std::to_string(options_.num_partitions),
+                    zk::CreateMode::kPersistent);
+    if (!created.ok() && !created.status().IsAlreadyExists()) {
+      return created.status();
+    }
+  }
+  for (int p = 0; p < options_.num_partitions; ++p) {
+    std::string part_path = PartitionPath(dc_, category, p);
+    for (const std::string& path :
+         {part_path, CandidatesPath(dc_, category, p)}) {
+      if (!zk_->Exists(path)) {
+        auto created =
+            zk_->Create(admin_session_, path, "", zk::CreateMode::kPersistent);
+        if (!created.ok() && !created.status().IsAlreadyExists()) {
+          return created.status();
+        }
+      }
+    }
+    std::string state_path = StatePath(dc_, category, p);
+    if (!zk_->Exists(state_path)) {
+      auto created = zk_->Create(admin_session_, state_path, "0",
+                                 zk::CreateMode::kPersistent);
+      if (!created.ok() && !created.status().IsAlreadyExists()) {
+        return created.status();
+      }
+    }
+    for (const std::string& id : BrokerNode::AssignedReplicas(
+             node_ids_, category, p, options_.replication_factor)) {
+      BrokerNode* node = FindNode(id);
+      if (node != nullptr && node->alive()) {
+        UNILOG_RETURN_NOT_OK(node->AdoptReplica(category, p));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> BrokerFleet::ListTopics() const {
+  return zk_->GetChildren(TopicsPath(dc_));
+}
+
+BrokerNode* BrokerFleet::FindLeader(const std::string& category,
+                                    int partition) {
+  auto winner = ElectLeader(*zk_, dc_, category, partition);
+  if (!winner.ok()) return nullptr;
+  BrokerNode* node = FindNode(*winner);
+  if (node == nullptr || !node->alive() ||
+      !node->IsLeader(category, partition)) {
+    return nullptr;
+  }
+  return node;
+}
+
+uint64_t BrokerFleet::CommittedOffset(const std::string& group,
+                                      const std::string& category,
+                                      int partition) const {
+  auto data = zk_->GetData(OffsetPath(dc_, group, category, partition));
+  return data.ok() ? ParseUint(*data) : 0;
+}
+
+Status BrokerFleet::CommitOffset(const std::string& group,
+                                 const std::string& category, int partition,
+                                 uint64_t offset, uint64_t records,
+                                 uint64_t bytes) {
+  std::string group_path = ConsumersPath(dc_) + "/" + group;
+  if (!zk_->Exists(group_path)) {
+    auto created = zk_->Create(admin_session_, group_path, "",
+                               zk::CreateMode::kPersistent);
+    if (!created.ok() && !created.status().IsAlreadyExists()) {
+      return created.status();
+    }
+  }
+  std::string path = OffsetPath(dc_, group, category, partition);
+  uint64_t previous = 0;
+  if (auto data = zk_->GetData(path); data.ok()) {
+    previous = ParseUint(*data);
+  } else {
+    auto created =
+        zk_->Create(admin_session_, path, "0", zk::CreateMode::kPersistent);
+    if (!created.ok() && !created.status().IsAlreadyExists()) {
+      return created.status();
+    }
+  }
+  // Offsets are monotone: a stale commit (replayed hour) is a no-op.
+  if (offset > previous) {
+    UNILOG_RETURN_NOT_OK(
+        zk_->SetData(admin_session_, path, std::to_string(offset)));
+  }
+  entries_consumed_->Increment(records);
+  bytes_consumed_->Increment(bytes);
+
+  // Retention: the leader can drop everything every group has banked.
+  uint64_t min_committed = std::numeric_limits<uint64_t>::max();
+  if (auto groups = zk_->GetChildren(ConsumersPath(dc_)); groups.ok()) {
+    for (const std::string& g : *groups) {
+      auto data = zk_->GetData(OffsetPath(dc_, g, category, partition));
+      min_committed = std::min(min_committed, data.ok() ? ParseUint(*data) : 0);
+    }
+  }
+  if (min_committed != std::numeric_limits<uint64_t>::max()) {
+    if (BrokerNode* leader = FindLeader(category, partition);
+        leader != nullptr) {
+      leader->NoteConsumedTo(category, partition, min_committed);
+    }
+  }
+  return Status::OK();
+}
+
+BrokerFleetStats BrokerFleet::TotalStats() const {
+  BrokerFleetStats total;
+  for (const auto& node : nodes_) {
+    BrokerNodeStats s = node->stats();
+    total.entries_produced += s.entries_produced;
+    total.bytes_produced += s.bytes_produced;
+    total.entries_duplicate += s.entries_duplicate;
+    total.entries_lost_failover += s.entries_lost_failover;
+    total.throttled += s.throttled_backpressure + s.throttled_rate +
+                       s.insufficient_replicas;
+    total.elections_won += s.elections_won;
+  }
+  total.entries_consumed = entries_consumed_->value();
+  total.bytes_consumed = bytes_consumed_->value();
+  return total;
+}
+
+}  // namespace unilog::broker

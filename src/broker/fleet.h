@@ -1,0 +1,100 @@
+#ifndef UNILOG_BROKER_FLEET_H_
+#define UNILOG_BROKER_FLEET_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "sim/simulator.h"
+#include "zk/zookeeper.h"
+
+namespace unilog::broker {
+
+/// Aggregated counters across a fleet's nodes (plus the fleet-level
+/// consumer counters), for the cluster audit.
+struct BrokerFleetStats {
+  uint64_t entries_produced = 0;
+  uint64_t bytes_produced = 0;
+  uint64_t entries_duplicate = 0;
+  uint64_t entries_lost_failover = 0;
+  uint64_t entries_consumed = 0;
+  uint64_t bytes_consumed = 0;
+  uint64_t throttled = 0;  // backpressure + rate + insufficient replicas
+  uint64_t elections_won = 0;
+};
+
+/// One datacenter's broker tier: owns the BrokerNodes, creates topics
+/// (partition znodes plus replica adoption), routes producers and
+/// consumers to partition leaders, and tracks consumer-group offsets in
+/// zk. Replaces the single daemon→aggregator chain with partition-additive
+/// throughput, as ROADMAP item 1 calls for.
+class BrokerFleet {
+ public:
+  BrokerFleet(Simulator* sim, zk::ZooKeeper* zk, std::string datacenter,
+              std::vector<std::string> node_ids, BrokerOptions options,
+              obs::MetricsRegistry* metrics = nullptr);
+
+  BrokerFleet(const BrokerFleet&) = delete;
+  BrokerFleet& operator=(const BrokerFleet&) = delete;
+
+  /// Creates the zk roots and starts every node.
+  Status Start();
+
+  const std::string& datacenter() const { return dc_; }
+  const BrokerOptions& options() const { return options_; }
+  size_t node_count() const { return nodes_.size(); }
+  BrokerNode* node(size_t i) { return nodes_[i].get(); }
+  BrokerNode* FindNode(const std::string& id);
+
+  /// Partition routing key: hash of producer host and category, so one
+  /// category's load from many daemons spreads over all partitions while
+  /// each (daemon, category) stream stays ordered within one partition.
+  int PartitionFor(const std::string& producer_host,
+                   const std::string& category) const;
+
+  /// Idempotently creates the topic's znodes and has every alive assigned
+  /// node adopt its replicas (so a producer can send in the same tick).
+  Status EnsureTopic(const std::string& category);
+
+  Result<std::vector<std::string>> ListTopics() const;
+
+  /// The node currently winning (category, partition)'s election, or
+  /// nullptr when the partition is leaderless (all replicas down).
+  BrokerNode* FindLeader(const std::string& category, int partition);
+
+  // --- Consumer groups (offsets persisted in zk) ---
+
+  uint64_t CommittedOffset(const std::string& group,
+                           const std::string& category, int partition) const;
+
+  /// Persists `group`'s progress through (category, partition), counts the
+  /// consumed records, and lets the leader trim everything below the
+  /// minimum committed offset across groups. Offsets never move backwards.
+  Status CommitOffset(const std::string& group, const std::string& category,
+                      int partition, uint64_t offset, uint64_t records,
+                      uint64_t bytes);
+
+  BrokerFleetStats TotalStats() const;
+
+ private:
+  Simulator* sim_;
+  zk::ZooKeeper* zk_;
+  const std::string dc_;
+  const BrokerOptions options_;
+  std::vector<std::string> node_ids_;
+  std::vector<std::unique_ptr<BrokerNode>> nodes_;
+  zk::SessionId admin_session_ = 0;
+
+  std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
+  obs::Counter* entries_consumed_;
+  obs::Counter* bytes_consumed_;
+};
+
+}  // namespace unilog::broker
+
+#endif  // UNILOG_BROKER_FLEET_H_

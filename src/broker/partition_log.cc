@@ -1,0 +1,82 @@
+#include "broker/partition_log.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace unilog::broker {
+
+const Record& PartitionLog::Append(std::string producer, uint64_t seq,
+                                   TimeMs appended_at, TimeMs logged_at,
+                                   std::string payload) {
+  Record r;
+  r.offset = next_offset_++;
+  r.producer = std::move(producer);
+  r.seq = seq;
+  r.appended_at = appended_at;
+  r.logged_at = logged_at;
+  r.payload = std::move(payload);
+  bytes_ += r.payload.size();
+  records_.push_back(std::move(r));
+  return records_.back();
+}
+
+bool PartitionLog::AppendRecord(Record r) {
+  if (r.offset < next_offset_) return false;
+  next_offset_ = r.offset + 1;
+  bytes_ += r.payload.size();
+  records_.push_back(std::move(r));
+  return true;
+}
+
+void PartitionLog::AdvanceTo(uint64_t offset) {
+  next_offset_ = std::max(next_offset_, offset);
+}
+
+void PartitionLog::TrimTo(uint64_t offset) {
+  while (!records_.empty() && records_.front().offset < offset) {
+    bytes_ -= records_.front().payload.size();
+    records_.pop_front();
+  }
+  begin_ = std::max(begin_, std::min(offset, next_offset_));
+}
+
+void PartitionLog::Clear() {
+  records_.clear();
+  next_offset_ = 0;
+  begin_ = 0;
+  bytes_ = 0;
+}
+
+PartitionLog::ReadResult PartitionLog::ReadFrom(uint64_t from,
+                                                uint64_t limit_offset,
+                                                TimeMs ts_limit) const {
+  ReadResult out;
+  out.next_offset = std::max(from, begin_);
+  auto it = std::lower_bound(
+      records_.begin(), records_.end(), from,
+      [](const Record& r, uint64_t off) { return r.offset < off; });
+  for (; it != records_.end() && it->offset < limit_offset; ++it) {
+    if (it->appended_at >= ts_limit) return out;  // hour boundary: stop here
+    out.records.push_back(*it);
+    out.next_offset = it->offset + 1;
+  }
+  // Drained every retained record below the limit; gaps between the last
+  // record and the limit hold nothing, so resume from the limit itself.
+  if (it == records_.end()) {
+    out.next_offset = std::max(out.next_offset, std::min(limit_offset, next_offset_));
+  }
+  return out;
+}
+
+std::map<std::string, uint64_t> PartitionLog::ProducerHighWatermarks(
+    uint64_t below) const {
+  std::map<std::string, uint64_t> out;
+  for (const Record& r : records_) {
+    if (r.offset >= below) break;
+    uint64_t& hi = out[r.producer];
+    hi = std::max(hi, r.seq);
+  }
+  return out;
+}
+
+}  // namespace unilog::broker

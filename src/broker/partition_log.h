@@ -1,0 +1,95 @@
+#ifndef UNILOG_BROKER_PARTITION_LOG_H_
+#define UNILOG_BROKER_PARTITION_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+
+namespace unilog::broker {
+
+/// One record in a partition's commit log. Offsets are assigned densely by
+/// whichever replica currently leads the partition. `appended_at` (the
+/// leader-append sim time) buckets the record into its warehouse hour;
+/// `logged_at` (the daemon's Log() time) feeds the end-to-end latency
+/// histogram. The (producer, seq) pair is the idempotence key brokers use
+/// to dedup crash-retry resends.
+struct Record {
+  uint64_t offset = 0;
+  std::string producer;
+  uint64_t seq = 0;
+  TimeMs appended_at = 0;
+  TimeMs logged_at = 0;
+  std::string payload;
+};
+
+/// An offset-addressed in-memory commit log for one (category, partition)
+/// replica — the Kafka-style storage unit under the Scribe tier. Leaders
+/// Append() densely; followers mirror with AppendRecord() and may carry
+/// gaps (offsets lost with a dead leader), which AdvanceTo() records
+/// explicitly so offset arithmetic stays honest after failover.
+class PartitionLog {
+ public:
+  /// Offsets below this have been trimmed (consumed by every group).
+  uint64_t begin_offset() const { return begin_; }
+  /// One past the highest offset ever observed (next to be assigned).
+  uint64_t end_offset() const { return next_offset_; }
+  size_t entry_count() const { return records_.size(); }
+  uint64_t byte_size() const { return bytes_; }
+  bool empty() const { return records_.empty(); }
+
+  /// Leader path: assigns the next dense offset. Returns the stored record.
+  const Record& Append(std::string producer, uint64_t seq, TimeMs appended_at,
+                       TimeMs logged_at, std::string payload);
+
+  /// Replication path: stores `r` under its existing offset. Accepts only
+  /// offsets at or past the local end (mirroring the leader, gaps
+  /// included); returns false for offsets already covered locally.
+  bool AppendRecord(Record r);
+
+  /// Raises the end offset without storing records — the explicit gap a
+  /// new leader opens when the acked watermark it inherits from zk is
+  /// ahead of its own copy of the log (those entries died with the old
+  /// leader and are counted as failover loss).
+  void AdvanceTo(uint64_t offset);
+
+  /// Drops retained records with offset < `offset` (consumed by all
+  /// groups). Never lowers begin_offset().
+  void TrimTo(uint64_t offset);
+
+  void Clear();
+
+  struct ReadResult {
+    std::vector<Record> records;
+    /// Offset consumption should resume from: one past the last returned
+    /// record, or the offset of the first record excluded by `ts_limit`.
+    uint64_t next_offset = 0;
+  };
+
+  /// Records with offset in [from, limit_offset) and appended_at <
+  /// ts_limit, in offset order. The scan stops at the first record at or
+  /// past ts_limit — consumption never skips over an hour boundary, so
+  /// next_offset always marks a clean resumption point.
+  ReadResult ReadFrom(uint64_t from, uint64_t limit_offset,
+                      TimeMs ts_limit) const;
+
+  /// Highest seq per producer over retained records with offset below
+  /// `below` — a newly elected leader rebuilds its idempotence tables from
+  /// this.
+  std::map<std::string, uint64_t> ProducerHighWatermarks(uint64_t below) const;
+
+  const std::deque<Record>& records() const { return records_; }
+
+ private:
+  std::deque<Record> records_;  // ascending offsets; may contain gaps
+  uint64_t next_offset_ = 0;
+  uint64_t begin_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+}  // namespace unilog::broker
+
+#endif  // UNILOG_BROKER_PARTITION_LOG_H_

@@ -10,7 +10,8 @@ std::string DeliverySnapshot::ToString() const {
       buf, sizeof(buf),
       "audit @%s: logged=%llu warehoused=%llu daemon_dropped=%llu "
       "crash_lost=%llu overflow_dropped=%llu late_dropped=%llu "
-      "in_flight=%llu (daemons=%llu aggs=%llu staging=%llu) "
+      "lost_unreplicated=%llu "
+      "in_flight=%llu (daemons=%llu aggs=%llu staging=%llu broker=%llu) "
       "corrupt_files=%llu balanced=%s",
       TimestampString(at).c_str(), static_cast<unsigned long long>(logged),
       static_cast<unsigned long long>(warehoused),
@@ -18,10 +19,12 @@ std::string DeliverySnapshot::ToString() const {
       static_cast<unsigned long long>(lost_in_crash),
       static_cast<unsigned long long>(dropped_overflow),
       static_cast<unsigned long long>(late_dropped),
+      static_cast<unsigned long long>(lost_unreplicated),
       static_cast<unsigned long long>(InFlight()),
       static_cast<unsigned long long>(in_flight_daemons),
       static_cast<unsigned long long>(in_flight_aggregators),
       static_cast<unsigned long long>(in_flight_staging),
+      static_cast<unsigned long long>(in_flight_broker),
       static_cast<unsigned long long>(corrupt_files_skipped),
       Balanced() ? "yes" : "NO");
   return buf;
@@ -37,6 +40,8 @@ Json DeliverySnapshot::ToJson() const {
   j.Set("lost_in_crash", Json::Int(static_cast<int64_t>(lost_in_crash)));
   j.Set("dropped_overflow", Json::Int(static_cast<int64_t>(dropped_overflow)));
   j.Set("late_dropped", Json::Int(static_cast<int64_t>(late_dropped)));
+  j.Set("lost_unreplicated",
+        Json::Int(static_cast<int64_t>(lost_unreplicated)));
   j.Set("corrupt_files_skipped",
         Json::Int(static_cast<int64_t>(corrupt_files_skipped)));
   j.Set("in_flight_daemons",
@@ -45,6 +50,8 @@ Json DeliverySnapshot::ToJson() const {
         Json::Int(static_cast<int64_t>(in_flight_aggregators)));
   j.Set("in_flight_staging",
         Json::Int(static_cast<int64_t>(in_flight_staging)));
+  j.Set("in_flight_broker",
+        Json::Int(static_cast<int64_t>(in_flight_broker)));
   j.Set("balanced", Json::Bool(Balanced()));
   return j;
 }
@@ -63,6 +70,7 @@ DeliverySnapshot DeliveryAudit::Snapshot() const {
   snap.lost_in_crash = totals.entries_lost_in_crashes;
   snap.dropped_overflow = totals.entries_dropped_overflow;
   snap.late_dropped = totals.late_entries_dropped;
+  snap.lost_unreplicated = totals.entries_lost_unreplicated;
   snap.corrupt_files_skipped = mover.corrupt_files_skipped;
 
   for (size_t dc = 0; dc < cluster_->datacenter_count(); ++dc) {
@@ -83,6 +91,17 @@ DeliverySnapshot DeliveryAudit::Snapshot() const {
   snap.in_flight_staging = totals.entries_staged >= staged_resolved
                                ? totals.entries_staged - staged_resolved
                                : 0;
+
+  // Broker path: an acked (produced) entry is in flight until the consumer
+  // group commits past it or its partition loses it in failover. Also
+  // counter-derived. The broker path has no staging files, so the two
+  // in-flight terms never double count: on broker clusters entries_staged
+  // stays zero and `staged_resolved` clamps in_flight_staging to zero.
+  uint64_t broker_resolved =
+      totals.entries_consumed + totals.entries_lost_unreplicated;
+  snap.in_flight_broker = totals.entries_produced >= broker_resolved
+                              ? totals.entries_produced - broker_resolved
+                              : 0;
   return snap;
 }
 

@@ -19,7 +19,15 @@ namespace unilog::obs {
 ///                   + lost_in_crash        (aggregator crash loss window)
 ///                   + dropped_overflow     (aggregator buffer-limit drops)
 ///                   + late_dropped         (stragglers for moved hours)
-///                   + in_flight            (queued / buffered / staged)
+///                   + lost_unreplicated    (acked broker entries whose only
+///                                           replica died before catch-up)
+///                   + in_flight            (queued / buffered / staged /
+///                                           acked in a broker partition)
+///
+/// On the broker path an entry counts as warehoused once the mover's
+/// consumer group commits past it; between producer ack and that commit it
+/// sits in `in_flight_broker`. The identity therefore holds across leader
+/// failover and broker crashes, not just in steady state.
 ///
 /// Any imbalance means a loss channel is leaking uncounted — the class of
 /// bug this audit exists to catch.
@@ -34,6 +42,10 @@ struct DeliverySnapshot {
   uint64_t lost_in_crash = 0;
   uint64_t dropped_overflow = 0;
   uint64_t late_dropped = 0;
+  /// Acked broker entries that died with their only replica before a
+  /// follower caught up (async replication's loss window; zero under
+  /// acks=all with min_insync_replicas satisfied).
+  uint64_t lost_unreplicated = 0;
   /// Corrupt staged files are skipped whole; their message counts are
   /// unrecoverable, so a nonzero value here relaxes Balanced() to >=.
   uint64_t corrupt_files_skipped = 0;
@@ -42,15 +54,17 @@ struct DeliverySnapshot {
   uint64_t in_flight_daemons = 0;      // queued in daemon buffers
   uint64_t in_flight_aggregators = 0;  // buffered, not yet staged
   uint64_t in_flight_staging = 0;      // staged, not yet moved
+  uint64_t in_flight_broker = 0;       // acked, not yet consumer-committed
 
   uint64_t InFlight() const {
-    return in_flight_daemons + in_flight_aggregators + in_flight_staging;
+    return in_flight_daemons + in_flight_aggregators + in_flight_staging +
+           in_flight_broker;
   }
 
   /// Everything the accounting can explain.
   uint64_t Accounted() const {
     return warehoused + dropped_at_daemons + lost_in_crash + dropped_overflow +
-           late_dropped + InFlight();
+           late_dropped + lost_unreplicated + InFlight();
   }
 
   /// True when the audit identity holds. With corrupt files skipped the

@@ -23,6 +23,31 @@ void Histogram::Observe(double value) {
   ++buckets_[bucket];
 }
 
+double HistogramQuantile(const Histogram& hist, double q) {
+  if (hist.count() == 0) return 0;
+  q = std::min(1.0, std::max(0.0, q));
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(hist.count()));
+  if (rank < 1) rank = 1;
+  if (rank > hist.count()) rank = hist.count();
+
+  const auto& bounds = hist.bounds();
+  const auto& buckets = hist.bucket_counts();
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    cumulative += buckets[i];
+    if (cumulative < rank) continue;
+    // Linear interpolation within the containing bucket.
+    double lower = i == 0 ? hist.min() : bounds[i - 1];
+    double upper = i < bounds.size() ? bounds[i] : hist.max();
+    double fraction = static_cast<double>(rank - (cumulative - buckets[i])) /
+                      static_cast<double>(buckets[i]);
+    double value = lower + (upper - lower) * fraction;
+    return std::min(hist.max(), std::max(hist.min(), value));
+  }
+  return hist.max();
+}
+
 std::vector<double> MetricsRegistry::DefaultBounds() {
   std::vector<double> bounds;
   for (double b = 1; b <= 1e9; b *= 4) bounds.push_back(b);

@@ -72,6 +72,12 @@ class Histogram {
   double max_ = 0;
 };
 
+/// Approximate quantile (q in [0,1]) from a histogram's buckets: linear
+/// interpolation inside the containing bucket, clamped to the observed
+/// min/max. Returns 0 for an empty histogram. This is how the benches
+/// report tail latency (e.g. p99 end-to-end) from obs histograms.
+double HistogramQuantile(const Histogram& hist, double q);
+
 /// The unified metrics registry every delivery-path component reports
 /// into. One registry per assembled system (ScribeCluster /
 /// UnifiedLoggingPipeline); components constructed standalone fall back to

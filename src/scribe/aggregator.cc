@@ -1,5 +1,6 @@
 #include "scribe/aggregator.h"
 
+#include <algorithm>
 #include <limits>
 
 namespace unilog::scribe {
@@ -36,6 +37,7 @@ Aggregator::Aggregator(Simulator* sim, zk::ZooKeeper* zk,
       metrics->GetCounter("agg.entries_lost_in_crash", labels);
   entries_dropped_overflow_ =
       metrics->GetCounter("agg.entries_dropped_overflow", labels);
+  receive_throttled_ = metrics->GetCounter("agg.receive_throttled", labels);
   buffered_entries_gauge_ = metrics->GetGauge("agg.buffered_entries", labels);
   staging_file_bytes_ =
       metrics->GetHistogram("agg.staging_file_bytes", labels);
@@ -74,6 +76,9 @@ Status Aggregator::Start() {
                            .status());
   alive_ = true;
   ++incarnation_;
+  receive_tokens_ =
+      static_cast<double>(options_.aggregator_service_bytes_per_sec);
+  last_token_refill_ = sim_->Now();
   ScheduleRoll();
   return Status::OK();
 }
@@ -94,8 +99,30 @@ void Aggregator::Crash() {
   buffered_entries_gauge_->Set(0);
 }
 
+void Aggregator::RefillReceiveTokens() {
+  TimeMs now = sim_->Now();
+  double cap = static_cast<double>(options_.aggregator_service_bytes_per_sec);
+  receive_tokens_ = std::min(
+      cap, receive_tokens_ +
+               cap * static_cast<double>(now - last_token_refill_) / 1000.0);
+  last_token_refill_ = now;
+}
+
 Status Aggregator::Receive(const std::vector<LogEntry>& entries) {
   if (!alive_) return Status::Unavailable("aggregator down: " + id_);
+  if (options_.aggregator_service_bytes_per_sec > 0) {
+    // Token bucket modeling the single daemon→aggregator chain's service
+    // bound: the batch is accepted whole or not at all, and a rejected
+    // daemon keeps its queue and backs off.
+    RefillReceiveTokens();
+    uint64_t cost = 0;
+    for (const auto& entry : entries) cost += entry.message.size();
+    if (receive_tokens_ < static_cast<double>(cost)) {
+      receive_throttled_->Increment();
+      return Status::Unavailable("aggregator throttled: " + id_);
+    }
+    receive_tokens_ -= static_cast<double>(cost);
+  }
   TimeMs hour = TruncateToHour(sim_->Now());
   for (const auto& entry : entries) {
     HourBuffer& buffer = buffers_[{entry.category, hour}];

@@ -39,8 +39,19 @@ struct ScribeOptions {
   /// Daemon: buffer at most this many bytes while no aggregator is
   /// reachable; beyond it the oldest entries are dropped (counted).
   uint64_t daemon_buffer_limit_bytes = 64 * 1024 * 1024;
-  /// Daemon: wait this long after a failed send before retrying discovery.
+  /// Daemon: base backoff after a failed send. Doubles per consecutive
+  /// failed flush (capped below, deterministically jittered) so an outage
+  /// does not become a synchronized zk rediscovery herd.
   TimeMs daemon_retry_backoff_ms = 5 * kMillisPerSecond;
+  /// Daemon: ceiling for the exponential retry backoff.
+  TimeMs daemon_retry_backoff_max_ms = 60 * kMillisPerSecond;
+  /// Daemon: cap on payload bytes shipped per destination per flush;
+  /// 0 = whole queue (the historical behavior).
+  uint64_t daemon_max_batch_bytes = 0;
+  /// Aggregator: sustained receive service rate in bytes/sec (token bucket
+  /// with one second of burst); 0 = unlimited. Models the single-chain
+  /// bound the broker bench compares against.
+  uint64_t aggregator_service_bytes_per_sec = 0;
 };
 
 /// The ZooKeeper registry path for a datacenter's aggregators.
@@ -126,6 +137,7 @@ class Aggregator {
   bool RollBuffer(const BufferKey& key, HourBuffer* buffer);
   /// Drops the oldest buffered messages until under the buffer limit.
   void EnforceBufferLimit();
+  void RefillReceiveTokens();
 
   Simulator* sim_;
   zk::ZooKeeper* zk_;
@@ -145,6 +157,7 @@ class Aggregator {
   obs::Counter* hdfs_write_failures_;
   obs::Counter* entries_lost_in_crash_;
   obs::Counter* entries_dropped_overflow_;
+  obs::Counter* receive_throttled_;
   obs::Gauge* buffered_entries_gauge_;
   obs::Histogram* staging_file_bytes_;
 
@@ -160,6 +173,8 @@ class Aggregator {
   std::map<BufferKey, HourBuffer> buffers_;
   uint64_t buffered_bytes_ = 0;  // sum of HourBuffer::bytes
   uint64_t file_seq_ = 0;
+  double receive_tokens_ = 0;
+  TimeMs last_token_refill_ = 0;
 };
 
 }  // namespace unilog::scribe

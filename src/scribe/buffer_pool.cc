@@ -1,6 +1,8 @@
 #include "scribe/buffer_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
 namespace unilog::scribe {
 
@@ -26,6 +28,10 @@ BufferPool::Lease BufferPool::Acquire() {
   } else {
     buf->clear();  // capacity preserved — that is the point of the pool
   }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_bufs_.insert(buf.get());
+  }
   return Lease(this, std::move(buf));
 }
 
@@ -37,6 +43,19 @@ void BufferPool::Lease::Release() {
 
 void BufferPool::Return(std::unique_ptr<std::string> buf) {
   std::lock_guard<std::mutex> lock(mu_);
+  if (buf == nullptr || outstanding_bufs_.erase(buf.get()) == 0) {
+    // Owner-tag check failed: this buffer is not an outstanding lease of
+    // this pool. Putting it on the freelist would let two future leases
+    // alias the same bytes, so drop it on the floor (accounting untouched).
+    ++double_releases_;
+#ifdef UNILOG_SANITIZE
+    std::fprintf(stderr,
+                 "BufferPool: double release of buffer %p not outstanding\n",
+                 static_cast<const void*>(buf.get()));
+    std::abort();
+#endif
+    return;
+  }
   --outstanding_;
   if (free_.size() < max_pooled_) {
     free_.push_back(std::move(buf));
@@ -52,6 +71,7 @@ BufferPoolStats BufferPool::stats() const {
   s.outstanding = outstanding_;
   s.high_water = high_water_;
   s.pooled = free_.size();
+  s.double_releases = double_releases_;
   return s;
 }
 
@@ -72,6 +92,11 @@ void BufferPool::PublishMetrics(obs::MetricsRegistry* metrics,
       ->Set(static_cast<int64_t>(s.high_water));
   metrics->GetGauge("scribe.ingest.pool_free", labels)
       ->Set(static_cast<int64_t>(s.pooled));
+  obs::Counter* dbl =
+      metrics->GetCounter("scribe.ingest.pool_double_releases", labels);
+  if (s.double_releases > dbl->value()) {
+    dbl->Increment(s.double_releases - dbl->value());
+  }
 }
 
 }  // namespace unilog::scribe

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
@@ -19,6 +20,7 @@ struct BufferPoolStats {
   uint64_t outstanding = 0;  // leases currently held
   uint64_t high_water = 0;   // max simultaneous leases ever held
   uint64_t pooled = 0;       // buffers sitting in the freelist
+  uint64_t double_releases = 0;  // rejected returns of non-outstanding bufs
 };
 
 /// A small thread-safe freelist of staging byte buffers for the ingest hot
@@ -99,15 +101,33 @@ class BufferPool {
                       const obs::Labels& labels = {}) const;
 
  private:
+  friend class BufferPoolTestPeer;
+
   void Return(std::unique_ptr<std::string> buf);
 
   const size_t max_pooled_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<std::string>> free_;
+  // Owner tags: addresses of every buffer currently out on a lease. A
+  // return whose buffer is not in this set is a double release (or a
+  // foreign buffer) — recycling it would hand two future leases the same
+  // bytes, so it is rejected (and aborts under UNILOG_SANITIZE).
+  std::set<const std::string*> outstanding_bufs_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t outstanding_ = 0;
   uint64_t high_water_ = 0;
+  uint64_t double_releases_ = 0;
+};
+
+/// Test-only backdoor: lets the double-release regression test push a
+/// buffer at BufferPool::Return without going through a Lease (a real
+/// double release is memory-unsafe to stage directly).
+class BufferPoolTestPeer {
+ public:
+  static void Return(BufferPool* pool, std::unique_ptr<std::string> buf) {
+    pool->Return(std::move(buf));
+  }
 };
 
 }  // namespace unilog::scribe

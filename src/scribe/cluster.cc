@@ -23,11 +23,25 @@ ScribeCluster::ScribeCluster(Simulator* sim, ClusterTopology topology,
   aggregator_ptrs_.resize(dc_names_.size());
   daemons_.resize(dc_names_.size());
 
+  fleets_.resize(dc_names_.size());
+
   for (size_t dc = 0; dc < dc_names_.size(); ++dc) {
     const std::string& dc_name = dc_names_[dc];
     staging_[dc] = std::make_unique<hdfs::MiniHdfs>(
         sim_, hdfs::HdfsOptions{}, metrics_, "staging-" + dc_name);
-    for (int a = 0; a < topology_.aggregators_per_dc; ++a) {
+    if (topology_.brokers_per_dc > 0) {
+      // Broker tier replaces the aggregator chain in this datacenter.
+      std::vector<std::string> node_ids;
+      for (int b = 0; b < topology_.brokers_per_dc; ++b) {
+        node_ids.push_back(dc_name + "-brk" + std::to_string(b));
+      }
+      fleets_[dc] = std::make_unique<broker::BrokerFleet>(
+          sim_, &zk_, dc_name, std::move(node_ids),
+          topology_.broker_options, metrics_);
+    }
+    for (int a = 0;
+         topology_.brokers_per_dc == 0 && a < topology_.aggregators_per_dc;
+         ++a) {
       std::string id = dc_name + "-agg" + std::to_string(a);
       aggregators_[dc].push_back(std::make_unique<Aggregator>(
           sim_, &zk_, staging_[dc].get(), dc_name, id, scribe_options_,
@@ -46,19 +60,28 @@ ScribeCluster::ScribeCluster(Simulator* sim, ClusterTopology topology,
       daemons_[dc].push_back(std::make_unique<ScribeDaemon>(
           sim_, &zk_, dc_name, host, resolver, rng_.Fork(), scribe_options_,
           metrics_));
+      if (fleets_[dc] != nullptr) {
+        daemons_[dc].back()->SetBrokerFleet(fleets_[dc].get());
+      }
     }
   }
 
   std::vector<DatacenterHandle> handles;
   for (size_t dc = 0; dc < dc_names_.size(); ++dc) {
     handles.push_back(DatacenterHandle{dc_names_[dc], staging_[dc].get(),
-                                       &aggregator_ptrs_[dc]});
+                                       &aggregator_ptrs_[dc],
+                                       fleets_[dc].get()});
   }
   mover_ = std::make_unique<LogMover>(sim_, std::move(handles), &warehouse_,
                                       mover_options_, metrics_);
 }
 
 Status ScribeCluster::Start() {
+  for (auto& fleet : fleets_) {
+    if (fleet != nullptr) {
+      UNILOG_RETURN_NOT_OK(fleet->Start());
+    }
+  }
   for (auto& dc_aggs : aggregators_) {
     for (auto& agg : dc_aggs) {
       UNILOG_RETURN_NOT_OK(agg->Start());
@@ -89,6 +112,18 @@ const Aggregator* ScribeCluster::aggregator(size_t dc, size_t index) const {
   return aggregators_[dc][index].get();
 }
 
+size_t ScribeCluster::broker_count(size_t dc) const {
+  return fleets_[dc] == nullptr ? 0 : fleets_[dc]->node_count();
+}
+
+broker::BrokerFleet* ScribeCluster::fleet(size_t dc) {
+  return fleets_[dc].get();
+}
+
+broker::BrokerNode* ScribeCluster::broker(size_t dc, size_t index) {
+  return fleets_[dc]->node(index);
+}
+
 hdfs::MiniHdfs* ScribeCluster::staging(size_t dc) {
   return staging_[dc].get();
 }
@@ -107,6 +142,18 @@ Status ScribeCluster::RestartAggregator(size_t dc, size_t index) {
   return aggregators_[dc][index]->Start();
 }
 
+void ScribeCluster::CrashBroker(size_t dc, size_t index) {
+  fleets_[dc]->node(index)->Crash();
+}
+
+Status ScribeCluster::RestartBroker(size_t dc, size_t index) {
+  return fleets_[dc]->node(index)->Start();
+}
+
+Status ScribeCluster::ExpireBrokerSession(size_t dc, size_t index) {
+  return fleets_[dc]->node(index)->ExpireSession();
+}
+
 void ScribeCluster::SetStagingAvailable(size_t dc, bool available) {
   staging_[dc]->SetAvailable(available);
 }
@@ -120,7 +167,17 @@ ClusterStats ScribeCluster::TotalStats() const {
       total.entries_dropped_at_daemons += s.entries_dropped;
       total.daemon_rediscoveries += s.rediscoveries;
       total.send_failures += s.send_failures;
+      total.produce_throttled += s.produce_throttled;
     }
+  }
+  for (const auto& fleet : fleets_) {
+    if (fleet == nullptr) continue;
+    const broker::BrokerFleetStats s = fleet->TotalStats();
+    total.entries_produced += s.entries_produced;
+    total.entries_dup_resends += s.entries_duplicate;
+    total.entries_lost_unreplicated += s.entries_lost_failover;
+    total.entries_consumed += s.entries_consumed;
+    total.broker_elections += s.elections_won;
   }
   for (const auto& dc_aggs : aggregators_) {
     for (const auto& agg : dc_aggs) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "broker/fleet.h"
 #include "common/rng.h"
 #include "hdfs/mini_hdfs.h"
 #include "obs/metrics.h"
@@ -23,6 +24,12 @@ struct ClusterTopology {
   std::vector<std::string> datacenters = {"dc1", "dc2", "dc3"};
   int aggregators_per_dc = 2;
   int daemons_per_dc = 10;
+  /// When > 0 each datacenter runs a partitioned, replicated broker tier
+  /// instead of the aggregator chain: daemons produce to partition leaders
+  /// (idempotent, acked, backpressured) and the log mover consumes as a
+  /// consumer group — the warehouse path is unchanged downstream.
+  int brokers_per_dc = 0;
+  broker::BrokerOptions broker_options;
 };
 
 /// Aggregated fleet-wide delivery counters. Every loss channel the
@@ -37,6 +44,14 @@ struct ClusterStats {
   uint64_t messages_in_warehouse = 0;      // from the log mover
   uint64_t daemon_rediscoveries = 0;
   uint64_t send_failures = 0;
+  uint64_t produce_throttled = 0;          // broker backpressure pushbacks
+  // Broker tier (all zero when brokers_per_dc == 0):
+  uint64_t entries_produced = 0;           // acked by partition leaders
+  uint64_t entries_dup_resends = 0;        // (producer, seq) dedup hits
+  uint64_t entries_lost_unreplicated = 0;  // acked-but-unreplicated, lost
+                                           // when their only holder died
+  uint64_t entries_consumed = 0;           // fetched by consumer groups
+  uint64_t broker_elections = 0;
 };
 
 /// The full Figure-1 assembly: per-datacenter Scribe daemons and
@@ -68,6 +83,9 @@ class ScribeCluster {
   const ScribeDaemon* daemon(size_t dc, size_t index) const;
   Aggregator* aggregator(size_t dc, size_t index);
   const Aggregator* aggregator(size_t dc, size_t index) const;
+  size_t broker_count(size_t dc) const;
+  broker::BrokerFleet* fleet(size_t dc);
+  broker::BrokerNode* broker(size_t dc, size_t index);
   hdfs::MiniHdfs* staging(size_t dc);
   hdfs::MiniHdfs* warehouse() { return &warehouse_; }
   zk::ZooKeeper* zookeeper() { return &zk_; }
@@ -85,6 +103,9 @@ class ScribeCluster {
   // --- Failure injection ---
   void CrashAggregator(size_t dc, size_t index);
   Status RestartAggregator(size_t dc, size_t index);
+  void CrashBroker(size_t dc, size_t index);
+  Status RestartBroker(size_t dc, size_t index);
+  Status ExpireBrokerSession(size_t dc, size_t index);
   void SetStagingAvailable(size_t dc, bool available);
 
   /// Sums stats across the fleet.
@@ -106,6 +127,8 @@ class ScribeCluster {
   // Borrowed pointers for the mover's barrier checks, one vector per DC.
   std::vector<std::vector<Aggregator*>> aggregator_ptrs_;
   std::vector<std::vector<std::unique_ptr<ScribeDaemon>>> daemons_;
+  // One broker fleet per DC when brokers_per_dc > 0, else empty.
+  std::vector<std::unique_ptr<broker::BrokerFleet>> fleets_;
   std::unique_ptr<LogMover> mover_;
   Rng rng_;
   uint64_t round_robin_ = 0;

@@ -4,10 +4,12 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "broker/fleet.h"
 #include "common/rng.h"
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -26,6 +28,7 @@ struct DaemonStats {
   uint64_t entries_dropped = 0;  // buffer-limit overflow
   uint64_t send_failures = 0;
   uint64_t rediscoveries = 0;
+  uint64_t produce_throttled = 0;  // broker backpressure pushbacks
 };
 
 /// A Scribe daemon: runs on every production host, queues local log
@@ -52,6 +55,12 @@ class ScribeDaemon {
   ScribeDaemon(const ScribeDaemon&) = delete;
   ScribeDaemon& operator=(const ScribeDaemon&) = delete;
 
+  /// Switches the daemon into broker-producer mode: Flush() partitions the
+  /// queue by category and produces to partition leaders with per-daemon
+  /// sequence numbers (idempotent delivery) instead of shipping whole
+  /// batches to an aggregator. Call before Start().
+  void SetBrokerFleet(broker::BrokerFleet* fleet) { fleet_ = fleet; }
+
   /// Starts the periodic flush loop.
   void Start();
 
@@ -59,20 +68,38 @@ class ScribeDaemon {
   void Log(LogEntry entry);
   void Log(const std::string& category, std::string message);
 
-  /// Flushes queued entries to the current aggregator now; on failure,
+  /// Flushes queued entries to the current destination now; on failure,
   /// re-discovers and leaves entries queued. Normally timer-driven.
   void Flush();
 
-  /// Entries queued but not yet acknowledged by an aggregator.
+  /// Entries queued but not yet acknowledged downstream.
   size_t QueuedEntries() const { return queue_.size(); }
 
   DaemonStats stats() const;
   const std::string& host() const { return host_; }
 
  private:
+  /// A queued entry plus the per-daemon sequence number assigned at Log()
+  /// time. Sequence numbers travel with every send so downstream dedup can
+  /// make crash-retry idempotent.
+  struct Queued {
+    LogEntry entry;
+    uint64_t seq = 0;
+    TimeMs logged_at = 0;
+  };
+
   void ScheduleFlush();
   /// Picks a live aggregator from ZooKeeper; nullptr when none registered.
   Aggregator* Discover();
+  bool FlushToAggregator();
+  bool FlushToBroker();
+  broker::BrokerNode* DiscoverLeader(const std::string& category,
+                                     int partition);
+  /// Capped exponential backoff with deterministic (Rng-seeded) jitter:
+  /// doubles per consecutive failed flush up to daemon_retry_backoff_max_ms,
+  /// jittered into [1/2, 1]× so an outage does not synchronize the whole
+  /// daemon herd onto one zk rediscovery tick.
+  void EnterBackoff();
 
   Simulator* sim_;
   zk::ZooKeeper* zk_;
@@ -88,17 +115,23 @@ class ScribeDaemon {
   obs::Counter* entries_dropped_;
   obs::Counter* send_failures_;
   obs::Counter* rediscoveries_;
+  obs::Counter* produce_throttled_;
   obs::Gauge* queue_depth_;
   obs::Histogram* batch_entries_;
 
   bool started_ = false;
   Aggregator* current_ = nullptr;
+  broker::BrokerFleet* fleet_ = nullptr;
+  // Cached partition leader per category; invalidated on rejection/death.
+  std::map<std::string, broker::BrokerNode*> leader_cache_;
   // Send batch assembled from queue_ each flush; member so its capacity is
   // reused across the once-per-second flush timer.
   std::vector<LogEntry> batch_;
-  std::deque<LogEntry> queue_;
+  std::deque<Queued> queue_;
   uint64_t queue_bytes_ = 0;
+  uint64_t next_seq_ = 0;
   TimeMs backoff_until_ = 0;
+  int fail_streak_ = 0;
 };
 
 }  // namespace unilog::scribe

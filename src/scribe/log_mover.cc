@@ -81,6 +81,7 @@ LogMover::LogMover(Simulator* sim, std::vector<DatacenterHandle> datacenters,
   ingest_parts_built_parallel_ =
       metrics->GetCounter("scribe.ingest.parts_built_parallel");
   warehouse_file_bytes_ = metrics->GetHistogram("mover.warehouse_file_bytes");
+  broker_e2e_latency_ = metrics->GetHistogram("broker.e2e_latency_ms");
 }
 
 void LogMover::RunStage(const char* stage, size_t n,
@@ -155,6 +156,7 @@ bool LogMover::AggregatorsFlushed(TimeMs hour) const {
   // made available... all datacenters that produce a given log category
   // have transferred their logs", §2).
   for (const auto& dc : datacenters_) {
+    if (dc.aggregators == nullptr) continue;  // broker-only datacenter
     for (const Aggregator* agg : *dc.aggregators) {
       if (agg->alive() && agg->UnflushedWatermark() <= hour) return false;
     }
@@ -184,7 +186,9 @@ bool LogMover::MoveHour(TimeMs hour) {
     if (!st.ok()) return false;  // e.g. warehouse outage: retry whole hour
     categories_moved_->Increment();
   }
-  return true;
+  // Broker-fed categories ride the same hour barrier: the consumer group
+  // drains each partition up to the hour close before the hour advances.
+  return MoveBrokerHour(hour);
 }
 
 Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
@@ -255,6 +259,23 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
     for (auto& m : slot.messages) merged.push_back(std::move(m));
   }
   if (merged.empty()) return Status::OK();
+
+  UNILOG_RETURN_NOT_OK(CommitMergedHour(category, hour, merged));
+
+  // 4. Clean up staging.
+  for (const auto& dc : datacenters_) {
+    std::string dir = "/staging/" + category + "/" + hour_fragment;
+    if (dc.staging->Exists(dir)) {
+      UNILOG_RETURN_NOT_OK(dc.staging->Delete(dir, /*recursive=*/true));
+    }
+  }
+  return Status::OK();
+}
+
+Status LogMover::CommitMergedHour(const std::string& category, TimeMs hour,
+                                  const std::vector<std::string>& merged) {
+  std::string hour_fragment = HourPartitionPath(hour);
+  std::string final_dir = "/logs/" + category + "/" + hour_fragment;
 
   // 2. Write a few big files into a warehouse tmp dir.
   std::string tmp_dir = "/tmp/logmover/" + category + "/" + hour_fragment;
@@ -361,15 +382,91 @@ Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
     UNILOG_RETURN_NOT_OK(
         etwin::EventNameIndex::BuildForDir(warehouse_, final_dir));
   }
+  return Status::OK();
+}
 
-  // 4. Clean up staging.
+bool LogMover::MoveBrokerHour(TimeMs hour) {
+  // Union of topics across every datacenter's broker tier (sorted, so the
+  // warehouse commit order is deterministic).
+  std::set<std::string> topics;
+  bool any_fleet = false;
   for (const auto& dc : datacenters_) {
-    std::string dir = "/staging/" + category + "/" + hour_fragment;
-    if (dc.staging->Exists(dir)) {
-      UNILOG_RETURN_NOT_OK(dc.staging->Delete(dir, /*recursive=*/true));
+    if (dc.fleet == nullptr) continue;
+    any_fleet = true;
+    auto listed = dc.fleet->ListTopics();
+    if (!listed.ok()) {
+      if (listed.status().IsNotFound()) continue;  // no topics yet
+      return false;
+    }
+    topics.insert(listed->begin(), listed->end());
+  }
+  if (!any_fleet) return true;
+
+  TimeMs close = hour + kMillisPerHour;
+  for (const auto& category : topics) {
+    // 1. Fetch every partition of every datacenter from its leader, from
+    //    the group's committed offset up to the hour boundary. A leaderless
+    //    partition (all replicas down) stalls the hour — backpressure holds
+    //    the data at the producers, and the hour is retried next run.
+    struct PendingCommit {
+      broker::BrokerFleet* fleet;
+      int partition;
+      uint64_t next_offset;
+      uint64_t records;
+      uint64_t bytes;
+    };
+    std::vector<PendingCommit> commits;
+    std::vector<std::string> merged;
+    std::vector<TimeMs> latencies;
+    for (const auto& dc : datacenters_) {
+      if (dc.fleet == nullptr) continue;
+      for (int p = 0; p < dc.fleet->options().num_partitions; ++p) {
+        uint64_t from =
+            dc.fleet->CommittedOffset(options_.consumer_group, category, p);
+        broker::BrokerNode* leader = dc.fleet->FindLeader(category, p);
+        if (leader == nullptr) return false;  // leaderless: retry the hour
+        auto read = leader->ConsumerFetch(category, p, from, close);
+        if (!read.ok()) return false;
+        uint64_t bytes = 0;
+        for (auto& rec : read->records) {
+          bytes += rec.payload.size();
+          latencies.push_back(sim_->Now() - rec.logged_at);
+          merged.push_back(std::move(rec.payload));
+        }
+        if (read->next_offset > from) {
+          commits.push_back(PendingCommit{dc.fleet, p, read->next_offset,
+                                          read->records.size(), bytes});
+        }
+      }
+    }
+
+    // 2. Commit the merged payloads, unless a previous attempt already
+    //    slid this hour (its offset commit failed afterwards): the records
+    //    are in the warehouse, only the offsets still need persisting.
+    if (!merged.empty()) {
+      std::string final_dir =
+          "/logs/" + category + "/" + HourPartitionPath(hour);
+      if (!warehouse_->Exists(final_dir)) {
+        if (!CommitMergedHour(category, hour, merged).ok()) return false;
+      }
+      categories_moved_->Increment();
+    }
+
+    // 3. Persist the consumer group's progress; the fleet counts the
+    //    consumption and lets leaders trim below the group minimum.
+    for (const auto& c : commits) {
+      if (!c.fleet
+               ->CommitOffset(options_.consumer_group, category, c.partition,
+                              c.next_offset, c.records, c.bytes)
+               .ok()) {
+        return false;
+      }
+    }
+    for (TimeMs l : latencies) {
+      broker_e2e_latency_->Observe(static_cast<double>(l));
     }
   }
-  return Status::OK();
+  return true;
 }
 
 Status LogMover::DropLateStaging(const std::string& category, TimeMs hour) {

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "broker/fleet.h"
 #include "common/result.h"
 #include "common/sim_time.h"
 #include "common/status.h"
@@ -52,6 +53,10 @@ struct LogMoverOptions {
   /// the staged warehouse bytes are byte-identical at any thread count.
   /// Borrowed; must outlive the mover. nullptr = the serial path.
   exec::Executor* executor = nullptr;
+  /// Consumer group under which the mover commits its broker offsets in zk.
+  /// Restarting the mover resumes exactly where the group left off, so the
+  /// warehouse never double-ingests a partition range.
+  std::string consumer_group = "log-mover";
 };
 
 /// A datacenter as the log mover sees it: its staging cluster plus the
@@ -60,6 +65,11 @@ struct DatacenterHandle {
   std::string name;
   hdfs::MiniHdfs* staging = nullptr;
   const std::vector<Aggregator*>* aggregators = nullptr;
+  /// When the datacenter runs a broker tier instead of (or alongside) the
+  /// aggregator chain, the mover consumes each topic partition from its
+  /// leader as consumer group `consumer_group`, so the warehouse path is
+  /// unchanged downstream of the merge.
+  broker::BrokerFleet* fleet = nullptr;
 };
 
 /// Mover metrics, materialized from the metrics registry.
@@ -139,6 +149,19 @@ class LogMover {
   /// Merges one (category, hour) from all datacenters into the warehouse.
   Status MoveCategoryHour(const std::string& category, TimeMs hour);
 
+  /// Consumes every broker topic partition up to `hour`'s close and commits
+  /// the merged payloads into the warehouse, then persists the consumer
+  /// group's offsets. Returns false when the hour must be retried (a
+  /// partition is leaderless, or the warehouse/zk write failed).
+  bool MoveBrokerHour(TimeMs hour);
+
+  /// The shared warehouse-commit tail: writes `merged` as a few big parts
+  /// into a tmp dir, atomically slides the hour to
+  /// /logs/<category>/YYYY/MM/DD/HH/, and builds any configured index.
+  /// Used by both the staging merge and the broker consumer.
+  Status CommitMergedHour(const std::string& category, TimeMs hour,
+                          const std::vector<std::string>& merged);
+
   /// Runs body(i) for i in [0, n): on the executor's workers when one is
   /// configured, inline otherwise. Bodies must write only to per-index
   /// slots (the determinism contract of unilog::exec).
@@ -181,6 +204,8 @@ class LogMover {
   obs::Counter* ingest_files_unstaged_parallel_;
   obs::Counter* ingest_parts_built_parallel_;
   obs::Histogram* warehouse_file_bytes_;
+  // Log()-to-warehouse-ingest latency for broker-consumed records.
+  obs::Histogram* broker_e2e_latency_;
 
   bool started_ = false;
   TimeMs next_hour_ = 0;

@@ -126,8 +126,10 @@ Result<std::string> ZooKeeper::Create(SessionId session,
   nodes_[actual] = std::move(node);
   znodes_created_->Increment();
 
-  FireWatches(&exists_watchers_, actual, WatchEvent::kCreated);
-  FireWatches(&children_watchers_, parent, WatchEvent::kChildrenChanged);
+  FireWatches(&exists_watchers_, &pending_exists_, actual,
+              WatchEvent::kCreated);
+  FireWatches(&children_watchers_, &pending_children_, parent,
+              WatchEvent::kChildrenChanged);
   return actual;
 }
 
@@ -149,9 +151,9 @@ Status ZooKeeper::DeleteInternal(const std::string& path) {
     auto sit = session_ephemerals_.find(owner);
     if (sit != session_ephemerals_.end()) sit->second.erase(path);
   }
-  FireWatches(&exists_watchers_, path, WatchEvent::kDeleted);
-  FireWatches(&data_watchers_, path, WatchEvent::kDeleted);
-  FireWatches(&children_watchers_, ParentOf(path),
+  FireWatches(&exists_watchers_, &pending_exists_, path, WatchEvent::kDeleted);
+  FireWatches(&data_watchers_, &pending_data_, path, WatchEvent::kDeleted);
+  FireWatches(&children_watchers_, &pending_children_, ParentOf(path),
               WatchEvent::kChildrenChanged);
   return Status::OK();
 }
@@ -180,7 +182,7 @@ Status ZooKeeper::SetData(SessionId session, const std::string& path,
   if (it == nodes_.end()) return Status::NotFound("no such znode: " + path);
   it->second.data = data;
   ++it->second.version;
-  FireWatches(&data_watchers_, path, WatchEvent::kDataChanged);
+  FireWatches(&data_watchers_, &pending_data_, path, WatchEvent::kDataChanged);
   return Status::OK();
 }
 
@@ -228,24 +230,50 @@ void ZooKeeper::WatchData(const std::string& path, Watcher watcher) {
 }
 
 void ZooKeeper::FireWatches(std::multimap<std::string, Watcher>* table,
-                            const std::string& path, WatchEvent ev) {
+                            PendingTable* pending, const std::string& path,
+                            WatchEvent ev) {
+  // A fired watch stays live until its callback runs: events landing in the
+  // fire→delivery window update the pending record so the callback reports
+  // the latest transition instead of a stale (possibly reverted) one.
+  auto prange = pending->equal_range(path);
+  for (auto it = prange.first; it != prange.second; ++it) {
+    it->second->event = ev;
+  }
+
   auto range = table->equal_range(path);
   if (range.first == range.second) return;
-  std::vector<Watcher> to_fire;
+  std::vector<std::shared_ptr<PendingWatch>> fired;
   for (auto it = range.first; it != range.second; ++it) {
-    to_fire.push_back(std::move(it->second));
+    fired.push_back(std::make_shared<PendingWatch>(
+        PendingWatch{std::move(it->second), ev, path}));
   }
   table->erase(range.first, range.second);  // one-shot semantics
-  watch_fires_->Increment(to_fire.size());
-  for (auto& w : to_fire) {
+  watch_fires_->Increment(fired.size());
+  for (auto& w : fired) {
     if (sim_ != nullptr) {
       // Deliver asynchronously on the virtual clock, as a real client would
       // observe.
-      sim_->After(0, [w = std::move(w), ev, path]() { w(ev, path); });
+      pending->emplace(path, w);
+      sim_->After(0, [this, pending, w]() { DeliverPending(pending, w); });
     } else {
-      w(ev, path);
+      w->watcher(w->event, w->path);
     }
   }
+}
+
+void ZooKeeper::DeliverPending(PendingTable* pending,
+                               const std::shared_ptr<PendingWatch>& watch) {
+  // Unregister before invoking: events caused by the callback itself must
+  // go to whatever watch the client re-arms, not coalesce into this
+  // already-delivered record.
+  auto range = pending->equal_range(watch->path);
+  for (auto it = range.first; it != range.second; ++it) {
+    if (it->second == watch) {
+      pending->erase(it);
+      break;
+    }
+  }
+  watch->watcher(watch->event, watch->path);
 }
 
 }  // namespace unilog::zk

@@ -106,6 +106,15 @@ class ZooKeeper {
   Result<ZnodeStat> Stat(const std::string& path) const;
 
   // --- Watches (one-shot, as in ZooKeeper) ---
+  //
+  // Delivery is deferred onto the virtual clock (sim_->After(0)), and a
+  // fired watch stays armed until its callback actually runs: an event
+  // striking the same path between fire and delivery is coalesced into the
+  // pending callback (which then reports the *latest* transition) rather
+  // than lost. Without this, a client that re-registers inside its
+  // callback has a re-arm race — a create immediately undone by a delete
+  // would be reported as "created" for a node that no longer exists, which
+  // is fatal for leader election built on ephemeral candidate znodes.
 
   /// Fires once on the next create or delete of `path`.
   void WatchExists(const std::string& path, Watcher watcher);
@@ -134,8 +143,22 @@ class ZooKeeper {
   static Status ValidatePath(const std::string& path);
   static std::string ParentOf(const std::string& path);
 
+  /// A watch that has fired but whose callback has not yet run on the
+  /// virtual clock. Until delivery the watch is still live: further events
+  /// on the path overwrite `event`, so the callback observes the latest
+  /// transition instead of a stale one.
+  struct PendingWatch {
+    Watcher watcher;
+    WatchEvent event;
+    std::string path;
+  };
+  using PendingTable = std::multimap<std::string, std::shared_ptr<PendingWatch>>;
+
   void FireWatches(std::multimap<std::string, Watcher>* table,
-                   const std::string& path, WatchEvent ev);
+                   PendingTable* pending, const std::string& path,
+                   WatchEvent ev);
+  void DeliverPending(PendingTable* pending,
+                      const std::shared_ptr<PendingWatch>& watch);
   Status DeleteInternal(const std::string& path);
 
   Simulator* sim_;
@@ -154,6 +177,10 @@ class ZooKeeper {
   std::multimap<std::string, Watcher> exists_watchers_;
   std::multimap<std::string, Watcher> children_watchers_;
   std::multimap<std::string, Watcher> data_watchers_;
+
+  PendingTable pending_exists_;
+  PendingTable pending_children_;
+  PendingTable pending_data_;
 };
 
 }  // namespace unilog::zk

@@ -1,0 +1,622 @@
+// Tests for the partitioned replicated commit log under Scribe: the
+// PartitionLog storage unit, BrokerNode produce/dedup/backpressure, zk
+// leader election, and the chaos suite — leader kill mid-produce, session
+// expiry during election, acks=all with a replica down — each asserting
+// the delivery audit stays balanced at quiescence and consumer-group
+// offsets never move backwards.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "broker/broker.h"
+#include "broker/fleet.h"
+#include "broker/partition_log.h"
+#include "obs/delivery_audit.h"
+#include "scribe/cluster.h"
+#include "sim/simulator.h"
+#include "zk/zookeeper.h"
+
+namespace unilog::broker {
+namespace {
+
+constexpr TimeMs kT0 = 1345507200000;  // 2012-08-21 00:00 UTC
+constexpr TimeMs kFarFuture = kT0 + 365 * 24 * kMillisPerHour;
+
+// ---------------------------------------------------------------------------
+// PartitionLog
+
+TEST(PartitionLogTest, AppendAssignsDenseOffsets) {
+  PartitionLog log;
+  EXPECT_EQ(log.Append("h1", 1, kT0, kT0, "a").offset, 0u);
+  EXPECT_EQ(log.Append("h1", 2, kT0, kT0, "bb").offset, 1u);
+  EXPECT_EQ(log.Append("h2", 1, kT0, kT0, "ccc").offset, 2u);
+  EXPECT_EQ(log.end_offset(), 3u);
+  EXPECT_EQ(log.begin_offset(), 0u);
+  EXPECT_EQ(log.entry_count(), 3u);
+  EXPECT_EQ(log.byte_size(), 6u);
+}
+
+TEST(PartitionLogTest, TrimRaisesBeginAndNeverLowers) {
+  PartitionLog log;
+  for (int i = 0; i < 5; ++i) log.Append("h", i + 1, kT0, kT0, "xy");
+  log.TrimTo(3);
+  EXPECT_EQ(log.begin_offset(), 3u);
+  EXPECT_EQ(log.entry_count(), 2u);
+  EXPECT_EQ(log.byte_size(), 4u);
+  log.TrimTo(1);  // no-op: begin never moves backwards
+  EXPECT_EQ(log.begin_offset(), 3u);
+  auto read = log.ReadFrom(0, log.end_offset(), kFarFuture);
+  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.records[0].offset, 3u);
+  EXPECT_EQ(read.next_offset, 5u);
+}
+
+TEST(PartitionLogTest, ReadFromStopsAtTimestampLimit) {
+  PartitionLog log;
+  log.Append("h", 1, kT0, kT0, "a");
+  log.Append("h", 2, kT0 + 10, kT0, "b");
+  log.Append("h", 3, kT0 + 20, kT0, "c");
+  auto read = log.ReadFrom(0, log.end_offset(), kT0 + 20);
+  ASSERT_EQ(read.records.size(), 2u);
+  // next_offset marks the first excluded record so consumption resumes
+  // exactly at the hour boundary.
+  EXPECT_EQ(read.next_offset, 2u);
+}
+
+TEST(PartitionLogTest, AdvanceToOpensExplicitGap) {
+  PartitionLog log;
+  log.Append("h", 1, kT0, kT0, "a");
+  log.AdvanceTo(10);  // entries 1..9 died with the old leader
+  EXPECT_EQ(log.end_offset(), 10u);
+  EXPECT_EQ(log.Append("h", 2, kT0, kT0, "b").offset, 10u);
+  // Reading across the gap skips to the next retained record.
+  auto read = log.ReadFrom(0, log.end_offset(), kFarFuture);
+  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.records[1].offset, 10u);
+  EXPECT_EQ(read.next_offset, 11u);
+}
+
+TEST(PartitionLogTest, AppendRecordRejectsCoveredOffsets) {
+  PartitionLog log;
+  log.Append("h", 1, kT0, kT0, "a");
+  Record dup;
+  dup.offset = 0;
+  dup.payload = "zz";
+  EXPECT_FALSE(log.AppendRecord(dup));  // already covered locally
+  Record next;
+  next.offset = 5;  // mirrors a leader gap
+  next.producer = "h";
+  next.seq = 9;
+  next.payload = "b";
+  EXPECT_TRUE(log.AppendRecord(next));
+  EXPECT_EQ(log.end_offset(), 6u);
+  EXPECT_EQ(log.ProducerHighWatermarks(6)["h"], 9u);
+}
+
+// ---------------------------------------------------------------------------
+// BrokerNode + fleet unit behavior
+
+struct FleetHarness {
+  Simulator sim{kT0};
+  zk::ZooKeeper zk{&sim};
+  obs::MetricsRegistry metrics{&sim};
+  std::unique_ptr<BrokerFleet> fleet;
+
+  explicit FleetHarness(int nodes, BrokerOptions options) {
+    std::vector<std::string> ids;
+    for (int i = 0; i < nodes; ++i) ids.push_back("brk" + std::to_string(i));
+    fleet = std::make_unique<BrokerFleet>(&sim, &zk, "dc1", std::move(ids),
+                                          options, &metrics);
+    EXPECT_TRUE(fleet->Start().ok());
+  }
+
+  BrokerNode* Leader(const std::string& category, int partition) {
+    return fleet->FindLeader(category, partition);
+  }
+
+  Status ProduceOne(const std::string& category, int partition,
+                    const std::string& producer, uint64_t seq,
+                    const std::string& payload, ProduceAck* ack = nullptr) {
+    ProduceAck local;
+    std::vector<ProduceItem> items{ProduceItem{seq, sim.Now(), payload}};
+    BrokerNode* leader = Leader(category, partition);
+    if (leader == nullptr) return Status::Unavailable("leaderless");
+    return leader->Produce(category, partition, producer, items,
+                           ack != nullptr ? ack : &local);
+  }
+};
+
+TEST(BrokerNodeTest, AssignedReplicasAreDistinctAndRotate) {
+  std::vector<std::string> ids{"a", "b", "c", "d"};
+  auto r1 = BrokerNode::AssignedReplicas(ids, "clicks", 0, 2);
+  ASSERT_EQ(r1.size(), 2u);
+  EXPECT_NE(r1[0], r1[1]);
+  auto r2 = BrokerNode::AssignedReplicas(ids, "clicks", 1, 2);
+  // Consecutive partitions rotate one step through the fleet.
+  EXPECT_EQ(r2[0], r1[1]);
+  // Replication can never exceed the fleet size.
+  EXPECT_EQ(BrokerNode::AssignedReplicas(ids, "x", 0, 9).size(), 4u);
+}
+
+TEST(BrokerNodeTest, ProduceDedupsOnProducerSeq) {
+  BrokerOptions options;
+  options.num_partitions = 1;
+  options.replication_factor = 1;
+  FleetHarness h(1, options);
+  ASSERT_TRUE(h.fleet->EnsureTopic("clicks").ok());
+
+  ProduceAck ack;
+  std::vector<ProduceItem> batch{ProduceItem{1, kT0, "a"},
+                                 ProduceItem{2, kT0, "b"},
+                                 ProduceItem{3, kT0, "c"}};
+  BrokerNode* leader = h.Leader("clicks", 0);
+  ASSERT_NE(leader, nullptr);
+  ASSERT_TRUE(leader->Produce("clicks", 0, "host1", batch, &ack).ok());
+  EXPECT_EQ(ack.accepted, 3u);
+  EXPECT_EQ(ack.deduped, 0u);
+
+  // A crash-retry resend of the same (producer, seq) batch must not
+  // re-append or re-count: entries_sent can never inflate past logged.
+  ASSERT_TRUE(leader->Produce("clicks", 0, "host1", batch, &ack).ok());
+  EXPECT_EQ(ack.accepted, 0u);
+  EXPECT_EQ(ack.deduped, 3u);
+  const BrokerNodeStats stats = leader->stats();
+  EXPECT_EQ(stats.entries_produced, 3u);
+  EXPECT_EQ(stats.entries_duplicate, 3u);
+  auto read = leader->ConsumerFetch("clicks", 0, 0, kFarFuture);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 3u);
+}
+
+TEST(BrokerNodeTest, BackpressureThrottlesInsteadOfDropping) {
+  BrokerOptions options;
+  options.num_partitions = 1;
+  options.replication_factor = 1;
+  options.partition_inflight_limit_bytes = 8;
+  FleetHarness h(1, options);
+  ASSERT_TRUE(h.fleet->EnsureTopic("clicks").ok());
+
+  ASSERT_TRUE(h.ProduceOne("clicks", 0, "host1", 1, "0123456789").ok());
+  // The retained log is past the window: the next produce is pushed back,
+  // not silently dropped-oldest.
+  Status st = h.ProduceOne("clicks", 0, "host1", 2, "x");
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_EQ(h.Leader("clicks", 0)->stats().throttled_backpressure, 1u);
+
+  // Consuming (and committing) drains the window and produce resumes.
+  auto read = h.Leader("clicks", 0)->ConsumerFetch("clicks", 0, 0, kFarFuture);
+  ASSERT_TRUE(read.ok());
+  ASSERT_TRUE(h.fleet
+                  ->CommitOffset("log-mover", "clicks", 0, read->next_offset,
+                                 read->records.size(), 10)
+                  .ok());
+  EXPECT_TRUE(h.ProduceOne("clicks", 0, "host1", 2, "x").ok());
+}
+
+TEST(BrokerNodeTest, FailoverElectsMostCaughtUpReplica) {
+  BrokerOptions options;
+  options.num_partitions = 1;
+  options.replication_factor = 2;
+  options.replica_fetch_interval_ms = 500;
+  FleetHarness h(2, options);
+  ASSERT_TRUE(h.fleet->EnsureTopic("clicks").ok());
+
+  BrokerNode* first = h.Leader("clicks", 0);
+  ASSERT_NE(first, nullptr);
+  for (uint64_t seq = 1; seq <= 10; ++seq) {
+    ASSERT_TRUE(
+        h.ProduceOne("clicks", 0, "host1", seq, "payload").ok());
+  }
+  // Let the follower mirror, then kill the leader.
+  h.sim.RunUntil(kT0 + 2 * kMillisPerSecond);
+  first->Crash();
+  h.sim.RunUntil(kT0 + 3 * kMillisPerSecond);
+
+  BrokerNode* second = h.Leader("clicks", 0);
+  ASSERT_NE(second, nullptr);
+  EXPECT_NE(second, first);
+  EXPECT_TRUE(second->IsLeader("clicks", 0));
+  // Everything was replicated before the crash: no failover loss, and the
+  // full range stays consumable from the new leader.
+  EXPECT_EQ(second->stats().entries_lost_failover, 0u);
+  auto read = second->ConsumerFetch("clicks", 0, 0, kFarFuture);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->records.size(), 10u);
+  // The new leader inherits the idempotence table: the old producer's
+  // seqs stay deduped.
+  ProduceAck ack;
+  ASSERT_TRUE(h.ProduceOne("clicks", 0, "host1", 10, "payload", &ack).ok());
+  EXPECT_EQ(ack.accepted, 0u);
+  EXPECT_EQ(ack.deduped, 1u);
+}
+
+TEST(BrokerNodeTest, UnreplicatedAckedEntriesAreChargedToFailoverLoss) {
+  BrokerOptions options;
+  options.num_partitions = 1;
+  options.replication_factor = 2;
+  options.replica_fetch_interval_ms = 500;
+  FleetHarness h(2, options);
+  ASSERT_TRUE(h.fleet->EnsureTopic("clicks").ok());
+
+  BrokerNode* first = h.Leader("clicks", 0);
+  ASSERT_NE(first, nullptr);
+  ASSERT_TRUE(h.ProduceOne("clicks", 0, "host1", 1, "replicated").ok());
+  h.sim.RunUntil(kT0 + 2 * kMillisPerSecond);  // follower catches up
+  // Acked but never fetched by the follower: dies with the leader.
+  ASSERT_TRUE(h.ProduceOne("clicks", 0, "host1", 2, "unreplicated").ok());
+  first->Crash();
+  h.sim.RunUntil(kT0 + 3 * kMillisPerSecond);
+
+  BrokerNode* second = h.Leader("clicks", 0);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->stats().entries_lost_failover, 1u);
+  // The lost offset is an explicit gap, not a silent hole: consumption
+  // resumes past it.
+  auto read = second->ConsumerFetch("clicks", 0, 0, kFarFuture);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->next_offset, 2u);
+}
+
+TEST(BrokerNodeTest, AcksAllRejectsBelowMinInsync) {
+  BrokerOptions options;
+  options.num_partitions = 1;
+  options.replication_factor = 2;
+  options.acks = kAcksAll;
+  options.min_insync_replicas = 2;
+  FleetHarness h(2, options);
+  ASSERT_TRUE(h.fleet->EnsureTopic("clicks").ok());
+
+  ASSERT_TRUE(h.ProduceOne("clicks", 0, "host1", 1, "a").ok());
+  // Synchronous replication: the follower already holds the record.
+  BrokerNode* follower = h.fleet->node(0)->IsLeader("clicks", 0)
+                             ? h.fleet->node(1)
+                             : h.fleet->node(0);
+  uint64_t trim_to = 0;
+  auto mirrored = follower->ReplicaFetch("clicks", 0, 0, &trim_to);
+  ASSERT_TRUE(mirrored.ok());
+  EXPECT_EQ(mirrored->records.size(), 1u);
+
+  follower->Crash();
+  h.sim.RunUntil(kT0 + kMillisPerSecond);
+  Status st = h.ProduceOne("clicks", 0, "host1", 2, "b");
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  EXPECT_EQ(h.Leader("clicks", 0)->stats().insufficient_replicas, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cluster-level chaos suite
+
+scribe::ClusterTopology BrokerTopology(int brokers, BrokerOptions options) {
+  scribe::ClusterTopology topology;
+  topology.datacenters = {"dc1"};
+  topology.daemons_per_dc = 4;
+  topology.brokers_per_dc = brokers;
+  topology.broker_options = options;
+  return topology;
+}
+
+// Drives a steady two-category workload over [from, until).
+void ScheduleWorkload(Simulator* sim, scribe::ScribeCluster* cluster,
+                      TimeMs from, TimeMs until) {
+  for (TimeMs t = from; t < until; t += 5 * kMillisPerSecond) {
+    sim->At(t, [cluster] {
+      for (int i = 0; i < 10; ++i) {
+        cluster->Log(0, scribe::LogEntry{i % 2 == 0 ? "clicks" : "search",
+                                         "message-" + std::to_string(i)});
+      }
+    });
+  }
+}
+
+// Samples consumer-group offsets every 30 s and records any regression.
+class OffsetMonotonicityProbe {
+ public:
+  OffsetMonotonicityProbe(Simulator* sim, scribe::ScribeCluster* cluster,
+                          int num_partitions, TimeMs until)
+      : sim_(sim), cluster_(cluster), num_partitions_(num_partitions) {
+    Schedule(until);
+  }
+
+  bool violated() const { return violated_; }
+
+ private:
+  void Schedule(TimeMs until) {
+    sim_->After(30 * kMillisPerSecond, [this, until] {
+      Sample();
+      if (sim_->Now() < until) Schedule(until);
+    });
+  }
+
+  void Sample() {
+    for (const char* category : {"clicks", "search"}) {
+      for (int p = 0; p < num_partitions_; ++p) {
+        uint64_t off =
+            cluster_->fleet(0)->CommittedOffset("log-mover", category, p);
+        uint64_t& prev = last_[{category, p}];
+        if (off < prev) violated_ = true;
+        prev = off;
+      }
+    }
+  }
+
+  Simulator* sim_;
+  scribe::ScribeCluster* cluster_;
+  int num_partitions_;
+  std::map<std::pair<std::string, int>, uint64_t> last_;
+  bool violated_ = false;
+};
+
+// Every live-replica partition must have exactly one leader at quiescence.
+void ExpectExactlyOneLeader(scribe::ScribeCluster* cluster,
+                            int num_partitions) {
+  for (const char* category : {"clicks", "search"}) {
+    for (int p = 0; p < num_partitions; ++p) {
+      int leaders = 0;
+      for (size_t b = 0; b < cluster->broker_count(0); ++b) {
+        if (cluster->broker(0, b)->alive() &&
+            cluster->broker(0, b)->IsLeader(category, p)) {
+          ++leaders;
+        }
+      }
+      EXPECT_EQ(leaders, 1) << category << "/" << p;
+    }
+  }
+}
+
+// Runs well past the hour close so daemon queues, broker partitions, and
+// the mover all drain; the workload must end inside the first hour.
+void DrainToQuiescence(Simulator* sim) {
+  sim->RunUntil(kT0 + kMillisPerHour + 20 * kMillisPerMinute);
+}
+
+TEST(BrokerChaosTest, LeaderKillMidProduceKeepsAuditBalanced) {
+  Simulator sim(kT0);
+  BrokerOptions options;
+  options.num_partitions = 4;
+  options.replication_factor = 2;
+  scribe::ScribeOptions scribe_options;
+  scribe::LogMoverOptions mover_options;
+  scribe::ScribeCluster cluster(&sim, BrokerTopology(3, options),
+                                scribe_options, mover_options,
+                                /*seed=*/42);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  ScheduleWorkload(&sim, &cluster, kT0 + kMillisPerSecond,
+                   kT0 + 15 * kMillisPerMinute);
+  OffsetMonotonicityProbe probe(&sim, &cluster, options.num_partitions,
+                                kT0 + kMillisPerHour);
+
+  // Mid-produce: lose an ack (forcing an idempotent resend), then kill the
+  // node outright; restart it later so every partition regains both
+  // replicas before the drain.
+  sim.At(kT0 + 5 * kMillisPerMinute, [&] {
+    BrokerNode* leader = cluster.fleet(0)->FindLeader("clicks", 0);
+    ASSERT_NE(leader, nullptr);
+    leader->InjectAckLossOnce();
+  });
+  sim.At(kT0 + 7 * kMillisPerMinute, [&] {
+    BrokerNode* leader = cluster.fleet(0)->FindLeader("clicks", 0);
+    ASSERT_NE(leader, nullptr);
+    leader->Crash();
+  });
+  sim.At(kT0 + 20 * kMillisPerMinute, [&] {
+    for (size_t b = 0; b < cluster.broker_count(0); ++b) {
+      if (!cluster.broker(0, b)->alive()) {
+        ASSERT_TRUE(cluster.RestartBroker(0, b).ok());
+      }
+    }
+  });
+
+  DrainToQuiescence(&sim);
+
+  obs::DeliveryAudit audit(&cluster);
+  const obs::DeliverySnapshot snap = audit.Snapshot();
+  EXPECT_TRUE(snap.Balanced()) << snap.ToString();
+  EXPECT_EQ(snap.in_flight_broker, 0u) << snap.ToString();
+  EXPECT_EQ(snap.in_flight_daemons, 0u) << snap.ToString();
+  // Quiescent identity with drift zero: everything logged is warehoused or
+  // in a named loss channel.
+  EXPECT_EQ(snap.logged, snap.warehoused + snap.dropped_at_daemons +
+                             snap.lost_unreplicated);
+  // The injected ack loss forced at least one dedup resend.
+  const scribe::ClusterStats totals = cluster.TotalStats();
+  EXPECT_GT(totals.entries_dup_resends, 0u);
+  EXPECT_GT(totals.broker_elections, 0u);
+  EXPECT_FALSE(probe.violated());
+  ExpectExactlyOneLeader(&cluster, options.num_partitions);
+}
+
+TEST(BrokerChaosTest, SessionExpiryDuringElectionLosesNothing) {
+  Simulator sim(kT0);
+  BrokerOptions options;
+  options.num_partitions = 4;
+  options.replication_factor = 2;
+  scribe::ScribeOptions scribe_options;
+  scribe::LogMoverOptions mover_options;
+  scribe::ScribeCluster cluster(&sim, BrokerTopology(3, options),
+                                scribe_options, mover_options,
+                                /*seed=*/7);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  ScheduleWorkload(&sim, &cluster, kT0 + kMillisPerSecond,
+                   kT0 + 15 * kMillisPerMinute);
+  OffsetMonotonicityProbe probe(&sim, &cluster, options.num_partitions,
+                                kT0 + kMillisPerHour);
+
+  // Expire the current leader's session mid-stream — its ephemeral
+  // candidates vanish (peers campaign) while its logs stay intact — and a
+  // second expiry shortly after hits the re-election window itself.
+  for (TimeMs at : {kT0 + 5 * kMillisPerMinute,
+                    kT0 + 5 * kMillisPerMinute + kMillisPerSecond}) {
+    sim.At(at, [&] {
+      BrokerNode* leader = cluster.fleet(0)->FindLeader("search", 1);
+      if (leader == nullptr) return;  // mid-election: nothing to expire
+      for (size_t b = 0; b < cluster.broker_count(0); ++b) {
+        if (cluster.broker(0, b) == leader) {
+          ASSERT_TRUE(cluster.ExpireBrokerSession(0, b).ok());
+        }
+      }
+    });
+  }
+
+  DrainToQuiescence(&sim);
+
+  obs::DeliveryAudit audit(&cluster);
+  const obs::DeliverySnapshot snap = audit.Snapshot();
+  EXPECT_TRUE(snap.Balanced()) << snap.ToString();
+  EXPECT_EQ(snap.in_flight_broker, 0u) << snap.ToString();
+  // Session expiry is not a crash: no log was lost anywhere.
+  EXPECT_EQ(snap.lost_unreplicated, 0u) << snap.ToString();
+  EXPECT_EQ(snap.logged, snap.warehoused + snap.dropped_at_daemons);
+  EXPECT_FALSE(probe.violated());
+  ExpectExactlyOneLeader(&cluster, options.num_partitions);
+}
+
+TEST(BrokerChaosTest, AcksAllWithReplicaDownLosesNoAckedEntry) {
+  Simulator sim(kT0);
+  BrokerOptions options;
+  options.num_partitions = 4;
+  options.replication_factor = 2;
+  options.acks = kAcksAll;
+  options.min_insync_replicas = 2;
+  scribe::ScribeOptions scribe_options;
+  scribe::LogMoverOptions mover_options;
+  scribe::ScribeCluster cluster(&sim, BrokerTopology(3, options),
+                                scribe_options, mover_options,
+                                /*seed=*/99);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  ScheduleWorkload(&sim, &cluster, kT0 + kMillisPerSecond,
+                   kT0 + 15 * kMillisPerMinute);
+  OffsetMonotonicityProbe probe(&sim, &cluster, options.num_partitions,
+                                kT0 + kMillisPerHour);
+
+  // One replica down: partitions it backs fall below min_insync and
+  // producers are pushed back (backpressure), not acknowledged into a
+  // single point of failure. Acked entries always exist on both replicas.
+  sim.At(kT0 + 3 * kMillisPerMinute, [&] { cluster.CrashBroker(0, 1); });
+  sim.At(kT0 + 9 * kMillisPerMinute, [&] {
+    ASSERT_TRUE(cluster.RestartBroker(0, 1).ok());
+  });
+
+  DrainToQuiescence(&sim);
+
+  obs::DeliveryAudit audit(&cluster);
+  const obs::DeliverySnapshot snap = audit.Snapshot();
+  EXPECT_TRUE(snap.Balanced()) << snap.ToString();
+  EXPECT_EQ(snap.in_flight_broker, 0u) << snap.ToString();
+  // The acks=all guarantee: zero acknowledged entries lost, ever.
+  EXPECT_EQ(snap.lost_unreplicated, 0u) << snap.ToString();
+  EXPECT_EQ(snap.logged, snap.warehoused + snap.dropped_at_daemons);
+  // The outage exercised the pushback path.
+  const scribe::ClusterStats totals = cluster.TotalStats();
+  EXPECT_GT(totals.produce_throttled, 0u);
+  EXPECT_FALSE(probe.violated());
+  ExpectExactlyOneLeader(&cluster, options.num_partitions);
+}
+
+// Property: across seeded crash/ack-loss schedules, a daemon's entries_sent
+// (unique acknowledged sends) never exceeds its entries_logged — resends
+// are deduped on (producer, seq), so crash-retry cannot inflate delivery.
+TEST(BrokerPropertyTest, CrashRetryNeverInflatesSentPastLogged) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    Simulator sim(kT0);
+    BrokerOptions options;
+    options.num_partitions = 4;
+    options.replication_factor = 2;
+    scribe::ScribeOptions scribe_options;
+    scribe::LogMoverOptions mover_options;
+    scribe::ScribeCluster cluster(&sim, BrokerTopology(3, options),
+                                  scribe_options, mover_options, seed);
+    ASSERT_TRUE(cluster.Start().ok());
+
+    ScheduleWorkload(&sim, &cluster, kT0 + kMillisPerSecond,
+                     kT0 + 12 * kMillisPerMinute);
+    // An ack loss plus a crash every two minutes, rotating targets.
+    for (int round = 0; round < 4; ++round) {
+      TimeMs at = kT0 + (2 + 2 * round) * kMillisPerMinute;
+      sim.At(at, [&cluster, round] {
+        BrokerNode* leader =
+            cluster.fleet(0)->FindLeader(round % 2 == 0 ? "clicks" : "search",
+                                         round % 4);
+        if (leader != nullptr) leader->InjectAckLossOnce();
+      });
+      sim.At(at + 30 * kMillisPerSecond, [&cluster, round] {
+        size_t victim = static_cast<size_t>(round) % cluster.broker_count(0);
+        if (cluster.broker(0, victim)->alive()) {
+          cluster.CrashBroker(0, victim);
+        }
+      });
+      sim.At(at + 90 * kMillisPerSecond, [&cluster] {
+        for (size_t b = 0; b < cluster.broker_count(0); ++b) {
+          if (!cluster.broker(0, b)->alive()) {
+            ASSERT_TRUE(cluster.RestartBroker(0, b).ok());
+          }
+        }
+      });
+    }
+
+    // Invariant checked while the chaos is still in flight, not only at
+    // quiescence.
+    for (TimeMs t = kT0 + kMillisPerMinute; t < kT0 + 14 * kMillisPerMinute;
+         t += kMillisPerMinute) {
+      sim.At(t, [&cluster, seed] {
+        for (size_t d = 0; d < cluster.daemon_count(0); ++d) {
+          const scribe::DaemonStats s = cluster.daemon(0, d)->stats();
+          ASSERT_LE(s.entries_sent, s.entries_logged) << "seed " << seed;
+        }
+      });
+    }
+
+    DrainToQuiescence(&sim);
+
+    obs::DeliveryAudit audit(&cluster);
+    const obs::DeliverySnapshot snap = audit.Snapshot();
+    EXPECT_TRUE(snap.Balanced()) << "seed " << seed << ": " << snap.ToString();
+    EXPECT_EQ(snap.in_flight_broker, 0u)
+        << "seed " << seed << ": " << snap.ToString();
+    for (size_t d = 0; d < cluster.daemon_count(0); ++d) {
+      const scribe::DaemonStats s = cluster.daemon(0, d)->stats();
+      EXPECT_LE(s.entries_sent, s.entries_logged);
+    }
+  }
+}
+
+// The broker-consumed warehouse hour is indistinguishable downstream: data
+// lands at /logs/<category>/YYYY/MM/DD/HH as framed parts, same as the
+// aggregator path.
+TEST(BrokerClusterTest, WarehouseLayoutUnchangedDownstream) {
+  Simulator sim(kT0);
+  BrokerOptions options;
+  options.num_partitions = 2;
+  options.replication_factor = 2;
+  scribe::ScribeOptions scribe_options;
+  scribe::LogMoverOptions mover_options;
+  scribe::ScribeCluster cluster(&sim, BrokerTopology(2, options),
+                                scribe_options, mover_options, /*seed=*/5);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  ScheduleWorkload(&sim, &cluster, kT0 + kMillisPerSecond,
+                   kT0 + 5 * kMillisPerMinute);
+  DrainToQuiescence(&sim);
+
+  EXPECT_TRUE(cluster.warehouse()->Exists("/logs/clicks/2012/08/21/00"));
+  EXPECT_TRUE(cluster.warehouse()->Exists("/logs/search/2012/08/21/00"));
+  auto files = cluster.warehouse()->ListRecursive("/logs/clicks/2012/08/21/00");
+  ASSERT_TRUE(files.ok());
+  EXPECT_FALSE(files->empty());
+
+  obs::DeliveryAudit audit(&cluster);
+  EXPECT_TRUE(audit.Check().ok());
+  const obs::DeliverySnapshot snap = audit.Snapshot();
+  EXPECT_EQ(snap.logged, snap.warehoused);  // no faults: full delivery
+}
+
+}  // namespace
+}  // namespace unilog::broker

@@ -352,6 +352,12 @@ TEST(DeliveryAuditIntegrationTest, IdentityHoldsUnderInjectedFaults) {
   EXPECT_GT(snap.warehoused, 0u);
   EXPECT_EQ(snap.Accounted(), snap.logged);
 
+  // Capped, jittered retry backoff keeps zk rediscovery traffic bounded
+  // through the aggregator crash window: without it the eight daemons would
+  // poll on every flush tick (hundreds of lookups over the outage). The
+  // scenario measures 6; 12 leaves 2x slack for seed drift.
+  EXPECT_LE(pipe.cluster()->TotalStats().daemon_rediscoveries, 12u);
+
   // Every component reports into the one registry.
   std::string report = pipe.MetricsTextReport();
   EXPECT_NE(report.find("daemon.entries_logged{dc=dc1"), std::string::npos);

@@ -341,6 +341,39 @@ TEST_F(DaemonTest, BufferLimitDropsOldest) {
   EXPECT_LE(daemon.QueuedEntries() * 30, 100u);
 }
 
+TEST_F(DaemonTest, RetryBackoffBoundsRediscoveryRate) {
+  // With every aggregator dark, each failed flush doubles the retry delay
+  // (capped at daemon_retry_backoff_max_ms, jittered into [1/2, 1]x). Over a
+  // ten-minute outage the daemon should poll zk a bounded number of times,
+  // not once per flush tick.
+  options_.daemon_retry_backoff_ms = 2 * kMillisPerSecond;
+  options_.daemon_retry_backoff_max_ms = 60 * kMillisPerSecond;
+  auto run_outage = [this]() {
+    Simulator sim(kT0);
+    zk::ZooKeeper zk(&sim);
+    hdfs::MiniHdfs staging(&sim);
+    // A registered aggregator whose connection always fails (resolver
+    // returns nullptr): every retry attempt shows up as a rediscovery.
+    Aggregator ghost(&sim, &zk, &staging, "dc1", "ghost", options_);
+    EXPECT_TRUE(ghost.Start().ok());
+    auto resolver = [](const std::string&) -> Aggregator* { return nullptr; };
+    ScribeDaemon daemon(&sim, &zk, "dc1", "host0", resolver, Rng(42),
+                        options_);
+    daemon.Start();
+    daemon.Log("cat", "stuck");
+    sim.RunUntil(kT0 + 10 * kMillisPerMinute);
+    return daemon.stats().rediscoveries;
+  };
+  uint64_t rediscoveries = run_outage();
+  // Doubling 2s -> 60s cap with >= 1/2x jitter: ~6 ramp attempts plus at
+  // most one per 30s at the cap — far below the ~600 an uncapped 1s flush
+  // loop would issue. 30 leaves slack for jitter landing at the low edge.
+  EXPECT_GE(rediscoveries, 5u);
+  EXPECT_LE(rediscoveries, 30u);
+  // Jitter is Rng-seeded, so the schedule is deterministic per seed.
+  EXPECT_EQ(run_outage(), rediscoveries);
+}
+
 // ---------------------------------------------------------------------------
 // Log mover
 
@@ -885,6 +918,31 @@ TEST(BufferPoolTest, PublishMetricsWritesLabeledRegistryEntries) {
   pool.PublishMetrics(&metrics, {{"component", "test"}});
   EXPECT_EQ(metrics.GetCounter("scribe.ingest.pool_hits", labels)->value(),
             1u);
+}
+
+TEST(BufferPoolTest, DoubleReleaseRejectedNotRecycled) {
+  // A buffer the pool never leased (or one returned twice) must not reach
+  // the freelist: recycling it would alias two future leases onto the same
+  // bytes. The owner-tag check drops it and counts the incident.
+#ifdef UNILOG_SANITIZE
+  BufferPool pool;
+  EXPECT_DEATH(
+      BufferPoolTestPeer::Return(&pool, std::make_unique<std::string>("x")),
+      "double release");
+#else
+  BufferPool pool;
+  {
+    BufferPool::Lease lease = pool.Acquire();
+    lease->assign("legit");
+  }  // one legitimate buffer in the freelist
+  BufferPoolStats before = pool.stats();
+  ASSERT_EQ(before.pooled, 1u);
+  BufferPoolTestPeer::Return(&pool, std::make_unique<std::string>("foreign"));
+  BufferPoolStats after = pool.stats();
+  EXPECT_EQ(after.double_releases, before.double_releases + 1);
+  EXPECT_EQ(after.pooled, before.pooled);  // rejected, not pooled
+  EXPECT_EQ(after.outstanding, before.outstanding);  // accounting untouched
+#endif
 }
 
 TEST_F(AggregatorTest, OverflowDuringOutageDoesNotCorruptPooledRolls) {

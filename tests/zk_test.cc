@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -215,6 +216,59 @@ TEST(ZooKeeperTest, SessionExpiryFiresWatches) {
   sim.Run();
   EXPECT_TRUE(notified);
   EXPECT_GE(zk.watch_fires(), 1u);
+}
+
+TEST(ZooKeeperTest, WatchCoalescesEventsBeforeDelivery) {
+  // Regression for the one-shot watch re-arm race: with deferred delivery,
+  // an event striking between the watch firing and the callback running
+  // used to be lost — the callback saw a stale "created" for a node that a
+  // same-tick delete had already removed, and nothing ever re-fired.
+  Simulator sim;
+  ZooKeeper zk(&sim);
+  SessionId s = zk.CreateSession();
+  int fires = 0;
+  WatchEvent last = WatchEvent::kChildrenChanged;
+  zk.WatchExists("/n", [&](WatchEvent ev, const std::string&) {
+    ++fires;
+    last = ev;
+  });
+  ASSERT_TRUE(zk.Create(s, "/n", "", CreateMode::kPersistent).ok());
+  // Delivery is pending on the virtual clock; the delete lands first.
+  ASSERT_TRUE(zk.Delete(s, "/n").ok());
+  sim.Run();
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(last, WatchEvent::kDeleted);
+}
+
+TEST(ZooKeeperTest, WatchRearmedInCallbackSeesSubsequentEvents) {
+  // The re-arm-then-recompute pattern leader election uses: each callback
+  // re-registers the watch before reading state, so a chain of changes is
+  // never silently dropped.
+  Simulator sim;
+  ZooKeeper zk(&sim);
+  SessionId s = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(s, "/members", "", CreateMode::kPersistent).ok());
+  int notifications = 0;
+  std::function<void()> arm = [&]() {
+    zk.WatchChildren("/members", [&](WatchEvent, const std::string&) {
+      arm();  // re-arm before acting on the event
+      ++notifications;
+    });
+  };
+  arm();
+  ASSERT_TRUE(zk.Create(s, "/members/a", "", CreateMode::kEphemeral).ok());
+  sim.Run();
+  EXPECT_EQ(notifications, 1);
+  // A burst within one delivery window coalesces to at least one
+  // notification, after which the re-armed watch still tracks new events.
+  ASSERT_TRUE(zk.Create(s, "/members/b", "", CreateMode::kEphemeral).ok());
+  ASSERT_TRUE(zk.Delete(s, "/members/b").ok());
+  sim.Run();
+  EXPECT_GE(notifications, 2);
+  int before = notifications;
+  ASSERT_TRUE(zk.Create(s, "/members/c", "", CreateMode::kEphemeral).ok());
+  sim.Run();
+  EXPECT_EQ(notifications, before + 1);
 }
 
 TEST(ZooKeeperTest, EphemeralSequentialCombines) {
