@@ -38,7 +38,7 @@ struct TierResult {
   bool audit_ok = false;
 };
 
-TierResult RunTier(const char* name, bool brokered) {
+TierResult RunTier(const char* name, bool brokered, uint64_t seed) {
   Simulator sim(kBenchDay);
   scribe::ClusterTopology topo;
   topo.datacenters = {"dc1"};
@@ -67,7 +67,7 @@ TierResult RunTier(const char* name, bool brokered) {
   mopts.run_interval_ms = kMillisPerMinute;
   mopts.grace_ms = kMillisPerMinute;
 
-  scribe::ScribeCluster cluster(&sim, topo, sopts, mopts, /*seed=*/77);
+  scribe::ScribeCluster cluster(&sim, topo, sopts, mopts, seed);
   if (!cluster.Start().ok()) std::abort();
 
   // Four categories spread the (host, category) partition hash over all
@@ -127,18 +127,20 @@ TierResult RunTier(const char* name, bool brokered) {
 }  // namespace
 }  // namespace unilog
 
-int main() {
+int main(int argc, char** argv) {
   using namespace unilog;
+  uint64_t seed = bench::ParseSeedFlag(&argc, argv, 77);
   std::printf(
       "=== E21: broker tier throughput vs single-aggregator chain ===\n"
       "per-node service rate R = %llu KB/s for both tiers; offered load "
-      "~%d KB/s for %llu s\n\n",
+      "~%d KB/s for %llu s; seed %llu (pass --seed=N)\n\n",
       static_cast<unsigned long long>(kServiceBytesPerSec / 1024),
       kEntriesPerTick * 10 * (kPayloadBytes + 8) / 1024,
-      static_cast<unsigned long long>(kWindow / 1000));
+      static_cast<unsigned long long>(kWindow / 1000),
+      static_cast<unsigned long long>(seed));
 
-  TierResult baseline = RunTier("single-aggregator", /*brokered=*/false);
-  TierResult brokered = RunTier("broker-4p", /*brokered=*/true);
+  TierResult baseline = RunTier("single-aggregator", /*brokered=*/false, seed);
+  TierResult brokered = RunTier("broker-4p", /*brokered=*/true, seed);
 
   double speedup = baseline.intake_mb_per_sec > 0
                        ? brokered.intake_mb_per_sec /
@@ -159,6 +161,10 @@ int main() {
             brokered.audit.in_flight_broker == 0;
   std::printf("contract (both audits balanced, broker drained, >=2x): %s\n",
               ok ? "MET" : "MISSED");
+  if (!ok) {
+    std::fprintf(stderr, "CONTRACT VIOLATED — reproduce with --seed=%llu\n",
+                 static_cast<unsigned long long>(seed));
+  }
 
   Json section = Json::Object();
   section.Set("service_bytes_per_sec",

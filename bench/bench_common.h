@@ -218,6 +218,43 @@ inline int ParseUsersFlag(int* argc, char** argv, int fallback = 400) {
   return users;
 }
 
+/// Extracts a `--seed=N` flag from argv (removing it so google-benchmark
+/// never sees it). Returns `fallback` when absent. Every fault-injecting
+/// bench threads this single seed through its simulator, workload, and
+/// fault schedule, and prints it whenever a contract or SLO is violated,
+/// so any failing run reproduces exactly with `--seed=N`.
+inline uint64_t ParseSeedFlag(int* argc, char** argv, uint64_t fallback = 42) {
+  uint64_t seed = fallback;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::strtoull(argv[i] + 7, nullptr, 10);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return seed;
+}
+
+/// Extracts an integer `--<name>=N` flag from argv (removing it). Returns
+/// `fallback` when absent.
+inline long long ParseIntFlag(int* argc, char** argv, const char* name,
+                              long long fallback) {
+  long long value = fallback;
+  size_t len = std::strlen(name);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      value = std::atoll(argv[i] + len + 1);
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return value;
+}
+
 /// Extracts a boolean `--<name>` switch from argv (removing it). Returns
 /// true when present; CI's verified-cache job passes `--verify-cache`.
 inline bool ParseSwitchFlag(int* argc, char** argv, const char* name) {

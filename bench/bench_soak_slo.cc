@@ -1,0 +1,76 @@
+// E22: fleet-scale soak with chaos injection, scored against SLOs. The
+// default configuration is the full soak — 1200 daemons across two DCs
+// (one aggregator-chain, one broker-tier), two simulated days of per-hour
+// workload shards, a seed-derived ChaosSchedule (rolling crashes, zk
+// expiry storms, HDFS brownouts, clock skew, corrupt parts) — drained to
+// quiescence and judged by SloChecker: the delivery-audit identity must
+// hold with zero in flight, tail latencies and memory peaks must stay
+// under their bounds, and the Oink warm pass must hit its cache floor.
+// Any violation exits nonzero and prints the seed that reproduces it.
+//
+// Flags: --seed=N --hours=H --daemons=D (per DC) --inject-loss
+// CI smoke: --hours=6 --daemons=200 (same code path, scaled down).
+// --inject-loss deletes one staged file mid-run behind the accounting's
+// back; the run MUST fail — it proves the quiescence gate can detect
+// unrecovered loss at all.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "soak/harness.h"
+
+int main(int argc, char** argv) {
+  using namespace unilog;
+  uint64_t seed = bench::ParseSeedFlag(&argc, argv, 42);
+  long long hours = bench::ParseIntFlag(&argc, argv, "--hours", 48);
+  long long daemons = bench::ParseIntFlag(&argc, argv, "--daemons", 600);
+  bool inject_loss = bench::ParseSwitchFlag(&argc, argv, "--inject-loss");
+
+  soak::SoakOptions options;
+  options.seed = seed;
+  options.hours = static_cast<int>(hours);
+  options.daemons_per_dc = static_cast<int>(daemons);
+  options.inject_unrecovered_loss = inject_loss;
+
+  std::printf(
+      "=== E22: fleet-scale soak & chaos (seed %llu, %d simulated hours, "
+      "%d daemons/DC x %zu DCs)%s ===\n",
+      static_cast<unsigned long long>(seed), options.hours,
+      options.daemons_per_dc, options.datacenters.size(),
+      inject_loss ? " [INJECTING UNRECOVERED LOSS]" : "");
+
+  bench::WallTimer timer;
+  soak::SoakHarness harness(options);
+  auto result = harness.Run();
+  double wall_ms = timer.ElapsedMs();
+  if (!result.ok()) {
+    std::fprintf(stderr, "soak run failed: %s\nreproduce with --seed=%llu\n",
+                 result.status().ToString().c_str(),
+                 static_cast<unsigned long long>(seed));
+    return 1;
+  }
+
+  std::printf("%s\n", result->ToString().c_str());
+  std::printf("wall time: %.0f ms for %d simulated hours\n", wall_ms,
+              options.hours);
+
+  Json section = result->ToJson();
+  section.Set("daemons_per_dc", Json::Int(options.daemons_per_dc));
+  section.Set("inject_loss", Json::Bool(inject_loss));
+  section.Set("wall_ms", Json::Number(wall_ms));
+  Status js =
+      bench::MergeBenchJsonSection("BENCH_soak.json", "soak_slo", section);
+  if (!js.ok()) {
+    std::fprintf(stderr, "BENCH_soak.json write failed: %s\n",
+                 js.ToString().c_str());
+  }
+
+  if (!result->passed) {
+    std::fprintf(stderr,
+                 "SLO VIOLATION(S) — reproduce with --seed=%llu "
+                 "--hours=%d --daemons=%d%s\n",
+                 static_cast<unsigned long long>(seed), options.hours,
+                 options.daemons_per_dc, inject_loss ? " --inject-loss" : "");
+  }
+  return result->passed ? 0 : 1;
+}

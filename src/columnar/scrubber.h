@@ -1,0 +1,48 @@
+#ifndef UNILOG_COLUMNAR_SCRUBBER_H_
+#define UNILOG_COLUMNAR_SCRUBBER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "hdfs/mini_hdfs.h"
+
+namespace unilog::obs {
+class MetricsRegistry;
+}  // namespace unilog::obs
+
+namespace unilog::columnar {
+
+/// What one scrub pass over a warehouse subtree found.
+struct ScrubReport {
+  uint64_t files_checked = 0;      // columnar parts fully verified or failed
+  uint64_t files_skipped = 0;      // non-columnar or hidden files
+  uint64_t files_quarantined = 0;  // checksum failures renamed aside
+  uint64_t rows_verified = 0;      // rows materialized from healthy parts
+  /// Post-rename hidden paths of the parts taken out of service.
+  std::vector<std::string> quarantined;
+
+  std::string ToString() const;
+};
+
+/// The MiniHdfs analog of HDFS's background block scanner, pointed at the
+/// columnar layout's own checksums: walks every file under `root`,
+/// fully reads each RCFile part (which verifies the per-group header and
+/// blob FNV-1a checksums), and renames any part that fails with a
+/// Corruption status to `_quarantined.<name>` — a hidden path that scans,
+/// Oink manifests, and MapReduce input listings all ignore. Non-columnar
+/// files and already-hidden paths are skipped; any other error (e.g. an
+/// Unavailable read during a brownout) aborts the pass so the caller can
+/// retry later.
+///
+/// When `metrics` is non-null the pass increments scrub.files_checked,
+/// scrub.files_quarantined, and scrub.rows_verified counters.
+Result<ScrubReport> ScrubColumnarDir(hdfs::MiniHdfs* fs,
+                                     const std::string& root,
+                                     obs::MetricsRegistry* metrics = nullptr);
+
+}  // namespace unilog::columnar
+
+#endif  // UNILOG_COLUMNAR_SCRUBBER_H_

@@ -15,6 +15,7 @@ void JobStats::Accumulate(const JobStats& other) {
   records_read += other.records_read;
   records_emitted += other.records_emitted;
   records_output += other.records_output;
+  corrupt_inputs_quarantined += other.corrupt_inputs_quarantined;
   modeled_ms += other.modeled_ms;
 }
 
@@ -30,7 +31,11 @@ std::string JobStats::ToString() const {
                 static_cast<unsigned long long>(records_read),
                 static_cast<unsigned long long>(records_output),
                 modeled_ms);
-  return buf;
+  std::string out = buf;
+  if (corrupt_inputs_quarantined > 0) {
+    out += " quarantined=" + std::to_string(corrupt_inputs_quarantined);
+  }
+  return out;
 }
 
 double ModelWallTimeMs(const JobCostModel& model, const JobStats& stats) {

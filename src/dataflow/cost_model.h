@@ -38,6 +38,10 @@ struct JobStats {
   uint64_t records_read = 0;
   uint64_t records_emitted = 0;  // map outputs
   uint64_t records_output = 0;   // final outputs
+  /// Input files whose decode failed the checksum layer and were renamed
+  /// to a hidden `_quarantined.*` name instead of failing the job (only
+  /// when the job has a quarantine fs attached).
+  uint64_t corrupt_inputs_quarantined = 0;
   /// Modeled wall-clock milliseconds (filled by ChargeWallTime).
   double modeled_ms = 0;
 

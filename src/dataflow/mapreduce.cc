@@ -114,6 +114,22 @@ std::map<std::string, std::vector<std::string>> StableShuffle(
   return groups;
 }
 
+Result<std::vector<std::string>> MapReduceJob::SplitBody(
+    std::string_view body) const {
+  auto decoded = format_.decode(body);
+  if (!decoded.ok()) return decoded.status();
+  return format_.split(*decoded);
+}
+
+Status MapReduceJob::QuarantineInput(const std::string& path) {
+  size_t slash = path.rfind('/');
+  std::string hidden =
+      path.substr(0, slash + 1) + "_quarantined." + path.substr(slash + 1);
+  UNILOG_RETURN_NOT_OK(quarantine_fs_->Rename(path, hidden));
+  ++stats_.corrupt_inputs_quarantined;
+  return Status::OK();
+}
+
 Result<std::vector<std::pair<std::string, std::string>>> MapReduceJob::Run() {
   if (!map_ && !map_with_state_) {
     return Status::FailedPrecondition("no map function");
@@ -137,8 +153,15 @@ MapReduceJob::RunSerial() {
     stats_.map_tasks += st.block_count;
     stats_.bytes_scanned += st.size;
     UNILOG_ASSIGN_OR_RETURN(std::string body, fs_->ReadFile(path));
-    UNILOG_ASSIGN_OR_RETURN(std::string decoded, format_.decode(body));
-    UNILOG_ASSIGN_OR_RETURN(auto records, format_.split(decoded));
+    auto records_or = SplitBody(body);
+    if (!records_or.ok()) {
+      if (quarantine_fs_ != nullptr && records_or.status().IsCorruption()) {
+        UNILOG_RETURN_NOT_OK(QuarantineInput(path));
+        continue;
+      }
+      return records_or.status();
+    }
+    const std::vector<std::string>& records = *records_or;
     std::unique_ptr<TaskLocal> state;
     if (map_with_state_) state = create_state_();
     for (const auto& record : records) {
@@ -198,6 +221,7 @@ MapReduceJob::RunParallel() {
   // ----- Plan: accept-filter, stat and read bodies on the calling thread
   // (MiniHdfs access stays single-threaded; decode/map is the hot part).
   std::vector<std::string> bodies;
+  std::vector<std::string> accepted;
   for (const auto& path : inputs_) {
     if (format_.accept_file && !format_.accept_file(path)) continue;
     UNILOG_ASSIGN_OR_RETURN(auto st, fs_->Stat(path));
@@ -205,6 +229,7 @@ MapReduceJob::RunParallel() {
     stats_.bytes_scanned += st.size;
     UNILOG_ASSIGN_OR_RETURN(std::string body, fs_->ReadFile(path));
     bodies.push_back(std::move(body));
+    accepted.push_back(path);
   }
 
   // ----- Map phase: one task per file, each with a private emitter (and
@@ -212,15 +237,25 @@ MapReduceJob::RunParallel() {
   size_t num_tasks = bodies.size();
   std::vector<Emitter> task_out(num_tasks);
   std::vector<uint64_t> task_records(num_tasks, 0);
+  // Corrupt inputs are flagged per slot inside the workers and renamed
+  // aside afterwards on the calling thread (MiniHdfs stays single-threaded).
+  std::vector<uint8_t> corrupt(num_tasks, 0);
   std::vector<std::unique_ptr<TaskLocal>> task_state(num_tasks);
   if (map_with_state_) {
     for (auto& state : task_state) state = create_state_();
   }
   UNILOG_RETURN_NOT_OK(
       exec_->ParallelForStatus("map", num_tasks, [&](size_t i) -> Status {
-        UNILOG_ASSIGN_OR_RETURN(std::string decoded,
-                                format_.decode(bodies[i]));
-        UNILOG_ASSIGN_OR_RETURN(auto records, format_.split(decoded));
+        auto records_or = SplitBody(bodies[i]);
+        if (!records_or.ok()) {
+          if (quarantine_fs_ != nullptr &&
+              records_or.status().IsCorruption()) {
+            corrupt[i] = 1;
+            return Status::OK();
+          }
+          return records_or.status();
+        }
+        const std::vector<std::string>& records = *records_or;
         task_records[i] = records.size();
         for (const auto& record : records) {
           if (map_with_state_) {
@@ -233,6 +268,10 @@ MapReduceJob::RunParallel() {
         return Status::OK();
       }));
   for (size_t i = 0; i < num_tasks; ++i) {
+    if (corrupt[i] != 0) {
+      UNILOG_RETURN_NOT_OK(QuarantineInput(accepted[i]));
+      continue;
+    }
     stats_.records_read += task_records[i];
     stats_.records_emitted += task_out[i].pairs().size();
     if (task_state[i] != nullptr) merge_state_(task_state[i].get());

@@ -136,6 +136,13 @@ class MapReduceJob {
   /// Attaches the parallel execution engine; nullptr (the default) or a
   /// serial executor keeps the historical single-threaded code path.
   void set_executor(exec::Executor* exec) { exec_ = exec; }
+  /// Tolerates corrupt inputs: an input whose decode/split fails with a
+  /// Corruption status (e.g. an RCFile v2 part with a bad block checksum)
+  /// is renamed to `_quarantined.<name>` on `fs` — hidden from future
+  /// AddInputDir scans — counted in stats().corrupt_inputs_quarantined,
+  /// and skipped, instead of failing the whole job. Without this (the
+  /// default) any corrupt input fails the run, the historical behavior.
+  void set_quarantine_fs(hdfs::MiniHdfs* fs) { quarantine_fs_ = fs; }
 
   /// Runs the job. Returns final (key, value) outputs sorted by key.
   Result<std::vector<std::pair<std::string, std::string>>> Run();
@@ -146,6 +153,8 @@ class MapReduceJob {
  private:
   Result<std::vector<std::pair<std::string, std::string>>> RunSerial();
   Result<std::vector<std::pair<std::string, std::string>>> RunParallel();
+  Result<std::vector<std::string>> SplitBody(std::string_view body) const;
+  Status QuarantineInput(const std::string& path);
 
   const hdfs::MiniHdfs* fs_;
   JobCostModel cost_model_;
@@ -158,6 +167,7 @@ class MapReduceJob {
   ReduceFn reduce_;
   uint64_t num_reducers_ = 16;
   exec::Executor* exec_ = nullptr;
+  hdfs::MiniHdfs* quarantine_fs_ = nullptr;
   JobStats stats_;
 };
 

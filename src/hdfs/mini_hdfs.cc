@@ -9,6 +9,12 @@ namespace unilog::hdfs {
 MiniHdfs::MiniHdfs(Simulator* sim, HdfsOptions options,
                    obs::MetricsRegistry* metrics, std::string instance)
     : sim_(sim), options_(options) {
+  if (options_.num_datanodes < 1) options_.num_datanodes = 1;
+  if (options_.replication < 1) options_.replication = 1;
+  if (options_.replication > options_.num_datanodes) {
+    options_.replication = options_.num_datanodes;
+  }
+  datanode_up_.assign(static_cast<size_t>(options_.num_datanodes), true);
   nodes_["/"] = Node{/*is_dir=*/true, "", 0};
   if (metrics == nullptr) {
     owned_metrics_ = std::make_unique<obs::MetricsRegistry>(sim_);
@@ -21,8 +27,149 @@ MiniHdfs::MiniHdfs(Simulator* sim, HdfsOptions options,
   files_deleted_ = metrics->GetCounter("hdfs.files_deleted", labels);
   unavailable_rejections_ =
       metrics->GetCounter("hdfs.unavailable_rejections", labels);
+  brownout_rejections_ =
+      metrics->GetCounter("hdfs.brownout_rejections", labels);
+  replica_shortfalls_ = metrics->GetCounter("hdfs.replica_shortfalls", labels);
+  chaos_corruptions_ = metrics->GetCounter("hdfs.chaos_corruptions", labels);
   file_count_gauge_ = metrics->GetGauge("hdfs.file_count", labels);
   file_bytes_gauge_ = metrics->GetGauge("hdfs.file_bytes", labels);
+  datanodes_down_gauge_ = metrics->GetGauge("hdfs.datanodes_down", labels);
+}
+
+void MiniHdfs::SetDatanodeAvailable(int datanode, bool available) {
+  if (datanode < 0 || datanode >= static_cast<int>(datanode_up_.size())) {
+    return;
+  }
+  datanode_up_[static_cast<size_t>(datanode)] = available;
+  int64_t down = 0;
+  for (bool up : datanode_up_) {
+    if (!up) ++down;
+  }
+  datanodes_down_gauge_->Set(down);
+}
+
+bool MiniHdfs::datanode_available(int datanode) const {
+  if (datanode < 0 || datanode >= static_cast<int>(datanode_up_.size())) {
+    return false;
+  }
+  return datanode_up_[static_cast<size_t>(datanode)];
+}
+
+int MiniHdfs::live_datanodes() const {
+  int live = 0;
+  for (bool up : datanode_up_) {
+    if (up) ++live;
+  }
+  return live;
+}
+
+Status MiniHdfs::PlaceBlocks(Node* node, uint64_t new_size) {
+  if (!sharded()) {
+    if (!datanode_up_[0]) {
+      brownout_rejections_->Increment();
+      return Status::Unavailable("datanode down");
+    }
+    return Status::OK();
+  }
+  const size_t n = datanode_up_.size();
+  const size_t rep = static_cast<size_t>(options_.replication);
+  uint64_t want = PlacementBlocksFor(new_size);
+  while (node->block_nodes.size() < want * rep) {
+    // Rotating primary; replicas are the next live nodes after it. A
+    // brownout at write time yields fewer distinct replicas (padded so
+    // every block keeps a fixed `replication`-wide stride) — that is the
+    // under-replication the soak's replica report surfaces.
+    std::vector<uint16_t> chosen;
+    uint64_t start = placement_cursor_++;
+    for (size_t probe = 0; probe < n && chosen.size() < rep; ++probe) {
+      size_t candidate = (start + probe) % n;
+      if (datanode_up_[candidate]) {
+        chosen.push_back(static_cast<uint16_t>(candidate));
+      }
+    }
+    if (chosen.empty()) {
+      brownout_rejections_->Increment();
+      return Status::Unavailable("no live datanode for new block");
+    }
+    if (chosen.size() < rep) {
+      replica_shortfalls_->Increment();
+      while (chosen.size() < rep) chosen.push_back(chosen.front());
+    }
+    node->block_nodes.insert(node->block_nodes.end(), chosen.begin(),
+                             chosen.end());
+  }
+  return Status::OK();
+}
+
+bool MiniHdfs::AllBlocksReadable(const Node& node) const {
+  if (!sharded()) return datanode_up_[0];
+  const size_t rep = static_cast<size_t>(options_.replication);
+  for (size_t b = 0; b * rep < node.block_nodes.size(); ++b) {
+    bool live = false;
+    for (size_t r = 0; r < rep; ++r) {
+      if (datanode_up_[node.block_nodes[b * rep + r]]) {
+        live = true;
+        break;
+      }
+    }
+    if (!live) return false;
+  }
+  return true;
+}
+
+Status MiniHdfs::CorruptFile(const std::string& path, uint64_t offset) {
+  UNILOG_RETURN_NOT_OK(ValidatePath(path));
+  auto it = nodes_.find(path);
+  if (it == nodes_.end()) return Status::NotFound("no such file: " + path);
+  if (it->second.is_dir) {
+    return Status::FailedPrecondition("is a directory: " + path);
+  }
+  if (it->second.content.empty()) {
+    return Status::FailedPrecondition("empty file: " + path);
+  }
+  // Silent corruption: no mtime bump, no byte accounting — only a
+  // checksum recompute can tell.
+  it->second.content[offset % it->second.content.size()] ^=
+      static_cast<char>(0x5A);
+  chaos_corruptions_->Increment();
+  return Status::OK();
+}
+
+ReplicaReport MiniHdfs::Replicas() const {
+  ReplicaReport report;
+  const size_t rep = static_cast<size_t>(options_.replication);
+  for (const auto& [path, node] : nodes_) {
+    if (node.is_dir) continue;
+    if (!sharded()) {
+      uint64_t blocks = BlocksFor(node.content.size());
+      report.blocks += blocks;
+      report.fully_available += blocks;
+      continue;
+    }
+    for (size_t b = 0; b * rep < node.block_nodes.size(); ++b) {
+      ++report.blocks;
+      std::vector<uint16_t> distinct;
+      size_t live = 0;
+      for (size_t r = 0; r < rep; ++r) {
+        uint16_t dn = node.block_nodes[b * rep + r];
+        if (std::find(distinct.begin(), distinct.end(), dn) !=
+            distinct.end()) {
+          continue;
+        }
+        distinct.push_back(dn);
+        if (datanode_up_[dn]) ++live;
+      }
+      if (distinct.size() < rep) ++report.under_replicated;
+      if (live == 0) {
+        ++report.unreadable;
+      } else if (live == distinct.size()) {
+        ++report.fully_available;
+      } else {
+        ++report.degraded;
+      }
+    }
+  }
+  return report;
 }
 
 Status MiniHdfs::ValidatePath(const std::string& path) {
@@ -77,8 +224,10 @@ Status MiniHdfs::WriteFile(const std::string& path, std::string_view content) {
   if (nodes_.count(path)) {
     return Status::AlreadyExists("file exists: " + path);
   }
+  Node node{/*is_dir=*/false, std::string(content), Now(), {}};
+  UNILOG_RETURN_NOT_OK(PlaceBlocks(&node, content.size()));
   UNILOG_RETURN_NOT_OK(Mkdirs(ParentOf(path)));
-  nodes_[path] = Node{/*is_dir=*/false, std::string(content), Now()};
+  nodes_[path] = std::move(node);
   bytes_written_->Increment(content.size());
   files_created_->Increment();
   file_bytes_gauge_->Add(static_cast<int64_t>(content.size()));
@@ -97,6 +246,15 @@ Status MiniHdfs::AppendFile(const std::string& path,
   if (it->second.is_dir) {
     return Status::FailedPrecondition("is a directory: " + path);
   }
+  // The append pipeline extends the file's last block before opening new
+  // ones, so that block needs a live replica — and the new blocks need
+  // somewhere to land.
+  if (!AllBlocksReadable(it->second)) {
+    brownout_rejections_->Increment();
+    return Status::Unavailable("block replicas dark: " + path);
+  }
+  UNILOG_RETURN_NOT_OK(
+      PlaceBlocks(&it->second, it->second.content.size() + content.size()));
   it->second.content.append(content.data(), content.size());
   it->second.mtime = Now();
   bytes_written_->Increment(content.size());
@@ -110,6 +268,10 @@ Result<std::string> MiniHdfs::ReadFile(const std::string& path) const {
   if (it == nodes_.end()) return Status::NotFound("no such file: " + path);
   if (it->second.is_dir) {
     return Status::FailedPrecondition("is a directory: " + path);
+  }
+  if (!AllBlocksReadable(it->second)) {
+    brownout_rejections_->Increment();
+    return Status::Unavailable("block replicas dark: " + path);
   }
   bytes_read_->Increment(it->second.content.size());
   return it->second.content;

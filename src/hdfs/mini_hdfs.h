@@ -22,6 +22,15 @@ struct HdfsOptions {
   /// warehouse uses a small block so laptop-scale datasets still split
   /// into many map tasks, preserving the paper's task-count economics.
   uint64_t block_size = 1 * 1024 * 1024;
+  /// Number of simulated datanodes. With the default of 1 the placement
+  /// machinery is dormant and the file system behaves exactly as the
+  /// single-node original; larger fleets place every block on
+  /// `replication` distinct datanodes so a brownout (a subset of
+  /// datanodes down) only fails the blocks whose whole replica set is
+  /// dark.
+  int num_datanodes = 1;
+  /// Replicas per block, clamped to num_datanodes.
+  int replication = 1;
 };
 
 /// Directory-entry metadata.
@@ -31,6 +40,20 @@ struct FileStatus {
   uint64_t size = 0;
   uint64_t block_count = 0;
   TimeMs mtime = 0;
+};
+
+/// Fleet-wide replica health, for brownout tests and the soak SLO report.
+struct ReplicaReport {
+  uint64_t blocks = 0;
+  /// Blocks whose every replica sits on a live datanode.
+  uint64_t fully_available = 0;
+  /// Blocks with at least one — but not all — replicas live.
+  uint64_t degraded = 0;
+  /// Blocks with no live replica (reads fail until a node returns).
+  uint64_t unreadable = 0;
+  /// Blocks written with fewer than `replication` replicas because some
+  /// datanodes were down at write time.
+  uint64_t under_replicated = 0;
 };
 
 /// An in-memory single-namespace file system with HDFS-shaped semantics:
@@ -94,6 +117,26 @@ class MiniHdfs {
   void SetAvailable(bool available) { available_ = available; }
   bool available() const { return available_; }
 
+  /// Takes one datanode down (or back up). Metadata operations (list,
+  /// stat, rename, delete, mkdirs) are namenode-only and keep working; a
+  /// read fails only when some block of the file has no live replica, and
+  /// a write fails only when no datanode at all can take its new blocks.
+  /// No-op for indexes outside [0, num_datanodes).
+  void SetDatanodeAvailable(int datanode, bool available);
+  bool datanode_available(int datanode) const;
+  int num_datanodes() const { return static_cast<int>(datanode_up_.size()); }
+  int live_datanodes() const;
+
+  /// Chaos backdoor: XOR-flips one content byte of a file (at
+  /// `offset % size`), bypassing the availability checks and the write
+  /// accounting — models silent on-disk corruption that only the
+  /// checksum layer can catch. Fails on directories and empty files.
+  Status CorruptFile(const std::string& path, uint64_t offset);
+
+  /// Walks every file and classifies its blocks against the current
+  /// datanode liveness.
+  ReplicaReport Replicas() const;
+
   // --- Metrics (backed by the obs registry: hdfs.*{fs=<instance>}) ---
   uint64_t total_file_bytes() const {
     return static_cast<uint64_t>(file_bytes_gauge_->value());
@@ -108,6 +151,14 @@ class MiniHdfs {
   uint64_t unavailable_rejections() const {
     return unavailable_rejections_->value();
   }
+  /// Reads/writes rejected because a block had no live replica (datanode
+  /// brownout, as opposed to a namenode outage).
+  uint64_t brownout_rejections() const {
+    return brownout_rejections_->value();
+  }
+  /// Blocks written with fewer live replicas than configured.
+  uint64_t replica_shortfalls() const { return replica_shortfalls_->value(); }
+  uint64_t chaos_corruptions() const { return chaos_corruptions_->value(); }
 
   const HdfsOptions& options() const { return options_; }
 
@@ -116,6 +167,11 @@ class MiniHdfs {
     bool is_dir = false;
     std::string content;  // files only
     TimeMs mtime = 0;
+    /// Replica placement, `replication` datanode indexes per block in
+    /// block order. Populated only on sharded instances
+    /// (num_datanodes > 1); placement follows the node through renames,
+    /// the way real HDFS blocks stay put when a path moves.
+    std::vector<uint16_t> block_nodes;
   };
 
   static Status ValidatePath(const std::string& path);
@@ -124,9 +180,23 @@ class MiniHdfs {
   TimeMs Now() const { return sim_ != nullptr ? sim_->Now() : 0; }
   FileStatus MakeStatus(const std::string& path, const Node& node) const;
 
+  bool sharded() const { return datanode_up_.size() > 1; }
+  /// Blocks a file of `size` bytes needs placement for (empty files own
+  /// one placeholder block, matching BlocksFor's accounting).
+  uint64_t PlacementBlocksFor(uint64_t size) const { return BlocksFor(size); }
+  /// Extends `node`'s placement out to the block count implied by
+  /// `new_size`, choosing `replication` distinct live datanodes per new
+  /// block from a deterministic rotating cursor. Fails Unavailable when
+  /// no datanode at all is live.
+  Status PlaceBlocks(Node* node, uint64_t new_size);
+  /// True when every block of `node` has at least one live replica.
+  bool AllBlocksReadable(const Node& node) const;
+
   Simulator* sim_;
   HdfsOptions options_;
   bool available_ = true;
+  std::vector<bool> datanode_up_;
+  uint64_t placement_cursor_ = 0;
   std::map<std::string, Node> nodes_;  // sorted by path
 
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
@@ -135,8 +205,12 @@ class MiniHdfs {
   obs::Counter* files_created_;
   obs::Counter* files_deleted_;
   obs::Counter* unavailable_rejections_;
+  obs::Counter* brownout_rejections_;
+  obs::Counter* replica_shortfalls_;
+  obs::Counter* chaos_corruptions_;
   obs::Gauge* file_count_gauge_;
   obs::Gauge* file_bytes_gauge_;
+  obs::Gauge* datanodes_down_gauge_;
 };
 
 }  // namespace unilog::hdfs

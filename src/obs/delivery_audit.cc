@@ -86,17 +86,24 @@ DeliverySnapshot DeliveryAudit::Snapshot() const {
   // Staged messages that have neither been moved into the warehouse nor
   // dropped as late are still sitting in staging files. Counter-derived
   // rather than re-scanned, so the snapshot is O(components), not O(files).
-  uint64_t staged_resolved = totals.messages_in_warehouse +
-                             totals.late_entries_dropped;
+  // messages_in_warehouse counts BOTH delivery tiers (the mover commits
+  // staged files and consumed broker records into the same hour), so the
+  // broker-consumed share must come back out before subtracting from
+  // entries_staged — every consumed record is committed in the same move,
+  // so the difference is exactly the staging tier's warehoused messages.
+  uint64_t warehoused_from_staging =
+      totals.messages_in_warehouse >= totals.entries_consumed
+          ? totals.messages_in_warehouse - totals.entries_consumed
+          : 0;
+  uint64_t staged_resolved =
+      warehoused_from_staging + totals.late_entries_dropped;
   snap.in_flight_staging = totals.entries_staged >= staged_resolved
                                ? totals.entries_staged - staged_resolved
                                : 0;
 
   // Broker path: an acked (produced) entry is in flight until the consumer
   // group commits past it or its partition loses it in failover. Also
-  // counter-derived. The broker path has no staging files, so the two
-  // in-flight terms never double count: on broker clusters entries_staged
-  // stays zero and `staged_resolved` clamps in_flight_staging to zero.
+  // counter-derived; disjoint from the staging term by construction above.
   uint64_t broker_resolved =
       totals.entries_consumed + totals.entries_lost_unreplicated;
   snap.in_flight_broker = totals.entries_produced >= broker_resolved
@@ -109,6 +116,28 @@ Status DeliveryAudit::Check() const {
   DeliverySnapshot snap = Snapshot();
   if (snap.Balanced()) return Status::OK();
   return Status::Internal("delivery audit imbalance: " + snap.ToString());
+}
+
+Status DeliveryAudit::AssertQuiescent() const {
+  DeliverySnapshot snap = Snapshot();
+  if (!snap.Balanced()) {
+    return Status::Internal("delivery audit imbalance: " + snap.ToString());
+  }
+  std::string stuck;
+  auto flag = [&stuck](const char* channel, uint64_t value) {
+    if (value == 0) return;
+    if (!stuck.empty()) stuck += " ";
+    stuck += channel;
+    stuck += "=";
+    stuck += std::to_string(value);
+  };
+  flag("in_flight_daemons", snap.in_flight_daemons);
+  flag("in_flight_aggregators", snap.in_flight_aggregators);
+  flag("in_flight_staging", snap.in_flight_staging);
+  flag("in_flight_broker", snap.in_flight_broker);
+  if (stuck.empty()) return Status::OK();
+  return Status::FailedPrecondition("delivery audit not quiescent: " + stuck +
+                                    " — " + snap.ToString());
 }
 
 }  // namespace unilog::obs

@@ -94,6 +94,13 @@ class DeliveryAudit {
   /// rendered into the message otherwise.
   Status Check() const;
 
+  /// The post-drain contract: the identity must hold AND every in-flight
+  /// channel must be exactly zero. Callers used to sum the channels by
+  /// hand (and quietly forgot the new ones); this fails loudly, naming
+  /// each nonzero channel, so a soak that "drained" with entries still
+  /// stuck in a daemon queue or an unconsumed partition cannot pass.
+  Status AssertQuiescent() const;
+
  private:
   const scribe::ScribeCluster* cluster_;
 };

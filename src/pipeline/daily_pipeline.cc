@@ -53,6 +53,10 @@ Result<DailyJobResult> DailyPipeline::RunForDate(TimeMs date,
   {
     dataflow::MapReduceJob job(warehouse_, cost_model_);
     job.set_executor(exec_);
+    // A landed part that fails its RCFile checksums is quarantined (renamed
+    // `_quarantined.*`) rather than failing the day: the paper's pipeline
+    // keeps running when one aggregator ships a bad file.
+    job.set_quarantine_fs(warehouse_);
     // Warehoused hours may be framed-compressed or columnar (RCFile v2)
     // depending on the mover's columnar_categories; sniff per file.
     job.set_input_format(dataflow::InputFormat::CompressedFramedOrColumnar());
@@ -122,6 +126,7 @@ Result<DailyJobResult> DailyPipeline::RunForDate(TimeMs date,
   {
     dataflow::MapReduceJob job(warehouse_, cost_model_);
     job.set_executor(exec_);
+    job.set_quarantine_fs(warehouse_);
     job.set_input_format(dataflow::InputFormat::CompressedFramedOrColumnar());
     for (const auto& dir : hour_dirs) {
       UNILOG_RETURN_NOT_OK(job.AddInputDir(dir));

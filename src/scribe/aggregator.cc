@@ -123,7 +123,7 @@ Status Aggregator::Receive(const std::vector<LogEntry>& entries) {
     }
     receive_tokens_ -= static_cast<double>(cost);
   }
-  TimeMs hour = TruncateToHour(sim_->Now());
+  TimeMs hour = TruncateToHour(sim_->Now() + clock_skew_ms_);
   for (const auto& entry : entries) {
     HourBuffer& buffer = buffers_[{entry.category, hour}];
     buffer.bytes += entry.message.size();

@@ -105,6 +105,15 @@ class Aggregator {
   /// (the daemon treats this as a failed send and re-discovers).
   Status Receive(const std::vector<LogEntry>& entries);
 
+  /// Chaos: skews the clock this aggregator buckets incoming entries
+  /// with. A negative skew files current traffic under a past hour — if
+  /// that hour has already slid into the warehouse, the straggler file
+  /// lands as late data and is dropped (accounted), which is exactly the
+  /// failure mode a skewed host clock causes in the hour-partitioned
+  /// layout. Zero restores normal bucketing.
+  void SetClockSkew(TimeMs skew_ms) { clock_skew_ms_ = skew_ms; }
+  TimeMs clock_skew_ms() const { return clock_skew_ms_; }
+
   /// Rolls all category buffers to staging HDFS now. Called by the timer;
   /// public so tests and the log mover's barrier can force a flush.
   void RollAll();
@@ -168,6 +177,7 @@ class Aggregator {
   Lz::Compressor compressor_;
 
   bool alive_ = false;
+  TimeMs clock_skew_ms_ = 0;
   uint64_t incarnation_ = 0;  // invalidates stale timers after crash
   zk::SessionId session_ = 0;
   std::map<BufferKey, HourBuffer> buffers_;

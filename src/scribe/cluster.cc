@@ -15,7 +15,7 @@ ScribeCluster::ScribeCluster(Simulator* sim, ClusterTopology topology,
                          : nullptr),
       metrics_(metrics != nullptr ? metrics : owned_metrics_.get()),
       zk_(sim, metrics_),
-      warehouse_(sim, hdfs::HdfsOptions{}, metrics_, "warehouse"),
+      warehouse_(sim, topology_.warehouse_hdfs, metrics_, "warehouse"),
       rng_(seed) {
   dc_names_ = topology_.datacenters;
   staging_.resize(dc_names_.size());
@@ -28,8 +28,9 @@ ScribeCluster::ScribeCluster(Simulator* sim, ClusterTopology topology,
   for (size_t dc = 0; dc < dc_names_.size(); ++dc) {
     const std::string& dc_name = dc_names_[dc];
     staging_[dc] = std::make_unique<hdfs::MiniHdfs>(
-        sim_, hdfs::HdfsOptions{}, metrics_, "staging-" + dc_name);
-    if (topology_.brokers_per_dc > 0) {
+        sim_, topology_.staging_hdfs, metrics_, "staging-" + dc_name);
+    const bool brokered = topology_.BrokeredDatacenter(dc_name);
+    if (brokered) {
       // Broker tier replaces the aggregator chain in this datacenter.
       std::vector<std::string> node_ids;
       for (int b = 0; b < topology_.brokers_per_dc; ++b) {
@@ -39,9 +40,7 @@ ScribeCluster::ScribeCluster(Simulator* sim, ClusterTopology topology,
           sim_, &zk_, dc_name, std::move(node_ids),
           topology_.broker_options, metrics_);
     }
-    for (int a = 0;
-         topology_.brokers_per_dc == 0 && a < topology_.aggregators_per_dc;
-         ++a) {
+    for (int a = 0; !brokered && a < topology_.aggregators_per_dc; ++a) {
       std::string id = dc_name + "-agg" + std::to_string(a);
       aggregators_[dc].push_back(std::make_unique<Aggregator>(
           sim_, &zk_, staging_[dc].get(), dc_name, id, scribe_options_,

@@ -29,7 +29,28 @@ struct ClusterTopology {
   /// (idempotent, acked, backpressured) and the log mover consumes as a
   /// consumer group — the warehouse path is unchanged downstream.
   int brokers_per_dc = 0;
+  /// Restricts the broker tier to the named datacenters; the rest keep
+  /// their aggregator chains. Empty (the default) brokers every
+  /// datacenter when brokers_per_dc > 0 — the historical behavior. A
+  /// mixed fleet models a staged aggregator→broker migration, and the
+  /// soak harness uses it to chaos both tiers in one run.
+  std::vector<std::string> broker_datacenters;
   broker::BrokerOptions broker_options;
+  /// Shape of the per-DC staging clusters and the warehouse (block size,
+  /// datanode count, replication). Defaults are the historical
+  /// single-node instances.
+  hdfs::HdfsOptions staging_hdfs;
+  hdfs::HdfsOptions warehouse_hdfs;
+
+  /// True when datacenter `name` runs the broker tier under this topology.
+  bool BrokeredDatacenter(const std::string& name) const {
+    if (brokers_per_dc <= 0) return false;
+    if (broker_datacenters.empty()) return true;
+    for (const auto& dc : broker_datacenters) {
+      if (dc == name) return true;
+    }
+    return false;
+  }
 };
 
 /// Aggregated fleet-wide delivery counters. Every loss channel the

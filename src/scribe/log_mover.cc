@@ -82,6 +82,8 @@ LogMover::LogMover(Simulator* sim, std::vector<DatacenterHandle> datacenters,
       metrics->GetCounter("scribe.ingest.parts_built_parallel");
   warehouse_file_bytes_ = metrics->GetHistogram("mover.warehouse_file_bytes");
   broker_e2e_latency_ = metrics->GetHistogram("broker.e2e_latency_ms");
+  hour_slide_latency_ =
+      metrics->GetHistogram("mover.hour_slide_latency_ms");
 }
 
 void LogMover::RunStage(const char* stage, size_t n,
@@ -140,6 +142,8 @@ void LogMover::RunOnce() {
       break;
     }
     hours_moved_->Increment();
+    hour_slide_latency_->Observe(
+        static_cast<double>(sim_->Now() - (next_hour_ + kMillisPerHour)));
     next_hour_ += kMillisPerHour;
   }
   SweepLateStaging();
@@ -181,93 +185,169 @@ bool LogMover::MoveHour(TimeMs hour) {
       }
     }
   }
+  // Broker topics, per datacenter. The same category can arrive on both
+  // tiers at once — a fleet mid-migration runs brokers in some DCs and
+  // aggregator chains in the rest — so both sources must merge into ONE
+  // hour commit per category below: the slid hour directory is immutable,
+  // and a second source committed after the first would be silently lost.
+  std::vector<std::set<std::string>> fleet_topics(datacenters_.size());
+  for (size_t i = 0; i < datacenters_.size(); ++i) {
+    if (datacenters_[i].fleet == nullptr) continue;
+    auto listed = datacenters_[i].fleet->ListTopics();
+    if (!listed.ok()) {
+      if (listed.status().IsNotFound()) continue;  // no topics yet
+      return false;
+    }
+    fleet_topics[i].insert(listed->begin(), listed->end());
+    categories.insert(listed->begin(), listed->end());
+  }
   for (const auto& category : categories) {
-    Status st = MoveCategoryHour(category, hour);
+    Status st = MoveCategoryHour(category, hour, fleet_topics);
     if (!st.ok()) return false;  // e.g. warehouse outage: retry whole hour
     categories_moved_->Increment();
   }
-  // Broker-fed categories ride the same hour barrier: the consumer group
-  // drains each partition up to the hour close before the hour advances.
-  return MoveBrokerHour(hour);
+  return true;
 }
 
-Status LogMover::MoveCategoryHour(const std::string& category, TimeMs hour) {
+Status LogMover::MoveCategoryHour(
+    const std::string& category, TimeMs hour,
+    const std::vector<std::set<std::string>>& fleet_topics) {
   std::string hour_fragment = HourPartitionPath(hour);
   std::string final_dir = "/logs/" + category + "/" + hour_fragment;
-  if (warehouse_->Exists(final_dir)) {
-    // The hour is already in the warehouse (a previous attempt succeeded
-    // for this category before a later category forced a retry, or an
-    // aggregator staged a straggler file after the slide). A slid hour is
-    // immutable, so whatever sits in staging now is late data: drop it
-    // and account the loss — leaving it would leak staged files forever
-    // with the loss uncounted.
-    return DropLateStaging(category, hour);
-  }
 
-  // 1. Collect the staged file bodies across datacenters in stable order
-  //    (datacenter order, then listing order). I/O stays on this thread —
-  //    MiniHdfs and its metrics are single-threaded by design.
-  std::vector<std::string> staged_bodies;
-  for (const auto& dc : datacenters_) {
-    std::string dir = "/staging/" + category + "/" + hour_fragment;
-    if (!dc.staging->Exists(dir)) continue;
-    auto files = dc.staging->ListRecursive(dir);
-    if (!files.ok()) return files.status();
-    for (const auto& file : *files) {
-      auto body = dc.staging->ReadFile(file.path);
-      if (!body.ok()) return body.status();
-      staged_bodies.push_back(std::move(*body));
-    }
-  }
-
-  // 2. Sanity-check (decompress + unframe) every file, fanned out across
-  //    exec workers: each slot is written only by its own index, and the
-  //    merge below walks slots in input order, so the merged message list
-  //    is identical to the serial per-file loop. Ordering within an hour
-  //    is unspecified (§2: "the ordering of messages within each file is
-  //    unspecified"), so concatenation per datacenter/file order is
-  //    faithful.
-  struct FileSlot {
-    bool corrupt = false;
-    std::vector<std::string> messages;
+  // 0. Fetch this category's broker records from every fleet carrying the
+  //    topic, from the group's committed offset up to the hour close. A
+  //    leaderless partition stalls the hour — backpressure holds the data
+  //    at the producers and the hour is retried next run. Offsets are
+  //    committed only after the warehouse slide (step 5).
+  struct PendingCommit {
+    broker::BrokerFleet* fleet;
+    int partition;
+    uint64_t next_offset;
+    uint64_t records;
+    uint64_t bytes;
   };
-  std::vector<FileSlot> slots(staged_bodies.size());
-  RunStage("mover.unstage", staged_bodies.size(), [&](size_t i) {
-    auto raw = Lz::Decompress(staged_bodies[i]);
-    if (!raw.ok()) {
-      slots[i].corrupt = true;  // corrupt file: skipped, not fatal
-      return;
+  std::vector<PendingCommit> commits;
+  std::vector<std::string> broker_merged;
+  std::vector<TimeMs> latencies;
+  TimeMs close = hour + kMillisPerHour;
+  for (size_t i = 0; i < datacenters_.size(); ++i) {
+    broker::BrokerFleet* fleet = datacenters_[i].fleet;
+    if (fleet == nullptr || fleet_topics[i].count(category) == 0) continue;
+    for (int p = 0; p < fleet->options().num_partitions; ++p) {
+      uint64_t from =
+          fleet->CommittedOffset(options_.consumer_group, category, p);
+      broker::BrokerNode* leader = fleet->FindLeader(category, p);
+      if (leader == nullptr) {
+        return Status::Unavailable("leaderless partition: " + category + "/" +
+                                   std::to_string(p));
+      }
+      auto read = leader->ConsumerFetch(category, p, from, close);
+      if (!read.ok()) return read.status();
+      uint64_t bytes = 0;
+      for (auto& rec : read->records) {
+        bytes += rec.payload.size();
+        latencies.push_back(sim_->Now() - rec.logged_at);
+        broker_merged.push_back(std::move(rec.payload));
+      }
+      if (read->next_offset > from) {
+        commits.push_back(PendingCommit{fleet, p, read->next_offset,
+                                        read->records.size(), bytes});
+      }
     }
-    auto messages = UnframeMessages(*raw);
-    if (!messages.ok()) {
-      slots[i].corrupt = true;
-      return;
-    }
-    slots[i].messages = std::move(*messages);
-  });
-  if (options_.executor != nullptr && options_.executor->parallel()) {
-    ingest_files_unstaged_parallel_->Increment(staged_bodies.size());
   }
 
-  std::vector<std::string> merged;  // message payloads
-  for (auto& slot : slots) {
-    if (slot.corrupt) {
-      corrupt_files_skipped_->Increment();
-      continue;
+  if (warehouse_->Exists(final_dir)) {
+    // The hour is already in the warehouse (a previous attempt slid it
+    // before a later step — another category, an offset commit — forced a
+    // retry, or an aggregator staged a straggler file after the slide). A
+    // slid hour is immutable, so whatever sits in staging now is late
+    // data: drop it and account the loss — leaving it would leak staged
+    // files forever with the loss uncounted. Broker records re-fetched
+    // from the committed offset were part of that slide (anything produced
+    // after it carries logged_at past the hour close and stays out of this
+    // fetch), so only their offsets still need persisting below.
+    UNILOG_RETURN_NOT_OK(DropLateStaging(category, hour));
+  } else {
+    // 1. Collect the staged file bodies across datacenters in stable order
+    //    (datacenter order, then listing order). I/O stays on this thread —
+    //    MiniHdfs and its metrics are single-threaded by design.
+    std::vector<std::string> staged_bodies;
+    for (const auto& dc : datacenters_) {
+      std::string dir = "/staging/" + category + "/" + hour_fragment;
+      if (!dc.staging->Exists(dir)) continue;
+      auto files = dc.staging->ListRecursive(dir);
+      if (!files.ok()) return files.status();
+      for (const auto& file : *files) {
+        auto body = dc.staging->ReadFile(file.path);
+        if (!body.ok()) return body.status();
+        staged_bodies.push_back(std::move(*body));
+      }
     }
-    staging_files_read_->Increment();
-    for (auto& m : slot.messages) merged.push_back(std::move(m));
+
+    // 2. Sanity-check (decompress + unframe) every file, fanned out across
+    //    exec workers: each slot is written only by its own index, and the
+    //    merge below walks slots in input order, so the merged message list
+    //    is identical to the serial per-file loop. Ordering within an hour
+    //    is unspecified (§2: "the ordering of messages within each file is
+    //    unspecified"), so concatenation per datacenter/file order is
+    //    faithful.
+    struct FileSlot {
+      bool corrupt = false;
+      std::vector<std::string> messages;
+    };
+    std::vector<FileSlot> slots(staged_bodies.size());
+    RunStage("mover.unstage", staged_bodies.size(), [&](size_t i) {
+      auto raw = Lz::Decompress(staged_bodies[i]);
+      if (!raw.ok()) {
+        slots[i].corrupt = true;  // corrupt file: skipped, not fatal
+        return;
+      }
+      auto messages = UnframeMessages(*raw);
+      if (!messages.ok()) {
+        slots[i].corrupt = true;
+        return;
+      }
+      slots[i].messages = std::move(*messages);
+    });
+    if (options_.executor != nullptr && options_.executor->parallel()) {
+      ingest_files_unstaged_parallel_->Increment(staged_bodies.size());
+    }
+
+    std::vector<std::string> merged;  // message payloads
+    for (auto& slot : slots) {
+      if (slot.corrupt) {
+        corrupt_files_skipped_->Increment();
+        continue;
+      }
+      staging_files_read_->Increment();
+      for (auto& m : slot.messages) merged.push_back(std::move(m));
+    }
+    // 3. Broker records join the same merged hour, after the staged files.
+    for (auto& m : broker_merged) merged.push_back(std::move(m));
+    if (!merged.empty()) {
+      UNILOG_RETURN_NOT_OK(CommitMergedHour(category, hour, merged));
+    }
+
+    // 4. Clean up staging.
+    for (const auto& dc : datacenters_) {
+      std::string dir = "/staging/" + category + "/" + hour_fragment;
+      if (dc.staging->Exists(dir)) {
+        UNILOG_RETURN_NOT_OK(dc.staging->Delete(dir, /*recursive=*/true));
+      }
+    }
   }
-  if (merged.empty()) return Status::OK();
 
-  UNILOG_RETURN_NOT_OK(CommitMergedHour(category, hour, merged));
-
-  // 4. Clean up staging.
-  for (const auto& dc : datacenters_) {
-    std::string dir = "/staging/" + category + "/" + hour_fragment;
-    if (dc.staging->Exists(dir)) {
-      UNILOG_RETURN_NOT_OK(dc.staging->Delete(dir, /*recursive=*/true));
-    }
+  // 5. Persist the consumer group's progress; the fleet counts the
+  //    consumption and lets leaders trim below the group minimum.
+  for (const auto& c : commits) {
+    UNILOG_RETURN_NOT_OK(c.fleet->CommitOffset(options_.consumer_group,
+                                               category, c.partition,
+                                               c.next_offset, c.records,
+                                               c.bytes));
+  }
+  for (TimeMs l : latencies) {
+    broker_e2e_latency_->Observe(static_cast<double>(l));
   }
   return Status::OK();
 }
@@ -383,90 +463,6 @@ Status LogMover::CommitMergedHour(const std::string& category, TimeMs hour,
         etwin::EventNameIndex::BuildForDir(warehouse_, final_dir));
   }
   return Status::OK();
-}
-
-bool LogMover::MoveBrokerHour(TimeMs hour) {
-  // Union of topics across every datacenter's broker tier (sorted, so the
-  // warehouse commit order is deterministic).
-  std::set<std::string> topics;
-  bool any_fleet = false;
-  for (const auto& dc : datacenters_) {
-    if (dc.fleet == nullptr) continue;
-    any_fleet = true;
-    auto listed = dc.fleet->ListTopics();
-    if (!listed.ok()) {
-      if (listed.status().IsNotFound()) continue;  // no topics yet
-      return false;
-    }
-    topics.insert(listed->begin(), listed->end());
-  }
-  if (!any_fleet) return true;
-
-  TimeMs close = hour + kMillisPerHour;
-  for (const auto& category : topics) {
-    // 1. Fetch every partition of every datacenter from its leader, from
-    //    the group's committed offset up to the hour boundary. A leaderless
-    //    partition (all replicas down) stalls the hour — backpressure holds
-    //    the data at the producers, and the hour is retried next run.
-    struct PendingCommit {
-      broker::BrokerFleet* fleet;
-      int partition;
-      uint64_t next_offset;
-      uint64_t records;
-      uint64_t bytes;
-    };
-    std::vector<PendingCommit> commits;
-    std::vector<std::string> merged;
-    std::vector<TimeMs> latencies;
-    for (const auto& dc : datacenters_) {
-      if (dc.fleet == nullptr) continue;
-      for (int p = 0; p < dc.fleet->options().num_partitions; ++p) {
-        uint64_t from =
-            dc.fleet->CommittedOffset(options_.consumer_group, category, p);
-        broker::BrokerNode* leader = dc.fleet->FindLeader(category, p);
-        if (leader == nullptr) return false;  // leaderless: retry the hour
-        auto read = leader->ConsumerFetch(category, p, from, close);
-        if (!read.ok()) return false;
-        uint64_t bytes = 0;
-        for (auto& rec : read->records) {
-          bytes += rec.payload.size();
-          latencies.push_back(sim_->Now() - rec.logged_at);
-          merged.push_back(std::move(rec.payload));
-        }
-        if (read->next_offset > from) {
-          commits.push_back(PendingCommit{dc.fleet, p, read->next_offset,
-                                          read->records.size(), bytes});
-        }
-      }
-    }
-
-    // 2. Commit the merged payloads, unless a previous attempt already
-    //    slid this hour (its offset commit failed afterwards): the records
-    //    are in the warehouse, only the offsets still need persisting.
-    if (!merged.empty()) {
-      std::string final_dir =
-          "/logs/" + category + "/" + HourPartitionPath(hour);
-      if (!warehouse_->Exists(final_dir)) {
-        if (!CommitMergedHour(category, hour, merged).ok()) return false;
-      }
-      categories_moved_->Increment();
-    }
-
-    // 3. Persist the consumer group's progress; the fleet counts the
-    //    consumption and lets leaders trim below the group minimum.
-    for (const auto& c : commits) {
-      if (!c.fleet
-               ->CommitOffset(options_.consumer_group, category, c.partition,
-                              c.next_offset, c.records, c.bytes)
-               .ok()) {
-        return false;
-      }
-    }
-    for (TimeMs l : latencies) {
-      broker_e2e_latency_->Observe(static_cast<double>(l));
-    }
-  }
-  return true;
 }
 
 Status LogMover::DropLateStaging(const std::string& category, TimeMs hour) {

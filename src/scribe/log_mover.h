@@ -146,14 +146,16 @@ class LogMover {
   /// be retried (e.g. warehouse HDFS outage).
   bool MoveHour(TimeMs hour);
 
-  /// Merges one (category, hour) from all datacenters into the warehouse.
-  Status MoveCategoryHour(const std::string& category, TimeMs hour);
-
-  /// Consumes every broker topic partition up to `hour`'s close and commits
-  /// the merged payloads into the warehouse, then persists the consumer
-  /// group's offsets. Returns false when the hour must be retried (a
-  /// partition is leaderless, or the warehouse/zk write failed).
-  bool MoveBrokerHour(TimeMs hour);
+  /// Merges one (category, hour) from all datacenters — staged aggregator
+  /// files AND broker partition records, which a mid-migration fleet
+  /// produces for the same category at once — into one warehouse commit,
+  /// then persists the consumer group's broker offsets. `fleet_topics[i]`
+  /// is the topic set of datacenter i's broker fleet (empty when it runs
+  /// no brokers). Committing the two tiers separately would lose whichever
+  /// source arrived second: the slid hour directory is immutable.
+  Status MoveCategoryHour(
+      const std::string& category, TimeMs hour,
+      const std::vector<std::set<std::string>>& fleet_topics);
 
   /// The shared warehouse-commit tail: writes `merged` as a few big parts
   /// into a tmp dir, atomically slides the hour to
@@ -206,6 +208,10 @@ class LogMover {
   obs::Histogram* warehouse_file_bytes_;
   // Log()-to-warehouse-ingest latency for broker-consumed records.
   obs::Histogram* broker_e2e_latency_;
+  // Hour-close-to-warehouse-slide latency, one observation per moved
+  // hour — the batch path's delivery-latency SLO (the soak harness bounds
+  // its p99).
+  obs::Histogram* hour_slide_latency_;
 
   bool started_ = false;
   TimeMs next_hour_ = 0;

@@ -1,0 +1,178 @@
+#include "soak/chaos.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "common/rng.h"
+
+namespace unilog::soak {
+
+const char* ChaosKindName(ChaosKind kind) {
+  switch (kind) {
+    case ChaosKind::kAggregatorCrash:
+      return "aggregator-crash";
+    case ChaosKind::kBrokerCrash:
+      return "broker-crash";
+    case ChaosKind::kZkExpiryStorm:
+      return "zk-expiry-storm";
+    case ChaosKind::kStagingBrownout:
+      return "staging-brownout";
+    case ChaosKind::kWarehouseBrownout:
+      return "warehouse-brownout";
+    case ChaosKind::kClockSkew:
+      return "clock-skew";
+    case ChaosKind::kCorruptPart:
+      return "corrupt-part";
+  }
+  return "unknown";
+}
+
+std::string ChaosEvent::ToString() const {
+  std::string s = TimestampString(at);
+  s += " ";
+  s += ChaosKindName(kind);
+  s += " dc=" + std::to_string(dc) + " index=" + std::to_string(index);
+  if (duration_ms > 0) s += " duration=" + std::to_string(duration_ms) + "ms";
+  if (count > 1) s += " count=" + std::to_string(count);
+  if (skew_ms != 0) s += " skew=" + std::to_string(skew_ms) + "ms";
+  return s;
+}
+
+ChaosSchedule ChaosSchedule::Generate(const ChaosScheduleOptions& options,
+                                      const scribe::ClusterTopology& topology,
+                                      TimeMs start, TimeMs end,
+                                      uint64_t seed) {
+  ChaosSchedule schedule;
+  if (end <= start) return schedule;
+  Rng rng(seed ^ 0xc4a05u);
+  const double days =
+      static_cast<double>(end - start) / static_cast<double>(kMillisPerDay);
+
+  // Classify targets once; every fault class draws only from DCs that run
+  // the component it attacks.
+  std::vector<size_t> agg_dcs;
+  std::vector<size_t> brk_dcs;
+  for (size_t dc = 0; dc < topology.datacenters.size(); ++dc) {
+    if (topology.BrokeredDatacenter(topology.datacenters[dc])) {
+      if (topology.brokers_per_dc > 0) brk_dcs.push_back(dc);
+    } else if (topology.aggregators_per_dc > 0) {
+      agg_dcs.push_back(dc);
+    }
+  }
+
+  auto draw_at = [&]() {
+    return start + static_cast<TimeMs>(
+                       rng.Uniform(static_cast<uint64_t>(end - start)));
+  };
+  auto draw_outage = [&]() {
+    return options.min_outage_ms +
+           static_cast<TimeMs>(rng.Uniform(static_cast<uint64_t>(
+               options.max_outage_ms - options.min_outage_ms + 1)));
+  };
+  auto add = [&](double per_day, const std::function<ChaosEvent()>& make) {
+    uint64_t n = rng.Poisson(per_day * days);
+    for (uint64_t i = 0; i < n; ++i) schedule.events_.push_back(make());
+  };
+
+  if (!agg_dcs.empty()) {
+    add(options.aggregator_crashes_per_day, [&] {
+      ChaosEvent ev;
+      ev.at = draw_at();
+      ev.kind = ChaosKind::kAggregatorCrash;
+      ev.dc = agg_dcs[rng.Uniform(agg_dcs.size())];
+      ev.index = rng.Uniform(static_cast<uint64_t>(topology.aggregators_per_dc));
+      ev.duration_ms = draw_outage();
+      return ev;
+    });
+    add(options.clock_skews_per_day, [&] {
+      ChaosEvent ev;
+      ev.at = draw_at();
+      ev.kind = ChaosKind::kClockSkew;
+      ev.dc = agg_dcs[rng.Uniform(agg_dcs.size())];
+      ev.index = rng.Uniform(static_cast<uint64_t>(topology.aggregators_per_dc));
+      ev.duration_ms = draw_outage();
+      TimeMs magnitude =
+          options.min_clock_skew_ms +
+          static_cast<TimeMs>(rng.Uniform(static_cast<uint64_t>(
+              options.max_clock_skew_ms - options.min_clock_skew_ms + 1)));
+      ev.skew_ms = rng.Bernoulli(0.5) ? magnitude : -magnitude;
+      return ev;
+    });
+  }
+  if (!brk_dcs.empty()) {
+    add(options.broker_crashes_per_day, [&] {
+      ChaosEvent ev;
+      ev.at = draw_at();
+      ev.kind = ChaosKind::kBrokerCrash;
+      ev.dc = brk_dcs[rng.Uniform(brk_dcs.size())];
+      ev.index = rng.Uniform(static_cast<uint64_t>(topology.brokers_per_dc));
+      ev.duration_ms = draw_outage();
+      return ev;
+    });
+    add(options.zk_storms_per_day, [&] {
+      ChaosEvent ev;
+      ev.at = draw_at();
+      ev.kind = ChaosKind::kZkExpiryStorm;
+      ev.dc = brk_dcs[rng.Uniform(brk_dcs.size())];
+      ev.index = rng.Uniform(static_cast<uint64_t>(topology.brokers_per_dc));
+      ev.count = 1 + static_cast<int>(rng.Uniform(
+                         static_cast<uint64_t>(topology.brokers_per_dc)));
+      return ev;
+    });
+  }
+  if (topology.staging_hdfs.num_datanodes > 1) {
+    add(options.staging_brownouts_per_day, [&] {
+      ChaosEvent ev;
+      ev.at = draw_at();
+      ev.kind = ChaosKind::kStagingBrownout;
+      ev.dc = rng.Uniform(topology.datacenters.size());
+      int n = topology.staging_hdfs.num_datanodes;
+      ev.index = rng.Uniform(static_cast<uint64_t>(n));
+      // Leave at least one live datanode so rolls keep landing; reads of
+      // darkened blocks fail until the restore and the mover just retries.
+      ev.count = 1 + static_cast<int>(rng.Uniform(static_cast<uint64_t>(n - 1)));
+      ev.duration_ms = draw_outage();
+      return ev;
+    });
+  }
+  if (topology.warehouse_hdfs.num_datanodes > 1) {
+    add(options.warehouse_brownouts_per_day, [&] {
+      ChaosEvent ev;
+      ev.at = draw_at();
+      ev.kind = ChaosKind::kWarehouseBrownout;
+      ev.dc = 0;  // one shared warehouse
+      int n = topology.warehouse_hdfs.num_datanodes;
+      ev.index = rng.Uniform(static_cast<uint64_t>(n));
+      // Never darken a full replica set's worth of nodes at once: every
+      // block keeps a live replica, so warehouse reads ride through.
+      int cap = std::max(1, topology.warehouse_hdfs.replication - 1);
+      ev.count = 1 + static_cast<int>(
+                         rng.Uniform(static_cast<uint64_t>(cap)));
+      ev.duration_ms = draw_outage();
+      return ev;
+    });
+  }
+  add(options.corrupt_parts_per_day, [&] {
+    ChaosEvent ev;
+    ev.at = draw_at();
+    ev.kind = ChaosKind::kCorruptPart;
+    return ev;
+  });
+
+  std::stable_sort(schedule.events_.begin(), schedule.events_.end(),
+                   [](const ChaosEvent& a, const ChaosEvent& b) {
+                     return a.at < b.at;
+                   });
+  return schedule;
+}
+
+std::string ChaosSchedule::ToString() const {
+  std::string out;
+  for (const auto& ev : events_) {
+    out += ev.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace unilog::soak

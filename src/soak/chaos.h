@@ -1,0 +1,84 @@
+#ifndef UNILOG_SOAK_CHAOS_H_
+#define UNILOG_SOAK_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sim_time.h"
+#include "scribe/cluster.h"
+
+namespace unilog::soak {
+
+/// The fault classes the soak harness injects. Every one maps to a
+/// failure mode the paper's production fleet actually sees.
+enum class ChaosKind {
+  kAggregatorCrash,    // crash an aggregator, restart after duration_ms
+  kBrokerCrash,        // crash a broker node, restart after duration_ms
+  kZkExpiryStorm,      // burst of zk session expiries across a broker DC
+  kStagingBrownout,    // darken `count` staging datanodes for duration_ms
+  kWarehouseBrownout,  // darken `count` warehouse datanodes
+  kClockSkew,          // skew one aggregator's bucketing clock by skew_ms
+  kCorruptPart,        // silent byte-flip in a landed warehouse part
+};
+
+const char* ChaosKindName(ChaosKind kind);
+
+/// One scheduled fault. Which fields matter depends on `kind`; unused
+/// fields are zero.
+struct ChaosEvent {
+  TimeMs at = 0;
+  ChaosKind kind = ChaosKind::kAggregatorCrash;
+  size_t dc = 0;           // datacenter index in the topology
+  size_t index = 0;        // aggregator / broker / first-datanode index
+  TimeMs duration_ms = 0;  // outage length (0 = instantaneous)
+  int count = 1;           // sessions to expire / datanodes to darken
+  TimeMs skew_ms = 0;      // clock-skew amount (kClockSkew only)
+
+  std::string ToString() const;
+};
+
+/// Per-simulated-day fault rates plus outage-length bounds. The defaults
+/// give a multi-day soak a steady drumbeat of every fault class without
+/// ever making loss unrecoverable by construction (warehouse brownouts
+/// are capped below the replication factor; everything else the delivery
+/// path is designed to absorb and account).
+struct ChaosScheduleOptions {
+  double aggregator_crashes_per_day = 8;
+  double broker_crashes_per_day = 8;
+  double zk_storms_per_day = 3;
+  double staging_brownouts_per_day = 3;
+  double warehouse_brownouts_per_day = 1.5;
+  double clock_skews_per_day = 2;
+  double corrupt_parts_per_day = 2;
+  TimeMs min_outage_ms = 2 * kMillisPerMinute;
+  TimeMs max_outage_ms = 18 * kMillisPerMinute;
+  /// Clock skews are drawn uniformly from ±[min, max].
+  TimeMs max_clock_skew_ms = 45 * kMillisPerMinute;
+  TimeMs min_clock_skew_ms = 5 * kMillisPerMinute;
+};
+
+/// A declarative, fully deterministic fault plan: the same (options,
+/// topology, window, seed) always generates the identical event list, so
+/// a failing soak reproduces from its printed seed alone. Events are
+/// sorted by time; targets are drawn only from components that exist
+/// under `topology` (aggregator faults in aggregator DCs, broker faults
+/// and zk storms in brokered DCs, brownouts only on sharded clusters).
+class ChaosSchedule {
+ public:
+  static ChaosSchedule Generate(const ChaosScheduleOptions& options,
+                                const scribe::ClusterTopology& topology,
+                                TimeMs start, TimeMs end, uint64_t seed);
+
+  const std::vector<ChaosEvent>& events() const { return events_; }
+
+  /// One event per line, for logs and the soak report.
+  std::string ToString() const;
+
+ private:
+  std::vector<ChaosEvent> events_;
+};
+
+}  // namespace unilog::soak
+
+#endif  // UNILOG_SOAK_CHAOS_H_

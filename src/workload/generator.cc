@@ -30,7 +30,7 @@ void WorkloadGenerator::BuildUsers() {
   users_.reserve(options_.num_users);
   for (int i = 0; i < options_.num_users; ++i) {
     UserProfile u;
-    u.user_id = 1000000 + i;
+    u.user_id = options_.user_id_base + i;
     u.country = kCountries[rng_.PickWeighted(country_w)];
     u.logged_in = rng_.Bernoulli(0.8);
     u.client = kClients[rng_.PickWeighted(client_w)];
@@ -45,7 +45,7 @@ void WorkloadGenerator::BuildUsers() {
 }
 
 const UserProfile* WorkloadGenerator::FindUser(int64_t user_id) const {
-  int64_t index = user_id - 1000000;
+  int64_t index = user_id - options_.user_id_base;
   if (index < 0 || index >= static_cast<int64_t>(users_.size())) {
     return nullptr;
   }

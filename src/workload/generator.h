@@ -32,6 +32,11 @@ struct UserProfile {
 struct WorkloadOptions {
   uint64_t seed = 42;
   int num_users = 500;
+  /// First user id assigned (ids run base .. base+num_users-1). Sharded
+  /// drivers (the soak harness runs one generator per simulated hour) give
+  /// each shard a distinct base so the shards model distinct users instead
+  /// of aliasing onto one population.
+  int64_t user_id_base = 1000000;
   TimeMs start = 0;             // window start (set via MakeDate)
   TimeMs duration = kMillisPerDay;
   double sessions_per_user_mean = 2.0;

@@ -16,6 +16,7 @@
 #include "broker/broker.h"
 #include "broker/fleet.h"
 #include "broker/partition_log.h"
+#include "common/rng.h"
 #include "obs/delivery_audit.h"
 #include "scribe/cluster.h"
 #include "sim/simulator.h"
@@ -616,6 +617,74 @@ TEST(BrokerClusterTest, WarehouseLayoutUnchangedDownstream) {
   EXPECT_TRUE(audit.Check().ok());
   const obs::DeliverySnapshot snap = audit.Snapshot();
   EXPECT_EQ(snap.logged, snap.warehoused);  // no faults: full delivery
+}
+
+// Session-expiry storm at fleet scale: 120 daemons funnel into a 5-broker
+// tier while three seeded storms each expire a random run of broker
+// sessions at 250 ms spacing. Expiry is not a crash — the logs survive —
+// so the drain must deliver everything, every partition must end with
+// exactly one leader, and re-election/rediscovery churn must stay bounded
+// (storms re-elect displaced partitions, not a thundering herd).
+TEST(BrokerChaosTest, SessionExpiryStormAtScaleConvergesBounded) {
+  Simulator sim(kT0);
+  BrokerOptions options;
+  options.num_partitions = 4;
+  options.replication_factor = 2;
+  scribe::ClusterTopology topology = BrokerTopology(5, options);
+  topology.daemons_per_dc = 120;
+  scribe::ScribeOptions scribe_options;
+  scribe::LogMoverOptions mover_options;
+  scribe::ScribeCluster cluster(&sim, topology, scribe_options,
+                                mover_options, /*seed=*/2026);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  ScheduleWorkload(&sim, &cluster, kT0 + kMillisPerSecond,
+                   kT0 + 15 * kMillisPerMinute);
+  OffsetMonotonicityProbe probe(&sim, &cluster, options.num_partitions,
+                                kT0 + kMillisPerHour);
+
+  Rng rng(99);
+  int expiries = 0;
+  for (TimeMs storm : {kT0 + 3 * kMillisPerMinute,
+                       kT0 + 6 * kMillisPerMinute,
+                       kT0 + 9 * kMillisPerMinute}) {
+    const int count = 2 + static_cast<int>(rng.Uniform(3));  // 2..4 brokers
+    const size_t first = rng.Uniform(cluster.broker_count(0));
+    for (int i = 0; i < count; ++i) {
+      const size_t target = (first + i) % cluster.broker_count(0);
+      sim.At(storm + i * 250, [&cluster, target] {
+        // A storm can hit a broker twice; a dead session is fine to skip.
+        (void)cluster.ExpireBrokerSession(0, target);
+      });
+      ++expiries;
+    }
+  }
+
+  DrainToQuiescence(&sim);
+
+  obs::DeliveryAudit audit(&cluster);
+  const obs::DeliverySnapshot snap = audit.Snapshot();
+  EXPECT_TRUE(snap.Balanced()) << snap.ToString();
+  EXPECT_TRUE(audit.AssertQuiescent().ok()) << snap.ToString();
+  // Expiry is not a crash: nothing was lost on any replica.
+  EXPECT_EQ(snap.lost_unreplicated, 0u) << snap.ToString();
+  EXPECT_EQ(snap.logged, snap.warehoused + snap.dropped_at_daemons)
+      << snap.ToString();
+  EXPECT_FALSE(probe.violated());
+  ExpectExactlyOneLeader(&cluster, options.num_partitions);
+
+  const scribe::ClusterStats totals = cluster.TotalStats();
+  EXPECT_GT(totals.broker_elections, 0u);
+  // Bounded re-election: the initial election per (category, partition)
+  // plus at most one re-election per partition per expiry.
+  const uint64_t partitions = 2u * options.num_partitions;
+  EXPECT_LE(totals.broker_elections,
+            partitions + partitions * static_cast<uint64_t>(expiries));
+  // Bounded rediscovery: each of the 120 daemons re-resolves leadership at
+  // most once per expiry on top of its initial discovery.
+  EXPECT_LE(totals.daemon_rediscoveries,
+            static_cast<uint64_t>(topology.daemons_per_dc) *
+                static_cast<uint64_t>(1 + expiries));
 }
 
 }  // namespace

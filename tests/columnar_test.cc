@@ -9,8 +9,10 @@
 #include <vector>
 
 #include "columnar/rcfile.h"
+#include "columnar/scrubber.h"
 #include "common/rng.h"
 #include "exec/executor.h"
+#include "hdfs/mini_hdfs.h"
 #include "obs/metrics.h"
 
 namespace unilog::columnar {
@@ -549,6 +551,70 @@ TEST(RowMatcherTest, AgreesWithScanOnEveryPredicateKind) {
     ASSERT_TRUE(reader.Scan(spec, &got, nullptr).ok()) << i;
     EXPECT_EQ(got, want) << "spec " << i;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Background scrubber vs chaos-injected silent corruption
+
+TEST(ScrubberTest, QuarantinesFlippedPartAndSparesHealthyOnes) {
+  hdfs::MiniHdfs fs;
+  auto events = MakeEvents(120);
+  const std::string dir = "/logs/client_event/2012/08/21/00";
+  ASSERT_TRUE(fs.WriteFile(dir + "/part-00000", WriteAll(events, 32)).ok());
+  ASSERT_TRUE(fs.WriteFile(dir + "/part-00001", WriteAll(events, 16)).ok());
+  ASSERT_TRUE(fs.WriteFile(dir + "/notes.txt", "not columnar").ok());
+  // Chaos-style silent byte flip past the 4-byte magic: no mtime bump, no
+  // error at write time — only the part's own checksums can catch it.
+  ASSERT_TRUE(fs.CorruptFile(dir + "/part-00001", 100).ok());
+
+  auto report = ScrubColumnarDir(&fs, "/logs");
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->files_checked, 2u);
+  EXPECT_EQ(report->files_skipped, 1u);  // notes.txt carries no checksums
+  EXPECT_EQ(report->files_quarantined, 1u);
+  EXPECT_EQ(report->rows_verified, events.size());
+  ASSERT_EQ(report->quarantined.size(), 1u);
+  EXPECT_EQ(report->quarantined[0], dir + "/_quarantined.part-00001");
+
+  // The bad part is out of service under a hidden name; the healthy part
+  // still reads clean in place.
+  EXPECT_FALSE(fs.Exists(dir + "/part-00001"));
+  ASSERT_TRUE(fs.Exists(dir + "/_quarantined.part-00001"));
+  auto healthy = fs.ReadFile(dir + "/part-00000");
+  ASSERT_TRUE(healthy.ok());
+  RcFileReader reader(*healthy);
+  std::vector<events::ClientEvent> back;
+  EXPECT_TRUE(reader.ReadAll(kAllColumns, &back).ok());
+  EXPECT_EQ(back.size(), events.size());
+
+  // A second pass is idempotent: the quarantined part is hidden, the
+  // healthy one re-verifies, nothing new is renamed.
+  auto again = ScrubColumnarDir(&fs, "/logs");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->files_checked, 1u);
+  EXPECT_EQ(again->files_quarantined, 0u);
+  EXPECT_EQ(again->rows_verified, events.size());
+}
+
+TEST(ScrubberTest, BrownoutAbortsPassWithoutQuarantining) {
+  hdfs::MiniHdfs fs;
+  auto events = MakeEvents(40);
+  const std::string part = "/logs/client_event/2012/08/21/00/part-00000";
+  ASSERT_TRUE(fs.WriteFile(part, WriteAll(events, 16)).ok());
+  ASSERT_TRUE(fs.CorruptFile(part, 50).ok());
+  fs.SetDatanodeAvailable(0, false);
+
+  // Reads fail during the brownout, so the pass aborts for a later retry
+  // instead of mistaking darkness for corruption.
+  auto report = ScrubColumnarDir(&fs, "/logs");
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsUnavailable()) << report.status().ToString();
+  EXPECT_TRUE(fs.Exists(part));  // nothing renamed
+
+  fs.SetDatanodeAvailable(0, true);
+  auto retry = ScrubColumnarDir(&fs, "/logs");
+  ASSERT_TRUE(retry.ok());
+  EXPECT_EQ(retry->files_quarantined, 1u);
 }
 
 }  // namespace

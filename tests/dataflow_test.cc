@@ -644,5 +644,94 @@ TEST_F(SharedScanTest, MembersMustShareOneOpenedScan) {
   EXPECT_TRUE(none->empty());
 }
 
+// ---------------------------------------------------------------------------
+// Corrupt-input quarantine: a part whose decode fails with Corruption is
+// renamed aside and skipped instead of failing the whole job.
+
+class QuarantineTest : public ::testing::Test {
+ protected:
+  static std::string ColumnarBody(int rows) {
+    std::string body;
+    columnar::RcFileWriter writer(&body, 16);
+    for (int i = 0; i < rows; ++i) {
+      events::ClientEvent ev;
+      ev.initiator = events::EventInitiator::kClientUser;
+      ev.event_name = "web:home:::tweet:click";
+      ev.user_id = 100 + i;
+      ev.session_id = "s" + std::to_string(i % 5);
+      ev.ip = "10.0.0.1";
+      ev.timestamp = 1345507200000 + static_cast<TimeMs>(i) * 1000;
+      EXPECT_TRUE(writer.Add(ev).ok());
+    }
+    EXPECT_TRUE(writer.Finish().ok());
+    return body;
+  }
+
+  // Counts records across all inputs under "rows".
+  static void ConfigureCountJob(MapReduceJob* job) {
+    job->set_input_format(InputFormat::CompressedFramedOrColumnar());
+    job->set_map([](const std::string&, Emitter* e) {
+      e->Emit("rows", "1");
+      return Status::OK();
+    });
+    job->set_reduce([](const std::string& key,
+                       const std::vector<std::string>& values, Emitter* e) {
+      e->Emit(key, std::to_string(values.size()));
+      return Status::OK();
+    });
+  }
+
+  JobCostModel model_;
+};
+
+TEST_F(QuarantineTest, CorruptColumnarInputFailsJobByDefault) {
+  hdfs::MiniHdfs fs;
+  ASSERT_TRUE(fs.WriteFile("/in/part-00000", ColumnarBody(40)).ok());
+  ASSERT_TRUE(fs.CorruptFile("/in/part-00000", 100).ok());
+
+  MapReduceJob job(&fs, model_);
+  ASSERT_TRUE(job.AddInputDir("/in").ok());
+  ConfigureCountJob(&job);
+  auto out = job.Run();
+  ASSERT_FALSE(out.ok());
+  EXPECT_TRUE(out.status().IsCorruption()) << out.status().ToString();
+  EXPECT_TRUE(fs.Exists("/in/part-00000"));  // nothing renamed
+}
+
+TEST_F(QuarantineTest, QuarantineSkipsCorruptPartOnBothEngines) {
+  for (int threads : {0, 4}) {
+    hdfs::MiniHdfs fs;
+    ASSERT_TRUE(fs.WriteFile("/in/part-00000", ColumnarBody(60)).ok());
+    ASSERT_TRUE(fs.WriteFile("/in/part-00001", ColumnarBody(25)).ok());
+    ASSERT_TRUE(fs.CorruptFile("/in/part-00001", 100).ok());
+
+    std::unique_ptr<exec::Executor> executor;
+    if (threads > 0) {
+      exec::ExecOptions eo;
+      eo.threads = threads;
+      executor = std::make_unique<exec::Executor>(eo);
+    }
+    MapReduceJob job(&fs, model_);
+    ASSERT_TRUE(job.AddInputDir("/in").ok());
+    ConfigureCountJob(&job);
+    job.set_quarantine_fs(&fs);
+    job.set_executor(executor.get());
+    auto out = job.Run();
+    ASSERT_TRUE(out.ok()) << "threads=" << threads << ": "
+                          << out.status().ToString();
+    ASSERT_EQ(out->size(), 1u);
+    EXPECT_EQ((*out)[0].second, "60") << "threads=" << threads;
+    EXPECT_EQ(job.stats().corrupt_inputs_quarantined, 1u);
+
+    // The bad part moved aside under the hidden convention, so the next
+    // scan of the same directory never sees it again.
+    EXPECT_FALSE(fs.Exists("/in/part-00001"));
+    EXPECT_TRUE(fs.Exists("/in/_quarantined.part-00001"));
+    MapReduceJob again(&fs, model_);
+    ASSERT_TRUE(again.AddInputDir("/in").ok());
+    EXPECT_EQ(again.input_file_count(), 1u);
+  }
+}
+
 }  // namespace
 }  // namespace unilog::dataflow

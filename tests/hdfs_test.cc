@@ -192,5 +192,132 @@ TEST(MiniHdfsTest, ByteCounters) {
   EXPECT_EQ(fs.bytes_read(), 10u);
 }
 
+// --- Datanode sharding: per-block placement, brownouts, replication ---
+
+TEST(MiniHdfsShardingTest, DefaultSingleNodeKeepsLegacyBehavior) {
+  MiniHdfs fs;
+  EXPECT_EQ(fs.num_datanodes(), 1);
+  EXPECT_EQ(fs.live_datanodes(), 1);
+  ASSERT_TRUE(fs.WriteFile("/f", "data").ok());
+  ReplicaReport report = fs.Replicas();
+  EXPECT_EQ(report.blocks, 1u);
+  EXPECT_EQ(report.fully_available, 1u);
+  EXPECT_EQ(report.unreadable, 0u);
+}
+
+TEST(MiniHdfsShardingTest, BrownoutFailsOnlyDarkBlocks) {
+  HdfsOptions opts;
+  opts.num_datanodes = 3;
+  opts.replication = 1;
+  MiniHdfs fs(nullptr, opts);
+  // Rotating placement: three single-block files land on three distinct
+  // datanodes, so darkening one node fails exactly one of them.
+  ASSERT_TRUE(fs.WriteFile("/a", "x").ok());
+  ASSERT_TRUE(fs.WriteFile("/b", "y").ok());
+  ASSERT_TRUE(fs.WriteFile("/c", "z").ok());
+  fs.SetDatanodeAvailable(0, false);
+  EXPECT_EQ(fs.live_datanodes(), 2);
+  int failed = 0;
+  for (const char* path : {"/a", "/b", "/c"}) {
+    if (fs.ReadFile(path).status().IsUnavailable()) ++failed;
+  }
+  EXPECT_EQ(failed, 1);
+  EXPECT_GE(fs.brownout_rejections(), 1u);
+  // Metadata operations are namenode-only and ride through the brownout.
+  EXPECT_TRUE(fs.List("/").ok());
+  EXPECT_TRUE(fs.Stat("/a").ok());
+  ReplicaReport report = fs.Replicas();
+  EXPECT_EQ(report.blocks, 3u);
+  EXPECT_EQ(report.unreadable, 1u);
+  fs.SetDatanodeAvailable(0, true);
+  for (const char* path : {"/a", "/b", "/c"}) {
+    EXPECT_TRUE(fs.ReadFile(path).ok()) << path;
+  }
+}
+
+TEST(MiniHdfsShardingTest, ReplicationSurvivesSingleNodeLoss) {
+  HdfsOptions opts;
+  opts.num_datanodes = 3;
+  opts.replication = 2;
+  opts.block_size = 4;
+  MiniHdfs fs(nullptr, opts);
+  ASSERT_TRUE(fs.WriteFile("/big", std::string(20, 'a')).ok());
+  ASSERT_TRUE(fs.WriteFile("/small", "bb").ok());
+  for (int node = 0; node < 3; ++node) {
+    fs.SetDatanodeAvailable(node, false);
+    EXPECT_TRUE(fs.ReadFile("/big").ok()) << "node " << node << " down";
+    EXPECT_TRUE(fs.ReadFile("/small").ok()) << "node " << node << " down";
+    ReplicaReport report = fs.Replicas();
+    EXPECT_EQ(report.unreadable, 0u) << "node " << node << " down";
+    EXPECT_GT(report.degraded, 0u) << "node " << node << " down";
+    fs.SetDatanodeAvailable(node, true);
+  }
+  ReplicaReport healthy = fs.Replicas();
+  EXPECT_EQ(healthy.fully_available, healthy.blocks);
+}
+
+TEST(MiniHdfsShardingTest, PlacementFollowsRename) {
+  HdfsOptions opts;
+  opts.num_datanodes = 3;
+  opts.replication = 1;
+  MiniHdfs fs(nullptr, opts);
+  ASSERT_TRUE(fs.WriteFile("/dir/f", "payload").ok());
+  // Find the node holding the file's block.
+  int holder = -1;
+  for (int node = 0; node < 3 && holder < 0; ++node) {
+    fs.SetDatanodeAvailable(node, false);
+    if (!fs.ReadFile("/dir/f").ok()) holder = node;
+    fs.SetDatanodeAvailable(node, true);
+  }
+  ASSERT_GE(holder, 0);
+  // Renames move the path, not the blocks — the same node failing still
+  // darkens the file at its new name.
+  ASSERT_TRUE(fs.Rename("/dir/f", "/dir/g").ok());
+  fs.SetDatanodeAvailable(holder, false);
+  EXPECT_TRUE(fs.ReadFile("/dir/g").status().IsUnavailable());
+  fs.SetDatanodeAvailable(holder, true);
+  EXPECT_EQ(fs.ReadFile("/dir/g").value(), "payload");
+}
+
+TEST(MiniHdfsShardingTest, WriteDuringBrownoutIsUnderReplicated) {
+  HdfsOptions opts;
+  opts.num_datanodes = 2;
+  opts.replication = 2;
+  MiniHdfs fs(nullptr, opts);
+  fs.SetDatanodeAvailable(1, false);
+  ASSERT_TRUE(fs.WriteFile("/f", "written during brownout").ok());
+  EXPECT_GE(fs.replica_shortfalls(), 1u);
+  EXPECT_GT(fs.Replicas().under_replicated, 0u);
+  EXPECT_TRUE(fs.ReadFile("/f").ok());
+  // With every datanode dark there is nowhere to place new blocks.
+  fs.SetDatanodeAvailable(0, false);
+  EXPECT_TRUE(fs.WriteFile("/g", "x").IsUnavailable());
+}
+
+TEST(MiniHdfsShardingTest, CorruptFileFlipsOneByteSilently) {
+  Simulator sim(1000);
+  MiniHdfs fs(&sim);
+  ASSERT_TRUE(fs.WriteFile("/f", "hello").ok());
+  sim.RunUntil(5000);
+  ASSERT_TRUE(fs.CorruptFile("/f", 1).ok());
+  std::string body = fs.ReadFile("/f").value();
+  ASSERT_EQ(body.size(), 5u);
+  EXPECT_NE(body, "hello");
+  EXPECT_EQ(body[0], 'h');
+  EXPECT_NE(body[1], 'e');
+  // Silent: no mtime bump, no write accounting — only the chaos counter.
+  EXPECT_EQ(fs.Stat("/f")->mtime, 1000);
+  EXPECT_EQ(fs.bytes_written(), 5u);
+  EXPECT_EQ(fs.chaos_corruptions(), 1u);
+  // Offsets wrap around the file size.
+  ASSERT_TRUE(fs.CorruptFile("/f", 6).ok());
+  EXPECT_NE(fs.ReadFile("/f").value()[1], body[1]);
+  // Directories and empty files cannot be corrupted.
+  ASSERT_TRUE(fs.Mkdirs("/d").ok());
+  EXPECT_FALSE(fs.CorruptFile("/d", 0).ok());
+  ASSERT_TRUE(fs.WriteFile("/empty", "").ok());
+  EXPECT_FALSE(fs.CorruptFile("/empty", 0).ok());
+}
+
 }  // namespace
 }  // namespace unilog::hdfs

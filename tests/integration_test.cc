@@ -599,5 +599,150 @@ TEST(DeliveryAuditIntegrationTest, StaysBalancedWithOinkCachingOn) {
   EXPECT_GT(pipe.metrics()->CounterTotal("oink.cache_hits"), 0u);
 }
 
+// ---------------------------------------------------------------------------
+// AssertQuiescent: the soak harness's end-of-run gate. Mid-run it must
+// flag in-flight data (balance alone is not enough); after a clean drain
+// it must pass; and an unrecovered silent loss must keep it failing
+// forever — that channel never drains, even though the identity still
+// balances.
+
+TEST(DeliveryAuditIntegrationTest, AssertQuiescentSeparatesDrainFromLoss) {
+  Simulator sim(kDay);
+  scribe::ClusterTopology topo;
+  topo.datacenters = {"dc1"};
+  topo.aggregators_per_dc = 1;
+  topo.daemons_per_dc = 2;
+  scribe::ScribeOptions sopts;
+  sopts.roll_interval_ms = 30 * kMillisPerSecond;
+  scribe::LogMoverOptions mopts;
+  mopts.run_interval_ms = 2 * kMillisPerMinute;
+  mopts.grace_ms = kMillisPerMinute;
+  scribe::ScribeCluster cluster(&sim, topo, sopts, mopts, /*seed=*/9);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  for (int i = 0; i < 120; ++i) {
+    TimeMs at = kDay + static_cast<TimeMs>(i) * 15 * kMillisPerSecond;
+    sim.At(at, [&cluster, i]() {
+      cluster.Log(0, scribe::LogEntry{"client_events",
+                                      "m" + std::to_string(i) +
+                                          std::string(100, 'q')});
+    });
+  }
+
+  obs::DeliveryAudit audit(&cluster);
+  sim.RunUntil(kDay + 10 * kMillisPerMinute);
+  EXPECT_TRUE(audit.Check().ok()) << audit.Snapshot().ToString();
+  Status midrun = audit.AssertQuiescent();
+  ASSERT_FALSE(midrun.ok());  // balanced, but data is still in flight
+  EXPECT_TRUE(midrun.IsFailedPrecondition()) << midrun.ToString();
+  EXPECT_NE(midrun.ToString().find("not quiescent"), std::string::npos);
+
+  sim.RunUntil(kDay + kMillisPerHour + 20 * kMillisPerMinute);
+  EXPECT_TRUE(audit.AssertQuiescent().ok()) << audit.Snapshot().ToString();
+
+  // Hour two, with sabotage: silently delete one staged file before the
+  // hour closes. Its messages were counted as staged but can never move.
+  for (int i = 0; i < 120; ++i) {
+    TimeMs at = kDay + kMillisPerHour +
+                static_cast<TimeMs>(i) * 15 * kMillisPerSecond;
+    sim.At(at, [&cluster, i]() {
+      cluster.Log(0, scribe::LogEntry{"client_events",
+                                      "n" + std::to_string(i) +
+                                          std::string(100, 'q')});
+    });
+  }
+  sim.At(kDay + kMillisPerHour + 50 * kMillisPerMinute, [&cluster]() {
+    auto files = cluster.staging(0)->ListRecursive("/staging");
+    ASSERT_TRUE(files.ok());
+    bool deleted = false;
+    for (const auto& f : *files) {
+      if (f.size == 0 || f.path.find("/_") != std::string::npos) continue;
+      ASSERT_TRUE(cluster.staging(0)->Delete(f.path).ok());
+      deleted = true;
+      break;
+    }
+    ASSERT_TRUE(deleted);
+  });
+
+  sim.RunUntil(kDay + 3 * kMillisPerHour);
+  Status after = audit.AssertQuiescent();
+  ASSERT_FALSE(after.ok());
+  EXPECT_NE(after.ToString().find("in_flight_staging"), std::string::npos)
+      << after.ToString();
+  // The identity still balances — the loss shows as stuck in-flight data,
+  // not as counter drift. Only the quiescence gate catches it.
+  EXPECT_TRUE(audit.Check().ok()) << audit.Snapshot().ToString();
+}
+
+// ---------------------------------------------------------------------------
+// A landed columnar part silently corrupted after the slide: the daily
+// pipeline quarantines it and still produces the day, instead of failing
+// the whole date.
+
+TEST(DeliveryAuditIntegrationTest, CorruptLandedPartQuarantinedByDailyJob) {
+  Simulator sim(kDay);
+  scribe::ClusterTopology topo;
+  topo.datacenters = {"dc1"};
+  topo.aggregators_per_dc = 1;
+  topo.daemons_per_dc = 2;
+  scribe::ScribeOptions sopts;
+  sopts.roll_interval_ms = 2 * kMillisPerMinute;
+  scribe::LogMoverOptions mopts;
+  mopts.run_interval_ms = 10 * kMillisPerMinute;
+  mopts.columnar_categories.insert("client_events");
+  scribe::ScribeCluster cluster(&sim, topo, sopts, mopts, /*seed=*/11);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  workload::WorkloadOptions wopts;
+  wopts.seed = 300;
+  wopts.num_users = 60;
+  wopts.start = kDay;
+  wopts.duration = 6 * kMillisPerHour;
+  wopts.sessions_per_user_mean = 1.0;
+  wopts.events_per_session_mean = 8;
+  workload::WorkloadGenerator gen(wopts);
+  ASSERT_TRUE(pipeline::DriveWorkloadThroughScribe(&sim, &cluster, &gen,
+                                                   "client_events")
+                  .ok());
+  sim.RunUntil(kDay + 8 * kMillisPerHour);  // every hour slid
+
+  // Flip one byte past the 4-byte magic in the biggest landed part — the
+  // write path saw nothing; only the part's own checksums can catch it.
+  auto files = cluster.warehouse()->ListRecursive("/logs/client_events");
+  ASSERT_TRUE(files.ok());
+  std::string victim;
+  uint64_t biggest = 0;
+  for (const auto& f : *files) {
+    if (f.path.find("/_") != std::string::npos) continue;
+    if (f.size > biggest) {
+      biggest = f.size;
+      victim = f.path;
+    }
+  }
+  ASSERT_FALSE(victim.empty());
+  ASSERT_GT(biggest, 8u);
+  ASSERT_TRUE(cluster.warehouse()->CorruptFile(victim, 100).ok());
+
+  pipeline::DailyPipeline daily(cluster.warehouse(),
+                                dataflow::JobCostModel{});
+  auto result = daily.RunForDate(kDay, pipeline::UserTable::FromWorkload(gen));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Pass 1 quarantined the bad part; pass 2 then never saw it.
+  EXPECT_EQ(result->histogram_job.corrupt_inputs_quarantined, 1u);
+  EXPECT_EQ(result->sessionize_job.corrupt_inputs_quarantined, 0u);
+  EXPECT_GT(result->sequences.size(), 0u);
+
+  const size_t slash = victim.rfind('/');
+  EXPECT_FALSE(cluster.warehouse()->Exists(victim));
+  EXPECT_TRUE(cluster.warehouse()->Exists(victim.substr(0, slash + 1) +
+                                          "_quarantined." +
+                                          victim.substr(slash + 1)));
+
+  // Warehouse-side repair never touches the delivery counters: the run
+  // still drains to a balanced, quiescent audit.
+  obs::DeliveryAudit audit(&cluster);
+  EXPECT_TRUE(audit.AssertQuiescent().ok()) << audit.Snapshot().ToString();
+}
+
 }  // namespace
 }  // namespace unilog

@@ -282,5 +282,64 @@ TEST(ZooKeeperTest, EphemeralSequentialCombines) {
   EXPECT_FALSE(zk.Exists(*a));
 }
 
+// Session-expiry storm: 120 members register ephemerals under one registry
+// node while a re-arming children watcher (the daemon re-discovery pattern)
+// follows membership. Three quarters of the sessions expire in a burst; the
+// registry must converge to exactly the survivors, and the watcher must get
+// there in a bounded number of fires — deliveries coalesce per round, so the
+// storm cannot fan out into one notification per expiry.
+TEST(ZooKeeperTest, SessionExpiryStormConvergesWithBoundedWatchFires) {
+  Simulator sim;
+  ZooKeeper zk(&sim);
+  SessionId root = zk.CreateSession();
+  ASSERT_TRUE(zk.Create(root, "/members", "", CreateMode::kPersistent).ok());
+
+  constexpr int kMembers = 120;
+  std::vector<SessionId> sessions;
+  for (int i = 0; i < kMembers; ++i) {
+    SessionId s = zk.CreateSession();
+    ASSERT_TRUE(zk.Create(s, "/members/m" + std::to_string(i), "",
+                          CreateMode::kEphemeral)
+                    .ok());
+    sessions.push_back(s);
+  }
+  sim.Run();
+  ASSERT_EQ(zk.GetChildren("/members")->size(),
+            static_cast<size_t>(kMembers));
+
+  int notifications = 0;
+  size_t last_seen = 0;
+  std::function<void()> arm = [&] {
+    zk.WatchChildren("/members", [&](WatchEvent, const std::string&) {
+      arm();  // one-shot watch: re-arm first, then re-read membership
+      ++notifications;
+      auto children = zk.GetChildren("/members");
+      ASSERT_TRUE(children.ok());
+      last_seen = children->size();
+    });
+  };
+  arm();
+
+  int expired = 0;
+  for (int i = 0; i < kMembers; ++i) {
+    if (i % 4 == 0) continue;  // every fourth member survives the storm
+    ASSERT_TRUE(zk.CloseSession(sessions[i]).ok());
+    ++expired;
+  }
+  sim.Run();
+
+  auto children = zk.GetChildren("/members");
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->size(), static_cast<size_t>(kMembers - expired));
+  for (int i = 0; i < kMembers; ++i) {
+    EXPECT_EQ(zk.SessionAlive(sessions[i]), i % 4 == 0);
+  }
+  // The watcher converged to the post-storm membership without one fire
+  // per expiry.
+  EXPECT_EQ(last_seen, children->size());
+  EXPECT_GE(notifications, 1);
+  EXPECT_LT(notifications, expired);
+}
+
 }  // namespace
 }  // namespace unilog::zk
