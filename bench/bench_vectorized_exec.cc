@@ -1,0 +1,212 @@
+// E23: vectorized batch execution vs the row engine on the §4.2 daily
+// filter+group workload. One day of client events is written as RCFile v2
+// warehouse partitions, scanned once, and then the same plan —
+//
+//   FILTER event_name matches "web:*" AND timestamp in [T, T+18h)
+//   GROUP BY event_name: count, sum(user_id), count-distinct(session)
+//
+// — is executed by the row engine (boxed Values, row-at-a-time) and by the
+// batch engine (typed column batches + selection vectors, dictionary
+// event names). Reports rows/sec for both and their speedup; the answers
+// must be byte-identical (FNV digest of SerializeRelation), including the
+// batch engine at 1/2/8 threads. Exits nonzero on any divergence or if
+// the batch engine misses its 3x rows/sec acceptance floor. Results merge
+// into BENCH_scan.json under "vectorized_exec".
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "dataflow/columnar_scan.h"
+#include "dataflow/planner.h"
+#include "dataflow/relation_serde.h"
+#include "dataflow/vector_engine.h"
+
+namespace unilog {
+namespace {
+
+uint64_t Fnv64(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string HexU64(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+}  // namespace unilog
+
+int main(int argc, char** argv) {
+  using namespace unilog;
+  int users = bench::ParseUsersFlag(&argc, argv, 400);
+  std::printf(
+      "=== E23: vectorized batch execution vs row engine (filter+group) "
+      "===\n(one day, %d users)\n\n",
+      users);
+
+  workload::WorkloadOptions wopts = bench::DefaultWorkload(42, users);
+  workload::WorkloadGenerator generator(wopts);
+  hdfs::MiniHdfs fs;
+  Status st = bench::MaterializeWarehouseHoursColumnar(&generator, &fs);
+  if (!st.ok()) {
+    std::fprintf(stderr, "materialize failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  auto opened =
+      dataflow::ColumnarEventScan::Open(&fs, "/warehouse/client_events");
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n",
+                 opened.status().ToString().c_str());
+    return 1;
+  }
+  auto scan = *opened;
+  auto rows_in = scan->Materialize(nullptr);
+  auto batch_scan =
+      std::static_pointer_cast<dataflow::ColumnarEventScan>(scan->Clone());
+  auto batch_in = batch_scan->MaterializeBatches(nullptr);
+  auto stats = scan->Stats();
+  if (!rows_in.ok() || !batch_in.ok() || !stats.ok()) {
+    std::fprintf(stderr, "scan failed\n");
+    return 1;
+  }
+  const size_t input_rows = rows_in->rows().size();
+
+  const std::vector<dataflow::FilterExpr> exprs = {
+      {"event_name", "matches", dataflow::Value::Str("web:*")},
+      {"timestamp", ">=", dataflow::Value::Int(bench::kBenchDay)},
+      {"timestamp", "<",
+       dataflow::Value::Int(bench::kBenchDay + 18 * kMillisPerHour)},
+  };
+  const std::vector<dataflow::Aggregate> aggs = {
+      {dataflow::Aggregate::Op::kCount, "", "n"},
+      {dataflow::Aggregate::Op::kSum, "user_id", "uid_sum"},
+      {dataflow::Aggregate::Op::kCountDistinct, "session_id", "sessions"},
+  };
+  const std::vector<std::string> keys = {"event_name"};
+
+  auto row_pass = [&]() -> Result<dataflow::Relation> {
+    dataflow::Relation rel = *rows_in;
+    for (const auto& e : exprs) {
+      UNILOG_ASSIGN_OR_RETURN(size_t idx, rel.ColumnIndex(e.column));
+      rel = rel.Filter([&e, idx](const dataflow::Row& row) {
+        return dataflow::EvalFilterOp(row[idx], e.op, e.literal);
+      });
+    }
+    return rel.GroupBy(keys, aggs);
+  };
+  auto batch_pass =
+      [&](const std::vector<dataflow::FilterExpr>& filter_order,
+          exec::Executor* executor) -> Result<dataflow::Relation> {
+    UNILOG_ASSIGN_OR_RETURN(dataflow::BatchRelation filtered,
+                            batch_in->Filter(filter_order, executor));
+    return filtered.GroupBy(keys, aggs, executor);
+  };
+
+  constexpr int kReps = 5;
+  double row_ms = 0;
+  uint64_t row_digest = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    bench::WallTimer timer;
+    auto out = row_pass();
+    double ms = timer.ElapsedMs();
+    if (!out.ok()) {
+      std::fprintf(stderr, "row pass failed: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    row_digest = Fnv64(dataflow::SerializeRelation(*out));
+    if (rep == 0 || ms < row_ms) row_ms = ms;
+  }
+
+  double batch_ms = 0;
+  uint64_t batch_digest = 0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    bench::WallTimer timer;
+    auto out = batch_pass(exprs, nullptr);
+    double ms = timer.ElapsedMs();
+    if (!out.ok()) {
+      std::fprintf(stderr, "batch pass failed: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    batch_digest = Fnv64(dataflow::SerializeRelation(*out));
+    if (rep == 0 || ms < batch_ms) batch_ms = ms;
+  }
+
+  // Planner-ordered filters and parallel execution must not move the
+  // answer by a single byte.
+  bool digests_identical = batch_digest == row_digest;
+  auto ordered = dataflow::OrderFilters(*stats, exprs);
+  {
+    auto out = batch_pass(ordered, nullptr);
+    if (!out.ok() ||
+        Fnv64(dataflow::SerializeRelation(*out)) != row_digest) {
+      digests_identical = false;
+    }
+  }
+  for (int threads : {1, 2, 8}) {
+    exec::ExecOptions eopts;
+    eopts.threads = threads;
+    exec::Executor executor(eopts);
+    auto out = batch_pass(exprs, &executor);
+    if (!out.ok() ||
+        Fnv64(dataflow::SerializeRelation(*out)) != row_digest) {
+      digests_identical = false;
+      std::fprintf(stderr, "parallel batch divergence at %d threads\n",
+                   threads);
+    }
+  }
+
+  double rows_per_sec_row = input_rows / (row_ms / 1000.0);
+  double rows_per_sec_batch = input_rows / (batch_ms / 1000.0);
+  double speedup = rows_per_sec_batch / rows_per_sec_row;
+
+  std::printf("%12s %12s %14s  %s\n", "engine", "best_ms", "rows_per_sec",
+              "digest");
+  std::printf("%12s %12.2f %14.0f  %s\n", "row", row_ms, rows_per_sec_row,
+              HexU64(row_digest).c_str());
+  std::printf("%12s %12.2f %14.0f  %s\n", "batch", batch_ms,
+              rows_per_sec_batch, HexU64(batch_digest).c_str());
+  std::printf("\ninput_rows=%zu speedup=%.2fx digests=%s\n", input_rows,
+              speedup, digests_identical ? "identical" : "MISMATCH!");
+
+  Json section = Json::Object();
+  section.Set("users", Json::Int(static_cast<int64_t>(users)));
+  section.Set("input_rows", Json::Int(static_cast<int64_t>(input_rows)));
+  section.Set("rows_per_sec_row", Json::Number(rows_per_sec_row));
+  section.Set("rows_per_sec_batch", Json::Number(rows_per_sec_batch));
+  section.Set("batch_speedup", Json::Number(speedup));
+  section.Set("answer_digest_row", Json::Str(HexU64(row_digest)));
+  section.Set("answer_digest_batch", Json::Str(HexU64(batch_digest)));
+  section.Set("digests_identical", Json::Bool(digests_identical));
+  Status merged =
+      bench::MergeBenchJsonSection("BENCH_scan.json", "vectorized_exec",
+                                   std::move(section));
+  if (!merged.ok()) {
+    std::fprintf(stderr, "BENCH_scan.json: %s\n", merged.ToString().c_str());
+    return 1;
+  }
+
+  if (!digests_identical) {
+    std::fprintf(stderr,
+                 "FAIL: batch answers diverge from the row engine\n");
+    return 1;
+  }
+  if (speedup < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: batch speedup %.2fx under the 3x acceptance floor\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -262,11 +262,25 @@ Status DecodeColumnSelected(std::string_view blob, EventColumn column,
   return Status::OK();
 }
 
-/// Scans one group at the decoder's position, leaving the decoder past it.
-Status ScanOneGroup(Decoder* dec, int version, const CompiledSpec& compiled,
-                    std::vector<events::ClientEvent>* out, ScanStats* stats) {
-  const ScanSpec& spec = *compiled.spec;
+/// The selection half of a group scan, shared by the event and columnar
+/// materializers: header, group-level skips, blob section + checksum, and
+/// the per-row selection bitmap from encoded/cheap columns. Columns
+/// decoded for predicates stay cached in `name_ids` / `ts_vals` /
+/// `uid_vals` so the materializer never decodes them twice.
+struct GroupSelection {
   GroupHeader hdr;
+  bool skipped = false;
+  GroupBlobs blobs;
+  std::vector<uint8_t> sel;
+  std::vector<uint32_t> name_ids;
+  std::vector<int64_t> ts_vals, uid_vals;
+  size_t selected = 0;
+};
+
+Status SelectGroupRows(Decoder* dec, int version, const CompiledSpec& compiled,
+                       GroupSelection* g, ScanStats* stats) {
+  const ScanSpec& spec = *compiled.spec;
+  GroupHeader& hdr = g->hdr;
   UNILOG_RETURN_NOT_OK(ReadGroupHeader(dec, version, &hdr));
   ++stats->groups_total;
 
@@ -297,11 +311,12 @@ Status ScanOneGroup(Decoder* dec, int version, const CompiledSpec& compiled,
       UNILOG_RETURN_NOT_OK(SkipBlobs(dec));
       ++stats->groups_skipped;
       stats->rows_pruned += hdr.row_count;
+      g->skipped = true;
       return Status::OK();
     }
   }
 
-  GroupBlobs blobs;
+  GroupBlobs& blobs = g->blobs;
   const size_t blobs_begin = dec->position();
   for (int c = 0; c < kEventColumns; ++c) {
     UNILOG_RETURN_NOT_OK(dec->GetLengthPrefixed(&blobs.compressed[c]));
@@ -315,17 +330,16 @@ Status ScanOneGroup(Decoder* dec, int version, const CompiledSpec& compiled,
   stats->rows_scanned += hdr.row_count;
 
   // Row selection on encoded / cheap columns, before materialization.
-  std::vector<uint8_t> sel(hdr.row_count, 1);
-  std::vector<uint32_t> name_ids;
-  std::vector<int64_t> ts_vals, uid_vals;
+  std::vector<uint8_t>& sel = g->sel;
+  sel.assign(hdr.row_count, 1);
   if (compiled.spec->has_name_predicate()) {
     UNILOG_RETURN_NOT_OK(blobs.Ensure(EventColumn::kEventName, stats));
     std::string_view blob =
         blobs.decompressed[static_cast<int>(EventColumn::kEventName)];
     if (version >= 2) {
-      UNILOG_RETURN_NOT_OK(DecodeNameIds(blob, hdr, &name_ids));
+      UNILOG_RETURN_NOT_OK(DecodeNameIds(blob, hdr, &g->name_ids));
       for (uint64_t r = 0; r < hdr.row_count; ++r) {
-        if (name_flags[name_ids[r]] == 0) sel[r] = 0;
+        if (name_flags[g->name_ids[r]] == 0) sel[r] = 0;
       }
     } else {
       Decoder col(blob);
@@ -341,12 +355,14 @@ Status ScanOneGroup(Decoder* dec, int version, const CompiledSpec& compiled,
     UNILOG_RETURN_NOT_OK(blobs.Ensure(EventColumn::kTimestamp, stats));
     UNILOG_RETURN_NOT_OK(DecodeInt64Column(
         blobs.decompressed[static_cast<int>(EventColumn::kTimestamp)],
-        hdr.row_count, &ts_vals));
+        hdr.row_count, &g->ts_vals));
     for (uint64_t r = 0; r < hdr.row_count; ++r) {
-      if (spec.min_timestamp.has_value() && ts_vals[r] < *spec.min_timestamp) {
+      if (spec.min_timestamp.has_value() &&
+          g->ts_vals[r] < *spec.min_timestamp) {
         sel[r] = 0;
       }
-      if (spec.max_timestamp.has_value() && ts_vals[r] > *spec.max_timestamp) {
+      if (spec.max_timestamp.has_value() &&
+          g->ts_vals[r] > *spec.max_timestamp) {
         sel[r] = 0;
       }
     }
@@ -355,53 +371,201 @@ Status ScanOneGroup(Decoder* dec, int version, const CompiledSpec& compiled,
     UNILOG_RETURN_NOT_OK(blobs.Ensure(EventColumn::kUserId, stats));
     UNILOG_RETURN_NOT_OK(DecodeInt64Column(
         blobs.decompressed[static_cast<int>(EventColumn::kUserId)],
-        hdr.row_count, &uid_vals));
+        hdr.row_count, &g->uid_vals));
     for (uint64_t r = 0; r < hdr.row_count; ++r) {
-      if (spec.user_ids->count(uid_vals[r]) == 0) sel[r] = 0;
+      if (spec.user_ids->count(g->uid_vals[r]) == 0) sel[r] = 0;
     }
   }
 
   size_t selected = 0;
   for (uint64_t r = 0; r < hdr.row_count; ++r) selected += sel[r];
+  g->selected = selected;
   stats->rows_pruned += hdr.row_count - selected;
   stats->rows_returned += selected;
+  return Status::OK();
+}
+
+/// Scans one group at the decoder's position, leaving the decoder past it.
+Status ScanOneGroup(Decoder* dec, int version, const CompiledSpec& compiled,
+                    std::vector<events::ClientEvent>* out, ScanStats* stats) {
+  const ScanSpec& spec = *compiled.spec;
+  GroupSelection g;
+  UNILOG_RETURN_NOT_OK(SelectGroupRows(dec, version, compiled, &g, stats));
+  if (g.skipped) return Status::OK();
+  const GroupHeader& hdr = g.hdr;
 
   const size_t out_base = out->size();
-  out->resize(out_base + selected);
-  if (selected == 0) return Status::OK();
+  out->resize(out_base + g.selected);
+  if (g.selected == 0) return Status::OK();
 
   for (int c = 0; c < kEventColumns; ++c) {
     if ((spec.columns & (1u << c)) == 0) continue;
     auto column = static_cast<EventColumn>(c);
     // Columns already decoded for predicates are assigned from the cache.
-    if (column == EventColumn::kTimestamp && !ts_vals.empty()) {
+    if (column == EventColumn::kTimestamp && !g.ts_vals.empty()) {
       size_t k = out_base;
       for (uint64_t r = 0; r < hdr.row_count; ++r) {
-        if (sel[r]) (*out)[k++].timestamp = ts_vals[r];
+        if (g.sel[r]) (*out)[k++].timestamp = g.ts_vals[r];
       }
       continue;
     }
-    if (column == EventColumn::kUserId && !uid_vals.empty()) {
+    if (column == EventColumn::kUserId && !g.uid_vals.empty()) {
       size_t k = out_base;
       for (uint64_t r = 0; r < hdr.row_count; ++r) {
-        if (sel[r]) (*out)[k++].user_id = uid_vals[r];
+        if (g.sel[r]) (*out)[k++].user_id = g.uid_vals[r];
       }
       continue;
     }
-    if (column == EventColumn::kEventName && !name_ids.empty()) {
+    if (column == EventColumn::kEventName && !g.name_ids.empty()) {
       size_t k = out_base;
       for (uint64_t r = 0; r < hdr.row_count; ++r) {
-        if (sel[r]) {
-          const std::string_view name = hdr.name_dict[name_ids[r]];
+        if (g.sel[r]) {
+          const std::string_view name = hdr.name_dict[g.name_ids[r]];
           (*out)[k++].event_name.assign(name.data(), name.size());
         }
       }
       continue;
     }
-    UNILOG_RETURN_NOT_OK(blobs.Ensure(column, stats));
+    UNILOG_RETURN_NOT_OK(g.blobs.Ensure(column, stats));
     UNILOG_RETURN_NOT_OK(
-        DecodeColumnSelected(blobs.decompressed[c], column, hdr, version, sel,
-                             out, out_base));
+        DecodeColumnSelected(g.blobs.decompressed[c], column, hdr, version,
+                             g.sel, out, out_base));
+  }
+  return Status::OK();
+}
+
+/// The columnar twin of ScanOneGroup: identical selection and accounting,
+/// but the selected rows land in typed arrays and the dictionary-encoded
+/// columns stay encoded (codes + a materialized-once dictionary).
+Status ScanOneGroupColumnar(Decoder* dec, int version,
+                            const CompiledSpec& compiled,
+                            RcFileReader::ColumnarGroup* out,
+                            ScanStats* stats) {
+  const ScanSpec& spec = *compiled.spec;
+  GroupSelection g;
+  UNILOG_RETURN_NOT_OK(SelectGroupRows(dec, version, compiled, &g, stats));
+  out->rows = g.selected;
+  if (g.skipped || g.selected == 0) return Status::OK();
+  const GroupHeader& hdr = g.hdr;
+
+  for (int c = 0; c < kEventColumns; ++c) {
+    if ((spec.columns & (1u << c)) == 0) continue;
+    auto column = static_cast<EventColumn>(c);
+    switch (column) {
+      case EventColumn::kEventName: {
+        if (version >= 2) {
+          if (g.name_ids.empty()) {
+            UNILOG_RETURN_NOT_OK(g.blobs.Ensure(column, stats));
+            UNILOG_RETURN_NOT_OK(
+                DecodeNameIds(g.blobs.decompressed[c], hdr, &g.name_ids));
+          }
+          auto dict = std::make_shared<std::vector<std::string>>();
+          dict->reserve(hdr.name_dict.size());
+          for (std::string_view sv : hdr.name_dict) dict->emplace_back(sv);
+          out->name_codes.reserve(g.selected);
+          for (uint64_t r = 0; r < hdr.row_count; ++r) {
+            if (g.sel[r]) out->name_codes.push_back(g.name_ids[r]);
+          }
+          out->name_dict = std::move(dict);
+        } else {
+          UNILOG_RETURN_NOT_OK(g.blobs.Ensure(column, stats));
+          Decoder col(g.blobs.decompressed[c]);
+          out->name_strs.reserve(g.selected);
+          for (uint64_t r = 0; r < hdr.row_count; ++r) {
+            std::string_view sv;
+            UNILOG_RETURN_NOT_OK(col.GetLengthPrefixed(&sv));
+            if (g.sel[r]) out->name_strs.emplace_back(sv);
+          }
+          if (!col.AtEnd()) {
+            return Status::Corruption("rcfile: column overrun");
+          }
+        }
+        break;
+      }
+      case EventColumn::kInitiator: {
+        UNILOG_RETURN_NOT_OK(g.blobs.Ensure(column, stats));
+        Decoder col(g.blobs.decompressed[c]);
+        auto dict = std::make_shared<std::vector<std::string>>();
+        out->init_codes.reserve(g.selected);
+        if (version >= 2) {
+          dict->reserve(hdr.init_dict.size());
+          for (events::EventInitiator init : hdr.init_dict) {
+            dict->emplace_back(events::EventInitiatorName(init));
+          }
+          for (uint64_t r = 0; r < hdr.row_count; ++r) {
+            uint64_t v = 0;
+            UNILOG_RETURN_NOT_OK(col.GetVarint64(&v));
+            if (v >= hdr.init_dict.size()) {
+              return Status::Corruption("rcfile: initiator id out of range");
+            }
+            if (g.sel[r]) {
+              out->init_codes.push_back(static_cast<uint32_t>(v));
+            }
+          }
+        } else {
+          uint32_t code_of[4] = {~0u, ~0u, ~0u, ~0u};
+          for (uint64_t r = 0; r < hdr.row_count; ++r) {
+            uint64_t v = 0;
+            UNILOG_RETURN_NOT_OK(col.GetVarint64(&v));
+            if (v > 3) return Status::Corruption("rcfile: bad initiator");
+            if (!g.sel[r]) continue;
+            if (code_of[v] == ~0u) {
+              code_of[v] = static_cast<uint32_t>(dict->size());
+              dict->emplace_back(events::EventInitiatorName(
+                  static_cast<events::EventInitiator>(v)));
+            }
+            out->init_codes.push_back(code_of[v]);
+          }
+        }
+        if (!col.AtEnd()) return Status::Corruption("rcfile: column overrun");
+        out->init_dict = std::move(dict);
+        break;
+      }
+      case EventColumn::kUserId: {
+        if (g.uid_vals.empty()) {
+          UNILOG_RETURN_NOT_OK(g.blobs.Ensure(column, stats));
+          UNILOG_RETURN_NOT_OK(DecodeInt64Column(
+              g.blobs.decompressed[c], hdr.row_count, &g.uid_vals));
+        }
+        out->user_ids.reserve(g.selected);
+        for (uint64_t r = 0; r < hdr.row_count; ++r) {
+          if (g.sel[r]) out->user_ids.push_back(g.uid_vals[r]);
+        }
+        break;
+      }
+      case EventColumn::kTimestamp: {
+        if (g.ts_vals.empty()) {
+          UNILOG_RETURN_NOT_OK(g.blobs.Ensure(column, stats));
+          UNILOG_RETURN_NOT_OK(DecodeInt64Column(
+              g.blobs.decompressed[c], hdr.row_count, &g.ts_vals));
+        }
+        out->timestamps.reserve(g.selected);
+        for (uint64_t r = 0; r < hdr.row_count; ++r) {
+          if (g.sel[r]) out->timestamps.push_back(g.ts_vals[r]);
+        }
+        break;
+      }
+      case EventColumn::kSessionId:
+      case EventColumn::kIp: {
+        UNILOG_RETURN_NOT_OK(g.blobs.Ensure(column, stats));
+        Decoder col(g.blobs.decompressed[c]);
+        std::vector<std::string>& dst = column == EventColumn::kSessionId
+                                            ? out->session_ids
+                                            : out->ips;
+        dst.reserve(g.selected);
+        for (uint64_t r = 0; r < hdr.row_count; ++r) {
+          std::string_view sv;
+          UNILOG_RETURN_NOT_OK(col.GetLengthPrefixed(&sv));
+          if (g.sel[r]) dst.emplace_back(sv);
+        }
+        if (!col.AtEnd()) return Status::Corruption("rcfile: column overrun");
+        break;
+      }
+      case EventColumn::kDetails:
+        // Key-value pairs have no typed-array representation; the
+        // relational layer never exposes the column.
+        break;
+    }
   }
   return Status::OK();
 }
@@ -717,6 +881,52 @@ Status RcFileReader::ScanGroup(const RowGroupHandle& group,
   UNILOG_RETURN_NOT_OK(ScanOneGroup(&dec, version_, compiled, out, &local));
   if (stats != nullptr) stats->MergeFrom(local);
   return Status::OK();
+}
+
+Status RcFileReader::ScanGroupColumnar(const RowGroupHandle& group,
+                                       const ScanSpec& spec,
+                                       ColumnarGroup* out,
+                                       ScanStats* stats) const {
+  if ((spec.columns & ~kAllColumns) != 0) {
+    return Status::InvalidArgument("rcfile: column mask has unknown bits");
+  }
+  CompiledSpec compiled(spec);
+  ScanStats local;
+  Decoder dec(data_);
+  UNILOG_RETURN_NOT_OK(dec.Skip(group.offset));
+  UNILOG_RETURN_NOT_OK(
+      ScanOneGroupColumnar(&dec, version_, compiled, out, &local));
+  if (stats != nullptr) stats->MergeFrom(local);
+  return Status::OK();
+}
+
+Result<std::vector<RcFileReader::RowGroupStats>>
+RcFileReader::CollectGroupStats() const {
+  std::vector<RowGroupStats> out;
+  Decoder dec(data_);
+  UNILOG_RETURN_NOT_OK(dec.Skip(body_offset_));
+  while (!dec.AtEnd()) {
+    GroupHeader hdr;
+    UNILOG_RETURN_NOT_OK(ReadGroupHeader(&dec, version_, &hdr));
+    RowGroupStats st;
+    st.row_count = hdr.row_count;
+    if (version_ >= 2) {
+      st.has_zone_map = true;
+      st.min_timestamp = hdr.min_ts;
+      st.max_timestamp = hdr.max_ts;
+      st.min_user_id = hdr.min_uid;
+      st.max_user_id = hdr.max_uid;
+      st.event_names.reserve(hdr.name_dict.size());
+      for (std::string_view sv : hdr.name_dict) st.event_names.emplace_back(sv);
+    }
+    for (int c = 0; c < kEventColumns; ++c) {
+      std::string_view blob;
+      UNILOG_RETURN_NOT_OK(dec.GetLengthPrefixed(&blob));
+      st.blob_bytes += blob.size();
+    }
+    out.push_back(std::move(st));
+  }
+  return out;
 }
 
 Result<uint64_t> RcFileReader::ContentFingerprint() const {

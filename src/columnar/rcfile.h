@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <set>
 #include <string>
@@ -217,6 +218,52 @@ class RcFileReader {
   Status ScanGroup(const RowGroupHandle& group, const ScanSpec& spec,
                    std::vector<events::ClientEvent>* out,
                    ScanStats* stats) const;
+
+  /// One scanned row group as typed column arrays — the zero-boxing
+  /// output the vectorized dataflow engine consumes. Only the columns in
+  /// the ScanSpec mask are populated (kDetails is not representable and
+  /// its bit is ignored); each vector holds one entry per *selected* row,
+  /// in file order. Event names and initiators stay dictionary-encoded
+  /// (codes plus a shared dictionary of the distinct strings), so a v2
+  /// group's strings are materialized once per distinct value, never per
+  /// row; v1 groups fall back to per-row name strings in `name_strs`.
+  struct ColumnarGroup {
+    uint64_t rows = 0;
+    std::vector<uint32_t> name_codes;
+    std::shared_ptr<const std::vector<std::string>> name_dict;
+    std::vector<std::string> name_strs;  // v1 only (no dictionary)
+    /// Initiator display names (EventInitiatorName), <= 4 entries.
+    std::vector<uint32_t> init_codes;
+    std::shared_ptr<const std::vector<std::string>> init_dict;
+    std::vector<int64_t> user_ids;
+    std::vector<int64_t> timestamps;
+    std::vector<std::string> session_ids;
+    std::vector<std::string> ips;
+  };
+
+  /// ScanGroup with columnar output: selects exactly the same rows with
+  /// the same accounting, but never materializes a ClientEvent.
+  /// Thread-safe like ScanGroup.
+  Status ScanGroupColumnar(const RowGroupHandle& group, const ScanSpec& spec,
+                           ColumnarGroup* out, ScanStats* stats) const;
+
+  /// Header-only statistics of one row group, for the cost-based planner:
+  /// zone maps and dictionary names come straight from the v2 header
+  /// (nothing is decompressed); `blob_bytes` is the compressed size of
+  /// the group's column blobs. v1 groups report `has_zone_map` false with
+  /// row/byte counts only.
+  struct RowGroupStats {
+    uint64_t row_count = 0;
+    uint64_t blob_bytes = 0;
+    bool has_zone_map = false;
+    int64_t min_timestamp = 0, max_timestamp = 0;
+    int64_t min_user_id = 0, max_user_id = 0;
+    std::vector<std::string> event_names;  // dictionary entries, v2 only
+  };
+
+  /// Walks the file headers once and returns per-group stats in file
+  /// order. Header-only: no blob is decompressed.
+  Result<std::vector<RowGroupStats>> CollectGroupStats() const;
 
   /// A 64-bit content fingerprint of a v2 file, derived from the per-group
   /// FNV-1a header and blob checksums already embedded in the format — so

@@ -1,0 +1,145 @@
+#include "dataflow/column_batch.h"
+
+#include <map>
+
+namespace unilog::dataflow {
+
+size_t ColumnData::size() const {
+  switch (kind) {
+    case ColumnKind::kInt64:
+      return i64.size();
+    case ColumnKind::kDouble:
+      return f64.size();
+    case ColumnKind::kBool:
+      return b1.size();
+    case ColumnKind::kString:
+      return str.size();
+    case ColumnKind::kDict:
+      return codes.size();
+    case ColumnKind::kValue:
+      return vals.size();
+  }
+  return 0;
+}
+
+Value ColumnData::ValueAt(size_t row) const {
+  switch (kind) {
+    case ColumnKind::kInt64:
+      return Value::Int(i64[row]);
+    case ColumnKind::kDouble:
+      return Value::Real(f64[row]);
+    case ColumnKind::kBool:
+      return Value::Bool(b1[row] != 0);
+    case ColumnKind::kString:
+      return Value::Str(str[row]);
+    case ColumnKind::kDict:
+      return Value::Str((*dict)[codes[row]]);
+    case ColumnKind::kValue:
+      return vals[row];
+  }
+  return Value();
+}
+
+ColumnBatch ColumnBatch::Compact() const {
+  if (!has_sel_) return *this;
+  std::vector<ColumnPtr> cols;
+  cols.reserve(cols_.size());
+  for (const ColumnPtr& src : cols_) {
+    auto dst = std::make_shared<ColumnData>();
+    dst->kind = src->kind;
+    switch (src->kind) {
+      case ColumnKind::kInt64:
+        dst->i64.reserve(sel_.size());
+        for (uint32_t r : sel_) dst->i64.push_back(src->i64[r]);
+        break;
+      case ColumnKind::kDouble:
+        dst->f64.reserve(sel_.size());
+        for (uint32_t r : sel_) dst->f64.push_back(src->f64[r]);
+        break;
+      case ColumnKind::kBool:
+        dst->b1.reserve(sel_.size());
+        for (uint32_t r : sel_) dst->b1.push_back(src->b1[r]);
+        break;
+      case ColumnKind::kString:
+        dst->str.reserve(sel_.size());
+        for (uint32_t r : sel_) dst->str.push_back(src->str[r]);
+        break;
+      case ColumnKind::kDict:
+        dst->dict = src->dict;
+        dst->codes.reserve(sel_.size());
+        for (uint32_t r : sel_) dst->codes.push_back(src->codes[r]);
+        break;
+      case ColumnKind::kValue:
+        dst->vals.reserve(sel_.size());
+        for (uint32_t r : sel_) dst->vals.push_back(src->vals[r]);
+        break;
+    }
+    cols.push_back(std::move(dst));
+  }
+  return ColumnBatch(std::move(cols), sel_.size());
+}
+
+ColumnPtr ColumnBatch::BuildColumn(const std::vector<Value>& vals) {
+  auto col = std::make_shared<ColumnData>();
+  bool all_int = true, all_real = true, all_bool = true, all_str = true;
+  for (const Value& v : vals) {
+    all_int = all_int && v.is_int();
+    all_real = all_real && v.is_real();
+    all_bool = all_bool && v.is_bool();
+    all_str = all_str && v.is_str();
+  }
+  if (vals.empty() || all_int) {
+    col->kind = ColumnKind::kInt64;
+    col->i64.reserve(vals.size());
+    for (const Value& v : vals) col->i64.push_back(v.int_value());
+    return col;
+  }
+  if (all_real) {
+    col->kind = ColumnKind::kDouble;
+    col->f64.reserve(vals.size());
+    for (const Value& v : vals) col->f64.push_back(v.real_value());
+    return col;
+  }
+  if (all_bool) {
+    col->kind = ColumnKind::kBool;
+    col->b1.reserve(vals.size());
+    for (const Value& v : vals) col->b1.push_back(v.bool_value() ? 1 : 0);
+    return col;
+  }
+  if (all_str) {
+    // First-appearance dictionary, overflowing to plain strings when the
+    // cardinality stops paying for the indirection.
+    std::map<std::string, uint32_t> index;
+    auto entries = std::make_shared<std::vector<std::string>>();
+    std::vector<uint32_t> codes;
+    codes.reserve(vals.size());
+    bool overflow = false;
+    for (const Value& v : vals) {
+      auto [it, inserted] =
+          index.try_emplace(v.str_value(), static_cast<uint32_t>(entries->size()));
+      if (inserted) {
+        if (entries->size() >= kMaxDictEntries) {
+          overflow = true;
+          break;
+        }
+        entries->push_back(v.str_value());
+      }
+      codes.push_back(it->second);
+    }
+    if (!overflow) {
+      col->kind = ColumnKind::kDict;
+      col->codes = std::move(codes);
+      col->dict = std::move(entries);
+      return col;
+    }
+    col->kind = ColumnKind::kString;
+    col->str.reserve(vals.size());
+    for (const Value& v : vals) col->str.push_back(v.str_value());
+    return col;
+  }
+  col->kind = ColumnKind::kValue;
+  col->vals = vals;
+  return col;
+}
+
+}  // namespace unilog::dataflow

@@ -57,6 +57,166 @@ Row ProjectEvent(
   return row;
 }
 
+ColumnPtr MakeInt64Column(std::vector<int64_t> v) {
+  auto col = std::make_shared<ColumnData>();
+  col->kind = ColumnKind::kInt64;
+  col->i64 = std::move(v);
+  return col;
+}
+
+ColumnPtr MakeStringColumn(std::vector<std::string> v) {
+  auto col = std::make_shared<ColumnData>();
+  col->kind = ColumnKind::kString;
+  col->str = std::move(v);
+  return col;
+}
+
+ColumnPtr MakeDictColumn(std::vector<uint32_t> codes,
+                         std::shared_ptr<const std::vector<std::string>> dict) {
+  auto col = std::make_shared<ColumnData>();
+  col->kind = ColumnKind::kDict;
+  col->codes = std::move(codes);
+  col->dict = std::move(dict);
+  return col;
+}
+
+/// Typed columns of one scanned columnar group, indexed by source event
+/// column. Builds lazily and moves the group's arrays, so each source is
+/// converted at most once and shared by every consumer referencing it.
+class GroupColumnSource {
+ public:
+  explicit GroupColumnSource(columnar::RcFileReader::ColumnarGroup cg)
+      : cg_(std::move(cg)) {}
+
+  size_t rows() const { return cg_.rows; }
+
+  const ColumnPtr& Get(EventColumn source) {
+    ColumnPtr& slot = by_source_[static_cast<int>(source)];
+    if (slot != nullptr) return slot;
+    switch (source) {
+      case EventColumn::kInitiator:
+        slot = MakeDictColumn(std::move(cg_.init_codes), cg_.init_dict);
+        break;
+      case EventColumn::kEventName:
+        slot = cg_.name_dict != nullptr
+                   ? MakeDictColumn(std::move(cg_.name_codes), cg_.name_dict)
+                   : MakeStringColumn(std::move(cg_.name_strs));
+        break;
+      case EventColumn::kUserId:
+        slot = MakeInt64Column(std::move(cg_.user_ids));
+        break;
+      case EventColumn::kSessionId:
+        slot = MakeStringColumn(std::move(cg_.session_ids));
+        break;
+      case EventColumn::kIp:
+        slot = MakeStringColumn(std::move(cg_.ips));
+        break;
+      case EventColumn::kTimestamp:
+        slot = MakeInt64Column(std::move(cg_.timestamps));
+        break;
+      case EventColumn::kDetails:
+        slot = std::make_shared<ColumnData>();
+        break;
+    }
+    return slot;
+  }
+
+  /// Batch for a visible projection over this group's columns.
+  ColumnBatch BatchFor(
+      const std::vector<std::pair<std::string, EventColumn>>& visible) {
+    std::vector<ColumnPtr> cols;
+    cols.reserve(visible.size());
+    for (const auto& [name, source] : visible) cols.push_back(Get(source));
+    return ColumnBatch(std::move(cols), cg_.rows);
+  }
+
+ private:
+  columnar::RcFileReader::ColumnarGroup cg_;
+  ColumnPtr by_source_[columnar::kEventColumns];
+};
+
+/// Batch for a legacy (row-decoded) unit: boxed values through
+/// BuildColumn, per visible column.
+ColumnBatch BatchFromEvents(
+    const std::vector<events::ClientEvent>& events,
+    const std::vector<std::pair<std::string, EventColumn>>& visible) {
+  std::vector<ColumnPtr> cols;
+  cols.reserve(visible.size());
+  std::vector<Value> vals(events.size());
+  for (const auto& [name, source] : visible) {
+    for (size_t i = 0; i < events.size(); ++i) {
+      vals[i] = ColumnValue(events[i], source);
+    }
+    cols.push_back(ColumnBatch::BuildColumn(vals));
+  }
+  return ColumnBatch(std::move(cols), events.size());
+}
+
+/// CompiledSpec-equivalent name check for the batch residual path (the
+/// rcfile one is file-local): allowlist membership plus every glob.
+bool NameMatchesSpec(const columnar::ScanSpec& spec,
+                     const std::vector<events::EventPattern>& patterns,
+                     std::string_view name) {
+  if (spec.event_names.has_value() &&
+      spec.event_names->count(std::string(name)) == 0) {
+    return false;
+  }
+  for (const auto& p : patterns) {
+    if (!p.Matches(name)) return false;
+  }
+  return true;
+}
+
+/// RowMatcher::Matches over typed group columns: selects the rows of
+/// [0, rows) the member spec admits. Dictionary name columns evaluate
+/// the name predicate once per dictionary entry.
+std::vector<uint32_t> ResidualSelect(
+    const columnar::ScanSpec& spec,
+    const std::vector<events::EventPattern>& patterns,
+    GroupColumnSource* source) {
+  const size_t rows = source->rows();
+  std::vector<uint8_t> keep(rows, 1);
+  if (spec.min_timestamp.has_value() || spec.max_timestamp.has_value()) {
+    const ColumnData& ts = *source->Get(EventColumn::kTimestamp);
+    for (size_t r = 0; r < rows; ++r) {
+      if (spec.min_timestamp.has_value() && ts.i64[r] < *spec.min_timestamp) {
+        keep[r] = 0;
+      }
+      if (spec.max_timestamp.has_value() && ts.i64[r] > *spec.max_timestamp) {
+        keep[r] = 0;
+      }
+    }
+  }
+  if (spec.has_name_predicate()) {
+    const ColumnData& names = *source->Get(EventColumn::kEventName);
+    if (names.kind == ColumnKind::kDict) {
+      std::vector<uint8_t> verdict(names.dict->size());
+      for (size_t d = 0; d < names.dict->size(); ++d) {
+        verdict[d] = NameMatchesSpec(spec, patterns, (*names.dict)[d]) ? 1 : 0;
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        if (verdict[names.codes[r]] == 0) keep[r] = 0;
+      }
+    } else {
+      for (size_t r = 0; r < rows; ++r) {
+        if (!NameMatchesSpec(spec, patterns, names.str[r])) keep[r] = 0;
+      }
+    }
+  }
+  if (spec.user_ids.has_value()) {
+    const ColumnData& uids = *source->Get(EventColumn::kUserId);
+    for (size_t r = 0; r < rows; ++r) {
+      if (spec.user_ids->count(uids.i64[r]) == 0) keep[r] = 0;
+    }
+  }
+  std::vector<uint32_t> sel;
+  sel.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    if (keep[r]) sel.push_back(static_cast<uint32_t>(r));
+  }
+  return sel;
+}
+
 }  // namespace
 
 bool IsHiddenWarehousePath(const std::string& dir, const std::string& path) {
@@ -183,6 +343,7 @@ bool ColumnarEventScan::PushFilter(const std::string& column,
         return false;
       }
       cache_.reset();
+      batch_cache_.reset();
       return true;
     }
     case EventColumn::kEventName: {
@@ -195,12 +356,14 @@ bool ColumnarEventScan::PushFilter(const std::string& column,
         return false;
       }
       cache_.reset();
+      batch_cache_.reset();
       return true;
     }
     case EventColumn::kUserId: {
       if (!literal.is_int() || op != "==") return false;
       intersect(spec_.user_ids, literal.int_value());
       cache_.reset();
+      batch_cache_.reset();
       return true;
     }
     default:
@@ -221,6 +384,7 @@ bool ColumnarEventScan::PushProject(const std::vector<std::string>& cols,
   visible_ = std::move(next);
   SyncColumnMask();
   cache_.reset();
+  batch_cache_.reset();
   return true;
 }
 
@@ -403,6 +567,197 @@ Result<std::vector<Relation>> ColumnarEventScan::MaterializeShared(
     out.push_back(std::move(rel));
   }
   return out;
+}
+
+Result<BatchRelation> ColumnarEventScan::MaterializeBatches(
+    exec::Executor* exec) {
+  if (batch_cache_.has_value()) return *batch_cache_;
+
+  UNILOG_ASSIGN_OR_RETURN(std::vector<ScanUnit> units, PlanUnits(*files_));
+
+  columnar::RowMatcher legacy_matcher(spec_);
+  std::vector<ColumnBatch> batch_slots(units.size());
+  std::vector<columnar::ScanStats> stat_slots(units.size());
+
+  auto run_unit = [&](size_t i) -> Status {
+    if (units[i].is_columnar) {
+      columnar::RcFileReader reader(units[i].file->body);
+      columnar::RcFileReader::ColumnarGroup cg;
+      UNILOG_RETURN_NOT_OK(reader.ScanGroupColumnar(units[i].group, spec_, &cg,
+                                                    &stat_slots[i]));
+      GroupColumnSource source(std::move(cg));
+      batch_slots[i] = source.BatchFor(visible_);
+    } else {
+      std::vector<events::ClientEvent> events;
+      UNILOG_RETURN_NOT_OK(ScanUnitEvents(units[i], spec_, legacy_matcher,
+                                          &events, &stat_slots[i]));
+      batch_slots[i] = BatchFromEvents(events, visible_);
+    }
+    return Status::OK();
+  };
+
+  if (exec != nullptr) {
+    UNILOG_RETURN_NOT_OK(
+        exec->ParallelForStatus("columnar_scan_batch", units.size(), run_unit));
+  } else {
+    for (size_t i = 0; i < units.size(); ++i) {
+      UNILOG_RETURN_NOT_OK(run_unit(i));
+    }
+  }
+
+  last_stats_ = columnar::ScanStats();
+  for (const auto& stats : stat_slots) last_stats_.MergeFrom(stats);
+  columnar::ReportScanStats(last_stats_, metrics_, source_);
+
+  // Unit order is file order (sorted listing) x group order — the same
+  // merge the row path does, so ToRelation() is byte-identical to it.
+  std::vector<ColumnBatch> batches;
+  batches.reserve(batch_slots.size());
+  for (ColumnBatch& b : batch_slots) {
+    if (b.raw_rows() > 0) batches.push_back(std::move(b));
+  }
+  UNILOG_ASSIGN_OR_RETURN(
+      BatchRelation rel,
+      BatchRelation::FromBatches(column_names_, std::move(batches)));
+  batch_cache_ = rel;
+  return rel;
+}
+
+Result<std::vector<BatchRelation>> ColumnarEventScan::MaterializeSharedBatches(
+    const std::vector<std::shared_ptr<ColumnarEventScan>>& members,
+    exec::Executor* exec, columnar::ScanStats* stats_out) {
+  if (members.empty()) return std::vector<BatchRelation>{};
+  for (const auto& member : members) {
+    if (member == nullptr || member->files_ != members[0]->files_) {
+      return Status::InvalidArgument(
+          "shared scan members must be clones of one opened scan");
+    }
+  }
+
+  std::vector<columnar::ScanSpec> specs;
+  specs.reserve(members.size());
+  for (const auto& member : members) specs.push_back(member->spec_);
+  const columnar::ScanSpec merged_spec = MergeScanSpecs(specs);
+
+  UNILOG_ASSIGN_OR_RETURN(std::vector<ScanUnit> units,
+                          PlanUnits(*members[0]->files_));
+
+  // Per-member glob patterns compiled once, shared read-only by units.
+  std::vector<std::vector<events::EventPattern>> member_patterns(
+      members.size());
+  for (size_t m = 0; m < members.size(); ++m) {
+    member_patterns[m].reserve(members[m]->spec_.event_name_patterns.size());
+    for (const auto& p : members[m]->spec_.event_name_patterns) {
+      member_patterns[m].emplace_back(p);
+    }
+  }
+  std::vector<columnar::RowMatcher> residual;
+  residual.reserve(members.size());
+  for (const auto& member : members) residual.emplace_back(member->spec_);
+  columnar::RowMatcher merged_matcher(merged_spec);
+
+  // batch_slots[m][u]: member m's batch from unit u. Columnar units decode
+  // once and every member's batch references the same column arrays, with
+  // only the selection vector (and projection) per member.
+  std::vector<std::vector<ColumnBatch>> batch_slots(
+      members.size(), std::vector<ColumnBatch>(units.size()));
+  std::vector<columnar::ScanStats> stat_slots(units.size());
+
+  auto run_unit = [&](size_t u) -> Status {
+    if (units[u].is_columnar) {
+      columnar::RcFileReader reader(units[u].file->body);
+      columnar::RcFileReader::ColumnarGroup cg;
+      UNILOG_RETURN_NOT_OK(reader.ScanGroupColumnar(units[u].group, merged_spec,
+                                                    &cg, &stat_slots[u]));
+      GroupColumnSource source(std::move(cg));
+      for (size_t m = 0; m < members.size(); ++m) {
+        ColumnBatch b = source.BatchFor(members[m]->visible_);
+        if (members[m]->spec_.has_predicates()) {
+          b.SetSelection(ResidualSelect(members[m]->spec_, member_patterns[m],
+                                        &source));
+        }
+        batch_slots[m][u] = std::move(b);
+      }
+    } else {
+      std::vector<events::ClientEvent> events;
+      UNILOG_RETURN_NOT_OK(ScanUnitEvents(units[u], merged_spec,
+                                          merged_matcher, &events,
+                                          &stat_slots[u]));
+      for (size_t m = 0; m < members.size(); ++m) {
+        std::vector<events::ClientEvent> kept;
+        kept.reserve(events.size());
+        for (const auto& event : events) {
+          if (residual[m].Matches(event)) kept.push_back(event);
+        }
+        batch_slots[m][u] = BatchFromEvents(kept, members[m]->visible_);
+      }
+    }
+    return Status::OK();
+  };
+
+  if (exec != nullptr) {
+    UNILOG_RETURN_NOT_OK(
+        exec->ParallelForStatus("shared_scan_batch", units.size(), run_unit));
+  } else {
+    for (size_t u = 0; u < units.size(); ++u) {
+      UNILOG_RETURN_NOT_OK(run_unit(u));
+    }
+  }
+
+  columnar::ScanStats total;
+  for (const auto& stats : stat_slots) total.MergeFrom(stats);
+  columnar::ReportScanStats(total, members[0]->metrics_, members[0]->source_);
+  if (stats_out != nullptr) stats_out->MergeFrom(total);
+
+  std::vector<BatchRelation> out;
+  out.reserve(members.size());
+  for (size_t m = 0; m < members.size(); ++m) {
+    std::vector<ColumnBatch> batches;
+    batches.reserve(units.size());
+    for (ColumnBatch& b : batch_slots[m]) {
+      if (b.selected_rows() > 0) batches.push_back(std::move(b));
+    }
+    UNILOG_ASSIGN_OR_RETURN(
+        BatchRelation rel,
+        BatchRelation::FromBatches(members[m]->column_names_,
+                                   std::move(batches)));
+    members[m]->last_stats_ = total;
+    members[m]->batch_cache_ = rel;
+    out.push_back(std::move(rel));
+  }
+  return out;
+}
+
+Result<TableStats> ColumnarEventScan::Stats() const {
+  TableStats total;
+  for (const auto& file : *files_) {
+    if (columnar::IsRcFile(file.body)) {
+      columnar::RcFileReader reader(file.body);
+      UNILOG_ASSIGN_OR_RETURN(auto groups, reader.CollectGroupStats());
+      for (const auto& gs : groups) {
+        TableStats t;
+        t.total_rows = gs.row_count;
+        t.row_groups = 1;
+        t.data_bytes = gs.blob_bytes;
+        if (gs.has_zone_map) {
+          t.min_timestamp = gs.min_timestamp;
+          t.max_timestamp = gs.max_timestamp;
+          t.min_user_id = gs.min_user_id;
+          t.max_user_id = gs.max_user_id;
+          for (const auto& name : gs.event_names) {
+            t.name_rows[name] = gs.row_count;
+          }
+          t.from_v2 = true;
+        }
+        total.Merge(t);
+      }
+    } else {
+      TableStats t;
+      t.data_bytes = file.body.size();
+      total.Merge(t);
+    }
+  }
+  return total;
 }
 
 }  // namespace unilog::dataflow

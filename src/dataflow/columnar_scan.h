@@ -10,7 +10,9 @@
 #include "columnar/rcfile.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "dataflow/planner.h"
 #include "dataflow/relation.h"
+#include "dataflow/vector_engine.h"
 #include "hdfs/mini_hdfs.h"
 
 namespace unilog::dataflow {
@@ -105,6 +107,30 @@ class ColumnarEventScan : public PushdownScan {
                    const std::vector<std::string>& names) override;
   Result<Relation> Materialize(exec::Executor* exec) override;
 
+  /// Materialize's vectorized twin: the same rows and columns, as typed
+  /// column batches (one per scan unit, merged in unit order) —
+  /// `MaterializeBatches(e)->ToRelation()` is byte-identical to
+  /// `Materialize(e)` at any thread count. RCFile v2 group dictionaries
+  /// pass through as dictionary columns: event-name/initiator strings are
+  /// materialized once per distinct value per group, never per row.
+  Result<BatchRelation> MaterializeBatches(exec::Executor* exec);
+
+  /// The shared-scan fast path in batch form: units are decoded once
+  /// under the union spec, each member re-tightens with its residual
+  /// predicates as a selection vector over *shared* column arrays (no
+  /// per-member copy), then projects its visible columns. Output i
+  /// converted ToRelation() is byte-identical to members[i]->Materialize
+  /// on the same files. Fills members' batch caches, not their row
+  /// caches.
+  static Result<std::vector<BatchRelation>> MaterializeSharedBatches(
+      const std::vector<std::shared_ptr<ColumnarEventScan>>& members,
+      exec::Executor* exec, columnar::ScanStats* stats_out = nullptr);
+
+  /// Header-only planner statistics over the file set: v2 rowgroup zone
+  /// maps and dictionaries aggregated via RcFileReader::CollectGroupStats
+  /// (nothing decompressed); legacy files contribute bytes only.
+  Result<TableStats> Stats() const;
+
   /// The accumulated spec (for tests and EXPLAIN-style debugging).
   const columnar::ScanSpec& spec() const { return spec_; }
   /// Visible output columns after pushed projections: (name, source).
@@ -157,6 +183,7 @@ class ColumnarEventScan : public PushdownScan {
   std::vector<std::string> column_names_;
   columnar::ScanSpec spec_;
   std::optional<Relation> cache_;
+  std::optional<BatchRelation> batch_cache_;
   columnar::ScanStats last_stats_;
 };
 

@@ -781,7 +781,7 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
     UNILOG_ASSIGN_OR_RETURN(std::string src, t->ExpectIdent("alias"));
     UNILOG_ASSIGN_OR_RETURN(GroupedRelation rel, LookupRel(src));
     UNILOG_ASSIGN_OR_RETURN(Relation input, Materialized(rel));
-    out.data = input.Distinct();
+    out.data = input.Distinct(exec_);
     return out;
   }
 
@@ -799,7 +799,7 @@ Result<PigInterpreter::GroupedRelation> PigInterpreter::EvalExpression(
       t->ConsumeKeyword("asc");
     }
     UNILOG_ASSIGN_OR_RETURN(Relation input, Materialized(rel));
-    UNILOG_ASSIGN_OR_RETURN(out.data, input.OrderBy(col, descending));
+    UNILOG_ASSIGN_OR_RETURN(out.data, input.OrderBy(col, descending, exec_));
     return out;
   }
 

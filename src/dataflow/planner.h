@@ -1,0 +1,84 @@
+#ifndef UNILOG_DATAFLOW_PLANNER_H_
+#define UNILOG_DATAFLOW_PLANNER_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dataflow/cost_model.h"
+#include "dataflow/vector_engine.h"
+
+namespace unilog::dataflow {
+
+/// Header-only table statistics for one scan input: zone maps and
+/// event-name dictionaries aggregated from RCFile v2 rowgroup headers
+/// (no blob is decompressed to collect them). Legacy v1 groups and
+/// non-columnar files contribute row/byte totals only, with `from_v2`
+/// false, so estimates degrade to priors instead of lying.
+struct TableStats {
+  uint64_t total_rows = 0;
+  uint64_t row_groups = 0;
+  /// On-disk bytes of the scanned files (cost-model currency).
+  uint64_t data_bytes = 0;
+  std::optional<int64_t> min_timestamp, max_timestamp;
+  std::optional<int64_t> min_user_id, max_user_id;
+  /// Upper bound on rows per event name: the sum of row counts of the
+  /// groups whose dictionary contains the name. Absent name => 0 rows.
+  std::map<std::string, uint64_t> name_rows;
+  /// True when every contributing group carried v2 zone maps.
+  bool from_v2 = false;
+
+  void Merge(const TableStats& other);
+};
+
+/// Canonical `column op literal-token` text of one clause — exactly the
+/// per-residual serialization inside the Oink canonical plan, reused here
+/// as the deterministic tie-break for planner orderings so equal-cost
+/// clauses never reorder between runs.
+std::string CanonicalFilterClause(const FilterExpr& e);
+
+/// Estimated fraction of rows satisfying the clause, in [0, 1].
+/// Zone-map-backed columns (timestamp/user_id ranges, event_name
+/// dictionary membership) use the stats; everything else falls back to
+/// fixed priors (equality 0.1, range 0.3, matches 0.2, != complemented).
+double EstimateClauseSelectivity(const TableStats& stats, const FilterExpr& e);
+
+/// Orders conjunctive clauses most-selective-first (cheapest way to
+/// shrink the selection early), ties broken by CanonicalFilterClause.
+/// Deterministic: a permutation of the input always yields the same
+/// output sequence.
+std::vector<FilterExpr> OrderFilters(const TableStats& stats,
+                                     std::vector<FilterExpr> exprs);
+
+/// How the scan feeds the filter stack. kPushdown folds predicates into
+/// the scan (skip groups via zone maps, decode match columns first);
+/// kEager decodes everything and lets the batch Filter kernel do the
+/// work — cheaper when predicates barely filter (pushdown's re-decode of
+/// match columns outweighs the skipped rows).
+enum class ScanStrategy { kPushdown, kEager };
+
+struct ScanPlan {
+  ScanStrategy strategy = ScanStrategy::kPushdown;
+  /// Modeled costs of both alternatives (cost-model milliseconds).
+  double pushdown_ms = 0;
+  double eager_ms = 0;
+  /// Estimated fraction of rows surviving all clauses.
+  double selectivity = 1.0;
+};
+
+/// Chooses pushdown vs eager under the JobCostModel scan currency.
+/// Deterministic; no clauses => eager (pushdown has nothing to skip
+/// with), ties => pushdown.
+ScanPlan PlanScan(const TableStats& stats,
+                  const std::vector<FilterExpr>& clauses,
+                  const JobCostModel& model);
+
+/// Hash-join build side: build the smaller input, ties keep the row
+/// engine's traditional right build.
+JoinBuildSide ChooseBuildSide(uint64_t left_rows, uint64_t right_rows);
+
+}  // namespace unilog::dataflow
+
+#endif  // UNILOG_DATAFLOW_PLANNER_H_

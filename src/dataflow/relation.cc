@@ -160,18 +160,30 @@ struct AggState {
   std::set<std::string> distinct;
 };
 
-void Accumulate(const std::vector<Aggregate>& aggs,
-                const std::vector<size_t>& agg_idx, const Row& row,
-                std::vector<AggState>* states) {
+Status Accumulate(const std::vector<Aggregate>& aggs,
+                  const std::vector<size_t>& agg_idx, const Row& row,
+                  std::vector<AggState>* states) {
   for (size_t i = 0; i < aggs.size(); ++i) {
     AggState& st = (*states)[i];
     switch (aggs[i].op) {
       case Aggregate::Op::kCount:
         ++st.count;
         break;
-      case Aggregate::Op::kSum:
-        st.sum += row[agg_idx[i]].AsNumber();
+      case Aggregate::Op::kSum: {
+        // §3.1 "error, not garbage": AsNumber() would quietly turn a
+        // string or bool into 0 and corrupt the sum.
+        const Value& v = row[agg_idx[i]];
+        if (v.is_int()) {
+          st.sum += static_cast<double>(v.int_value());
+        } else if (v.is_real()) {
+          st.sum += v.real_value();
+        } else {
+          return Status::InvalidArgument(
+              "SUM over non-numeric value in column '" + aggs[i].column +
+              "'");
+        }
         break;
+      }
       case Aggregate::Op::kMin:
       case Aggregate::Op::kMax: {
         const Value& v = row[agg_idx[i]];
@@ -189,6 +201,7 @@ void Accumulate(const std::vector<Aggregate>& aggs,
         break;
     }
   }
+  return Status::OK();
 }
 
 Row FinalizeGroup(const std::vector<Aggregate>& aggs, const Row& key,
@@ -259,7 +272,7 @@ Result<Relation> Relation::GroupBy(const std::vector<std::string>& keys,
       for (size_t idx : key_idx) key.push_back(row[idx]);
       auto [it, inserted] = groups.try_emplace(std::move(key));
       if (inserted) it->second.resize(aggs.size());
-      Accumulate(aggs, agg_idx, row, &it->second);
+      UNILOG_RETURN_NOT_OK(Accumulate(aggs, agg_idx, row, &it->second));
     }
     for (const auto& [key, states] : groups) {
       out.rows_.push_back(FinalizeGroup(aggs, key, states));
@@ -284,19 +297,21 @@ Result<Relation> Relation::GroupBy(const std::vector<std::string>& keys,
         }
       });
   std::vector<std::map<Row, std::vector<AggState>>> shards(num_shards);
-  exec->ParallelFor("groupby-agg", num_shards, [&](size_t s) {
-    auto& groups = shards[s];
-    for (size_t i = 0; i < rows_.size(); ++i) {
-      if (shard_of[i] != s) continue;
-      const Row& row = rows_[i];
-      Row key;
-      key.reserve(key_idx.size());
-      for (size_t idx : key_idx) key.push_back(row[idx]);
-      auto [it, inserted] = groups.try_emplace(std::move(key));
-      if (inserted) it->second.resize(aggs.size());
-      Accumulate(aggs, agg_idx, row, &it->second);
-    }
-  });
+  UNILOG_RETURN_NOT_OK(
+      exec->ParallelForStatus("groupby-agg", num_shards, [&](size_t s) {
+        auto& groups = shards[s];
+        for (size_t i = 0; i < rows_.size(); ++i) {
+          if (shard_of[i] != s) continue;
+          const Row& row = rows_[i];
+          Row key;
+          key.reserve(key_idx.size());
+          for (size_t idx : key_idx) key.push_back(row[idx]);
+          auto [it, inserted] = groups.try_emplace(std::move(key));
+          if (inserted) it->second.resize(aggs.size());
+          UNILOG_RETURN_NOT_OK(Accumulate(aggs, agg_idx, row, &it->second));
+        }
+        return Status::OK();
+      }));
 
   // Merge: every group lives in one shard; emit in global key order.
   using GroupRef = std::pair<const Row*, const std::vector<AggState>*>;
@@ -366,24 +381,94 @@ Result<Relation> Relation::Join(const Relation& right,
   return out;
 }
 
-Relation Relation::Distinct() const {
+Relation Relation::Distinct(exec::Executor* exec) const {
   Relation out(columns_);
-  std::set<Row> seen;
-  for (const auto& row : rows_) {
-    if (seen.insert(row).second) out.rows_.push_back(row);
+  if (exec == nullptr || !exec->parallel()) {
+    std::set<Row> seen;
+    for (const auto& row : rows_) {
+      if (seen.insert(row).second) out.rows_.push_back(row);
+    }
+    return out;
   }
+  // Parallel engine: hash-partition rows so every distinct row is owned
+  // by exactly one shard; each shard records the index of the row's first
+  // occurrence. Emitting survivors by ascending first index reproduces
+  // the serial first-occurrence order, whatever the shard count.
+  const size_t num_shards = static_cast<size_t>(exec->threads()) * 2;
+  std::vector<uint32_t> shard_of(rows_.size());
+  exec->ParallelForChunked(
+      "distinct-hash", rows_.size(), [&](size_t, size_t begin, size_t end) {
+        for (size_t i = begin; i < end; ++i) {
+          shard_of[i] = static_cast<uint32_t>(HashKey(rows_[i]) % num_shards);
+        }
+      });
+  std::vector<std::vector<size_t>> firsts(num_shards);
+  exec->ParallelFor("distinct-dedup", num_shards, [&](size_t s) {
+    std::set<Row> seen;
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      if (shard_of[i] != s) continue;
+      if (seen.insert(rows_[i]).second) firsts[s].push_back(i);
+    }
+  });
+  std::vector<size_t> order;
+  for (const auto& f : firsts) order.insert(order.end(), f.begin(), f.end());
+  std::sort(order.begin(), order.end());
+  out.rows_.reserve(order.size());
+  for (size_t i : order) out.rows_.push_back(rows_[i]);
   return out;
 }
 
-Result<Relation> Relation::OrderBy(const std::string& column,
-                                   bool descending) const {
+Result<Relation> Relation::OrderBy(const std::string& column, bool descending,
+                                   exec::Executor* exec) const {
   UNILOG_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(column));
-  Relation out = *this;
-  std::stable_sort(out.rows_.begin(), out.rows_.end(),
-                   [idx, descending](const Row& a, const Row& b) {
-                     if (descending) return b[idx] < a[idx];
-                     return a[idx] < b[idx];
-                   });
+  if (exec == nullptr || !exec->parallel()) {
+    Relation out = *this;
+    std::stable_sort(out.rows_.begin(), out.rows_.end(),
+                     [idx, descending](const Row& a, const Row& b) {
+                       if (descending) return b[idx] < a[idx];
+                       return a[idx] < b[idx];
+                     });
+    return out;
+  }
+  // Parallel engine: sort per-chunk index ranges under the (sort key,
+  // original index) total order — the exact order stable_sort produces —
+  // then k-way merge the chunks. Identical output at any thread count.
+  auto less = [this, idx, descending](size_t a, size_t b) {
+    const Value& va = rows_[a][idx];
+    const Value& vb = rows_[b][idx];
+    if (descending) {
+      if (vb < va) return true;
+      if (va < vb) return false;
+    } else {
+      if (va < vb) return true;
+      if (vb < va) return false;
+    }
+    return a < b;
+  };
+  const size_t n = rows_.size();
+  std::vector<std::vector<size_t>> chunks(exec->ChunksFor(n));
+  exec->ParallelForChunked(
+      "orderby-sort", n, [&](size_t c, size_t begin, size_t end) {
+        std::vector<size_t>& v = chunks[c];
+        v.resize(end - begin);
+        for (size_t i = begin; i < end; ++i) v[i - begin] = i;
+        std::sort(v.begin(), v.end(), less);
+      });
+  Relation out(columns_);
+  out.rows_.reserve(n);
+  std::vector<size_t> heads(chunks.size(), 0);
+  for (size_t emitted = 0; emitted < n; ++emitted) {
+    size_t best = chunks.size();
+    for (size_t c = 0; c < chunks.size(); ++c) {
+      if (heads[c] >= chunks[c].size()) continue;
+      if (best == chunks.size() ||
+          less(chunks[c][heads[c]], chunks[best][heads[best]])) {
+        best = c;
+      }
+    }
+    out.rows_.push_back(rows_[chunks[best][heads[best]]]);
+    ++heads[best];
+  }
   return out;
 }
 

@@ -127,11 +127,17 @@ class Relation {
                         const std::string& right_col,
                         exec::Executor* exec = nullptr) const;
 
-  /// Distinct full rows.
-  Relation Distinct() const;
+  /// Distinct full rows, keeping the first occurrence of each. Parallel
+  /// dedup hash-partitions rows so each distinct row is owned by one
+  /// shard; survivors merge by first-occurrence index, so the output is
+  /// identical to the serial pass at any thread count.
+  Relation Distinct(exec::Executor* exec = nullptr) const;
 
-  /// Sorts by one column.
-  Result<Relation> OrderBy(const std::string& column, bool descending) const;
+  /// Sorts by one column (stable). Parallel sort orders chunks under the
+  /// (key, original index) total order and k-way merges them — the exact
+  /// stable_sort output at any thread count.
+  Result<Relation> OrderBy(const std::string& column, bool descending,
+                           exec::Executor* exec = nullptr) const;
 
   Relation Limit(size_t n) const;
 

@@ -1,0 +1,983 @@
+#include "dataflow/vector_engine.h"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <set>
+#include <unordered_map>
+
+#include "events/event_name.h"
+
+namespace unilog::dataflow {
+
+namespace {
+
+enum class RelOp { kEq, kNe, kLt, kLe, kGt, kGe, kMatches };
+
+std::optional<RelOp> ParseOp(const std::string& op) {
+  if (op == "==") return RelOp::kEq;
+  if (op == "!=") return RelOp::kNe;
+  if (op == "<") return RelOp::kLt;
+  if (op == "<=") return RelOp::kLe;
+  if (op == ">") return RelOp::kGt;
+  if (op == ">=") return RelOp::kGe;
+  if (op == "matches") return RelOp::kMatches;
+  return std::nullopt;
+}
+
+/// `v op lit` under the Value total order, for any comparable T.
+template <typename T>
+bool ApplyOp(RelOp op, const T& v, const T& lit) {
+  switch (op) {
+    case RelOp::kEq:
+      return v == lit;
+    case RelOp::kNe:
+      return !(v == lit);
+    case RelOp::kLt:
+      return v < lit;
+    case RelOp::kLe:
+      return !(lit < v);
+    case RelOp::kGt:
+      return lit < v;
+    case RelOp::kGe:
+      return !(v < lit);
+    case RelOp::kMatches:
+      return false;
+  }
+  return false;
+}
+
+bool EvalOpOnValue(RelOp op, const Value& v, const Value& lit,
+                   const events::EventPattern* pattern) {
+  if (op == RelOp::kMatches) {
+    return v.is_str() && lit.is_str() && pattern != nullptr &&
+           pattern->Matches(v.str_value());
+  }
+  return ApplyOp<Value>(op, v, lit);
+}
+
+/// A representative boxed value of a typed column's element type, used to
+/// resolve type-mismatched comparisons: the Value total order compares
+/// mismatched types by type index alone, so the verdict is constant for
+/// every row of the column.
+Value RepresentativeValue(ColumnKind kind) {
+  switch (kind) {
+    case ColumnKind::kInt64:
+      return Value::Int(0);
+    case ColumnKind::kDouble:
+      return Value::Real(0);
+    case ColumnKind::kBool:
+      return Value::Bool(false);
+    case ColumnKind::kString:
+    case ColumnKind::kDict:
+      return Value::Str("");
+    case ColumnKind::kValue:
+      break;
+  }
+  return Value();
+}
+
+struct CompiledExpr {
+  size_t col = 0;
+  RelOp op = RelOp::kEq;
+  Value literal;
+  std::optional<events::EventPattern> pattern;
+};
+
+/// Narrows `sel` (selected raw-row indices of `batch`) in place by one
+/// conjunct, using the typed fast path the column kind allows.
+Status FilterOneExpr(const ColumnBatch& batch, const CompiledExpr& e,
+                     std::vector<uint32_t>* sel) {
+  const ColumnData& col = *batch.col(e.col);
+  const events::EventPattern* pattern =
+      e.pattern.has_value() ? &*e.pattern : nullptr;
+  std::vector<uint32_t> kept;
+  kept.reserve(sel->size());
+
+  switch (col.kind) {
+    case ColumnKind::kInt64: {
+      if (!e.literal.is_int() || e.op == RelOp::kMatches) {
+        if (EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
+                          pattern)) {
+          return Status::OK();  // constant true: keep everything
+        }
+        sel->clear();
+        return Status::OK();
+      }
+      const int64_t lit = e.literal.int_value();
+      for (uint32_t r : *sel) {
+        if (ApplyOp<int64_t>(e.op, col.i64[r], lit)) kept.push_back(r);
+      }
+      break;
+    }
+    case ColumnKind::kDouble: {
+      if (!e.literal.is_real() || e.op == RelOp::kMatches) {
+        if (EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
+                          pattern)) {
+          return Status::OK();
+        }
+        sel->clear();
+        return Status::OK();
+      }
+      const double lit = e.literal.real_value();
+      for (uint32_t r : *sel) {
+        if (ApplyOp<double>(e.op, col.f64[r], lit)) kept.push_back(r);
+      }
+      break;
+    }
+    case ColumnKind::kBool: {
+      if (!e.literal.is_bool() || e.op == RelOp::kMatches) {
+        if (EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
+                          pattern)) {
+          return Status::OK();
+        }
+        sel->clear();
+        return Status::OK();
+      }
+      const bool lit = e.literal.bool_value();
+      for (uint32_t r : *sel) {
+        if (ApplyOp<bool>(e.op, col.b1[r] != 0, lit)) kept.push_back(r);
+      }
+      break;
+    }
+    case ColumnKind::kDict: {
+      // Evaluate the predicate once per dictionary entry, then map codes.
+      const std::vector<std::string>& dict = *col.dict;
+      std::vector<uint8_t> verdict(dict.size());
+      for (size_t d = 0; d < dict.size(); ++d) {
+        verdict[d] =
+            EvalOpOnValue(e.op, Value::Str(dict[d]), e.literal, pattern) ? 1
+                                                                         : 0;
+      }
+      for (uint32_t r : *sel) {
+        if (verdict[col.codes[r]]) kept.push_back(r);
+      }
+      break;
+    }
+    case ColumnKind::kString: {
+      if (e.op == RelOp::kMatches) {
+        if (!e.literal.is_str() || pattern == nullptr) {
+          sel->clear();
+          return Status::OK();
+        }
+        for (uint32_t r : *sel) {
+          if (pattern->Matches(col.str[r])) kept.push_back(r);
+        }
+        break;
+      }
+      if (!e.literal.is_str()) {
+        if (EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
+                          pattern)) {
+          return Status::OK();
+        }
+        sel->clear();
+        return Status::OK();
+      }
+      const std::string& lit = e.literal.str_value();
+      for (uint32_t r : *sel) {
+        if (ApplyOp<std::string>(e.op, col.str[r], lit)) kept.push_back(r);
+      }
+      break;
+    }
+    case ColumnKind::kValue: {
+      for (uint32_t r : *sel) {
+        if (EvalOpOnValue(e.op, col.vals[r], e.literal, pattern)) {
+          kept.push_back(r);
+        }
+      }
+      break;
+    }
+  }
+  *sel = std::move(kept);
+  return Status::OK();
+}
+
+// --- GroupBy internals (mirroring relation.cc exactly) ---
+
+struct AggState {
+  uint64_t count = 0;
+  double sum = 0;
+  bool has_minmax = false;
+  Value min, max;
+  std::set<std::string> distinct;
+};
+
+Status AccumulateBatchRow(const std::vector<Aggregate>& aggs,
+                          const std::vector<size_t>& agg_idx,
+                          const ColumnBatch& batch, size_t row,
+                          std::vector<AggState>* states) {
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    AggState& st = (*states)[i];
+    switch (aggs[i].op) {
+      case Aggregate::Op::kCount:
+        ++st.count;
+        break;
+      case Aggregate::Op::kSum: {
+        const ColumnData& col = *batch.col(agg_idx[i]);
+        switch (col.kind) {
+          case ColumnKind::kInt64:
+            st.sum += static_cast<double>(col.i64[row]);
+            break;
+          case ColumnKind::kDouble:
+            st.sum += col.f64[row];
+            break;
+          case ColumnKind::kValue: {
+            const Value& v = col.vals[row];
+            if (v.is_int()) {
+              st.sum += static_cast<double>(v.int_value());
+            } else if (v.is_real()) {
+              st.sum += v.real_value();
+            } else {
+              return Status::InvalidArgument(
+                  "SUM over non-numeric value in column '" + aggs[i].column +
+                  "'");
+            }
+            break;
+          }
+          case ColumnKind::kBool:
+          case ColumnKind::kString:
+          case ColumnKind::kDict:
+            return Status::InvalidArgument(
+                "SUM over non-numeric value in column '" + aggs[i].column +
+                "'");
+        }
+        break;
+      }
+      case Aggregate::Op::kMin:
+      case Aggregate::Op::kMax: {
+        Value v = batch.col(agg_idx[i])->ValueAt(row);
+        if (!st.has_minmax) {
+          st.min = st.max = v;
+          st.has_minmax = true;
+        } else {
+          if (v < st.min) st.min = v;
+          if (st.max < v) st.max = v;
+        }
+        break;
+      }
+      case Aggregate::Op::kCountDistinct: {
+        // Same strings Value::ToString would produce, without boxing a
+        // Value (and re-copying the string) for every row.
+        const ColumnData& col = *batch.col(agg_idx[i]);
+        switch (col.kind) {
+          case ColumnKind::kString:
+            st.distinct.insert(col.str[row]);
+            break;
+          case ColumnKind::kDict:
+            st.distinct.insert((*col.dict)[col.codes[row]]);
+            break;
+          case ColumnKind::kInt64:
+            st.distinct.insert(std::to_string(col.i64[row]));
+            break;
+          case ColumnKind::kBool:
+            st.distinct.insert(col.b1[row] ? "true" : "false");
+            break;
+          default:
+            st.distinct.insert(col.ValueAt(row).ToString());
+            break;
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Row FinalizeGroup(const std::vector<Aggregate>& aggs, const Row& key,
+                  const std::vector<AggState>& states) {
+  Row row = key;
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    const AggState& st = states[i];
+    switch (aggs[i].op) {
+      case Aggregate::Op::kCount:
+        row.push_back(Value::Int(static_cast<int64_t>(st.count)));
+        break;
+      case Aggregate::Op::kSum:
+        row.push_back(Value::Real(st.sum));
+        break;
+      case Aggregate::Op::kMin:
+        row.push_back(st.min);
+        break;
+      case Aggregate::Op::kMax:
+        row.push_back(st.max);
+        break;
+      case Aggregate::Op::kCountDistinct:
+        row.push_back(Value::Int(static_cast<int64_t>(st.distinct.size())));
+        break;
+    }
+  }
+  return row;
+}
+
+void AppendFixed64(std::string* buf, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>(v >> (i * 8));
+  buf->append(b, 8);
+}
+
+/// Appends one key value's canonical encoding: a type tag byte followed
+/// by a fixed-width or length-prefixed payload. Two values encode
+/// identically iff they are equivalent under the Value total order the
+/// row engine groups by (note -0.0 is canonicalized to 0.0: the order
+/// treats them as one group).
+void AppendEncodedValue(std::string* buf, const Value& v) {
+  if (v.is_int()) {
+    buf->push_back('\x00');
+    AppendFixed64(buf, static_cast<uint64_t>(v.int_value()));
+    return;
+  }
+  if (v.is_real()) {
+    double d = v.real_value();
+    if (d == 0.0) d = 0.0;  // collapse -0.0 and 0.0 into one key
+    uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(d));
+    std::memcpy(&bits, &d, sizeof(bits));
+    buf->push_back('\x01');
+    AppendFixed64(buf, bits);
+    return;
+  }
+  if (v.is_str()) {
+    buf->push_back('\x02');
+    AppendFixed64(buf, v.str_value().size());
+    buf->append(v.str_value());
+    return;
+  }
+  buf->push_back('\x03');
+  buf->push_back(v.bool_value() ? '\x01' : '\x00');
+}
+
+/// Per-(batch, key-column) encoding plan: dictionary columns precompute
+/// the encoded fragment per dictionary entry, so the per-row cost is one
+/// code lookup and one append; other typed columns encode inline.
+struct KeyColumnPlan {
+  const ColumnData* col = nullptr;
+  std::vector<std::string> dict_frags;  // kDict only
+};
+
+std::vector<KeyColumnPlan> PlanKeyColumns(const ColumnBatch& batch,
+                                          const std::vector<size_t>& key_idx) {
+  std::vector<KeyColumnPlan> plans(key_idx.size());
+  for (size_t k = 0; k < key_idx.size(); ++k) {
+    const ColumnData& col = *batch.col(key_idx[k]);
+    plans[k].col = &col;
+    if (col.kind == ColumnKind::kDict) {
+      plans[k].dict_frags.reserve(col.dict->size());
+      for (const std::string& entry : *col.dict) {
+        std::string frag;
+        AppendEncodedValue(&frag, Value::Str(entry));
+        plans[k].dict_frags.push_back(std::move(frag));
+      }
+    }
+  }
+  return plans;
+}
+
+void EncodeKeyTo(std::string* buf, const std::vector<KeyColumnPlan>& plans,
+                 size_t row) {
+  buf->clear();
+  for (const KeyColumnPlan& plan : plans) {
+    const ColumnData& col = *plan.col;
+    switch (col.kind) {
+      case ColumnKind::kInt64:
+        buf->push_back('\x00');
+        AppendFixed64(buf, static_cast<uint64_t>(col.i64[row]));
+        break;
+      case ColumnKind::kDouble:
+      case ColumnKind::kValue:
+        AppendEncodedValue(buf, col.ValueAt(row));
+        break;
+      case ColumnKind::kBool:
+        buf->push_back('\x03');
+        buf->push_back(col.b1[row] ? '\x01' : '\x00');
+        break;
+      case ColumnKind::kString:
+        buf->push_back('\x02');
+        AppendFixed64(buf, col.str[row].size());
+        buf->append(col.str[row]);
+        break;
+      case ColumnKind::kDict:
+        buf->append(plan.dict_frags[col.codes[row]]);
+        break;
+    }
+  }
+}
+
+uint64_t Fnv1a64(const std::string& bytes) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Join key with Relation::Join's exact semantics: ToString() plus a
+/// string/non-string tag, so Int(1) and Real(1) hash-match.
+std::string JoinKeyOf(const Value& v) {
+  return v.ToString() + "\x01" + std::to_string(v.is_str());
+}
+
+/// (batch, raw row) coordinates of every selected row, in batch order.
+struct RowLoc {
+  uint32_t batch = 0;
+  uint32_t row = 0;
+};
+
+std::vector<RowLoc> BuildLocs(const std::vector<ColumnBatch>& batches) {
+  std::vector<RowLoc> locs;
+  size_t total = 0;
+  for (const auto& b : batches) total += b.selected_rows();
+  locs.reserve(total);
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    const ColumnBatch& b = batches[bi];
+    const size_t n = b.selected_rows();
+    for (size_t k = 0; k < n; ++k) {
+      locs.push_back({static_cast<uint32_t>(bi),
+                      static_cast<uint32_t>(b.RowIndex(k))});
+    }
+  }
+  return locs;
+}
+
+/// Join keys for every selected row, dictionary entries stringified once.
+std::vector<std::string> BuildJoinKeys(const std::vector<ColumnBatch>& batches,
+                                       size_t col_idx,
+                                       const std::vector<RowLoc>& locs) {
+  // Per-batch dictionary key cache.
+  std::vector<std::vector<std::string>> dict_keys(batches.size());
+  for (size_t bi = 0; bi < batches.size(); ++bi) {
+    const ColumnData& col = *batches[bi].col(col_idx);
+    if (col.kind != ColumnKind::kDict) continue;
+    dict_keys[bi].reserve(col.dict->size());
+    for (const std::string& entry : *col.dict) {
+      dict_keys[bi].push_back(JoinKeyOf(Value::Str(entry)));
+    }
+  }
+  std::vector<std::string> keys;
+  keys.reserve(locs.size());
+  for (const RowLoc& loc : locs) {
+    const ColumnData& col = *batches[loc.batch].col(col_idx);
+    if (col.kind == ColumnKind::kDict) {
+      keys.push_back(dict_keys[loc.batch][col.codes[loc.row]]);
+    } else {
+      keys.push_back(JoinKeyOf(col.ValueAt(loc.row)));
+    }
+  }
+  return keys;
+}
+
+}  // namespace
+
+bool EvalFilterOp(const Value& v, const std::string& op, const Value& literal) {
+  std::optional<RelOp> rel = ParseOp(op);
+  if (!rel.has_value()) return false;
+  if (*rel == RelOp::kMatches) {
+    if (!v.is_str() || !literal.is_str()) return false;
+    events::EventPattern pattern(literal.str_value());
+    return pattern.Matches(v.str_value());
+  }
+  return ApplyOp<Value>(*rel, v, literal);
+}
+
+Result<BatchRelation> BatchRelation::FromRelation(const Relation& rel,
+                                                  size_t batch_rows) {
+  if (batch_rows == 0) batch_rows = 1;
+  BatchRelation out;
+  out.columns_ = rel.columns();
+  const std::vector<Row>& rows = rel.rows();
+  for (size_t begin = 0; begin < rows.size(); begin += batch_rows) {
+    const size_t end = std::min(rows.size(), begin + batch_rows);
+    std::vector<ColumnPtr> cols;
+    cols.reserve(out.columns_.size());
+    std::vector<Value> vals(end - begin);
+    for (size_t c = 0; c < out.columns_.size(); ++c) {
+      for (size_t r = begin; r < end; ++r) vals[r - begin] = rows[r][c];
+      cols.push_back(ColumnBatch::BuildColumn(vals));
+    }
+    out.batches_.emplace_back(std::move(cols), end - begin);
+  }
+  return out;
+}
+
+Result<BatchRelation> BatchRelation::FromBatches(
+    std::vector<std::string> columns, std::vector<ColumnBatch> batches) {
+  for (const ColumnBatch& b : batches) {
+    if (b.num_cols() != columns.size()) {
+      return Status::InvalidArgument(
+          "batch arity " + std::to_string(b.num_cols()) + " != schema arity " +
+          std::to_string(columns.size()));
+    }
+  }
+  BatchRelation out;
+  out.columns_ = std::move(columns);
+  out.batches_ = std::move(batches);
+  return out;
+}
+
+Result<Relation> BatchRelation::ToRelation() const {
+  std::vector<Row> rows;
+  rows.reserve(TotalRows());
+  for (const ColumnBatch& b : batches_) {
+    const size_t n = b.selected_rows();
+    for (size_t k = 0; k < n; ++k) {
+      const size_t r = b.RowIndex(k);
+      Row row;
+      row.reserve(b.num_cols());
+      for (size_t c = 0; c < b.num_cols(); ++c) {
+        row.push_back(b.col(c)->ValueAt(r));
+      }
+      rows.push_back(std::move(row));
+    }
+  }
+  return Relation::FromRows(columns_, std::move(rows));
+}
+
+Result<size_t> BatchRelation::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return i;
+  }
+  return Status::NotFound("no such column: " + name);
+}
+
+size_t BatchRelation::TotalRows() const {
+  size_t total = 0;
+  for (const ColumnBatch& b : batches_) total += b.selected_rows();
+  return total;
+}
+
+Result<BatchRelation> BatchRelation::Filter(
+    const std::vector<FilterExpr>& exprs, exec::Executor* exec) const {
+  std::vector<CompiledExpr> compiled;
+  compiled.reserve(exprs.size());
+  for (const FilterExpr& e : exprs) {
+    CompiledExpr c;
+    UNILOG_ASSIGN_OR_RETURN(c.col, ColumnIndex(e.column));
+    std::optional<RelOp> op = ParseOp(e.op);
+    if (!op.has_value()) {
+      return Status::InvalidArgument("unsupported filter op: " + e.op);
+    }
+    c.op = *op;
+    c.literal = e.literal;
+    if (c.op == RelOp::kMatches && e.literal.is_str()) {
+      c.pattern.emplace(e.literal.str_value());
+    }
+    compiled.push_back(std::move(c));
+  }
+
+  BatchRelation out;
+  out.columns_ = columns_;
+  out.batches_ = batches_;
+  auto filter_batch = [&](size_t bi) -> Status {
+    ColumnBatch& b = out.batches_[bi];
+    std::vector<uint32_t> sel;
+    if (b.has_selection()) {
+      sel = b.selection();
+    } else {
+      sel.resize(b.raw_rows());
+      for (size_t r = 0; r < sel.size(); ++r) sel[r] = static_cast<uint32_t>(r);
+    }
+    for (const CompiledExpr& c : compiled) {
+      if (sel.empty()) break;
+      UNILOG_RETURN_NOT_OK(FilterOneExpr(b, c, &sel));
+    }
+    b.SetSelection(std::move(sel));
+    return Status::OK();
+  };
+  if (exec != nullptr && exec->parallel()) {
+    UNILOG_RETURN_NOT_OK(exec->ParallelForStatus("batch_filter",
+                                                 out.batches_.size(),
+                                                 filter_batch));
+  } else {
+    for (size_t bi = 0; bi < out.batches_.size(); ++bi) {
+      UNILOG_RETURN_NOT_OK(filter_batch(bi));
+    }
+  }
+  return out;
+}
+
+Result<BatchRelation> BatchRelation::Project(
+    const std::vector<std::string>& cols, exec::Executor* exec) const {
+  return ProjectAs(cols, cols, exec);
+}
+
+Result<BatchRelation> BatchRelation::ProjectAs(
+    const std::vector<std::string>& cols,
+    const std::vector<std::string>& names, exec::Executor*) const {
+  if (cols.size() != names.size()) {
+    return Status::InvalidArgument("projection arity mismatch");
+  }
+  std::vector<size_t> indices;
+  indices.reserve(cols.size());
+  for (const std::string& col : cols) {
+    UNILOG_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(col));
+    indices.push_back(idx);
+  }
+  BatchRelation out;
+  out.columns_ = names;
+  out.batches_.reserve(batches_.size());
+  for (const ColumnBatch& b : batches_) {
+    std::vector<ColumnPtr> picked;
+    picked.reserve(indices.size());
+    for (size_t idx : indices) picked.push_back(b.col(idx));
+    ColumnBatch nb(std::move(picked), b.raw_rows());
+    if (b.has_selection()) {
+      nb.SetSelection(std::vector<uint32_t>(b.selection()));
+    }
+    out.batches_.push_back(std::move(nb));
+  }
+  return out;
+}
+
+Result<BatchRelation> BatchRelation::WithColumn(
+    const std::string& name, std::function<Value(const Row&)> fn,
+    exec::Executor* exec) const {
+  if (ColumnIndex(name).ok()) {
+    return Status::AlreadyExists("column exists: " + name);
+  }
+  BatchRelation out;
+  out.columns_ = columns_;
+  out.columns_.push_back(name);
+  out.batches_.resize(batches_.size());
+  auto extend_batch = [&](size_t bi) {
+    ColumnBatch dense = batches_[bi].Compact();
+    const size_t n = dense.raw_rows();
+    std::vector<Value> vals(n);
+    Row row(dense.num_cols());
+    for (size_t r = 0; r < n; ++r) {
+      for (size_t c = 0; c < dense.num_cols(); ++c) {
+        row[c] = dense.col(c)->ValueAt(r);
+      }
+      vals[r] = fn(row);
+    }
+    dense.AppendColumn(ColumnBatch::BuildColumn(vals));
+    out.batches_[bi] = std::move(dense);
+  };
+  if (exec != nullptr && exec->parallel()) {
+    exec->ParallelFor("batch_with_column", batches_.size(), extend_batch);
+  } else {
+    for (size_t bi = 0; bi < batches_.size(); ++bi) extend_batch(bi);
+  }
+  return out;
+}
+
+Result<Relation> BatchRelation::GroupBy(const std::vector<std::string>& keys,
+                                        const std::vector<Aggregate>& aggs,
+                                        exec::Executor* exec) const {
+  std::vector<size_t> key_idx;
+  for (const auto& k : keys) {
+    UNILOG_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(k));
+    key_idx.push_back(idx);
+  }
+  std::vector<size_t> agg_idx(aggs.size(), 0);
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (aggs[i].op != Aggregate::Op::kCount) {
+      UNILOG_ASSIGN_OR_RETURN(agg_idx[i], ColumnIndex(aggs[i].column));
+    }
+  }
+  std::vector<std::string> out_cols = keys;
+  for (const auto& agg : aggs) out_cols.push_back(agg.as);
+
+  const bool parallel = exec != nullptr && exec->parallel();
+
+  // Fast path: when every key column is dictionary-encoded, a row's group
+  // within a batch is fully determined by its dictionary code, so group
+  // lookup can be resolved once per (batch, code) instead of hashing an
+  // encoded key string per row. The code below keys the same unordered_map
+  // with the same per-entry encoded fragments the slow path would build
+  // row-by-row, so group identity, shard ownership, and per-group
+  // accumulation order are byte-for-byte unchanged.
+  const bool dict_keys =
+      key_idx.size() == 1 &&
+      std::all_of(batches_.begin(), batches_.end(), [&](const ColumnBatch& b) {
+        return b.col(key_idx[0])->kind == ColumnKind::kDict;
+      });
+
+  // Per-batch, per-dictionary-entry encoded key fragments (dict fast path
+  // only); equal to the per-row encoded key for rows carrying that code.
+  std::vector<std::vector<std::string>> frag;
+  if (dict_keys) {
+    frag.resize(batches_.size());
+    auto build_frags = [&](size_t bi) {
+      std::vector<KeyColumnPlan> plans = PlanKeyColumns(batches_[bi], key_idx);
+      frag[bi] = std::move(plans[0].dict_frags);
+    };
+    if (parallel) {
+      exec->ParallelFor("batch_groupby_frags", batches_.size(), build_frags);
+    } else {
+      for (size_t bi = 0; bi < batches_.size(); ++bi) build_frags(bi);
+    }
+  }
+
+  // Encoded keys for every selected row, precomputed per batch (parallel
+  // when an executor is attached; writes go to per-batch slots). Skipped
+  // entirely on the dict fast path.
+  std::vector<std::vector<std::string>> enc(batches_.size());
+  auto encode_batch = [&](size_t bi) {
+    const ColumnBatch& b = batches_[bi];
+    std::vector<KeyColumnPlan> plans = PlanKeyColumns(b, key_idx);
+    const size_t n = b.selected_rows();
+    enc[bi].resize(n);
+    std::string buf;
+    for (size_t k = 0; k < n; ++k) {
+      EncodeKeyTo(&buf, plans, b.RowIndex(k));
+      enc[bi][k] = buf;
+    }
+  };
+  if (!dict_keys) {
+    if (parallel) {
+      exec->ParallelFor("batch_groupby_encode", batches_.size(), encode_batch);
+    } else {
+      for (size_t bi = 0; bi < batches_.size(); ++bi) encode_batch(bi);
+    }
+  }
+
+  struct GroupSet {
+    std::unordered_map<std::string, size_t> index;
+    std::vector<Row> key_rows;
+    std::vector<std::vector<AggState>> states;
+  };
+  auto resolve_group = [&](GroupSet* gs, const ColumnBatch& b, size_t raw,
+                           const std::string& key) -> size_t {
+    auto [it, inserted] = gs->index.try_emplace(key, gs->key_rows.size());
+    if (inserted) {
+      Row key_row;
+      key_row.reserve(key_idx.size());
+      for (size_t idx : key_idx) key_row.push_back(b.col(idx)->ValueAt(raw));
+      gs->key_rows.push_back(std::move(key_row));
+      gs->states.emplace_back(aggs.size());
+    }
+    return it->second;
+  };
+  // Walks one batch's rows for one shard (`s`; kAllShards serially), using
+  // a per-(shard, batch) code→group cache on the dict fast path.
+  constexpr uint32_t kAllShards = ~0u;
+  auto accumulate_batch_dict = [&](GroupSet* gs, size_t bi, uint32_t s,
+                                   const std::vector<uint32_t>* shard_of_code)
+      -> Status {
+    const ColumnBatch& b = batches_[bi];
+    const ColumnData& kc = *b.col(key_idx[0]);
+    std::vector<ptrdiff_t> group_of_code(frag[bi].size(), -1);
+    const size_t n = b.selected_rows();
+    for (size_t k = 0; k < n; ++k) {
+      const size_t raw = b.RowIndex(k);
+      const uint32_t code = kc.codes[raw];
+      if (s != kAllShards && (*shard_of_code)[code] != s) continue;
+      ptrdiff_t& g = group_of_code[code];
+      if (g < 0) {
+        g = static_cast<ptrdiff_t>(resolve_group(gs, b, raw, frag[bi][code]));
+      }
+      UNILOG_RETURN_NOT_OK(
+          AccumulateBatchRow(aggs, agg_idx, b, raw, &gs->states[g]));
+    }
+    return Status::OK();
+  };
+  auto accumulate_into = [&](GroupSet* gs, size_t bi, size_t k) -> Status {
+    const ColumnBatch& b = batches_[bi];
+    const size_t raw = b.RowIndex(k);
+    const size_t g = resolve_group(gs, b, raw, enc[bi][k]);
+    return AccumulateBatchRow(aggs, agg_idx, b, raw, &gs->states[g]);
+  };
+
+  std::vector<GroupSet> shards;
+  if (!parallel) {
+    shards.resize(1);
+    for (size_t bi = 0; bi < batches_.size(); ++bi) {
+      if (dict_keys) {
+        UNILOG_RETURN_NOT_OK(
+            accumulate_batch_dict(&shards[0], bi, kAllShards, nullptr));
+        continue;
+      }
+      const size_t n = batches_[bi].selected_rows();
+      for (size_t k = 0; k < n; ++k) {
+        UNILOG_RETURN_NOT_OK(accumulate_into(&shards[0], bi, k));
+      }
+    }
+  } else {
+    // Hash-partition rows by encoded key so each group is owned by one
+    // shard; every shard walks rows in global order, so per-group
+    // accumulation order — and bit-exact double SUM — matches serial.
+    const size_t num_shards = static_cast<size_t>(exec->threads()) * 2;
+    shards.resize(num_shards);
+    if (dict_keys) {
+      // Shard assignment per dictionary entry, not per row; Fnv1a64 of the
+      // entry's fragment equals the slow path's per-row key hash.
+      std::vector<std::vector<uint32_t>> shard_of_code(batches_.size());
+      exec->ParallelFor("batch_groupby_hash", batches_.size(), [&](size_t bi) {
+        shard_of_code[bi].resize(frag[bi].size());
+        for (size_t e = 0; e < frag[bi].size(); ++e) {
+          shard_of_code[bi][e] =
+              static_cast<uint32_t>(Fnv1a64(frag[bi][e]) % num_shards);
+        }
+      });
+      UNILOG_RETURN_NOT_OK(exec->ParallelForStatus(
+          "batch_groupby_agg", num_shards, [&](size_t s) -> Status {
+            for (size_t bi = 0; bi < batches_.size(); ++bi) {
+              UNILOG_RETURN_NOT_OK(accumulate_batch_dict(
+                  &shards[s], bi, static_cast<uint32_t>(s),
+                  &shard_of_code[bi]));
+            }
+            return Status::OK();
+          }));
+    } else {
+      std::vector<std::vector<uint32_t>> shard_of(batches_.size());
+      exec->ParallelFor("batch_groupby_hash", batches_.size(), [&](size_t bi) {
+        shard_of[bi].resize(enc[bi].size());
+        for (size_t k = 0; k < enc[bi].size(); ++k) {
+          shard_of[bi][k] =
+              static_cast<uint32_t>(Fnv1a64(enc[bi][k]) % num_shards);
+        }
+      });
+      UNILOG_RETURN_NOT_OK(exec->ParallelForStatus(
+          "batch_groupby_agg", num_shards, [&](size_t s) -> Status {
+            for (size_t bi = 0; bi < batches_.size(); ++bi) {
+              const size_t n = enc[bi].size();
+              for (size_t k = 0; k < n; ++k) {
+                if (shard_of[bi][k] != s) continue;
+                UNILOG_RETURN_NOT_OK(accumulate_into(&shards[s], bi, k));
+              }
+            }
+            return Status::OK();
+          }));
+    }
+  }
+
+  // Merge: every group lives in one shard; emit in global key order, the
+  // ordering the row engine's std::map produces.
+  struct GroupRef {
+    const Row* key = nullptr;
+    const std::vector<AggState>* states = nullptr;
+  };
+  std::vector<GroupRef> refs;
+  for (const GroupSet& gs : shards) {
+    for (size_t g = 0; g < gs.key_rows.size(); ++g) {
+      refs.push_back({&gs.key_rows[g], &gs.states[g]});
+    }
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const GroupRef& a, const GroupRef& b) { return *a.key < *b.key; });
+
+  std::vector<Row> out_rows(refs.size());
+  auto finalize_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out_rows[i] = FinalizeGroup(aggs, *refs[i].key, *refs[i].states);
+    }
+  };
+  if (parallel) {
+    exec->ParallelForChunked("batch_groupby_finalize", refs.size(),
+                             [&](size_t, size_t begin, size_t end) {
+                               finalize_range(begin, end);
+                             });
+  } else {
+    finalize_range(0, refs.size());
+  }
+  return Relation::FromRows(out_cols, std::move(out_rows));
+}
+
+Result<BatchRelation> BatchRelation::Join(const BatchRelation& right,
+                                          const std::string& left_col,
+                                          const std::string& right_col,
+                                          exec::Executor* exec,
+                                          JoinBuildSide side) const {
+  UNILOG_ASSIGN_OR_RETURN(size_t li, ColumnIndex(left_col));
+  UNILOG_ASSIGN_OR_RETURN(size_t ri, right.ColumnIndex(right_col));
+
+  const std::vector<RowLoc> left_locs = BuildLocs(batches_);
+  const std::vector<RowLoc> right_locs = BuildLocs(right.batches_);
+  const std::vector<std::string> left_keys =
+      BuildJoinKeys(batches_, li, left_locs);
+  const std::vector<std::string> right_keys =
+      BuildJoinKeys(right.batches_, ri, right_locs);
+
+  if (side == JoinBuildSide::kAuto) {
+    // Build the smaller input; ties keep the row engine's right build.
+    side = left_locs.size() < right_locs.size() ? JoinBuildSide::kLeft
+                                                : JoinBuildSide::kRight;
+  }
+
+  // Matching (left ordinal, right ordinal) pairs in the row engine's
+  // output order: left-row-major, right matches in right input order.
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  if (side == JoinBuildSide::kRight) {
+    std::unordered_map<std::string, std::vector<uint32_t>> table;
+    for (size_t r = 0; r < right_keys.size(); ++r) {
+      table[right_keys[r]].push_back(static_cast<uint32_t>(r));
+    }
+    auto probe_range = [&](size_t begin, size_t end,
+                           std::vector<std::pair<uint32_t, uint32_t>>* sink) {
+      for (size_t l = begin; l < end; ++l) {
+        auto it = table.find(left_keys[l]);
+        if (it == table.end()) continue;
+        for (uint32_t r : it->second) {
+          sink->push_back({static_cast<uint32_t>(l), r});
+        }
+      }
+    };
+    if (exec != nullptr && exec->parallel()) {
+      std::vector<std::vector<std::pair<uint32_t, uint32_t>>> chunks(
+          exec->ChunksFor(left_locs.size()));
+      exec->ParallelForChunked("batch_join_probe", left_locs.size(),
+                               [&](size_t chunk, size_t begin, size_t end) {
+                                 probe_range(begin, end, &chunks[chunk]);
+                               });
+      for (auto& chunk : chunks) {
+        pairs.insert(pairs.end(), chunk.begin(), chunk.end());
+      }
+    } else {
+      probe_range(0, left_locs.size(), &pairs);
+    }
+  } else {
+    std::unordered_map<std::string, std::vector<uint32_t>> table;
+    for (size_t l = 0; l < left_keys.size(); ++l) {
+      table[left_keys[l]].push_back(static_cast<uint32_t>(l));
+    }
+    // Probing with the right side yields pairs in right-major order;
+    // a stable sort by left ordinal restores the output order while
+    // keeping right matches in input order.
+    for (size_t r = 0; r < right_keys.size(); ++r) {
+      auto it = table.find(right_keys[r]);
+      if (it == table.end()) continue;
+      for (uint32_t l : it->second) {
+        pairs.push_back({l, static_cast<uint32_t>(r)});
+      }
+    }
+    std::stable_sort(pairs.begin(), pairs.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+  }
+
+  std::vector<std::string> out_cols = columns_;
+  for (size_t c = 0; c < right.columns_.size(); ++c) {
+    if (c == ri) continue;
+    out_cols.push_back(right.columns_[c]);
+  }
+
+  BatchRelation out;
+  out.columns_ = std::move(out_cols);
+  constexpr size_t kOutBatchRows = 1024;
+  for (size_t begin = 0; begin < pairs.size(); begin += kOutBatchRows) {
+    const size_t end = std::min(pairs.size(), begin + kOutBatchRows);
+    std::vector<ColumnPtr> cols;
+    cols.reserve(out.columns_.size());
+    std::vector<Value> vals(end - begin);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      for (size_t i = begin; i < end; ++i) {
+        const RowLoc& loc = left_locs[pairs[i].first];
+        vals[i - begin] = batches_[loc.batch].col(c)->ValueAt(loc.row);
+      }
+      cols.push_back(ColumnBatch::BuildColumn(vals));
+    }
+    for (size_t c = 0; c < right.columns_.size(); ++c) {
+      if (c == ri) continue;
+      for (size_t i = begin; i < end; ++i) {
+        const RowLoc& loc = right_locs[pairs[i].second];
+        vals[i - begin] = right.batches_[loc.batch].col(c)->ValueAt(loc.row);
+      }
+      cols.push_back(ColumnBatch::BuildColumn(vals));
+    }
+    out.batches_.emplace_back(std::move(cols), end - begin);
+  }
+  return out;
+}
+
+}  // namespace unilog::dataflow

@@ -1,0 +1,117 @@
+#ifndef UNILOG_DATAFLOW_VECTOR_ENGINE_H_
+#define UNILOG_DATAFLOW_VECTOR_ENGINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "dataflow/column_batch.h"
+#include "dataflow/relation.h"
+#include "exec/executor.h"
+
+namespace unilog::dataflow {
+
+/// One conjunctive predicate `column op literal` for the batch Filter
+/// kernel. Ops: == != < <= > >= (Value total order, as the Oink residual
+/// filters evaluate them) and `matches` (event-name glob; both sides must
+/// be strings, as in Pig).
+struct FilterExpr {
+  std::string column;
+  std::string op;
+  Value literal;
+};
+
+/// Reference semantics of one FilterExpr against a boxed value — the row
+/// engine side of every batch-vs-row equivalence test, and exactly the
+/// clause evaluation the Oink workflow engine applies to residual filters.
+bool EvalFilterOp(const Value& v, const std::string& op, const Value& literal);
+
+/// Which side of a hash join is built into the table. The output is
+/// byte-identical either way (probe order is restored when building on
+/// the left); the planner picks the smaller side.
+enum class JoinBuildSide { kAuto, kLeft, kRight };
+
+/// A relation stored as typed column batches — the vectorized twin of
+/// Relation. Every kernel is byte-compatible with the row engine: for any
+/// BatchRelation b built from Relation r, kernel(b).ToRelation() equals
+/// the same row-engine operator applied to r, byte-for-byte under
+/// SerializeRelation — including floating-point aggregates (per-group
+/// accumulation stays in original row order) and the join key semantics
+/// (Int(1) and Real(1) hash-match, exactly as Relation::Join). Kernels
+/// accept the same exec::Executor contract: parallel output is identical
+/// to serial at any thread count.
+class BatchRelation {
+ public:
+  BatchRelation() = default;
+
+  /// Row-major -> columnar conversion, chunking into batches of
+  /// `batch_rows`. Column types are inferred per batch (see
+  /// ColumnBatch::BuildColumn).
+  static Result<BatchRelation> FromRelation(const Relation& rel,
+                                            size_t batch_rows = 1024);
+
+  /// Assembles from pre-built batches (the scan path). Every batch must
+  /// have one column per schema name.
+  static Result<BatchRelation> FromBatches(std::vector<std::string> columns,
+                                           std::vector<ColumnBatch> batches);
+
+  /// Columnar -> row-major conversion (applies selections).
+  Result<Relation> ToRelation() const;
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  const std::vector<ColumnBatch>& batches() const { return batches_; }
+  Result<size_t> ColumnIndex(const std::string& name) const;
+  /// Rows surviving all selections, across batches.
+  size_t TotalRows() const;
+
+  // --- Kernels ---
+
+  /// Conjunctive predicate evaluation -> narrowed selection vectors. No
+  /// column data is copied or boxed; dictionary columns evaluate string
+  /// predicates once per dictionary entry, then per row on codes.
+  Result<BatchRelation> Filter(const std::vector<FilterExpr>& exprs,
+                               exec::Executor* exec = nullptr) const;
+
+  /// Keeps the named columns in order; O(1) per column per batch.
+  Result<BatchRelation> Project(const std::vector<std::string>& cols,
+                                exec::Executor* exec = nullptr) const;
+
+  /// Project + rename (the Oink late-projection shape).
+  Result<BatchRelation> ProjectAs(const std::vector<std::string>& cols,
+                                  const std::vector<std::string>& names,
+                                  exec::Executor* exec = nullptr) const;
+
+  /// Adds a computed column; `fn` sees the boxed row, as in the row
+  /// engine. Batches are compacted first so the new column is dense.
+  Result<BatchRelation> WithColumn(const std::string& name,
+                                   std::function<Value(const Row&)> fn,
+                                   exec::Executor* exec = nullptr) const;
+
+  /// Hash aggregation on encoded keys. Output columns: keys then
+  /// aggregate outputs, sorted by key (Value order) — identical to
+  /// Relation::GroupBy, including Status failure of SUM over non-numeric
+  /// values and bit-identical double SUMs (each group accumulates in
+  /// original row order, serial or parallel).
+  Result<Relation> GroupBy(const std::vector<std::string>& keys,
+                           const std::vector<Aggregate>& aggs,
+                           exec::Executor* exec = nullptr) const;
+
+  /// Inner hash join on left_col == right_col with Relation::Join's exact
+  /// key semantics and output order (left-row-major, right rows in input
+  /// order). `side` picks the build side; kAuto builds the smaller input.
+  Result<BatchRelation> Join(const BatchRelation& right,
+                             const std::string& left_col,
+                             const std::string& right_col,
+                             exec::Executor* exec = nullptr,
+                             JoinBuildSide side = JoinBuildSide::kAuto) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<ColumnBatch> batches_;
+};
+
+}  // namespace unilog::dataflow
+
+#endif  // UNILOG_DATAFLOW_VECTOR_ENGINE_H_

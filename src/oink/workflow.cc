@@ -121,6 +121,18 @@ Status WorkflowEngine::AddWorkflow(WorkflowSpec spec) {
     }
     planned.residuals.push_back(clause);
   }
+  // Residual clauses are conjunctive, so their order never affects
+  // results; sort them canonically so two workflows differing only in
+  // filter registration order share one canonical plan (and one cache
+  // key), and planner reorderings at execution time can never leak into
+  // the fingerprint.
+  std::stable_sort(planned.residuals.begin(), planned.residuals.end(),
+                   [](const FilterClause& a, const FilterClause& b) {
+                     return a.column + " " + a.op + " " +
+                                LiteralToken(a.literal) <
+                            b.column + " " + b.op + " " +
+                                LiteralToken(b.literal);
+                   });
   if (!wf.project_cols.empty()) {
     for (const auto& col : wf.project_cols) {
       bool known = std::find(scan->columns().begin(), scan->columns().end(),
@@ -205,6 +217,31 @@ Result<dataflow::Relation> WorkflowEngine::FinishPlan(
                  plan.spec.project_names,
                  std::vector<dataflow::Row>(projected.rows())));
   }
+  if (plan.spec.stage) {
+    UNILOG_ASSIGN_OR_RETURN(rel, plan.spec.stage(rel));
+  }
+  return rel;
+}
+
+Result<dataflow::Relation> WorkflowEngine::FinishPlanBatch(
+    const Planned& plan, dataflow::BatchRelation batch,
+    const dataflow::TableStats& stats,
+    std::vector<dataflow::FilterExpr> filters) const {
+  for (const auto& clause : plan.residuals) {
+    filters.push_back({clause.column, clause.op, clause.literal});
+  }
+  if (options_.enable_planner && filters.size() > 1) {
+    filters = dataflow::OrderFilters(stats, std::move(filters));
+  }
+  if (!filters.empty()) {
+    UNILOG_ASSIGN_OR_RETURN(batch, batch.Filter(filters, exec_));
+  }
+  if (!plan.projection_pushed && !plan.spec.project_cols.empty()) {
+    UNILOG_ASSIGN_OR_RETURN(
+        batch, batch.ProjectAs(plan.spec.project_cols, plan.spec.project_names,
+                               exec_));
+  }
+  UNILOG_ASSIGN_OR_RETURN(dataflow::Relation rel, batch.ToRelation());
   if (plan.spec.stage) {
     UNILOG_ASSIGN_OR_RETURN(rel, plan.spec.stage(rel));
   }
@@ -322,19 +359,92 @@ Status WorkflowEngine::RunTick(int64_t period_index) {
 
     UNILOG_ASSIGN_OR_RETURN(
         auto base, dataflow::ColumnarEventScan::Open(fs_, dir, metrics_));
+
+    const bool batch_mode = options_.use_batch_engine;
+    const bool shared =
+        options_.enable_shared_scans && pending.size() >= 2;
+    // Planner statistics are header-only (v2 zone maps + dictionaries,
+    // nothing decompressed), collected once per directory.
+    dataflow::TableStats table_stats;
+    if (batch_mode && options_.enable_planner) {
+      UNILOG_ASSIGN_OR_RETURN(table_stats, base->Stats());
+    }
+
     std::vector<std::shared_ptr<dataflow::ColumnarEventScan>> scans;
     scans.reserve(pending.size());
-    for (const auto& p : pending) {
-      scans.push_back(BuildScan(base, workflows_[p.members[0]]));
+    // Per-pending clauses the batch Filter kernel must run because the
+    // planner chose an eager scan (empty under pushdown).
+    std::vector<std::vector<dataflow::FilterExpr>> eager_filters(
+        pending.size());
+    for (size_t pi = 0; pi < pending.size(); ++pi) {
+      const Planned& plan = workflows_[pending[pi].members[0]];
+      if (batch_mode && options_.enable_planner && !shared &&
+          !plan.projection_pushed && !plan.spec.filters.empty()) {
+        // Cost the pushdown the scan would do (the clauses PushFilter
+        // absorbs, mirrored against a plan-only probe) against decoding
+        // everything and filtering in the batch kernel. Eager is only
+        // legal when the projection stays late (every filter column is
+        // still visible to the kernel).
+        auto probe = dataflow::ColumnarEventScan::PlanOnly();
+        std::vector<dataflow::FilterExpr> pushed;
+        for (const auto& clause : plan.spec.filters) {
+          if (probe->PushFilter(clause.column, clause.op, clause.literal)) {
+            pushed.push_back({clause.column, clause.op, clause.literal});
+          }
+        }
+        if (!pushed.empty()) {
+          dataflow::ScanPlan sp = dataflow::PlanScan(
+              table_stats, pushed, dataflow::JobCostModel{});
+          if (options_.explain) {
+            explain_.push_back(
+                "[oink] " + plan.spec.name + " scan=" +
+                (sp.strategy == dataflow::ScanStrategy::kEager ? "eager"
+                                                               : "pushdown") +
+                " sel=" + std::to_string(sp.selectivity) +
+                " pushdown_ms=" + std::to_string(sp.pushdown_ms) +
+                " eager_ms=" + std::to_string(sp.eager_ms));
+          }
+          if (sp.strategy == dataflow::ScanStrategy::kEager) {
+            // Scan unfiltered; every clause (pushable or residual) runs
+            // in the batch kernel instead. Same rows, same bytes out.
+            scans.push_back(
+                std::static_pointer_cast<dataflow::ColumnarEventScan>(
+                    base->Clone()));
+            for (const auto& clause : plan.spec.filters) {
+              bool residual = std::any_of(
+                  plan.residuals.begin(), plan.residuals.end(),
+                  [&clause](const FilterClause& r) {
+                    return r.column == clause.column && r.op == clause.op &&
+                           LiteralToken(r.literal) ==
+                               LiteralToken(clause.literal);
+                  });
+              if (!residual) {
+                eager_filters[pi].push_back(
+                    {clause.column, clause.op, clause.literal});
+              }
+            }
+            continue;
+          }
+        }
+      }
+      scans.push_back(BuildScan(base, plan));
     }
 
     std::vector<dataflow::Relation> scanned;
+    std::vector<dataflow::BatchRelation> scanned_batches;
     std::vector<uint64_t> costs(pending.size(), 0);
     columnar::ScanStats scan_stats;
-    if (options_.enable_shared_scans && scans.size() >= 2) {
-      UNILOG_ASSIGN_OR_RETURN(
-          scanned, dataflow::ColumnarEventScan::MaterializeShared(
-                       scans, exec_, &scan_stats));
+    if (shared) {
+      if (batch_mode) {
+        UNILOG_ASSIGN_OR_RETURN(
+            scanned_batches, dataflow::ColumnarEventScan::
+                                 MaterializeSharedBatches(scans, exec_,
+                                                          &scan_stats));
+      } else {
+        UNILOG_ASSIGN_OR_RETURN(
+            scanned, dataflow::ColumnarEventScan::MaterializeShared(
+                         scans, exec_, &scan_stats));
+      }
       // The union scan's bytes are shared work: attribute an even split to
       // each plan, so warm bytes_saved over all of them sums to the total.
       for (auto& c : costs) c = scan_stats.bytes_decompressed / costs.size();
@@ -350,9 +460,15 @@ Status WorkflowEngine::RunTick(int64_t period_index) {
       }
     } else {
       for (size_t i = 0; i < scans.size(); ++i) {
-        UNILOG_ASSIGN_OR_RETURN(dataflow::Relation rel,
-                                scans[i]->Materialize(exec_));
-        scanned.push_back(std::move(rel));
+        if (batch_mode) {
+          UNILOG_ASSIGN_OR_RETURN(dataflow::BatchRelation rel,
+                                  scans[i]->MaterializeBatches(exec_));
+          scanned_batches.push_back(std::move(rel));
+        } else {
+          UNILOG_ASSIGN_OR_RETURN(dataflow::Relation rel,
+                                  scans[i]->Materialize(exec_));
+          scanned.push_back(std::move(rel));
+        }
         costs[i] = scans[i]->last_stats().bytes_decompressed;
         scan_stats.MergeFrom(scans[i]->last_stats());
       }
@@ -363,8 +479,14 @@ Status WorkflowEngine::RunTick(int64_t period_index) {
     for (size_t pi = 0; pi < pending.size(); ++pi) {
       Pending& p = pending[pi];
       const Planned& plan = workflows_[p.members[0]];
-      UNILOG_ASSIGN_OR_RETURN(dataflow::Relation rel,
-                              FinishPlan(plan, std::move(scanned[pi])));
+      dataflow::Relation rel;
+      if (batch_mode) {
+        UNILOG_ASSIGN_OR_RETURN(
+            rel, FinishPlanBatch(plan, std::move(scanned_batches[pi]),
+                                 table_stats, std::move(eager_filters[pi])));
+      } else {
+        UNILOG_ASSIGN_OR_RETURN(rel, FinishPlan(plan, std::move(scanned[pi])));
+      }
       std::string serialized = dataflow::SerializeRelation(rel);
       if (p.verify_against.has_value()) {
         if (serialized != *p.verify_against) {

@@ -20,6 +20,7 @@
 #include "dataflow/plan_fingerprint.h"
 #include "dataflow/relation.h"
 #include "dataflow/relation_serde.h"
+#include "dataflow/vector_engine.h"
 #include "oink/artifact_cache.h"
 #include "oink/workflow.h"
 #include "events/client_event.h"
@@ -977,6 +978,220 @@ TEST_P(OinkMemoPropertyTest, ColdWarmSharedAndParallelAllAgree) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OinkMemoPropertyTest,
                          ::testing::Values(11u, 211u, 3111u));
+
+// ---------------------------------------------------------------------------
+// Vectorized batch engine: on random relations (mixed-type columns,
+// dictionary-overflow strings, empty inputs) and random operator
+// pipelines, batch execution must be byte-identical to the row engine,
+// serially and at any thread count — including identical Status failures
+// for SUM over non-numeric columns.
+
+class VectorEnginePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+dataflow::Relation RandomVectorRelation(Rng& rng, size_t rows) {
+  dataflow::Relation rel({"i", "r", "b", "s", "w", "m"});
+  bool mixed_has_strings = rng.Uniform(2) == 0;
+  for (size_t n = 0; n < rows; ++n) {
+    dataflow::Value mixed;
+    switch (rng.Uniform(mixed_has_strings ? 3 : 2)) {
+      case 0:
+        mixed = dataflow::Value::Int(static_cast<int64_t>(rng.Uniform(50)));
+        break;
+      case 1:
+        mixed = dataflow::Value::Real(rng.NextDouble() * 10);
+        break;
+      default:
+        mixed = dataflow::Value::Str("x" + std::to_string(rng.Uniform(5)));
+        break;
+    }
+    EXPECT_TRUE(
+        rel.AddRow(
+               {dataflow::Value::Int(static_cast<int64_t>(rng.Uniform(40))),
+                dataflow::Value::Real(rng.NextDouble() * 200 - 100),
+                dataflow::Value::Bool(rng.Uniform(2) == 0),
+                dataflow::Value::Str("tag" + std::to_string(rng.Uniform(6))),
+                // ~400 distinct values: overflows kMaxDictEntries, so
+                // batches fall back to plain string columns.
+                dataflow::Value::Str("wide" + std::to_string(rng.Uniform(400))),
+                mixed})
+            .ok());
+  }
+  return rel;
+}
+
+dataflow::FilterExpr RandomFilterExpr(Rng& rng) {
+  static const char* kOps[] = {"==", "!=", "<", "<=", ">", ">="};
+  switch (rng.Uniform(6)) {
+    case 0:
+      return {"i", kOps[rng.Uniform(6)],
+              dataflow::Value::Int(static_cast<int64_t>(rng.Uniform(40)))};
+    case 1:
+      return {"r", kOps[rng.Uniform(6)],
+              dataflow::Value::Real(rng.NextDouble() * 200 - 100)};
+    case 2:
+      return {"s", kOps[rng.Uniform(6)],
+              dataflow::Value::Str("tag" + std::to_string(rng.Uniform(6)))};
+    case 3:
+      return {"s", "matches", dataflow::Value::Str("tag?")};
+    case 4:  // type-mismatched literal: constant verdict, still must agree
+      return {"i", kOps[rng.Uniform(6)],
+              dataflow::Value::Str("zz" + std::to_string(rng.Uniform(3)))};
+    default: {
+      // Sometimes all-pass / none-pass predicates, so empty and full
+      // selections are exercised.
+      if (rng.Uniform(2) == 0) {
+        return {"i", ">=", dataflow::Value::Int(-1)};
+      }
+      return {"i", "<", dataflow::Value::Int(-1000)};
+    }
+  }
+}
+
+TEST_P(VectorEnginePropertyTest, BatchEqualsRowEqualsParallelBatch) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 6; ++iter) {
+    size_t rows = rng.Uniform(4) == 0 ? 0 : 1 + rng.Uniform(300);
+    dataflow::Relation rel = RandomVectorRelation(rng, rows);
+    size_t batch_rows = 1 + rng.Uniform(90);
+    auto batch0 = dataflow::BatchRelation::FromRelation(rel, batch_rows);
+    ASSERT_TRUE(batch0.ok());
+    dataflow::BatchRelation batch = std::move(*batch0);
+
+    // Random conjunctive filter prefix, applied to both engines.
+    std::vector<dataflow::FilterExpr> exprs;
+    size_t nf = rng.Uniform(3);
+    for (size_t f = 0; f < nf; ++f) exprs.push_back(RandomFilterExpr(rng));
+    dataflow::Relation row = rel;
+    for (const auto& e : exprs) {
+      size_t idx = row.ColumnIndex(e.column).value();
+      row = row.Filter([&e, idx](const dataflow::Row& r) {
+        return dataflow::EvalFilterOp(r[idx], e.op, e.literal);
+      });
+    }
+    if (!exprs.empty()) {
+      auto filtered = batch.Filter(exprs);
+      ASSERT_TRUE(filtered.ok());
+      batch = std::move(*filtered);
+    }
+    EXPECT_EQ(dataflow::SerializeRelation(batch.ToRelation().value()),
+              dataflow::SerializeRelation(row))
+        << "seed=" << GetParam() << " iter=" << iter;
+
+    // Terminal operator: group-by (sometimes over the mixed column, where
+    // both engines must either agree or fail identically) or a projection.
+    if (rng.Uniform(3) != 0) {
+      std::vector<std::string> keys =
+          rng.Uniform(2) == 0 ? std::vector<std::string>{"s"}
+                              : std::vector<std::string>{"i", "b"};
+      std::string sum_col = rng.Uniform(4) == 0 ? "m" : "r";
+      std::vector<dataflow::Aggregate> aggs{
+          {dataflow::Aggregate::Op::kCount, "", "n"},
+          {dataflow::Aggregate::Op::kSum, sum_col, "total"},
+          {dataflow::Aggregate::Op::kCountDistinct, "w", "wide"}};
+      auto want = row.GroupBy(keys, aggs);
+      auto got = batch.GroupBy(keys, aggs);
+      ASSERT_EQ(want.ok(), got.ok()) << "sum_col=" << sum_col;
+      if (want.ok()) {
+        EXPECT_EQ(dataflow::SerializeRelation(*got),
+                  dataflow::SerializeRelation(*want));
+      } else {
+        EXPECT_EQ(got.status().ToString(), want.status().ToString());
+      }
+      for (int threads : {2, 8}) {
+        exec::ExecOptions eo;
+        eo.threads = threads;
+        eo.min_items_per_chunk = 4;
+        exec::Executor executor(eo);
+        auto par = batch.GroupBy(keys, aggs, &executor);
+        ASSERT_EQ(par.ok(), want.ok());
+        if (want.ok()) {
+          EXPECT_EQ(dataflow::SerializeRelation(*par),
+                    dataflow::SerializeRelation(*want))
+              << "threads=" << threads;
+        }
+      }
+    } else {
+      auto want = row.Project({"s", "r", "m"});
+      auto got = batch.Project({"s", "r", "m"});
+      ASSERT_TRUE(want.ok());
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(dataflow::SerializeRelation(got->ToRelation().value()),
+                dataflow::SerializeRelation(*want));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, VectorEnginePropertyTest,
+                         ::testing::Values(17u, 177u, 1777u));
+
+// ---------------------------------------------------------------------------
+// Planner neutrality: permuting a workflow's filter clauses never changes
+// its canonical plan (so fingerprint-keyed cache entries written under one
+// ordering HIT under any other) nor its answers, with the planner on or
+// off.
+
+class PlannerReorderPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(PlannerReorderPropertyTest, FilterPermutationsShareFingerprintAndHits) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 3; ++iter) {
+    hdfs::MiniHdfs fs;
+    const std::string dir = "/warehouse/client_events/h0";
+    std::string body;
+    columnar::RcFileWriter writer(&body, 1 + rng.Uniform(40));
+    size_t n = 50 + rng.Uniform(250);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(writer.Add(RandomColumnarEvent(rng)).ok());
+    }
+    ASSERT_TRUE(writer.Finish().ok());
+    ASSERT_TRUE(fs.WriteFile(dir + "/part-00000", body).ok());
+
+    oink::WorkflowSpec wf = RandomWorkflow(rng, "wf", dir);
+    while (wf.filters.size() < 2) {
+      wf.filters.push_back(
+          {"user_id", "!=",
+           dataflow::Value::Int(static_cast<int64_t>(rng.Uniform(40)))});
+    }
+    oink::WorkflowSpec permuted = wf;
+    for (size_t i = permuted.filters.size(); i > 1; --i) {
+      std::swap(permuted.filters[i - 1], permuted.filters[rng.Uniform(i)]);
+    }
+
+    // Engine A runs the original ordering cold and fills the cache.
+    oink::WorkflowEngine a(&fs, oink::OinkOptions{});
+    ASSERT_TRUE(a.AddWorkflow(wf).ok());
+    ASSERT_TRUE(a.RunTick(0).ok());
+    ASSERT_EQ(a.last_tick().cache_misses, 1u);
+    std::string want =
+        dataflow::SerializeRelation(a.ResultFor("wf").value());
+
+    // Engine B registers the permutation: same canonical plan, and its
+    // first tick is served entirely from A's cache entry.
+    oink::WorkflowEngine b(&fs, oink::OinkOptions{});
+    ASSERT_TRUE(b.AddWorkflow(permuted).ok());
+    EXPECT_EQ(b.CanonicalPlanFor("wf").value(),
+              a.CanonicalPlanFor("wf").value())
+        << "seed=" << GetParam() << " iter=" << iter;
+    ASSERT_TRUE(b.RunTick(0).ok());
+    EXPECT_EQ(b.last_tick().cache_hits, 1u);
+    EXPECT_EQ(b.last_tick().scan_bytes_decompressed, 0u);
+    EXPECT_EQ(dataflow::SerializeRelation(b.ResultFor("wf").value()), want);
+
+    // Planner off, cache off, row engine: same bytes.
+    oink::OinkOptions raw;
+    raw.enable_cache = false;
+    raw.enable_planner = false;
+    raw.use_batch_engine = rng.Uniform(2) == 0;
+    oink::WorkflowEngine c(&fs, raw);
+    ASSERT_TRUE(c.AddWorkflow(permuted).ok());
+    ASSERT_TRUE(c.RunTick(0).ok());
+    EXPECT_EQ(dataflow::SerializeRelation(c.ResultFor("wf").value()), want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlannerReorderPropertyTest,
+                         ::testing::Values(23u, 233u, 2333u));
 
 // ---------------------------------------------------------------------------
 // Cache artifact fuzzing: truncations and bit flips must read back as a

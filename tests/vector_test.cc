@@ -1,0 +1,605 @@
+// The vectorized batch engine's contract: every kernel is byte-compatible
+// with the row engine (SerializeRelation equality, including bit-identical
+// double SUMs and join key semantics), parallel output equals serial at
+// any thread count, the columnar scan's batch path equals Materialize, and
+// the cost-based planner's decisions are deterministic and answer-neutral.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/compress.h"
+#include "common/rng.h"
+#include "dataflow/column_batch.h"
+#include "dataflow/columnar_scan.h"
+#include "dataflow/planner.h"
+#include "dataflow/relation.h"
+#include "dataflow/relation_serde.h"
+#include "dataflow/vector_engine.h"
+#include "columnar/rcfile.h"
+#include "events/client_event.h"
+#include "exec/executor.h"
+#include "hdfs/mini_hdfs.h"
+
+namespace unilog {
+namespace {
+
+using dataflow::Aggregate;
+using dataflow::BatchRelation;
+using dataflow::ColumnBatch;
+using dataflow::ColumnKind;
+using dataflow::FilterExpr;
+using dataflow::Relation;
+using dataflow::Row;
+using dataflow::Value;
+
+std::string Bytes(const Relation& rel) {
+  return dataflow::SerializeRelation(rel);
+}
+
+std::string BatchBytes(const BatchRelation& b) {
+  auto rel = b.ToRelation();
+  EXPECT_TRUE(rel.ok()) << rel.status().ToString();
+  return Bytes(*rel);
+}
+
+/// Mixed-type relation with low-cardinality strings (dictionary bait),
+/// duplicate rows, and signed-zero reals in a key column.
+Relation MixedRelation(size_t rows, uint64_t seed) {
+  Rng rng(seed);
+  Relation rel({"id", "grp", "score", "flag", "tag"});
+  for (size_t i = 0; i < rows; ++i) {
+    double score = rng.NextDouble() * 100 - 50;
+    if (rng.Uniform(17) == 0) score = rng.Uniform(2) == 0 ? 0.0 : -0.0;
+    EXPECT_TRUE(
+        rel.AddRow({Value::Int(static_cast<int64_t>(i % 23)),
+                    Value::Int(static_cast<int64_t>(rng.Uniform(7))),
+                    Value::Real(score), Value::Bool(rng.Uniform(2) == 0),
+                    Value::Str("t" + std::to_string(rng.Uniform(5)))})
+            .ok());
+  }
+  return rel;
+}
+
+exec::Executor MakeExecutor(int threads) {
+  exec::ExecOptions opts;
+  opts.threads = threads;
+  opts.min_items_per_chunk = 4;
+  return exec::Executor(opts);
+}
+
+// ---------------------------------------------------------------------------
+// Conversion and column typing.
+
+TEST(ColumnBatchTest, RoundTripPreservesBytes) {
+  for (size_t batch_rows : {1ul, 3ul, 64ul, 4096ul}) {
+    Relation rel = MixedRelation(257, 7);
+    auto batch = BatchRelation::FromRelation(rel, batch_rows);
+    ASSERT_TRUE(batch.ok());
+    EXPECT_EQ(BatchBytes(*batch), Bytes(rel)) << "batch_rows=" << batch_rows;
+  }
+  Relation empty({"a", "b"});
+  auto batch = BatchRelation::FromRelation(empty);
+  ASSERT_TRUE(batch.ok());
+  EXPECT_EQ(BatchBytes(*batch), Bytes(empty));
+}
+
+TEST(ColumnBatchTest, BuildColumnPicksTypedLayouts) {
+  auto kind_of = [](std::vector<Value> vals) {
+    return ColumnBatch::BuildColumn(vals)->kind;
+  };
+  EXPECT_EQ(kind_of({Value::Int(1), Value::Int(2)}), ColumnKind::kInt64);
+  EXPECT_EQ(kind_of({Value::Real(1.5)}), ColumnKind::kDouble);
+  EXPECT_EQ(kind_of({Value::Bool(true), Value::Bool(false)}),
+            ColumnKind::kBool);
+  EXPECT_EQ(kind_of({Value::Str("a"), Value::Str("b"), Value::Str("a")}),
+            ColumnKind::kDict);
+  EXPECT_EQ(kind_of({Value::Int(1), Value::Str("x")}), ColumnKind::kValue);
+
+  // Cardinality above kMaxDictEntries falls back to plain strings — and
+  // the boxed values still round-trip identically.
+  std::vector<Value> wide;
+  for (size_t i = 0; i < dataflow::kMaxDictEntries + 40; ++i) {
+    wide.push_back(Value::Str("name-" + std::to_string(i)));
+  }
+  auto col = ColumnBatch::BuildColumn(wide);
+  EXPECT_EQ(col->kind, ColumnKind::kString);
+  ASSERT_EQ(col->size(), wide.size());
+  for (size_t i = 0; i < wide.size(); ++i) {
+    EXPECT_EQ(col->ValueAt(i), wide[i]);
+  }
+}
+
+TEST(ColumnBatchTest, DictionaryKeepsFirstAppearanceOrder) {
+  auto col = ColumnBatch::BuildColumn(
+      {Value::Str("z"), Value::Str("a"), Value::Str("z"), Value::Str("m")});
+  ASSERT_EQ(col->kind, ColumnKind::kDict);
+  ASSERT_NE(col->dict, nullptr);
+  EXPECT_EQ(*col->dict, (std::vector<std::string>{"z", "a", "m"}));
+  EXPECT_EQ(col->codes, (std::vector<uint32_t>{0, 1, 0, 2}));
+}
+
+// ---------------------------------------------------------------------------
+// Kernels vs the row engine, serial and parallel.
+
+Relation RowFilter(const Relation& rel, const std::vector<FilterExpr>& exprs) {
+  Relation out = rel;
+  for (const auto& e : exprs) {
+    size_t idx = out.ColumnIndex(e.column).value();
+    out = out.Filter([&e, idx](const Row& row) {
+      return dataflow::EvalFilterOp(row[idx], e.op, e.literal);
+    });
+  }
+  return out;
+}
+
+TEST(VectorKernelTest, FilterMatchesRowEngine) {
+  Relation rel = MixedRelation(300, 11);
+  auto batch = BatchRelation::FromRelation(rel, 64).value();
+
+  const std::vector<std::vector<FilterExpr>> cases = {
+      {{"grp", "<", Value::Int(4)}},
+      {{"score", ">=", Value::Real(0.0)}},
+      {{"flag", "==", Value::Bool(true)}},
+      {{"tag", "!=", Value::Str("t2")}},
+      {{"tag", "matches", Value::Str("t?")}},
+      {{"grp", "<", Value::Int(4)}, {"tag", "==", Value::Str("t1")}},
+      // Type-mismatched literal: Int column vs Str literal has a constant
+      // verdict under the Value total order (ints sort before strings).
+      {{"grp", "<", Value::Str("zzz")}},
+      {{"grp", "==", Value::Str("zzz")}},  // selects nothing
+      {{"id", ">=", Value::Int(0)}},       // selects everything
+  };
+  for (const auto& exprs : cases) {
+    std::string want = Bytes(RowFilter(rel, exprs));
+    auto serial = batch.Filter(exprs);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    EXPECT_EQ(BatchBytes(*serial), want);
+    for (int threads : {2, 8}) {
+      exec::Executor executor = MakeExecutor(threads);
+      auto par = batch.Filter(exprs, &executor);
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(BatchBytes(*par), want) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(VectorKernelTest, FilterStacksOnExistingSelection) {
+  Relation rel = MixedRelation(200, 13);
+  auto batch = BatchRelation::FromRelation(rel, 32).value();
+  auto first = batch.Filter({{"grp", "<", Value::Int(5)}}).value();
+  auto second = first.Filter({{"flag", "==", Value::Bool(false)}}).value();
+  std::string want = Bytes(RowFilter(
+      rel, {{"grp", "<", Value::Int(5)}, {"flag", "==", Value::Bool(false)}}));
+  EXPECT_EQ(BatchBytes(second), want);
+}
+
+TEST(VectorKernelTest, ProjectAndWithColumnMatchRowEngine) {
+  Relation rel = MixedRelation(150, 17);
+  auto batch = BatchRelation::FromRelation(rel, 50).value();
+  // Project through a selection so gather paths are exercised.
+  auto filtered = batch.Filter({{"grp", ">", Value::Int(1)}}).value();
+  Relation row_filtered = RowFilter(rel, {{"grp", ">", Value::Int(1)}});
+
+  auto projected = filtered.Project({"tag", "score"}).value();
+  EXPECT_EQ(BatchBytes(projected),
+            Bytes(row_filtered.Project({"tag", "score"}).value()));
+
+  auto renamed = filtered.ProjectAs({"tag", "score"}, {"t", "s"}).value();
+  auto row_renamed =
+      Relation::FromRows(
+          {"t", "s"},
+          std::vector<Row>(
+              row_filtered.Project({"tag", "score"}).value().rows()))
+          .value();
+  EXPECT_EQ(BatchBytes(renamed), Bytes(row_renamed));
+
+  auto fn = [](const Row& row) {
+    return Value::Real(row[2].AsNumber() * 2 + row[1].AsNumber());
+  };
+  auto with = filtered.WithColumn("derived", fn).value();
+  EXPECT_EQ(BatchBytes(with),
+            Bytes(row_filtered.WithColumn("derived", fn).value()));
+  for (int threads : {2, 8}) {
+    exec::Executor executor = MakeExecutor(threads);
+    auto par = filtered.WithColumn("derived", fn, &executor).value();
+    EXPECT_EQ(BatchBytes(par), BatchBytes(with)) << "threads=" << threads;
+  }
+}
+
+TEST(VectorKernelTest, GroupByMatchesRowEngineBitForBit) {
+  Relation rel = MixedRelation(400, 19);
+  auto batch = BatchRelation::FromRelation(rel, 64).value();
+  std::vector<Aggregate> aggs{{Aggregate::Op::kCount, "", "n"},
+                              {Aggregate::Op::kSum, "score", "total"},
+                              {Aggregate::Op::kMin, "score", "lo"},
+                              {Aggregate::Op::kMax, "id", "hi"},
+                              {Aggregate::Op::kCountDistinct, "tag", "tags"}};
+  for (const auto& keys :
+       std::vector<std::vector<std::string>>{{"grp"}, {"grp", "tag"},
+                                             {"score"}, {"flag", "grp"}}) {
+    std::string want = Bytes(rel.GroupBy(keys, aggs).value());
+    auto got = batch.GroupBy(keys, aggs);
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_EQ(Bytes(*got), want);
+    for (int threads : {2, 8}) {
+      exec::Executor executor = MakeExecutor(threads);
+      auto par = batch.GroupBy(keys, aggs, &executor);
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(Bytes(*par), want) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(VectorKernelTest, GroupByThroughSelectionMatchesRowEngine) {
+  Relation rel = MixedRelation(350, 23);
+  std::vector<FilterExpr> pred{{"score", ">", Value::Real(-10.0)}};
+  auto batch =
+      BatchRelation::FromRelation(rel, 48).value().Filter(pred).value();
+  Relation row = RowFilter(rel, pred);
+  std::vector<Aggregate> aggs{{Aggregate::Op::kSum, "score", "total"},
+                              {Aggregate::Op::kCount, "", "n"}};
+  EXPECT_EQ(Bytes(batch.GroupBy({"grp"}, aggs).value()),
+            Bytes(row.GroupBy({"grp"}, aggs).value()));
+}
+
+TEST(VectorKernelTest, SumOverNonNumericIsErrorNotGarbage) {
+  Relation rel({"k", "s"});
+  ASSERT_TRUE(rel.AddRow({Value::Int(1), Value::Str("oops")}).ok());
+  ASSERT_TRUE(rel.AddRow({Value::Int(1), Value::Str("nope")}).ok());
+  std::vector<Aggregate> aggs{{Aggregate::Op::kSum, "s", "total"}};
+
+  auto row = rel.GroupBy({"k"}, aggs);
+  ASSERT_FALSE(row.ok());
+  EXPECT_TRUE(row.status().IsInvalidArgument()) << row.status().ToString();
+
+  auto batch = BatchRelation::FromRelation(rel).value().GroupBy({"k"}, aggs);
+  ASSERT_FALSE(batch.ok());
+  EXPECT_TRUE(batch.status().IsInvalidArgument());
+  // Same diagnostic either engine.
+  EXPECT_EQ(batch.status().ToString(), row.status().ToString());
+
+  // The parallel row path surfaces the same error (not a crash, not 0).
+  exec::Executor executor = MakeExecutor(4);
+  auto par = rel.GroupBy({"k"}, aggs, &executor);
+  ASSERT_FALSE(par.ok());
+  EXPECT_TRUE(par.status().IsInvalidArgument());
+
+  // Bools are not numbers either (the old AsNumber folded them to 0/1).
+  Relation bools({"k", "b"});
+  ASSERT_TRUE(bools.AddRow({Value::Int(1), Value::Bool(true)}).ok());
+  std::vector<Aggregate> bool_sum{{Aggregate::Op::kSum, "b", "total"}};
+  EXPECT_FALSE(bools.GroupBy({"k"}, bool_sum).ok());
+  EXPECT_FALSE(BatchRelation::FromRelation(bools)
+                   .value()
+                   .GroupBy({"k"}, bool_sum)
+                   .ok());
+}
+
+TEST(VectorKernelTest, JoinMatchesRowEngineIncludingMixedNumericKeys) {
+  Relation left({"k", "a"});
+  Relation right({"k", "b"});
+  Rng rng(29);
+  for (int i = 0; i < 120; ++i) {
+    // Mix Int and Real keys: Relation::Join hash-matches Int(1) with
+    // Real(1), and the batch engine must reproduce that exactly.
+    Value key = rng.Uniform(2) == 0
+                    ? Value::Int(static_cast<int64_t>(rng.Uniform(10)))
+                    : Value::Real(static_cast<double>(rng.Uniform(10)));
+    ASSERT_TRUE(left.AddRow({key, Value::Int(i)}).ok());
+  }
+  for (int i = 0; i < 40; ++i) {
+    Value key = rng.Uniform(2) == 0
+                    ? Value::Int(static_cast<int64_t>(rng.Uniform(10)))
+                    : Value::Real(static_cast<double>(rng.Uniform(10)));
+    ASSERT_TRUE(right.AddRow({key, Value::Str("r" + std::to_string(i))}).ok());
+  }
+  std::string want = Bytes(left.Join(right, "k", "k").value());
+
+  auto bl = BatchRelation::FromRelation(left, 32).value();
+  auto br = BatchRelation::FromRelation(right, 16).value();
+  for (auto side : {dataflow::JoinBuildSide::kAuto,
+                    dataflow::JoinBuildSide::kLeft,
+                    dataflow::JoinBuildSide::kRight}) {
+    auto joined = bl.Join(br, "k", "k", nullptr, side);
+    ASSERT_TRUE(joined.ok()) << joined.status().ToString();
+    EXPECT_EQ(BatchBytes(*joined), want);
+    for (int threads : {2, 8}) {
+      exec::Executor executor = MakeExecutor(threads);
+      auto par = bl.Join(br, "k", "k", &executor, side);
+      ASSERT_TRUE(par.ok());
+      EXPECT_EQ(BatchBytes(*par), want) << "threads=" << threads;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Distinct / OrderBy executor determinism (satellite: they used to ignore
+// the executor entirely).
+
+TEST(RelationParallelTest, DistinctMatchesSerialAtAnyThreadCount) {
+  Relation rel = MixedRelation(500, 31);
+  // Project to a few columns so real duplicates exist.
+  Relation narrowed = rel.Project({"grp", "flag", "tag"}).value();
+  std::string want = Bytes(narrowed.Distinct());
+  for (int threads : {1, 2, 8}) {
+    exec::Executor executor = MakeExecutor(threads);
+    EXPECT_EQ(Bytes(narrowed.Distinct(&executor)), want)
+        << "threads=" << threads;
+  }
+}
+
+TEST(RelationParallelTest, OrderByMatchesSerialStableSort) {
+  Relation rel = MixedRelation(500, 37);
+  for (bool descending : {false, true}) {
+    // "grp" has heavy duplication, so stability is actually observable.
+    std::string want = Bytes(rel.OrderBy("grp", descending).value());
+    for (int threads : {1, 2, 8}) {
+      exec::Executor executor = MakeExecutor(threads);
+      EXPECT_EQ(Bytes(rel.OrderBy("grp", descending, &executor).value()), want)
+          << "threads=" << threads << " desc=" << descending;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar scan batch path.
+
+events::ClientEvent ScanEvent(Rng& rng, int64_t base_ts) {
+  events::ClientEvent ev;
+  ev.initiator = static_cast<events::EventInitiator>(rng.Uniform(4));
+  static const char* kNames[] = {"web:home:::tweet:click",
+                                 "api:timeline:fetch",
+                                 "web:profile:::follow",
+                                 "web:home:::tweet:impression"};
+  ev.event_name = kNames[rng.Uniform(4)];
+  ev.user_id = static_cast<int64_t>(rng.Uniform(50));
+  ev.session_id = "s" + std::to_string(rng.Uniform(12));
+  ev.ip = "10.1.0." + std::to_string(rng.Uniform(100));
+  ev.timestamp = base_ts + static_cast<int64_t>(rng.Uniform(3600000));
+  return ev;
+}
+
+/// Warehouse dir with two v2 columnar parts (small groups, so several
+/// ScanUnits) and one legacy framed part.
+std::unique_ptr<hdfs::MiniHdfs> ScanWarehouse(uint64_t seed, int64_t base_ts,
+                                              size_t events_per_part) {
+  Rng rng(seed);
+  auto fs = std::make_unique<hdfs::MiniHdfs>();
+  for (int part = 0; part < 2; ++part) {
+    std::string body;
+    columnar::RcFileWriterOptions wopts;
+    wopts.rows_per_group = 37;
+    columnar::RcFileWriter writer(&body, wopts);
+    for (size_t i = 0; i < events_per_part; ++i) {
+      EXPECT_TRUE(writer.Add(ScanEvent(rng, base_ts)).ok());
+    }
+    EXPECT_TRUE(writer.Finish().ok());
+    char name[32];
+    std::snprintf(name, sizeof(name), "/events/part-%05d", part);
+    EXPECT_TRUE(fs->WriteFile(name, body).ok());
+  }
+  std::string legacy;
+  for (size_t i = 0; i < events_per_part / 2; ++i) {
+    std::string record = ScanEvent(rng, base_ts).Serialize();
+    PutVarint64(&legacy, record.size());
+    legacy.append(record);
+  }
+  EXPECT_TRUE(fs->WriteFile("/events/part-legacy", Lz::Compress(legacy)).ok());
+  return fs;
+}
+
+constexpr int64_t kScanBase = 1345507200000;
+
+TEST(ScanBatchTest, MaterializeBatchesEqualsMaterialize) {
+  auto fs = ScanWarehouse(41, kScanBase, 220);
+  for (bool push : {false, true}) {
+    auto scan = dataflow::ColumnarEventScan::Open(fs.get(), "/events").value();
+    if (push) {
+      ASSERT_TRUE(scan->PushFilter("event_name", "matches",
+                                   Value::Str("web:*")));
+      ASSERT_TRUE(scan->PushFilter(
+          "timestamp", "<", Value::Int(kScanBase + 1800000)));
+    }
+    auto rows = scan->Materialize(nullptr).value();
+    for (int threads : {1, 2, 8}) {
+      auto scan2 =
+          std::static_pointer_cast<dataflow::ColumnarEventScan>(scan->Clone());
+      exec::Executor executor = MakeExecutor(threads);
+      auto batches = scan2->MaterializeBatches(&executor);
+      ASSERT_TRUE(batches.ok()) << batches.status().ToString();
+      EXPECT_EQ(BatchBytes(*batches), Bytes(rows))
+          << "threads=" << threads << " push=" << push;
+    }
+  }
+}
+
+TEST(ScanBatchTest, ProjectedScanCarriesDictionariesThrough) {
+  auto fs = ScanWarehouse(43, kScanBase, 150);
+  auto scan = dataflow::ColumnarEventScan::Open(fs.get(), "/events").value();
+  ASSERT_TRUE(scan->PushProject({"event_name", "user_id"}, {"name", "uid"}));
+  auto rows = scan->Materialize(nullptr).value();
+  auto batches = scan->MaterializeBatches(nullptr).value();
+  EXPECT_EQ(BatchBytes(batches), Bytes(rows));
+  // The event-name column of every v2-sourced batch must be
+  // dictionary-encoded — group dictionaries flow through, strings are
+  // never materialized per row. (The legacy part contributes kDict too:
+  // its names are built via BuildColumn's first-appearance dictionary.)
+  size_t name_idx = batches.ColumnIndex("name").value();
+  ASSERT_FALSE(batches.batches().empty());
+  for (const auto& b : batches.batches()) {
+    EXPECT_EQ(b.col(name_idx)->kind, ColumnKind::kDict);
+  }
+  // And a filter + group-by over the dictionary column agrees with the
+  // row engine end to end.
+  std::vector<FilterExpr> pred{{"name", "matches", Value::Str("web:*")}};
+  std::vector<Aggregate> aggs{{Aggregate::Op::kCount, "", "n"}};
+  EXPECT_EQ(
+      Bytes(batches.Filter(pred).value().GroupBy({"name"}, aggs).value()),
+      Bytes(RowFilter(rows, pred).GroupBy({"name"}, aggs).value()));
+}
+
+TEST(ScanBatchTest, SharedBatchesEqualPerMemberMaterialize) {
+  auto fs = ScanWarehouse(47, kScanBase, 200);
+  auto base = dataflow::ColumnarEventScan::Open(fs.get(), "/events").value();
+
+  auto clicks =
+      std::static_pointer_cast<dataflow::ColumnarEventScan>(base->Clone());
+  ASSERT_TRUE(clicks->PushFilter("event_name", "==",
+                                 Value::Str("web:home:::tweet:click")));
+  auto early =
+      std::static_pointer_cast<dataflow::ColumnarEventScan>(base->Clone());
+  ASSERT_TRUE(early->PushFilter("timestamp", "<",
+                                Value::Int(kScanBase + 600000)));
+  auto everything =
+      std::static_pointer_cast<dataflow::ColumnarEventScan>(base->Clone());
+
+  std::vector<std::string> want;
+  for (auto& m : {clicks, early, everything}) {
+    auto solo = std::static_pointer_cast<dataflow::ColumnarEventScan>(
+        m->Clone());
+    want.push_back(Bytes(solo->Materialize(nullptr).value()));
+  }
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::shared_ptr<dataflow::ColumnarEventScan>> members;
+    for (auto& m : {clicks, early, everything}) {
+      members.push_back(
+          std::static_pointer_cast<dataflow::ColumnarEventScan>(m->Clone()));
+    }
+    exec::Executor executor = MakeExecutor(threads);
+    auto batches = dataflow::ColumnarEventScan::MaterializeSharedBatches(
+        members, &executor);
+    ASSERT_TRUE(batches.ok()) << batches.status().ToString();
+    ASSERT_EQ(batches->size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(BatchBytes((*batches)[i]), want[i])
+          << "member " << i << " threads=" << threads;
+    }
+    // The shared pass fills member batch caches: a later MaterializeBatches
+    // is served from cache and still agrees.
+    EXPECT_EQ(BatchBytes(members[0]->MaterializeBatches(nullptr).value()),
+              want[0]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planner statistics and decisions.
+
+TEST(PlannerTest, StatsAggregateZoneMapsHeaderOnly) {
+  auto fs = ScanWarehouse(53, kScanBase, 180);
+  auto scan = dataflow::ColumnarEventScan::Open(fs.get(), "/events").value();
+  auto stats = scan->Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  // 2 v2 parts of 180 rows; the legacy part is opaque header-only (it
+  // would need a decompression to count rows) and contributes bytes only.
+  EXPECT_EQ(stats->total_rows, 2 * 180u);
+  EXPECT_GT(stats->row_groups, 2u);  // 37-row groups => several per part
+  EXPECT_GT(stats->data_bytes, 0u);
+  // The legacy part has no zone maps, so the merged stats must say so.
+  EXPECT_FALSE(stats->from_v2);
+  ASSERT_TRUE(stats->min_timestamp.has_value());
+  EXPECT_GE(*stats->min_timestamp, kScanBase);
+  EXPECT_LE(*stats->max_timestamp, kScanBase + 3600000);
+  // Dictionary names from the v2 parts are visible with row upper bounds.
+  EXPECT_GT(stats->name_rows.count("web:home:::tweet:click"), 0u);
+}
+
+TEST(PlannerTest, OrderFiltersIsDeterministicAndSelectivityDriven) {
+  dataflow::TableStats stats;
+  stats.total_rows = 100000;
+  stats.row_groups = 100;
+  stats.data_bytes = 1 << 20;
+  stats.min_timestamp = 0;
+  stats.max_timestamp = 99999;
+  stats.name_rows["rare"] = 100;
+  stats.name_rows["common"] = 90000;
+  stats.from_v2 = true;
+
+  std::vector<FilterExpr> exprs = {
+      {"timestamp", ">=", Value::Int(0)},          // selects ~everything
+      {"event_name", "==", Value::Str("rare")},    // ~0.1% of rows
+      {"timestamp", "<", Value::Int(50000)},       // ~half
+      {"event_name", "==", Value::Str("common")},  // ~90%
+  };
+  auto ordered = dataflow::OrderFilters(stats, exprs);
+  ASSERT_EQ(ordered.size(), exprs.size());
+  // Most selective first: the rare-name equality leads; the all-pass
+  // timestamp bound goes last.
+  EXPECT_EQ(ordered[0].literal, Value::Str("rare"));
+  EXPECT_EQ(ordered.back().op, ">=");
+
+  // Any input permutation yields the same sequence.
+  std::vector<std::string> want;
+  for (const auto& e : ordered) want.push_back(dataflow::CanonicalFilterClause(e));
+  std::sort(exprs.begin(), exprs.end(),
+            [](const FilterExpr& a, const FilterExpr& b) {
+              return dataflow::CanonicalFilterClause(a) >
+                     dataflow::CanonicalFilterClause(b);
+            });
+  auto reordered = dataflow::OrderFilters(stats, exprs);
+  for (size_t i = 0; i < reordered.size(); ++i) {
+    EXPECT_EQ(dataflow::CanonicalFilterClause(reordered[i]), want[i]);
+  }
+}
+
+TEST(PlannerTest, OrderingNeverChangesFilterAnswers) {
+  Relation rel = MixedRelation(300, 59);
+  auto batch = BatchRelation::FromRelation(rel, 64).value();
+  std::vector<FilterExpr> exprs = {{"grp", "<", Value::Int(5)},
+                                   {"tag", "==", Value::Str("t1")},
+                                   {"score", ">", Value::Real(-20.0)}};
+  std::string want = BatchBytes(batch.Filter(exprs).value());
+  dataflow::TableStats stats;  // empty: priors only
+  auto ordered = dataflow::OrderFilters(stats, exprs);
+  EXPECT_EQ(BatchBytes(batch.Filter(ordered).value()), want);
+  std::reverse(exprs.begin(), exprs.end());
+  EXPECT_EQ(BatchBytes(batch.Filter(exprs).value()), want);
+}
+
+TEST(PlannerTest, PlanScanPushdownVsEager) {
+  dataflow::TableStats stats;
+  stats.total_rows = 1000000;
+  stats.row_groups = 1000;
+  stats.data_bytes = 64 << 20;
+  stats.min_timestamp = 0;
+  stats.max_timestamp = 999999;
+  stats.from_v2 = true;
+  dataflow::JobCostModel model;
+
+  // No clauses: nothing to push, eager by definition.
+  auto none = dataflow::PlanScan(stats, {}, model);
+  EXPECT_EQ(none.strategy, dataflow::ScanStrategy::kEager);
+
+  // A selective clause: pushdown reads predicate columns + survivors only,
+  // strictly cheaper than decoding everything.
+  std::vector<FilterExpr> selective{{"timestamp", "<", Value::Int(10000)}};
+  auto push = dataflow::PlanScan(stats, selective, model);
+  EXPECT_EQ(push.strategy, dataflow::ScanStrategy::kPushdown);
+  EXPECT_LT(push.pushdown_ms, push.eager_ms);
+  EXPECT_GT(push.selectivity, 0.0);
+  EXPECT_LT(push.selectivity, 1.0);
+
+  // Deterministic: same inputs, same plan.
+  auto again = dataflow::PlanScan(stats, selective, model);
+  EXPECT_EQ(again.strategy, push.strategy);
+  EXPECT_EQ(again.pushdown_ms, push.pushdown_ms);
+  EXPECT_EQ(again.eager_ms, push.eager_ms);
+}
+
+TEST(PlannerTest, ChooseBuildSidePrefersSmallerInput) {
+  EXPECT_EQ(dataflow::ChooseBuildSide(1000, 10),
+            dataflow::JoinBuildSide::kRight);
+  EXPECT_EQ(dataflow::ChooseBuildSide(10, 1000),
+            dataflow::JoinBuildSide::kLeft);
+  // Ties keep the row engine's traditional right build.
+  EXPECT_EQ(dataflow::ChooseBuildSide(50, 50),
+            dataflow::JoinBuildSide::kRight);
+}
+
+}  // namespace
+}  // namespace unilog
