@@ -1,17 +1,22 @@
-// E23: vectorized batch execution vs the row engine on the §4.2 daily
+// E23/E24: vectorized batch execution vs the row engine on the §4.2 daily
 // filter+group workload. One day of client events is written as RCFile v2
 // warehouse partitions, scanned once, and then the same plan —
 //
 //   FILTER event_name matches "web:*" AND timestamp in [T, T+18h)
 //   GROUP BY event_name: count, sum(user_id), count-distinct(session)
 //
-// — is executed by the row engine (boxed Values, row-at-a-time) and by the
-// batch engine (typed column batches + selection vectors, dictionary
-// event names). Reports rows/sec for both and their speedup; the answers
-// must be byte-identical (FNV digest of SerializeRelation), including the
-// batch engine at 1/2/8 threads. Exits nonzero on any divergence or if
-// the batch engine misses its 3x rows/sec acceptance floor. Results merge
-// into BENCH_scan.json under "vectorized_exec".
+// — is executed three ways: the row engine (boxed Values, row-at-a-time),
+// the unfused batch engine (Filter then GroupBy over selection vectors),
+// and the fused late-materialization pipeline (FilterGroupBy: dictionary-
+// domain predicates on int32 codes, one pass per batch straight into the
+// aggregation table, strings only touched at group-key emission). All
+// answers must be byte-identical (FNV digest of SerializeRelation) across
+// engines, planner filter orders, morsel sizes, and thread counts; the
+// parallel sweeps run on the morsel-driven work-stealing scheduler.
+// Exits nonzero on any divergence, if the unfused batch engine misses its
+// 3x floor, or if the fused pipeline misses its 10x-vs-row floor.
+// Results merge into BENCH_scan.json under "vectorized_exec". Pass
+// --threads=N to add N to the thread sweep table.
 
 #include <cstdio>
 #include <memory>
@@ -47,10 +52,11 @@ std::string HexU64(uint64_t v) {
 
 int main(int argc, char** argv) {
   using namespace unilog;
+  int extra_threads = bench::ParseThreadsFlag(&argc, argv);
   int users = bench::ParseUsersFlag(&argc, argv, 400);
   std::printf(
-      "=== E23: vectorized batch execution vs row engine (filter+group) "
-      "===\n(one day, %d users)\n\n",
+      "=== E23/E24: row vs batch vs fused late-materialization "
+      "(filter+group) ===\n(one day, %d users)\n\n",
       users);
 
   workload::WorkloadOptions wopts = bench::DefaultWorkload(42, users);
@@ -111,6 +117,14 @@ int main(int argc, char** argv) {
                             batch_in->Filter(filter_order, executor));
     return filtered.GroupBy(keys, aggs, executor);
   };
+  auto fused_pass =
+      [&](const std::vector<dataflow::FilterExpr>& filter_order,
+          exec::Executor* executor, dataflow::KernelStats* kstats,
+          const exec::MorselOptions& morsels =
+              exec::MorselOptions{}) -> Result<dataflow::Relation> {
+    return batch_in->FilterGroupBy(filter_order, keys, aggs, executor,
+                                   kstats, morsels);
+  };
 
   constexpr int kReps = 5;
   double row_ms = 0;
@@ -143,18 +157,74 @@ int main(int argc, char** argv) {
     if (rep == 0 || ms < batch_ms) batch_ms = ms;
   }
 
-  // Planner-ordered filters and parallel execution must not move the
-  // answer by a single byte.
-  bool digests_identical = batch_digest == row_digest;
+  double fused_ms = 0;
+  uint64_t fused_digest = 0;
+  dataflow::KernelStats kernel_stats;
+  for (int rep = 0; rep < kReps; ++rep) {
+    dataflow::KernelStats ks;
+    bench::WallTimer timer;
+    auto out = fused_pass(exprs, nullptr, &ks);
+    double ms = timer.ElapsedMs();
+    if (!out.ok()) {
+      std::fprintf(stderr, "fused pass failed: %s\n",
+                   out.status().ToString().c_str());
+      return 1;
+    }
+    fused_digest = Fnv64(dataflow::SerializeRelation(*out));
+    if (rep == 0 || ms < fused_ms) fused_ms = ms;
+    kernel_stats = ks;
+  }
+
+  // Planner-ordered filters must not move any engine's answer by a byte.
+  bool digests_identical =
+      batch_digest == row_digest && fused_digest == row_digest;
   auto ordered = dataflow::OrderFilters(*stats, exprs);
   {
     auto out = batch_pass(ordered, nullptr);
     if (!out.ok() ||
         Fnv64(dataflow::SerializeRelation(*out)) != row_digest) {
       digests_identical = false;
+      std::fprintf(stderr, "ordered-filter batch divergence\n");
+    }
+    dataflow::KernelStats ks;
+    auto fout = fused_pass(ordered, nullptr, &ks);
+    if (!fout.ok() ||
+        Fnv64(dataflow::SerializeRelation(*fout)) != row_digest) {
+      digests_identical = false;
+      std::fprintf(stderr, "ordered-filter fused divergence\n");
     }
   }
-  for (int threads : {1, 2, 8}) {
+
+  // Morsel-size sweep: packing granularity (single-unit morsels through
+  // one-giant-morsel) must never change a byte of output.
+  for (uint64_t morsel_bytes : {uint64_t{1}, uint64_t{4096},
+                                uint64_t{256} << 10, uint64_t{1} << 30}) {
+    exec::ExecOptions eopts;
+    eopts.threads = 2;
+    exec::Executor executor(eopts);
+    exec::MorselOptions mopts;
+    mopts.morsel_bytes = morsel_bytes;
+    dataflow::KernelStats ks;
+    auto out = fused_pass(exprs, &executor, &ks, mopts);
+    if (!out.ok() ||
+        Fnv64(dataflow::SerializeRelation(*out)) != row_digest) {
+      digests_identical = false;
+      std::fprintf(stderr, "morsel divergence at morsel_bytes=%llu\n",
+                   static_cast<unsigned long long>(morsel_bytes));
+    }
+  }
+
+  // Thread sweep: unfused and fused parallel answers vs the row digest,
+  // with the morsel scheduler's steal traffic per thread count.
+  std::vector<int> thread_counts = {1, 2, 8};
+  if (extra_threads > 1 && extra_threads != 2 && extra_threads != 8) {
+    thread_counts.push_back(extra_threads);
+  }
+  std::printf("%8s %12s %14s %10s %8s  %s\n", "threads", "fused_ms",
+              "rows_per_sec", "vs_row", "steals", "digest");
+  uint64_t total_steals = 0;
+  exec::MorselStats morsel_totals;
+  for (int threads : thread_counts) {
     exec::ExecOptions eopts;
     eopts.threads = threads;
     exec::Executor executor(eopts);
@@ -165,29 +235,79 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "parallel batch divergence at %d threads\n",
                    threads);
     }
+    double t_ms = 0;
+    uint64_t t_digest = 0;
+    bool t_ok = true;
+    for (int rep = 0; rep < kReps; ++rep) {
+      dataflow::KernelStats ks;
+      bench::WallTimer timer;
+      auto fout = fused_pass(exprs, &executor, &ks);
+      double ms = timer.ElapsedMs();
+      if (!fout.ok()) {
+        t_ok = false;
+        break;
+      }
+      t_digest = Fnv64(dataflow::SerializeRelation(*fout));
+      if (rep == 0 || ms < t_ms) t_ms = ms;
+    }
+    if (!t_ok || t_digest != row_digest) {
+      digests_identical = false;
+      std::fprintf(stderr, "parallel fused divergence at %d threads\n",
+                   threads);
+      continue;
+    }
+    exec::MorselStats mstats = executor.morsel_totals();
+    total_steals += mstats.steals;
+    morsel_totals.MergeFrom(mstats);
+    std::printf("%8d %12.2f %14.0f %9.2fx %8llu  %s\n", threads, t_ms,
+                input_rows / (t_ms / 1000.0), row_ms / t_ms,
+                static_cast<unsigned long long>(mstats.steals),
+                HexU64(t_digest).c_str());
   }
 
   double rows_per_sec_row = input_rows / (row_ms / 1000.0);
   double rows_per_sec_batch = input_rows / (batch_ms / 1000.0);
+  double rows_per_sec_fused = input_rows / (fused_ms / 1000.0);
   double speedup = rows_per_sec_batch / rows_per_sec_row;
+  double fused_vs_row = rows_per_sec_fused / rows_per_sec_row;
+  double fused_vs_batch = rows_per_sec_fused / rows_per_sec_batch;
 
-  std::printf("%12s %12s %14s  %s\n", "engine", "best_ms", "rows_per_sec",
+  std::printf("\n%12s %12s %14s  %s\n", "engine", "best_ms", "rows_per_sec",
               "digest");
   std::printf("%12s %12.2f %14.0f  %s\n", "row", row_ms, rows_per_sec_row,
               HexU64(row_digest).c_str());
   std::printf("%12s %12.2f %14.0f  %s\n", "batch", batch_ms,
               rows_per_sec_batch, HexU64(batch_digest).c_str());
-  std::printf("\ninput_rows=%zu speedup=%.2fx digests=%s\n", input_rows,
-              speedup, digests_identical ? "identical" : "MISMATCH!");
+  std::printf("%12s %12.2f %14.0f  %s\n", "fused", fused_ms,
+              rows_per_sec_fused, HexU64(fused_digest).c_str());
+  std::printf(
+      "\ninput_rows=%zu batch=%.2fx fused=%.2fx (vs batch %.2fx) "
+      "dict_pruned=%llu digests=%s\n",
+      input_rows, speedup, fused_vs_row, fused_vs_batch,
+      static_cast<unsigned long long>(kernel_stats.dict_domain_rows_pruned),
+      digests_identical ? "identical" : "MISMATCH!");
 
   Json section = Json::Object();
   section.Set("users", Json::Int(static_cast<int64_t>(users)));
   section.Set("input_rows", Json::Int(static_cast<int64_t>(input_rows)));
   section.Set("rows_per_sec_row", Json::Number(rows_per_sec_row));
   section.Set("rows_per_sec_batch", Json::Number(rows_per_sec_batch));
+  section.Set("rows_per_sec_fused", Json::Number(rows_per_sec_fused));
   section.Set("batch_speedup", Json::Number(speedup));
+  section.Set("fused_speedup_vs_row", Json::Number(fused_vs_row));
+  section.Set("fused_speedup_vs_batch", Json::Number(fused_vs_batch));
+  section.Set("dict_domain_rows_pruned",
+              Json::Int(static_cast<int64_t>(
+                  kernel_stats.dict_domain_rows_pruned)));
+  section.Set("morsel_steals",
+              Json::Int(static_cast<int64_t>(total_steals)));
+  section.Set("morsel_count",
+              Json::Int(static_cast<int64_t>(morsel_totals.morsels)));
+  section.Set("morsel_max_bytes",
+              Json::Int(static_cast<int64_t>(morsel_totals.max_morsel_bytes)));
   section.Set("answer_digest_row", Json::Str(HexU64(row_digest)));
   section.Set("answer_digest_batch", Json::Str(HexU64(batch_digest)));
+  section.Set("answer_digest_fused", Json::Str(HexU64(fused_digest)));
   section.Set("digests_identical", Json::Bool(digests_identical));
   Status merged =
       bench::MergeBenchJsonSection("BENCH_scan.json", "vectorized_exec",
@@ -199,13 +319,19 @@ int main(int argc, char** argv) {
 
   if (!digests_identical) {
     std::fprintf(stderr,
-                 "FAIL: batch answers diverge from the row engine\n");
+                 "FAIL: engine answers diverge from the row engine\n");
     return 1;
   }
   if (speedup < 3.0) {
     std::fprintf(stderr,
                  "FAIL: batch speedup %.2fx under the 3x acceptance floor\n",
                  speedup);
+    return 1;
+  }
+  if (fused_vs_row < 10.0) {
+    std::fprintf(stderr,
+                 "FAIL: fused speedup %.2fx under the 10x acceptance floor\n",
+                 fused_vs_row);
     return 1;
   }
   return 0;

@@ -298,6 +298,7 @@ Status SelectGroupRows(Decoder* dec, int version, const CompiledSpec& compiled,
       auto it = spec.user_ids->lower_bound(hdr.min_uid);
       if (it == spec.user_ids->end() || *it > hdr.max_uid) skip = true;
     }
+    bool dict_skip = false;
     if (!skip && compiled.spec->has_name_predicate()) {
       name_flags.resize(hdr.name_dict.size());
       bool any = false;
@@ -305,12 +306,13 @@ Status SelectGroupRows(Decoder* dec, int version, const CompiledSpec& compiled,
         name_flags[i] = compiled.NameMatches(hdr.name_dict[i]) ? 1 : 0;
         any = any || name_flags[i] != 0;
       }
-      if (!any) skip = true;
+      if (!any) skip = dict_skip = true;
     }
     if (skip) {
       UNILOG_RETURN_NOT_OK(SkipBlobs(dec));
       ++stats->groups_skipped;
       stats->rows_pruned += hdr.row_count;
+      if (dict_skip) stats->dict_domain_rows_pruned += hdr.row_count;
       g->skipped = true;
       return Status::OK();
     }
@@ -339,7 +341,10 @@ Status SelectGroupRows(Decoder* dec, int version, const CompiledSpec& compiled,
     if (version >= 2) {
       UNILOG_RETURN_NOT_OK(DecodeNameIds(blob, hdr, &g->name_ids));
       for (uint64_t r = 0; r < hdr.row_count; ++r) {
-        if (name_flags[g->name_ids[r]] == 0) sel[r] = 0;
+        if (name_flags[g->name_ids[r]] == 0) {
+          sel[r] = 0;
+          ++stats->dict_domain_rows_pruned;
+        }
       }
     } else {
       Decoder col(blob);
@@ -629,6 +634,7 @@ void ScanStats::MergeFrom(const ScanStats& other) {
   rows_scanned += other.rows_scanned;
   rows_pruned += other.rows_pruned;
   rows_returned += other.rows_returned;
+  dict_domain_rows_pruned += other.dict_domain_rows_pruned;
 }
 
 void ReportScanStats(const ScanStats& stats, obs::MetricsRegistry* metrics,
@@ -645,6 +651,8 @@ void ReportScanStats(const ScanStats& stats, obs::MetricsRegistry* metrics,
       ->Increment(stats.rows_pruned);
   metrics->GetCounter("columnar.rows_returned", labels)
       ->Increment(stats.rows_returned);
+  metrics->GetCounter("columnar.dict_domain_rows_pruned", labels)
+      ->Increment(stats.dict_domain_rows_pruned);
 }
 
 RowMatcher::RowMatcher(const ScanSpec& spec) : spec_(&spec) {
@@ -862,6 +870,7 @@ Result<std::vector<RcFileReader::RowGroupHandle>> RcFileReader::IndexGroups()
     UNILOG_RETURN_NOT_OK(ReadGroupHeader(&dec, version_, &hdr));
     handle.row_count = hdr.row_count;
     UNILOG_RETURN_NOT_OK(SkipBlobs(&dec));
+    handle.byte_length = dec.position() - handle.offset;
     groups.push_back(handle);
   }
   return groups;
@@ -918,6 +927,10 @@ RcFileReader::CollectGroupStats() const {
       st.max_user_id = hdr.max_uid;
       st.event_names.reserve(hdr.name_dict.size());
       for (std::string_view sv : hdr.name_dict) st.event_names.emplace_back(sv);
+      st.initiators.reserve(hdr.init_dict.size());
+      for (events::EventInitiator init : hdr.init_dict) {
+        st.initiators.emplace_back(events::EventInitiatorName(init));
+      }
     }
     for (int c = 0; c < kEventColumns; ++c) {
       std::string_view blob;

@@ -115,6 +115,11 @@ struct ScanStats {
   /// failures on encoded values).
   uint64_t rows_pruned = 0;
   uint64_t rows_returned = 0;
+  /// Rows cut by a dictionary-domain verdict: the name predicate was
+  /// evaluated once per dictionary entry and the row only compared its
+  /// encoded id (or the whole group was dictionary-skipped) — the row's
+  /// string was never touched. A subset of rows_pruned.
+  uint64_t dict_domain_rows_pruned = 0;
 
   void MergeFrom(const ScanStats& other);
 };
@@ -202,10 +207,13 @@ class RcFileReader {
   /// Visits only the event-name column (the histogram/counting fast path).
   Status ForEachEventName(const std::function<void(std::string_view)>& fn);
 
-  /// A row group's position, for group-parallel scans.
+  /// A row group's position, for group-parallel scans. `byte_length` (the
+  /// group's full extent: header plus compressed blobs) is the byte
+  /// weight morsel-driven scan scheduling packs by.
   struct RowGroupHandle {
     size_t offset = 0;
     uint64_t row_count = 0;
+    uint64_t byte_length = 0;
   };
 
   /// Walks the file once (headers only, nothing decompressed) and returns
@@ -259,6 +267,8 @@ class RcFileReader {
     int64_t min_timestamp = 0, max_timestamp = 0;
     int64_t min_user_id = 0, max_user_id = 0;
     std::vector<std::string> event_names;  // dictionary entries, v2 only
+    /// Initiator display names (EventInitiatorName), v2 only.
+    std::vector<std::string> initiators;
   };
 
   /// Walks the file headers once and returns per-group stats in file

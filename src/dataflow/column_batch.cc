@@ -22,6 +22,17 @@ size_t ColumnData::size() const {
   return 0;
 }
 
+uint64_t ColumnData::byte_size() const {
+  uint64_t bytes = i64.size() * sizeof(int64_t) + f64.size() * sizeof(double) +
+                   b1.size() + codes.size() * sizeof(uint32_t) +
+                   vals.size() * sizeof(Value);
+  for (const std::string& s : str) bytes += sizeof(std::string) + s.size();
+  if (dict != nullptr) {
+    for (const std::string& s : *dict) bytes += sizeof(std::string) + s.size();
+  }
+  return bytes;
+}
+
 Value ColumnData::ValueAt(size_t row) const {
   switch (kind) {
     case ColumnKind::kInt64:
@@ -38,6 +49,14 @@ Value ColumnData::ValueAt(size_t row) const {
       return vals[row];
   }
   return Value();
+}
+
+uint64_t ColumnBatch::byte_size() const {
+  uint64_t bytes = sel_.size() * sizeof(uint32_t);
+  for (const ColumnPtr& col : cols_) {
+    if (col != nullptr) bytes += col->byte_size();
+  }
+  return bytes;
 }
 
 ColumnBatch ColumnBatch::Compact() const {

@@ -41,6 +41,10 @@ struct ColumnData {
   std::vector<Value> vals;
 
   size_t size() const;
+  /// Approximate heap footprint of the populated payload, the byte weight
+  /// morsel-driven scheduling packs by. Shared dictionaries are charged to
+  /// every column referencing them.
+  uint64_t byte_size() const;
   /// Row `row` as a boxed Value (the facade back into the row engine).
   Value ValueAt(size_t row) const;
 };
@@ -84,6 +88,10 @@ class ColumnBatch {
   /// Appends a column; the batch must be dense (no selection), since a
   /// freshly built column has one entry per physical row.
   void AppendColumn(ColumnPtr col) { cols_.push_back(std::move(col)); }
+
+  /// Approximate heap footprint: selection vector plus every column's
+  /// byte_size().
+  uint64_t byte_size() const;
 
   /// Dense copy applying the selection. Dictionary columns keep their
   /// dictionary (codes are gathered, entries are not re-materialized).

@@ -169,11 +169,13 @@ bool NameMatchesSpec(const columnar::ScanSpec& spec,
 
 /// RowMatcher::Matches over typed group columns: selects the rows of
 /// [0, rows) the member spec admits. Dictionary name columns evaluate
-/// the name predicate once per dictionary entry.
+/// the name predicate once per dictionary entry; rows that predicate
+/// rejects are counted into `dict_pruned` (their strings were never
+/// touched).
 std::vector<uint32_t> ResidualSelect(
     const columnar::ScanSpec& spec,
     const std::vector<events::EventPattern>& patterns,
-    GroupColumnSource* source) {
+    GroupColumnSource* source, uint64_t* dict_pruned) {
   const size_t rows = source->rows();
   std::vector<uint8_t> keep(rows, 1);
   if (spec.min_timestamp.has_value() || spec.max_timestamp.has_value()) {
@@ -195,7 +197,10 @@ std::vector<uint32_t> ResidualSelect(
         verdict[d] = NameMatchesSpec(spec, patterns, (*names.dict)[d]) ? 1 : 0;
       }
       for (size_t r = 0; r < rows; ++r) {
-        if (verdict[names.codes[r]] == 0) keep[r] = 0;
+        if (verdict[names.codes[r]] == 0) {
+          keep[r] = 0;
+          ++*dict_pruned;
+        }
       }
     } else {
       for (size_t r = 0; r < rows; ++r) {
@@ -215,6 +220,67 @@ std::vector<uint32_t> ResidualSelect(
     if (keep[r]) sel.push_back(static_cast<uint32_t>(r));
   }
   return sel;
+}
+
+/// Byte weights for morsel-driven scan scheduling: a columnar unit weighs
+/// its row group's full extent (header + compressed blobs), a legacy unit
+/// its whole file body. Templated so the private ScanUnit type never
+/// needs naming here.
+template <typename UnitVec>
+std::vector<uint64_t> UnitWeights(const UnitVec& units) {
+  std::vector<uint64_t> weights(units.size());
+  for (size_t i = 0; i < units.size(); ++i) {
+    weights[i] = units[i].is_columnar
+                     ? units[i].group.byte_length
+                     : static_cast<uint64_t>(units[i].file->body.size());
+  }
+  return weights;
+}
+
+std::string HexU64(uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[i] = kDigits[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+/// Header-only TableStats of one file body (the unit the stats cache
+/// memoizes): v2 rowgroup zone maps and dictionaries via
+/// CollectGroupStats, legacy bodies contribute bytes only.
+Result<TableStats> FileTableStats(const std::string& body) {
+  TableStats total;
+  if (columnar::IsRcFile(body)) {
+    columnar::RcFileReader reader(body);
+    UNILOG_ASSIGN_OR_RETURN(auto groups, reader.CollectGroupStats());
+    for (const auto& gs : groups) {
+      TableStats t;
+      t.total_rows = gs.row_count;
+      t.row_groups = 1;
+      t.data_bytes = gs.blob_bytes;
+      if (gs.has_zone_map) {
+        t.min_timestamp = gs.min_timestamp;
+        t.max_timestamp = gs.max_timestamp;
+        t.min_user_id = gs.min_user_id;
+        t.max_user_id = gs.max_user_id;
+        for (const auto& name : gs.event_names) {
+          t.name_rows[name] = gs.row_count;
+        }
+        for (const auto& name : gs.initiators) {
+          t.initiator_rows[name] = gs.row_count;
+        }
+        t.from_v2 = true;
+      }
+      total.Merge(t);
+    }
+  } else {
+    TableStats t;
+    t.data_bytes = body.size();
+    total.Merge(t);
+  }
+  return total;
 }
 
 }  // namespace
@@ -244,7 +310,7 @@ Result<std::shared_ptr<ColumnarEventScan>> ColumnarEventScan::Open(
   for (const auto& entry : listing) {
     if (IsHiddenWarehousePath(dir, entry.path)) continue;
     UNILOG_ASSIGN_OR_RETURN(std::string body, fs->ReadFile(entry.path));
-    files->push_back({entry.path, std::move(body)});
+    files->push_back({entry.path, std::move(body), entry.size, entry.mtime});
   }
 
   auto scan = std::shared_ptr<ColumnarEventScan>(new ColumnarEventScan());
@@ -460,8 +526,14 @@ Result<Relation> ColumnarEventScan::Materialize(exec::Executor* exec) {
   };
 
   if (exec != nullptr) {
-    UNILOG_RETURN_NOT_OK(
-        exec->ParallelForStatus("columnar_scan", units.size(), run_unit));
+    UNILOG_RETURN_NOT_OK(exec->ParallelForMorsels(
+        "columnar_scan", UnitWeights(units), morsel_options_,
+        [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            UNILOG_RETURN_NOT_OK(run_unit(i));
+          }
+          return Status::OK();
+        }));
   } else {
     for (size_t i = 0; i < units.size(); ++i) {
       UNILOG_RETURN_NOT_OK(run_unit(i));
@@ -536,8 +608,14 @@ Result<std::vector<Relation>> ColumnarEventScan::MaterializeShared(
   };
 
   if (exec != nullptr) {
-    UNILOG_RETURN_NOT_OK(
-        exec->ParallelForStatus("shared_scan", units.size(), run_unit));
+    UNILOG_RETURN_NOT_OK(exec->ParallelForMorsels(
+        "shared_scan", UnitWeights(units), members[0]->morsel_options_,
+        [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t u = begin; u < end; ++u) {
+            UNILOG_RETURN_NOT_OK(run_unit(u));
+          }
+          return Status::OK();
+        }));
   } else {
     for (size_t u = 0; u < units.size(); ++u) {
       UNILOG_RETURN_NOT_OK(run_unit(u));
@@ -597,8 +675,14 @@ Result<BatchRelation> ColumnarEventScan::MaterializeBatches(
   };
 
   if (exec != nullptr) {
-    UNILOG_RETURN_NOT_OK(
-        exec->ParallelForStatus("columnar_scan_batch", units.size(), run_unit));
+    UNILOG_RETURN_NOT_OK(exec->ParallelForMorsels(
+        "columnar_scan_batch", UnitWeights(units), morsel_options_,
+        [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t i = begin; i < end; ++i) {
+            UNILOG_RETURN_NOT_OK(run_unit(i));
+          }
+          return Status::OK();
+        }));
   } else {
     for (size_t i = 0; i < units.size(); ++i) {
       UNILOG_RETURN_NOT_OK(run_unit(i));
@@ -674,7 +758,8 @@ Result<std::vector<BatchRelation>> ColumnarEventScan::MaterializeSharedBatches(
         ColumnBatch b = source.BatchFor(members[m]->visible_);
         if (members[m]->spec_.has_predicates()) {
           b.SetSelection(ResidualSelect(members[m]->spec_, member_patterns[m],
-                                        &source));
+                                        &source,
+                                        &stat_slots[u].dict_domain_rows_pruned));
         }
         batch_slots[m][u] = std::move(b);
       }
@@ -696,8 +781,14 @@ Result<std::vector<BatchRelation>> ColumnarEventScan::MaterializeSharedBatches(
   };
 
   if (exec != nullptr) {
-    UNILOG_RETURN_NOT_OK(
-        exec->ParallelForStatus("shared_scan_batch", units.size(), run_unit));
+    UNILOG_RETURN_NOT_OK(exec->ParallelForMorsels(
+        "shared_scan_batch", UnitWeights(units), members[0]->morsel_options_,
+        [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t u = begin; u < end; ++u) {
+            UNILOG_RETURN_NOT_OK(run_unit(u));
+          }
+          return Status::OK();
+        }));
   } else {
     for (size_t u = 0; u < units.size(); ++u) {
       UNILOG_RETURN_NOT_OK(run_unit(u));
@@ -728,34 +819,45 @@ Result<std::vector<BatchRelation>> ColumnarEventScan::MaterializeSharedBatches(
   return out;
 }
 
-Result<TableStats> ColumnarEventScan::Stats() const {
+Result<TableStats> ColumnarEventScan::Stats() const { return Stats(nullptr); }
+
+Result<TableStats> ColumnarEventScan::Stats(TableStatsCache* cache) const {
   TableStats total;
   for (const auto& file : *files_) {
-    if (columnar::IsRcFile(file.body)) {
-      columnar::RcFileReader reader(file.body);
-      UNILOG_ASSIGN_OR_RETURN(auto groups, reader.CollectGroupStats());
-      for (const auto& gs : groups) {
-        TableStats t;
-        t.total_rows = gs.row_count;
-        t.row_groups = 1;
-        t.data_bytes = gs.blob_bytes;
-        if (gs.has_zone_map) {
-          t.min_timestamp = gs.min_timestamp;
-          t.max_timestamp = gs.max_timestamp;
-          t.min_user_id = gs.min_user_id;
-          t.max_user_id = gs.max_user_id;
-          for (const auto& name : gs.event_names) {
-            t.name_rows[name] = gs.row_count;
-          }
-          t.from_v2 = true;
-        }
-        total.Merge(t);
+    if (cache != nullptr) {
+      const std::string stat_key = file.path + "|" + std::to_string(file.size) +
+                                   "|" + std::to_string(file.mtime);
+      if (auto hit = cache->FindByStat(stat_key)) {
+        total.Merge(*hit);
+        continue;
       }
-    } else {
-      TableStats t;
-      t.data_bytes = file.body.size();
+      // Content key: the header-only v2 fingerprint, or size+mtime for
+      // files without embedded checksums (mirrors the Oink manifest).
+      std::string content_key;
+      if (columnar::IsRcFile(file.body)) {
+        columnar::RcFileReader reader(file.body);
+        Result<uint64_t> fp = reader.ContentFingerprint();
+        if (fp.ok()) {
+          content_key = "rcfp:" + HexU64(*fp);
+        } else if (!fp.status().IsFailedPrecondition()) {
+          return fp.status();
+        }
+      }
+      if (content_key.empty()) {
+        content_key = "szmt:" + std::to_string(file.size) + ":" +
+                      std::to_string(file.mtime);
+      }
+      if (auto hit = cache->FindByContent(stat_key, content_key)) {
+        total.Merge(*hit);
+        continue;
+      }
+      UNILOG_ASSIGN_OR_RETURN(TableStats t, FileTableStats(file.body));
+      cache->Put(stat_key, content_key, t);
       total.Merge(t);
+      continue;
     }
+    UNILOG_ASSIGN_OR_RETURN(TableStats t, FileTableStats(file.body));
+    total.Merge(t);
   }
   return total;
 }

@@ -96,7 +96,45 @@ void TableStats::Merge(const TableStats& other) {
   merge_bound(&min_user_id, other.min_user_id, true);
   merge_bound(&max_user_id, other.max_user_id, false);
   for (const auto& [name, rows] : other.name_rows) name_rows[name] += rows;
+  for (const auto& [name, rows] : other.initiator_rows) {
+    initiator_rows[name] += rows;
+  }
   from_v2 = (was_empty || from_v2) && other.from_v2;
+}
+
+std::shared_ptr<const TableStats> TableStatsCache::FindByStat(
+    const std::string& stat_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_stat_.find(stat_key);
+  if (it == by_stat_.end()) return nullptr;
+  ++stats_.stat_hits;
+  return it->second;
+}
+
+std::shared_ptr<const TableStats> TableStatsCache::FindByContent(
+    const std::string& stat_key, const std::string& content_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_content_.find(content_key);
+  if (it == by_content_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.content_hits;
+  by_stat_[stat_key] = it->second;  // alias: next lookup is stat-only
+  return it->second;
+}
+
+void TableStatsCache::Put(const std::string& stat_key,
+                          const std::string& content_key, TableStats stats) {
+  auto value = std::make_shared<const TableStats>(std::move(stats));
+  std::lock_guard<std::mutex> lock(mu_);
+  by_stat_[stat_key] = value;
+  by_content_[content_key] = value;
+}
+
+TableStatsCache::CacheStats TableStatsCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
 }
 
 std::string CanonicalFilterClause(const FilterExpr& e) {
@@ -134,6 +172,28 @@ double EstimateClauseSelectivity(const TableStats& stats,
       events::EventPattern pattern(e.literal.str_value());
       uint64_t rows = 0;
       for (const auto& [name, n] : stats.name_rows) {
+        if (pattern.Matches(name)) rows += n;
+      }
+      return Clamp01(static_cast<double>(rows) / total);
+    }
+  }
+  // Initiator predicates estimate from the v2 initiator dictionaries,
+  // exactly as event_name does from the name dictionaries.
+  if (e.column == "initiator" && e.literal.is_str() &&
+      !stats.initiator_rows.empty()) {
+    const double total = static_cast<double>(stats.total_rows);
+    if (e.op == "==" || e.op == "!=") {
+      auto it = stats.initiator_rows.find(e.literal.str_value());
+      const double hit =
+          it == stats.initiator_rows.end()
+              ? 0.0
+              : Clamp01(static_cast<double>(it->second) / total);
+      return e.op == "==" ? hit : 1.0 - hit;
+    }
+    if (e.op == "matches") {
+      events::EventPattern pattern(e.literal.str_value());
+      uint64_t rows = 0;
+      for (const auto& [name, n] : stats.initiator_rows) {
         if (pattern.Matches(name)) rows += n;
       }
       return Clamp01(static_cast<double>(rows) / total);

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -27,10 +29,55 @@ struct TableStats {
   /// Upper bound on rows per event name: the sum of row counts of the
   /// groups whose dictionary contains the name. Absent name => 0 rows.
   std::map<std::string, uint64_t> name_rows;
+  /// Same bound per initiator display name (EventInitiatorName), from the
+  /// v2 initiator dictionaries — the code-domain statistic initiator
+  /// predicates are estimated with. Absent initiator => 0 rows.
+  std::map<std::string, uint64_t> initiator_rows;
   /// True when every contributing group carried v2 zone maps.
   bool from_v2 = false;
 
   void Merge(const TableStats& other);
+};
+
+/// Memoizes per-file TableStats so repeated planning over a warm
+/// warehouse never re-reads RCFile headers. Two-level keying:
+///
+///   1. stat key (path|size|mtime) — resolved without touching a single
+///      file byte; hits when the file is literally unchanged in place.
+///   2. content key ("rcfp:<fingerprint>" from the header-only
+///      RcFileReader::ContentFingerprint, or "szmt:<size>:<mtime>" for
+///      non-v2 files) — hits when a file was renamed or rewritten with
+///      identical content; the new stat key is recorded as an alias so
+///      the next lookup resolves at level 1.
+///
+/// Values are shared_ptr<const TableStats> for pointer stability; entries
+/// are never evicted (a warehouse's part count is bounded). Thread-safe.
+class TableStatsCache {
+ public:
+  struct CacheStats {
+    uint64_t stat_hits = 0;
+    uint64_t content_hits = 0;
+    uint64_t misses = 0;
+  };
+
+  /// Level-1 lookup by stat key; null on miss.
+  std::shared_ptr<const TableStats> FindByStat(const std::string& stat_key);
+  /// Level-2 lookup by content key; records `stat_key` as an alias on a
+  /// hit so the file resolves at level 1 next time. Null on miss (which
+  /// is also counted — call only after FindByStat missed).
+  std::shared_ptr<const TableStats> FindByContent(const std::string& stat_key,
+                                                  const std::string& content_key);
+  /// Inserts the stats under both keys.
+  void Put(const std::string& stat_key, const std::string& content_key,
+           TableStats stats);
+
+  CacheStats stats() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const TableStats>> by_stat_;
+  std::map<std::string, std::shared_ptr<const TableStats>> by_content_;
+  CacheStats stats_;
 };
 
 /// Canonical `column op literal-token` text of one clause — exactly the

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cstring>
+#include <deque>
+#include <forward_list>
 #include <optional>
-#include <set>
+#include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "events/event_name.h"
 
@@ -84,153 +87,490 @@ struct CompiledExpr {
   std::optional<events::EventPattern> pattern;
 };
 
-/// Narrows `sel` (selected raw-row indices of `batch`) in place by one
-/// conjunct, using the typed fast path the column kind allows.
-Status FilterOneExpr(const ColumnBatch& batch, const CompiledExpr& e,
-                     std::vector<uint32_t>* sel) {
-  const ColumnData& col = *batch.col(e.col);
-  const events::EventPattern* pattern =
-      e.pattern.has_value() ? &*e.pattern : nullptr;
-  std::vector<uint32_t> kept;
-  kept.reserve(sel->size());
+/// One step of a compiled per-batch filter program: a typed raw-pointer
+/// comparison a single pass over the rows can dispatch on. A kDictVerdict
+/// step holds the matching code set of a dictionary column — every
+/// conjunct on that column folded into one per-entry verdict table — so
+/// the per-row cost is one uint8 lookup on the int32 code.
+struct FilterStep {
+  enum class Kind {
+    kDictVerdict,
+    kInt64,
+    kDouble,
+    kBool,
+    kString,
+    kStringMatch,
+    kValue,
+  };
+  Kind kind = Kind::kValue;
+  RelOp op = RelOp::kEq;
+  const ColumnData* col = nullptr;
+  const uint8_t* verdict = nullptr;  // kDictVerdict
+  int64_t i64_lit = 0;
+  double f64_lit = 0;
+  bool b1_lit = false;
+  const std::string* str_lit = nullptr;          // kString
+  const events::EventPattern* pattern = nullptr;  // kStringMatch, kValue
+  const Value* literal = nullptr;                 // kValue
+};
 
-  switch (col.kind) {
-    case ColumnKind::kInt64: {
-      if (!e.literal.is_int() || e.op == RelOp::kMatches) {
-        if (EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
-                          pattern)) {
-          return Status::OK();  // constant true: keep everything
+/// A batch's conjunction compiled to steps. Conjuncts whose verdict is
+/// constant for the column's type (the Value total order compares
+/// mismatched types by type index alone) are folded away: constant-true
+/// conjuncts vanish, constant-false ones set `const_false`. Dictionary
+/// steps are moved to the front — conjunction commutes, so the surviving
+/// row set is unchanged and the cheapest test runs first.
+struct BatchFilterProgram {
+  std::vector<FilterStep> steps;
+  bool const_false = false;
+  // Verdict tables, one per dictionary column with predicates. A deque
+  // keeps `steps[i].verdict` pointers stable as tables are appended.
+  std::deque<std::vector<uint8_t>> verdicts;
+};
+
+BatchFilterProgram CompileBatchProgram(const ColumnBatch& batch,
+                                       const std::vector<CompiledExpr>& exprs) {
+  BatchFilterProgram prog;
+  // Dictionary column -> its (single) verdict table.
+  std::unordered_map<const ColumnData*, std::vector<uint8_t>*> dict_tables;
+  for (const CompiledExpr& e : exprs) {
+    const ColumnData& col = *batch.col(e.col);
+    const events::EventPattern* pattern =
+        e.pattern.has_value() ? &*e.pattern : nullptr;
+    FilterStep step;
+    step.op = e.op;
+    step.col = &col;
+    switch (col.kind) {
+      case ColumnKind::kDict: {
+        const std::vector<std::string>& dict = *col.dict;
+        auto it = dict_tables.find(&col);
+        if (it == dict_tables.end()) {
+          prog.verdicts.emplace_back(dict.size(), uint8_t{1});
+          std::vector<uint8_t>* table = &prog.verdicts.back();
+          dict_tables.emplace(&col, table);
+          step.kind = FilterStep::Kind::kDictVerdict;
+          step.verdict = table->data();
+          prog.steps.push_back(step);
+          it = dict_tables.find(&col);
         }
-        sel->clear();
-        return Status::OK();
-      }
-      const int64_t lit = e.literal.int_value();
-      for (uint32_t r : *sel) {
-        if (ApplyOp<int64_t>(e.op, col.i64[r], lit)) kept.push_back(r);
-      }
-      break;
-    }
-    case ColumnKind::kDouble: {
-      if (!e.literal.is_real() || e.op == RelOp::kMatches) {
-        if (EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
-                          pattern)) {
-          return Status::OK();
+        // AND this conjunct into the column's matching code set. Entries
+        // are evaluated directly as strings — equivalent to boxing each
+        // into a Value (the Value order on two strings is the string
+        // order; a mismatched-type literal compares by type index alone,
+        // so its verdict is constant across the dictionary).
+        std::vector<uint8_t>& table = *it->second;
+        if (e.op == RelOp::kMatches) {
+          if (!e.literal.is_str() || pattern == nullptr) {
+            std::fill(table.begin(), table.end(), uint8_t{0});
+          } else {
+            for (size_t d = 0; d < dict.size(); ++d) {
+              if (table[d] != 0 && !pattern->Matches(dict[d])) table[d] = 0;
+            }
+          }
+        } else if (e.literal.is_str()) {
+          const std::string& lit = e.literal.str_value();
+          for (size_t d = 0; d < dict.size(); ++d) {
+            if (table[d] != 0 && !ApplyOp<std::string>(e.op, dict[d], lit)) {
+              table[d] = 0;
+            }
+          }
+        } else if (!EvalOpOnValue(e.op, RepresentativeValue(col.kind),
+                                  e.literal, pattern)) {
+          std::fill(table.begin(), table.end(), uint8_t{0});
         }
-        sel->clear();
-        return Status::OK();
+        continue;
       }
-      const double lit = e.literal.real_value();
-      for (uint32_t r : *sel) {
-        if (ApplyOp<double>(e.op, col.f64[r], lit)) kept.push_back(r);
-      }
-      break;
-    }
-    case ColumnKind::kBool: {
-      if (!e.literal.is_bool() || e.op == RelOp::kMatches) {
-        if (EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
-                          pattern)) {
-          return Status::OK();
+      case ColumnKind::kInt64:
+        if (!e.literal.is_int() || e.op == RelOp::kMatches) {
+          if (!EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
+                             pattern)) {
+            prog.const_false = true;
+          }
+          continue;  // constant verdict: no per-row step
         }
-        sel->clear();
-        return Status::OK();
-      }
-      const bool lit = e.literal.bool_value();
-      for (uint32_t r : *sel) {
-        if (ApplyOp<bool>(e.op, col.b1[r] != 0, lit)) kept.push_back(r);
-      }
-      break;
-    }
-    case ColumnKind::kDict: {
-      // Evaluate the predicate once per dictionary entry, then map codes.
-      const std::vector<std::string>& dict = *col.dict;
-      std::vector<uint8_t> verdict(dict.size());
-      for (size_t d = 0; d < dict.size(); ++d) {
-        verdict[d] =
-            EvalOpOnValue(e.op, Value::Str(dict[d]), e.literal, pattern) ? 1
-                                                                         : 0;
-      }
-      for (uint32_t r : *sel) {
-        if (verdict[col.codes[r]]) kept.push_back(r);
-      }
-      break;
-    }
-    case ColumnKind::kString: {
-      if (e.op == RelOp::kMatches) {
-        if (!e.literal.is_str() || pattern == nullptr) {
-          sel->clear();
-          return Status::OK();
+        step.kind = FilterStep::Kind::kInt64;
+        step.i64_lit = e.literal.int_value();
+        break;
+      case ColumnKind::kDouble:
+        if (!e.literal.is_real() || e.op == RelOp::kMatches) {
+          if (!EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
+                             pattern)) {
+            prog.const_false = true;
+          }
+          continue;
         }
-        for (uint32_t r : *sel) {
-          if (pattern->Matches(col.str[r])) kept.push_back(r);
+        step.kind = FilterStep::Kind::kDouble;
+        step.f64_lit = e.literal.real_value();
+        break;
+      case ColumnKind::kBool:
+        if (!e.literal.is_bool() || e.op == RelOp::kMatches) {
+          if (!EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
+                             pattern)) {
+            prog.const_false = true;
+          }
+          continue;
+        }
+        step.kind = FilterStep::Kind::kBool;
+        step.b1_lit = e.literal.bool_value();
+        break;
+      case ColumnKind::kString:
+        if (e.op == RelOp::kMatches) {
+          if (!e.literal.is_str() || pattern == nullptr) {
+            prog.const_false = true;
+            continue;
+          }
+          step.kind = FilterStep::Kind::kStringMatch;
+          step.pattern = pattern;
+          break;
+        }
+        if (!e.literal.is_str()) {
+          if (!EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
+                             pattern)) {
+            prog.const_false = true;
+          }
+          continue;
+        }
+        step.kind = FilterStep::Kind::kString;
+        step.str_lit = &e.literal.str_value();
+        break;
+      case ColumnKind::kValue:
+        step.kind = FilterStep::Kind::kValue;
+        step.literal = &e.literal;
+        step.pattern = pattern;
+        break;
+    }
+    prog.steps.push_back(step);
+  }
+  // Dictionary-domain steps first: one byte lookup per row, and a failed
+  // row never touches a string.
+  std::stable_partition(prog.steps.begin(), prog.steps.end(),
+                        [](const FilterStep& s) {
+                          return s.kind == FilterStep::Kind::kDictVerdict;
+                        });
+  return prog;
+}
+
+/// Evaluates the program against raw row `r`. Rows rejected at a
+/// dictionary-domain step are counted into `dict_pruned`.
+inline bool ProgramPasses(const BatchFilterProgram& prog, uint32_t r,
+                          uint64_t* dict_pruned) {
+  for (const FilterStep& s : prog.steps) {
+    switch (s.kind) {
+      case FilterStep::Kind::kDictVerdict:
+        if (s.verdict[s.col->codes[r]] == 0) {
+          ++*dict_pruned;
+          return false;
         }
         break;
-      }
-      if (!e.literal.is_str()) {
-        if (EvalOpOnValue(e.op, RepresentativeValue(col.kind), e.literal,
-                          pattern)) {
-          return Status::OK();
+      case FilterStep::Kind::kInt64:
+        if (!ApplyOp<int64_t>(s.op, s.col->i64[r], s.i64_lit)) return false;
+        break;
+      case FilterStep::Kind::kDouble:
+        if (!ApplyOp<double>(s.op, s.col->f64[r], s.f64_lit)) return false;
+        break;
+      case FilterStep::Kind::kBool:
+        if (!ApplyOp<bool>(s.op, s.col->b1[r] != 0, s.b1_lit)) return false;
+        break;
+      case FilterStep::Kind::kString:
+        if (!ApplyOp<std::string>(s.op, s.col->str[r], *s.str_lit)) {
+          return false;
         }
-        sel->clear();
-        return Status::OK();
-      }
-      const std::string& lit = e.literal.str_value();
-      for (uint32_t r : *sel) {
-        if (ApplyOp<std::string>(e.op, col.str[r], lit)) kept.push_back(r);
-      }
-      break;
-    }
-    case ColumnKind::kValue: {
-      for (uint32_t r : *sel) {
-        if (EvalOpOnValue(e.op, col.vals[r], e.literal, pattern)) {
-          kept.push_back(r);
+        break;
+      case FilterStep::Kind::kStringMatch:
+        if (!s.pattern->Matches(s.col->str[r])) return false;
+        break;
+      case FilterStep::Kind::kValue:
+        if (!EvalOpOnValue(s.op, s.col->vals[r], *s.literal, s.pattern)) {
+          return false;
         }
-      }
-      break;
+        break;
     }
   }
-  *sel = std::move(kept);
-  return Status::OK();
+  return true;
+}
+
+/// Compacts `sel[0..n)` in place, keeping rows where `pred` holds;
+/// returns the kept count. The write is unconditional, so the loop body
+/// carries no hard-to-predict branch.
+template <typename Pred>
+size_t CompactIf(uint32_t* sel, size_t n, Pred pred) {
+  size_t kept = 0;
+  for (size_t k = 0; k < n; ++k) {
+    const uint32_t r = sel[k];
+    sel[kept] = r;
+    kept += pred(r) ? size_t{1} : size_t{0};
+  }
+  return kept;
+}
+
+/// Typed comparison compaction with the operator dispatched once, outside
+/// the row loop. Comparison forms mirror ApplyOp exactly (kLe is
+/// !(lit < v), etc.), so NaN verdicts match the row-at-a-time path.
+template <typename T>
+size_t CompactCmp(uint32_t* sel, size_t n, RelOp op, const T* col, T lit) {
+  switch (op) {
+    case RelOp::kEq:
+      return CompactIf(sel, n, [=](uint32_t r) { return col[r] == lit; });
+    case RelOp::kNe:
+      return CompactIf(sel, n, [=](uint32_t r) { return !(col[r] == lit); });
+    case RelOp::kLt:
+      return CompactIf(sel, n, [=](uint32_t r) { return col[r] < lit; });
+    case RelOp::kLe:
+      return CompactIf(sel, n, [=](uint32_t r) { return !(lit < col[r]); });
+    case RelOp::kGt:
+      return CompactIf(sel, n, [=](uint32_t r) { return lit < col[r]; });
+    case RelOp::kGe:
+      return CompactIf(sel, n, [=](uint32_t r) { return !(col[r] < lit); });
+    case RelOp::kMatches:
+      return 0;
+  }
+  return 0;
+}
+
+/// Runs the compiled program over `b`'s selected rows by compacting a
+/// selection buffer one step at a time — the kind/op dispatch runs per
+/// (batch, step) instead of per row. The surviving raw-row indices land
+/// in `sel` (in row order); rows cut at dictionary-domain steps are
+/// counted into `dict_pruned`. Verdict-equivalent to ProgramPasses row
+/// by row: a row pruned at step i never reaches step i+1 either way.
+void RunProgramColumnar(const BatchFilterProgram& prog, const ColumnBatch& b,
+                        std::vector<uint32_t>* sel, uint64_t* dict_pruned) {
+  const size_t n = b.selected_rows();
+  sel->resize(n);
+  uint32_t* s = sel->data();
+  if (b.has_selection()) {
+    const std::vector<uint32_t>& bs = b.selection();
+    std::copy(bs.begin(), bs.end(), s);
+  } else {
+    for (size_t k = 0; k < n; ++k) s[k] = static_cast<uint32_t>(k);
+  }
+  size_t live = n;
+  for (const FilterStep& st : prog.steps) {
+    if (live == 0) break;
+    switch (st.kind) {
+      case FilterStep::Kind::kDictVerdict: {
+        const uint8_t* verdict = st.verdict;
+        const uint32_t* codes = st.col->codes.data();
+        const size_t kept = CompactIf(
+            s, live, [=](uint32_t r) { return verdict[codes[r]] != 0; });
+        *dict_pruned += live - kept;
+        live = kept;
+        break;
+      }
+      case FilterStep::Kind::kInt64:
+        live = CompactCmp<int64_t>(s, live, st.op, st.col->i64.data(),
+                                   st.i64_lit);
+        break;
+      case FilterStep::Kind::kDouble:
+        live = CompactCmp<double>(s, live, st.op, st.col->f64.data(),
+                                  st.f64_lit);
+        break;
+      case FilterStep::Kind::kBool: {
+        const uint8_t* col = st.col->b1.data();
+        const RelOp op = st.op;
+        const bool lit = st.b1_lit;
+        live = CompactIf(s, live, [=](uint32_t r) {
+          return ApplyOp<bool>(op, col[r] != 0, lit);
+        });
+        break;
+      }
+      case FilterStep::Kind::kString: {
+        const std::string* col = st.col->str.data();
+        const std::string& lit = *st.str_lit;
+        const RelOp op = st.op;
+        live = CompactIf(s, live, [&](uint32_t r) {
+          return ApplyOp<std::string>(op, col[r], lit);
+        });
+        break;
+      }
+      case FilterStep::Kind::kStringMatch: {
+        const std::string* col = st.col->str.data();
+        const events::EventPattern* pat = st.pattern;
+        live = CompactIf(s, live,
+                         [=](uint32_t r) { return pat->Matches(col[r]); });
+        break;
+      }
+      case FilterStep::Kind::kValue: {
+        const Value* col = st.col->vals.data();
+        live = CompactIf(s, live, [&](uint32_t r) {
+          return EvalOpOnValue(st.op, col[r], *st.literal, st.pattern);
+        });
+        break;
+      }
+    }
+  }
+  sel->resize(live);
 }
 
 // --- GroupBy internals (mirroring relation.cc exactly) ---
+
+/// Open-addressing set of string views with cached hashes — the
+/// COUNT DISTINCT accumulator. Equality is plain byte equality (the same
+/// relation std::unordered_set<std::string_view> used); only size() is
+/// observable, so the probe order never shows. Node-based sets paid a
+/// heap node per new value and a re-hash + pointer chase per probe; here
+/// a probe is one vector slot and inserts never allocate until the load
+/// factor doubles the flat slot array.
+class DistinctSet {
+ public:
+  bool contains(std::string_view v) const {
+    if (count_ == 0) return false;
+    const uint64_t h = Hash(v);
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = h & mask;; i = (i + 1) & mask) {
+      const Slot& s = slots_[i];
+      if (s.view.data() == nullptr) return false;
+      if (s.hash == h && s.view == v) return true;
+    }
+  }
+
+  void insert(std::string_view v) {
+    if (slots_.empty()) slots_.resize(16);
+    const uint64_t h = Hash(v);
+    const size_t mask = slots_.size() - 1;
+    for (size_t i = h & mask;; i = (i + 1) & mask) {
+      Slot& s = slots_[i];
+      if (s.view.data() == nullptr) {
+        s.hash = h;
+        s.view = v;
+        ++count_;
+        if (count_ * 4 > slots_.size() * 3) Grow();
+        return;
+      }
+      if (s.hash == h && s.view == v) return;
+    }
+  }
+
+  size_t size() const { return count_; }
+
+ private:
+  struct Slot {
+    uint64_t hash = 0;
+    std::string_view view;  // empty slot <=> view.data() == nullptr
+  };
+
+  static uint64_t Hash(std::string_view v) {
+    // FNV-1a over 8-byte lanes (tail zero-padded, length folded in so
+    // padding cannot collide with real NULs): one multiply per lane
+    // instead of per byte. Internal only — nothing observable depends
+    // on the hash value.
+    uint64_t h = 1469598103934665603ull;
+    size_t i = 0;
+    for (; i + 8 <= v.size(); i += 8) {
+      uint64_t w;
+      std::memcpy(&w, v.data() + i, 8);
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    if (i < v.size()) {
+      uint64_t w = 0;
+      std::memcpy(&w, v.data() + i, v.size() - i);
+      h ^= w;
+      h *= 1099511628211ull;
+    }
+    h ^= v.size();
+    h *= 1099511628211ull;
+    // Finalizer: lane-wise FNV alone leaves the low bits (the probe
+    // index) poorly mixed for near-identical ids, which shows up as long
+    // linear-probe chains.
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdull;
+    h ^= h >> 33;
+    h *= 0xc4ceb9fe1a85ec53ull;
+    h ^= h >> 33;
+    return h;
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(old.size() * 2, Slot{});
+    const size_t mask = slots_.size() - 1;
+    for (const Slot& s : old) {
+      if (s.view.data() == nullptr) continue;
+      size_t i = s.hash & mask;
+      while (slots_[i].view.data() != nullptr) i = (i + 1) & mask;
+      slots_[i] = s;
+    }
+  }
+
+  std::vector<Slot> slots_;
+  size_t count_ = 0;
+};
 
 struct AggState {
   uint64_t count = 0;
   double sum = 0;
   bool has_minmax = false;
   Value min, max;
-  std::set<std::string> distinct;
+  // Distinct values as views: kString/kDict rows point straight into the
+  // (shared_ptr-owned, hence stable) column storage — no string is copied
+  // for a value already seen. Rendered values (numbers, bools via the
+  // static literals, kValue fallbacks) are owned by `owned`, a forward
+  // list so node addresses (hence views) stay valid as it grows or the
+  // state moves — and an unused accumulator never allocates. Only size()
+  // is read at finalize, which equals the old std::set<std::string> count.
+  DistinctSet distinct;
+  std::forward_list<std::string> owned;
 };
 
-Status AccumulateBatchRow(const std::vector<Aggregate>& aggs,
-                          const std::vector<size_t>& agg_idx,
-                          const ColumnBatch& batch, size_t row,
-                          std::vector<AggState>* states) {
+/// Inserts a rendered (non-column-backed) distinct value, taking
+/// ownership only when it is new.
+void InsertDistinctOwned(AggState* st, std::string&& s) {
+  if (st->distinct.contains(std::string_view(s))) return;
+  st->owned.push_front(std::move(s));
+  st->distinct.insert(std::string_view(st->owned.front()));
+}
+
+/// Per-(batch, aggregate) access plan: the op and the raw column pointer
+/// resolved once, so the per-row hot loop never touches a shared_ptr.
+struct AggAccess {
+  Aggregate::Op op = Aggregate::Op::kCount;
+  ColumnKind kind = ColumnKind::kValue;
+  const ColumnData* col = nullptr;
+  const std::string* err_col = nullptr;  // aggregate column name, for errors
+};
+
+std::vector<AggAccess> PlanAggAccess(const std::vector<Aggregate>& aggs,
+                                     const std::vector<size_t>& agg_idx,
+                                     const ColumnBatch& batch) {
+  std::vector<AggAccess> acc(aggs.size());
   for (size_t i = 0; i < aggs.size(); ++i) {
+    acc[i].op = aggs[i].op;
+    acc[i].err_col = &aggs[i].column;
+    if (aggs[i].op != Aggregate::Op::kCount) {
+      acc[i].col = batch.col(agg_idx[i]).get();
+      acc[i].kind = acc[i].col->kind;
+    }
+  }
+  return acc;
+}
+
+Status AccumulateRow(const std::vector<AggAccess>& acc, size_t row,
+                     std::vector<AggState>* states) {
+  for (size_t i = 0; i < acc.size(); ++i) {
     AggState& st = (*states)[i];
-    switch (aggs[i].op) {
+    const AggAccess& a = acc[i];
+    switch (a.op) {
       case Aggregate::Op::kCount:
         ++st.count;
         break;
       case Aggregate::Op::kSum: {
-        const ColumnData& col = *batch.col(agg_idx[i]);
-        switch (col.kind) {
+        switch (a.kind) {
           case ColumnKind::kInt64:
-            st.sum += static_cast<double>(col.i64[row]);
+            st.sum += static_cast<double>(a.col->i64[row]);
             break;
           case ColumnKind::kDouble:
-            st.sum += col.f64[row];
+            st.sum += a.col->f64[row];
             break;
           case ColumnKind::kValue: {
-            const Value& v = col.vals[row];
+            const Value& v = a.col->vals[row];
             if (v.is_int()) {
               st.sum += static_cast<double>(v.int_value());
             } else if (v.is_real()) {
               st.sum += v.real_value();
             } else {
               return Status::InvalidArgument(
-                  "SUM over non-numeric value in column '" + aggs[i].column +
-                  "'");
+                  "SUM over non-numeric value in column '" + *a.err_col + "'");
             }
             break;
           }
@@ -238,14 +578,13 @@ Status AccumulateBatchRow(const std::vector<Aggregate>& aggs,
           case ColumnKind::kString:
           case ColumnKind::kDict:
             return Status::InvalidArgument(
-                "SUM over non-numeric value in column '" + aggs[i].column +
-                "'");
+                "SUM over non-numeric value in column '" + *a.err_col + "'");
         }
         break;
       }
       case Aggregate::Op::kMin:
       case Aggregate::Op::kMax: {
-        Value v = batch.col(agg_idx[i])->ValueAt(row);
+        Value v = a.col->ValueAt(row);
         if (!st.has_minmax) {
           st.min = st.max = v;
           st.has_minmax = true;
@@ -256,24 +595,28 @@ Status AccumulateBatchRow(const std::vector<Aggregate>& aggs,
         break;
       }
       case Aggregate::Op::kCountDistinct: {
-        // Same strings Value::ToString would produce, without boxing a
-        // Value (and re-copying the string) for every row.
-        const ColumnData& col = *batch.col(agg_idx[i]);
-        switch (col.kind) {
+        // Same strings Value::ToString would produce. Column-backed
+        // strings go in as views (late materialization: no copy, ever);
+        // other kinds render only when the value is new.
+        switch (a.kind) {
           case ColumnKind::kString:
-            st.distinct.insert(col.str[row]);
+            st.distinct.insert(std::string_view(a.col->str[row]));
             break;
           case ColumnKind::kDict:
-            st.distinct.insert((*col.dict)[col.codes[row]]);
+            st.distinct.insert(
+                std::string_view((*a.col->dict)[a.col->codes[row]]));
             break;
           case ColumnKind::kInt64:
-            st.distinct.insert(std::to_string(col.i64[row]));
+            InsertDistinctOwned(&st, std::to_string(a.col->i64[row]));
             break;
-          case ColumnKind::kBool:
-            st.distinct.insert(col.b1[row] ? "true" : "false");
+          case ColumnKind::kBool: {
+            static const std::string kTrue = "true", kFalse = "false";
+            st.distinct.insert(
+                std::string_view(a.col->b1[row] ? kTrue : kFalse));
             break;
+          }
           default:
-            st.distinct.insert(col.ValueAt(row).ToString());
+            InsertDistinctOwned(&st, a.col->ValueAt(row).ToString());
             break;
         }
         break;
@@ -315,6 +658,14 @@ void AppendFixed64(std::string* buf, uint64_t v) {
   buf->append(b, 8);
 }
 
+/// String-key encoding, identical to AppendEncodedValue(Value::Str(s))
+/// without boxing the string into a Value first.
+void AppendEncodedString(std::string* buf, const std::string& s) {
+  buf->push_back('\x02');
+  AppendFixed64(buf, s.size());
+  buf->append(s);
+}
+
 /// Appends one key value's canonical encoding: a type tag byte followed
 /// by a fixed-width or length-prefixed payload. Two values encode
 /// identically iff they are equivalent under the Value total order the
@@ -337,9 +688,7 @@ void AppendEncodedValue(std::string* buf, const Value& v) {
     return;
   }
   if (v.is_str()) {
-    buf->push_back('\x02');
-    AppendFixed64(buf, v.str_value().size());
-    buf->append(v.str_value());
+    AppendEncodedString(buf, v.str_value());
     return;
   }
   buf->push_back('\x03');
@@ -364,7 +713,7 @@ std::vector<KeyColumnPlan> PlanKeyColumns(const ColumnBatch& batch,
       plans[k].dict_frags.reserve(col.dict->size());
       for (const std::string& entry : *col.dict) {
         std::string frag;
-        AppendEncodedValue(&frag, Value::Str(entry));
+        AppendEncodedString(&frag, entry);
         plans[k].dict_frags.push_back(std::move(frag));
       }
     }
@@ -409,6 +758,170 @@ uint64_t Fnv1a64(const std::string& bytes) {
     h *= 1099511628211ull;
   }
   return h;
+}
+
+/// One shard's (or the serial pass's) aggregation hash table: encoded key
+/// -> group ordinal, plus the boxed key row and per-aggregate states.
+struct GroupSet {
+  std::unordered_map<std::string, size_t> index;
+  std::vector<Row> key_rows;
+  std::vector<std::vector<AggState>> states;
+};
+
+/// Group ordinal of `key`, inserting a new group (boxing its key values
+/// from raw row `raw` — the one place group keys materialize strings).
+size_t ResolveGroup(GroupSet* gs, const ColumnBatch& b,
+                    const std::vector<size_t>& key_idx, size_t raw,
+                    const std::string& key, size_t num_aggs) {
+  auto [it, inserted] = gs->index.try_emplace(key, gs->key_rows.size());
+  if (inserted) {
+    Row key_row;
+    key_row.reserve(key_idx.size());
+    for (size_t idx : key_idx) key_row.push_back(b.col(idx)->ValueAt(raw));
+    gs->key_rows.push_back(std::move(key_row));
+    gs->states.emplace_back(num_aggs);
+  }
+  return it->second;
+}
+
+/// True when no aggregate in the plan can return an error for any row —
+/// the condition for accumulating column-at-a-time. SUM is fallible
+/// unless its column is statically numeric; everything else never fails.
+bool AggsAreInfallible(const std::vector<AggAccess>& acc) {
+  for (const AggAccess& a : acc) {
+    if (a.op == Aggregate::Op::kSum && a.kind != ColumnKind::kInt64 &&
+        a.kind != ColumnKind::kDouble) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Column-at-a-time accumulation of `sel`'s rows (group ordinal of
+/// sel[j] in g_of[j]): one typed pass per aggregate, op and column kind
+/// dispatched once. Per-group accumulation order equals the row-major
+/// path — j ascends in row order in every pass and aggregate states are
+/// independent — so double SUMs and min/max stay bit-exact. Only valid
+/// under AggsAreInfallible (no per-row error can interleave).
+void AccumulateColumnar(const std::vector<AggAccess>& acc,
+                        const std::vector<uint32_t>& sel,
+                        const std::vector<uint32_t>& g_of, GroupSet* gs) {
+  const size_t m = sel.size();
+  std::vector<std::vector<AggState>>& states = gs->states;
+  for (size_t i = 0; i < acc.size(); ++i) {
+    const AggAccess& a = acc[i];
+    switch (a.op) {
+      case Aggregate::Op::kCount:
+        for (size_t j = 0; j < m; ++j) ++states[g_of[j]][i].count;
+        break;
+      case Aggregate::Op::kSum:
+        if (a.kind == ColumnKind::kInt64) {
+          const int64_t* col = a.col->i64.data();
+          for (size_t j = 0; j < m; ++j) {
+            states[g_of[j]][i].sum += static_cast<double>(col[sel[j]]);
+          }
+        } else {
+          const double* col = a.col->f64.data();
+          for (size_t j = 0; j < m; ++j) {
+            states[g_of[j]][i].sum += col[sel[j]];
+          }
+        }
+        break;
+      case Aggregate::Op::kMin:
+      case Aggregate::Op::kMax:
+        for (size_t j = 0; j < m; ++j) {
+          Value v = a.col->ValueAt(sel[j]);
+          AggState& st = states[g_of[j]][i];
+          if (!st.has_minmax) {
+            st.min = st.max = v;
+            st.has_minmax = true;
+          } else {
+            if (v < st.min) st.min = v;
+            if (st.max < v) st.max = v;
+          }
+        }
+        break;
+      case Aggregate::Op::kCountDistinct:
+        switch (a.kind) {
+          case ColumnKind::kString: {
+            const std::string* col = a.col->str.data();
+            for (size_t j = 0; j < m; ++j) {
+              states[g_of[j]][i].distinct.insert(std::string_view(col[sel[j]]));
+            }
+            break;
+          }
+          case ColumnKind::kDict: {
+            const std::vector<std::string>& dict = *a.col->dict;
+            const uint32_t* codes = a.col->codes.data();
+            for (size_t j = 0; j < m; ++j) {
+              states[g_of[j]][i].distinct.insert(
+                  std::string_view(dict[codes[sel[j]]]));
+            }
+            break;
+          }
+          case ColumnKind::kInt64: {
+            const int64_t* col = a.col->i64.data();
+            for (size_t j = 0; j < m; ++j) {
+              InsertDistinctOwned(&states[g_of[j]][i],
+                                  std::to_string(col[sel[j]]));
+            }
+            break;
+          }
+          case ColumnKind::kBool: {
+            static const std::string kTrue = "true", kFalse = "false";
+            const uint8_t* col = a.col->b1.data();
+            for (size_t j = 0; j < m; ++j) {
+              states[g_of[j]][i].distinct.insert(
+                  std::string_view(col[sel[j]] ? kTrue : kFalse));
+            }
+            break;
+          }
+          default:
+            for (size_t j = 0; j < m; ++j) {
+              InsertDistinctOwned(&states[g_of[j]][i],
+                                  a.col->ValueAt(sel[j]).ToString());
+            }
+            break;
+        }
+        break;
+    }
+  }
+}
+
+/// Merge + finalize: every group lives in exactly one shard; emit in
+/// global key order, the ordering the row engine's std::map produces.
+Result<Relation> MergeAndFinalize(const std::vector<Aggregate>& aggs,
+                                  const std::vector<std::string>& out_cols,
+                                  const std::vector<GroupSet>& shards,
+                                  exec::Executor* exec, bool parallel) {
+  struct GroupRef {
+    const Row* key = nullptr;
+    const std::vector<AggState>* states = nullptr;
+  };
+  std::vector<GroupRef> refs;
+  for (const GroupSet& gs : shards) {
+    for (size_t g = 0; g < gs.key_rows.size(); ++g) {
+      refs.push_back({&gs.key_rows[g], &gs.states[g]});
+    }
+  }
+  std::sort(refs.begin(), refs.end(),
+            [](const GroupRef& a, const GroupRef& b) { return *a.key < *b.key; });
+
+  std::vector<Row> out_rows(refs.size());
+  auto finalize_range = [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      out_rows[i] = FinalizeGroup(aggs, *refs[i].key, *refs[i].states);
+    }
+  };
+  if (parallel) {
+    exec->ParallelForChunked("batch_groupby_finalize", refs.size(),
+                             [&](size_t, size_t begin, size_t end) {
+                               finalize_range(begin, end);
+                             });
+  } else {
+    finalize_range(0, refs.size());
+  }
+  return Relation::FromRows(out_cols, std::move(out_rows));
 }
 
 /// Join key with Relation::Join's exact semantics: ToString() plus a
@@ -466,7 +979,36 @@ std::vector<std::string> BuildJoinKeys(const std::vector<ColumnBatch>& batches,
   return keys;
 }
 
+/// Resolves FilterExprs against the relation's schema once per kernel
+/// call (column indices, parsed ops, compiled glob patterns).
+Result<std::vector<CompiledExpr>> CompileExprs(
+    const BatchRelation& rel, const std::vector<FilterExpr>& exprs) {
+  std::vector<CompiledExpr> compiled;
+  compiled.reserve(exprs.size());
+  for (const FilterExpr& e : exprs) {
+    CompiledExpr c;
+    UNILOG_ASSIGN_OR_RETURN(c.col, rel.ColumnIndex(e.column));
+    std::optional<RelOp> op = ParseOp(e.op);
+    if (!op.has_value()) {
+      return Status::InvalidArgument("unsupported filter op: " + e.op);
+    }
+    c.op = *op;
+    c.literal = e.literal;
+    if (c.op == RelOp::kMatches && e.literal.is_str()) {
+      c.pattern.emplace(e.literal.str_value());
+    }
+    compiled.push_back(std::move(c));
+  }
+  return compiled;
+}
+
 }  // namespace
+
+void KernelStats::MergeFrom(const KernelStats& other) {
+  dict_domain_rows_pruned += other.dict_domain_rows_pruned;
+  rows_in += other.rows_in;
+  rows_out += other.rows_out;
+}
 
 bool EvalFilterOp(const Value& v, const std::string& op, const Value& literal) {
   std::optional<RelOp> rel = ParseOp(op);
@@ -546,51 +1088,67 @@ size_t BatchRelation::TotalRows() const {
 }
 
 Result<BatchRelation> BatchRelation::Filter(
-    const std::vector<FilterExpr>& exprs, exec::Executor* exec) const {
-  std::vector<CompiledExpr> compiled;
-  compiled.reserve(exprs.size());
-  for (const FilterExpr& e : exprs) {
-    CompiledExpr c;
-    UNILOG_ASSIGN_OR_RETURN(c.col, ColumnIndex(e.column));
-    std::optional<RelOp> op = ParseOp(e.op);
-    if (!op.has_value()) {
-      return Status::InvalidArgument("unsupported filter op: " + e.op);
-    }
-    c.op = *op;
-    c.literal = e.literal;
-    if (c.op == RelOp::kMatches && e.literal.is_str()) {
-      c.pattern.emplace(e.literal.str_value());
-    }
-    compiled.push_back(std::move(c));
-  }
+    const std::vector<FilterExpr>& exprs, exec::Executor* exec,
+    KernelStats* stats, const exec::MorselOptions& morsels) const {
+  UNILOG_ASSIGN_OR_RETURN(std::vector<CompiledExpr> compiled,
+                          CompileExprs(*this, exprs));
 
   BatchRelation out;
   out.columns_ = columns_;
   out.batches_ = batches_;
+  // Per-batch accounting slots: parallel batches merge deterministically.
+  std::vector<KernelStats> slots(out.batches_.size());
   auto filter_batch = [&](size_t bi) -> Status {
     ColumnBatch& b = out.batches_[bi];
-    std::vector<uint32_t> sel;
+    KernelStats& ks = slots[bi];
+    ks.rows_in += b.selected_rows();
+    BatchFilterProgram prog = CompileBatchProgram(b, compiled);
+    if (prog.const_false) {
+      b.SetSelection({});
+      return Status::OK();
+    }
+    std::vector<uint32_t> kept;
+    kept.reserve(b.selected_rows());
     if (b.has_selection()) {
-      sel = b.selection();
+      for (uint32_t r : b.selection()) {
+        if (ProgramPasses(prog, r, &ks.dict_domain_rows_pruned)) {
+          kept.push_back(r);
+        }
+      }
     } else {
-      sel.resize(b.raw_rows());
-      for (size_t r = 0; r < sel.size(); ++r) sel[r] = static_cast<uint32_t>(r);
+      const uint32_t n = static_cast<uint32_t>(b.raw_rows());
+      for (uint32_t r = 0; r < n; ++r) {
+        if (ProgramPasses(prog, r, &ks.dict_domain_rows_pruned)) {
+          kept.push_back(r);
+        }
+      }
     }
-    for (const CompiledExpr& c : compiled) {
-      if (sel.empty()) break;
-      UNILOG_RETURN_NOT_OK(FilterOneExpr(b, c, &sel));
-    }
-    b.SetSelection(std::move(sel));
+    ks.rows_out += kept.size();
+    b.SetSelection(std::move(kept));
     return Status::OK();
   };
   if (exec != nullptr && exec->parallel()) {
-    UNILOG_RETURN_NOT_OK(exec->ParallelForStatus("batch_filter",
-                                                 out.batches_.size(),
-                                                 filter_batch));
+    // Byte-weighted morsels: a skewed batch (one huge row group) gets its
+    // own morsel while small groups coalesce, and idle threads steal.
+    std::vector<uint64_t> weights(out.batches_.size());
+    for (size_t bi = 0; bi < weights.size(); ++bi) {
+      weights[bi] = out.batches_[bi].byte_size();
+    }
+    UNILOG_RETURN_NOT_OK(exec->ParallelForMorsels(
+        "batch_filter", weights, morsels,
+        [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t bi = begin; bi < end; ++bi) {
+            UNILOG_RETURN_NOT_OK(filter_batch(bi));
+          }
+          return Status::OK();
+        }));
   } else {
     for (size_t bi = 0; bi < out.batches_.size(); ++bi) {
       UNILOG_RETURN_NOT_OK(filter_batch(bi));
     }
+  }
+  if (stats != nullptr) {
+    for (const KernelStats& ks : slots) stats->MergeFrom(ks);
   }
   return out;
 }
@@ -731,23 +1289,13 @@ Result<Relation> BatchRelation::GroupBy(const std::vector<std::string>& keys,
     }
   }
 
-  struct GroupSet {
-    std::unordered_map<std::string, size_t> index;
-    std::vector<Row> key_rows;
-    std::vector<std::vector<AggState>> states;
-  };
-  auto resolve_group = [&](GroupSet* gs, const ColumnBatch& b, size_t raw,
-                           const std::string& key) -> size_t {
-    auto [it, inserted] = gs->index.try_emplace(key, gs->key_rows.size());
-    if (inserted) {
-      Row key_row;
-      key_row.reserve(key_idx.size());
-      for (size_t idx : key_idx) key_row.push_back(b.col(idx)->ValueAt(raw));
-      gs->key_rows.push_back(std::move(key_row));
-      gs->states.emplace_back(aggs.size());
-    }
-    return it->second;
-  };
+  // Aggregate access plans, resolved once per batch so the per-row hot
+  // loop never dereferences a shared_ptr.
+  std::vector<std::vector<AggAccess>> acc(batches_.size());
+  for (size_t bi = 0; bi < batches_.size(); ++bi) {
+    acc[bi] = PlanAggAccess(aggs, agg_idx, batches_[bi]);
+  }
+
   // Walks one batch's rows for one shard (`s`; kAllShards serially), using
   // a per-(shard, batch) code→group cache on the dict fast path.
   constexpr uint32_t kAllShards = ~0u;
@@ -764,18 +1312,18 @@ Result<Relation> BatchRelation::GroupBy(const std::vector<std::string>& keys,
       if (s != kAllShards && (*shard_of_code)[code] != s) continue;
       ptrdiff_t& g = group_of_code[code];
       if (g < 0) {
-        g = static_cast<ptrdiff_t>(resolve_group(gs, b, raw, frag[bi][code]));
+        g = static_cast<ptrdiff_t>(
+            ResolveGroup(gs, b, key_idx, raw, frag[bi][code], aggs.size()));
       }
-      UNILOG_RETURN_NOT_OK(
-          AccumulateBatchRow(aggs, agg_idx, b, raw, &gs->states[g]));
+      UNILOG_RETURN_NOT_OK(AccumulateRow(acc[bi], raw, &gs->states[g]));
     }
     return Status::OK();
   };
   auto accumulate_into = [&](GroupSet* gs, size_t bi, size_t k) -> Status {
     const ColumnBatch& b = batches_[bi];
     const size_t raw = b.RowIndex(k);
-    const size_t g = resolve_group(gs, b, raw, enc[bi][k]);
-    return AccumulateBatchRow(aggs, agg_idx, b, raw, &gs->states[g]);
+    const size_t g = ResolveGroup(gs, b, key_idx, raw, enc[bi][k], aggs.size());
+    return AccumulateRow(acc[bi], raw, &gs->states[g]);
   };
 
   std::vector<GroupSet> shards;
@@ -841,36 +1389,102 @@ Result<Relation> BatchRelation::GroupBy(const std::vector<std::string>& keys,
     }
   }
 
-  // Merge: every group lives in one shard; emit in global key order, the
-  // ordering the row engine's std::map produces.
-  struct GroupRef {
-    const Row* key = nullptr;
-    const std::vector<AggState>* states = nullptr;
-  };
-  std::vector<GroupRef> refs;
-  for (const GroupSet& gs : shards) {
-    for (size_t g = 0; g < gs.key_rows.size(); ++g) {
-      refs.push_back({&gs.key_rows[g], &gs.states[g]});
-    }
-  }
-  std::sort(refs.begin(), refs.end(),
-            [](const GroupRef& a, const GroupRef& b) { return *a.key < *b.key; });
+  return MergeAndFinalize(aggs, out_cols, shards, exec, parallel);
+}
 
-  std::vector<Row> out_rows(refs.size());
-  auto finalize_range = [&](size_t begin, size_t end) {
-    for (size_t i = begin; i < end; ++i) {
-      out_rows[i] = FinalizeGroup(aggs, *refs[i].key, *refs[i].states);
-    }
-  };
-  if (parallel) {
-    exec->ParallelForChunked("batch_groupby_finalize", refs.size(),
-                             [&](size_t, size_t begin, size_t end) {
-                               finalize_range(begin, end);
-                             });
-  } else {
-    finalize_range(0, refs.size());
+Result<Relation> BatchRelation::FilterGroupBy(
+    const std::vector<FilterExpr>& exprs, const std::vector<std::string>& keys,
+    const std::vector<Aggregate>& aggs, exec::Executor* exec,
+    KernelStats* stats, const exec::MorselOptions& morsels) const {
+  if (exec != nullptr && exec->parallel()) {
+    // Parallel: morsel-scheduled Filter, then the sharded GroupBy (each
+    // shard walks rows in global order, so double SUMs stay bit-exact).
+    UNILOG_ASSIGN_OR_RETURN(BatchRelation filtered,
+                            Filter(exprs, exec, stats, morsels));
+    return filtered.GroupBy(keys, aggs, exec);
   }
-  return Relation::FromRows(out_cols, std::move(out_rows));
+
+  std::vector<size_t> key_idx;
+  for (const auto& k : keys) {
+    UNILOG_ASSIGN_OR_RETURN(size_t idx, ColumnIndex(k));
+    key_idx.push_back(idx);
+  }
+  std::vector<size_t> agg_idx(aggs.size(), 0);
+  for (size_t i = 0; i < aggs.size(); ++i) {
+    if (aggs[i].op != Aggregate::Op::kCount) {
+      UNILOG_ASSIGN_OR_RETURN(agg_idx[i], ColumnIndex(aggs[i].column));
+    }
+  }
+  std::vector<std::string> out_cols = keys;
+  for (const auto& agg : aggs) out_cols.push_back(agg.as);
+  UNILOG_ASSIGN_OR_RETURN(std::vector<CompiledExpr> compiled,
+                          CompileExprs(*this, exprs));
+
+  // Serial fused pipeline: one pass per batch evaluates the compiled
+  // program and accumulates survivors straight into the hash table — no
+  // selection vector or intermediate batch is ever materialized. Group
+  // identity uses the same encoded keys as GroupBy (a dictionary key's
+  // per-entry fragment equals the row's encoded key), so the output is
+  // byte-identical to Filter().GroupBy().
+  std::vector<GroupSet> shards(1);
+  GroupSet& gs = shards[0];
+  KernelStats local;
+  std::vector<uint32_t> sel;   // surviving raw rows, reused across batches
+  std::vector<uint32_t> g_of;  // group ordinal per survivor
+  std::vector<ptrdiff_t> group_of_code;
+  for (size_t bi = 0; bi < batches_.size(); ++bi) {
+    const ColumnBatch& b = batches_[bi];
+    local.rows_in += b.selected_rows();
+    BatchFilterProgram prog = CompileBatchProgram(b, compiled);
+    if (prog.const_false) continue;
+    // Filter column-at-a-time into a reused selection buffer, then
+    // resolve each survivor's group and accumulate. Group resolution on
+    // dictionary keys runs once per (batch, code), and a code's key
+    // fragment is encoded only on first sight — entries whose rows never
+    // pass the filter are neither encoded nor materialized.
+    RunProgramColumnar(prog, b, &sel, &local.dict_domain_rows_pruned);
+    local.rows_out += sel.size();
+    if (sel.empty()) continue;
+    const std::vector<AggAccess> acc = PlanAggAccess(aggs, agg_idx, b);
+    const bool dict_key = key_idx.size() == 1 &&
+                          b.col(key_idx[0])->kind == ColumnKind::kDict;
+    g_of.resize(sel.size());
+    std::string buf;
+    if (dict_key) {
+      const ColumnData* kc = b.col(key_idx[0]).get();
+      const uint32_t* codes = kc->codes.data();
+      group_of_code.assign(kc->dict->size(), -1);
+      for (size_t j = 0; j < sel.size(); ++j) {
+        const uint32_t code = codes[sel[j]];
+        ptrdiff_t& slot = group_of_code[code];
+        if (slot < 0) {
+          buf.clear();
+          AppendEncodedString(&buf, (*kc->dict)[code]);
+          slot = static_cast<ptrdiff_t>(
+              ResolveGroup(&gs, b, key_idx, sel[j], buf, aggs.size()));
+        }
+        g_of[j] = static_cast<uint32_t>(slot);
+      }
+    } else {
+      const std::vector<KeyColumnPlan> plans = PlanKeyColumns(b, key_idx);
+      for (size_t j = 0; j < sel.size(); ++j) {
+        EncodeKeyTo(&buf, plans, sel[j]);
+        g_of[j] = static_cast<uint32_t>(
+            ResolveGroup(&gs, b, key_idx, sel[j], buf, aggs.size()));
+      }
+    }
+    if (AggsAreInfallible(acc)) {
+      AccumulateColumnar(acc, sel, g_of, &gs);
+    } else {
+      // A SUM that can fail keeps the row-major walk so the first error
+      // raised is the row engine's (same row, same aggregate order).
+      for (size_t j = 0; j < sel.size(); ++j) {
+        UNILOG_RETURN_NOT_OK(AccumulateRow(acc, sel[j], &gs.states[g_of[j]]));
+      }
+    }
+  }
+  if (stats != nullptr) stats->MergeFrom(local);
+  return MergeAndFinalize(aggs, out_cols, shards, exec, false);
 }
 
 Result<BatchRelation> BatchRelation::Join(const BatchRelation& right,

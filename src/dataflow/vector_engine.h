@@ -33,6 +33,19 @@ bool EvalFilterOp(const Value& v, const std::string& op, const Value& literal);
 /// the left); the planner picks the smaller side.
 enum class JoinBuildSide { kAuto, kLeft, kRight };
 
+/// Accounting the batch kernels accumulate when a caller passes a sink.
+struct KernelStats {
+  /// Rows cut at a dictionary-domain step: the predicate was evaluated
+  /// once per dictionary entry and the row only compared its int32 code —
+  /// its string was never touched.
+  uint64_t dict_domain_rows_pruned = 0;
+  /// Selected rows entering / surviving the kernel.
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+
+  void MergeFrom(const KernelStats& other);
+};
+
 /// A relation stored as typed column batches — the vectorized twin of
 /// Relation. Every kernel is byte-compatible with the row engine: for any
 /// BatchRelation b built from Relation r, kernel(b).ToRelation() equals
@@ -69,10 +82,20 @@ class BatchRelation {
   // --- Kernels ---
 
   /// Conjunctive predicate evaluation -> narrowed selection vectors. No
-  /// column data is copied or boxed; dictionary columns evaluate string
-  /// predicates once per dictionary entry, then per row on codes.
+  /// column data is copied or boxed. Each batch compiles the conjunction
+  /// into a single-pass program: every conjunct on a dictionary column is
+  /// folded into one per-entry verdict table (the matching code set,
+  /// computed once per group dictionary), so rows compare int32 codes and
+  /// the strings of filtered-out rows are never touched; dictionary steps
+  /// run first (cheapest). Conjunction commutes, so the surviving set is
+  /// identical to evaluating the conjuncts in input order. Parallel
+  /// batches are scheduled as byte-weighted morsels (`morsels`); outputs
+  /// land in per-batch slots, so results stay byte-identical at any
+  /// thread count and morsel size.
   Result<BatchRelation> Filter(const std::vector<FilterExpr>& exprs,
-                               exec::Executor* exec = nullptr) const;
+                               exec::Executor* exec = nullptr,
+                               KernelStats* stats = nullptr,
+                               const exec::MorselOptions& morsels = {}) const;
 
   /// Keeps the named columns in order; O(1) per column per batch.
   Result<BatchRelation> Project(const std::vector<std::string>& cols,
@@ -97,6 +120,23 @@ class BatchRelation {
   Result<Relation> GroupBy(const std::vector<std::string>& keys,
                            const std::vector<Aggregate>& aggs,
                            exec::Executor* exec = nullptr) const;
+
+  /// Fused Filter + GroupBy: the late-materialization pipeline shape. One
+  /// pass per batch evaluates the compiled filter program and accumulates
+  /// surviving rows straight into the aggregation hash table — no
+  /// intermediate selection vector or batch is materialized, and
+  /// dictionary-keyed batches resolve their group once per (batch, code).
+  /// Output is byte-identical to Filter(exprs).GroupBy(keys, aggs): group
+  /// identity uses the same encoded keys, and per-group accumulation
+  /// stays in global row order (the serial path walks rows in order; the
+  /// parallel path delegates to the sharded GroupBy, whose shards do the
+  /// same), so double SUMs are bit-exact at any thread count.
+  Result<Relation> FilterGroupBy(const std::vector<FilterExpr>& exprs,
+                                 const std::vector<std::string>& keys,
+                                 const std::vector<Aggregate>& aggs,
+                                 exec::Executor* exec = nullptr,
+                                 KernelStats* stats = nullptr,
+                                 const exec::MorselOptions& morsels = {}) const;
 
   /// Inner hash join on left_col == right_col with Relation::Join's exact
   /// key semantics and output order (left-row-major, right rows in input

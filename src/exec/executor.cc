@@ -18,6 +18,13 @@ thread_local bool t_in_region = false;
 bool InParallelContext() { return t_on_pool_worker || t_in_region; }
 }  // namespace
 
+void MorselStats::MergeFrom(const MorselStats& other) {
+  morsels += other.morsels;
+  steals += other.steals;
+  total_bytes += other.total_bytes;
+  max_morsel_bytes = std::max(max_morsel_bytes, other.max_morsel_bytes);
+}
+
 ThreadPool::ThreadPool(int num_workers) {
   workers_.reserve(static_cast<size_t>(std::max(0, num_workers)));
   for (int i = 0; i < num_workers; ++i) {
@@ -180,6 +187,113 @@ Status Executor::ParallelForStatus(const char* stage, size_t n,
     if (!status.ok()) return std::move(status);
   }
   return Status::OK();
+}
+
+Status Executor::ParallelForMorsels(
+    const char* stage, const std::vector<uint64_t>& item_bytes,
+    const MorselOptions& options,
+    const std::function<Status(size_t, size_t, size_t)>& body,
+    MorselStats* stats) {
+  const size_t n = item_bytes.size();
+  if (n == 0) return Status::OK();
+  const uint64_t target = std::max<uint64_t>(1, options.morsel_bytes);
+
+  // Greedy byte-packing in index order: a pure function of the weights
+  // and the target, so boundaries never depend on scheduling.
+  std::vector<size_t> bounds;
+  bounds.push_back(0);
+  MorselStats local;
+  uint64_t acc = 0;
+  for (size_t i = 0; i < n; ++i) {
+    acc += item_bytes[i];
+    local.total_bytes += item_bytes[i];
+    if (acc >= target) {
+      bounds.push_back(i + 1);
+      local.max_morsel_bytes = std::max(local.max_morsel_bytes, acc);
+      acc = 0;
+    }
+  }
+  if (bounds.back() != n) {
+    bounds.push_back(n);
+    local.max_morsel_bytes = std::max(local.max_morsel_bytes, acc);
+  }
+  const size_t morsels = bounds.size() - 1;
+  local.morsels = morsels;
+
+  Status result = Status::OK();
+  if (!parallel() || InParallelContext()) {
+    auto start = std::chrono::steady_clock::now();
+    size_t ran = 0;
+    for (size_t m = 0; m < morsels; ++m) {
+      ++ran;
+      result = body(m, bounds[m], bounds[m + 1]);
+      if (!result.ok()) break;  // serial semantics: stop at first failure
+    }
+    double ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+    Record(stage, ran, ms);
+  } else {
+    // One contiguous morsel range per thread slot, drained through an
+    // atomic cursor; an exhausted slot walks the other slots' cursors and
+    // steals their remaining morsels.
+    const size_t slots = static_cast<size_t>(options_.threads);
+    const size_t base = morsels / slots;
+    const size_t rem = morsels % slots;
+    std::vector<size_t> range_end(slots);
+    auto cursors = std::make_unique<std::atomic<size_t>[]>(slots);
+    for (size_t s = 0; s < slots; ++s) {
+      const size_t begin = s * base + std::min(s, rem);
+      cursors[s].store(begin, std::memory_order_relaxed);
+      range_end[s] = begin + base + (s < rem ? 1 : 0);
+    }
+    std::vector<Status> statuses(morsels);
+    std::vector<uint64_t> steal_counts(slots, 0);
+    ParallelFor(stage, slots, [&](size_t s) {
+      uint64_t stolen = 0;
+      for (size_t off = 0; off < slots; ++off) {
+        const size_t victim = (s + off) % slots;
+        while (true) {
+          const size_t m =
+              cursors[victim].fetch_add(1, std::memory_order_relaxed);
+          if (m >= range_end[victim]) break;
+          statuses[m] = body(m, bounds[m], bounds[m + 1]);
+          if (victim != s) ++stolen;
+        }
+      }
+      steal_counts[s] = stolen;
+    });
+    for (uint64_t c : steal_counts) local.steals += c;
+    for (auto& status : statuses) {
+      if (!status.ok()) {
+        result = std::move(status);
+        break;
+      }
+    }
+  }
+
+  if (metrics_ != nullptr) {
+    obs::Labels labels{{"stage", stage}};
+    metrics_->GetCounter("exec.morsel_steals", labels)
+        ->Increment(local.steals);
+    auto* hist = metrics_->GetHistogram("exec.morsel_size_bytes", labels);
+    for (size_t m = 0; m < morsels; ++m) {
+      uint64_t bytes = 0;
+      for (size_t i = bounds[m]; i < bounds[m + 1]; ++i) bytes += item_bytes[i];
+      hist->Observe(static_cast<double>(bytes));
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(morsel_mu_);
+    morsel_totals_.MergeFrom(local);
+  }
+  if (stats != nullptr) stats->MergeFrom(local);
+  return result;
+}
+
+MorselStats Executor::morsel_totals() const {
+  std::lock_guard<std::mutex> lock(morsel_mu_);
+  return morsel_totals_;
 }
 
 }  // namespace unilog::exec

@@ -29,6 +29,28 @@ struct ExecOptions {
   size_t min_items_per_chunk = 16;
 };
 
+/// Knobs for Executor::ParallelForMorsels. Items are packed greedily in
+/// index order: a morsel closes once its accumulated byte weight reaches
+/// `morsel_bytes` (every morsel holds at least one item, whatever its
+/// weight). Boundaries depend only on the weights and this target — never
+/// on scheduling — so per-item outputs merged in index order are
+/// byte-identical at any thread count and any morsel size.
+struct MorselOptions {
+  uint64_t morsel_bytes = 256 * 1024;
+};
+
+/// Accounting of ParallelForMorsels regions.
+struct MorselStats {
+  uint64_t morsels = 0;
+  /// Morsels executed by a thread slot other than the owner of their
+  /// contiguous range — the work-stealing traffic.
+  uint64_t steals = 0;
+  uint64_t total_bytes = 0;
+  uint64_t max_morsel_bytes = 0;
+
+  void MergeFrom(const MorselStats& other);
+};
+
 /// A fixed-size pool of worker threads executing one "batch" (a bounded
 /// parallel-for) at a time. Indices are claimed dynamically with an atomic
 /// cursor, so stragglers do not serialize the batch; determinism comes
@@ -130,12 +152,43 @@ class Executor {
   Status ParallelForStatus(const char* stage, size_t n,
                            const std::function<Status(size_t)>& body);
 
+  /// Morsel-driven work-stealing scheduler over `item_bytes.size()` items
+  /// with the given byte weights. Items are packed into morsels in index
+  /// order (see MorselOptions); the morsel list is split into one
+  /// contiguous range per thread slot, each drained through an atomic
+  /// cursor, and a slot that exhausts its own range steals from the other
+  /// slots' cursors — so a skewed range (one huge row group) never idles
+  /// the rest of the pool behind a static chunk boundary.
+  ///
+  /// Runs body(morsel, begin, end) exactly once per morsel, where
+  /// [begin, end) are item indices. Determinism contract: morsel
+  /// boundaries are a pure function of the weights and options, and every
+  /// morsel runs exactly once, so bodies that write only to per-item (or
+  /// per-morsel) slots merged in index order produce byte-identical
+  /// output at any thread count, morsel size, and steal schedule. Status
+  /// semantics mirror ParallelForStatus: serial stops at the first
+  /// failure; parallel runs everything and reports the smallest-index
+  /// non-OK status. Records `exec.morsel_steals` and
+  /// `exec.morsel_size_bytes` into the attached metrics registry, plus
+  /// the cumulative morsel_totals().
+  Status ParallelForMorsels(
+      const char* stage, const std::vector<uint64_t>& item_bytes,
+      const MorselOptions& options,
+      const std::function<Status(size_t morsel, size_t begin, size_t end)>&
+          body,
+      MorselStats* stats = nullptr);
+
+  /// Cumulative ParallelForMorsels accounting across regions.
+  MorselStats morsel_totals() const;
+
  private:
   void Record(const char* stage, size_t tasks, double elapsed_ms);
 
   ExecOptions options_;
   std::unique_ptr<ThreadPool> pool_;
   obs::MetricsRegistry* metrics_ = nullptr;
+  mutable std::mutex morsel_mu_;
+  MorselStats morsel_totals_;  // guarded by morsel_mu_
 };
 
 }  // namespace unilog::exec

@@ -74,6 +74,8 @@ WorkflowEngine::WorkflowEngine(hdfs::MiniHdfs* fs, OinkOptions options,
   shared_scan_fanout_ = metrics_->GetCounter("oink.shared_scan_fanout");
   scan_bytes_ = metrics_->GetCounter("oink.scan_bytes_decompressed");
   verified_hits_ = metrics_->GetCounter("oink.verified_hits");
+  stats_cache_hits_ = metrics_->GetCounter("oink.stats_cache_hits");
+  stats_cache_misses_ = metrics_->GetCounter("oink.stats_cache_misses");
 }
 
 Status WorkflowEngine::AddWorkflow(WorkflowSpec spec) {
@@ -367,7 +369,16 @@ Status WorkflowEngine::RunTick(int64_t period_index) {
     // nothing decompressed), collected once per directory.
     dataflow::TableStats table_stats;
     if (batch_mode && options_.enable_planner) {
-      UNILOG_ASSIGN_OR_RETURN(table_stats, base->Stats());
+      const dataflow::TableStatsCache::CacheStats before = stats_cache_.stats();
+      UNILOG_ASSIGN_OR_RETURN(table_stats, base->Stats(&stats_cache_));
+      const dataflow::TableStatsCache::CacheStats after = stats_cache_.stats();
+      const uint64_t hits = (after.stat_hits - before.stat_hits) +
+                            (after.content_hits - before.content_hits);
+      const uint64_t misses = after.misses - before.misses;
+      last_tick_.stats_cache_hits += hits;
+      last_tick_.stats_cache_misses += misses;
+      stats_cache_hits_->Increment(hits);
+      stats_cache_misses_->Increment(misses);
     }
 
     std::vector<std::shared_ptr<dataflow::ColumnarEventScan>> scans;

@@ -180,6 +180,164 @@ TEST(ExecutorTest, RecordsPerStageMetrics) {
 }
 
 // ---------------------------------------------------------------------------
+// Morsel-driven scheduling
+
+TEST(MorselTest, PackingIsDeterministicAndGreedy) {
+  exec::Executor serial = MakeExecutor(1);
+  std::vector<uint64_t> weights;
+  for (int i = 0; i < 37; ++i) weights.push_back((i * 131) % 900 + 1);
+  const uint64_t target = 1000;
+  exec::MorselOptions opts;
+  opts.morsel_bytes = target;
+  std::vector<std::pair<size_t, size_t>> bounds;
+  Status st = serial.ParallelForMorsels(
+      "t", weights, opts,
+      [&](size_t morsel, size_t begin, size_t end) -> Status {
+        EXPECT_EQ(morsel, bounds.size());
+        bounds.emplace_back(begin, end);
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok());
+  // Bounds partition [0, n) in order; every morsel holds >= 1 item and
+  // closed greedily: the morsel without its final item is under target.
+  ASSERT_FALSE(bounds.empty());
+  size_t next = 0;
+  for (const auto& [begin, end] : bounds) {
+    EXPECT_EQ(begin, next);
+    EXPECT_LT(begin, end);
+    uint64_t prefix = 0;
+    for (size_t i = begin; i + 1 < end; ++i) prefix += weights[i];
+    EXPECT_LT(prefix, target);
+    next = end;
+  }
+  EXPECT_EQ(next, weights.size());
+
+  // Re-running and running under a parallel executor yields the same
+  // morsel boundaries: packing is a pure function of weights + target.
+  for (int threads : {1, 4}) {
+    exec::Executor executor = MakeExecutor(threads);
+    std::vector<std::pair<size_t, size_t>> again(bounds.size());
+    Status st2 = executor.ParallelForMorsels(
+        "t", weights, opts,
+        [&](size_t morsel, size_t begin, size_t end) -> Status {
+          again[morsel] = {begin, end};
+          return Status::OK();
+        });
+    ASSERT_TRUE(st2.ok());
+    EXPECT_EQ(again, bounds) << "threads=" << threads;
+  }
+}
+
+TEST(MorselTest, ParallelCoversEveryItemOnceAtAnyGranularity) {
+  std::vector<uint64_t> weights(501);
+  for (size_t i = 0; i < weights.size(); ++i) weights[i] = (i * 7) % 64 + 1;
+  for (int threads : {1, 2, 4, 8}) {
+    for (uint64_t morsel_bytes : {uint64_t{1}, uint64_t{64},
+                                  uint64_t{1} << 20}) {
+      exec::Executor executor = MakeExecutor(threads);
+      exec::MorselOptions opts;
+      opts.morsel_bytes = morsel_bytes;
+      std::vector<std::atomic<int>> hits(weights.size());
+      for (auto& h : hits) h = 0;
+      Status st = executor.ParallelForMorsels(
+          "t", weights, opts,
+          [&](size_t, size_t begin, size_t end) -> Status {
+            for (size_t i = begin; i < end; ++i) ++hits[i];
+            return Status::OK();
+          });
+      ASSERT_TRUE(st.ok());
+      for (auto& h : hits) {
+        EXPECT_EQ(h.load(), 1)
+            << "threads=" << threads << " morsel_bytes=" << morsel_bytes;
+      }
+    }
+  }
+}
+
+TEST(MorselTest, SmallestIndexErrorWinsInParallel) {
+  // Unit weights with a tiny target: one morsel per item, so morsel index
+  // == item index and the smallest failing index must surface.
+  std::vector<uint64_t> weights(100, 1);
+  exec::MorselOptions opts;
+  opts.morsel_bytes = 1;
+  for (int threads : {1, 4}) {
+    exec::Executor executor = MakeExecutor(threads);
+    Status st = executor.ParallelForMorsels(
+        "t", weights, opts,
+        [&](size_t morsel, size_t, size_t) -> Status {
+          if (morsel == 17) return Status::InvalidArgument("first");
+          if (morsel == 80) return Status::Internal("later");
+          return Status::OK();
+        });
+    ASSERT_FALSE(st.ok()) << "threads=" << threads;
+    EXPECT_EQ(st.message(), "first") << "threads=" << threads;
+  }
+}
+
+TEST(MorselTest, StatsMetricsAndTotalsAccumulate) {
+  obs::MetricsRegistry metrics;
+  exec::Executor executor = MakeExecutor(2);
+  executor.set_metrics(&metrics);
+  std::vector<uint64_t> weights(64, 100);
+  exec::MorselOptions opts;
+  opts.morsel_bytes = 300;
+  exec::MorselStats stats;
+  Status st = executor.ParallelForMorsels(
+      "morsel_stage", weights, opts,
+      [](size_t, size_t, size_t) -> Status { return Status::OK(); }, &stats);
+  ASSERT_TRUE(st.ok());
+  EXPECT_GT(stats.morsels, 1u);
+  EXPECT_EQ(stats.total_bytes, 64u * 100u);
+  EXPECT_GE(stats.max_morsel_bytes, 300u);
+  obs::Labels labels{{"stage", "morsel_stage"}};
+  EXPECT_EQ(metrics.GetHistogram("exec.morsel_size_bytes", labels)->count(),
+            stats.morsels);
+  // Steal traffic is nondeterministic but the counter must exist and the
+  // cumulative totals must cover this region.
+  EXPECT_EQ(metrics.GetCounter("exec.morsel_steals", labels)->value(),
+            stats.steals);
+  exec::MorselStats totals = executor.morsel_totals();
+  EXPECT_GE(totals.morsels, stats.morsels);
+  EXPECT_GE(totals.total_bytes, stats.total_bytes);
+}
+
+TEST(MorselTest, NestedRegionRunsInlineWithoutDeadlock) {
+  exec::Executor par = MakeExecutor(4);
+  std::vector<uint64_t> outer(16, 1), inner(8, 1);
+  exec::MorselOptions opts;
+  opts.morsel_bytes = 2;
+  std::vector<std::atomic<int>> hits(16 * 8);
+  for (auto& h : hits) h = 0;
+  Status st = par.ParallelForMorsels(
+      "outer", outer, opts, [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t i = begin; i < end; ++i) {
+          UNILOG_RETURN_NOT_OK(par.ParallelForMorsels(
+              "inner", inner, opts,
+              [&, i](size_t, size_t b, size_t e) -> Status {
+                for (size_t j = b; j < e; ++j) ++hits[i * 8 + j];
+                return Status::OK();
+              }));
+        }
+        return Status::OK();
+      });
+  ASSERT_TRUE(st.ok());
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(MorselTest, EmptyWeightsIsANoOp) {
+  exec::Executor par = MakeExecutor(4);
+  bool ran = false;
+  Status st = par.ParallelForMorsels(
+      "t", {}, exec::MorselOptions{},
+      [&](size_t, size_t, size_t) -> Status {
+        ran = true;
+        return Status::OK();
+      });
+  EXPECT_TRUE(st.ok());
+  EXPECT_FALSE(ran);
+}
+
+// ---------------------------------------------------------------------------
 // End-to-end determinism: MapReduce
 
 // A small warehouse of framed-record files for MapReduce determinism runs.

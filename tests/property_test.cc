@@ -1125,6 +1125,287 @@ INSTANTIATE_TEST_SUITE_P(Seeds, VectorEnginePropertyTest,
                          ::testing::Values(17u, 177u, 1777u));
 
 // ---------------------------------------------------------------------------
+// Dictionary-domain predicates: filtering a dictionary column by comparing
+// int32 codes against a precomputed verdict table must select exactly the
+// rows the row engine's string comparisons select — including adversarial
+// dictionaries: empty batches, single-code batches (every row one value),
+// and literals absent from every dictionary (no code matches).
+
+class DictDomainPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DictDomainPropertyTest, CodeDomainFilterEqualsStringFilter) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 6; ++iter) {
+    dataflow::Relation rel({"d", "v"});
+    // Build the relation as consecutive "segments" sized exactly like the
+    // batches FromRelation will cut, so each batch's dictionary shape is
+    // controlled: single-code, mixed, or values no predicate mentions.
+    size_t batch_rows = 1 + rng.Uniform(40);
+    size_t segments = rng.Uniform(5);  // 0 => empty relation
+    for (size_t seg = 0; seg < segments; ++seg) {
+      switch (rng.Uniform(3)) {
+        case 0: {  // single-code batch: one value repeated
+          std::string only = "tag" + std::to_string(rng.Uniform(4));
+          for (size_t i = 0; i < batch_rows; ++i) {
+            ASSERT_TRUE(rel.AddRow({dataflow::Value::Str(only),
+                                    dataflow::Value::Int(static_cast<int64_t>(
+                                        rng.Uniform(100)))})
+                            .ok());
+          }
+          break;
+        }
+        case 1:  // codes absent from any predicate literal
+          for (size_t i = 0; i < batch_rows; ++i) {
+            ASSERT_TRUE(
+                rel.AddRow({dataflow::Value::Str(
+                                "other" + std::to_string(rng.Uniform(3))),
+                            dataflow::Value::Int(static_cast<int64_t>(
+                                rng.Uniform(100)))})
+                    .ok());
+          }
+          break;
+        default:  // mixed dictionary
+          for (size_t i = 0; i < batch_rows; ++i) {
+            ASSERT_TRUE(
+                rel.AddRow({dataflow::Value::Str(
+                                "tag" + std::to_string(rng.Uniform(6))),
+                            dataflow::Value::Int(static_cast<int64_t>(
+                                rng.Uniform(100)))})
+                    .ok());
+          }
+          break;
+      }
+    }
+    auto batch0 = dataflow::BatchRelation::FromRelation(rel, batch_rows);
+    ASSERT_TRUE(batch0.ok());
+
+    // 1-3 conjuncts, all on the dictionary column so multi-conjunct
+    // verdict merging is exercised; literals sometimes match nothing.
+    std::vector<dataflow::FilterExpr> exprs;
+    size_t nf = 1 + rng.Uniform(3);
+    for (size_t f = 0; f < nf; ++f) {
+      switch (rng.Uniform(4)) {
+        case 0:
+          exprs.push_back({"d", rng.Uniform(2) == 0 ? "==" : "!=",
+                           dataflow::Value::Str(
+                               "tag" + std::to_string(rng.Uniform(8)))});
+          break;
+        case 1:
+          exprs.push_back({"d", "matches", dataflow::Value::Str("tag?")});
+          break;
+        case 2:  // matches nothing in any dictionary
+          exprs.push_back(
+              {"d", "==", dataflow::Value::Str("never-present")});
+          break;
+        default:
+          exprs.push_back({"d", rng.Uniform(2) == 0 ? "<" : ">=",
+                           dataflow::Value::Str(
+                               "tag" + std::to_string(rng.Uniform(8)))});
+          break;
+      }
+    }
+
+    dataflow::Relation want = rel;
+    for (const auto& e : exprs) {
+      size_t idx = want.ColumnIndex(e.column).value();
+      want = want.Filter([&e, idx](const dataflow::Row& r) {
+        return dataflow::EvalFilterOp(r[idx], e.op, e.literal);
+      });
+    }
+
+    dataflow::KernelStats ks;
+    auto got = batch0->Filter(exprs, nullptr, &ks);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(dataflow::SerializeRelation(got->ToRelation().value()),
+              dataflow::SerializeRelation(want))
+        << "seed=" << GetParam() << " iter=" << iter;
+    // Stats sanity: every dict-pruned row was an input row that did not
+    // survive; counts never exceed the selected universe.
+    EXPECT_EQ(ks.rows_in, rel.rows().size());
+    EXPECT_EQ(ks.rows_out, want.rows().size());
+    EXPECT_LE(ks.dict_domain_rows_pruned, ks.rows_in - ks.rows_out);
+
+    // The fused pipeline must agree too, with identical group output.
+    std::vector<dataflow::Aggregate> aggs{
+        {dataflow::Aggregate::Op::kCount, "", "n"},
+        {dataflow::Aggregate::Op::kSum, "v", "total"},
+        {dataflow::Aggregate::Op::kCountDistinct, "d", "names"}};
+    auto want_grouped = want.GroupBy({"d"}, aggs);
+    ASSERT_TRUE(want_grouped.ok());
+    auto fused = batch0->FilterGroupBy(exprs, {"d"}, aggs);
+    ASSERT_TRUE(fused.ok());
+    EXPECT_EQ(dataflow::SerializeRelation(*fused),
+              dataflow::SerializeRelation(*want_grouped))
+        << "seed=" << GetParam() << " iter=" << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DictDomainPropertyTest,
+                         ::testing::Values(23u, 223u, 2223u));
+
+// ---------------------------------------------------------------------------
+// Fused FilterGroupBy: on random relations and pipelines it must be
+// byte-identical to Filter-then-GroupBy and to the row engine — including
+// identical SUM-over-non-numeric failures — at any thread count and any
+// morsel granularity.
+
+class FusedPipelinePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FusedPipelinePropertyTest, FusedEqualsUnfusedEqualsRow) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 5; ++iter) {
+    size_t rows = rng.Uniform(4) == 0 ? 0 : 1 + rng.Uniform(300);
+    dataflow::Relation rel = RandomVectorRelation(rng, rows);
+    size_t batch_rows = 1 + rng.Uniform(90);
+    auto batch = dataflow::BatchRelation::FromRelation(rel, batch_rows);
+    ASSERT_TRUE(batch.ok());
+
+    std::vector<dataflow::FilterExpr> exprs;
+    size_t nf = rng.Uniform(4);
+    for (size_t f = 0; f < nf; ++f) exprs.push_back(RandomFilterExpr(rng));
+    std::vector<std::string> keys =
+        rng.Uniform(2) == 0 ? std::vector<std::string>{"s"}
+                            : std::vector<std::string>{"i", "b"};
+    std::string sum_col = rng.Uniform(4) == 0 ? "m" : "r";
+    std::vector<dataflow::Aggregate> aggs{
+        {dataflow::Aggregate::Op::kCount, "", "n"},
+        {dataflow::Aggregate::Op::kSum, sum_col, "total"},
+        {dataflow::Aggregate::Op::kCountDistinct, "w", "wide"}};
+
+    dataflow::Relation row = rel;
+    for (const auto& e : exprs) {
+      size_t idx = row.ColumnIndex(e.column).value();
+      row = row.Filter([&e, idx](const dataflow::Row& r) {
+        return dataflow::EvalFilterOp(r[idx], e.op, e.literal);
+      });
+    }
+    auto want = row.GroupBy(keys, aggs);
+
+    auto unfused = [&]() -> Result<dataflow::Relation> {
+      UNILOG_ASSIGN_OR_RETURN(dataflow::BatchRelation filtered,
+                              batch->Filter(exprs));
+      return filtered.GroupBy(keys, aggs);
+    }();
+    ASSERT_EQ(unfused.ok(), want.ok());
+
+    auto fused = batch->FilterGroupBy(exprs, keys, aggs);
+    ASSERT_EQ(fused.ok(), want.ok()) << "seed=" << GetParam();
+    if (want.ok()) {
+      EXPECT_EQ(dataflow::SerializeRelation(*fused),
+                dataflow::SerializeRelation(*want))
+          << "seed=" << GetParam() << " iter=" << iter;
+      EXPECT_EQ(dataflow::SerializeRelation(*unfused),
+                dataflow::SerializeRelation(*want));
+    } else {
+      EXPECT_EQ(fused.status().ToString(), want.status().ToString());
+    }
+
+    for (int threads : {2, 8}) {
+      for (uint64_t morsel_bytes : {uint64_t{1}, uint64_t{1} << 12}) {
+        exec::ExecOptions eo;
+        eo.threads = threads;
+        eo.min_items_per_chunk = 4;
+        exec::Executor executor(eo);
+        exec::MorselOptions mo;
+        mo.morsel_bytes = morsel_bytes;
+        auto par = batch->FilterGroupBy(exprs, keys, aggs, &executor,
+                                        nullptr, mo);
+        ASSERT_EQ(par.ok(), want.ok()) << "threads=" << threads;
+        if (want.ok()) {
+          EXPECT_EQ(dataflow::SerializeRelation(*par),
+                    dataflow::SerializeRelation(*want))
+              << "threads=" << threads << " morsel_bytes=" << morsel_bytes;
+        } else {
+          EXPECT_EQ(par.status().ToString(), want.status().ToString());
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FusedPipelinePropertyTest,
+                         ::testing::Values(29u, 229u, 2229u));
+
+// ---------------------------------------------------------------------------
+// Morsel-driven scans: the byte-weighted work-stealing scheduler must
+// reproduce the serial scan byte-for-byte on random warehouses at any
+// thread count and any morsel granularity, rows and batches alike.
+
+class MorselScanPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MorselScanPropertyTest, ParallelScanIsByteIdenticalAtAnyMorselSize) {
+  Rng rng(GetParam());
+  for (int iter = 0; iter < 2; ++iter) {
+    hdfs::MiniHdfs fs;
+    const std::string dir = "/warehouse/client_events/h0";
+    size_t parts = 1 + rng.Uniform(3);
+    for (size_t p = 0; p < parts; ++p) {
+      std::string body;
+      columnar::RcFileWriter writer(&body, 1 + rng.Uniform(32));
+      size_t n = 20 + rng.Uniform(150);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_TRUE(writer.Add(RandomColumnarEvent(rng)).ok());
+      }
+      ASSERT_TRUE(writer.Finish().ok());
+      ASSERT_TRUE(
+          fs.WriteFile(dir + "/part-0000" + std::to_string(p), body).ok());
+    }
+    if (rng.Uniform(2) == 0) {  // sometimes a legacy part in the mix
+      std::string legacy;
+      events::ClientEventWriter w(&legacy);
+      size_t n = 10 + rng.Uniform(40);
+      for (size_t i = 0; i < n; ++i) w.Add(RandomColumnarEvent(rng));
+      ASSERT_TRUE(fs.WriteFile(dir + "/part-legacy", Lz::Compress(legacy)).ok());
+    }
+
+    // `base` never materializes, so every Clone() below starts with a
+    // cold cache — the parallel runs really re-scan.
+    auto opened = dataflow::ColumnarEventScan::Open(&fs, dir);
+    ASSERT_TRUE(opened.ok());
+    auto base = *opened;
+    if (rng.Uniform(2) == 0) {
+      ASSERT_TRUE(base->PushFilter("event_name", "matches",
+                                   dataflow::Value::Str("web:*")));
+    }
+    auto serial_rel =
+        std::static_pointer_cast<dataflow::ColumnarEventScan>(base->Clone())
+            ->Materialize(nullptr);
+    ASSERT_TRUE(serial_rel.ok());
+    const std::string want = dataflow::SerializeRelation(*serial_rel);
+
+    for (int threads : {2, 8}) {
+      for (uint64_t morsel_bytes :
+           {uint64_t{1}, uint64_t{1} << 10, uint64_t{1} << 24}) {
+        exec::ExecOptions eo;
+        eo.threads = threads;
+        exec::Executor executor(eo);
+        exec::MorselOptions mo;
+        mo.morsel_bytes = morsel_bytes;
+        auto scan = std::static_pointer_cast<dataflow::ColumnarEventScan>(
+            base->Clone());
+        scan->set_morsel_options(mo);
+        auto rel = scan->Materialize(&executor);
+        ASSERT_TRUE(rel.ok());
+        EXPECT_EQ(dataflow::SerializeRelation(*rel), want)
+            << "threads=" << threads << " morsel_bytes=" << morsel_bytes;
+
+        auto batch_scan = std::static_pointer_cast<dataflow::ColumnarEventScan>(
+            base->Clone());
+        batch_scan->set_morsel_options(mo);
+        auto batches = batch_scan->MaterializeBatches(&executor);
+        ASSERT_TRUE(batches.ok());
+        EXPECT_EQ(
+            dataflow::SerializeRelation(batches->ToRelation().value()), want)
+            << "threads=" << threads << " morsel_bytes=" << morsel_bytes;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MorselScanPropertyTest,
+                         ::testing::Values(31u, 231u, 2231u));
+
+// ---------------------------------------------------------------------------
 // Planner neutrality: permuting a workflow's filter clauses never changes
 // its canonical plan (so fingerprint-keyed cache entries written under one
 // ordering HIT under any other) nor its answers, with the planner on or

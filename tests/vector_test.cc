@@ -281,6 +281,104 @@ TEST(VectorKernelTest, SumOverNonNumericIsErrorNotGarbage) {
                    .ok());
 }
 
+TEST(VectorKernelTest, FusedFilterGroupByMatchesUnfused) {
+  Relation rel = MixedRelation(400, 61);
+  auto batch = BatchRelation::FromRelation(rel, 64).value();
+  std::vector<Aggregate> aggs{{Aggregate::Op::kCount, "", "n"},
+                              {Aggregate::Op::kSum, "score", "total"},
+                              {Aggregate::Op::kMin, "score", "lo"},
+                              {Aggregate::Op::kCountDistinct, "tag", "tags"}};
+  const std::vector<std::vector<FilterExpr>> cases = {
+      {},  // no predicate: fused degenerates to GroupBy
+      {{"grp", "<", Value::Int(5)}},
+      {{"tag", "matches", Value::Str("t?")}, {"grp", ">", Value::Int(1)}},
+      {{"tag", "==", Value::Str("nope")}},  // empty selection
+  };
+  for (const auto& exprs : cases) {
+    for (const auto& keys :
+         std::vector<std::vector<std::string>>{{"tag"}, {"grp", "flag"}}) {
+      std::string want =
+          Bytes(RowFilter(rel, exprs).GroupBy(keys, aggs).value());
+      EXPECT_EQ(Bytes(batch.Filter(exprs)
+                          .value()
+                          .GroupBy(keys, aggs)
+                          .value()),
+                want);
+      auto fused = batch.FilterGroupBy(exprs, keys, aggs);
+      ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+      EXPECT_EQ(Bytes(*fused), want);
+      for (int threads : {2, 8}) {
+        exec::Executor executor = MakeExecutor(threads);
+        auto par = batch.FilterGroupBy(exprs, keys, aggs, &executor);
+        ASSERT_TRUE(par.ok());
+        EXPECT_EQ(Bytes(*par), want) << "threads=" << threads;
+      }
+    }
+  }
+}
+
+TEST(VectorKernelTest, FusedSumOverNonNumericFailsLikeRowEngine) {
+  Relation rel({"k", "s"});
+  ASSERT_TRUE(rel.AddRow({Value::Int(1), Value::Str("oops")}).ok());
+  std::vector<Aggregate> aggs{{Aggregate::Op::kSum, "s", "total"}};
+  auto row = rel.GroupBy({"k"}, aggs);
+  ASSERT_FALSE(row.ok());
+  auto fused = BatchRelation::FromRelation(rel).value().FilterGroupBy(
+      {{"k", ">=", Value::Int(0)}}, {"k"}, aggs);
+  ASSERT_FALSE(fused.ok());
+  EXPECT_EQ(fused.status().ToString(), row.status().ToString());
+}
+
+TEST(VectorKernelTest, KernelStatsCountDictDomainPruning) {
+  // A pure dictionary column: every row the name filter drops must be
+  // attributed to the code-domain verdict (its string never compared
+  // per-row).
+  Relation rel({"name", "v"});
+  size_t t1_rows = 0;
+  for (int i = 0; i < 120; ++i) {
+    std::string name = "t" + std::to_string(i % 3);
+    if (name == "t1") ++t1_rows;
+    ASSERT_TRUE(rel.AddRow({Value::Str(name), Value::Int(i)}).ok());
+  }
+  auto batch = BatchRelation::FromRelation(rel, 40).value();
+
+  dataflow::KernelStats stats;
+  auto got = batch.Filter({{"name", "==", Value::Str("t1")}}, nullptr, &stats);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(stats.rows_in, 120u);
+  EXPECT_EQ(stats.rows_out, t1_rows);
+  EXPECT_EQ(stats.dict_domain_rows_pruned, 120u - t1_rows);
+
+  // Two conjuncts on the same dictionary column AND-merge into a single
+  // verdict table: the pruned count still covers every dropped row.
+  dataflow::KernelStats merged;
+  auto got2 = batch.Filter({{"name", "!=", Value::Str("t0")},
+                            {"name", "matches", Value::Str("t?")}},
+                           nullptr, &merged);
+  ASSERT_TRUE(got2.ok());
+  size_t survivors = got2->ToRelation().value().rows().size();
+  EXPECT_EQ(merged.rows_out, survivors);
+  EXPECT_EQ(merged.dict_domain_rows_pruned, 120u - survivors);
+
+  // A non-dictionary conjunct contributes no dict-domain pruning.
+  dataflow::KernelStats plain;
+  auto got3 = batch.Filter({{"v", "<", Value::Int(60)}}, nullptr, &plain);
+  ASSERT_TRUE(got3.ok());
+  EXPECT_EQ(plain.dict_domain_rows_pruned, 0u);
+  EXPECT_EQ(plain.rows_out, 60u);
+
+  // The fused pipeline reports the same accounting.
+  dataflow::KernelStats fused;
+  std::vector<Aggregate> aggs{{Aggregate::Op::kCount, "", "n"}};
+  ASSERT_TRUE(batch
+                  .FilterGroupBy({{"name", "==", Value::Str("t1")}}, {"name"},
+                                 aggs, nullptr, &fused)
+                  .ok());
+  EXPECT_EQ(fused.rows_in, 120u);
+  EXPECT_EQ(fused.rows_out, t1_rows);
+  EXPECT_EQ(fused.dict_domain_rows_pruned, 120u - t1_rows);
+}
+
 TEST(VectorKernelTest, JoinMatchesRowEngineIncludingMixedNumericKeys) {
   Relation left({"k", "a"});
   Relation right({"k", "b"});
@@ -599,6 +697,131 @@ TEST(PlannerTest, ChooseBuildSidePrefersSmallerInput) {
   // Ties keep the row engine's traditional right build.
   EXPECT_EQ(dataflow::ChooseBuildSide(50, 50),
             dataflow::JoinBuildSide::kRight);
+}
+
+TEST(PlannerTest, InitiatorSelectivityUsesCodeDomainStats) {
+  dataflow::TableStats stats;
+  stats.total_rows = 10000;
+  stats.row_groups = 10;
+  stats.data_bytes = 1 << 20;
+  stats.initiator_rows["user"] = 1000;
+  stats.initiator_rows["page"] = 8000;
+  stats.from_v2 = true;
+
+  EXPECT_DOUBLE_EQ(dataflow::EstimateClauseSelectivity(
+                       stats, {"initiator", "==", Value::Str("user")}),
+                   0.1);
+  EXPECT_DOUBLE_EQ(dataflow::EstimateClauseSelectivity(
+                       stats, {"initiator", "!=", Value::Str("page")}),
+                   1.0 - 0.8);
+  // An initiator absent from every group dictionary selects nothing.
+  EXPECT_DOUBLE_EQ(dataflow::EstimateClauseSelectivity(
+                       stats, {"initiator", "==", Value::Str("robot")}),
+                   0.0);
+  // Without initiator stats the clause falls back to the equality prior.
+  dataflow::TableStats empty;
+  empty.total_rows = 10000;
+  EXPECT_DOUBLE_EQ(dataflow::EstimateClauseSelectivity(
+                       empty, {"initiator", "==", Value::Str("user")}),
+                   0.1);
+}
+
+TEST(PlannerTest, TableStatsCacheTwoLevelLookup) {
+  dataflow::TableStatsCache cache;
+  dataflow::TableStats stats;
+  stats.total_rows = 42;
+  stats.from_v2 = true;
+  cache.Put("p1|100|5", "rcfp:abc", stats);
+
+  // Level 1: stat-key hit.
+  auto hit = cache.FindByStat("p1|100|5");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->total_rows, 42u);
+
+  // Level 2: a renamed file misses by stat but hits by content, and the
+  // new stat key is recorded as an alias for next time.
+  EXPECT_EQ(cache.FindByStat("p2|100|9"), nullptr);
+  auto content = cache.FindByContent("p2|100|9", "rcfp:abc");
+  ASSERT_NE(content, nullptr);
+  EXPECT_EQ(content->total_rows, 42u);
+  EXPECT_NE(cache.FindByStat("p2|100|9"), nullptr);
+
+  // A genuinely new file misses both levels.
+  EXPECT_EQ(cache.FindByStat("p3|1|1"), nullptr);
+  EXPECT_EQ(cache.FindByContent("p3|1|1", "rcfp:zzz"), nullptr);
+
+  auto counts = cache.stats();
+  EXPECT_EQ(counts.stat_hits, 2u);
+  EXPECT_EQ(counts.content_hits, 1u);
+  EXPECT_EQ(counts.misses, 1u);
+}
+
+TEST(PlannerTest, StatsThroughCacheMatchDirectAndSkipRereads) {
+  auto fs = ScanWarehouse(67, kScanBase, 160);
+  auto scan = dataflow::ColumnarEventScan::Open(fs.get(), "/events").value();
+  auto direct = scan->Stats();
+  ASSERT_TRUE(direct.ok());
+
+  dataflow::TableStatsCache cache;
+  auto cold = scan->Stats(&cache);
+  ASSERT_TRUE(cold.ok());
+  auto after_cold = cache.stats();
+  EXPECT_EQ(after_cold.stat_hits, 0u);
+  EXPECT_EQ(after_cold.misses, 3u);  // 2 v2 parts + 1 legacy part
+
+  auto warm = scan->Stats(&cache);
+  ASSERT_TRUE(warm.ok());
+  auto after_warm = cache.stats();
+  EXPECT_EQ(after_warm.misses, after_cold.misses);  // no re-reads
+  EXPECT_EQ(after_warm.stat_hits, 3u);
+
+  // All three agree with the uncached walk, field for field.
+  for (const auto* s : {&*cold, &*warm}) {
+    EXPECT_EQ(s->total_rows, direct->total_rows);
+    EXPECT_EQ(s->row_groups, direct->row_groups);
+    EXPECT_EQ(s->data_bytes, direct->data_bytes);
+    EXPECT_EQ(s->min_timestamp, direct->min_timestamp);
+    EXPECT_EQ(s->max_timestamp, direct->max_timestamp);
+    EXPECT_EQ(s->min_user_id, direct->min_user_id);
+    EXPECT_EQ(s->max_user_id, direct->max_user_id);
+    EXPECT_EQ(s->name_rows, direct->name_rows);
+    EXPECT_EQ(s->initiator_rows, direct->initiator_rows);
+    EXPECT_EQ(s->from_v2, direct->from_v2);
+  }
+
+  // A second scan over the same warehouse resolves purely by stat key.
+  auto scan2 = dataflow::ColumnarEventScan::Open(fs.get(), "/events").value();
+  ASSERT_TRUE(scan2->Stats(&cache).ok());
+  EXPECT_EQ(cache.stats().misses, after_cold.misses);
+}
+
+TEST(PlannerTest, StatsExposeInitiatorDictionaries) {
+  auto fs = ScanWarehouse(71, kScanBase, 140);
+  auto scan = dataflow::ColumnarEventScan::Open(fs.get(), "/events").value();
+  auto stats = scan->Stats();
+  ASSERT_TRUE(stats.ok());
+  // ScanEvent draws initiators uniformly from all four, so the v2 parts'
+  // initiator dictionaries surface with nonzero row bounds.
+  EXPECT_FALSE(stats->initiator_rows.empty());
+  uint64_t bound = 0;
+  for (const auto& [name, rows] : stats->initiator_rows) {
+    EXPECT_FALSE(name.empty());
+    bound = std::max(bound, rows);
+  }
+  EXPECT_LE(bound, stats->total_rows);
+}
+
+TEST(ScanBatchTest, PushedNameFilterCountsDictDomainPruning) {
+  auto fs = ScanWarehouse(73, kScanBase, 200);
+  auto scan = dataflow::ColumnarEventScan::Open(fs.get(), "/events").value();
+  ASSERT_TRUE(scan->PushFilter("event_name", "==",
+                               Value::Str("web:home:::tweet:click")));
+  ASSERT_TRUE(scan->Materialize(nullptr).ok());
+  const columnar::ScanStats& st = scan->last_stats();
+  // The v2 parts prune non-click rows by encoded id: attributed to the
+  // dictionary-domain counter, a subset of overall row pruning.
+  EXPECT_GT(st.dict_domain_rows_pruned, 0u);
+  EXPECT_LE(st.dict_domain_rows_pruned, st.rows_pruned);
 }
 
 }  // namespace
