@@ -1,16 +1,30 @@
-// E21: partitioned broker tier vs the single-aggregator chain. Both tiers
-// get the same per-node service rate R (token bucket, 1 s burst) and the
-// same saturating producer load; the broker config shards the category
-// stream over 4 partitions led by 4 nodes, so its aggregate intake should
-// approach 4R where the single aggregator chain is pinned at R. The bench
-// measures intake MB/s over the load window, drains both pipelines through
-// the log mover, checks the delivery-audit identity at quiescence, and
-// reports the broker path's produce->consume p99 latency (dominated by the
-// hourly move barrier, as §2 of the paper describes for Scribe itself).
+// E21/E25: broker tier throughput. Three tiers under the same per-node
+// service rate R (token bucket, 1 s burst) and the same saturating
+// producer load:
+//
+//   single-aggregator  the one-chain baseline, pinned at R
+//   broker-unbatched   4 partitions, record-at-a-time produce: the token
+//                      bucket charges uncompressed record bytes, so the
+//                      tier saturates at ~4R
+//   broker-batched     4 partitions, frame-and-compress-once produce: the
+//                      bucket charges compressed bytes on the wire, so the
+//                      same 4 nodes accept ~compression-ratio more payload
+//
+// The bench measures intake MB/s (uncompressed payload accepted) over the
+// load window, allocations per produced entry (alloc_hooks), wire-bytes
+// ratio and batch fan-in, drains every tier through the log mover, and
+// checks the delivery-audit identity at quiescence. A separate light-load
+// phase runs the batched and unbatched paths on the same seed below
+// saturation and requires the landed warehouse hour to be byte-identical.
+// Exits nonzero when an audit breaks, the broker fails to drain, the
+// batched tier misses its 3x floor over record-at-a-time, or the
+// warehouse bytes diverge.
 
 #include <cstdio>
+#include <map>
 #include <string>
 
+#include "alloc_hooks.h"
 #include "bench_common.h"
 #include "broker/broker.h"
 #include "obs/delivery_audit.h"
@@ -23,36 +37,27 @@ namespace {
 
 using bench::kBenchDay;
 
-constexpr uint64_t kServiceBytesPerSec = 64 * 1024;  // R for both tiers
+constexpr uint64_t kServiceBytesPerSec = 64 * 1024;  // R for every tier
 constexpr TimeMs kWindow = 120 * kMillisPerSecond;
 constexpr int kPayloadBytes = 500;
-constexpr int kEntriesPerTick = 110;  // every 100 ms -> ~550 KB/s offered
+constexpr int kEntriesPerTick = 220;  // every 100 ms -> ~1.1 MB/s offered
+
+enum class Tier { kAggregator, kBrokerUnbatched, kBrokerBatched };
 
 struct TierResult {
-  uint64_t intake_bytes = 0;  // accepted by the tier during the window
+  uint64_t intake_bytes = 0;  // uncompressed payload accepted in-window
   double intake_mb_per_sec = 0;
   double consume_mb_per_sec = 0;
   double p99_e2e_ms = 0;
+  double allocs_per_entry = 0;
+  double wire_bytes_ratio = 0;       // wire bytes / payload bytes acked
+  double batch_entries_per_produce = 0;
   scribe::ClusterStats stats;
   obs::DeliverySnapshot audit;
   bool audit_ok = false;
 };
 
-TierResult RunTier(const char* name, bool brokered, uint64_t seed) {
-  Simulator sim(kBenchDay);
-  scribe::ClusterTopology topo;
-  topo.datacenters = {"dc1"};
-  topo.daemons_per_dc = 8;
-  if (brokered) {
-    topo.brokers_per_dc = 4;
-    topo.broker_options.num_partitions = 4;
-    topo.broker_options.replication_factor = 1;
-    topo.broker_options.acks = broker::kAcksLeader;
-    topo.broker_options.node_service_bytes_per_sec = kServiceBytesPerSec;
-  } else {
-    topo.aggregators_per_dc = 1;
-  }
-
+scribe::ScribeOptions TierScribeOptions(Tier tier) {
   scribe::ScribeOptions sopts;
   sopts.roll_interval_ms = 30 * kMillisPerSecond;
   sopts.daemon_flush_interval_ms = 500;
@@ -60,14 +65,41 @@ TierResult RunTier(const char* name, bool brokered, uint64_t seed) {
   // the measurement capacity-bound instead of backoff-bound.
   sopts.daemon_retry_backoff_ms = 100;
   sopts.daemon_retry_backoff_max_ms = 500;
-  sopts.daemon_max_batch_bytes = 32 * 1024;  // fits the 1 s token burst
-  if (!brokered) sopts.aggregator_service_bytes_per_sec = kServiceBytesPerSec;
+  // The batched tier ships compressed blobs, so its per-flush payload cap
+  // can far exceed the 1 s token burst of uncompressed admission.
+  sopts.daemon_max_batch_bytes =
+      tier == Tier::kBrokerBatched ? 256 * 1024 : 32 * 1024;
+  sopts.broker_batched_produce = tier == Tier::kBrokerBatched;
+  if (tier == Tier::kAggregator) {
+    sopts.aggregator_service_bytes_per_sec = kServiceBytesPerSec;
+  }
+  return sopts;
+}
 
+scribe::ClusterTopology TierTopology(Tier tier) {
+  scribe::ClusterTopology topo;
+  topo.datacenters = {"dc1"};
+  topo.daemons_per_dc = 8;
+  if (tier == Tier::kAggregator) {
+    topo.aggregators_per_dc = 1;
+  } else {
+    topo.brokers_per_dc = 4;
+    topo.broker_options.num_partitions = 4;
+    topo.broker_options.replication_factor = 1;
+    topo.broker_options.acks = broker::kAcksLeader;
+    topo.broker_options.node_service_bytes_per_sec = kServiceBytesPerSec;
+  }
+  return topo;
+}
+
+TierResult RunTier(const char* name, Tier tier, uint64_t seed) {
+  Simulator sim(kBenchDay);
   scribe::LogMoverOptions mopts;
   mopts.run_interval_ms = kMillisPerMinute;
   mopts.grace_ms = kMillisPerMinute;
 
-  scribe::ScribeCluster cluster(&sim, topo, sopts, mopts, seed);
+  scribe::ScribeCluster cluster(&sim, TierTopology(tier),
+                                TierScribeOptions(tier), mopts, seed);
   if (!cluster.Start().ok()) std::abort();
 
   // Four categories spread the (host, category) partition hash over all
@@ -84,9 +116,10 @@ TierResult RunTier(const char* name, bool brokered, uint64_t seed) {
     });
   }
 
+  const bool brokered = tier != Tier::kAggregator;
   TierResult result;
-  // Snapshot intake at the end of the load window: both tiers keep
-  // draining their daemon queues afterwards, which is recovery, not
+  // Snapshot intake at the end of the load window: every tier keeps
+  // draining its daemon queues afterwards, which is recovery, not
   // throughput.
   sim.At(kBenchDay + kWindow, [&]() {
     result.intake_bytes =
@@ -96,6 +129,7 @@ TierResult RunTier(const char* name, bool brokered, uint64_t seed) {
 
   // Drain: past the hour close + grace so the mover slides the hour (and,
   // on the broker path, the consumer group commits every partition).
+  bench::AllocScope allocs;
   sim.RunUntil(kBenchDay + kMillisPerHour + 5 * kMillisPerMinute);
 
   result.stats = cluster.TotalStats();
@@ -105,23 +139,78 @@ TierResult RunTier(const char* name, bool brokered, uint64_t seed) {
   result.intake_mb_per_sec = static_cast<double>(result.intake_bytes) / 1e6 /
                              (static_cast<double>(kWindow) / 1e3);
   if (brokered) {
-    result.consume_mb_per_sec =
-        static_cast<double>(cluster.fleet(0)->TotalStats().bytes_consumed) /
-        1e6 / (static_cast<double>(kWindow) / 1e3);
+    const broker::BrokerFleetStats fs = cluster.fleet(0)->TotalStats();
+    result.consume_mb_per_sec = static_cast<double>(fs.bytes_consumed) / 1e6 /
+                                (static_cast<double>(kWindow) / 1e3);
     result.p99_e2e_ms = obs::HistogramQuantile(
         *cluster.metrics()->GetHistogram("broker.e2e_latency_ms"), 0.99);
+    if (fs.bytes_produced > 0) {
+      result.wire_bytes_ratio = static_cast<double>(fs.wire_bytes_produced) /
+                                static_cast<double>(fs.bytes_produced);
+    }
+    if (fs.produce_calls > 0) {
+      result.batch_entries_per_produce =
+          static_cast<double>(fs.entries_produced) /
+          static_cast<double>(fs.produce_calls);
+    }
+    if (fs.entries_produced > 0) {
+      result.allocs_per_entry = static_cast<double>(allocs.Delta()) /
+                                static_cast<double>(fs.entries_produced);
+    }
   }
 
   std::printf(
-      "%-18s intake=%7.3f MB/s  logged=%-6llu warehoused=%-6llu "
-      "throttled=%-5llu in_flight=%llu  audit=%s\n",
-      name, result.intake_mb_per_sec,
-      static_cast<unsigned long long>(result.stats.entries_logged),
-      static_cast<unsigned long long>(result.stats.messages_in_warehouse),
-      static_cast<unsigned long long>(result.stats.produce_throttled),
-      static_cast<unsigned long long>(result.audit.InFlight()),
+      "%-18s intake=%7.3f MB/s  wire/payload=%5.3f  entries/produce=%6.1f  "
+      "allocs/entry=%6.1f  audit=%s\n",
+      name, result.intake_mb_per_sec, result.wire_bytes_ratio,
+      result.batch_entries_per_produce, result.allocs_per_entry,
       result.audit_ok ? "balanced" : "IMBALANCED");
   return result;
+}
+
+// Light-load identity run: well under every tier's capacity, so the
+// batched and unbatched paths accept the same records and the landed
+// warehouse hour must be byte-identical.
+std::map<std::string, std::string> RunIdentityTier(bool batched,
+                                                   uint64_t seed,
+                                                   bool* audit_ok) {
+  Simulator sim(kBenchDay);
+  scribe::ScribeOptions sopts =
+      TierScribeOptions(batched ? Tier::kBrokerBatched
+                                : Tier::kBrokerUnbatched);
+  scribe::LogMoverOptions mopts;
+  mopts.run_interval_ms = kMillisPerMinute;
+  mopts.grace_ms = kMillisPerMinute;
+  scribe::ScribeCluster cluster(
+      &sim, TierTopology(Tier::kBrokerUnbatched), sopts, mopts, seed);
+  if (!cluster.Start().ok()) std::abort();
+
+  static const char* kCategories[] = {"clicks", "search", "timeline", "ads"};
+  int seq = 0;
+  for (TimeMs t = 0; t < 60 * kMillisPerSecond; t += 100) {
+    sim.At(kBenchDay + t, [&cluster, &seq]() {
+      for (int i = 0; i < 40; ++i, ++seq) {
+        cluster.Log(0, scribe::LogEntry{kCategories[seq % 4],
+                                        "e" + std::to_string(seq) +
+                                            std::string(kPayloadBytes, 'b')});
+      }
+    });
+  }
+  sim.RunUntil(kBenchDay + kMillisPerHour + 5 * kMillisPerMinute);
+
+  obs::DeliveryAudit audit(&cluster);
+  *audit_ok = audit.Check().ok() && audit.Snapshot().InFlight() == 0;
+
+  std::map<std::string, std::string> files;
+  auto listed = cluster.warehouse()->ListRecursive("/logs");
+  if (!listed.ok()) std::abort();
+  for (const auto& f : *listed) {
+    if (f.is_dir) continue;
+    auto body = cluster.warehouse()->ReadFile(f.path);
+    if (!body.ok()) std::abort();
+    files[f.path] = std::move(*body);
+  }
+  return files;
 }
 
 }  // namespace
@@ -131,36 +220,59 @@ int main(int argc, char** argv) {
   using namespace unilog;
   uint64_t seed = bench::ParseSeedFlag(&argc, argv, 77);
   std::printf(
-      "=== E21: broker tier throughput vs single-aggregator chain ===\n"
-      "per-node service rate R = %llu KB/s for both tiers; offered load "
+      "=== E25: compressed record batches through the broker tier ===\n"
+      "per-node service rate R = %llu KB/s for every tier; offered load "
       "~%d KB/s for %llu s; seed %llu (pass --seed=N)\n\n",
       static_cast<unsigned long long>(kServiceBytesPerSec / 1024),
       kEntriesPerTick * 10 * (kPayloadBytes + 8) / 1024,
       static_cast<unsigned long long>(kWindow / 1000),
       static_cast<unsigned long long>(seed));
 
-  TierResult baseline = RunTier("single-aggregator", /*brokered=*/false, seed);
-  TierResult brokered = RunTier("broker-4p", /*brokered=*/true, seed);
+  TierResult baseline = RunTier("single-aggregator", Tier::kAggregator, seed);
+  TierResult unbatched =
+      RunTier("broker-unbatched", Tier::kBrokerUnbatched, seed);
+  TierResult batched = RunTier("broker-batched", Tier::kBrokerBatched, seed);
 
-  double speedup = baseline.intake_mb_per_sec > 0
-                       ? brokered.intake_mb_per_sec /
-                             baseline.intake_mb_per_sec
-                       : 0;
+  double partition_speedup =
+      baseline.intake_mb_per_sec > 0
+          ? unbatched.intake_mb_per_sec / baseline.intake_mb_per_sec
+          : 0;
+  double batch_speedup =
+      unbatched.intake_mb_per_sec > 0
+          ? batched.intake_mb_per_sec / unbatched.intake_mb_per_sec
+          : 0;
   std::printf(
-      "\nbroker consume throughput (drain phase, normalized to the load "
-      "window): %.3f MB/s\n",
-      brokered.consume_mb_per_sec);
-  std::printf("broker produce->consume p99 latency: %.0f ms "
+      "\nbroker-batched consume throughput (drain phase, normalized to the "
+      "load window): %.3f MB/s\n",
+      batched.consume_mb_per_sec);
+  std::printf("broker-batched produce->consume p99 latency: %.0f ms "
               "(hourly move barrier dominates)\n",
-              brokered.p99_e2e_ms);
-  std::printf("speedup (4 partitions vs single chain): %.2fx (target >=2x)\n",
-              speedup);
+              batched.p99_e2e_ms);
+  std::printf("partition speedup (4 partitions vs single chain): %.2fx "
+              "(target >=2x)\n",
+              partition_speedup);
+  std::printf("batch speedup (compressed batches vs record-at-a-time, same "
+              "nodes): %.2fx (target >=3x)\n",
+              batch_speedup);
 
-  bool ok = baseline.audit_ok && brokered.audit_ok && speedup >= 2.0 &&
-            brokered.stats.messages_in_warehouse > 0 &&
-            brokered.audit.in_flight_broker == 0;
-  std::printf("contract (both audits balanced, broker drained, >=2x): %s\n",
-              ok ? "MET" : "MISSED");
+  // Below saturation the two broker paths must land the same warehouse
+  // bytes: batching changes how payloads travel, never what lands.
+  bool id_unbatched_ok = false, id_batched_ok = false;
+  auto id_unbatched = RunIdentityTier(false, seed, &id_unbatched_ok);
+  auto id_batched = RunIdentityTier(true, seed, &id_batched_ok);
+  bool identity_ok = id_unbatched_ok && id_batched_ok &&
+                     id_unbatched == id_batched && !id_unbatched.empty();
+  std::printf("warehouse byte-identity (light load, %zu parts): %s\n",
+              id_unbatched.size(), identity_ok ? "identical" : "DIVERGED");
+
+  bool ok = baseline.audit_ok && unbatched.audit_ok && batched.audit_ok &&
+            partition_speedup >= 2.0 && batch_speedup >= 3.0 &&
+            batched.stats.messages_in_warehouse > 0 &&
+            batched.audit.in_flight_broker == 0 && identity_ok;
+  std::printf(
+      "contract (audits balanced, broker drained, >=2x partitions, >=3x "
+      "batching, warehouse bytes identical): %s\n",
+      ok ? "MET" : "MISSED");
   if (!ok) {
     std::fprintf(stderr, "CONTRACT VIOLATED — reproduce with --seed=%llu\n",
                  static_cast<unsigned long long>(seed));
@@ -173,14 +285,29 @@ int main(int argc, char** argv) {
               Json::Number(static_cast<double>(kWindow) / 1e3));
   section.Set("baseline_intake_mb_per_sec",
               Json::Number(baseline.intake_mb_per_sec));
-  section.Set("broker_intake_mb_per_sec",
-              Json::Number(brokered.intake_mb_per_sec));
+  section.Set("broker_unbatched_intake_mb_per_sec",
+              Json::Number(unbatched.intake_mb_per_sec));
+  section.Set("broker_batched_intake_mb_per_sec",
+              Json::Number(batched.intake_mb_per_sec));
   section.Set("broker_consume_mb_per_sec",
-              Json::Number(brokered.consume_mb_per_sec));
-  section.Set("broker_p99_e2e_ms", Json::Number(brokered.p99_e2e_ms));
-  section.Set("speedup", Json::Number(speedup));
+              Json::Number(batched.consume_mb_per_sec));
+  section.Set("broker_p99_e2e_ms", Json::Number(batched.p99_e2e_ms));
+  section.Set("partition_speedup", Json::Number(partition_speedup));
+  section.Set("batch_speedup", Json::Number(batch_speedup));
+  section.Set("wire_bytes_ratio_unbatched",
+              Json::Number(unbatched.wire_bytes_ratio));
+  section.Set("wire_bytes_ratio_batched",
+              Json::Number(batched.wire_bytes_ratio));
+  section.Set("batch_entries_per_produce",
+              Json::Number(batched.batch_entries_per_produce));
+  section.Set("allocs_per_entry_unbatched",
+              Json::Number(unbatched.allocs_per_entry));
+  section.Set("allocs_per_entry_batched",
+              Json::Number(batched.allocs_per_entry));
   section.Set("baseline_audit_balanced", Json::Bool(baseline.audit_ok));
-  section.Set("broker_audit_balanced", Json::Bool(brokered.audit_ok));
+  section.Set("broker_audit_balanced",
+              Json::Bool(unbatched.audit_ok && batched.audit_ok));
+  section.Set("warehouse_identity_ok", Json::Bool(identity_ok));
   section.Set("contract_met", Json::Bool(ok));
   Status js = bench::MergeBenchJsonSection("BENCH_broker.json",
                                            "broker_throughput", section);

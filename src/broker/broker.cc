@@ -160,8 +160,15 @@ BrokerNode::BrokerNode(Simulator* sim, zk::ZooKeeper* zk,
   obs::Labels labels{{"dc", dc_}, {"id", id_}};
   produced_ = metrics->GetCounter("broker.entries_produced", labels);
   bytes_produced_ = metrics->GetCounter("broker.bytes_produced", labels);
+  wire_bytes_produced_ =
+      metrics->GetCounter("broker.wire_bytes_produced", labels);
   duplicates_ = metrics->GetCounter("broker.entries_duplicate", labels);
   replicated_ = metrics->GetCounter("broker.entries_replicated", labels);
+  wire_bytes_replicated_ =
+      metrics->GetCounter("broker.wire_bytes_replicated", labels);
+  replication_rounds_ =
+      metrics->GetCounter("broker.replication_rounds", labels);
+  produce_calls_ = metrics->GetCounter("broker.produce_calls", labels);
   lost_failover_ = metrics->GetCounter("broker.entries_lost_failover", labels);
   elections_ = metrics->GetCounter("broker.elections_won", labels);
   throttled_backpressure_ =
@@ -173,6 +180,10 @@ BrokerNode::BrokerNode(Simulator* sim, zk::ZooKeeper* zk,
       metrics->GetCounter("broker.not_leader_rejects", labels);
   log_entries_gauge_ = metrics->GetGauge("broker.log_entries", labels);
   log_bytes_gauge_ = metrics->GetGauge("broker.log_bytes", labels);
+  retained_compressed_gauge_ =
+      metrics->GetGauge("broker.retained_bytes_compressed", labels);
+  retained_uncompressed_gauge_ =
+      metrics->GetGauge("broker.retained_bytes_uncompressed", labels);
   partitions_led_gauge_ = metrics->GetGauge("broker.partitions_led", labels);
   produce_batch_entries_ =
       metrics->GetHistogram("broker.produce_batch_entries", labels);
@@ -370,11 +381,12 @@ void BrokerNode::BecomeLeader(Replica* r) {
       r->log.ProducerHighWatermarks(std::numeric_limits<uint64_t>::max());
   r->producer_acked = r->log.ProducerHighWatermarks(w_state);
   r->unacked_min_offset.clear();
-  for (const Record& rec : r->log.records()) {
-    if (rec.offset < w_state) continue;
-    auto [it, inserted] =
-        r->unacked_min_offset.emplace(rec.producer, rec.offset);
-    if (!inserted) it->second = std::min(it->second, rec.offset);
+  for (const Batch& b : r->log.batches()) {
+    if (b.end_offset() <= w_state) continue;
+    // The batch's unacked suffix starts where the watermark cuts it.
+    uint64_t off = std::max(b.base_offset, w_state);
+    auto [it, inserted] = r->unacked_min_offset.emplace(b.producer, off);
+    if (!inserted) it->second = std::min(it->second, off);
   }
   r->leader = true;
   elections_->Increment();
@@ -397,24 +409,83 @@ std::vector<BrokerNode*> BrokerNode::LivePeers(const std::string& category,
   return peers;
 }
 
-bool BrokerNode::SyncReplicate(const std::string& category, int partition,
-                               const std::vector<Record>& records) {
+bool BrokerNode::MirrorBatches(const std::string& category, int partition,
+                               const std::vector<Batch>& batches) {
   if (!alive_) return false;
   Replica* r = FindReplica(category, partition);
   if (r == nullptr) return false;
-  if (records.empty()) return true;
-  if (records.front().offset != r->log.end_offset()) {
-    // This follower is behind (e.g. freshly restarted); accepting a
-    // non-contiguous batch would hide a real gap. It catches up through
-    // the periodic replica fetch instead.
-    return false;
+  uint64_t mirrored = 0;
+  for (const Batch& b : batches) {
+    // Ranges already covered locally are resend overlap; AppendMirror
+    // rejects them and keeps the mirror gap-honest.
+    if (r->log.AppendMirror(b)) mirrored += b.count;
   }
-  for (const Record& rec : records) {
-    if (r->log.AppendRecord(rec)) replicated_->Increment();
+  if (mirrored > 0) {
+    replicated_->Increment(mirrored);
+    PublishEndOffset(r);
+    UpdateGauges();
   }
-  PublishEndOffset(r);
-  UpdateGauges();
   return true;
+}
+
+uint64_t BrokerNode::MirrorEndOffset(const std::string& category,
+                                     int partition) const {
+  if (!alive_) return std::numeric_limits<uint64_t>::max();
+  const Replica* r = FindReplica(category, partition);
+  if (r == nullptr) return std::numeric_limits<uint64_t>::max();
+  return r->log.end_offset();
+}
+
+void BrokerNode::ReplicateToPeers(Replica* r,
+                                  const std::vector<BrokerNode*>& peers) {
+  const uint64_t end = r->log.end_offset();
+  for (BrokerNode* peer : peers) {
+    uint64_t peer_end = peer->MirrorEndOffset(r->category, r->partition);
+    if (peer_end == std::numeric_limits<uint64_t>::max() || peer_end >= end) {
+      continue;
+    }
+    // Group commit: one round carries every batch the peer is missing —
+    // the batch just appended plus whatever queued up while the peer
+    // lagged — as shared-blob metadata, no payload copies.
+    auto window = r->log.ReadFrom(peer_end, end,
+                                  std::numeric_limits<TimeMs>::max());
+    if (window.batches.empty()) continue;
+    if (peer->MirrorBatches(r->category, r->partition, window.batches)) {
+      replication_rounds_->Increment();
+      wire_bytes_replicated_->Increment(window.stored_bytes);
+    }
+  }
+}
+
+Status BrokerNode::AdmitProduce(Replica* r, uint64_t wire_cost,
+                                std::vector<BrokerNode*>* peers) {
+  if (options_.acks == kAcksAll) {
+    *peers = LivePeers(r->category, r->partition);
+    if (1 + static_cast<int>(peers->size()) < options_.min_insync_replicas) {
+      insufficient_replicas_->Increment();
+      return Status::Unavailable("not enough in-sync replicas for " +
+                                 r->category);
+    }
+  }
+  if (options_.node_service_bytes_per_sec > 0) {
+    RefillTokens();
+    if (tokens_ < static_cast<double>(wire_cost)) {
+      throttled_rate_->Increment();
+      return Status::Unavailable("produce rate throttled on " + id_);
+    }
+  }
+  if (r->log.byte_size() >= options_.partition_inflight_limit_bytes) {
+    // Bounded in-flight window: backpressure instead of drop-oldest. The
+    // producer keeps its queue and retries after backoff; consumers
+    // draining the partition (triggering trims) reopen the window. The
+    // window is measured in uncompressed terms on both paths.
+    throttled_backpressure_->Increment();
+    return Status::Unavailable("partition in-flight window full");
+  }
+  if (options_.node_service_bytes_per_sec > 0) {
+    tokens_ -= static_cast<double>(wire_cost);
+  }
+  return Status::OK();
 }
 
 Status BrokerNode::Produce(const std::string& category, int partition,
@@ -431,35 +502,10 @@ Status BrokerNode::Produce(const std::string& category, int partition,
   }
   if (items.empty()) return Status::OK();
 
-  std::vector<BrokerNode*> peers;
-  if (options_.acks == kAcksAll) {
-    peers = LivePeers(category, partition);
-    if (1 + static_cast<int>(peers.size()) < options_.min_insync_replicas) {
-      insufficient_replicas_->Increment();
-      return Status::Unavailable("not enough in-sync replicas for " +
-                                 category);
-    }
-  }
-
   uint64_t cost = 0;
   for (const ProduceItem& item : items) cost += item.payload.size();
-  if (options_.node_service_bytes_per_sec > 0) {
-    RefillTokens();
-    if (tokens_ < static_cast<double>(cost)) {
-      throttled_rate_->Increment();
-      return Status::Unavailable("produce rate throttled on " + id_);
-    }
-  }
-  if (r->log.byte_size() >= options_.partition_inflight_limit_bytes) {
-    // Bounded in-flight window: backpressure instead of drop-oldest. The
-    // producer keeps its queue and retries after backoff; consumers
-    // draining the partition (triggering trims) reopen the window.
-    throttled_backpressure_->Increment();
-    return Status::Unavailable("partition in-flight window full");
-  }
-  if (options_.node_service_bytes_per_sec > 0) {
-    tokens_ -= static_cast<double>(cost);
-  }
+  std::vector<BrokerNode*> peers;
+  UNILOG_RETURN_NOT_OK(AdmitProduce(r, cost, &peers));
 
   uint64_t acked_wm = 0;
   if (auto it = r->producer_acked.find(producer);
@@ -472,7 +518,8 @@ Status BrokerNode::Produce(const std::string& category, int partition,
     appended_wm = std::max(appended_wm, it->second);
   }
 
-  std::vector<Record> appended;
+  uint64_t first_appended_offset = 0;
+  bool any_appended = false;
   uint64_t newly_acked = 0;
   uint64_t newly_acked_bytes = 0;
   uint64_t dups = 0;
@@ -493,28 +540,31 @@ Status BrokerNode::Produce(const std::string& category, int partition,
       ++dups;
       continue;
     }
-    appended.push_back(r->log.Append(producer, item.seq, sim_->Now(),
-                                     item.logged_at, item.payload));
+    const Batch& b = r->log.Append(producer, item.seq, sim_->Now(),
+                                   item.logged_at, item.payload);
+    if (!any_appended) {
+      any_appended = true;
+      first_appended_offset = b.base_offset;
+    }
   }
   if (max_seq > appended_wm) r->producer_appended[producer] = max_seq;
 
-  if (options_.acks == kAcksAll && !appended.empty()) {
-    for (BrokerNode* peer : peers) {
-      peer->SyncReplicate(category, partition, appended);
-    }
+  if (options_.acks == kAcksAll && any_appended) {
+    ReplicateToPeers(r, peers);
   }
   PublishEndOffset(r);
   produce_batch_entries_->Observe(static_cast<double>(items.size()));
+  wire_bytes_produced_->Increment(cost);
 
   if (inject_ack_loss_once_) {
     inject_ack_loss_once_ = false;
     // The append (and replication) happened but the ack never reaches the
     // producer. Pin the acked watermark below the new records so consumers
     // cannot see them until the resend resolves their fate.
-    if (!appended.empty()) {
+    if (any_appended) {
       auto [it, inserted] =
-          r->unacked_min_offset.emplace(producer, appended.front().offset);
-      if (!inserted) it->second = std::min(it->second, appended.front().offset);
+          r->unacked_min_offset.emplace(producer, first_appended_offset);
+      if (!inserted) it->second = std::min(it->second, first_appended_offset);
     }
     zk_->SetData(session_, StatePath(dc_, category, partition),
                  std::to_string(AckedWatermark(*r)));
@@ -527,6 +577,115 @@ Status BrokerNode::Produce(const std::string& category, int partition,
   produced_->Increment(newly_acked);
   bytes_produced_->Increment(newly_acked_bytes);
   duplicates_->Increment(dups);
+  produce_calls_->Increment();
+  zk_->SetData(session_, StatePath(dc_, category, partition),
+               std::to_string(AckedWatermark(*r)));
+  UpdateGauges();
+  if (ack != nullptr) {
+    ack->accepted = newly_acked;
+    ack->deduped = dups;
+  }
+  return Status::OK();
+}
+
+Status BrokerNode::ProduceBatch(const std::string& category, int partition,
+                                const std::string& producer,
+                                ProduceBatchRequest req, ProduceAck* ack) {
+  if (ack != nullptr) *ack = ProduceAck{};
+  if (!alive_) return Status::Unavailable("broker down: " + id_);
+  Replica* r = FindReplica(category, partition);
+  if (r == nullptr || !r->leader) {
+    not_leader_rejects_->Increment();
+    return Status::FailedPrecondition(id_ + " does not lead " + category +
+                                      "/" + std::to_string(partition));
+  }
+  if (req.count == 0) return Status::OK();
+  if (req.record_sizes.size() != req.count) {
+    return Status::InvalidArgument("produce batch record_sizes/count mismatch");
+  }
+
+  const uint64_t cost = req.body.size();  // wire bytes: the compressed blob
+  std::vector<BrokerNode*> peers;
+  UNILOG_RETURN_NOT_OK(AdmitProduce(r, cost, &peers));
+
+  uint64_t acked_wm = 0;
+  if (auto it = r->producer_acked.find(producer);
+      it != r->producer_acked.end()) {
+    acked_wm = it->second;
+  }
+  uint64_t appended_wm = acked_wm;
+  if (auto it = r->producer_appended.find(producer);
+      it != r->producer_appended.end()) {
+    appended_wm = std::max(appended_wm, it->second);
+  }
+
+  // Seqs are dense in [first_seq, last], so dedup is pure arithmetic
+  // against the watermarks — no per-record work, no decompression.
+  const uint64_t last = req.first_seq + req.count - 1;
+  // Resends at or below the appended watermark are duplicates (already in
+  // the log; those above the acked watermark just get acknowledged now).
+  const uint64_t skip_n =
+      appended_wm >= req.first_seq
+          ? std::min<uint64_t>(appended_wm - req.first_seq + 1, req.count)
+          : 0;
+  const uint64_t dups = skip_n;
+  const uint64_t ack_lo = std::max(req.first_seq, acked_wm + 1);
+  const uint64_t newly_acked = last >= ack_lo ? last - ack_lo + 1 : 0;
+  uint64_t newly_acked_bytes = 0;
+  for (uint32_t i = 0; i < req.count; ++i) {
+    if (req.first_seq + i >= ack_lo) newly_acked_bytes += req.record_sizes[i];
+  }
+
+  uint64_t first_appended_offset = 0;
+  bool any_appended = false;
+  if (skip_n < req.count) {
+    // Head-trim the overlap in metadata and append the tail as ONE batch
+    // entry; the blob stays whole and opaque (skip_frames records the trim
+    // for decode time).
+    Batch b;
+    b.count = req.count - static_cast<uint32_t>(skip_n);
+    b.producer = producer;
+    b.first_seq = req.first_seq + skip_n;
+    b.min_appended_at = sim_->Now();
+    b.max_appended_at = b.min_appended_at;
+    b.skip_frames = static_cast<uint32_t>(skip_n);
+    b.compressed = req.compressed;
+    b.record_sizes.assign(req.record_sizes.begin() + skip_n,
+                          req.record_sizes.end());
+    for (uint32_t sz : b.record_sizes) b.payload_bytes += sz;
+    b.body = std::make_shared<const std::string>(std::move(req.body));
+    const Batch& stored = r->log.AppendBatch(std::move(b));
+    any_appended = true;
+    first_appended_offset = stored.base_offset;
+  }
+  if (last > appended_wm) r->producer_appended[producer] = last;
+
+  if (options_.acks == kAcksAll && any_appended) {
+    ReplicateToPeers(r, peers);
+  }
+  PublishEndOffset(r);
+  produce_batch_entries_->Observe(static_cast<double>(req.count));
+  wire_bytes_produced_->Increment(cost);
+
+  if (inject_ack_loss_once_) {
+    inject_ack_loss_once_ = false;
+    if (any_appended) {
+      auto [it, inserted] =
+          r->unacked_min_offset.emplace(producer, first_appended_offset);
+      if (!inserted) it->second = std::min(it->second, first_appended_offset);
+    }
+    zk_->SetData(session_, StatePath(dc_, category, partition),
+                 std::to_string(AckedWatermark(*r)));
+    UpdateGauges();
+    return Status::Unavailable("ack lost (injected)");
+  }
+
+  r->producer_acked[producer] = std::max(acked_wm, last);
+  r->unacked_min_offset.erase(producer);
+  produced_->Increment(newly_acked);
+  bytes_produced_->Increment(newly_acked_bytes);
+  duplicates_->Increment(dups);
+  produce_calls_->Increment();
   zk_->SetData(session_, StatePath(dc_, category, partition),
                std::to_string(AckedWatermark(*r)));
   UpdateGauges();
@@ -591,13 +750,19 @@ void BrokerNode::FetchFromLeaders() {
     auto fetched = leader->ReplicaFetch(key.first, key.second,
                                         r.log.end_offset(), &trim_to);
     if (!fetched.ok()) continue;
-    size_t mirrored = 0;
-    for (Record& rec : fetched->records) {
-      if (r.log.AppendRecord(std::move(rec))) ++mirrored;
+    uint64_t mirrored = 0;
+    uint64_t mirrored_wire = 0;
+    for (Batch& b : fetched->batches) {
+      uint64_t wire = b.stored_bytes();
+      if (r.log.AppendMirror(std::move(b))) {
+        mirrored += r.log.batches().back().count;
+        mirrored_wire += wire;
+      }
     }
     r.log.TrimTo(trim_to);
     if (mirrored > 0) {
       replicated_->Increment(mirrored);
+      wire_bytes_replicated_->Increment(mirrored_wire);
       PublishEndOffset(&r);
     }
   }
@@ -615,14 +780,18 @@ void BrokerNode::RefillTokens() {
 void BrokerNode::UpdateGauges() {
   uint64_t entries = 0;
   uint64_t bytes = 0;
+  uint64_t stored = 0;
   int64_t led = 0;
   for (const auto& [key, r] : replicas_) {
     entries += r.log.entry_count();
     bytes += r.log.byte_size();
+    stored += r.log.stored_byte_size();
     if (r.leader) ++led;
   }
   log_entries_gauge_->Set(static_cast<int64_t>(entries));
   log_bytes_gauge_->Set(static_cast<int64_t>(bytes));
+  retained_compressed_gauge_->Set(static_cast<int64_t>(stored));
+  retained_uncompressed_gauge_->Set(static_cast<int64_t>(bytes));
   partitions_led_gauge_->Set(led);
 }
 
@@ -630,8 +799,12 @@ BrokerNodeStats BrokerNode::stats() const {
   BrokerNodeStats s;
   s.entries_produced = produced_->value();
   s.bytes_produced = bytes_produced_->value();
+  s.wire_bytes_produced = wire_bytes_produced_->value();
   s.entries_duplicate = duplicates_->value();
   s.entries_replicated = replicated_->value();
+  s.wire_bytes_replicated = wire_bytes_replicated_->value();
+  s.replication_rounds = replication_rounds_->value();
+  s.produce_calls = produce_calls_->value();
   s.entries_lost_failover = lost_failover_->value();
   s.elections_won = elections_->value();
   s.throttled_backpressure = throttled_backpressure_->value();
@@ -640,6 +813,10 @@ BrokerNodeStats BrokerNode::stats() const {
   s.not_leader_rejects = not_leader_rejects_->value();
   s.log_entries = static_cast<uint64_t>(log_entries_gauge_->value());
   s.log_bytes = static_cast<uint64_t>(log_bytes_gauge_->value());
+  s.retained_bytes_compressed =
+      static_cast<uint64_t>(retained_compressed_gauge_->value());
+  s.retained_bytes_uncompressed =
+      static_cast<uint64_t>(retained_uncompressed_gauge_->value());
   s.partitions_led = static_cast<uint64_t>(partitions_led_gauge_->value());
   return s;
 }

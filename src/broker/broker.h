@@ -63,6 +63,21 @@ struct ProduceAck {
   uint64_t deduped = 0;   // resends of already-acknowledged entries
 };
 
+/// A daemon-framed produce batch: `count` records with dense seqs
+/// [first_seq, first_seq + count), framed into `body` (one frame per
+/// record: varint logged_at, varint payload_len, payload) and compressed
+/// once at the producer when `compressed`. The broker stores, replicates,
+/// and serves the body opaquely; `record_sizes` carries the per-record
+/// uncompressed payload sizes the broker needs for dedup trims and
+/// uncompressed-byte accounting without ever touching the blob.
+struct ProduceBatchRequest {
+  uint64_t first_seq = 0;
+  uint32_t count = 0;
+  std::string body;
+  bool compressed = true;
+  std::vector<uint32_t> record_sizes;
+};
+
 /// FNV-1a. Partition assignment must be identical across runs and builds
 /// (std::hash is not portable), so it is part of the deterministic
 /// contract.
@@ -102,9 +117,13 @@ uint64_t MaxCommittedOffset(const zk::ZooKeeper& zk, const std::string& dc,
 
 struct BrokerNodeStats {
   uint64_t entries_produced = 0;   // acknowledged to producers
-  uint64_t bytes_produced = 0;
+  uint64_t bytes_produced = 0;     // uncompressed payload bytes acked
+  uint64_t wire_bytes_produced = 0;  // bytes as shipped (compressed if batched)
   uint64_t entries_duplicate = 0;  // dedup hits on (producer, seq)
   uint64_t entries_replicated = 0;
+  uint64_t wire_bytes_replicated = 0;
+  uint64_t replication_rounds = 0;  // group-commit rounds (leader side)
+  uint64_t produce_calls = 0;       // successful Produce/ProduceBatch calls
   uint64_t entries_lost_failover = 0;
   uint64_t elections_won = 0;
   uint64_t throttled_backpressure = 0;
@@ -112,7 +131,9 @@ struct BrokerNodeStats {
   uint64_t insufficient_replicas = 0;
   uint64_t not_leader_rejects = 0;
   uint64_t log_entries = 0;  // retained, across led+followed partitions
-  uint64_t log_bytes = 0;
+  uint64_t log_bytes = 0;    // retained uncompressed payload bytes
+  uint64_t retained_bytes_compressed = 0;    // retained blob bytes
+  uint64_t retained_bytes_uncompressed = 0;  // == log_bytes
   uint64_t partitions_led = 0;
 };
 
@@ -173,6 +194,16 @@ class BrokerNode {
                  const std::string& producer,
                  const std::vector<ProduceItem>& items, ProduceAck* ack);
 
+  /// Leader-only batched produce — the hot path. The framed (and normally
+  /// compressed) body is appended as ONE batch entry covering the dense
+  /// offset range; a resend partially overlapping already-appended seqs is
+  /// head-trimmed in metadata (never decompressed, split, or
+  /// double-appended). Same status contract as Produce. Rate-limit cost is
+  /// the wire size of `body` — the batched path's throughput lever.
+  Status ProduceBatch(const std::string& category, int partition,
+                      const std::string& producer, ProduceBatchRequest req,
+                      ProduceAck* ack);
+
   /// Leader-only consumer read: acknowledged records in
   /// [from, acked watermark) appended before `ts_limit`.
   Result<PartitionLog::ReadResult> ConsumerFetch(const std::string& category,
@@ -187,9 +218,22 @@ class BrokerNode {
                                                 uint64_t* trim_to) const;
 
   /// Offset-commit hook from the fleet: all consumer groups have committed
-  /// through `offset`, so a leader may trim its retained log.
+  /// through `offset`, so a leader may trim its retained log (whole
+  /// batches only).
   void NoteConsumedTo(const std::string& category, int partition,
                       uint64_t offset);
+
+  /// Follower-side mirror of whole batch entries (leader push on acks=all
+  /// and periodic catch-up both land here). Batches whose range is already
+  /// covered locally are skipped; blobs are shared, never copied or
+  /// decompressed. Returns false when this node cannot take the write.
+  bool MirrorBatches(const std::string& category, int partition,
+                     const std::vector<Batch>& batches);
+
+  /// The local end offset of a hosted replica, or UINT64_MAX when this
+  /// node does not host (category, partition). Leaders use it to size each
+  /// peer's group-commit replication window.
+  uint64_t MirrorEndOffset(const std::string& category, int partition) const;
 
   /// Chaos hook: the next Produce appends and replicates normally but the
   /// acknowledgement is "lost" (Unavailable), leaving the producer to
@@ -220,8 +264,16 @@ class BrokerNode {
   const Replica* FindReplica(const std::string& category,
                              int partition) const;
   uint64_t AckedWatermark(const Replica& r) const;
-  bool SyncReplicate(const std::string& category, int partition,
-                     const std::vector<Record>& records);
+  /// Leader-side group commit: for every peer, ships EVERYTHING the peer
+  /// is missing — the just-appended batch plus any earlier batches the
+  /// peer lacks — in one MirrorBatches round, so a produce's replication
+  /// round also drains the queue a lagging follower built up.
+  void ReplicateToPeers(Replica* r, const std::vector<BrokerNode*>& peers);
+  /// Shared produce admission: insync check (acks=all), token-bucket rate
+  /// limit on `wire_cost`, and the bounded in-flight window (uncompressed
+  /// terms). Charges tokens only on admission.
+  Status AdmitProduce(Replica* r, uint64_t wire_cost,
+                      std::vector<BrokerNode*>* peers);
   std::vector<BrokerNode*> LivePeers(const std::string& category,
                                      int partition) const;
   Status RegisterCandidate(Replica* r);
@@ -257,8 +309,12 @@ class BrokerNode {
   std::unique_ptr<obs::MetricsRegistry> owned_metrics_;
   obs::Counter* produced_;
   obs::Counter* bytes_produced_;
+  obs::Counter* wire_bytes_produced_;
   obs::Counter* duplicates_;
   obs::Counter* replicated_;
+  obs::Counter* wire_bytes_replicated_;
+  obs::Counter* replication_rounds_;
+  obs::Counter* produce_calls_;
   obs::Counter* lost_failover_;
   obs::Counter* elections_;
   obs::Counter* throttled_backpressure_;
@@ -267,6 +323,8 @@ class BrokerNode {
   obs::Counter* not_leader_rejects_;
   obs::Gauge* log_entries_gauge_;
   obs::Gauge* log_bytes_gauge_;
+  obs::Gauge* retained_compressed_gauge_;
+  obs::Gauge* retained_uncompressed_gauge_;
   obs::Gauge* partitions_led_gauge_;
   obs::Histogram* produce_batch_entries_;
 };

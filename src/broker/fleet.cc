@@ -199,8 +199,14 @@ BrokerFleetStats BrokerFleet::TotalStats() const {
     BrokerNodeStats s = node->stats();
     total.entries_produced += s.entries_produced;
     total.bytes_produced += s.bytes_produced;
+    total.wire_bytes_produced += s.wire_bytes_produced;
     total.entries_duplicate += s.entries_duplicate;
     total.entries_lost_failover += s.entries_lost_failover;
+    total.wire_bytes_replicated += s.wire_bytes_replicated;
+    total.replication_rounds += s.replication_rounds;
+    total.produce_calls += s.produce_calls;
+    total.retained_bytes_compressed += s.retained_bytes_compressed;
+    total.retained_bytes_uncompressed += s.retained_bytes_uncompressed;
     total.throttled += s.throttled_backpressure + s.throttled_rate +
                        s.insufficient_replicas;
     total.elections_won += s.elections_won;

@@ -19,11 +19,17 @@ namespace unilog::broker {
 /// consumer counters), for the cluster audit.
 struct BrokerFleetStats {
   uint64_t entries_produced = 0;
-  uint64_t bytes_produced = 0;
+  uint64_t bytes_produced = 0;       // uncompressed payload bytes acked
+  uint64_t wire_bytes_produced = 0;  // bytes as shipped daemon→leader
   uint64_t entries_duplicate = 0;
   uint64_t entries_lost_failover = 0;
   uint64_t entries_consumed = 0;
-  uint64_t bytes_consumed = 0;
+  uint64_t bytes_consumed = 0;  // uncompressed, decoded at warehouse landing
+  uint64_t wire_bytes_replicated = 0;
+  uint64_t replication_rounds = 0;
+  uint64_t produce_calls = 0;
+  uint64_t retained_bytes_compressed = 0;
+  uint64_t retained_bytes_uncompressed = 0;
   uint64_t throttled = 0;  // backpressure + rate + insufficient replicas
   uint64_t elections_won = 0;
 };

@@ -1,30 +1,138 @@
 #include "broker/partition_log.h"
 
 #include <algorithm>
+#include <limits>
 #include <utility>
+
+#include "common/coding.h"
+#include "common/compress.h"
 
 namespace unilog::broker {
 
-const Record& PartitionLog::Append(std::string producer, uint64_t seq,
-                                   TimeMs appended_at, TimeMs logged_at,
-                                   std::string payload) {
-  Record r;
-  r.offset = next_offset_++;
-  r.producer = std::move(producer);
-  r.seq = seq;
-  r.appended_at = appended_at;
-  r.logged_at = logged_at;
-  r.payload = std::move(payload);
-  bytes_ += r.payload.size();
-  records_.push_back(std::move(r));
-  return records_.back();
+namespace {
+
+// Parses one LEB128 varint from `buf` at *pos, for the frame parser that
+// walks an incrementally decompressed body (Decoder wants a fixed view;
+// the body grows between reads).
+Status GetVarintFrom(const std::string& buf, size_t* pos, uint64_t* value) {
+  uint64_t result = 0;
+  size_t p = *pos;
+  for (int shift = 0; shift <= 63; shift += 7) {
+    if (p >= buf.size()) return Status::Corruption("batch frame: truncated varint");
+    uint8_t byte = static_cast<uint8_t>(buf[p++]);
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *pos = p;
+      *value = result;
+      return Status::OK();
+    }
+  }
+  return Status::Corruption("batch frame: varint too long");
 }
 
-bool PartitionLog::AppendRecord(Record r) {
-  if (r.offset < next_offset_) return false;
-  next_offset_ = r.offset + 1;
-  bytes_ += r.payload.size();
-  records_.push_back(std::move(r));
+uint64_t SumSizes(const std::vector<uint32_t>& sizes, size_t from, size_t n) {
+  uint64_t sum = 0;
+  for (size_t i = from; i < from + n; ++i) sum += sizes[i];
+  return sum;
+}
+
+}  // namespace
+
+void AppendBatchFrame(std::string* body, TimeMs logged_at,
+                      std::string_view payload) {
+  PutVarint64(body, static_cast<uint64_t>(logged_at));
+  PutVarint64(body, payload.size());
+  body->append(payload.data(), payload.size());
+}
+
+Result<size_t> DecodeBatch(const Batch& batch, std::vector<Record>* out) {
+  out->clear();
+  out->reserve(batch.count);
+  if (batch.body == nullptr) {
+    if (batch.count == 0) return static_cast<size_t>(0);
+    return Status::Corruption("batch has records but no body");
+  }
+  std::unique_ptr<Lz::IncrementalDecompressor> inc;
+  const std::string* buf = batch.body.get();
+  if (batch.compressed) {
+    inc = std::make_unique<Lz::IncrementalDecompressor>(*batch.body);
+    buf = &inc->output();
+  }
+  size_t pos = 0;
+  // Two varints never exceed 20 bytes; ask the decompressor for that much
+  // headroom before parsing a frame header, then for the payload itself.
+  auto ensure = [&](size_t n) -> Status {
+    if (inc == nullptr) return Status::OK();
+    return inc->DecodeUntil(pos + n);
+  };
+  const uint32_t total_frames = batch.skip_frames + batch.count;
+  for (uint32_t f = 0; f < total_frames; ++f) {
+    UNILOG_RETURN_NOT_OK(ensure(20));
+    uint64_t logged_at = 0;
+    uint64_t len = 0;
+    UNILOG_RETURN_NOT_OK(GetVarintFrom(*buf, &pos, &logged_at));
+    UNILOG_RETURN_NOT_OK(GetVarintFrom(*buf, &pos, &len));
+    UNILOG_RETURN_NOT_OK(ensure(len));
+    if (buf->size() < pos + len) {
+      return Status::Corruption("batch frame: truncated payload");
+    }
+    if (f >= batch.skip_frames) {
+      const uint32_t i = f - batch.skip_frames;
+      if (i < batch.record_sizes.size() && batch.record_sizes[i] != len) {
+        return Status::Corruption("batch frame: size index mismatch");
+      }
+      Record r;
+      r.offset = batch.base_offset + i;
+      r.producer = batch.producer;
+      r.seq = batch.first_seq + i;
+      r.appended_at = batch.appended_at(i);
+      r.logged_at = static_cast<TimeMs>(logged_at);
+      r.payload.assign(buf->data() + pos, len);
+      out->push_back(std::move(r));
+    }
+    pos += len;
+  }
+  // Bytes actually materialized: for compressed bodies the decompressor
+  // may have run a few token-granular bytes past `pos`, but never into
+  // tail frames beyond what a token straddles.
+  return inc != nullptr ? inc->output().size() : pos;
+}
+
+const Batch& PartitionLog::AppendBatch(Batch b) {
+  b.base_offset = next_offset_;
+  next_offset_ += b.count;
+  bytes_ += b.payload_bytes;
+  stored_bytes_ += b.stored_bytes();
+  record_count_ += b.count;
+  batches_.push_back(std::move(b));
+  return batches_.back();
+}
+
+const Batch& PartitionLog::Append(std::string producer, uint64_t seq,
+                                  TimeMs appended_at, TimeMs logged_at,
+                                  std::string payload) {
+  Batch b;
+  b.count = 1;
+  b.producer = std::move(producer);
+  b.first_seq = seq;
+  b.min_appended_at = appended_at;
+  b.max_appended_at = appended_at;
+  b.record_sizes = {static_cast<uint32_t>(payload.size())};
+  b.payload_bytes = payload.size();
+  std::string body;
+  AppendBatchFrame(&body, logged_at, payload);
+  b.body = std::make_shared<const std::string>(std::move(body));
+  b.compressed = false;
+  return AppendBatch(std::move(b));
+}
+
+bool PartitionLog::AppendMirror(Batch b) {
+  if (b.base_offset < next_offset_) return false;
+  next_offset_ = b.end_offset();
+  bytes_ += b.payload_bytes;
+  stored_bytes_ += b.stored_bytes();
+  record_count_ += b.count;
+  batches_.push_back(std::move(b));
   return true;
 }
 
@@ -33,18 +141,50 @@ void PartitionLog::AdvanceTo(uint64_t offset) {
 }
 
 void PartitionLog::TrimTo(uint64_t offset) {
-  while (!records_.empty() && records_.front().offset < offset) {
-    bytes_ -= records_.front().payload.size();
-    records_.pop_front();
+  while (!batches_.empty() && batches_.front().end_offset() <= offset) {
+    const Batch& front = batches_.front();
+    bytes_ -= front.payload_bytes;
+    stored_bytes_ -= front.stored_bytes();
+    record_count_ -= front.count;
+    begin_ = std::max(begin_, front.end_offset());
+    batches_.pop_front();
   }
-  begin_ = std::max(begin_, std::min(offset, next_offset_));
+  // Raise begin_ through gaps, but never into a retained batch: a batch
+  // straddling `offset` stays whole, and begin_ stops at its base.
+  const uint64_t cap =
+      batches_.empty() ? next_offset_ : batches_.front().base_offset;
+  begin_ = std::max(begin_, std::min(offset, cap));
 }
 
 void PartitionLog::Clear() {
-  records_.clear();
+  batches_.clear();
   next_offset_ = 0;
   begin_ = 0;
   bytes_ = 0;
+  stored_bytes_ = 0;
+  record_count_ = 0;
+}
+
+Batch PartitionLog::Slice(const Batch& b, uint64_t from, uint32_t take) {
+  Batch s = b;  // shares the body
+  const uint32_t drop = static_cast<uint32_t>(from - b.base_offset);
+  if (drop == 0 && take == b.count) return s;
+  s.base_offset = from;
+  s.skip_frames = b.skip_frames + drop;
+  s.first_seq = b.first_seq + drop;
+  s.count = take;
+  s.record_sizes.assign(b.record_sizes.begin() + drop,
+                        b.record_sizes.begin() + drop + take);
+  s.payload_bytes = SumSizes(b.record_sizes, drop, take);
+  if (!b.record_times.empty()) {
+    s.record_times.assign(b.record_times.begin() + drop,
+                          b.record_times.begin() + drop + take);
+    s.min_appended_at = *std::min_element(s.record_times.begin(),
+                                          s.record_times.end());
+    s.max_appended_at = *std::max_element(s.record_times.begin(),
+                                          s.record_times.end());
+  }
+  return s;
 }
 
 PartitionLog::ReadResult PartitionLog::ReadFrom(uint64_t from,
@@ -53,17 +193,40 @@ PartitionLog::ReadResult PartitionLog::ReadFrom(uint64_t from,
   ReadResult out;
   out.next_offset = std::max(from, begin_);
   auto it = std::lower_bound(
-      records_.begin(), records_.end(), from,
-      [](const Record& r, uint64_t off) { return r.offset < off; });
-  for (; it != records_.end() && it->offset < limit_offset; ++it) {
-    if (it->appended_at >= ts_limit) return out;  // hour boundary: stop here
-    out.records.push_back(*it);
-    out.next_offset = it->offset + 1;
+      batches_.begin(), batches_.end(), from,
+      [](const Batch& b, uint64_t off) { return b.end_offset() <= off; });
+  for (; it != batches_.end() && it->base_offset < limit_offset; ++it) {
+    const uint64_t start = std::max(from, it->base_offset);
+    const uint32_t idx0 = static_cast<uint32_t>(start - it->base_offset);
+    uint32_t take = static_cast<uint32_t>(
+        std::min<uint64_t>(it->end_offset(), limit_offset) - start);
+    bool ts_stopped = false;
+    if (it->min_appended_at >= ts_limit) {
+      // Zone map: the whole batch is at or past the boundary.
+      take = 0;
+      ts_stopped = true;
+    } else if (it->max_appended_at >= ts_limit) {
+      // Boundary lands inside this batch. Per-record times (non-decreasing)
+      // locate the first excluded record without touching the blob.
+      uint32_t n = 0;
+      while (n < take && it->appended_at(idx0 + n) < ts_limit) ++n;
+      take = n;
+      ts_stopped = true;
+    }
+    if (take > 0) {
+      Batch s = Slice(*it, start, take);
+      out.record_count += take;
+      out.stored_bytes += s.stored_bytes();
+      out.next_offset = start + take;
+      out.batches.push_back(std::move(s));
+    }
+    if (ts_stopped) return out;  // hour boundary: stop here
   }
   // Drained every retained record below the limit; gaps between the last
-  // record and the limit hold nothing, so resume from the limit itself.
-  if (it == records_.end()) {
-    out.next_offset = std::max(out.next_offset, std::min(limit_offset, next_offset_));
+  // batch and the limit hold nothing, so resume from the limit itself.
+  if (it == batches_.end()) {
+    out.next_offset =
+        std::max(out.next_offset, std::min(limit_offset, next_offset_));
   }
   return out;
 }
@@ -71,10 +234,12 @@ PartitionLog::ReadResult PartitionLog::ReadFrom(uint64_t from,
 std::map<std::string, uint64_t> PartitionLog::ProducerHighWatermarks(
     uint64_t below) const {
   std::map<std::string, uint64_t> out;
-  for (const Record& r : records_) {
-    if (r.offset >= below) break;
-    uint64_t& hi = out[r.producer];
-    hi = std::max(hi, r.seq);
+  for (const Batch& b : batches_) {
+    if (b.base_offset >= below) break;
+    const uint64_t n = std::min<uint64_t>(b.count, below - b.base_offset);
+    if (n == 0) continue;
+    uint64_t& hi = out[b.producer];
+    hi = std::max(hi, b.first_seq + n - 1);
   }
   return out;
 }

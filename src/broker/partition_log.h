@@ -4,19 +4,24 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "common/result.h"
 #include "common/sim_time.h"
+#include "common/status.h"
 
 namespace unilog::broker {
 
-/// One record in a partition's commit log. Offsets are assigned densely by
-/// whichever replica currently leads the partition. `appended_at` (the
-/// leader-append sim time) buckets the record into its warehouse hour;
-/// `logged_at` (the daemon's Log() time) feeds the end-to-end latency
-/// histogram. The (producer, seq) pair is the idempotence key brokers use
-/// to dedup crash-retry resends.
+/// One decoded record — the unit daemons log and the warehouse lands.
+/// Inside the broker tier records travel only as members of a Batch; this
+/// struct is what DecodeBatch() materializes for the consumer (the log
+/// mover) at warehouse landing. `appended_at` (the leader-append sim time)
+/// buckets the record into its warehouse hour; `logged_at` (the daemon's
+/// Log() time) feeds the end-to-end latency histogram. The (producer, seq)
+/// pair is the idempotence key brokers use to dedup crash-retry resends.
 struct Record {
   uint64_t offset = 0;
   std::string producer;
@@ -26,29 +31,110 @@ struct Record {
   std::string payload;
 };
 
-/// An offset-addressed in-memory commit log for one (category, partition)
-/// replica — the Kafka-style storage unit under the Scribe tier. Leaders
-/// Append() densely; followers mirror with AppendRecord() and may carry
-/// gaps (offsets lost with a dead leader), which AdvanceTo() records
-/// explicitly so offset arithmetic stays honest after failover.
+/// The storage, replication, and fetch unit of the broker tier: one
+/// producer batch, framed and (normally) compressed once at the daemon and
+/// carried as an opaque blob from there to warehouse landing. A batch
+/// covers the dense offset range [base_offset, base_offset + count) and
+/// the dense seq range [first_seq, first_seq + count) of one producer.
+///
+/// Body format (after decompression when `compressed`): one frame per
+/// record, each `varint logged_at, varint payload_len, payload bytes`.
+/// The body may carry `skip_frames` extra frames ahead of the first
+/// included record — a crash-retried produce that partially overlapped
+/// already-appended seqs is head-trimmed in metadata only, because the
+/// blob is opaque to the broker. Slices taken by ReadFrom() grow
+/// skip_frames the same way instead of rewriting the blob.
+///
+/// `record_sizes` (uncompressed payload bytes per included record) and the
+/// zone-map-style [min_appended_at, max_appended_at] let the broker do
+/// byte accounting, dedup trims, and hour-boundary reads without ever
+/// decompressing. The body is shared: replication and fetch copy batch
+/// metadata, never payload bytes.
+struct Batch {
+  uint64_t base_offset = 0;
+  /// Included records; offsets [base_offset, base_offset + count).
+  uint32_t count = 0;
+  std::string producer;
+  /// Seq of the record at base_offset.
+  uint64_t first_seq = 0;
+  TimeMs min_appended_at = 0;
+  TimeMs max_appended_at = 0;
+  /// Leading body frames to discard at decode (dedup head trim / slice).
+  uint32_t skip_frames = 0;
+  /// Framed body (compressed as one Lz block iff `compressed`). Holds
+  /// skip_frames + count frames.
+  std::shared_ptr<const std::string> body;
+  bool compressed = false;
+  /// Uncompressed payload bytes of each included record, in offset order.
+  std::vector<uint32_t> record_sizes;
+  /// Per-record appended_at when the batch is non-uniform (then size ==
+  /// count, non-decreasing); empty means every record carries
+  /// min_appended_at. Daemon-produced batches are always uniform (one
+  /// leader-append instant); non-uniform batches arise only from tests
+  /// that hand-build them.
+  std::vector<TimeMs> record_times;
+  /// Sum of record_sizes, cached by builders and slicers.
+  uint64_t payload_bytes = 0;
+
+  uint64_t end_offset() const { return base_offset + count; }
+  uint64_t last_seq() const { return first_seq + count - 1; }
+  /// Bytes the blob occupies in the log / on the wire.
+  uint64_t stored_bytes() const { return body ? body->size() : 0; }
+  /// appended_at of included record `i` (0-based).
+  TimeMs appended_at(uint32_t i) const {
+    return record_times.empty() ? min_appended_at : record_times[i];
+  }
+};
+
+/// Appends one record frame to an (uncompressed) batch body.
+void AppendBatchFrame(std::string* body, TimeMs logged_at,
+                      std::string_view payload);
+
+/// Decodes a batch's included records into `out`, assigning offsets, seqs,
+/// and appended times from the batch metadata. Skips the skip_frames head
+/// frames and stops after `count` frames: for compressed bodies the tail
+/// past the last included frame is never decompressed (token-granular).
+/// Returns the number of uncompressed body bytes actually materialized —
+/// the probe hour-boundary tests use to assert the excluded tail stayed
+/// compressed. Corruption on malformed bodies.
+Result<size_t> DecodeBatch(const Batch& batch, std::vector<Record>* out);
+
+/// An offset-addressed in-memory commit log of batch entries for one
+/// (category, partition) replica — the Kafka-style storage unit under the
+/// Scribe tier. Leaders AppendBatch() densely; followers mirror whole
+/// batches with AppendMirror() and may carry gaps (offsets lost with a
+/// dead leader), which AdvanceTo() records explicitly so offset arithmetic
+/// stays honest after failover.
 class PartitionLog {
  public:
   /// Offsets below this have been trimmed (consumed by every group).
   uint64_t begin_offset() const { return begin_; }
   /// One past the highest offset ever observed (next to be assigned).
   uint64_t end_offset() const { return next_offset_; }
-  size_t entry_count() const { return records_.size(); }
+  /// Retained records (summed over retained batches).
+  size_t entry_count() const { return static_cast<size_t>(record_count_); }
+  size_t batch_count() const { return batches_.size(); }
+  /// Uncompressed payload bytes retained — the unit the delivery audit,
+  /// byte accounting, and in-flight backpressure all use, so batching and
+  /// compression never change their meaning.
   uint64_t byte_size() const { return bytes_; }
-  bool empty() const { return records_.empty(); }
+  /// Blob bytes retained (compressed where batches are compressed).
+  uint64_t stored_byte_size() const { return stored_bytes_; }
+  bool empty() const { return batches_.empty(); }
 
-  /// Leader path: assigns the next dense offset. Returns the stored record.
-  const Record& Append(std::string producer, uint64_t seq, TimeMs appended_at,
-                       TimeMs logged_at, std::string payload);
+  /// Leader path: assigns base_offset = end_offset() and stores the batch.
+  /// Returns the stored entry.
+  const Batch& AppendBatch(Batch b);
 
-  /// Replication path: stores `r` under its existing offset. Accepts only
-  /// offsets at or past the local end (mirroring the leader, gaps
-  /// included); returns false for offsets already covered locally.
-  bool AppendRecord(Record r);
+  /// Convenience leader append of a single uncompressed record as a
+  /// count-1 batch — the record-at-a-time baseline path.
+  const Batch& Append(std::string producer, uint64_t seq, TimeMs appended_at,
+                      TimeMs logged_at, std::string payload);
+
+  /// Replication path: stores `b` under its existing base offset. Accepts
+  /// only batches starting at or past the local end (mirroring the leader,
+  /// gaps included); returns false for ranges already covered locally.
+  bool AppendMirror(Batch b);
 
   /// Raises the end offset without storing records — the explicit gap a
   /// new leader opens when the acked watermark it inherits from zk is
@@ -56,38 +142,54 @@ class PartitionLog {
   /// leader and are counted as failover loss).
   void AdvanceTo(uint64_t offset);
 
-  /// Drops retained records with offset < `offset` (consumed by all
-  /// groups). Never lowers begin_offset().
+  /// Drops retained batches whose entire range lies below `offset`
+  /// (consumed by all groups). Batch-granular: a batch straddling `offset`
+  /// is kept whole — retention never splits a batch. Never lowers
+  /// begin_offset().
   void TrimTo(uint64_t offset);
 
   void Clear();
 
   struct ReadResult {
-    std::vector<Record> records;
+    /// Whole or head-sliced batches, in offset order. Slices share the
+    /// original body; no payload bytes are copied or decompressed.
+    std::vector<Batch> batches;
     /// Offset consumption should resume from: one past the last returned
     /// record, or the offset of the first record excluded by `ts_limit`.
     uint64_t next_offset = 0;
+    /// Records covered by `batches`.
+    uint64_t record_count = 0;
+    /// Blob bytes covered by `batches` (what replication/fetch ships).
+    uint64_t stored_bytes = 0;
   };
 
   /// Records with offset in [from, limit_offset) and appended_at <
-  /// ts_limit, in offset order. The scan stops at the first record at or
-  /// past ts_limit — consumption never skips over an hour boundary, so
-  /// next_offset always marks a clean resumption point.
+  /// ts_limit, as batches. The scan stops at the first record at or past
+  /// ts_limit — consumption never skips over an hour boundary, so
+  /// next_offset always marks a clean resumption point, even mid-batch
+  /// (the batch zone map locates the boundary; non-uniform batches are
+  /// cut by their per-record times without touching the blob).
   ReadResult ReadFrom(uint64_t from, uint64_t limit_offset,
                       TimeMs ts_limit) const;
 
   /// Highest seq per producer over retained records with offset below
   /// `below` — a newly elected leader rebuilds its idempotence tables from
-  /// this.
+  /// this. Batch-granular arithmetic: seqs are dense within a batch.
   std::map<std::string, uint64_t> ProducerHighWatermarks(uint64_t below) const;
 
-  const std::deque<Record>& records() const { return records_; }
+  const std::deque<Batch>& batches() const { return batches_; }
 
  private:
-  std::deque<Record> records_;  // ascending offsets; may contain gaps
+  /// A view of `b` starting at offset `from` (>= b.base_offset) covering
+  /// `take` records. Shares the body; adjusts metadata only.
+  static Batch Slice(const Batch& b, uint64_t from, uint32_t take);
+
+  std::deque<Batch> batches_;  // ascending base offsets; may contain gaps
   uint64_t next_offset_ = 0;
   uint64_t begin_ = 0;
   uint64_t bytes_ = 0;
+  uint64_t stored_bytes_ = 0;
+  uint64_t record_count_ = 0;
 };
 
 }  // namespace unilog::broker

@@ -1,5 +1,7 @@
 #include "common/compress.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/coding.h"
@@ -7,6 +9,11 @@
 namespace unilog {
 
 namespace {
+
+// Relaxed is sufficient: the probes are monotonically increasing tallies
+// read only at quiescence points in tests and benches.
+std::atomic<uint64_t> g_compress_calls{0};
+std::atomic<uint64_t> g_decompress_calls{0};
 
 constexpr size_t kHashBits = 16;
 constexpr size_t kHashSize = 1u << kHashBits;
@@ -28,6 +35,7 @@ void EmitLiterals(std::string* out, std::string_view input, size_t begin,
 }  // namespace
 
 void Lz::Compressor::CompressTo(std::string_view input, std::string* out) {
+  g_compress_calls.fetch_add(1, std::memory_order_relaxed);
   out->clear();
   PutVarint64(out, input.size());
   if (input.empty()) return;
@@ -125,6 +133,7 @@ std::string Lz::CompressReference(std::string_view input) {
 }
 
 Result<std::string> Lz::Decompress(std::string_view block) {
+  g_decompress_calls.fetch_add(1, std::memory_order_relaxed);
   Decoder dec(block);
   uint64_t expected_len;
   UNILOG_RETURN_NOT_OK(dec.GetVarint64(&expected_len));
@@ -157,6 +166,81 @@ Result<std::string> Lz::Decompress(std::string_view block) {
     return Status::Corruption("lz: length mismatch");
   }
   return out;
+}
+
+Lz::IncrementalDecompressor::IncrementalDecompressor(std::string_view block) {
+  g_decompress_calls.fetch_add(1, std::memory_order_relaxed);
+  Decoder dec(block);
+  Status st = dec.GetVarint64(&expected_);
+  if (!st.ok()) {
+    status_ = st;
+    return;
+  }
+  rest_ = block.substr(dec.position());
+  // Cap the reservation: a corrupt header must not drive a huge allocation.
+  out_.reserve(static_cast<size_t>(
+      std::min<uint64_t>(expected_, 1u << 20)));
+}
+
+Status Lz::IncrementalDecompressor::DecodeUntil(size_t target) {
+  if (!status_.ok()) return status_;
+  while (out_.size() < target) {
+    if (rest_.empty()) {
+      // True end of block: only an error if the length header disagrees.
+      if (out_.size() != expected_) {
+        status_ = Status::Corruption("lz: truncated block");
+        return status_;
+      }
+      return Status::OK();
+    }
+    Decoder dec(rest_);
+    std::string_view tag;
+    status_ = dec.GetBytes(1, &tag);
+    if (!status_.ok()) return status_;
+    if (tag[0] == '\x00') {
+      std::string_view lit;
+      status_ = dec.GetLengthPrefixed(&lit);
+      if (!status_.ok()) return status_;
+      out_.append(lit.data(), lit.size());
+    } else if (tag[0] == '\x01') {
+      uint64_t dist, len;
+      status_ = dec.GetVarint64(&dist);
+      if (!status_.ok()) return status_;
+      status_ = dec.GetVarint64(&len);
+      if (!status_.ok()) return status_;
+      if (dist == 0 || dist > out_.size()) {
+        status_ = Status::Corruption("lz: bad match distance");
+        return status_;
+      }
+      size_t src = out_.size() - dist;
+      // Byte-by-byte copy: matches may overlap their own output.
+      for (uint64_t k = 0; k < len; ++k) {
+        out_.push_back(out_[src + k]);
+      }
+    } else {
+      status_ = Status::Corruption("lz: bad token tag");
+      return status_;
+    }
+    if (out_.size() > expected_) {
+      status_ = Status::Corruption("lz: length mismatch");
+      return status_;
+    }
+    rest_ = rest_.substr(dec.position());
+  }
+  return Status::OK();
+}
+
+uint64_t Lz::CompressCallCount() {
+  return g_compress_calls.load(std::memory_order_relaxed);
+}
+
+uint64_t Lz::DecompressCallCount() {
+  return g_decompress_calls.load(std::memory_order_relaxed);
+}
+
+void Lz::ResetCompressionProbes() {
+  g_compress_calls.store(0, std::memory_order_relaxed);
+  g_decompress_calls.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace unilog

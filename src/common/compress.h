@@ -83,6 +83,58 @@ class Lz {
   /// Decompresses a block produced by Compress. Returns Corruption on
   /// malformed input.
   static Result<std::string> Decompress(std::string_view block);
+
+  /// Cursor-style decompressor that decodes a block token by token, on
+  /// demand. The broker tier stores produce batches as opaque compressed
+  /// blobs whose record frames are parsed front to back; a reader that
+  /// only needs the leading frames (hour-boundary reads, dedup head
+  /// trims) decodes just enough output to cover them and leaves the tail
+  /// tokens untouched.
+  ///
+  /// The caller owns the input block and must keep it alive for the
+  /// decompressor's lifetime. Decoding stops on whole-token boundaries,
+  /// so output() may run slightly past the requested target.
+  class IncrementalDecompressor {
+   public:
+    explicit IncrementalDecompressor(std::string_view block);
+
+    IncrementalDecompressor(const IncrementalDecompressor&) = delete;
+    IncrementalDecompressor& operator=(const IncrementalDecompressor&) =
+        delete;
+
+    /// Decodes tokens until output() holds at least `target` bytes or the
+    /// block is exhausted. Reaching the true end of the block before
+    /// `target` is not an error as long as the block's length header
+    /// agrees; malformed input returns Corruption (sticky).
+    Status DecodeUntil(size_t target);
+
+    /// Bytes decoded so far. Grows monotonically across DecodeUntil calls.
+    const std::string& output() const { return out_; }
+
+    /// The block's declared uncompressed size.
+    uint64_t expected_size() const { return expected_; }
+
+    /// True once every token has been decoded.
+    bool done() const { return rest_.empty(); }
+
+   private:
+    std::string_view rest_;  // undecoded token stream
+    std::string out_;
+    uint64_t expected_ = 0;
+    Status status_ = Status::OK();
+  };
+
+  /// Process-wide count of compression calls (CompressTo and wrappers).
+  /// Tests use these probes to assert the batched delivery path compresses
+  /// payload bytes exactly once between daemon and warehouse landing.
+  static uint64_t CompressCallCount();
+
+  /// Process-wide count of decompression calls (Decompress plus every
+  /// IncrementalDecompressor constructed).
+  static uint64_t DecompressCallCount();
+
+  /// Resets both probe counters to zero.
+  static void ResetCompressionProbes();
 };
 
 }  // namespace unilog

@@ -50,7 +50,8 @@ void ScribeDaemon::Start() {
 
 void ScribeDaemon::Log(LogEntry entry) {
   queue_bytes_ += entry.message.size();
-  queue_.push_back(Queued{std::move(entry), ++next_seq_, sim_->Now()});
+  const uint64_t seq = ++next_seq_[entry.category];
+  queue_.push_back(Queued{std::move(entry), seq, sim_->Now()});
   entries_logged_->Increment();
   // Bounded local buffer: drop the oldest entries past the limit (counted
   // — E1 reports these as the overload-loss channel).
@@ -159,6 +160,37 @@ broker::BrokerNode* ScribeDaemon::DiscoverLeader(const std::string& category,
   return fleet_->FindLeader(category, partition);
 }
 
+Status ScribeDaemon::ProduceCategoryBatch(broker::BrokerNode* leader,
+                                          const std::string& category,
+                                          int partition,
+                                          const std::vector<size_t>& indices,
+                                          std::vector<size_t>* taken,
+                                          broker::ProduceAck* ack) {
+  BufferPool::Lease body = pool_.Acquire();
+  broker::ProduceBatchRequest req;
+  uint64_t bytes = 0;
+  for (size_t i : indices) {
+    const Queued& q = queue_[i];
+    bytes += q.entry.message.size();
+    if (options_.daemon_max_batch_bytes > 0 && !taken->empty() &&
+        bytes > options_.daemon_max_batch_bytes) {
+      break;
+    }
+    if (taken->empty()) req.first_seq = q.seq;
+    broker::AppendBatchFrame(body.get(), q.logged_at, q.entry.message);
+    req.record_sizes.push_back(
+        static_cast<uint32_t>(q.entry.message.size()));
+    taken->push_back(i);
+  }
+  req.count = static_cast<uint32_t>(taken->size());
+  req.compressed = true;
+  // The once-per-path compression: the blob stays opaque through append,
+  // replication, and fetch, and is decoded only at warehouse landing.
+  Lz::Pooled().CompressTo(*body, &req.body);
+  return leader->ProduceBatch(category, partition, host_, std::move(req),
+                              ack);
+}
+
 bool ScribeDaemon::FlushToBroker() {
   // Group queued entries by category, preserving queue order within each
   // group (offsets within a partition then mirror Log() order).
@@ -186,26 +218,31 @@ bool ScribeDaemon::FlushToBroker() {
       leader_cache_[category] = leader;
     }
 
-    std::vector<broker::ProduceItem> items;
     std::vector<size_t> taken;
-    uint64_t bytes = 0;
-    for (size_t i : indices) {
-      const Queued& q = queue_[i];
-      bytes += q.entry.message.size();
-      if (options_.daemon_max_batch_bytes > 0 && !items.empty() &&
-          bytes > options_.daemon_max_batch_bytes) {
-        break;
-      }
-      items.push_back(
-          broker::ProduceItem{q.seq, q.logged_at, q.entry.message});
-      taken.push_back(i);
-    }
-
     broker::ProduceAck ack;
-    Status st = leader->Produce(category, partition, host_, items, &ack);
+    Status st;
+    if (options_.broker_batched_produce) {
+      st = ProduceCategoryBatch(leader, category, partition, indices, &taken,
+                                &ack);
+    } else {
+      std::vector<broker::ProduceItem> items;
+      uint64_t bytes = 0;
+      for (size_t i : indices) {
+        const Queued& q = queue_[i];
+        bytes += q.entry.message.size();
+        if (options_.daemon_max_batch_bytes > 0 && !items.empty() &&
+            bytes > options_.daemon_max_batch_bytes) {
+          break;
+        }
+        items.push_back(
+            broker::ProduceItem{q.seq, q.logged_at, q.entry.message});
+        taken.push_back(i);
+      }
+      st = leader->Produce(category, partition, host_, items, &ack);
+    }
     if (st.ok()) {
       for (size_t i : taken) acked[i] = true;
-      sent += items.size();
+      sent += taken.size();
       continue;
     }
     all_ok = false;

@@ -93,6 +93,15 @@ class ScribeDaemon {
   Aggregator* Discover();
   bool FlushToAggregator();
   bool FlushToBroker();
+  /// Batched produce for one category run: frames the queued entries into
+  /// a pooled body buffer, compresses the body ONCE with the pooled Lz
+  /// state, and ships the blob via ProduceBatch. The compression done here
+  /// is the only compression the payload sees until warehouse landing.
+  Status ProduceCategoryBatch(broker::BrokerNode* leader,
+                              const std::string& category, int partition,
+                              const std::vector<size_t>& indices,
+                              std::vector<size_t>* taken,
+                              broker::ProduceAck* ack);
   broker::BrokerNode* DiscoverLeader(const std::string& category,
                                      int partition);
   /// Capped exponential backoff with deterministic (Rng-seeded) jitter:
@@ -127,9 +136,19 @@ class ScribeDaemon {
   // Send batch assembled from queue_ each flush; member so its capacity is
   // reused across the once-per-second flush timer.
   std::vector<LogEntry> batch_;
+  // Pooled body buffers for batched broker produce: the framed body is
+  // assembled in a lease, compressed once, and the lease returns its grown
+  // capacity for the next flush.
+  BufferPool pool_;
   std::deque<Queued> queue_;
   uint64_t queue_bytes_ = 0;
-  uint64_t next_seq_ = 0;
+  // Per-category sequence counters: each (host, category) stream gets
+  // dense seqs, which is what lets a produce batch carry its idempotence
+  // metadata as just (first_seq, count). All of a category's entries
+  // route to one partition, so density survives partitioning; drop-oldest
+  // and ack-removal both erase per-category prefixes, preserving it in
+  // the queue too.
+  std::map<std::string, uint64_t> next_seq_;
   TimeMs backoff_until_ = 0;
   int fail_streak_ = 0;
 };

@@ -76,6 +76,8 @@ LogMover::LogMover(Simulator* sim, std::vector<DatacenterHandle> datacenters,
       metrics->GetCounter("mover.columnar_files_written");
   columnar_parse_fallbacks_ =
       metrics->GetCounter("mover.columnar_parse_fallbacks");
+  broker_batches_decoded_ =
+      metrics->GetCounter("mover.broker_batches_decoded");
   ingest_files_unstaged_parallel_ =
       metrics->GetCounter("scribe.ingest.files_unstaged_parallel");
   ingest_parts_built_parallel_ =
@@ -109,6 +111,7 @@ LogMoverStats LogMover::stats() const {
   s.late_entries_dropped = late_entries_dropped_->value();
   s.columnar_files_written = columnar_files_written_->value();
   s.columnar_parse_fallbacks = columnar_parse_fallbacks_->value();
+  s.broker_batches_decoded = broker_batches_decoded_->value();
   return s;
 }
 
@@ -228,6 +231,13 @@ Status LogMover::MoveCategoryHour(
     uint64_t bytes;
   };
   std::vector<PendingCommit> commits;
+  // Batches arrive opaque (still compressed) from the leaders; each
+  // remembers which pending commit its records belong to.
+  struct FetchedBatch {
+    size_t commit_idx;
+    broker::Batch batch;
+  };
+  std::vector<FetchedBatch> fetched;
   std::vector<std::string> broker_merged;
   std::vector<TimeMs> latencies;
   TimeMs close = hour + kMillisPerHour;
@@ -244,16 +254,42 @@ Status LogMover::MoveCategoryHour(
       }
       auto read = leader->ConsumerFetch(category, p, from, close);
       if (!read.ok()) return read.status();
-      uint64_t bytes = 0;
-      for (auto& rec : read->records) {
-        bytes += rec.payload.size();
-        latencies.push_back(sim_->Now() - rec.logged_at);
-        broker_merged.push_back(std::move(rec.payload));
-      }
       if (read->next_offset > from) {
+        size_t idx = commits.size();
         commits.push_back(PendingCommit{fleet, p, read->next_offset,
-                                        read->records.size(), bytes});
+                                        read->record_count, 0});
+        for (auto& b : read->batches) {
+          fetched.push_back(FetchedBatch{idx, std::move(b)});
+        }
       }
+    }
+  }
+
+  // 0b. Decode the fetched batches — warehouse landing is the one place
+  //     the delivery path decompresses, so it rides the same exec fan-out
+  //     as the per-file unstage. Slots are per-index; the serial merge
+  //     below walks them in fetch order, keeping the merged hour
+  //     byte-identical to a serial decode.
+  std::vector<std::vector<broker::Record>> decoded(fetched.size());
+  std::vector<uint8_t> decode_failed(fetched.size(), 0);
+  RunStage("mover.decode_batches", fetched.size(), [&](size_t i) {
+    auto n = broker::DecodeBatch(fetched[i].batch, &decoded[i]);
+    if (!n.ok()) decode_failed[i] = 1;
+  });
+  for (size_t i = 0; i < fetched.size(); ++i) {
+    if (decode_failed[i]) {
+      return Status::Corruption("broker batch decode failed: " + category);
+    }
+  }
+  broker_batches_decoded_->Increment(fetched.size());
+  for (size_t i = 0; i < fetched.size(); ++i) {
+    PendingCommit& c = commits[fetched[i].commit_idx];
+    for (auto& rec : decoded[i]) {
+      // Consumed-byte accounting stays in uncompressed terms, matching the
+      // produce side of the audit identity.
+      c.bytes += rec.payload.size();
+      latencies.push_back(sim_->Now() - rec.logged_at);
+      broker_merged.push_back(std::move(rec.payload));
     }
   }
 

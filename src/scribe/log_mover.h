@@ -95,6 +95,10 @@ struct LogMoverStats {
   /// Messages in a columnar category that failed the client-event parse
   /// and were preserved in a framed-compressed sidecar part instead.
   uint64_t columnar_parse_fallbacks = 0;
+  /// Compressed broker batches decoded at warehouse landing — the single
+  /// decompression point of the batched delivery path (the decompress-
+  /// count probe in tests checks Lz call counts against this).
+  uint64_t broker_batches_decoded = 0;
 };
 
 /// The log mover pipeline (§2): once every datacenter has transferred an
@@ -201,6 +205,7 @@ class LogMover {
   obs::Counter* late_entries_dropped_;
   obs::Counter* columnar_files_written_;
   obs::Counter* columnar_parse_fallbacks_;
+  obs::Counter* broker_batches_decoded_;
   // scribe.ingest.*: work items handed to exec workers (0 on the serial
   // path); the pool_* family is published from the buffer pool.
   obs::Counter* ingest_files_unstaged_parallel_;

@@ -1,13 +1,17 @@
 // Tests for the partitioned replicated commit log under Scribe: the
-// PartitionLog storage unit, BrokerNode produce/dedup/backpressure, zk
-// leader election, and the chaos suite — leader kill mid-produce, session
-// expiry during election, acks=all with a replica down — each asserting
-// the delivery audit stays balanced at quiescence and consumer-group
-// offsets never move backwards.
+// batch-granular PartitionLog storage unit, BrokerNode produce/dedup/
+// backpressure (record-at-a-time and compressed-batch paths), zk leader
+// election, and the chaos suite — leader kill mid-produce, session expiry
+// during election, acks=all with a replica down — each asserting the
+// delivery audit stays balanced at quiescence and consumer-group offsets
+// never move backwards. The batched path's invariant — payload bytes are
+// compressed once at the daemon and decompressed once at warehouse
+// landing — is checked with the Lz call-count probes.
 
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -16,9 +20,11 @@
 #include "broker/broker.h"
 #include "broker/fleet.h"
 #include "broker/partition_log.h"
+#include "common/compress.h"
 #include "common/rng.h"
 #include "obs/delivery_audit.h"
 #include "scribe/cluster.h"
+#include "scribe/log_mover.h"
 #include "sim/simulator.h"
 #include "zk/zookeeper.h"
 
@@ -28,18 +34,97 @@ namespace {
 constexpr TimeMs kT0 = 1345507200000;  // 2012-08-21 00:00 UTC
 constexpr TimeMs kFarFuture = kT0 + 365 * 24 * kMillisPerHour;
 
+// Decodes every batch of a read result into one flat record vector.
+std::vector<Record> Flatten(const PartitionLog::ReadResult& read) {
+  std::vector<Record> records;
+  for (const Batch& b : read.batches) {
+    std::vector<Record> decoded;
+    auto n = DecodeBatch(b, &decoded);
+    EXPECT_TRUE(n.ok()) << n.status().ToString();
+    for (auto& r : decoded) records.push_back(std::move(r));
+  }
+  return records;
+}
+
+// Frames `payloads` the way a daemon does and hand-builds a batch around
+// the (optionally compressed) body. A non-empty `times` gives each record
+// its own appended_at (and logged_at), for batches that straddle an hour.
+Batch MakeBatch(std::string producer, uint64_t first_seq,
+                const std::vector<std::string>& payloads, TimeMs appended_at,
+                std::vector<TimeMs> times = {}, bool compressed = true) {
+  Batch b;
+  b.count = static_cast<uint32_t>(payloads.size());
+  b.producer = std::move(producer);
+  b.first_seq = first_seq;
+  std::string body;
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    AppendBatchFrame(&body, times.empty() ? appended_at : times[i],
+                     payloads[i]);
+    b.record_sizes.push_back(static_cast<uint32_t>(payloads[i].size()));
+    b.payload_bytes += payloads[i].size();
+  }
+  b.min_appended_at = times.empty() ? appended_at : times.front();
+  b.max_appended_at = times.empty() ? appended_at : times.back();
+  b.record_times = std::move(times);
+  b.compressed = compressed;
+  b.body = std::make_shared<const std::string>(
+      compressed ? Lz::Compress(body) : std::move(body));
+  return b;
+}
+
+// Frames + compresses a produce batch exactly as ScribeDaemon does.
+Status ProduceBatchOf(BrokerNode* leader, const std::string& category,
+                      int partition, const std::string& producer,
+                      uint64_t first_seq,
+                      const std::vector<std::string>& payloads,
+                      TimeMs logged_at, ProduceAck* ack) {
+  ProduceBatchRequest req;
+  req.first_seq = first_seq;
+  req.count = static_cast<uint32_t>(payloads.size());
+  std::string body;
+  for (const std::string& p : payloads) {
+    AppendBatchFrame(&body, logged_at, p);
+    req.record_sizes.push_back(static_cast<uint32_t>(p.size()));
+  }
+  req.body = Lz::Compress(body);
+  req.compressed = true;
+  return leader->ProduceBatch(category, partition, producer, std::move(req),
+                              ack);
+}
+
 // ---------------------------------------------------------------------------
 // PartitionLog
 
 TEST(PartitionLogTest, AppendAssignsDenseOffsets) {
   PartitionLog log;
-  EXPECT_EQ(log.Append("h1", 1, kT0, kT0, "a").offset, 0u);
-  EXPECT_EQ(log.Append("h1", 2, kT0, kT0, "bb").offset, 1u);
-  EXPECT_EQ(log.Append("h2", 1, kT0, kT0, "ccc").offset, 2u);
+  EXPECT_EQ(log.Append("h1", 1, kT0, kT0, "a").base_offset, 0u);
+  EXPECT_EQ(log.Append("h1", 2, kT0, kT0, "bb").base_offset, 1u);
+  EXPECT_EQ(log.Append("h2", 1, kT0, kT0, "ccc").base_offset, 2u);
   EXPECT_EQ(log.end_offset(), 3u);
   EXPECT_EQ(log.begin_offset(), 0u);
   EXPECT_EQ(log.entry_count(), 3u);
   EXPECT_EQ(log.byte_size(), 6u);
+  EXPECT_EQ(log.batch_count(), 3u);
+}
+
+TEST(PartitionLogTest, AppendBatchCoversDenseRange) {
+  PartitionLog log;
+  const Batch& b = log.AppendBatch(MakeBatch("h1", 1, {"aa", "bb", "cc"}, kT0));
+  EXPECT_EQ(b.base_offset, 0u);
+  EXPECT_EQ(b.end_offset(), 3u);
+  EXPECT_EQ(b.last_seq(), 3u);
+  EXPECT_EQ(log.end_offset(), 3u);
+  EXPECT_EQ(log.entry_count(), 3u);
+  EXPECT_EQ(log.batch_count(), 1u);
+  // byte_size stays in uncompressed payload terms — the audit and
+  // backpressure unit; the stored (blob) accounting is separate.
+  EXPECT_EQ(log.byte_size(), 6u);
+  EXPECT_EQ(log.stored_byte_size(), b.stored_bytes());
+  std::vector<Record> records = Flatten(log.ReadFrom(0, 3, kFarFuture));
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[1].offset, 1u);
+  EXPECT_EQ(records[1].seq, 2u);
+  EXPECT_EQ(records[1].payload, "bb");
 }
 
 TEST(PartitionLogTest, TrimRaisesBeginAndNeverLowers) {
@@ -52,9 +137,40 @@ TEST(PartitionLogTest, TrimRaisesBeginAndNeverLowers) {
   log.TrimTo(1);  // no-op: begin never moves backwards
   EXPECT_EQ(log.begin_offset(), 3u);
   auto read = log.ReadFrom(0, log.end_offset(), kFarFuture);
-  ASSERT_EQ(read.records.size(), 2u);
-  EXPECT_EQ(read.records[0].offset, 3u);
+  std::vector<Record> records = Flatten(read);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].offset, 3u);
   EXPECT_EQ(read.next_offset, 5u);
+}
+
+TEST(PartitionLogTest, RetentionNeverSplitsABatch) {
+  PartitionLog log;
+  log.AppendBatch(MakeBatch("h", 1, {"aaaa", "bbbb", "cccc", "dddd"}, kT0));
+  log.AppendBatch(MakeBatch("h", 5, {"eeee", "ffff"}, kT0));
+  ASSERT_EQ(log.end_offset(), 6u);
+  const uint64_t stored_before = log.stored_byte_size();
+
+  // Mid-batch trim: the straddling batch is kept whole — nothing drops,
+  // and begin stays below the batch (a blob is never split or rewritten).
+  log.TrimTo(2);
+  EXPECT_EQ(log.begin_offset(), 0u);
+  EXPECT_EQ(log.batch_count(), 2u);
+  EXPECT_EQ(log.entry_count(), 6u);
+  EXPECT_EQ(log.stored_byte_size(), stored_before);
+
+  // Offset 5 covers the first batch entirely and cuts into the second:
+  // only the first drops; begin stops at the retained batch's base.
+  log.TrimTo(5);
+  EXPECT_EQ(log.begin_offset(), 4u);
+  EXPECT_EQ(log.batch_count(), 1u);
+  EXPECT_EQ(log.entry_count(), 2u);
+  EXPECT_EQ(log.byte_size(), 8u);
+
+  log.TrimTo(6);
+  EXPECT_EQ(log.begin_offset(), 6u);
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(log.stored_byte_size(), 0u);
+  EXPECT_EQ(log.byte_size(), 0u);
 }
 
 TEST(PartitionLogTest, ReadFromStopsAtTimestampLimit) {
@@ -63,10 +179,55 @@ TEST(PartitionLogTest, ReadFromStopsAtTimestampLimit) {
   log.Append("h", 2, kT0 + 10, kT0, "b");
   log.Append("h", 3, kT0 + 20, kT0, "c");
   auto read = log.ReadFrom(0, log.end_offset(), kT0 + 20);
-  ASSERT_EQ(read.records.size(), 2u);
+  EXPECT_EQ(read.record_count, 2u);
   // next_offset marks the first excluded record so consumption resumes
   // exactly at the hour boundary.
   EXPECT_EQ(read.next_offset, 2u);
+}
+
+TEST(PartitionLogTest, HourBoundaryMidBatchSlicesWithoutDecompressingTail) {
+  PartitionLog log;
+  std::vector<std::string> payloads;
+  for (int i = 0; i < 4; ++i) {
+    payloads.push_back(std::string(120, static_cast<char>('a' + i)));
+  }
+  // Two records inside the hour, two past it — one compressed blob.
+  std::vector<TimeMs> times{kT0 + 10, kT0 + 20, kT0 + kMillisPerHour + 5,
+                            kT0 + kMillisPerHour + 6};
+  log.AppendBatch(MakeBatch("h", 1, payloads, kT0, times));
+  const uint64_t full_payload = log.byte_size();  // 480
+
+  auto read = log.ReadFrom(0, log.end_offset(), kT0 + kMillisPerHour);
+  ASSERT_EQ(read.batches.size(), 1u);
+  EXPECT_EQ(read.record_count, 2u);
+  // Clean mid-batch resumption point at the hour boundary.
+  EXPECT_EQ(read.next_offset, 2u);
+
+  std::vector<Record> head;
+  auto materialized = DecodeBatch(read.batches[0], &head);
+  ASSERT_TRUE(materialized.ok()) << materialized.status().ToString();
+  ASSERT_EQ(head.size(), 2u);
+  EXPECT_EQ(head[0].payload, payloads[0]);
+  EXPECT_EQ(head[1].payload, payloads[1]);
+  EXPECT_EQ(head[1].appended_at, kT0 + 20);
+  // Token-granular incremental decode: the hour's two records materialize
+  // but the blob's tail frames stay compressed.
+  EXPECT_GE(*materialized, 240u);
+  EXPECT_LT(*materialized, full_payload);
+
+  // Resuming at the boundary decodes exactly the tail records via the
+  // slice's grown skip_frames — same shared blob, no rewrite.
+  auto rest = log.ReadFrom(read.next_offset, log.end_offset(), kFarFuture);
+  ASSERT_EQ(rest.batches.size(), 1u);
+  EXPECT_EQ(rest.batches[0].skip_frames, 2u);
+  EXPECT_EQ(rest.batches[0].body, read.batches[0].body);
+  std::vector<Record> tail;
+  ASSERT_TRUE(DecodeBatch(rest.batches[0], &tail).ok());
+  ASSERT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0].offset, 2u);
+  EXPECT_EQ(tail[0].seq, 3u);
+  EXPECT_EQ(tail[0].payload, payloads[2]);
+  EXPECT_EQ(tail[1].payload, payloads[3]);
 }
 
 TEST(PartitionLogTest, AdvanceToOpensExplicitGap) {
@@ -74,29 +235,33 @@ TEST(PartitionLogTest, AdvanceToOpensExplicitGap) {
   log.Append("h", 1, kT0, kT0, "a");
   log.AdvanceTo(10);  // entries 1..9 died with the old leader
   EXPECT_EQ(log.end_offset(), 10u);
-  EXPECT_EQ(log.Append("h", 2, kT0, kT0, "b").offset, 10u);
+  EXPECT_EQ(log.Append("h", 2, kT0, kT0, "b").base_offset, 10u);
   // Reading across the gap skips to the next retained record.
   auto read = log.ReadFrom(0, log.end_offset(), kFarFuture);
-  ASSERT_EQ(read.records.size(), 2u);
-  EXPECT_EQ(read.records[1].offset, 10u);
+  std::vector<Record> records = Flatten(read);
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[1].offset, 10u);
   EXPECT_EQ(read.next_offset, 11u);
 }
 
-TEST(PartitionLogTest, AppendRecordRejectsCoveredOffsets) {
+TEST(PartitionLogTest, MirrorRejectsCoveredRangesAndTracksWatermarks) {
   PartitionLog log;
   log.Append("h", 1, kT0, kT0, "a");
-  Record dup;
-  dup.offset = 0;
-  dup.payload = "zz";
-  EXPECT_FALSE(log.AppendRecord(dup));  // already covered locally
-  Record next;
-  next.offset = 5;  // mirrors a leader gap
-  next.producer = "h";
-  next.seq = 9;
-  next.payload = "b";
-  EXPECT_TRUE(log.AppendRecord(next));
+  Batch dup = MakeBatch("h", 1, {"zz"}, kT0);
+  dup.base_offset = 0;
+  EXPECT_FALSE(log.AppendMirror(dup));  // already covered locally
+  Batch next = MakeBatch("h", 9, {"b"}, kT0);
+  next.base_offset = 5;  // mirrors a leader gap
+  EXPECT_TRUE(log.AppendMirror(next));
   EXPECT_EQ(log.end_offset(), 6u);
   EXPECT_EQ(log.ProducerHighWatermarks(6)["h"], 9u);
+  // Batch-granular watermark arithmetic: a `below` cutting into a batch
+  // counts only the covered prefix of its dense seq run.
+  Batch run = MakeBatch("h", 10, {"c", "d", "e"}, kT0);
+  run.base_offset = 6;
+  EXPECT_TRUE(log.AppendMirror(run));
+  EXPECT_EQ(log.ProducerHighWatermarks(8)["h"], 11u);
+  EXPECT_EQ(log.ProducerHighWatermarks(9)["h"], 12u);
 }
 
 // ---------------------------------------------------------------------------
@@ -171,7 +336,212 @@ TEST(BrokerNodeTest, ProduceDedupsOnProducerSeq) {
   EXPECT_EQ(stats.entries_duplicate, 3u);
   auto read = leader->ConsumerFetch("clicks", 0, 0, kFarFuture);
   ASSERT_TRUE(read.ok());
-  EXPECT_EQ(read->records.size(), 3u);
+  EXPECT_EQ(Flatten(*read).size(), 3u);
+}
+
+TEST(BrokerNodeTest, BatchedProduceDedupsAcrossBatchBoundaries) {
+  BrokerOptions options;
+  options.num_partitions = 1;
+  options.replication_factor = 1;
+  FleetHarness h(1, options);
+  ASSERT_TRUE(h.fleet->EnsureTopic("clicks").ok());
+  BrokerNode* leader = h.Leader("clicks", 0);
+  ASSERT_NE(leader, nullptr);
+  const uint64_t decompress_base = Lz::DecompressCallCount();
+
+  auto payload = [](uint64_t seq) { return "payload-" + std::to_string(seq); };
+  std::vector<std::string> first;
+  for (uint64_t s = 1; s <= 5; ++s) first.push_back(payload(s));
+  ProduceAck ack;
+  ASSERT_TRUE(
+      ProduceBatchOf(leader, "clicks", 0, "host1", 1, first, kT0, &ack).ok());
+  EXPECT_EQ(ack.accepted, 5u);
+  EXPECT_EQ(ack.deduped, 0u);
+
+  // A crash-retry whose batch GREW while the daemon waited: seqs 3..8
+  // partially overlap the appended run. The overlap must dedup and the
+  // fresh tail must append — without splitting or rewriting the blob.
+  std::vector<std::string> retried;
+  for (uint64_t s = 3; s <= 8; ++s) retried.push_back(payload(s));
+  ASSERT_TRUE(
+      ProduceBatchOf(leader, "clicks", 0, "host1", 3, retried, kT0, &ack)
+          .ok());
+  EXPECT_EQ(ack.accepted, 3u);
+  EXPECT_EQ(ack.deduped, 3u);
+
+  // A fully covered resend appends nothing.
+  ASSERT_TRUE(
+      ProduceBatchOf(leader, "clicks", 0, "host1", 1, first, kT0, &ack).ok());
+  EXPECT_EQ(ack.accepted, 0u);
+  EXPECT_EQ(ack.deduped, 5u);
+
+  const BrokerNodeStats stats = leader->stats();
+  EXPECT_EQ(stats.entries_produced, 8u);
+  EXPECT_EQ(stats.entries_duplicate, 8u);
+  EXPECT_EQ(stats.log_entries, 8u);
+  // The overlap was trimmed in metadata only: nothing on the produce path
+  // ever decompressed a blob.
+  EXPECT_EQ(Lz::DecompressCallCount(), decompress_base);
+
+  auto read = leader->ConsumerFetch("clicks", 0, 0, kFarFuture);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->batches.size(), 2u);
+  EXPECT_EQ(read->batches[1].skip_frames, 3u);
+  std::vector<Record> records = Flatten(*read);
+  ASSERT_EQ(records.size(), 8u);
+  for (uint64_t s = 1; s <= 8; ++s) {
+    EXPECT_EQ(records[s - 1].offset, s - 1);
+    EXPECT_EQ(records[s - 1].seq, s);
+    EXPECT_EQ(records[s - 1].payload, payload(s));
+  }
+}
+
+TEST(BrokerNodeTest, AckLossBatchedResendResolvesWithoutSplit) {
+  BrokerOptions options;
+  options.num_partitions = 1;
+  options.replication_factor = 1;
+  FleetHarness h(1, options);
+  ASSERT_TRUE(h.fleet->EnsureTopic("clicks").ok());
+  BrokerNode* leader = h.Leader("clicks", 0);
+  ASSERT_NE(leader, nullptr);
+
+  auto payload = [](uint64_t seq) { return "p" + std::to_string(seq); };
+  leader->InjectAckLossOnce();
+  ProduceAck ack;
+  std::vector<std::string> lost{payload(1), payload(2), payload(3)};
+  Status st = ProduceBatchOf(leader, "clicks", 0, "host1", 1, lost, kT0, &ack);
+  EXPECT_TRUE(st.IsUnavailable()) << st.ToString();
+  // Appended but unacknowledged: invisible to consumers until the resend
+  // resolves the batch's fate.
+  auto hidden = leader->ConsumerFetch("clicks", 0, 0, kFarFuture);
+  ASSERT_TRUE(hidden.ok());
+  EXPECT_EQ(hidden->record_count, 0u);
+
+  // The retried batch grew by two entries while the daemon backed off.
+  std::vector<std::string> resend;
+  for (uint64_t s = 1; s <= 5; ++s) resend.push_back(payload(s));
+  ASSERT_TRUE(
+      ProduceBatchOf(leader, "clicks", 0, "host1", 1, resend, kT0, &ack).ok());
+  EXPECT_EQ(ack.accepted, 5u);  // all five acknowledged for the first time
+  EXPECT_EQ(ack.deduped, 3u);   // the head was already in the log
+
+  const BrokerNodeStats stats = leader->stats();
+  EXPECT_EQ(stats.entries_produced, 5u);
+  EXPECT_EQ(stats.log_entries, 5u);
+  auto read = leader->ConsumerFetch("clicks", 0, 0, kFarFuture);
+  ASSERT_TRUE(read.ok());
+  ASSERT_EQ(read->batches.size(), 2u);  // original + head-trimmed tail
+  EXPECT_EQ(read->batches[1].skip_frames, 3u);
+  std::vector<Record> records = Flatten(*read);
+  ASSERT_EQ(records.size(), 5u);
+  for (uint64_t s = 1; s <= 5; ++s) {
+    EXPECT_EQ(records[s - 1].seq, s);
+    EXPECT_EQ(records[s - 1].payload, payload(s));
+  }
+}
+
+TEST(BrokerNodeTest, RetentionGaugesTrackCompressedAndUncompressedBytes) {
+  BrokerOptions options;
+  options.num_partitions = 1;
+  options.replication_factor = 1;
+  FleetHarness h(1, options);
+  ASSERT_TRUE(h.fleet->EnsureTopic("clicks").ok());
+  BrokerNode* leader = h.Leader("clicks", 0);
+  ASSERT_NE(leader, nullptr);
+
+  // Highly compressible payloads: the stored blob is far smaller than the
+  // uncompressed accounting unit.
+  std::vector<std::string> b1, b2;
+  for (int i = 0; i < 4; ++i) {
+    b1.push_back(std::string(256, static_cast<char>('a' + i)));
+    b2.push_back(std::string(256, static_cast<char>('e' + i)));
+  }
+  ProduceAck ack;
+  ASSERT_TRUE(
+      ProduceBatchOf(leader, "clicks", 0, "host1", 1, b1, kT0, &ack).ok());
+  ASSERT_TRUE(
+      ProduceBatchOf(leader, "clicks", 0, "host1", 5, b2, kT0, &ack).ok());
+
+  BrokerNodeStats stats = leader->stats();
+  EXPECT_EQ(stats.retained_bytes_uncompressed, 2048u);
+  EXPECT_EQ(stats.retained_bytes_uncompressed, stats.log_bytes);
+  EXPECT_GT(stats.retained_bytes_compressed, 0u);
+  EXPECT_LT(stats.retained_bytes_compressed, stats.retained_bytes_uncompressed);
+
+  // Committing into the middle of the second batch trims only the first:
+  // retention is batch-granular and both gauges drop by exactly batch one.
+  ASSERT_TRUE(h.fleet->CommitOffset("log-mover", "clicks", 0, 6, 6, 1536).ok());
+  stats = leader->stats();
+  EXPECT_EQ(stats.retained_bytes_uncompressed, 1024u);
+  EXPECT_EQ(stats.log_entries, 4u);
+
+  auto read = leader->ConsumerFetch("clicks", 0, 6, kFarFuture);
+  ASSERT_TRUE(read.ok());
+  ASSERT_TRUE(h.fleet
+                  ->CommitOffset("log-mover", "clicks", 0, read->next_offset,
+                                 read->record_count, 512)
+                  .ok());
+  stats = leader->stats();
+  EXPECT_EQ(stats.retained_bytes_compressed, 0u);
+  EXPECT_EQ(stats.retained_bytes_uncompressed, 0u);
+  EXPECT_EQ(stats.log_entries, 0u);
+}
+
+TEST(BrokerNodeTest, GroupCommitShipsLaggingFollowerEverythingInOneRound) {
+  BrokerOptions options;
+  options.num_partitions = 1;
+  options.replication_factor = 2;
+  options.acks = kAcksAll;
+  options.min_insync_replicas = 1;
+  // Idle the periodic pull path so only produce-driven group commits move
+  // data in this test.
+  options.replica_fetch_interval_ms = 10 * kMillisPerMinute;
+  FleetHarness h(2, options);
+  ASSERT_TRUE(h.fleet->EnsureTopic("clicks").ok());
+  BrokerNode* leader = h.Leader("clicks", 0);
+  ASSERT_NE(leader, nullptr);
+  BrokerNode* follower =
+      h.fleet->node(0) == leader ? h.fleet->node(1) : h.fleet->node(0);
+
+  ProduceAck ack;
+  ASSERT_TRUE(
+      ProduceBatchOf(leader, "clicks", 0, "host1", 1, {"a1", "a2"}, kT0, &ack)
+          .ok());
+  // acks=all pipelines the mirror inside the produce call.
+  EXPECT_EQ(follower->MirrorEndOffset("clicks", 0), 2u);
+  EXPECT_EQ(leader->stats().replication_rounds, 1u);
+
+  follower->Crash();
+  h.sim.RunUntil(kT0 + kMillisPerSecond);
+  ASSERT_EQ(h.Leader("clicks", 0), leader);
+  // min_insync=1: the leader keeps accepting while the peer is down, and
+  // the follower's backlog accumulates.
+  ASSERT_TRUE(ProduceBatchOf(leader, "clicks", 0, "host1", 3, {"b1", "b2"},
+                             h.sim.Now(), &ack)
+                  .ok());
+  ASSERT_TRUE(ProduceBatchOf(leader, "clicks", 0, "host1", 5, {"c1", "c2"},
+                             h.sim.Now(), &ack)
+                  .ok());
+  EXPECT_EQ(leader->stats().replication_rounds, 1u);  // no live peer
+
+  ASSERT_TRUE(follower->Start().ok());
+  h.sim.RunUntil(kT0 + 2 * kMillisPerSecond);
+  EXPECT_EQ(follower->MirrorEndOffset("clicks", 0), 0u);  // restarted empty
+
+  // The next produce's group-commit round carries the whole backlog plus
+  // the new batch in ONE MirrorBatches call.
+  ASSERT_TRUE(ProduceBatchOf(leader, "clicks", 0, "host1", 7, {"d1", "d2"},
+                             h.sim.Now(), &ack)
+                  .ok());
+  EXPECT_EQ(leader->stats().replication_rounds, 2u);
+  EXPECT_EQ(follower->MirrorEndOffset("clicks", 0), 8u);
+  uint64_t trim_to = 0;
+  auto mirrored = follower->ReplicaFetch("clicks", 0, 0, &trim_to);
+  ASSERT_TRUE(mirrored.ok());
+  EXPECT_EQ(mirrored->record_count, 8u);
+  std::vector<Record> records = Flatten(*mirrored);
+  ASSERT_EQ(records.size(), 8u);
+  EXPECT_EQ(records.back().seq, 8u);
 }
 
 TEST(BrokerNodeTest, BackpressureThrottlesInsteadOfDropping) {
@@ -194,7 +564,7 @@ TEST(BrokerNodeTest, BackpressureThrottlesInsteadOfDropping) {
   ASSERT_TRUE(read.ok());
   ASSERT_TRUE(h.fleet
                   ->CommitOffset("log-mover", "clicks", 0, read->next_offset,
-                                 read->records.size(), 10)
+                                 read->record_count, 10)
                   .ok());
   EXPECT_TRUE(h.ProduceOne("clicks", 0, "host1", 2, "x").ok());
 }
@@ -210,8 +580,7 @@ TEST(BrokerNodeTest, FailoverElectsMostCaughtUpReplica) {
   BrokerNode* first = h.Leader("clicks", 0);
   ASSERT_NE(first, nullptr);
   for (uint64_t seq = 1; seq <= 10; ++seq) {
-    ASSERT_TRUE(
-        h.ProduceOne("clicks", 0, "host1", seq, "payload").ok());
+    ASSERT_TRUE(h.ProduceOne("clicks", 0, "host1", seq, "payload").ok());
   }
   // Let the follower mirror, then kill the leader.
   h.sim.RunUntil(kT0 + 2 * kMillisPerSecond);
@@ -227,7 +596,7 @@ TEST(BrokerNodeTest, FailoverElectsMostCaughtUpReplica) {
   EXPECT_EQ(second->stats().entries_lost_failover, 0u);
   auto read = second->ConsumerFetch("clicks", 0, 0, kFarFuture);
   ASSERT_TRUE(read.ok());
-  EXPECT_EQ(read->records.size(), 10u);
+  EXPECT_EQ(read->record_count, 10u);
   // The new leader inherits the idempotence table: the old producer's
   // seqs stay deduped.
   ProduceAck ack;
@@ -260,7 +629,7 @@ TEST(BrokerNodeTest, UnreplicatedAckedEntriesAreChargedToFailoverLoss) {
   // resumes past it.
   auto read = second->ConsumerFetch("clicks", 0, 0, kFarFuture);
   ASSERT_TRUE(read.ok());
-  ASSERT_EQ(read->records.size(), 1u);
+  EXPECT_EQ(read->record_count, 1u);
   EXPECT_EQ(read->next_offset, 2u);
 }
 
@@ -281,7 +650,7 @@ TEST(BrokerNodeTest, AcksAllRejectsBelowMinInsync) {
   uint64_t trim_to = 0;
   auto mirrored = follower->ReplicaFetch("clicks", 0, 0, &trim_to);
   ASSERT_TRUE(mirrored.ok());
-  EXPECT_EQ(mirrored->records.size(), 1u);
+  EXPECT_EQ(mirrored->record_count, 1u);
 
   follower->Crash();
   h.sim.RunUntil(kT0 + kMillisPerSecond);
@@ -433,6 +802,69 @@ TEST(BrokerChaosTest, LeaderKillMidProduceKeepsAuditBalanced) {
   ExpectExactlyOneLeader(&cluster, options.num_partitions);
 }
 
+// The batched-path variant of leader failover: the daemon's compressed
+// produce batches are mid-flight (and one mid-batch ack is lost) when the
+// leader dies. The blobs must survive failover intact — re-elected leaders
+// rebuild watermarks from batch metadata, mirrors share blobs — and the Lz
+// probes must show the payload was decompressed exactly once, at warehouse
+// landing.
+TEST(BrokerChaosTest, LeaderFailoverMidBatchDecompressesOnlyAtLanding) {
+  Lz::ResetCompressionProbes();
+  Simulator sim(kT0);
+  BrokerOptions options;
+  options.num_partitions = 4;
+  options.replication_factor = 2;
+  scribe::ScribeOptions scribe_options;
+  scribe::LogMoverOptions mover_options;
+  scribe::ScribeCluster cluster(&sim, BrokerTopology(3, options),
+                                scribe_options, mover_options,
+                                /*seed=*/1234);
+  ASSERT_TRUE(cluster.Start().ok());
+
+  ScheduleWorkload(&sim, &cluster, kT0 + kMillisPerSecond,
+                   kT0 + 15 * kMillisPerMinute);
+  OffsetMonotonicityProbe probe(&sim, &cluster, options.num_partitions,
+                                kT0 + kMillisPerHour);
+
+  sim.At(kT0 + 5 * kMillisPerMinute, [&] {
+    BrokerNode* leader = cluster.fleet(0)->FindLeader("search", 2);
+    ASSERT_NE(leader, nullptr);
+    leader->InjectAckLossOnce();  // a batch resend with an overlapping head
+  });
+  sim.At(kT0 + 5 * kMillisPerMinute + 2 * kMillisPerSecond, [&] {
+    BrokerNode* leader = cluster.fleet(0)->FindLeader("search", 2);
+    if (leader != nullptr) leader->Crash();
+  });
+  sim.At(kT0 + 18 * kMillisPerMinute, [&] {
+    for (size_t b = 0; b < cluster.broker_count(0); ++b) {
+      if (!cluster.broker(0, b)->alive()) {
+        ASSERT_TRUE(cluster.RestartBroker(0, b).ok());
+      }
+    }
+  });
+
+  DrainToQuiescence(&sim);
+
+  obs::DeliveryAudit audit(&cluster);
+  const obs::DeliverySnapshot snap = audit.Snapshot();
+  EXPECT_TRUE(snap.Balanced()) << snap.ToString();
+  EXPECT_EQ(snap.in_flight_broker, 0u) << snap.ToString();
+  EXPECT_EQ(snap.logged, snap.warehoused + snap.dropped_at_daemons +
+                             snap.lost_unreplicated);
+  const scribe::ClusterStats totals = cluster.TotalStats();
+  EXPECT_GT(totals.entries_dup_resends, 0u);
+  EXPECT_FALSE(probe.violated());
+  ExpectExactlyOneLeader(&cluster, options.num_partitions);
+
+  // The decompress-count probe: a broker-tier datacenter stages nothing,
+  // so the only legal decompressions in the whole run are the mover's
+  // batch decodes at warehouse landing — append, replication, failover
+  // recovery, and fetch never opened a blob.
+  const scribe::LogMoverStats mstats = cluster.mover()->stats();
+  EXPECT_GT(mstats.broker_batches_decoded, 0u);
+  EXPECT_EQ(Lz::DecompressCallCount(), mstats.broker_batches_decoded);
+}
+
 TEST(BrokerChaosTest, SessionExpiryDuringElectionLosesNothing) {
   Simulator sim(kT0);
   BrokerOptions options;
@@ -522,16 +954,25 @@ TEST(BrokerChaosTest, AcksAllWithReplicaDownLosesNoAckedEntry) {
   ExpectExactlyOneLeader(&cluster, options.num_partitions);
 }
 
-// Property: across seeded crash/ack-loss schedules, a daemon's entries_sent
-// (unique acknowledged sends) never exceeds its entries_logged — resends
-// are deduped on (producer, seq), so crash-retry cannot inflate delivery.
+// Property: across seeded crash/ack-loss schedules — on the batched AND
+// the record-at-a-time produce path — a daemon's entries_sent (unique
+// acknowledged sends) never exceeds its entries_logged: resends are deduped
+// on (producer, seq), batch overlap included, so crash-retry cannot inflate
+// delivery.
 TEST(BrokerPropertyTest, CrashRetryNeverInflatesSentPastLogged) {
-  for (uint64_t seed : {1u, 2u, 3u}) {
+  struct SweepCase {
+    uint64_t seed;
+    bool batched;
+  };
+  for (const SweepCase sweep : {SweepCase{1, true}, SweepCase{2, true},
+                                SweepCase{3, true}, SweepCase{1, false}}) {
+    const uint64_t seed = sweep.seed;
     Simulator sim(kT0);
     BrokerOptions options;
     options.num_partitions = 4;
     options.replication_factor = 2;
     scribe::ScribeOptions scribe_options;
+    scribe_options.broker_batched_produce = sweep.batched;
     scribe::LogMoverOptions mover_options;
     scribe::ScribeCluster cluster(&sim, BrokerTopology(3, options),
                                   scribe_options, mover_options, seed);
@@ -579,7 +1020,9 @@ TEST(BrokerPropertyTest, CrashRetryNeverInflatesSentPastLogged) {
 
     obs::DeliveryAudit audit(&cluster);
     const obs::DeliverySnapshot snap = audit.Snapshot();
-    EXPECT_TRUE(snap.Balanced()) << "seed " << seed << ": " << snap.ToString();
+    EXPECT_TRUE(snap.Balanced())
+        << "seed " << seed << (sweep.batched ? " batched" : " unbatched")
+        << ": " << snap.ToString();
     EXPECT_EQ(snap.in_flight_broker, 0u)
         << "seed " << seed << ": " << snap.ToString();
     for (size_t d = 0; d < cluster.daemon_count(0); ++d) {
@@ -591,8 +1034,10 @@ TEST(BrokerPropertyTest, CrashRetryNeverInflatesSentPastLogged) {
 
 // The broker-consumed warehouse hour is indistinguishable downstream: data
 // lands at /logs/<category>/YYYY/MM/DD/HH as framed parts, same as the
-// aggregator path.
+// aggregator path — and the batched delivery path decompressed each blob
+// exactly once, at landing.
 TEST(BrokerClusterTest, WarehouseLayoutUnchangedDownstream) {
+  Lz::ResetCompressionProbes();
   Simulator sim(kT0);
   BrokerOptions options;
   options.num_partitions = 2;
@@ -617,6 +1062,11 @@ TEST(BrokerClusterTest, WarehouseLayoutUnchangedDownstream) {
   EXPECT_TRUE(audit.Check().ok());
   const obs::DeliverySnapshot snap = audit.Snapshot();
   EXPECT_EQ(snap.logged, snap.warehoused);  // no faults: full delivery
+
+  // Single-decompression invariant on the fault-free path too.
+  const scribe::LogMoverStats mstats = cluster.mover()->stats();
+  EXPECT_GT(mstats.broker_batches_decoded, 0u);
+  EXPECT_EQ(Lz::DecompressCallCount(), mstats.broker_batches_decoded);
 }
 
 // Session-expiry storm at fleet scale: 120 daemons funnel into a 5-broker
